@@ -1,0 +1,168 @@
+package easytracker_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"easytracker"
+)
+
+// TestAsyncWithRealTracker drives a real MiniPy inferior through the
+// asynchronous wrapper (paper §V future work).
+func TestAsyncWithRealTracker(t *testing.T) {
+	src := "a = 1\nb = 2\nc = a + b\nprint(c)\n"
+	tr, err := easytracker.New("minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := tr.LoadProgram("p.py",
+		easytracker.WithSource(src), easytracker.WithStdout(&out)); err != nil {
+		t.Fatal(err)
+	}
+	a := easytracker.NewAsync(tr)
+	defer a.Close()
+
+	recv := func() easytracker.AsyncEvent {
+		select {
+		case ev := <-a.Events():
+			return ev
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout waiting for event")
+			return easytracker.AsyncEvent{}
+		}
+	}
+
+	a.Start()
+	if ev := recv(); ev.Err != nil || ev.Reason.Type != easytracker.PauseEntry {
+		t.Fatalf("start event %+v", ev)
+	}
+	// Queue several steps at once; the UI thread never blocks.
+	a.Step()
+	a.Step()
+	a.Step()
+	lines := []int{}
+	for i := 0; i < 3; i++ {
+		ev := recv()
+		if ev.Err != nil {
+			t.Fatal(ev.Err)
+		}
+		lines = append(lines, ev.Reason.Line)
+	}
+	if lines[0] != 2 || lines[1] != 3 || lines[2] != 4 {
+		t.Errorf("stepped lines = %v", lines)
+	}
+	// Inspect between events without racing the owner goroutine.
+	err = a.Do(func(tr easytracker.Tracker) error {
+		fr, err := tr.CurrentFrame()
+		if err != nil {
+			return err
+		}
+		if v, _ := fr.Lookup("c").Value.Deref().Int(); v != 3 {
+			t.Errorf("c = %s", fr.Lookup("c").Value.Deref())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Resume()
+	ev := recv()
+	if !ev.Exited || ev.ExitCode != 0 {
+		t.Errorf("final event %+v", ev)
+	}
+	if out.String() != "3\n" {
+		t.Errorf("output %q", out.String())
+	}
+}
+
+// TestMultiProgramLockstep controls two inferiors simultaneously (paper §V:
+// "simultaneous control and visualization of multiple programs") and
+// compares their states in lockstep — the equivalence-testing application.
+func TestMultiProgramLockstep(t *testing.T) {
+	pySrc := `def twice(v):
+    return v * 2
+
+out = 0
+for i in range(3):
+    out = out + twice(i)
+print(out)
+`
+	cSrc := `int twice(int v) {
+    return v * 2;
+}
+int main() {
+    int out = 0;
+    for (int i = 0; i < 3; i++) {
+        out = out + twice(i);
+    }
+    printf("%d\n", out);
+    return 0;
+}`
+	mk := func(kind, path, src string, out *strings.Builder) easytracker.Tracker {
+		tr, err := easytracker.New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.LoadProgram(path, easytracker.WithSource(src), easytracker.WithStdout(out)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.TrackFunction("twice"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	var pyOut, cOut strings.Builder
+	py := mk("minipy", "d.py", pySrc, &pyOut)
+	c := mk("minigdb", "d.c", cSrc, &cOut)
+	defer py.Terminate()
+	defer c.Terminate()
+
+	// Drive both in lockstep: each Resume lands on the same abstract
+	// event in both programs.
+	for round := 0; round < 100; round++ {
+		errPy := py.Resume()
+		errC := c.Resume()
+		if errPy != nil || errC != nil {
+			t.Fatalf("resume: %v / %v", errPy, errC)
+		}
+		_, pyDone := py.ExitCode()
+		_, cDone := c.ExitCode()
+		if pyDone != cDone {
+			t.Fatalf("programs finished at different rounds (py=%v c=%v)", pyDone, cDone)
+		}
+		if pyDone {
+			break
+		}
+		pr, cr := py.PauseReason(), c.PauseReason()
+		if pr.Type != cr.Type {
+			t.Fatalf("round %d: pause types differ: %v vs %v", round, pr.Type, cr.Type)
+		}
+		if pr.Type == easytracker.PauseReturn {
+			pv, _ := pr.ReturnValue.Int()
+			cv, _ := cr.ReturnValue.Int()
+			if pv != cv {
+				t.Errorf("return values differ: %d vs %d", pv, cv)
+			}
+		}
+		if pr.Type == easytracker.PauseCall {
+			pf, err1 := py.CurrentFrame()
+			cf, err2 := c.CurrentFrame()
+			if err1 != nil || err2 != nil {
+				t.Fatal(err1, err2)
+			}
+			pv, _ := pf.Lookup("v").Value.Deref().Int()
+			cv, _ := cf.Lookup("v").Value.Int()
+			if pv != cv {
+				t.Errorf("arguments differ: %d vs %d", pv, cv)
+			}
+		}
+	}
+	if pyOut.String() != cOut.String() {
+		t.Errorf("outputs differ: %q vs %q", pyOut.String(), cOut.String())
+	}
+}

@@ -1,0 +1,91 @@
+// Command et-game plays the paper's debugging game (Fig. 9): each level is
+// a buggy MiniC program moving a character on a map. Run the level, watch
+// the character, read the hints, edit the program file, and run again until
+// the character reaches the exit.
+//
+// Usage:
+//
+//	et-game [-level N] [PROGRAM.c]
+//
+// Without PROGRAM.c the built-in (buggy) level source is used; pass your
+// edited copy to test a fix. Use `et-game -dump-level N > level.c` to get
+// the source to edit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"easytracker/internal/game"
+)
+
+func main() {
+	levelNo := flag.Int("level", 1, "level number (1-based)")
+	dump := flag.Bool("dump-level", false, "print the level program and exit")
+	svgDir := flag.String("svg", "", "also write one SVG frame per step to this directory")
+	flag.Parse()
+
+	if *levelNo < 1 || *levelNo > len(game.Levels) {
+		fmt.Fprintf(os.Stderr, "no level %d (have 1..%d)\n", *levelNo, len(game.Levels))
+		os.Exit(2)
+	}
+	level := game.Levels[*levelNo-1]
+	if *dump {
+		fmt.Print(level.Source)
+		return
+	}
+
+	src := ""
+	if flag.NArg() == 1 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		src = string(data)
+	}
+
+	engine, err := game.NewEngine(level)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := engine.Play(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for i, f := range res.Frames {
+		fmt.Printf("-- step %d --\n%s\n", i, f)
+	}
+	if *svgDir != "" {
+		for i, doc := range game.FramesSVG(level, res) {
+			name := filepath.Join(*svgDir, fmt.Sprintf("game-%03d.svg", i))
+			if err := os.WriteFile(name, []byte(doc), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("wrote %d SVG frames to %s\n", len(res.Frames), *svgDir)
+	}
+	for _, ev := range res.Events {
+		if ev.Note != "" {
+			fmt.Printf("event: %s at (%d,%d)\n", ev.Note, ev.Pos.X, ev.Pos.Y)
+		}
+	}
+	if res.Won {
+		fmt.Println("*** LEVEL COMPLETE:", res.Reason)
+		return
+	}
+	fmt.Println("level failed:", res.Reason)
+	if len(res.Hints) > 0 {
+		fmt.Println("hints:")
+		for _, h := range res.Hints {
+			fmt.Println("  -", h)
+		}
+	}
+	fmt.Println("edit the level program and run again (et-game -dump-level", *levelNo, "> level.c)")
+	os.Exit(1)
+}

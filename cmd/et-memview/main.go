@@ -1,0 +1,113 @@
+// Command et-memview is the paper's Fig. 7 tool: a registers-and-memory
+// viewer for assembly/MiniC programs, stepping line by line and showing the
+// source next to the CPU registers and raw memory (one-dimensional array of
+// words), using the GDB-tracker-specific inspection extensions
+// (get_registers_gdb / get_value_at_gdb).
+//
+// Usage:
+//
+//	et-memview [-svg DIR] [-seg data,stack] PROGRAM.{s,c}
+//
+// Without -svg the tool prints the text view per step; with -svg it writes
+// one SVG per step.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"easytracker"
+	"easytracker/internal/viz"
+)
+
+func main() {
+	svgDir := flag.String("svg", "", "write SVG frames to this directory instead of printing text")
+	segNames := flag.String("seg", "data,stack", "comma-separated segments to display")
+	maxWords := flag.Int("words", 12, "words shown per segment")
+	interactive := flag.Bool("i", false, "wait for Enter between steps")
+	maxSteps := flag.Int("max", 100, "maximum steps")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: et-memview [-svg DIR] PROGRAM.{s,c}")
+		os.Exit(2)
+	}
+	prog := flag.Arg(0)
+
+	tracker, err := easytracker.New("minigdb")
+	check(err)
+	check(tracker.LoadProgram(prog, easytracker.WithStdout(os.Stdout)))
+	check(tracker.Start())
+	defer tracker.Terminate()
+
+	regInsp := tracker.(easytracker.RegisterInspector)
+	memInsp := tracker.(easytracker.MemoryInspector)
+	lines, err := tracker.SourceLines()
+	check(err)
+	stdin := bufio.NewReader(os.Stdin)
+
+	wanted := map[string]bool{}
+	for _, s := range strings.Split(*segNames, ",") {
+		wanted[strings.TrimSpace(s)] = true
+	}
+
+	step := 0
+	for {
+		if _, done := tracker.ExitCode(); done {
+			break
+		}
+		regs, err := regInsp.Registers()
+		check(err)
+		var segs []easytracker.Segment
+		for _, sg := range memInsp.MemorySegments() {
+			if wanted[sg.Name] {
+				segs = append(segs, sg)
+			}
+		}
+		_, line := tracker.Position()
+		hl := map[uint64]string{
+			regs["sp"] &^ 7: "sp",
+			regs["fp"] &^ 7: "fp",
+		}
+		opt := viz.MemViewOptions{
+			Title:     fmt.Sprintf("%s — line %d", prog, line),
+			Segments:  segs,
+			MaxWords:  *maxWords,
+			Highlight: hl,
+		}
+		if *svgDir != "" {
+			step++
+			doc := viz.MemViewSVG(regs, memInsp, opt)
+			check(os.WriteFile(filepath.Join(*svgDir,
+				fmt.Sprintf("mem-%03d.svg", step)), []byte(doc), 0o644))
+			src := viz.SourceSVG(lines, line, prog)
+			check(os.WriteFile(filepath.Join(*svgDir,
+				fmt.Sprintf("src-%03d.svg", step)), []byte(src), 0o644))
+		} else {
+			fmt.Println(viz.SourceListing(lines, line))
+			fmt.Println(viz.MemViewText(regs, memInsp, opt))
+			step++
+		}
+		if *interactive {
+			_, _ = stdin.ReadString('\n')
+		}
+		check(tracker.Step())
+		if step >= *maxSteps {
+			fmt.Fprintf(os.Stderr, "stopping after %d steps\n", *maxSteps)
+			break
+		}
+	}
+	if *svgDir != "" {
+		fmt.Printf("wrote %d frames to %s\n", step, *svgDir)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,152 @@
+// Command et-recviz is the paper's Listing 6 tool: it tracks a recursive
+// function and draws the call tree (Fig. 8) — a node per call showing the
+// chosen arguments, red while live and gray once returned, with the return
+// value on a dashed back edge. One SVG (and DOT) file is written per
+// tracked event.
+//
+// Usage:
+//
+//	et-recviz [-out DIR] [-args a,b] [-skip N] PROGRAM.{py,c} FUNC
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"easytracker"
+	"easytracker/internal/viz"
+)
+
+func main() {
+	outDir := flag.String("out", ".", "output directory")
+	argNames := flag.String("args", "", "comma-separated argument names to display")
+	skip := flag.Int("skip", 0, "skip the first N call trees (interactive focus, as in Listing 6)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: et-recviz [-out DIR] [-args a,b] PROGRAM FUNC")
+		os.Exit(2)
+	}
+	prog, fn := flag.Arg(0), flag.Arg(1)
+	var names []string
+	if *argNames != "" {
+		names = strings.Split(*argNames, ",")
+	}
+
+	tracker, err := easytracker.New(easytracker.KindFor(prog))
+	check(err)
+	check(tracker.LoadProgram(prog, easytracker.WithStdout(os.Stdout)))
+	check(tracker.TrackFunction(fn))
+	check(tracker.Start())
+	defer tracker.Terminate()
+
+	var root, current *viz.CallNode
+	uid := 0
+	img := 0
+	trees := 0
+	emit := func() {
+		if root == nil {
+			return
+		}
+		img++
+		base := filepath.Join(*outDir, fmt.Sprintf("rec-%03d", img))
+		check(os.WriteFile(base+".svg", []byte(viz.CallTreeSVG(root)), 0o644))
+		check(os.WriteFile(base+".dot", []byte(viz.CallTreeDOT(root)), 0o644))
+	}
+
+	for {
+		if _, done := tracker.ExitCode(); done {
+			break
+		}
+		check(tracker.Resume())
+		switch r := tracker.PauseReason(); r.Type {
+		case easytracker.PauseCall:
+			label := callLabel(tracker, fn, names)
+			uid++
+			if current == nil {
+				trees++
+				root = &viz.CallNode{UID: uid, Label: label, Active: true}
+				current = root
+			} else {
+				current = current.AddChild(uid, label)
+			}
+			if trees > *skip {
+				emit()
+			}
+		case easytracker.PauseReturn:
+			if current != nil {
+				current.Active = false
+				if r.ReturnValue != nil {
+					current.RetVal = deref(r.ReturnValue)
+				}
+				if trees > *skip {
+					emit()
+				}
+				parent := findParent(root, current)
+				current = parent
+			}
+		case easytracker.PauseExited:
+		}
+	}
+	fmt.Printf("wrote %d call-tree images to %s\n", img, *outDir)
+}
+
+// callLabel renders "fn(args...)" from the entry frame.
+func callLabel(tr easytracker.Tracker, fn string, names []string) string {
+	fr, err := tr.CurrentFrame()
+	if err != nil {
+		return fn
+	}
+	var parts []string
+	for _, v := range fr.Vars {
+		if len(names) > 0 && !contains(names, v.Name) {
+			continue
+		}
+		parts = append(parts, deref(v.Value))
+	}
+	return fmt.Sprintf("%s(%s)", fn, strings.Join(parts, ", "))
+}
+
+func deref(v *easytracker.Value) string {
+	if v == nil {
+		return "?"
+	}
+	if v.Kind == easytracker.Ref && v.Deref() != nil {
+		return v.Deref().String()
+	}
+	return v.String()
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// findParent locates n's parent in the tree (nil for the root).
+func findParent(root, n *viz.CallNode) *viz.CallNode {
+	if root == nil || root == n {
+		return nil
+	}
+	for _, c := range root.Children {
+		if c == n {
+			return root
+		}
+		if p := findParent(c, n); p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,80 @@
+// Command et-stackheap is the paper's Listing 1 tool: it steps through a
+// MiniPy or MiniC program and writes one stack(-and-heap) diagram per
+// executed line (Figs. 6a/6b/6c). Only the tracker-selection line is
+// language-specific; control and data representation are language-agnostic.
+//
+// Usage:
+//
+//	et-stackheap [-mode stack|heap] [-out DIR] [-max N] PROGRAM.{py,c}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"easytracker"
+	"easytracker/internal/core"
+	"easytracker/internal/viz"
+)
+
+// stateTracker is the full-snapshot extension both trackers provide.
+type stateTracker interface {
+	State() (*core.State, error)
+}
+
+func main() {
+	mode := flag.String("mode", "heap", "diagram mode: stack (inline values) or heap (stack+heap)")
+	outDir := flag.String("out", ".", "output directory for the SVG files")
+	maxImgs := flag.Int("max", 200, "maximum number of images")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: et-stackheap [-mode stack|heap] [-out DIR] PROGRAM.{py,c}")
+		os.Exit(2)
+	}
+	inf := flag.Arg(0)
+
+	// Listing 1, line by line.
+	tracker, err := easytracker.New(easytracker.KindFor(inf))
+	check(err)
+	check(tracker.LoadProgram(inf, easytracker.WithStdout(os.Stdout),
+		easytracker.WithHeapTracking()))
+	check(tracker.Start())
+	defer tracker.Terminate()
+
+	dm := viz.StackAndHeap
+	if *mode == "stack" {
+		dm = viz.StackOnly
+	}
+	imgCount := 1
+	for {
+		if _, done := tracker.ExitCode(); done {
+			break
+		}
+		st, err := tracker.(stateTracker).State()
+		check(err)
+		_, line := tracker.Position()
+		doc := viz.StackHeapSVG(st, viz.StackHeapOptions{
+			Mode:        dm,
+			Title:       fmt.Sprintf("%s — line %d", inf, line),
+			ShowGlobals: true,
+		})
+		name := filepath.Join(*outDir, fmt.Sprintf("%03d-stack_heap.svg", imgCount))
+		check(os.WriteFile(name, []byte(doc), 0o644))
+		check(tracker.Step())
+		imgCount++
+		if imgCount > *maxImgs {
+			fmt.Fprintf(os.Stderr, "stopping after %d images\n", *maxImgs)
+			break
+		}
+	}
+	fmt.Printf("wrote %d diagrams to %s\n", imgCount-1, *outDir)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,42 @@
+// Command et-tables regenerates the paper's comparison tables (Tables I,
+// II, III) and, with -verify, substantiates every "yes" in the EasyTracker
+// rows by probing the live implementation.
+//
+// Usage: et-tables [-verify]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"easytracker/internal/tables"
+
+	_ "easytracker/internal/gdbtracker"
+	_ "easytracker/internal/pytracker"
+)
+
+func main() {
+	verify := flag.Bool("verify", false, "probe the EasyTracker capabilities")
+	flag.Parse()
+
+	for _, tab := range []*tables.Table{tables.TableI(), tables.TableII(), tables.TableIII()} {
+		fmt.Println(tab.Render())
+	}
+	if !*verify {
+		return
+	}
+	fmt.Println("verifying EasyTracker capabilities against the live implementation:")
+	failed := 0
+	for _, p := range tables.VerifyEasyTracker() {
+		if err := p.Check(); err != nil {
+			fmt.Printf("  FAIL %s: %v\n", p.Name, err)
+			failed++
+		} else {
+			fmt.Printf("  ok   %s\n", p.Name)
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

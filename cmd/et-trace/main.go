@@ -1,0 +1,152 @@
+// Command et-trace records and replays Python-Tutor-style execution traces
+// (paper Section III-E, Fig. 10): record a full trace, or a partial trace
+// focused on a tracked function (roughly 10x smaller on recursion
+// examples), then navigate the trace through the same Tracker API.
+//
+// Usage:
+//
+//	et-trace record [-track FUNC] [-watch VAR] [-o OUT.trace] PROGRAM.{py,c}
+//	et-trace replay TRACE [-at N]
+//	et-trace stats TRACE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"easytracker"
+	"easytracker/internal/pt"
+	"easytracker/internal/tracetracker"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	case "stats":
+		stats(os.Args[2:])
+	case "html":
+		toHTML(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: et-trace record|replay|stats ...")
+	os.Exit(2)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	track := fs.String("track", "", "track only this function (partial trace)")
+	watch := fs.String("watch", "", "also watch this variable")
+	out := fs.String("o", "out.trace", "output path")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	prog := fs.Arg(0)
+
+	kind := easytracker.KindFor(prog)
+	tracker, err := easytracker.New(kind)
+	check(err)
+	var progOut strings.Builder
+	check(tracker.LoadProgram(prog, easytracker.WithStdout(&progOut)))
+	opts := pt.Options{Mode: pt.ModeFullStep, Lang: kind}
+	if *track != "" {
+		opts.Mode = pt.ModeTracked
+		opts.TrackFunctions = []string{*track}
+	}
+	if *watch != "" {
+		opts.Watches = []string{*watch}
+	}
+	trace, err := pt.Record(tracker, &progOut, opts)
+	check(err)
+	data, err := trace.Encode()
+	check(err)
+	check(os.WriteFile(*out, data, 0o644))
+	fmt.Printf("recorded %d steps (%d bytes) to %s\n", len(trace.Steps), len(data), *out)
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	at := fs.Int("at", -1, "jump to step N and print its state")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	tracker := tracetracker.New()
+	check(tracker.LoadProgram(fs.Arg(0)))
+	check(tracker.Start())
+	step := 0
+	for {
+		if _, done := tracker.ExitCode(); done {
+			break
+		}
+		if *at < 0 || step == *at {
+			fr, err := tracker.CurrentFrame()
+			if err == nil {
+				_, line := tracker.Position()
+				fmt.Printf("step %d (line %d):\n%s", step, line, fr.Backtrace())
+			}
+			if step == *at {
+				return
+			}
+		}
+		check(tracker.Step())
+		step++
+	}
+	code, _ := tracker.ExitCode()
+	fmt.Printf("replay finished after %d steps, exit %d\nprogram output:\n%s",
+		step, code, tracker.Stdout())
+}
+
+func stats(args []string) {
+	data, err := os.ReadFile(args[0])
+	check(err)
+	trace, err := pt.Decode(data)
+	check(err)
+	events := map[string]int{}
+	for _, s := range trace.Steps {
+		events[s.Event]++
+	}
+	fmt.Printf("file: %s\nlang: %s\nsteps: %d\nbytes: %d\nexit: %d\n",
+		trace.File, trace.Lang, len(trace.Steps), len(data), trace.ExitCode)
+	for ev, n := range events {
+		fmt.Printf("  %-12s %d\n", ev, n)
+	}
+}
+
+// toHTML renders a trace as the Fig. 10 self-contained navigator page.
+func toHTML(args []string) {
+	fs := flag.NewFlagSet("html", flag.ExitOnError)
+	out := fs.String("o", "trace.html", "output path")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	check(err)
+	trace, err := pt.Decode(data)
+	check(err)
+	page, err := pt.HTML(trace)
+	check(err)
+	check(os.WriteFile(*out, []byte(page), 0o644))
+	fmt.Printf("wrote %s (%d steps); open it in a browser and use Forward\n",
+		*out, len(trace.Steps))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

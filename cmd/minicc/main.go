@@ -1,0 +1,99 @@
+// Command minicc is the MiniC compiler driver: it compiles MiniC source (or
+// assembles .s files) and either runs the program, dumps the disassembly,
+// or writes a loadable .mobj image for minigdb.
+//
+// Usage:
+//
+//	minicc run PROG.c [--] [stdin<file]   compile and execute
+//	minicc build PROG.c -o PROG.mobj      write the program image
+//	minicc disasm PROG.c                  dump the disassembly
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"easytracker/internal/asm"
+	"easytracker/internal/isa"
+	"easytracker/internal/minic"
+	"easytracker/internal/vm"
+)
+
+func compile(path string) (*isa.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".s") || strings.HasSuffix(path, ".asm") {
+		return asm.Assemble(path, string(src))
+	}
+	return minic.Compile(path, string(src))
+}
+
+func main() {
+	if len(os.Args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: minicc run|build|disasm PROG.c [-o OUT.mobj]")
+		os.Exit(2)
+	}
+	mode := os.Args[1]
+	fs := flag.NewFlagSet("minicc", flag.ExitOnError)
+	out := fs.String("o", "", "output image path (build)")
+	_ = fs.Parse(os.Args[3:])
+	prog, err := compile(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	switch mode {
+	case "run":
+		m, err := vm.New(prog, vm.Config{Stdout: os.Stdout, Stderr: os.Stderr, Stdin: os.Stdin})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		stop := m.Run(0)
+		switch stop.Kind {
+		case vm.StopExit:
+			os.Exit(stop.ExitCode)
+		case vm.StopFault:
+			fmt.Fprintln(os.Stderr, stop.Err)
+			os.Exit(139)
+		default:
+			fmt.Fprintf(os.Stderr, "program stopped unexpectedly: %v\n", stop.Kind)
+			os.Exit(1)
+		}
+	case "build":
+		if *out == "" {
+			*out = strings.TrimSuffix(os.Args[2], ".c") + ".mobj"
+		}
+		data, err := json.MarshalIndent(prog, "", " ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote %s (%d instructions, %d bytes data)\n",
+			*out, len(prog.Instrs), len(prog.Data))
+	case "disasm":
+		for _, fn := range prog.Funcs {
+			fmt.Printf("%s:\n", fn.Name)
+			for _, d := range prog.Disassemble(fn.Entry, fn.End) {
+				line := prog.LineAt(d.PC)
+				loc := ""
+				if line > 0 {
+					loc = fmt.Sprintf("  ; line %d", line)
+				}
+				fmt.Printf("  %#06x  %s%s\n", d.PC, d.Text, loc)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", mode)
+		os.Exit(2)
+	}
+}

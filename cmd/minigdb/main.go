@@ -1,0 +1,56 @@
+// Command minigdb runs the MiniGDB MI server over stdin/stdout, so a
+// tracker (or a human) can drive it as a real subprocess — the
+// process-separated configuration of the paper's Fig. 4.
+//
+// Usage:
+//
+//	minigdb [PROG.c|PROG.s|PROG.mobj]
+//
+// Commands are GDB/MI-style lines (-exec-run, -break-insert 12,
+// -exec-continue, -et-inspect, ...); responses end with "(gdb)".
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"easytracker/internal/asm"
+	"easytracker/internal/isa"
+	"easytracker/internal/mi"
+	"easytracker/internal/minic"
+)
+
+func main() {
+	var prog *isa.Program
+	if len(os.Args) > 1 {
+		path := os.Args[1]
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		switch {
+		case strings.HasSuffix(path, ".mobj"):
+			prog = new(isa.Program)
+			err = json.Unmarshal(data, prog)
+		case strings.HasSuffix(path, ".s"), strings.HasSuffix(path, ".asm"):
+			prog, err = asm.Assemble(path, string(data))
+		default:
+			prog, err = minic.Compile(path, string(data))
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	srv := mi.NewServer(prog)
+	srv.SetStdin(strings.NewReader("")) // inferior input not wired on stdio
+	conn := mi.NewStdioConn(os.Stdin, os.Stdout, nil)
+	_ = conn.Send("(gdb)")
+	if err := srv.Serve(conn); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,41 @@
+// Command minipy runs a MiniPy program directly (without tracking), like
+// invoking the Python interpreter on an inferior.
+//
+// Usage: minipy PROGRAM.py [args...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"easytracker/internal/minipy"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: minipy PROGRAM.py [args...]")
+		os.Exit(2)
+	}
+	path := os.Args[1]
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	mod, err := minipy.Parse(path, string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	in := minipy.NewInterp(mod)
+	in.SetStdout(os.Stdout)
+	in.SetStderr(os.Stderr)
+	in.SetStdin(os.Stdin)
+	in.SetArgs(os.Args[2:])
+	code, err := in.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}

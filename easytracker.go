@@ -1,0 +1,200 @@
+// Package easytracker is a Go reproduction of EasyTracker (Barollet et al.,
+// CGO 2024): a language-agnostic library for controlling and inspecting
+// program execution, designed so that teachers who are not debugging experts
+// can build program-visualization tools.
+//
+// A tool written against this package loads an inferior program, controls
+// its execution (start, step, next, resume; line and function breakpoints
+// with a maxdepth filter; function tracking; variable watchpoints) and,
+// whenever the inferior is paused, inspects a serializable, language-
+// agnostic representation of its state: a stack of Frames holding Variables
+// whose Values carry an abstract type (PRIMITIVE, REF, LIST, DICT, STRUCT,
+// NONE, INVALID, FUNCTION), a conceptual memory location, an address, and
+// the type name in the inferior language's own terms.
+//
+// Two trackers ship with the library, mirroring the paper:
+//
+//   - "minipy" controls MiniPy programs (a Python-like interpreted language,
+//     internal/minipy) through settrace-style hooks, with the inferior in
+//     its own goroutine;
+//   - "minigdb" controls compiled MiniC and assembly programs through a
+//     GDB/MI-style protocol spoken to MiniGDB (internal/dbg) over a pipe,
+//     with function-exit breakpoints found by disassembly and heap sizes
+//     recovered through allocator interposition;
+//
+// plus "trace", which replays a recorded execution trace through the same
+// interface (internal/tracetracker).
+//
+// The minimal control loop — the paper's Listing 1 — is identical for every
+// tracker:
+//
+//	tracker, _ := easytracker.New(easytracker.KindFor(path))
+//	tracker.LoadProgram(path)
+//	tracker.Start()
+//	for {
+//	    if _, done := tracker.ExitCode(); done {
+//	        break
+//	    }
+//	    frame, _ := tracker.CurrentFrame()
+//	    draw(frame)
+//	    tracker.Step()
+//	}
+package easytracker
+
+import (
+	"strings"
+
+	"easytracker/internal/core"
+
+	// Register the built-in trackers.
+	_ "easytracker/internal/gdbtracker"
+	_ "easytracker/internal/pytracker"
+	_ "easytracker/internal/tracetracker"
+)
+
+// Tracker is the language-agnostic control and inspection interface
+// (paper Section II-B). Control functions return only when the inferior is
+// paused or terminated.
+type Tracker = core.Tracker
+
+// State-model types (paper Fig. 3).
+type (
+	// Frame is one activation record of the paused inferior.
+	Frame = core.Frame
+	// Variable is a named slot holding a Value.
+	Variable = core.Variable
+	// Value is the serializable representation of one runtime value.
+	Value = core.Value
+	// AbstractType classifies a Value across languages.
+	AbstractType = core.AbstractType
+	// Location places a Value in the conceptual memory of the program.
+	Location = core.Location
+	// DictEntry is one key/value pair of a Dict value.
+	DictEntry = core.DictEntry
+	// Field is one named member of a Struct value.
+	Field = core.Field
+	// State is a full inspection snapshot (frames, globals, pause
+	// reason); it is what crosses the MI pipe and what traces record.
+	State = core.State
+)
+
+// Pause reasons (paper Section II-B1).
+type (
+	// PauseReason describes why and where the inferior paused.
+	PauseReason = core.PauseReason
+	// PauseReasonType enumerates the pause kinds.
+	PauseReasonType = core.PauseReasonType
+)
+
+// Abstract type values.
+const (
+	Primitive = core.Primitive
+	Ref       = core.Ref
+	List      = core.List
+	Dict      = core.Dict
+	Struct    = core.Struct
+	None      = core.None
+	Invalid   = core.Invalid
+	Function  = core.Function
+)
+
+// Locations.
+const (
+	LocNowhere  = core.LocNowhere
+	LocStack    = core.LocStack
+	LocHeap     = core.LocHeap
+	LocGlobal   = core.LocGlobal
+	LocRegister = core.LocRegister
+)
+
+// Pause reason types.
+const (
+	PauseNone       = core.PauseNone
+	PauseEntry      = core.PauseEntry
+	PauseStep       = core.PauseStep
+	PauseBreakpoint = core.PauseBreakpoint
+	PauseWatch      = core.PauseWatch
+	PauseCall       = core.PauseCall
+	PauseReturn     = core.PauseReturn
+	PauseExited     = core.PauseExited
+)
+
+// Options for LoadProgram and breakpoints.
+type (
+	// LoadOption customizes LoadProgram.
+	LoadOption = core.LoadOption
+	// BreakOption customizes breakpoint placement.
+	BreakOption = core.BreakOption
+)
+
+// Load options.
+var (
+	// WithArgs sets the inferior's argv.
+	WithArgs = core.WithArgs
+	// WithStdout routes the inferior's standard output.
+	WithStdout = core.WithStdout
+	// WithStderr routes the inferior's standard error.
+	WithStderr = core.WithStderr
+	// WithStdin provides the inferior's standard input.
+	WithStdin = core.WithStdin
+	// WithHeapTracking enables allocator interposition (compiled
+	// inferiors), so heap pointers expand to full arrays on inspection.
+	WithHeapTracking = core.WithHeapTracking
+	// WithSource supplies program text in memory.
+	WithSource = core.WithSource
+	// WithMaxDepth restricts a breakpoint to frame depths below d.
+	WithMaxDepth = core.WithMaxDepth
+)
+
+// Extension interfaces implemented by the MiniGDB tracker only (the paper's
+// get_registers_gdb / get_value_at_gdb).
+type (
+	// RegisterInspector exposes machine registers.
+	RegisterInspector = core.RegisterInspector
+	// MemoryInspector exposes raw memory and segment maps.
+	MemoryInspector = core.MemoryInspector
+	// HeapInspector exposes the live heap-allocation map.
+	HeapInspector = core.HeapInspector
+	// Segment describes one mapped memory region.
+	Segment = core.Segment
+)
+
+// Errors shared by all trackers.
+var (
+	ErrNoProgram       = core.ErrNoProgram
+	ErrNotStarted      = core.ErrNotStarted
+	ErrExited          = core.ErrExited
+	ErrUnknownVariable = core.ErrUnknownVariable
+	ErrUnknownFunction = core.ErrUnknownFunction
+	ErrBadLine         = core.ErrBadLine
+	ErrUnsupported     = core.ErrUnsupported
+)
+
+// Asynchronous control helpers (the paper's §V future-work item): control
+// commands return immediately and pauses arrive on an event channel.
+type (
+	// AsyncTracker wraps a Tracker with non-blocking control.
+	AsyncTracker = core.AsyncTracker
+	// AsyncEvent reports one completed asynchronous command.
+	AsyncEvent = core.AsyncEvent
+)
+
+// NewAsync wraps a tracker for asynchronous control.
+func NewAsync(tr Tracker) *AsyncTracker { return core.NewAsync(tr) }
+
+// New instantiates a tracker by kind ("minipy", "minigdb", "trace") — the
+// paper's init_tracker.
+func New(kind string) (Tracker, error) { return core.NewTracker(kind) }
+
+// Kinds lists the registered tracker kinds.
+func Kinds() []string { return core.TrackerKinds() }
+
+// KindFor picks the tracker kind for a program path by extension, as the
+// paper's Listing 1 does: MiniPy for .py, MiniGDB for everything else
+// (.c, .s, .mobj).
+func KindFor(path string) string {
+	if strings.HasSuffix(path, ".py") {
+		return "minipy"
+	}
+	return "minigdb"
+}

@@ -1,0 +1,266 @@
+package easytracker_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"easytracker"
+)
+
+// The same algorithm in both inferior languages: sum of squares computed by
+// a helper function, with a global accumulator.
+const agreePy = `total = 0
+
+def square(n):
+    s = n * n
+    return s
+
+def run(k):
+    global total
+    i = 1
+    while i <= k:
+        total = total + square(i)
+        i = i + 1
+
+run(4)
+print(total)
+`
+
+const agreeC = `int total = 0;
+
+int square(int n) {
+    int s = n * n;
+    return s;
+}
+
+void run(int k) {
+    int i = 1;
+    while (i <= k) {
+        total = total + square(i);
+        i = i + 1;
+    }
+}
+
+int main() {
+    run(4);
+    printf("%d\n", total);
+    return 0;
+}`
+
+func newTracker(t *testing.T, kind string) easytracker.Tracker {
+	t.Helper()
+	tr, err := easytracker.New(kind)
+	if err != nil {
+		t.Fatalf("New(%s): %v", kind, err)
+	}
+	return tr
+}
+
+func TestKindRegistry(t *testing.T) {
+	kinds := strings.Join(easytracker.Kinds(), ",")
+	for _, want := range []string{"minipy", "minigdb"} {
+		if !strings.Contains(kinds, want) {
+			t.Errorf("kinds = %s, missing %s", kinds, want)
+		}
+	}
+	if _, err := easytracker.New("nope"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if easytracker.KindFor("x.py") != "minipy" || easytracker.KindFor("x.c") != "minigdb" {
+		t.Error("KindFor wrong")
+	}
+}
+
+// observe runs the paper's track_function + watch pattern over a program and
+// records language-agnostic observations.
+func observe(t *testing.T, kind, path, src string) ([]string, string) {
+	t.Helper()
+	var out strings.Builder
+	tr := newTracker(t, kind)
+	if err := tr.LoadProgram(path, easytracker.WithSource(src), easytracker.WithStdout(&out)); err != nil {
+		t.Fatalf("%s load: %v", kind, err)
+	}
+	defer tr.Terminate()
+	if err := tr.Start(); err != nil {
+		t.Fatalf("%s start: %v", kind, err)
+	}
+	if err := tr.TrackFunction("square"); err != nil {
+		t.Fatalf("%s track: %v", kind, err)
+	}
+	if err := tr.Watch("::total"); err != nil {
+		t.Fatalf("%s watch: %v", kind, err)
+	}
+	var events []string
+	for i := 0; i < 200; i++ {
+		if _, done := tr.ExitCode(); done {
+			return events, out.String()
+		}
+		if err := tr.Resume(); err != nil {
+			t.Fatalf("%s resume: %v", kind, err)
+		}
+		r := tr.PauseReason()
+		switch r.Type {
+		case easytracker.PauseCall:
+			fr, err := tr.CurrentFrame()
+			if err != nil {
+				t.Fatalf("%s frame: %v", kind, err)
+			}
+			nv := fr.Lookup("n")
+			if nv == nil {
+				t.Fatalf("%s: no argument n at entry of square", kind)
+			}
+			events = append(events, fmt.Sprintf("call square n=%s", deref(nv.Value)))
+		case easytracker.PauseReturn:
+			rv := "?"
+			if r.ReturnValue != nil {
+				rv = deref(r.ReturnValue)
+			}
+			events = append(events, "return square -> "+rv)
+		case easytracker.PauseWatch:
+			events = append(events, fmt.Sprintf("watch total %s -> %s",
+				deref(r.Old), deref(r.New)))
+		case easytracker.PauseExited:
+			return events, out.String()
+		default:
+			t.Fatalf("%s: unexpected pause %v", kind, r)
+		}
+	}
+	t.Fatalf("%s: runaway", kind)
+	return nil, ""
+}
+
+// deref renders a value, following the Python-style variable Ref if present,
+// so both language models compare equal.
+func deref(v *easytracker.Value) string {
+	if v == nil {
+		return "<undef>"
+	}
+	if v.Kind == easytracker.Ref && v.Deref() != nil {
+		return v.Deref().String()
+	}
+	return v.String()
+}
+
+// TestCrossTrackerAgreement is the language-agnosticism headline: the same
+// control script observing the same algorithm in MiniPy and MiniC sees the
+// same sequence of abstract events.
+func TestCrossTrackerAgreement(t *testing.T) {
+	pyEvents, pyOut := observe(t, "minipy", "agree.py", agreePy)
+	cEvents, cOut := observe(t, "minigdb", "agree.c", agreeC)
+
+	if pyOut != cOut {
+		t.Errorf("program outputs differ: %q vs %q", pyOut, cOut)
+	}
+	// The MiniPy tracker sees the watch-definition event (total = 0 at
+	// module level) that C initializes statically; align by dropping
+	// initial watch events whose new value is 0.
+	trim := func(evs []string) []string {
+		for len(evs) > 0 && strings.HasSuffix(evs[0], "-> 0") {
+			evs = evs[1:]
+		}
+		return evs
+	}
+	pyEvents, cEvents = trim(pyEvents), trim(cEvents)
+	if len(pyEvents) != len(cEvents) {
+		t.Fatalf("event counts differ:\npy: %v\nc:  %v", pyEvents, cEvents)
+	}
+	for i := range pyEvents {
+		if pyEvents[i] != cEvents[i] {
+			t.Errorf("event %d differs: py %q vs c %q", i, pyEvents[i], cEvents[i])
+		}
+	}
+	// Sanity on the shape itself.
+	joined := strings.Join(pyEvents, ";")
+	for _, want := range []string{
+		"call square n=1", "return square -> 1",
+		"call square n=4", "return square -> 16",
+		"watch total 14 -> 30",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing event %q in %v", want, pyEvents)
+		}
+	}
+}
+
+// TestListing1BothTrackers steps the paper's Listing 1 loop over both
+// languages — only the tracker kind differs, as in the paper.
+func TestListing1BothTrackers(t *testing.T) {
+	programs := map[string]struct{ path, src, wantOut string }{
+		"minipy":  {"p.py", "x = 2\ny = x + 3\nprint(y)\n", "5\n"},
+		"minigdb": {"p.c", "int main() {\n    int x = 2;\n    int y = x + 3;\n    printf(\"%d\\n\", y);\n    return 0;\n}", "5\n"},
+	}
+	for kind, p := range programs {
+		var out strings.Builder
+		tr := newTracker(t, kind)
+		if err := tr.LoadProgram(p.path, easytracker.WithSource(p.src), easytracker.WithStdout(&out)); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if err := tr.Start(); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		frames := 0
+		for {
+			if _, done := tr.ExitCode(); done {
+				break
+			}
+			if _, err := tr.CurrentFrame(); err != nil {
+				t.Fatalf("%s frame: %v", kind, err)
+			}
+			frames++
+			if err := tr.Step(); err != nil {
+				t.Fatalf("%s step: %v", kind, err)
+			}
+			if frames > 100 {
+				t.Fatalf("%s runaway", kind)
+			}
+		}
+		if out.String() != p.wantOut {
+			t.Errorf("%s output = %q", kind, out.String())
+		}
+		tr.Terminate()
+	}
+}
+
+// TestStateSerializationAcrossTrackers: the state model of both trackers
+// uses one wire format.
+func TestStateSerializationAcrossTrackers(t *testing.T) {
+	for _, kind := range []string{"minipy", "minigdb"} {
+		src := agreePy
+		path := "s.py"
+		if kind == "minigdb" {
+			src = agreeC
+			path = "s.c"
+		}
+		tr := newTracker(t, kind)
+		if err := tr.LoadProgram(path, easytracker.WithSource(src)); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Start(); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.BreakBeforeFunc("square"); err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		fr, err := tr.CurrentFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &easytracker.State{Frame: fr, Reason: tr.PauseReason()}
+		data, err := st.MarshalJSON()
+		if err != nil {
+			t.Fatalf("%s marshal: %v", kind, err)
+		}
+		var back easytracker.State
+		if err := back.UnmarshalJSON(data); err != nil {
+			t.Fatalf("%s unmarshal: %v", kind, err)
+		}
+		if !back.Frame.Equal(fr) {
+			t.Errorf("%s: state did not round-trip", kind)
+		}
+		tr.Terminate()
+	}
+}

@@ -1,0 +1,94 @@
+package easytracker_test
+
+import (
+	"fmt"
+	"os"
+
+	"easytracker"
+)
+
+// Example reproduces the paper's Listing 1 control loop: step through a
+// program line by line, reading the current frame at every pause. The same
+// code controls MiniPy and MiniC inferiors; only the tracker kind differs.
+func Example() {
+	src := `def double(v):
+    return v * 2
+
+x = double(21)
+print(x)
+`
+	tracker, err := easytracker.New("minipy")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := tracker.LoadProgram("demo.py",
+		easytracker.WithSource(src),
+		easytracker.WithStdout(os.Stdout)); err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer tracker.Terminate()
+	if err := tracker.Start(); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	for {
+		if code, done := tracker.ExitCode(); done {
+			fmt.Printf("exit %d\n", code)
+			return
+		}
+		frame, err := tracker.CurrentFrame()
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		_, line := tracker.Position()
+		fmt.Printf("paused in %s at line %d\n", frame.Name, line)
+		if err := tracker.Step(); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+
+	// Output:
+	// paused in <module> at line 1
+	// paused in <module> at line 4
+	// paused in double at line 2
+	// paused in <module> at line 5
+	// 42
+	// exit 0
+}
+
+// ExampleTracker_Watch pauses whenever a variable changes, with the old and
+// new values in the pause reason.
+func ExampleTracker_Watch() {
+	src := `total = 0
+for i in range(3):
+    total = total + 10
+`
+	tracker, _ := easytracker.New("minipy")
+	_ = tracker.LoadProgram("w.py", easytracker.WithSource(src))
+	defer tracker.Terminate()
+	_ = tracker.Start()
+	_ = tracker.Watch("::total")
+	for {
+		if _, done := tracker.ExitCode(); done {
+			return
+		}
+		if err := tracker.Resume(); err != nil {
+			fmt.Println(err)
+			return
+		}
+		if r := tracker.PauseReason(); r.Type == easytracker.PauseWatch {
+			fmt.Printf("total: %s -> %s\n", deref(r.Old), deref(r.New))
+		}
+	}
+
+	// Output:
+	// total: <undef> -> 0
+	// total: 0 -> 10
+	// total: 10 -> 20
+	// total: 20 -> 30
+}

@@ -1,0 +1,127 @@
+// Program-equivalence testing through partial traces — one of the paper's
+// proposed applications (§V): control two programs simultaneously, observe
+// the same function in each, and compare the observable behaviours. Here a
+// MiniPy and a MiniC implementation of the same algorithm are driven in
+// lockstep: equivalent programs produce the same sequence of (call
+// arguments, return values).
+//
+// Run with: go run ./examples/equivalence
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"easytracker"
+)
+
+const pyImpl = `def gcd(a, b):
+    while b != 0:
+        a, b = b, a % b
+    return a
+
+print(gcd(252, 105))
+print(gcd(17, 5))
+`
+
+const cImpl = `int gcd(int a, int b) {
+    while (b != 0) {
+        int t = b;
+        b = a % b;
+        a = t;
+    }
+    return a;
+}
+int main() {
+    printf("%d\n", gcd(252, 105));
+    printf("%d\n", gcd(17, 5));
+    return 0;
+}`
+
+// observation is one tracked-function boundary event.
+type observation struct {
+	kind string // "call" or "ret"
+	args []string
+	ret  string
+}
+
+// observe collects the call/return behaviour of fn in one program.
+func observe(kind, path, src, fn string, argNames []string) []observation {
+	tracker, err := easytracker.New(kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tracker.LoadProgram(path, easytracker.WithSource(src)); err != nil {
+		log.Fatal(err)
+	}
+	defer tracker.Terminate()
+	if err := tracker.TrackFunction(fn); err != nil {
+		log.Fatal(err)
+	}
+	if err := tracker.Start(); err != nil {
+		log.Fatal(err)
+	}
+	var obs []observation
+	for {
+		if _, done := tracker.ExitCode(); done {
+			return obs
+		}
+		if err := tracker.Resume(); err != nil {
+			log.Fatal(err)
+		}
+		switch r := tracker.PauseReason(); r.Type {
+		case easytracker.PauseCall:
+			fr, err := tracker.CurrentFrame()
+			if err != nil {
+				log.Fatal(err)
+			}
+			o := observation{kind: "call"}
+			for _, name := range argNames {
+				if v := fr.Lookup(name); v != nil {
+					o.args = append(o.args, deref(v.Value))
+				}
+			}
+			obs = append(obs, o)
+		case easytracker.PauseReturn:
+			obs = append(obs, observation{kind: "ret", ret: deref(r.ReturnValue)})
+		}
+	}
+}
+
+func deref(v *easytracker.Value) string {
+	if v == nil {
+		return "?"
+	}
+	if v.Kind == easytracker.Ref && v.Deref() != nil {
+		return v.Deref().String()
+	}
+	return v.String()
+}
+
+func main() {
+	args := []string{"a", "b"}
+	py := observe("minipy", "gcd.py", pyImpl, "gcd", args)
+	c := observe("minigdb", "gcd.c", cImpl, "gcd", args)
+
+	fmt.Printf("observed %d py events, %d c events\n", len(py), len(c))
+	equal := len(py) == len(c)
+	for i := 0; equal && i < len(py); i++ {
+		a, b := py[i], c[i]
+		if a.kind != b.kind || a.ret != b.ret || fmt.Sprint(a.args) != fmt.Sprint(b.args) {
+			fmt.Printf("MISMATCH at event %d: py=%v c=%v\n", i, a, b)
+			equal = false
+		}
+	}
+	for i, o := range py {
+		if o.kind == "call" {
+			fmt.Printf("  %2d call gcd(%v)\n", i, o.args)
+		} else {
+			fmt.Printf("  %2d ret  %s\n", i, o.ret)
+		}
+	}
+	if equal {
+		fmt.Println("VERDICT: the implementations are observationally equivalent on gcd")
+	} else {
+		fmt.Println("VERDICT: behaviours differ")
+	}
+}

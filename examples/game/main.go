@@ -1,0 +1,54 @@
+// The debugging game (paper Fig. 9): play level 1 with the buggy program,
+// read the live-generated hints, then play the fixed version and win. This
+// demonstrates visualization that depends on program control — the hints
+// are produced by inspecting the program state while it runs, which a
+// post-processed trace cannot do.
+//
+// Run with: go run ./examples/game
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"easytracker/internal/game"
+)
+
+func main() {
+	engine, err := game.NewEngine(game.Level1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== attempt 1: the level as shipped (buggy) ==")
+	res, err := engine.Play("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(res)
+
+	fmt.Println("== attempt 2: after fixing check_key ==")
+	res, err = engine.Play(game.Level1Fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(res)
+}
+
+func show(res *game.Result) {
+	fmt.Println(res.Frames[len(res.Frames)-1])
+	for _, ev := range res.Events {
+		if ev.Note != "" {
+			fmt.Printf("  %s at (%d,%d)\n", ev.Note, ev.Pos.X, ev.Pos.Y)
+		}
+	}
+	if res.Won {
+		fmt.Println("  *** LEVEL COMPLETE ***")
+	} else {
+		fmt.Println("  level failed:", res.Reason)
+		for _, h := range res.Hints {
+			fmt.Println("  hint:", h)
+		}
+	}
+	fmt.Println()
+}

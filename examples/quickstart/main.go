@@ -1,0 +1,80 @@
+// Quickstart: load a program, control its execution, inspect its state.
+// The same dozen lines work for a MiniPy and a MiniC inferior — only the
+// tracker kind differs (the paper's central claim).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"easytracker"
+)
+
+const pyProg = `def greet(name):
+    msg = "hello " + name
+    return msg
+
+m = greet("world")
+print(m)
+`
+
+const cProg = `int add(int a, int b) {
+    int s = a + b;
+    return s;
+}
+int main() {
+    int r = add(20, 22);
+    printf("%d\n", r);
+    return 0;
+}`
+
+func main() {
+	demo("minipy", "greet.py", pyProg, "greet")
+	demo("minigdb", "add.c", cProg, "add")
+}
+
+func demo(kind, path, src, fn string) {
+	fmt.Printf("=== %s (%s) ===\n", path, kind)
+
+	tracker, err := easytracker.New(kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tracker.LoadProgram(path,
+		easytracker.WithSource(src),
+		easytracker.WithStdout(os.Stdout)); err != nil {
+		log.Fatal(err)
+	}
+	defer tracker.Terminate()
+
+	// Pause whenever fn is entered or about to return.
+	if err := tracker.TrackFunction(fn); err != nil {
+		log.Fatal(err)
+	}
+	if err := tracker.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	for {
+		if code, done := tracker.ExitCode(); done {
+			fmt.Printf("program exited with code %d\n\n", code)
+			return
+		}
+		if err := tracker.Resume(); err != nil {
+			log.Fatal(err)
+		}
+		switch r := tracker.PauseReason(); r.Type {
+		case easytracker.PauseCall:
+			frame, err := tracker.CurrentFrame()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("entered %s:\n%s", r.Function, frame.Backtrace())
+		case easytracker.PauseReturn:
+			fmt.Printf("%s returns %s\n", r.Function, r.ReturnValue)
+		}
+	}
+}

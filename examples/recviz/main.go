@@ -1,0 +1,112 @@
+// Recursive-call tree visualization (paper Fig. 8 / Listing 6): track a
+// recursive function and grow a call tree — nodes red while live, gray once
+// returned, return values on back edges. Writes rec-NNN.svg and .dot files
+// to ./out-recviz.
+//
+// Run with: go run ./examples/recviz
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"easytracker"
+	"easytracker/internal/viz"
+)
+
+const prog = `def merge_len(a, b):
+    return a + b
+
+def msort(n):
+    if n <= 1:
+        return 1
+    left = msort(n // 2)
+    right = msort(n - n // 2)
+    return merge_len(left, right)
+
+total = msort(5)
+print(total)
+`
+
+func main() {
+	outDir := "out-recviz"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	tracker, err := easytracker.New("minipy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tracker.LoadProgram("msort.py",
+		easytracker.WithSource(prog), easytracker.WithStdout(os.Stdout)); err != nil {
+		log.Fatal(err)
+	}
+	defer tracker.Terminate()
+	if err := tracker.TrackFunction("msort"); err != nil {
+		log.Fatal(err)
+	}
+	if err := tracker.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	var root, current *viz.CallNode
+	parents := map[*viz.CallNode]*viz.CallNode{}
+	uid, img := 0, 0
+
+	emit := func() {
+		if root == nil {
+			return
+		}
+		img++
+		base := filepath.Join(outDir, fmt.Sprintf("rec-%03d", img))
+		if err := os.WriteFile(base+".svg", []byte(viz.CallTreeSVG(root)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(base+".dot", []byte(viz.CallTreeDOT(root)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	for {
+		if _, done := tracker.ExitCode(); done {
+			break
+		}
+		if err := tracker.Resume(); err != nil {
+			log.Fatal(err)
+		}
+		switch r := tracker.PauseReason(); r.Type {
+		case easytracker.PauseCall:
+			fr, err := tracker.CurrentFrame()
+			if err != nil {
+				log.Fatal(err)
+			}
+			label := "msort(?)"
+			if n := fr.Lookup("n"); n != nil && n.Value.Deref() != nil {
+				label = fmt.Sprintf("msort(%s)", n.Value.Deref())
+			}
+			uid++
+			if current == nil {
+				root = &viz.CallNode{UID: uid, Label: label, Active: true}
+				current = root
+			} else {
+				child := current.AddChild(uid, label)
+				parents[child] = current
+				current = child
+			}
+			emit()
+		case easytracker.PauseReturn:
+			if current != nil {
+				current.Active = false
+				if r.ReturnValue != nil {
+					current.RetVal = r.ReturnValue.String()
+				}
+				emit()
+				current = parents[current]
+			}
+		}
+	}
+	fmt.Printf("wrote %d call-tree frames to %s/\n", img, outDir)
+}

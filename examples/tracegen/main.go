@@ -1,0 +1,98 @@
+// Trace generation and replay (paper Fig. 10 / Section III-E): record a
+// full Python-Tutor-style trace and a partial trace filtered to a tracked
+// function, compare their sizes (the paper reports ~10x reduction on its
+// recursion example), then replay the partial trace through the same
+// Tracker API.
+//
+// Run with: go run ./examples/tracegen
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"easytracker"
+	"easytracker/internal/pt"
+	"easytracker/internal/tracetracker"
+)
+
+const prog = `def fib(n):
+    acc = 0
+    k = 0
+    while k < 4:
+        acc = acc + k
+        k = k + 1
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+result = fib(6)
+print(result)
+`
+
+func record(mode pt.Mode, track []string) *pt.Trace {
+	tracker, err := easytracker.New("minipy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var out strings.Builder
+	if err := tracker.LoadProgram("fib.py",
+		easytracker.WithSource(prog), easytracker.WithStdout(&out)); err != nil {
+		log.Fatal(err)
+	}
+	defer tracker.Terminate()
+	trace, err := pt.Record(tracker, &out, pt.Options{
+		Mode: mode, TrackFunctions: track, Lang: "minipy",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return trace
+}
+
+func main() {
+	full := record(pt.ModeFullStep, nil)
+	partial := record(pt.ModeTracked, []string{"fib"})
+
+	fullJSON, _ := full.Encode()
+	partialJSON, _ := partial.Encode()
+	fmt.Printf("full trace:    %5d steps, %7d bytes\n", len(full.Steps), len(fullJSON))
+	fmt.Printf("partial trace: %5d steps, %7d bytes\n", len(partial.Steps), len(partialJSON))
+	fmt.Printf("reduction:     %.1fx steps, %.1fx bytes\n",
+		float64(len(full.Steps))/float64(len(partial.Steps)),
+		float64(len(fullJSON))/float64(len(partialJSON)))
+
+	// Replay the partial trace through the Tracker API.
+	replay := tracetracker.New()
+	if err := replay.LoadTrace(partial); err != nil {
+		log.Fatal(err)
+	}
+	if err := replay.TrackFunction("fib"); err != nil {
+		log.Fatal(err)
+	}
+	if err := replay.Start(); err != nil {
+		log.Fatal(err)
+	}
+	calls := 0
+	for {
+		if _, done := replay.ExitCode(); done {
+			break
+		}
+		if err := replay.Resume(); err != nil {
+			log.Fatal(err)
+		}
+		if replay.PauseReason().Type == easytracker.PauseCall {
+			calls++
+			if calls <= 3 {
+				fr, _ := replay.CurrentFrame()
+				if fr != nil {
+					n := fr.Lookup("n")
+					fmt.Printf("replayed call %d: fib(%s)\n", calls, n.Value.Deref())
+				}
+			}
+		}
+	}
+	fmt.Printf("replayed %d recorded fib calls; program printed %q\n",
+		calls, replay.Stdout())
+}

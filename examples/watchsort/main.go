@@ -1,0 +1,95 @@
+// Loop-invariant visualization of a sort (paper Fig. 1): step through an
+// insertion sort and render the array with the i/j index markers and the
+// sorted prefix shaded, one SVG per executed line of the sort function.
+//
+// Run with: go run ./examples/watchsort
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"easytracker"
+	"easytracker/internal/viz"
+)
+
+const prog = `def insertion_sort(a):
+    i = 1
+    while i < len(a):
+        j = i
+        while j > 0 and a[j - 1] > a[j]:
+            a[j - 1], a[j] = a[j], a[j - 1]
+            j = j - 1
+        i = i + 1
+    return a
+
+data = [5, 2, 9, 1, 7, 3]
+insertion_sort(data)
+print(data)
+`
+
+func main() {
+	outDir := "out-watchsort"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	tracker, err := easytracker.New("minipy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tracker.LoadProgram("sort.py",
+		easytracker.WithSource(prog), easytracker.WithStdout(os.Stdout)); err != nil {
+		log.Fatal(err)
+	}
+	defer tracker.Terminate()
+	if err := tracker.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	img := 0
+	for {
+		if _, done := tracker.ExitCode(); done {
+			break
+		}
+		fr, err := tracker.CurrentFrame()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fr.Name == "insertion_sort" {
+			arr := fr.Lookup("a")
+			if arr != nil && arr.Value.Deref() != nil {
+				indices := map[string]int{}
+				for _, name := range []string{"i", "j"} {
+					if v := fr.Lookup(name); v != nil {
+						if n, ok := v.Value.Deref().Int(); ok {
+							indices[name] = int(n)
+						}
+					}
+				}
+				sortedTo := -1
+				if i, ok := indices["i"]; ok {
+					sortedTo = i // invariant: a[0:i] is sorted
+				}
+				_, line := tracker.Position()
+				doc := viz.ArraySVG(arr.Value.Deref(), viz.ArrayViewOptions{
+					Title:      fmt.Sprintf("insertion_sort — line %d (a[0:i] sorted)", line),
+					Indices:    indices,
+					SortedFrom: -1,
+					SortedTo:   sortedTo,
+				})
+				img++
+				name := filepath.Join(outDir, fmt.Sprintf("array-%03d.svg", img))
+				if err := os.WriteFile(name, []byte(doc), 0o644); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		if err := tracker.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d array views to %s/\n", img, outDir)
+}

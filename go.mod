@@ -1,0 +1,3 @@
+module easytracker
+
+go 1.22

@@ -1,0 +1,100 @@
+package core
+
+import "sync"
+
+// AsyncTracker wraps a synchronous Tracker with the asynchronous control
+// surface the paper lists as future work ("the control interface is
+// synchronous ... we may provide some API helpers to make it easier"):
+// control commands return immediately and completed pauses are delivered on
+// an event channel, so interactive tools can keep their UI loop running
+// while the inferior executes.
+//
+// All tracker access is serialized onto one owner goroutine, preserving the
+// single-driver contract of the Tracker interface.
+type AsyncTracker struct {
+	tr     Tracker
+	cmds   chan func()
+	events chan AsyncEvent
+	wg     sync.WaitGroup
+	closed sync.Once
+}
+
+// AsyncEvent reports the completion of one asynchronous control command.
+type AsyncEvent struct {
+	// Reason is the pause reason after the command completed.
+	Reason PauseReason
+	// Err is the command's error, if any.
+	Err error
+	// Exited is set with the exit code when the inferior terminated.
+	Exited   bool
+	ExitCode int
+}
+
+// NewAsync wraps tr. The returned AsyncTracker owns tr until Close.
+func NewAsync(tr Tracker) *AsyncTracker {
+	a := &AsyncTracker{
+		tr:     tr,
+		cmds:   make(chan func(), 16),
+		events: make(chan AsyncEvent, 16),
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		for cmd := range a.cmds {
+			cmd()
+		}
+	}()
+	return a
+}
+
+// Events delivers one AsyncEvent per issued control command.
+func (a *AsyncTracker) Events() <-chan AsyncEvent { return a.events }
+
+// control enqueues a control command; its completion arrives on Events.
+func (a *AsyncTracker) control(f func() error) {
+	a.cmds <- func() {
+		err := f()
+		ev := AsyncEvent{Reason: a.tr.PauseReason(), Err: err}
+		if code, done := a.tr.ExitCode(); done {
+			ev.Exited = true
+			ev.ExitCode = code
+		}
+		a.events <- ev
+	}
+}
+
+// Start begins execution asynchronously.
+func (a *AsyncTracker) Start() { a.control(a.tr.Start) }
+
+// Step executes one line asynchronously.
+func (a *AsyncTracker) Step() { a.control(a.tr.Step) }
+
+// Next executes one line (over calls) asynchronously.
+func (a *AsyncTracker) Next() { a.control(a.tr.Next) }
+
+// Resume continues asynchronously.
+func (a *AsyncTracker) Resume() { a.control(a.tr.Resume) }
+
+// Do runs f on the owner goroutine and waits for it — the way to inspect
+// state or place breakpoints between events without racing the control
+// commands.
+func (a *AsyncTracker) Do(f func(Tracker) error) error {
+	done := make(chan error, 1)
+	a.cmds <- func() { done <- f(a.tr) }
+	return <-done
+}
+
+// Close terminates the inferior and stops the owner goroutine. Pending
+// commands complete first.
+func (a *AsyncTracker) Close() error {
+	var err error
+	a.closed.Do(func() {
+		done := make(chan error, 1)
+		a.cmds <- func() { done <- a.tr.Terminate() }
+		err = <-done
+		close(a.cmds)
+		a.wg.Wait()
+		close(a.events)
+	})
+	return err
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeTracker is a scripted Tracker for async-wrapper tests.
+type fakeTracker struct {
+	steps      int
+	maxSteps   int
+	terminated bool
+	started    bool
+}
+
+func (f *fakeTracker) LoadProgram(string, ...LoadOption) error { return nil }
+func (f *fakeTracker) Start() error {
+	f.started = true
+	return nil
+}
+func (f *fakeTracker) Resume() error { return f.Step() }
+func (f *fakeTracker) Step() error {
+	if !f.started {
+		return ErrNotStarted
+	}
+	if f.steps >= f.maxSteps {
+		return ErrExited
+	}
+	f.steps++
+	return nil
+}
+func (f *fakeTracker) Next() error      { return f.Step() }
+func (f *fakeTracker) Terminate() error { f.terminated = true; return nil }
+func (f *fakeTracker) BreakBeforeLine(string, int, ...BreakOption) error {
+	return nil
+}
+func (f *fakeTracker) BreakBeforeFunc(string, ...BreakOption) error { return nil }
+func (f *fakeTracker) TrackFunction(string) error                   { return nil }
+func (f *fakeTracker) Watch(string) error                           { return nil }
+func (f *fakeTracker) PauseReason() PauseReason {
+	if f.steps >= f.maxSteps {
+		return PauseReason{Type: PauseExited}
+	}
+	if f.steps == 0 {
+		return PauseReason{Type: PauseEntry, Line: 1}
+	}
+	return PauseReason{Type: PauseStep, Line: f.steps + 1}
+}
+func (f *fakeTracker) ExitCode() (int, bool) {
+	if f.steps >= f.maxSteps {
+		return 7, true
+	}
+	return 0, false
+}
+func (f *fakeTracker) CurrentFrame() (*Frame, error) {
+	return &Frame{Name: "main", Line: f.steps + 1}, nil
+}
+func (f *fakeTracker) GlobalVariables() ([]*Variable, error) { return nil, nil }
+func (f *fakeTracker) Position() (string, int)               { return "fake", f.steps + 1 }
+func (f *fakeTracker) LastLine() int                         { return f.steps }
+func (f *fakeTracker) SourceLines() ([]string, error)        { return []string{"x"}, nil }
+
+func recvEvent(t *testing.T, a *AsyncTracker) AsyncEvent {
+	t.Helper()
+	select {
+	case ev := <-a.Events():
+		return ev
+	case <-time.After(2 * time.Second):
+		t.Fatal("no async event")
+		return AsyncEvent{}
+	}
+}
+
+func TestAsyncControlDeliversEvents(t *testing.T) {
+	fk := &fakeTracker{maxSteps: 3}
+	a := NewAsync(fk)
+	defer a.Close()
+
+	a.Start()
+	ev := recvEvent(t, a)
+	if ev.Err != nil || ev.Reason.Type != PauseEntry {
+		t.Fatalf("start event = %+v", ev)
+	}
+	a.Step()
+	a.Step()
+	if ev = recvEvent(t, a); ev.Reason.Type != PauseStep || ev.Reason.Line != 2 {
+		t.Errorf("step 1 event = %+v", ev)
+	}
+	if ev = recvEvent(t, a); ev.Reason.Line != 3 {
+		t.Errorf("step 2 event = %+v", ev)
+	}
+}
+
+func TestAsyncExitAndErrors(t *testing.T) {
+	fk := &fakeTracker{maxSteps: 1}
+	a := NewAsync(fk)
+	defer a.Close()
+	a.Start()
+	recvEvent(t, a)
+	a.Step() // reaches exit
+	ev := recvEvent(t, a)
+	if !ev.Exited || ev.ExitCode != 7 {
+		t.Errorf("exit event = %+v", ev)
+	}
+	a.Step() // stepping after exit errors
+	ev = recvEvent(t, a)
+	if !errors.Is(ev.Err, ErrExited) {
+		t.Errorf("post-exit event = %+v", ev)
+	}
+}
+
+func TestAsyncDoSerializesWithCommands(t *testing.T) {
+	fk := &fakeTracker{maxSteps: 100}
+	a := NewAsync(fk)
+	defer a.Close()
+	a.Start()
+	recvEvent(t, a)
+	for i := 0; i < 10; i++ {
+		a.Step()
+	}
+	// Do waits for the queued steps, then observes a consistent state.
+	err := a.Do(func(tr Tracker) error {
+		fr, err := tr.CurrentFrame()
+		if err != nil {
+			return err
+		}
+		if fr.Line != 11 {
+			t.Errorf("frame line = %d, want 11", fr.Line)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the 10 step events.
+	for i := 0; i < 10; i++ {
+		recvEvent(t, a)
+	}
+}
+
+func TestAsyncCloseTerminates(t *testing.T) {
+	fk := &fakeTracker{maxSteps: 5}
+	a := NewAsync(fk)
+	a.Start()
+	recvEvent(t, a)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !fk.terminated {
+		t.Error("Terminate not called on Close")
+	}
+	// Events channel closes after Close.
+	if _, open := <-a.Events(); open {
+		t.Error("events channel still open")
+	}
+	// Double close is safe.
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

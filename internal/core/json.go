@@ -1,0 +1,426 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// The wire format preserves sharing and cycles in the value graph: the first
+// time a *Value is encountered it is emitted in full with a fresh "id"; every
+// later occurrence is emitted as {"backref": id}. This mirrors what the paper
+// obtains from Python pickling across the GDB pipe (Section II-C1) and is
+// what flows over our MI connection.
+
+type jsonValue struct {
+	ID      int             `json:"id,omitempty"`
+	Backref int             `json:"backref,omitempty"`
+	Kind    string          `json:"kind,omitempty"`
+	Loc     string          `json:"location,omitempty"`
+	Addr    uint64          `json:"address,omitempty"`
+	LType   string          `json:"ltype,omitempty"`
+	Prim    *jsonPrim       `json:"prim,omitempty"`
+	Ref     *jsonValue      `json:"ref,omitempty"`
+	List    []*jsonValue    `json:"list,omitempty"`
+	Dict    []*jsonDictPair `json:"dict,omitempty"`
+	Struct  []*jsonField    `json:"struct,omitempty"`
+	Func    string          `json:"func,omitempty"`
+}
+
+type jsonPrim struct {
+	Type  string `json:"t"`
+	Value string `json:"v"`
+}
+
+type jsonDictPair struct {
+	Key *jsonValue `json:"k"`
+	Val *jsonValue `json:"v"`
+}
+
+type jsonField struct {
+	Name  string     `json:"name"`
+	Value *jsonValue `json:"value"`
+}
+
+type jsonVariable struct {
+	Name  string     `json:"name"`
+	Value *jsonValue `json:"value"`
+}
+
+type jsonFrame struct {
+	Name  string          `json:"name"`
+	Depth int             `json:"depth"`
+	File  string          `json:"file,omitempty"`
+	Line  int             `json:"line,omitempty"`
+	PC    uint64          `json:"pc,omitempty"`
+	Vars  []*jsonVariable `json:"vars,omitempty"`
+}
+
+type jsonPause struct {
+	Type     string     `json:"type"`
+	Function string     `json:"function,omitempty"`
+	File     string     `json:"file,omitempty"`
+	Line     int        `json:"line,omitempty"`
+	Variable string     `json:"variable,omitempty"`
+	Old      *jsonValue `json:"old,omitempty"`
+	New      *jsonValue `json:"new,omitempty"`
+	RetVal   *jsonValue `json:"retval,omitempty"`
+	ExitCode int        `json:"exit_code,omitempty"`
+}
+
+// jsonState bundles a full inspection snapshot (innermost-first frames,
+// globals, pause reason) into one document.
+type jsonState struct {
+	Frames  []*jsonFrame    `json:"frames,omitempty"`
+	Globals []*jsonVariable `json:"globals,omitempty"`
+	Reason  *jsonPause      `json:"reason,omitempty"`
+}
+
+type valueEncoder struct {
+	next int
+	ids  map[*Value]int
+}
+
+func (e *valueEncoder) encode(v *Value) *jsonValue {
+	if v == nil {
+		return nil
+	}
+	if id, seen := e.ids[v]; seen {
+		return &jsonValue{Backref: id}
+	}
+	e.next++
+	id := e.next
+	e.ids[v] = id
+	jv := &jsonValue{
+		ID:    id,
+		Kind:  v.Kind.String(),
+		Loc:   v.Location.String(),
+		Addr:  v.Address,
+		LType: v.LanguageType,
+	}
+	switch v.Kind {
+	case Primitive:
+		switch c := v.Content.(type) {
+		case int64:
+			jv.Prim = &jsonPrim{Type: "int", Value: strconv.FormatInt(c, 10)}
+		case float64:
+			jv.Prim = &jsonPrim{Type: "float", Value: strconv.FormatFloat(c, 'g', -1, 64)}
+		case bool:
+			jv.Prim = &jsonPrim{Type: "bool", Value: strconv.FormatBool(c)}
+		case string:
+			jv.Prim = &jsonPrim{Type: "str", Value: c}
+		default:
+			jv.Prim = &jsonPrim{Type: "str", Value: fmt.Sprint(c)}
+		}
+	case Ref:
+		jv.Ref = e.encode(v.Deref())
+	case List:
+		elems := v.Elems()
+		jv.List = make([]*jsonValue, len(elems))
+		for i, el := range elems {
+			jv.List[i] = e.encode(el)
+		}
+	case Dict:
+		for _, en := range v.Entries() {
+			jv.Dict = append(jv.Dict, &jsonDictPair{Key: e.encode(en.Key), Val: e.encode(en.Val)})
+		}
+	case Struct:
+		for _, f := range v.Fields() {
+			jv.Struct = append(jv.Struct, &jsonField{Name: f.Name, Value: e.encode(f.Value)})
+		}
+	case Function:
+		s, _ := v.Content.(string)
+		jv.Func = s
+	case None, Invalid:
+		// no payload
+	}
+	return jv
+}
+
+type valueDecoder struct {
+	byID map[int]*Value
+}
+
+func (d *valueDecoder) decode(jv *jsonValue) (*Value, error) {
+	if jv == nil {
+		return nil, nil
+	}
+	if jv.Backref != 0 {
+		v, ok := d.byID[jv.Backref]
+		if !ok {
+			return nil, fmt.Errorf("core: dangling backref %d", jv.Backref)
+		}
+		return v, nil
+	}
+	kind, err := ParseAbstractType(jv.Kind)
+	if err != nil {
+		return nil, err
+	}
+	loc := LocNowhere
+	if jv.Loc != "" {
+		loc, err = ParseLocation(jv.Loc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	v := &Value{Kind: kind, Location: loc, Address: jv.Addr, LanguageType: jv.LType}
+	if jv.ID != 0 {
+		d.byID[jv.ID] = v
+	}
+	switch kind {
+	case Primitive:
+		if jv.Prim == nil {
+			return nil, fmt.Errorf("core: primitive value without payload")
+		}
+		switch jv.Prim.Type {
+		case "int":
+			n, err := strconv.ParseInt(jv.Prim.Value, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad int payload %q: %v", jv.Prim.Value, err)
+			}
+			v.Content = n
+		case "float":
+			f, err := strconv.ParseFloat(jv.Prim.Value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad float payload %q: %v", jv.Prim.Value, err)
+			}
+			v.Content = f
+		case "bool":
+			b, err := strconv.ParseBool(jv.Prim.Value)
+			if err != nil {
+				return nil, fmt.Errorf("core: bad bool payload %q: %v", jv.Prim.Value, err)
+			}
+			v.Content = b
+		case "str":
+			v.Content = jv.Prim.Value
+		default:
+			return nil, fmt.Errorf("core: unknown primitive type %q", jv.Prim.Type)
+		}
+	case Ref:
+		t, err := d.decode(jv.Ref)
+		if err != nil {
+			return nil, err
+		}
+		v.Content = t
+	case List:
+		elems := make([]*Value, len(jv.List))
+		for i, je := range jv.List {
+			if elems[i], err = d.decode(je); err != nil {
+				return nil, err
+			}
+		}
+		v.Content = elems
+	case Dict:
+		entries := make([]DictEntry, len(jv.Dict))
+		for i, jp := range jv.Dict {
+			if entries[i].Key, err = d.decode(jp.Key); err != nil {
+				return nil, err
+			}
+			if entries[i].Val, err = d.decode(jp.Val); err != nil {
+				return nil, err
+			}
+		}
+		v.Content = entries
+	case Struct:
+		fields := make([]Field, len(jv.Struct))
+		for i, jf := range jv.Struct {
+			fields[i].Name = jf.Name
+			if fields[i].Value, err = d.decode(jf.Value); err != nil {
+				return nil, err
+			}
+		}
+		v.Content = fields
+	case Function:
+		v.Content = jv.Func
+	}
+	return v, nil
+}
+
+// MarshalJSON encodes the value graph, preserving sharing and cycles.
+func (v *Value) MarshalJSON() ([]byte, error) {
+	e := &valueEncoder{ids: map[*Value]int{}}
+	return json.Marshal(e.encode(v))
+}
+
+// UnmarshalJSON decodes a value graph produced by MarshalJSON.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var jv jsonValue
+	if err := json.Unmarshal(data, &jv); err != nil {
+		return err
+	}
+	d := &valueDecoder{byID: map[int]*Value{}}
+	dec, err := d.decode(&jv)
+	if err != nil {
+		return err
+	}
+	*v = *dec
+	// Self-references in the decoded graph point at dec, not v; rebind.
+	rebind(v, dec, map[*Value]bool{})
+	return nil
+}
+
+// rebind replaces pointers to old with pointers to v inside v's graph, so
+// that cycles survive the *v = *dec copy in UnmarshalJSON.
+func rebind(v, old *Value, seen map[*Value]bool) {
+	if v == nil || seen[v] {
+		return
+	}
+	seen[v] = true
+	switch v.Kind {
+	case Ref:
+		if t, _ := v.Content.(*Value); t == old {
+			v.Content = v
+		} else {
+			rebind(t, old, seen)
+		}
+	case List:
+		elems, _ := v.Content.([]*Value)
+		for i, el := range elems {
+			if el == old {
+				elems[i] = v
+			} else {
+				rebind(el, old, seen)
+			}
+		}
+	case Dict:
+		entries, _ := v.Content.([]DictEntry)
+		for i := range entries {
+			if entries[i].Key == old {
+				entries[i].Key = v
+			} else {
+				rebind(entries[i].Key, old, seen)
+			}
+			if entries[i].Val == old {
+				entries[i].Val = v
+			} else {
+				rebind(entries[i].Val, old, seen)
+			}
+		}
+	case Struct:
+		fields, _ := v.Content.([]Field)
+		for i := range fields {
+			if fields[i].Value == old {
+				fields[i].Value = v
+			} else {
+				rebind(fields[i].Value, old, seen)
+			}
+		}
+	}
+}
+
+// State is a complete, serializable inspection snapshot of a paused
+// inferior: the call stack (innermost first), the globals, and the pause
+// reason. It is the unit transferred across the MI pipe by the MiniGDB
+// tracker and the unit recorded per step in PT-style traces.
+type State struct {
+	Frame   *Frame
+	Globals []*Variable
+	Reason  PauseReason
+}
+
+// MarshalJSON encodes the snapshot with one shared value table, so values
+// referenced from several frames or globals keep their identity.
+func (s *State) MarshalJSON() ([]byte, error) {
+	e := &valueEncoder{ids: map[*Value]int{}}
+	var js jsonState
+	for _, fr := range s.Frame.Stack() {
+		jf := &jsonFrame{Name: fr.Name, Depth: fr.Depth, File: fr.File, Line: fr.Line, PC: fr.PC}
+		for _, va := range fr.Vars {
+			jf.Vars = append(jf.Vars, &jsonVariable{Name: va.Name, Value: e.encode(va.Value)})
+		}
+		js.Frames = append(js.Frames, jf)
+	}
+	for _, g := range s.Globals {
+		js.Globals = append(js.Globals, &jsonVariable{Name: g.Name, Value: e.encode(g.Value)})
+	}
+	js.Reason = encodePause(e, s.Reason)
+	return json.Marshal(&js)
+}
+
+// UnmarshalJSON decodes a snapshot produced by MarshalJSON.
+func (s *State) UnmarshalJSON(data []byte) error {
+	var js jsonState
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	d := &valueDecoder{byID: map[int]*Value{}}
+	// Frames were serialized innermost first; decode in the same order so
+	// value backrefs resolve, then link the Parent chain.
+	frames := make([]*Frame, len(js.Frames))
+	for i, jf := range js.Frames {
+		fr := &Frame{Name: jf.Name, Depth: jf.Depth, File: jf.File, Line: jf.Line, PC: jf.PC}
+		for _, jv := range jf.Vars {
+			val, err := d.decode(jv.Value)
+			if err != nil {
+				return err
+			}
+			fr.Vars = append(fr.Vars, &Variable{Name: jv.Name, Value: val})
+		}
+		frames[i] = fr
+	}
+	for i := 0; i+1 < len(frames); i++ {
+		frames[i].Parent = frames[i+1]
+	}
+	if len(frames) > 0 {
+		s.Frame = frames[0]
+	} else {
+		s.Frame = nil
+	}
+	s.Globals = nil
+	for _, jg := range js.Globals {
+		val, err := d.decode(jg.Value)
+		if err != nil {
+			return err
+		}
+		s.Globals = append(s.Globals, &Variable{Name: jg.Name, Value: val})
+	}
+	if js.Reason != nil {
+		r, err := decodePause(d, js.Reason)
+		if err != nil {
+			return err
+		}
+		s.Reason = r
+	} else {
+		s.Reason = PauseReason{}
+	}
+	return nil
+}
+
+func encodePause(e *valueEncoder, r PauseReason) *jsonPause {
+	return &jsonPause{
+		Type:     r.Type.String(),
+		Function: r.Function,
+		File:     r.File,
+		Line:     r.Line,
+		Variable: r.Variable,
+		Old:      e.encode(r.Old),
+		New:      e.encode(r.New),
+		RetVal:   e.encode(r.ReturnValue),
+		ExitCode: r.ExitCode,
+	}
+}
+
+func decodePause(d *valueDecoder, jp *jsonPause) (PauseReason, error) {
+	t, err := ParsePauseReasonType(jp.Type)
+	if err != nil {
+		return PauseReason{}, err
+	}
+	r := PauseReason{
+		Type:     t,
+		Function: jp.Function,
+		File:     jp.File,
+		Line:     jp.Line,
+		Variable: jp.Variable,
+		ExitCode: jp.ExitCode,
+	}
+	if r.Old, err = d.decode(jp.Old); err != nil {
+		return PauseReason{}, err
+	}
+	if r.New, err = d.decode(jp.New); err != nil {
+		return PauseReason{}, err
+	}
+	if r.ReturnValue, err = d.decode(jp.RetVal); err != nil {
+		return PauseReason{}, err
+	}
+	return r, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import "fmt"
+
+// PauseReasonType enumerates why the inferior paused, matching the paper's
+// taxonomy (Section II-B1): watchpoint hit, tracked-function entry/exit,
+// line breakpoint, end of a single-step command, entry, and termination.
+type PauseReasonType int
+
+const (
+	// PauseNone means the inferior has not paused (it is running or was
+	// never started).
+	PauseNone PauseReasonType = iota
+	// PauseEntry means the inferior paused at its entry point after
+	// Start.
+	PauseEntry
+	// PauseStep means a start/step/next control command completed.
+	PauseStep
+	// PauseBreakpoint means a line or function breakpoint was hit.
+	PauseBreakpoint
+	// PauseWatch means a watched variable was modified.
+	PauseWatch
+	// PauseCall means a tracked function was entered.
+	PauseCall
+	// PauseReturn means a tracked function is about to return.
+	PauseReturn
+	// PauseExited means the inferior terminated.
+	PauseExited
+)
+
+var pauseNames = [...]string{
+	PauseNone:       "NONE",
+	PauseEntry:      "ENTRY",
+	PauseStep:       "STEP",
+	PauseBreakpoint: "BREAKPOINT",
+	PauseWatch:      "WATCH",
+	PauseCall:       "CALL",
+	PauseReturn:     "RETURN",
+	PauseExited:     "EXITED",
+}
+
+// String returns the wire name of the pause reason type.
+func (t PauseReasonType) String() string {
+	if t < 0 || int(t) >= len(pauseNames) {
+		return fmt.Sprintf("PauseReasonType(%d)", int(t))
+	}
+	return pauseNames[t]
+}
+
+// ParsePauseReasonType converts a wire name back to a PauseReasonType.
+func ParsePauseReasonType(s string) (PauseReasonType, error) {
+	for i, n := range pauseNames {
+		if n == s {
+			return PauseReasonType(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown pause reason %q", s)
+}
+
+// PauseReason describes why and where the inferior paused.
+type PauseReason struct {
+	// Type is the kind of pause.
+	Type PauseReasonType
+	// Function is the relevant function name for CALL/RETURN pauses and
+	// for function breakpoints.
+	Function string
+	// File and Line give the pause position for position-carrying pauses.
+	File string
+	Line int
+	// Variable is the watched variable's identifier for WATCH pauses.
+	Variable string
+	// Old and New are the watched variable's values before and after the
+	// mutation for WATCH pauses.
+	Old, New *Value
+	// ReturnValue is the function's return value for RETURN pauses, when
+	// the tracker can recover it.
+	ReturnValue *Value
+	// ExitCode is the inferior's exit status for EXITED pauses.
+	ExitCode int
+}
+
+// String renders a one-line description of the pause.
+func (r PauseReason) String() string {
+	switch r.Type {
+	case PauseWatch:
+		return fmt.Sprintf("WATCH %s: %s -> %s at %s:%d",
+			r.Variable, r.Old, r.New, r.File, r.Line)
+	case PauseCall:
+		return fmt.Sprintf("CALL %s at %s:%d", r.Function, r.File, r.Line)
+	case PauseReturn:
+		return fmt.Sprintf("RETURN %s -> %s at %s:%d",
+			r.Function, r.ReturnValue, r.File, r.Line)
+	case PauseBreakpoint:
+		if r.Function != "" {
+			return fmt.Sprintf("BREAKPOINT %s at %s:%d", r.Function, r.File, r.Line)
+		}
+		return fmt.Sprintf("BREAKPOINT at %s:%d", r.File, r.Line)
+	case PauseExited:
+		return fmt.Sprintf("EXITED %d", r.ExitCode)
+	case PauseStep, PauseEntry:
+		return fmt.Sprintf("%s at %s:%d", r.Type, r.File, r.Line)
+	default:
+		return r.Type.String()
+	}
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Sentinel errors shared by all trackers.
+var (
+	// ErrNoProgram is returned by control and inspection calls made
+	// before LoadProgram.
+	ErrNoProgram = errors.New("easytracker: no program loaded")
+	// ErrNotStarted is returned by calls that require Start first.
+	ErrNotStarted = errors.New("easytracker: inferior not started")
+	// ErrExited is returned by control calls after the inferior exited.
+	ErrExited = errors.New("easytracker: inferior has exited")
+	// ErrUnknownVariable is returned by Watch for an unresolvable
+	// variable identifier.
+	ErrUnknownVariable = errors.New("easytracker: unknown variable")
+	// ErrUnknownFunction is returned for breakpoints or tracking on an
+	// unknown function.
+	ErrUnknownFunction = errors.New("easytracker: unknown function")
+	// ErrBadLine is returned for a breakpoint on a line that holds no
+	// executable code.
+	ErrBadLine = errors.New("easytracker: no code at line")
+	// ErrUnsupported is returned by tracker-specific extensions invoked
+	// on a tracker that does not provide them.
+	ErrUnsupported = errors.New("easytracker: operation not supported by this tracker")
+)
+
+// LoadConfig carries the options of LoadProgram.
+type LoadConfig struct {
+	// Args are the inferior's command-line arguments.
+	Args []string
+	// Stdout and Stderr receive the inferior's output; nil discards it.
+	Stdout io.Writer
+	Stderr io.Writer
+	// Stdin provides the inferior's input; nil means empty input.
+	Stdin io.Reader
+	// TrackHeap enables allocator interposition so the tracker maintains
+	// a map of live heap blocks and their sizes (the paper's LD_PRELOAD
+	// shim). Only meaningful for compiled inferiors.
+	TrackHeap bool
+	// Source optionally supplies the program text directly instead of
+	// reading the file at the path given to LoadProgram. The path is
+	// still used as the file name in positions and diagnostics.
+	Source string
+}
+
+// LoadOption customizes LoadProgram.
+type LoadOption func(*LoadConfig)
+
+// WithArgs sets the inferior's argv (excluding argv[0]).
+func WithArgs(args ...string) LoadOption {
+	return func(c *LoadConfig) { c.Args = args }
+}
+
+// WithStdout routes the inferior's standard output to w.
+func WithStdout(w io.Writer) LoadOption {
+	return func(c *LoadConfig) { c.Stdout = w }
+}
+
+// WithStderr routes the inferior's standard error to w.
+func WithStderr(w io.Writer) LoadOption {
+	return func(c *LoadConfig) { c.Stderr = w }
+}
+
+// WithStdin provides the inferior's standard input.
+func WithStdin(r io.Reader) LoadOption {
+	return func(c *LoadConfig) { c.Stdin = r }
+}
+
+// WithHeapTracking enables allocator interposition (compiled inferiors).
+func WithHeapTracking() LoadOption {
+	return func(c *LoadConfig) { c.TrackHeap = true }
+}
+
+// WithSource supplies the program text in memory; the LoadProgram path is
+// used only as a display name.
+func WithSource(src string) LoadOption {
+	return func(c *LoadConfig) { c.Source = src }
+}
+
+// ApplyLoadOptions folds opts into a LoadConfig.
+func ApplyLoadOptions(opts []LoadOption) LoadConfig {
+	var c LoadConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// BreakConfig carries the options of the breakpoint-placing calls.
+type BreakConfig struct {
+	// MaxDepth, when positive, restricts the breakpoint to fire only when
+	// the current frame depth (entry frame = depth 0) is strictly below
+	// the given value — the paper's maxdepth semantic.
+	MaxDepth int
+}
+
+// BreakOption customizes BreakBeforeLine and BreakBeforeFunc.
+type BreakOption func(*BreakConfig)
+
+// WithMaxDepth restricts a breakpoint to frame depths below d.
+func WithMaxDepth(d int) BreakOption {
+	return func(c *BreakConfig) { c.MaxDepth = d }
+}
+
+// ApplyBreakOptions folds opts into a BreakConfig.
+func ApplyBreakOptions(opts []BreakOption) BreakConfig {
+	var c BreakConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// Tracker is the language-agnostic control and inspection interface of
+// EasyTracker (paper Section II-B). Control functions return only when the
+// inferior is paused or terminated. A Tracker is not safe for concurrent
+// use; it is driven by one tool goroutine.
+type Tracker interface {
+	// LoadProgram loads (and for compiled languages, builds) the program
+	// at path. It must be called before any other method.
+	LoadProgram(path string, opts ...LoadOption) error
+
+	// Start launches the inferior and pauses it at its entry point.
+	Start() error
+	// Resume continues execution until the next pause condition
+	// (breakpoint, watchpoint, tracked-function boundary) or termination.
+	Resume() error
+	// Step executes one source line, entering calls (step into).
+	Step() error
+	// Next executes one source line, skipping over calls (step over).
+	Next() error
+	// Terminate kills the inferior and releases tracker resources.
+	// It is safe to call after the inferior exited on its own.
+	Terminate() error
+
+	// BreakBeforeLine pauses the inferior just before the given source
+	// line executes. The empty file means the main program file.
+	BreakBeforeLine(file string, line int, opts ...BreakOption) error
+	// BreakBeforeFunc pauses the inferior just before the named function
+	// begins executing, with arguments initialized and inspectable.
+	BreakBeforeFunc(name string, opts ...BreakOption) error
+	// TrackFunction pauses the inferior at the beginning (just after
+	// entering) and at the end (just before returning) of every
+	// execution of the named function.
+	TrackFunction(name string) error
+	// Watch pauses the inferior every time the variable identified by
+	// varID is modified. Identifiers are "name" (searched in the current
+	// scope chain), "func:name" (local of func) or "::name" (global).
+	Watch(varID string) error
+
+	// PauseReason reports why the inferior is currently paused.
+	PauseReason() PauseReason
+	// ExitCode returns the inferior's exit status; ok is false while the
+	// inferior has not terminated (the paper's get_exit_code() is None).
+	ExitCode() (code int, ok bool)
+	// CurrentFrame returns the innermost frame of the paused inferior,
+	// linked to its callers via Parent.
+	CurrentFrame() (*Frame, error)
+	// GlobalVariables returns the program's global variables.
+	GlobalVariables() ([]*Variable, error)
+	// Position returns the source position of the next line to execute.
+	Position() (file string, line int)
+	// LastLine returns the line that finished executing most recently,
+	// or zero at entry (Listing 6's last_lineno).
+	LastLine() int
+	// SourceLines returns the inferior's main source file, split into
+	// lines, for tools that render the program listing.
+	SourceLines() ([]string, error)
+}
+
+// RegisterInspector is implemented by trackers that expose machine
+// registers (the paper's get_registers_gdb, MiniGDB tracker only).
+type RegisterInspector interface {
+	// Registers returns the register file as name -> value.
+	Registers() (map[string]uint64, error)
+}
+
+// MemoryInspector is implemented by trackers that expose raw memory (the
+// paper's get_value_at_gdb, MiniGDB tracker only).
+type MemoryInspector interface {
+	// ValueAt reads size bytes of inferior memory at addr.
+	ValueAt(addr uint64, size int) ([]byte, error)
+	// MemorySegments describes the mapped regions as (name, start, size)
+	// triples so viewers can render memory as a one-dimensional array.
+	MemorySegments() []Segment
+}
+
+// Segment describes one mapped memory region of a compiled inferior.
+type Segment struct {
+	Name  string
+	Start uint64
+	Size  uint64
+}
+
+// HeapInspector is implemented by trackers that maintain the interposed
+// heap block map.
+type HeapInspector interface {
+	// HeapBlocks returns the live heap allocations as address -> size.
+	HeapBlocks() (map[uint64]uint64, error)
+}
+
+// Factory builds a fresh tracker of one kind.
+type Factory func() Tracker
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Factory{}
+)
+
+// RegisterTracker installs a tracker factory under the given kind name
+// ("minipy", "minigdb", "trace"). It panics on duplicate registration,
+// matching database/sql's driver convention.
+func RegisterTracker(kind string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		panic(fmt.Sprintf("core: duplicate tracker registration for %q", kind))
+	}
+	registry[kind] = f
+}
+
+// NewTracker instantiates a tracker by kind. This is the init_tracker
+// analog of the paper's Listing 1.
+func NewTracker(kind string) (Tracker, error) {
+	registryMu.RLock()
+	f, ok := registry[kind]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("easytracker: unknown tracker kind %q (registered: %s)",
+			kind, strings.Join(TrackerKinds(), ", "))
+	}
+	return f(), nil
+}
+
+// TrackerKinds lists the registered tracker kinds, sorted.
+func TrackerKinds() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	kinds := make([]string, 0, len(registry))
+	for k := range registry {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+// SplitVarID splits a variable identifier into its function and variable
+// parts. "fib:n" -> ("fib", "n"), "::g" -> ("::", "g"), "x" -> ("", "x").
+func SplitVarID(id string) (fn, name string) {
+	if strings.HasPrefix(id, "::") {
+		return "::", id[2:]
+	}
+	if i := strings.Index(id, ":"); i >= 0 {
+		return id[:i], id[i+1:]
+	}
+	return "", id
+}

@@ -1,0 +1,58 @@
+package dbg
+
+import (
+	"fmt"
+
+	"easytracker/internal/isa"
+	"easytracker/internal/vm"
+)
+
+// Finish runs until the current function returns, pausing in the caller —
+// GDB's finish command. The paper (Section II-C1) points out its key
+// limitation, reproduced faithfully here: finish arms a *temporary*
+// breakpoint at the saved return address, so if another stop interrupts it
+// on the way, execution will NOT pause at the function's end later. That is
+// precisely why the paper's track_function places persistent breakpoints on
+// the RET instructions found by disassembly instead.
+func (d *Debugger) Finish(onInternal func(*Watchpoint, *vm.WatchHit)) (Stop, error) {
+	if !d.started {
+		return Stop{}, ErrNotStarted
+	}
+	if d.exited {
+		return Stop{}, ErrExited
+	}
+	recs := d.Unwind()
+	if len(recs) < 2 {
+		return Stop{}, fmt.Errorf("dbg: no caller frame to finish into")
+	}
+	// The saved return address lives at fp-8 of the current frame.
+	retPC, err := d.m.ReadU64(recs[0].FP - 8)
+	if err != nil {
+		return Stop{}, fmt.Errorf("dbg: cannot read return address: %w", err)
+	}
+	callerFP := recs[1].FP
+
+	bp := d.BreakAtPC(retPC)
+	bp.Temporary = true
+	for {
+		stop, err := d.Continue(onInternal)
+		if err != nil {
+			return Stop{}, err
+		}
+		if stop.Reason != StopBreakpoint || stop.Breakpoint != bp.ID {
+			// Interrupted by another condition (or exited): the
+			// temporary breakpoint stays armed only if it has not
+			// fired, matching GDB; report the interrupting stop.
+			return stop, nil
+		}
+		// The return-address breakpoint fired; make sure it is our
+		// frame returning, not a recursive sibling passing the same
+		// address at a deeper stack position.
+		if d.m.Reg(isa.FP) == callerFP {
+			return stop, nil
+		}
+		// Deeper activation: re-arm and keep going.
+		bp = d.BreakAtPC(retPC)
+		bp.Temporary = true
+	}
+}

@@ -1,0 +1,127 @@
+package dbg
+
+import (
+	"testing"
+
+	"easytracker/internal/isa"
+	"easytracker/internal/vm"
+)
+
+func TestFinishReturnsToCaller(t *testing.T) {
+	d := started(t, fibC, vm.Config{})
+	// Step into fib(4).
+	if _, err := d.StepLine(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.CurrentFunc().Name != "fib" {
+		t.Fatalf("not in fib: %s", d.CurrentFunc().Name)
+	}
+	stop, err := d.Finish(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != StopBreakpoint {
+		t.Fatalf("stop = %+v", stop)
+	}
+	if fn := d.CurrentFunc(); fn == nil || fn.Name != "main" {
+		t.Errorf("finish landed in %v", fn)
+	}
+	// The return value of fib(4) is in a0.
+	if got := int64(d.Machine().Reg(isa.A0)); got != 3 {
+		t.Errorf("a0 = %d, want 3", got)
+	}
+}
+
+func TestFinishSkipsRecursiveSiblings(t *testing.T) {
+	d := started(t, fibC, vm.Config{})
+	// Run into the deepest fib frame (`return n` with n=1 at depth 4).
+	if _, err := d.BreakAtLine(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Continue(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Depth() != 4 {
+		t.Fatalf("depth = %d", d.Depth())
+	}
+	stop, err := d.Finish(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != StopBreakpoint {
+		t.Fatalf("stop = %+v", stop)
+	}
+	// Finishing from depth 4 lands in the depth-3 activation, not in a
+	// sibling activation that shares the same return address.
+	if d.Depth() != 3 {
+		t.Errorf("after finish depth = %d, want 3", d.Depth())
+	}
+}
+
+// TestFinishInterruptedDoesNotRearm demonstrates the GDB limitation the
+// paper describes: a finish interrupted by another stop does not pause at
+// the function's return later.
+func TestFinishInterruptedDoesNotRearm(t *testing.T) {
+	src := `int g = 0;
+int work() {
+    g = 1;
+    g = 2;
+    return 9;
+}
+int main() {
+    int r = work();
+    return r;
+}`
+	d := started(t, src, vm.Config{})
+	if _, err := d.BreakAtFunc("work", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Continue(nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.CurrentFunc().Name != "work" {
+		t.Fatal("not in work")
+	}
+	// Watch g so the finish is interrupted mid-function.
+	if _, err := d.WatchGlobal("g", false); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := d.Finish(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop.Reason != StopWatch {
+		t.Fatalf("finish not interrupted: %+v", stop)
+	}
+	// Continue past the second watch hit; the finish breakpoint fires
+	// because it has not been consumed yet — then after it is consumed,
+	// nothing re-arms (run to completion).
+	stops := []StopReason{}
+	for {
+		s, err := d.Continue(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stops = append(stops, s.Reason)
+		if s.Reason == StopExited {
+			break
+		}
+	}
+	// watch (g=2), then the leftover finish breakpoint once, then exit.
+	want := []StopReason{StopWatch, StopBreakpoint, StopExited}
+	if len(stops) != len(want) {
+		t.Fatalf("stops = %v", stops)
+	}
+	for i := range want {
+		if stops[i] != want[i] {
+			t.Errorf("stop %d = %v, want %v", i, stops[i], want[i])
+		}
+	}
+}
+
+func TestFinishFromMainFails(t *testing.T) {
+	d := started(t, "int main() { return 0; }", vm.Config{})
+	if _, err := d.Finish(nil); err == nil {
+		t.Error("finish with no caller succeeded")
+	}
+}

@@ -1,0 +1,270 @@
+// Package game implements the paper's debugging game (Section III-D): each
+// level is a MiniC program with a planted bug that moves a character on a
+// map; the player must find and fix the bug so the character reaches the
+// exit when the program runs. The engine drives the level's program through
+// an EasyTracker tracker, watches the program variables that encode the
+// character's state, renders the map after every move, and generates
+// incremental hints by inspecting the program state — the part the paper
+// stresses is impossible with after-the-fact trace processing, because the
+// visualization (hints) depends on the live program control.
+package game
+
+import (
+	"fmt"
+	"strings"
+
+	"easytracker/internal/core"
+	"easytracker/internal/gdbtracker"
+)
+
+// Tile kinds in level maps.
+const (
+	TileWall  = '#'
+	TileFloor = '.'
+	TileStart = 'S'
+	TileKey   = 'K'
+	TileDoor  = 'D'
+	TileExit  = 'E'
+)
+
+// Level is one game level.
+type Level struct {
+	// Name identifies the level.
+	Name string
+	// Source is the level's (buggy) MiniC program. The program drives
+	// the character through the globals x, y, has_key and door_open.
+	Source string
+	// Map is the level's grid, one string per row.
+	Map []string
+}
+
+// Pos is a map coordinate.
+type Pos struct{ X, Y int }
+
+// Event is one notable game occurrence.
+type Event struct {
+	Kind string // "move", "key", "door-open", "door-blocked", "wall", "exit"
+	Pos  Pos
+	Note string
+}
+
+// Result is the outcome of playing a level.
+type Result struct {
+	Won    bool
+	Reason string
+	// Events in order of occurrence.
+	Events []Event
+	// Hints generated from live state inspection, deduplicated.
+	Hints []string
+	// Frames are the rendered map after every move.
+	Frames []string
+	// ExitCode of the level program.
+	ExitCode int
+}
+
+// Engine plays levels.
+type Engine struct {
+	level Level
+
+	exit  Pos
+	key   Pos
+	door  Pos
+	start Pos
+}
+
+// NewEngine prepares a level, locating the special tiles.
+func NewEngine(level Level) (*Engine, error) {
+	e := &Engine{level: level, exit: Pos{-1, -1}, key: Pos{-1, -1}, door: Pos{-1, -1}}
+	for y, row := range level.Map {
+		for x, t := range row {
+			switch byte(t) {
+			case TileStart:
+				e.start = Pos{x, y}
+			case TileExit:
+				e.exit = Pos{x, y}
+			case TileKey:
+				e.key = Pos{x, y}
+			case TileDoor:
+				e.door = Pos{x, y}
+			}
+		}
+	}
+	if e.exit.X < 0 {
+		return nil, fmt.Errorf("game: level %q has no exit tile", level.Name)
+	}
+	return e, nil
+}
+
+// tileAt returns the map tile at p ('#' outside the map).
+func (e *Engine) tileAt(p Pos) byte {
+	if p.Y < 0 || p.Y >= len(e.level.Map) {
+		return TileWall
+	}
+	row := e.level.Map[p.Y]
+	if p.X < 0 || p.X >= len(row) {
+		return TileWall
+	}
+	return row[p.X]
+}
+
+// render draws the map with the character at p.
+func (e *Engine) render(p Pos, doorOpen bool) string {
+	var b strings.Builder
+	for y, row := range e.level.Map {
+		for x := range row {
+			c := row[x]
+			if doorOpen && byte(c) == TileDoor {
+				c = '/'
+			}
+			if p.X == x && p.Y == y {
+				c = '@'
+			}
+			b.WriteByte(byte(c))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// intGlobal reads an integer global from the paused tracker.
+func intGlobal(tr core.Tracker, name string) (int64, bool) {
+	globals, err := tr.GlobalVariables()
+	if err != nil {
+		return 0, false
+	}
+	for _, g := range globals {
+		if g.Name != name {
+			continue
+		}
+		v := g.Value
+		if v.Kind == core.Ref {
+			v = v.Deref()
+		}
+		if v == nil {
+			return 0, false
+		}
+		n, ok := v.Int()
+		return n, ok
+	}
+	return 0, false
+}
+
+// Play runs the level program (src overrides the level source, letting the
+// player run an edited version) and returns the outcome.
+func (e *Engine) Play(src string) (*Result, error) {
+	if src == "" {
+		src = e.level.Source
+	}
+	res := &Result{}
+	tr := gdbtracker.New()
+	if err := tr.LoadProgram(e.level.Name+".c", core.WithSource(src)); err != nil {
+		return nil, err
+	}
+	defer tr.Terminate()
+	if err := tr.Start(); err != nil {
+		return nil, err
+	}
+	// The game watches the character's state variables, as in the
+	// paper's Fig. 9 controller.
+	for _, v := range []string{"::x", "::y", "::has_key", "::door_open"} {
+		if err := tr.Watch(v); err != nil {
+			return nil, fmt.Errorf("game: level program lacks variable %s: %w", v, err)
+		}
+	}
+
+	pos := e.start
+	doorOpen := false
+	hasKey := false
+	blocked := false
+	addHint := func(h string) {
+		for _, prev := range res.Hints {
+			if prev == h {
+				return
+			}
+		}
+		res.Hints = append(res.Hints, h)
+	}
+	res.Frames = append(res.Frames, e.render(pos, doorOpen))
+
+	for steps := 0; steps < 10000; steps++ {
+		if err := tr.Resume(); err != nil {
+			return nil, err
+		}
+		if code, done := tr.ExitCode(); done {
+			res.ExitCode = code
+			break
+		}
+		r := tr.PauseReason()
+		if r.Type != core.PauseWatch {
+			continue
+		}
+		switch r.Variable {
+		case "::x", "::y":
+			if blocked {
+				// The character is stuck behind the closed door;
+				// the program's coordinates keep changing but the
+				// character does not move (the paper: "the door
+				// stays closed").
+				continue
+			}
+			nx, ny := pos.X, pos.Y
+			if v, ok := intGlobal(tr, "x"); ok {
+				nx = int(v)
+			}
+			if v, ok := intGlobal(tr, "y"); ok {
+				ny = int(v)
+			}
+			next := Pos{nx, ny}
+			switch e.tileAt(next) {
+			case TileWall:
+				res.Events = append(res.Events, Event{Kind: "wall", Pos: next,
+					Note: "bumped into a wall"})
+				addHint("The character walked into a wall — check the movement logic.")
+			case TileDoor:
+				if !doorOpen {
+					blocked = true
+					res.Events = append(res.Events, Event{Kind: "door-blocked", Pos: next,
+						Note: "the door is closed"})
+					addHint("The door is closed. open_door() opens it only when has_key is 1.")
+				} else {
+					pos = next
+					res.Events = append(res.Events, Event{Kind: "move", Pos: next})
+				}
+			default:
+				pos = next
+				res.Events = append(res.Events, Event{Kind: "move", Pos: next})
+			}
+			if pos == e.key && !hasKey {
+				if v, ok := intGlobal(tr, "has_key"); ok && v == 0 {
+					addHint("You stepped on the key tile but has_key is still 0 — look at check_key().")
+				}
+			}
+			res.Frames = append(res.Frames, e.render(pos, doorOpen))
+		case "::has_key":
+			if v, ok := r.New.Int(); ok && v != 0 {
+				hasKey = true
+				res.Events = append(res.Events, Event{Kind: "key", Pos: pos,
+					Note: "picked up the key"})
+			}
+		case "::door_open":
+			if v, ok := r.New.Int(); ok && v != 0 {
+				doorOpen = true
+				res.Events = append(res.Events, Event{Kind: "door-open", Pos: pos,
+					Note: "the door opens"})
+				res.Frames = append(res.Frames, e.render(pos, doorOpen))
+			}
+		}
+	}
+
+	if pos == e.exit && !blocked {
+		res.Won = true
+		res.Reason = "the character reached the exit"
+		res.Events = append(res.Events, Event{Kind: "exit", Pos: pos})
+	} else if blocked {
+		res.Reason = "the character was stopped by the closed door"
+	} else {
+		res.Reason = fmt.Sprintf("the character ended at (%d,%d), not the exit (%d,%d)",
+			pos.X, pos.Y, e.exit.X, e.exit.Y)
+	}
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package game
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLevel1BuggyLoses(t *testing.T) {
+	e, err := NewEngine(Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Play("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Won {
+		t.Fatal("buggy level won")
+	}
+	if !strings.Contains(res.Reason, "door") {
+		t.Errorf("reason = %q", res.Reason)
+	}
+	// The paper's incremental hints: key missed, then door closed.
+	joined := strings.Join(res.Hints, " | ")
+	if !strings.Contains(joined, "has_key is still 0") {
+		t.Errorf("missing key hint: %v", res.Hints)
+	}
+	if !strings.Contains(joined, "door is closed") {
+		t.Errorf("missing door hint: %v", res.Hints)
+	}
+	// Blocked at the door.
+	blocked := false
+	for _, ev := range res.Events {
+		if ev.Kind == "door-blocked" {
+			blocked = true
+		}
+	}
+	if !blocked {
+		t.Error("no door-blocked event")
+	}
+	if len(res.Frames) < 3 {
+		t.Errorf("only %d frames", len(res.Frames))
+	}
+	if !strings.Contains(res.Frames[0], "@") {
+		t.Errorf("character missing from frame:\n%s", res.Frames[0])
+	}
+}
+
+func TestLevel1FixedWins(t *testing.T) {
+	e, err := NewEngine(Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Play(Level1Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Won {
+		t.Fatalf("fixed level lost: %s; hints %v", res.Reason, res.Hints)
+	}
+	var kinds []string
+	for _, ev := range res.Events {
+		kinds = append(kinds, ev.Kind)
+	}
+	joined := strings.Join(kinds, ",")
+	for _, want := range []string{"key", "door-open", "exit"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing event %s in %v", want, kinds)
+		}
+	}
+	// Door rendered open in a frame after door-open.
+	sawOpen := false
+	for _, f := range res.Frames {
+		if strings.Contains(f, "/") {
+			sawOpen = true
+		}
+	}
+	if !sawOpen {
+		t.Error("door never rendered open")
+	}
+}
+
+func TestLevel2(t *testing.T) {
+	e, err := NewEngine(Level2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Play("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Won {
+		t.Fatal("buggy level 2 won")
+	}
+	res, err = e.Play(Level2Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Won {
+		t.Fatalf("fixed level 2 lost: %s", res.Reason)
+	}
+}
+
+func TestEngineRejectsLevelsWithoutExit(t *testing.T) {
+	_, err := NewEngine(Level{Name: "bad", Map: []string{"###"}})
+	if err == nil {
+		t.Error("exitless level accepted")
+	}
+}
+
+func TestPlayRejectsProgramsWithoutStateVars(t *testing.T) {
+	e, err := NewEngine(Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Play("int main() { return 0; }"); err == nil {
+		t.Error("program without x/y accepted")
+	}
+}
+
+func TestRenderMap(t *testing.T) {
+	e, err := NewEngine(Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := e.render(Pos{2, 1}, false)
+	want := "########\n#S@K.DE#\n########\n"
+	if f != want {
+		t.Errorf("render:\n%s\nwant:\n%s", f, want)
+	}
+	f = e.render(Pos{1, 1}, true)
+	if !strings.Contains(f, "/") {
+		t.Error("open door not rendered")
+	}
+	if e.tileAt(Pos{-1, 0}) != TileWall || e.tileAt(Pos{0, 99}) != TileWall {
+		t.Error("out-of-map tiles should be walls")
+	}
+}

@@ -1,0 +1,205 @@
+package game
+
+// Level1 is the paper's example level (Fig. 9): the bug is the missing
+// `has_key = 1;` in check_key, so the door stays closed as if the character
+// never passed over the key.
+var Level1 = Level{
+	Name: "level-1",
+	Map: []string{
+		"########",
+		"#S.K.DE#",
+		"########",
+	},
+	Source: Level1Buggy,
+}
+
+// Level1Buggy is the level program handed to the player. Movements are
+// simulated, as in the paper's published artifact.
+const Level1Buggy = `int x = 1;
+int y = 1;
+int dir = 0; /* 0=E 1=S 2=W 3=N */
+int has_key = 0;
+int key_x = 3;
+int key_y = 1;
+int door_open = 0;
+
+void check_key() {
+    if (x == key_x && y == key_y) {
+        int found = 1; /* BUG: should set has_key = 1; */
+    }
+}
+
+void forward() {
+    if (dir == 0) { x = x + 1; }
+    if (dir == 1) { y = y + 1; }
+    if (dir == 2) { x = x - 1; }
+    if (dir == 3) { y = y - 1; }
+    check_key();
+}
+
+void open_door() {
+    if (has_key == 1) {
+        door_open = 1;
+    }
+}
+
+int main() {
+    forward();      /* x=2 */
+    forward();      /* x=3: the key tile */
+    forward();      /* x=4 */
+    open_door();
+    forward();      /* x=5: the door */
+    forward();      /* x=6: the exit */
+    return 0;
+}
+`
+
+// Level1Fixed is the repaired program (the player's goal).
+const Level1Fixed = `int x = 1;
+int y = 1;
+int dir = 0; /* 0=E 1=S 2=W 3=N */
+int has_key = 0;
+int key_x = 3;
+int key_y = 1;
+int door_open = 0;
+
+void check_key() {
+    if (x == key_x && y == key_y) {
+        has_key = 1;
+    }
+}
+
+void forward() {
+    if (dir == 0) { x = x + 1; }
+    if (dir == 1) { y = y + 1; }
+    if (dir == 2) { x = x - 1; }
+    if (dir == 3) { y = y - 1; }
+    check_key();
+}
+
+void open_door() {
+    if (has_key == 1) {
+        door_open = 1;
+    }
+}
+
+int main() {
+    forward();      /* x=2 */
+    forward();      /* x=3: the key tile */
+    forward();      /* x=4 */
+    open_door();
+    forward();      /* x=5: the door */
+    forward();      /* x=6: the exit */
+    return 0;
+}
+`
+
+// Level2 requires two bugs to be found: a wrong turn direction constant and
+// an off-by-one in the key coordinate test.
+var Level2 = Level{
+	Name: "level-2",
+	Map: []string{
+		"######",
+		"#S.K.#",
+		"####D#",
+		"####E#",
+		"######",
+	},
+	Source: Level2Buggy,
+}
+
+// Level2Buggy turns the wrong way at the corridor's end.
+const Level2Buggy = `int x = 1;
+int y = 1;
+int dir = 0;
+int has_key = 0;
+int key_x = 3;
+int key_y = 1;
+int door_open = 0;
+
+void check_key() {
+    if (x == key_x && y == key_y) {
+        has_key = 1;
+    }
+}
+
+void forward() {
+    if (dir == 0) { x = x + 1; }
+    if (dir == 1) { y = y + 1; }
+    if (dir == 2) { x = x - 1; }
+    if (dir == 3) { y = y - 1; }
+    check_key();
+}
+
+void turn_right() {
+    dir = dir + 1;
+    if (dir == 4) { dir = 0; }
+}
+
+void open_door() {
+    if (has_key == 1) {
+        door_open = 1;
+    }
+}
+
+int main() {
+    forward();      /* x=2 */
+    forward();      /* x=3: key */
+    forward();      /* x=4 */
+    open_door();
+    turn_right();
+    turn_right();   /* BUG: one turn too many: now facing west */
+    forward();
+    forward();
+    return 0;
+}
+`
+
+// Level2Fixed turns right once (south) to walk through the door to the exit.
+const Level2Fixed = `int x = 1;
+int y = 1;
+int dir = 0;
+int has_key = 0;
+int key_x = 3;
+int key_y = 1;
+int door_open = 0;
+
+void check_key() {
+    if (x == key_x && y == key_y) {
+        has_key = 1;
+    }
+}
+
+void forward() {
+    if (dir == 0) { x = x + 1; }
+    if (dir == 1) { y = y + 1; }
+    if (dir == 2) { x = x - 1; }
+    if (dir == 3) { y = y - 1; }
+    check_key();
+}
+
+void turn_right() {
+    dir = dir + 1;
+    if (dir == 4) { dir = 0; }
+}
+
+void open_door() {
+    if (has_key == 1) {
+        door_open = 1;
+    }
+}
+
+int main() {
+    forward();      /* x=2 */
+    forward();      /* x=3: key */
+    forward();      /* x=4 */
+    open_door();
+    turn_right();   /* face south */
+    forward();      /* y=2: the door */
+    forward();      /* y=3: the exit */
+    return 0;
+}
+`
+
+// Levels lists the built-in levels in play order.
+var Levels = []Level{Level1, Level2}

@@ -1,0 +1,104 @@
+package game
+
+import (
+	"fmt"
+	"strings"
+
+	"easytracker/internal/viz"
+)
+
+// MapSVG renders one game frame graphically (the visual center panel of the
+// paper's Fig. 9): tiles as colored cells, the character as a disc, the
+// door drawn open or closed.
+func MapSVG(level Level, p Pos, doorOpen bool, hints []string) string {
+	const cell = 36
+	rows := len(level.Map)
+	cols := 0
+	for _, r := range level.Map {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	hintH := 20 * len(hints)
+	w := cols*cell + 40
+	if w < 420 {
+		w = 420
+	}
+	s := viz.NewSVG(w, rows*cell+70+hintH)
+	for y, row := range level.Map {
+		for x := range row {
+			tile := row[x]
+			fill := "#f4f1e8"
+			switch byte(tile) {
+			case TileWall:
+				fill = "#4a4a4a"
+			case TileKey:
+				fill = "#ffe066"
+			case TileDoor:
+				if doorOpen {
+					fill = "#cdeac0"
+				} else {
+					fill = "#b3541e"
+				}
+			case TileExit:
+				fill = "#9ad1d4"
+			}
+			px, py := 20+x*cell, 20+y*cell
+			s.Rect(px, py, cell, cell, fill, "#222222")
+			label := ""
+			switch byte(tile) {
+			case TileKey:
+				label = "K"
+			case TileDoor:
+				label = "D"
+				if doorOpen {
+					label = "/"
+				}
+			case TileExit:
+				label = "E"
+			}
+			if label != "" {
+				s.TextAnchored(px+cell/2, py+cell/2+5, 14, "#333333", "middle", label)
+			}
+			if p.X == x && p.Y == y {
+				s.TextAnchored(px+cell/2, py+cell/2+6, 20, "#b5452a", "middle", "@")
+			}
+		}
+	}
+	for i, h := range hints {
+		s.Text(20, 20+rows*cell+24+20*i, 12, "#b5452a", "hint: "+h)
+	}
+	return s.String()
+}
+
+// FramesSVG renders every frame of a play-through.
+func FramesSVG(level Level, res *Result) []string {
+	// Re-derive positions by replaying the frames' text (the engine
+	// stores textual frames; parse the character position back out).
+	var out []string
+	for _, f := range res.Frames {
+		pos, open := parseFrame(f)
+		out = append(out, MapSVG(level, pos, open, res.Hints))
+	}
+	return out
+}
+
+// parseFrame recovers the character position and door state from a text
+// frame.
+func parseFrame(frame string) (Pos, bool) {
+	open := strings.Contains(frame, "/")
+	for y, row := range strings.Split(frame, "\n") {
+		if x := strings.IndexByte(row, '@'); x >= 0 {
+			return Pos{x, y}, open
+		}
+	}
+	return Pos{-1, -1}, open
+}
+
+// Summary renders a one-line outcome for CLIs.
+func Summary(res *Result) string {
+	if res.Won {
+		return fmt.Sprintf("WON: %s (%d events)", res.Reason, len(res.Events))
+	}
+	return fmt.Sprintf("LOST: %s (%d hints)", res.Reason, len(res.Hints))
+}

@@ -1,0 +1,77 @@
+package game
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("not well-formed: %v", err)
+		}
+	}
+}
+
+func TestMapSVG(t *testing.T) {
+	doc := MapSVG(Level1, Pos{2, 1}, false, []string{"try the key"})
+	wellFormed(t, doc)
+	for _, want := range []string{">@<", ">K<", ">D<", ">E<", "hint: try the key"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("map SVG missing %q", want)
+		}
+	}
+	open := MapSVG(Level1, Pos{1, 1}, true, nil)
+	wellFormed(t, open)
+	if !strings.Contains(open, ">/<") {
+		t.Error("open door not drawn")
+	}
+}
+
+func TestFramesSVG(t *testing.T) {
+	e, err := NewEngine(Level1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Play(Level1Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := FramesSVG(Level1, res)
+	if len(frames) != len(res.Frames) {
+		t.Fatalf("frame count %d vs %d", len(frames), len(res.Frames))
+	}
+	for _, f := range frames {
+		wellFormed(t, f)
+	}
+	// The final frame shows the character on the exit tile.
+	if !strings.Contains(frames[len(frames)-1], ">@<") {
+		t.Error("character missing from final frame")
+	}
+}
+
+func TestParseFrame(t *testing.T) {
+	pos, open := parseFrame("###\n#@/\n###\n")
+	if pos != (Pos{1, 1}) || !open {
+		t.Errorf("parseFrame = %v %v", pos, open)
+	}
+	pos, _ = parseFrame("###\n###\n")
+	if pos.X != -1 {
+		t.Errorf("characterless frame pos = %v", pos)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	if s := Summary(&Result{Won: true, Reason: "done"}); !strings.HasPrefix(s, "WON") {
+		t.Errorf("summary = %q", s)
+	}
+	if s := Summary(&Result{Reason: "door", Hints: []string{"h"}}); !strings.HasPrefix(s, "LOST") {
+		t.Errorf("summary = %q", s)
+	}
+}

@@ -1,0 +1,547 @@
+package gdbtracker
+
+import (
+	"strings"
+	"testing"
+
+	"easytracker/internal/core"
+)
+
+const fibC = `int fib(int n) {
+    if (n < 2) {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    int r = fib(4);
+    printf("%d\n", r);
+    return 0;
+}`
+
+const heapC = `struct node {
+    int v;
+    struct node* next;
+};
+int main() {
+    int* xs = (int*)malloc(3 * sizeof(int));
+    xs[0] = 10;
+    xs[1] = 20;
+    xs[2] = 30;
+    struct node* n = (struct node*)malloc(sizeof(struct node));
+    n->v = 7;
+    n->next = 0;
+    free((char*)n);
+    return 0;
+}`
+
+func load(t *testing.T, src string, opts ...core.LoadOption) *Tracker {
+	t.Helper()
+	tr := New()
+	opts = append(opts, core.WithSource(src))
+	if err := tr.LoadProgram("prog.c", opts...); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	t.Cleanup(func() { _ = tr.Terminate() })
+	return tr
+}
+
+func start(t *testing.T, src string, opts ...core.LoadOption) *Tracker {
+	t.Helper()
+	tr := load(t, src, opts...)
+	if err := tr.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	return tr
+}
+
+func TestRegistered(t *testing.T) {
+	tr, err := core.NewTracker(Kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.(*Tracker); !ok {
+		t.Fatalf("got %T", tr)
+	}
+	// Interface assertions for the GDB-specific extensions.
+	if _, ok := tr.(core.RegisterInspector); !ok {
+		t.Error("not a RegisterInspector")
+	}
+	if _, ok := tr.(core.MemoryInspector); !ok {
+		t.Error("not a MemoryInspector")
+	}
+	if _, ok := tr.(core.HeapInspector); !ok {
+		t.Error("not a HeapInspector")
+	}
+}
+
+func TestStartAndEntry(t *testing.T) {
+	tr := start(t, fibC)
+	if r := tr.PauseReason(); r.Type != core.PauseEntry {
+		t.Errorf("reason = %v", r)
+	}
+	_, line := tr.Position()
+	if line != 8 {
+		t.Errorf("entry line = %d, want 8", line)
+	}
+	if _, ok := tr.ExitCode(); ok {
+		t.Error("exit code set at entry")
+	}
+}
+
+func TestListing1LoopOnC(t *testing.T) {
+	// The paper's Listing 1 control loop, language-agnostic: step through
+	// every line and read the frame each time.
+	var out strings.Builder
+	tr := start(t, fibC, core.WithStdout(&out))
+	lines := 0
+	for {
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		if _, err := tr.CurrentFrame(); err != nil {
+			t.Fatalf("frame: %v", err)
+		}
+		if err := tr.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		lines++
+		if lines > 300 {
+			t.Fatal("runaway")
+		}
+	}
+	if out.String() != "3\n" {
+		t.Errorf("output = %q", out.String())
+	}
+	if lines < 20 {
+		t.Errorf("stepped only %d lines", lines)
+	}
+}
+
+func TestTrackFunctionViaRetScan(t *testing.T) {
+	tr := start(t, fibC)
+	if err := tr.TrackFunction("fib"); err != nil {
+		t.Fatal(err)
+	}
+	calls, rets := 0, 0
+	var lastRet int64
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		switch r := tr.PauseReason(); r.Type {
+		case core.PauseCall:
+			calls++
+			// Arguments inspectable at entry.
+			fr, err := tr.CurrentFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.Name != "fib" || fr.Lookup("n") == nil {
+				t.Fatalf("entry frame: %s", fr)
+			}
+		case core.PauseReturn:
+			rets++
+			if v, ok := r.ReturnValue.Int(); ok {
+				lastRet = v
+			}
+		default:
+			t.Fatalf("unexpected pause %v", r)
+		}
+	}
+	if calls != 9 || rets != 9 {
+		t.Errorf("calls=%d rets=%d, want 9/9", calls, rets)
+	}
+	if lastRet != 3 {
+		t.Errorf("last return = %d, want fib(4)=3", lastRet)
+	}
+}
+
+func TestTrackUnknownFunction(t *testing.T) {
+	tr := start(t, fibC)
+	if err := tr.TrackFunction("nope"); err != core.ErrUnknownFunction {
+		t.Errorf("err = %v", err)
+	}
+	if err := tr.BreakBeforeFunc("nope"); err != core.ErrUnknownFunction {
+		t.Errorf("err = %v", err)
+	}
+	if err := tr.BreakBeforeLine("", 9999); err != core.ErrBadLine {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBreakBeforeFuncMaxDepth(t *testing.T) {
+	tr := start(t, fibC)
+	if err := tr.BreakBeforeFunc("fib", core.WithMaxDepth(2)); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		hits++
+		fr, _ := tr.CurrentFrame()
+		if fr.Depth >= 2 {
+			t.Errorf("paused at depth %d", fr.Depth)
+		}
+	}
+	if hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+}
+
+func TestBreakpointBeforeStartImplicitRun(t *testing.T) {
+	tr := load(t, fibC)
+	// Paper scripts may set breakpoints before start().
+	if err := tr.BreakBeforeFunc("fib"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatalf("explicit start after implicit: %v", err)
+	}
+	if r := tr.PauseReason(); r.Type != core.PauseEntry {
+		t.Errorf("reason = %v", r)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if r := tr.PauseReason(); r.Type != core.PauseBreakpoint || r.Function != "fib" {
+		t.Errorf("reason = %v", r)
+	}
+}
+
+func TestWatchGlobalOverPipe(t *testing.T) {
+	src := `int count = 0;
+int main() {
+    for (int i = 0; i < 3; i++) {
+        count += 5;
+    }
+    return 0;
+}`
+	tr := start(t, src)
+	if err := tr.Watch("::count"); err != nil {
+		t.Fatal(err)
+	}
+	var transitions []string
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		r := tr.PauseReason()
+		if r.Type != core.PauseWatch || r.Variable != "::count" {
+			t.Fatalf("pause = %v", r)
+		}
+		transitions = append(transitions, r.Old.String()+"->"+r.New.String())
+	}
+	want := []string{"0->5", "5->10", "10->15"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Errorf("transition %d = %s, want %s", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestWatchUnknown(t *testing.T) {
+	tr := start(t, fibC)
+	if err := tr.Watch("::nosuch"); err != core.ErrUnknownVariable {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStackAndAliasingThroughPipe(t *testing.T) {
+	src := `int g = 1;
+void touch(int* p) {
+    *p = 42;
+    return;
+}
+int main() {
+    touch(&g);
+    return 0;
+}`
+	tr := start(t, src)
+	if err := tr.BreakBeforeLine("", 4); err != nil { // return; inside touch
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Frame.Name != "touch" || st.Frame.Parent.Name != "main" {
+		t.Fatalf("stack: %s", st.Frame.Backtrace())
+	}
+	p := st.Frame.Lookup("p").Value
+	if p.Kind != core.Ref {
+		t.Fatalf("p = %+v", p)
+	}
+	var g *core.Value
+	for _, gv := range st.Globals {
+		if gv.Name == "g" {
+			g = gv.Value
+		}
+	}
+	// The pipe serialization must preserve aliasing: *p IS g.
+	if p.Deref() != g {
+		t.Error("aliasing lost across the MI pipe")
+	}
+	if v, _ := g.Int(); v != 42 {
+		t.Errorf("g = %s", g)
+	}
+}
+
+func TestHeapTrackingEndToEnd(t *testing.T) {
+	tr := start(t, heapC, core.WithHeapTracking())
+	if err := tr.BreakBeforeLine("", 14); err != nil { // return 0;
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	blocks, err := tr.HeapBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// xs (24 bytes) is live; n (16 bytes) was freed.
+	if len(blocks) != 1 {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	for _, size := range blocks {
+		if size != 24 {
+			t.Errorf("block size = %d, want 24", size)
+		}
+	}
+	// Inspection expands xs into [10, 20, 30].
+	fr, err := tr.CurrentFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := fr.Lookup("xs").Value
+	if xs.Kind != core.Ref {
+		t.Fatalf("xs = %+v", xs)
+	}
+	arr := xs.Deref()
+	if arr.Kind != core.List || len(arr.Elems()) != 3 {
+		t.Fatalf("xs -> %s", arr)
+	}
+	if v, _ := arr.Elems()[2].Int(); v != 30 {
+		t.Errorf("xs[2] = %s", arr.Elems()[2])
+	}
+	// The freed node pointer is dangling.
+	n := fr.Lookup("n").Value
+	if n.Kind != core.Ref && n.Kind != core.Invalid {
+		t.Errorf("n after free = %v", n.Kind)
+	}
+}
+
+func TestWithoutHeapTrackingNoExpansion(t *testing.T) {
+	tr := start(t, heapC) // no WithHeapTracking
+	if err := tr.BreakBeforeLine("", 14); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := tr.CurrentFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := fr.Lookup("xs").Value
+	if xs.Kind != core.Ref {
+		t.Fatalf("xs = %+v", xs)
+	}
+	if xs.Deref().Kind == core.List {
+		t.Error("heap array expanded without interposition tracking")
+	}
+	blocks, err := tr.HeapBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 0 {
+		t.Errorf("blocks without tracking = %v", blocks)
+	}
+}
+
+func TestRegistersAndMemory(t *testing.T) {
+	tr := start(t, fibC)
+	regs, err := tr.Registers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs["sp"] == 0 || regs["pc"] == 0 {
+		t.Errorf("regs = %v", regs)
+	}
+	segs := tr.MemorySegments()
+	if len(segs) != 4 {
+		t.Fatalf("segments = %v", segs)
+	}
+	mem, err := tr.ValueAt(segs[0].Start, 16)
+	if err != nil || len(mem) != 16 {
+		t.Errorf("ValueAt: %v len %d", err, len(mem))
+	}
+}
+
+func TestAssemblyInferior(t *testing.T) {
+	// The GDB tracker controls assembly programs too (paper: "written in
+	// C, or assembly").
+	asmSrc := `    .data
+msg: .asciz "asm!"
+    .text
+    .global main
+main:
+    la a0, msg
+    li a7, 2
+    ecall
+    li a0, 7
+    li a7, 0
+    ecall
+`
+	var out strings.Builder
+	tr := New()
+	if err := tr.LoadProgram("prog.s", core.WithSource(asmSrc), core.WithStdout(&out)); err != nil {
+		t.Fatalf("load asm: %v", err)
+	}
+	defer tr.Terminate()
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if steps > 50 {
+			t.Fatal("runaway")
+		}
+	}
+	if out.String() != "asm!" {
+		t.Errorf("output = %q", out.String())
+	}
+	if code, _ := tr.ExitCode(); code != 7 {
+		t.Errorf("exit = %d", code)
+	}
+	if steps < 5 {
+		t.Errorf("asm stepping too coarse: %d steps", steps)
+	}
+}
+
+func TestMultiRetAssemblyTracking(t *testing.T) {
+	// Hand-written assembly function with two epilogues: the ret scan
+	// arms both (the case the paper flags for x86 single-epilogue
+	// assumptions).
+	asmSrc := `    .text
+    .global main
+    .global par
+main:
+    addi sp, sp, -16
+    sd ra, 8(sp)
+    li a0, 4
+    call par
+    ld ra, 8(sp)
+    addi sp, sp, 16
+    li a7, 0
+    ecall
+par:
+    andi t0, a0, 1
+    beqz t0, even
+    li a0, 111
+    ret
+even:
+    li a0, 222
+    ret
+`
+	tr := New()
+	if err := tr.LoadProgram("prog.s", core.WithSource(asmSrc)); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Terminate()
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.TrackFunction("par"); err != nil {
+		t.Fatal(err)
+	}
+	var rets []int64
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		if r := tr.PauseReason(); r.Type == core.PauseReturn {
+			v, _ := r.ReturnValue.Int()
+			rets = append(rets, v)
+		}
+	}
+	if len(rets) != 1 || rets[0] != 222 {
+		t.Errorf("returns = %v, want [222] (even path)", rets)
+	}
+}
+
+func TestRuntimeErrorExit(t *testing.T) {
+	src := `int main() {
+    int* p = 0;
+    *p = 1;
+    return 0;
+}`
+	tr := start(t, src)
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	code, done := tr.ExitCode()
+	if !done || code != 139 {
+		t.Errorf("exit = %d, %v (want 139 segfault)", code, done)
+	}
+	if err := tr.Resume(); err != core.ErrExited {
+		t.Errorf("Resume after crash = %v", err)
+	}
+}
+
+func TestSourceLinesAndLastLine(t *testing.T) {
+	tr := start(t, fibC)
+	lines, err := tr.SourceLines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 11 || !strings.Contains(lines[0], "int fib") {
+		t.Errorf("source lines = %d", len(lines))
+	}
+	if err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.LastLine() != 8 {
+		t.Errorf("LastLine = %d, want 8", tr.LastLine())
+	}
+}
+
+func TestErrorsBeforeLoad(t *testing.T) {
+	tr := New()
+	if err := tr.Start(); err != core.ErrNoProgram {
+		t.Errorf("Start = %v", err)
+	}
+	if err := tr.Watch("x"); err != core.ErrNoProgram {
+		t.Errorf("Watch = %v", err)
+	}
+	if _, err := tr.SourceLines(); err != core.ErrNoProgram {
+		t.Errorf("SourceLines = %v", err)
+	}
+}

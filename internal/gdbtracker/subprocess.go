@@ -1,0 +1,112 @@
+package gdbtracker
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"easytracker/internal/asm"
+	"easytracker/internal/core"
+	"easytracker/internal/isa"
+	"easytracker/internal/mi"
+	"easytracker/internal/minic"
+)
+
+// NewSubprocess returns a tracker that runs MiniGDB as a real child process
+// (the paper's Fig. 4 exactly: tracker and debugger in separate processes,
+// connected by an OS pipe carrying MI records). minigdbPath is the compiled
+// cmd/minigdb binary. The in-process pipe used by New is byte-compatible;
+// subprocess mode exists for fidelity and for debugging the debugger.
+//
+// Limitation: the inferior's standard input cannot be forwarded over the
+// MI connection; programs using read_int/read_char need the in-process
+// tracker.
+func NewSubprocess(minigdbPath string) *Tracker {
+	t := New()
+	t.subproc = minigdbPath
+	return t
+}
+
+// loadSubprocess compiles the program to a temporary image, spawns minigdb
+// on it, and attaches the MI client to the child's stdio.
+func (t *Tracker) loadSubprocess(path string, cfg core.LoadConfig) error {
+	src := cfg.Source
+	if src == "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("gdbtracker: %w", err)
+		}
+		src = string(data)
+	}
+	var prog *isa.Program
+	var err error
+	switch {
+	case strings.HasSuffix(path, ".s") || strings.HasSuffix(path, ".asm"):
+		prog, err = asm.Assemble(path, src)
+	default:
+		prog, err = minic.Compile(path, src)
+	}
+	if err != nil {
+		return err
+	}
+	img, err := json.Marshal(prog)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "et-mobj-*")
+	if err != nil {
+		return err
+	}
+	mobj := filepath.Join(dir, filepath.Base(path)+".mobj")
+	if err := os.WriteFile(mobj, img, 0o644); err != nil {
+		return err
+	}
+
+	cmd := exec.Command(t.subproc)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("gdbtracker: spawning minigdb: %w", err)
+	}
+	t.child = cmd
+	t.childDir = dir
+
+	conn := mi.NewStdioConn(stdout, stdin, nil)
+	// Consume the greeting prompt.
+	if line, err := conn.Recv(); err != nil || line != "(gdb)" {
+		_ = cmd.Process.Kill()
+		return fmt.Errorf("gdbtracker: bad minigdb greeting %q (%v)", line, err)
+	}
+	t.client = mi.NewClient(conn)
+	if _, err := t.client.Send("-file-exec-and-symbols", mobj); err != nil {
+		_ = cmd.Process.Kill()
+		return err
+	}
+	t.cfg = cfg
+	t.prog = prog
+	t.file = prog.SourceFile
+	t.source = prog.Source
+	t.loaded = true
+	return nil
+}
+
+// closeSubprocess reaps the child after -gdb-exit.
+func (t *Tracker) closeSubprocess() {
+	if t.child != nil {
+		_ = t.child.Wait()
+		t.child = nil
+	}
+	if t.childDir != "" {
+		_ = os.RemoveAll(t.childDir)
+		t.childDir = ""
+	}
+}

@@ -1,0 +1,114 @@
+package gdbtracker
+
+import (
+	"testing"
+
+	"easytracker/internal/core"
+)
+
+// TestWatchDoubleGlobal checks typed rendering of watch old/new values for
+// doubles across the MI pipe.
+func TestWatchDoubleGlobal(t *testing.T) {
+	src := `double ratio = 0.0;
+int main() {
+    ratio = 0.5;
+    ratio = 2.25;
+    return 0;
+}`
+	tr := start(t, src)
+	if err := tr.Watch("::ratio"); err != nil {
+		t.Fatal(err)
+	}
+	var vals []float64
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		r := tr.PauseReason()
+		if r.Type != core.PauseWatch {
+			t.Fatalf("pause = %v", r)
+		}
+		if f, ok := r.New.Float(); ok {
+			vals = append(vals, f)
+		} else {
+			t.Errorf("new value not a float: %s", r.New)
+		}
+	}
+	if len(vals) != 2 || vals[0] != 0.5 || vals[1] != 2.25 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+// TestWatchCharGlobal checks char-typed watches.
+func TestWatchCharGlobal(t *testing.T) {
+	src := `char c = 'a';
+int main() {
+    c = 'b';
+    return 0;
+}`
+	tr := start(t, src)
+	if err := tr.Watch("::c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	r := tr.PauseReason()
+	if r.Type != core.PauseWatch {
+		t.Fatalf("pause = %v", r)
+	}
+	oldV, _ := r.Old.Int()
+	newV, _ := r.New.Int()
+	if oldV != 'a' || newV != 'b' {
+		t.Errorf("old/new = %d/%d", oldV, newV)
+	}
+}
+
+// TestWatchPointerGlobal checks pointer-typed watches render as addresses.
+func TestWatchPointerGlobal(t *testing.T) {
+	src := `int x = 1;
+int* p = 0;
+int main() {
+    p = &x;
+    return 0;
+}`
+	tr := start(t, src)
+	if err := tr.Watch("::p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	r := tr.PauseReason()
+	if r.Type != core.PauseWatch {
+		t.Fatalf("pause = %v", r)
+	}
+	// Old: null pointer -> INVALID; new: an address.
+	if r.Old.Kind != core.Invalid {
+		t.Errorf("old = %+v", r.Old)
+	}
+	if v, ok := r.New.Int(); !ok || v == 0 {
+		t.Errorf("new = %+v", r.New)
+	}
+}
+
+// TestNextOverMI drives step-over through the tracker.
+func TestNextOverMI(t *testing.T) {
+	tr := start(t, fibC)
+	if err := tr.Next(); err != nil { // over fib(4)
+		t.Fatal(err)
+	}
+	fr, err := tr.CurrentFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Name != "main" || fr.Line != 9 {
+		t.Errorf("next landed at %s:%d", fr.Name, fr.Line)
+	}
+	if v, _ := fr.Lookup("r").Value.Int(); v != 3 {
+		t.Errorf("r = %s", fr.Lookup("r").Value)
+	}
+}

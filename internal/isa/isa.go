@@ -1,0 +1,305 @@
+// Package isa defines the RISC-V-flavoured instruction set of the compiled
+// substrate: 32 integer registers with RISC-V ABI names, a load/store
+// architecture with 8-byte words, conditional branches, jump-and-link calls,
+// an ecall interface to the machine's runtime services, and float operations
+// carried in the integer registers as IEEE-754 bit patterns.
+//
+// Each instruction occupies 8 bytes in the text segment and has a reversible
+// binary encoding (see Encode/Decode), so raw memory viewers (paper Fig. 7)
+// see real bytes and the disassembler used for function-exit breakpoints
+// (paper Section II-C1) works from the same program image the machine runs.
+package isa
+
+import "fmt"
+
+// WordSize is the machine word and instruction width in bytes.
+const WordSize = 8
+
+// Reg is a machine register number (0..31).
+type Reg uint8
+
+// ABI register names, RISC-V style.
+const (
+	Zero Reg = iota // x0: hardwired zero
+	RA              // x1: return address
+	SP              // x2: stack pointer
+	GP              // x3: global pointer
+	TP              // x4: thread pointer
+	T0              // x5
+	T1              // x6
+	T2              // x7
+	FP              // x8: frame pointer (s0)
+	S1              // x9
+	A0              // x10: argument/return
+	A1              // x11
+	A2              // x12
+	A3              // x13
+	A4              // x14
+	A5              // x15
+	A6              // x16
+	A7              // x17: ecall service number
+	S2              // x18
+	S3              // x19
+	S4              // x20
+	S5              // x21
+	S6              // x22
+	S7              // x23
+	S8              // x24
+	S9              // x25
+	S10             // x26
+	S11             // x27
+	T3              // x28
+	T4              // x29
+	T5              // x30
+	T6              // x31
+)
+
+// NumRegs is the register-file size.
+const NumRegs = 32
+
+var regNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"fp", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// String returns the ABI name of the register.
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("x%d", uint8(r))
+}
+
+// RegByName resolves an ABI name ("sp", "a0"), an alias ("s0"), or a raw
+// name ("x7") to a register number.
+func RegByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	if name == "s0" {
+		return FP, true
+	}
+	var n int
+	if _, err := fmt.Sscanf(name, "x%d", &n); err == nil && n >= 0 && n < NumRegs {
+		return Reg(n), true
+	}
+	return 0, false
+}
+
+// RegNames returns all 32 ABI names in register order.
+func RegNames() []string { return append([]string(nil), regNames[:]...) }
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. R-type take rd,rs1,rs2; I-type take rd,rs1,imm; loads/stores use
+// imm as the address offset; branches use rs1,rs2,imm (pc-relative byte
+// offset); JAL uses rd,imm; JALR rd,rs1,imm.
+const (
+	NOP Op = iota
+	ADD
+	SUB
+	MUL
+	DIV
+	REM
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	LUI // rd = imm << 12
+	LD  // rd = mem64[rs1+imm]
+	LW  // rd = sign-extended mem32[rs1+imm]
+	LB  // rd = sign-extended mem8[rs1+imm]
+	LBU // rd = zero-extended mem8[rs1+imm]
+	SD  // mem64[rs1+imm] = rs2
+	SW  // mem32[rs1+imm] = rs2
+	SB  // mem8[rs1+imm] = rs2
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	JAL  // rd = pc+8; pc += imm
+	JALR // rd = pc+8; pc = (rs1+imm)
+	ECALL
+	EBREAK
+	// Floating point on IEEE-754 bits held in integer registers.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FEQ // rd = (f(rs1) == f(rs2))
+	FLT // rd = (f(rs1) < f(rs2))
+	FLE
+	FNEG
+	ITOF // rd = bits(float64(int64 rs1))
+	FTOI // rd = int64(f(rs1))
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",
+	AND: "and", OR: "or", XOR: "xor", SLL: "sll", SRL: "srl", SRA: "sra",
+	SLT: "slt", SLTU: "sltu",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", SLTI: "slti",
+	LUI: "lui", LD: "ld", LW: "lw", LB: "lb", LBU: "lbu",
+	SD: "sd", SW: "sw", SB: "sb",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	JAL: "jal", JALR: "jalr", ECALL: "ecall", EBREAK: "ebreak",
+	FADD: "fadd", FSUB: "fsub", FMUL: "fmul", FDIV: "fdiv",
+	FEQ: "feq", FLT: "flt", FLE: "fle", FNEG: "fneg",
+	ITOF: "itof", FTOI: "ftoi",
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if o < numOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op%d", uint8(o))
+}
+
+// OpByName resolves a mnemonic.
+func OpByName(name string) (Op, bool) {
+	for i := Op(0); i < numOps; i++ {
+		if opNames[i] == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32
+}
+
+// Ecall service numbers, passed in a7.
+const (
+	SysExit     = 0 // a0 = exit code
+	SysPrintInt = 1 // a0 = value
+	SysPrintStr = 2 // a0 = address of NUL-terminated string
+	SysPrintChr = 3 // a0 = character
+	SysPrintFlt = 4 // a0 = float64 bits
+	SysSbrk     = 5 // a0 = increment; returns old program break in a0
+	SysReadInt  = 6 // returns read integer in a0
+	SysReadChr  = 7 // returns read character (or -1 on EOF) in a0
+)
+
+// IsRet reports whether the instruction is the function-return idiom
+// `jalr zero, ra, 0` (the RET the disassembly scan looks for, standing in
+// for the paper's x86 retq).
+func (i Instr) IsRet() bool {
+	return i.Op == JALR && i.Rd == Zero && i.Rs1 == RA && i.Imm == 0
+}
+
+// IsStore reports whether the instruction writes memory.
+func (i Instr) IsStore() bool {
+	return i.Op == SD || i.Op == SW || i.Op == SB
+}
+
+// StoreSize returns the byte width written by a store instruction.
+func (i Instr) StoreSize() int {
+	switch i.Op {
+	case SD:
+		return 8
+	case SW:
+		return 4
+	case SB:
+		return 1
+	}
+	return 0
+}
+
+// String renders the instruction in assembler syntax.
+func (i Instr) String() string {
+	switch i.Op {
+	case NOP, ECALL, EBREAK:
+		return i.Op.String()
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+		FADD, FSUB, FMUL, FDIV, FEQ, FLT, FLE:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case FNEG, ITOF, FTOI:
+		return fmt.Sprintf("%s %s, %s", i.Op, i.Rd, i.Rs1)
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case LUI:
+		return fmt.Sprintf("lui %s, %d", i.Rd, i.Imm)
+	case LD, LW, LB, LBU:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case SD, SW, SB:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rs1, i.Rs2, i.Imm)
+	case JAL:
+		return fmt.Sprintf("jal %s, %d", i.Rd, i.Imm)
+	case JALR:
+		if i.IsRet() {
+			return "ret"
+		}
+		return fmt.Sprintf("jalr %s, %s, %d", i.Rd, i.Rs1, i.Imm)
+	}
+	return fmt.Sprintf("%s ?", i.Op)
+}
+
+// Encode serializes the instruction to its 8-byte memory form:
+// [op, rd, rs1, rs2, imm32le].
+func (i Instr) Encode() [WordSize]byte {
+	var b [WordSize]byte
+	b[0] = byte(i.Op)
+	b[1] = byte(i.Rd)
+	b[2] = byte(i.Rs1)
+	b[3] = byte(i.Rs2)
+	u := uint32(i.Imm)
+	b[4] = byte(u)
+	b[5] = byte(u >> 8)
+	b[6] = byte(u >> 16)
+	b[7] = byte(u >> 24)
+	return b
+}
+
+// Decode deserializes an 8-byte memory form.
+func Decode(b [WordSize]byte) (Instr, error) {
+	if Op(b[0]) >= numOps {
+		return Instr{}, fmt.Errorf("isa: bad opcode %d", b[0])
+	}
+	if b[1] >= NumRegs || b[2] >= NumRegs || b[3] >= NumRegs {
+		return Instr{}, fmt.Errorf("isa: bad register in %v", b)
+	}
+	u := uint32(b[4]) | uint32(b[5])<<8 | uint32(b[6])<<16 | uint32(b[7])<<24
+	return Instr{
+		Op:  Op(b[0]),
+		Rd:  Reg(b[1]),
+		Rs1: Reg(b[2]),
+		Rs2: Reg(b[3]),
+		Imm: int32(u),
+	}, nil
+}
+
+// Ret builds the canonical return instruction.
+func Ret() Instr { return Instr{Op: JALR, Rd: Zero, Rs1: RA} }
+
+// Nop builds a no-op.
+func Nop() Instr { return Instr{Op: NOP} }

@@ -1,0 +1,468 @@
+// Package mi implements a GDB/MI-style machine interface over MiniGDB: the
+// record grammar (result, async, stream records and the "(gdb)" terminator),
+// a printer and parser for it, a command server wrapping internal/dbg (GDB
+// plus the paper's custom extensions), a client, and in-process/subprocess
+// transports. The MiniGDB tracker (internal/gdbtracker) talks to the server
+// exclusively through this protocol, reproducing the architecture of the
+// paper's Fig. 4: tracker <-pipe-> GDB-MI <-> extensions <-> inferior.
+package mi
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// RecordKind classifies an output record.
+type RecordKind int
+
+const (
+	// ResultRecord is "token^class,results".
+	ResultRecord RecordKind = iota
+	// AsyncRecord is "*class,results" (exec state changes) or
+	// "=class,results" (notifications).
+	AsyncRecord
+	// NotifyRecord is "=class,results".
+	NotifyRecord
+	// StreamRecord is '~"text"' (console) or '@"text"' (target output).
+	StreamRecord
+	// TargetStreamRecord is '@"text"'.
+	TargetStreamRecord
+	// PromptRecord is the "(gdb)" terminator.
+	PromptRecord
+)
+
+// Value is an MI value: a string (c-string on the wire), a Tuple, or a List.
+type Value interface{ miValue() }
+
+// StringVal is a c-string value.
+type StringVal string
+
+// Tuple is "{var=value,...}".
+type Tuple []Result
+
+// List is "[value,...]" (or "[var=value,...]"; we normalize to values,
+// wrapping var=value items as single-field tuples).
+type List []Value
+
+func (StringVal) miValue() {}
+func (Tuple) miValue()     {}
+func (List) miValue()      {}
+
+// Result is one var=value pair.
+type Result struct {
+	Var string
+	Val Value
+}
+
+// Get returns the value of the named field in a tuple, or nil.
+func (t Tuple) Get(name string) Value {
+	for _, r := range t {
+		if r.Var == name {
+			return r.Val
+		}
+	}
+	return nil
+}
+
+// GetString returns the named field as a string.
+func (t Tuple) GetString(name string) string {
+	if v, ok := t.Get(name).(StringVal); ok {
+		return string(v)
+	}
+	return ""
+}
+
+// GetInt returns the named field parsed as an integer.
+func (t Tuple) GetInt(name string) (int64, bool) {
+	s := t.GetString(name)
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	return v, err == nil
+}
+
+// Record is one MI output record.
+type Record struct {
+	Kind RecordKind
+	// Token is the echoed command token (result records only).
+	Token string
+	// Class is "done", "error", "stopped", "running", ...
+	Class string
+	// Results carries the record's payload.
+	Results Tuple
+	// Stream carries stream-record text.
+	Stream string
+}
+
+// GetString is a convenience accessor on the record's results.
+func (r Record) GetString(name string) string { return r.Results.GetString(name) }
+
+// Print renders the record as one MI line (without trailing newline).
+func (r Record) Print() string {
+	var b strings.Builder
+	switch r.Kind {
+	case ResultRecord:
+		b.WriteString(r.Token)
+		b.WriteString("^")
+		b.WriteString(r.Class)
+	case AsyncRecord:
+		b.WriteString("*")
+		b.WriteString(r.Class)
+	case NotifyRecord:
+		b.WriteString("=")
+		b.WriteString(r.Class)
+	case StreamRecord:
+		b.WriteString("~")
+		b.WriteString(quoteC(r.Stream))
+		return b.String()
+	case TargetStreamRecord:
+		b.WriteString("@")
+		b.WriteString(quoteC(r.Stream))
+		return b.String()
+	case PromptRecord:
+		return "(gdb)"
+	}
+	for _, res := range r.Results {
+		b.WriteString(",")
+		printResult(&b, res)
+	}
+	return b.String()
+}
+
+func printResult(b *strings.Builder, r Result) {
+	b.WriteString(r.Var)
+	b.WriteString("=")
+	printValue(b, r.Val)
+}
+
+func printValue(b *strings.Builder, v Value) {
+	switch val := v.(type) {
+	case StringVal:
+		b.WriteString(quoteC(string(val)))
+	case Tuple:
+		b.WriteString("{")
+		for i, r := range val {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			printResult(b, r)
+		}
+		b.WriteString("}")
+	case List:
+		b.WriteString("[")
+		for i, e := range val {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			printValue(b, e)
+		}
+		b.WriteString("]")
+	case nil:
+		b.WriteString(`""`)
+	default:
+		b.WriteString(quoteC(fmt.Sprint(val)))
+	}
+}
+
+// quoteC renders a c-string with the escapes MI uses.
+func quoteC(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// ParseRecord parses one MI output line.
+func ParseRecord(line string) (Record, error) {
+	line = strings.TrimRight(line, "\r\n")
+	if line == "(gdb)" || line == "(gdb) " {
+		return Record{Kind: PromptRecord}, nil
+	}
+	if line == "" {
+		return Record{}, fmt.Errorf("mi: empty record")
+	}
+	// Leading token digits.
+	i := 0
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		i++
+	}
+	token := line[:i]
+	rest := line[i:]
+	if rest == "" {
+		return Record{}, fmt.Errorf("mi: bare token %q", line)
+	}
+	p := &recParser{s: rest, pos: 1}
+	switch rest[0] {
+	case '^':
+		rec, err := p.classAndResults()
+		rec.Kind = ResultRecord
+		rec.Token = token
+		return rec, err
+	case '*':
+		rec, err := p.classAndResults()
+		rec.Kind = AsyncRecord
+		return rec, err
+	case '=':
+		rec, err := p.classAndResults()
+		rec.Kind = NotifyRecord
+		return rec, err
+	case '~', '@', '&':
+		s, err := p.cstring()
+		if err != nil {
+			return Record{}, err
+		}
+		kind := StreamRecord
+		if rest[0] == '@' {
+			kind = TargetStreamRecord
+		}
+		return Record{Kind: kind, Stream: s}, nil
+	}
+	return Record{}, fmt.Errorf("mi: unrecognized record %q", line)
+}
+
+type recParser struct {
+	s   string
+	pos int
+}
+
+func (p *recParser) errf(format string, args ...any) error {
+	return fmt.Errorf("mi: %s at %d in %q", fmt.Sprintf(format, args...), p.pos, p.s)
+}
+
+func (p *recParser) peek() byte {
+	if p.pos >= len(p.s) {
+		return 0
+	}
+	return p.s[p.pos]
+}
+
+func (p *recParser) classAndResults() (Record, error) {
+	start := p.pos
+	for p.pos < len(p.s) && p.s[p.pos] != ',' {
+		p.pos++
+	}
+	rec := Record{Class: p.s[start:p.pos]}
+	for p.peek() == ',' {
+		p.pos++
+		res, err := p.result()
+		if err != nil {
+			return rec, err
+		}
+		rec.Results = append(rec.Results, res)
+	}
+	if p.pos != len(p.s) {
+		return rec, p.errf("trailing garbage")
+	}
+	return rec, nil
+}
+
+func (p *recParser) result() (Result, error) {
+	start := p.pos
+	for p.pos < len(p.s) && p.s[p.pos] != '=' {
+		p.pos++
+	}
+	if p.pos >= len(p.s) {
+		return Result{}, p.errf("missing '='")
+	}
+	name := p.s[start:p.pos]
+	p.pos++ // =
+	v, err := p.value()
+	return Result{Var: name, Val: v}, err
+}
+
+func (p *recParser) value() (Value, error) {
+	switch p.peek() {
+	case '"':
+		s, err := p.cstring()
+		return StringVal(s), err
+	case '{':
+		p.pos++
+		var t Tuple
+		if p.peek() == '}' {
+			p.pos++
+			return t, nil
+		}
+		for {
+			r, err := p.result()
+			if err != nil {
+				return nil, err
+			}
+			t = append(t, r)
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if p.peek() != '}' {
+			return nil, p.errf("missing '}'")
+		}
+		p.pos++
+		return t, nil
+	case '[':
+		p.pos++
+		var l List
+		if p.peek() == ']' {
+			p.pos++
+			return l, nil
+		}
+		for {
+			// List items may be values or var=value results.
+			if p.peek() == '"' || p.peek() == '{' || p.peek() == '[' {
+				v, err := p.value()
+				if err != nil {
+					return nil, err
+				}
+				l = append(l, v)
+			} else {
+				r, err := p.result()
+				if err != nil {
+					return nil, err
+				}
+				l = append(l, Tuple{r})
+			}
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if p.peek() != ']' {
+			return nil, p.errf("missing ']'")
+		}
+		p.pos++
+		return l, nil
+	}
+	return nil, p.errf("bad value start %q", string(p.peek()))
+}
+
+func (p *recParser) cstring() (string, error) {
+	if p.peek() != '"' {
+		return "", p.errf("missing '\"'")
+	}
+	p.pos++
+	var b strings.Builder
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		p.pos++
+		switch c {
+		case '"':
+			return b.String(), nil
+		case '\\':
+			if p.pos >= len(p.s) {
+				return "", p.errf("dangling escape")
+			}
+			e := p.s[p.pos]
+			p.pos++
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\\':
+				b.WriteByte(e)
+			default:
+				return "", p.errf("unknown escape \\%c", e)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", p.errf("unterminated string")
+}
+
+// SplitCommand tokenizes an MI input command line into (token, operation,
+// args); quoted arguments may contain spaces.
+func SplitCommand(line string) (token, op string, args []string, err error) {
+	line = strings.TrimSpace(line)
+	i := 0
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		i++
+	}
+	token = line[:i]
+	rest := strings.TrimSpace(line[i:])
+	if rest == "" || rest[0] != '-' {
+		return "", "", nil, fmt.Errorf("mi: command must start with '-': %q", line)
+	}
+	fields, err := splitQuoted(rest)
+	if err != nil {
+		return "", "", nil, err
+	}
+	return token, fields[0], fields[1:], nil
+}
+
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQ := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQ && c == '\\' && i+1 < len(s):
+			i++
+			switch s[i] {
+			case 'n':
+				cur.WriteByte('\n')
+			case 't':
+				cur.WriteByte('\t')
+			case '"', '\\':
+				cur.WriteByte(s[i])
+			default:
+				cur.WriteByte('\\')
+				cur.WriteByte(s[i])
+			}
+		case c == '"':
+			inQ = !inQ
+			if !inQ {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		case !inQ && (c == ' ' || c == '\t'):
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQ {
+		return nil, fmt.Errorf("mi: unterminated quote in %q", s)
+	}
+	flush()
+	if len(out) == 0 {
+		return nil, fmt.Errorf("mi: empty command")
+	}
+	return out, nil
+}
+
+// QuoteArg quotes an argument for an MI command line if needed.
+func QuoteArg(s string) string {
+	if s != "" && !strings.ContainsAny(s, " \t\"\\\n") {
+		return s
+	}
+	return quoteC(s)
+}

@@ -1,0 +1,631 @@
+package mi
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"easytracker/internal/core"
+	"easytracker/internal/dbg"
+	"easytracker/internal/isa"
+	"easytracker/internal/vm"
+)
+
+// Server executes MI commands against a MiniGDB instance. It corresponds to
+// the GDB-side of the paper's Fig. 4: the MI interpreter plus the loaded
+// custom extensions (maxdepth breakpoints, the inspection command, and the
+// heap-interposition bookkeeping).
+type Server struct {
+	prog *isa.Program
+	d    *dbg.Debugger
+
+	stdout bytes.Buffer // inferior output, drained into @ records
+	stdin  io.Reader
+
+	// watchTypes remembers the declared type of named watchpoints so
+	// stop records can render old/new values.
+	watchTypes map[int]*isa.TypeInfo
+
+	// Heap interposition state (the paper's silent watchpoints).
+	trackHeap bool
+	heapMap   map[uint64]uint64
+	pendSize  uint64
+
+	running bool
+	closed  bool
+}
+
+// NewServer builds a server; prog may be nil when the client will load a
+// program image with -file-exec-and-symbols.
+func NewServer(prog *isa.Program) *Server {
+	return &Server{
+		prog:       prog,
+		watchTypes: map[int]*isa.TypeInfo{},
+		heapMap:    map[uint64]uint64{},
+	}
+}
+
+// SetStdin provides the inferior's input stream.
+func (s *Server) SetStdin(r io.Reader) { s.stdin = r }
+
+// Serve reads commands from conn until -gdb-exit or EOF.
+func (s *Server) Serve(conn Conn) error {
+	defer conn.Close()
+	for {
+		line, err := conn.Recv()
+		if err != nil {
+			return nil // client went away
+		}
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		recs := s.Execute(line)
+		for _, r := range recs {
+			if err := conn.Send(r.Print()); err != nil {
+				return err
+			}
+		}
+		if err := conn.Send("(gdb)"); err != nil {
+			return err
+		}
+		if s.closed {
+			return nil
+		}
+	}
+}
+
+// Execute runs one command line and returns the response records (without
+// the prompt).
+func (s *Server) Execute(line string) []Record {
+	token, op, args, err := SplitCommand(line)
+	if err != nil {
+		return []Record{errRec("", err)}
+	}
+	recs, err := s.dispatch(token, op, args)
+	if err != nil {
+		recs = append(s.drainOutput(), errRec(token, err))
+	}
+	return recs
+}
+
+func errRec(token string, err error) Record {
+	return Record{Kind: ResultRecord, Token: token, Class: "error",
+		Results: Tuple{{Var: "msg", Val: StringVal(err.Error())}}}
+}
+
+func doneRec(token string, results ...Result) Record {
+	return Record{Kind: ResultRecord, Token: token, Class: "done", Results: results}
+}
+
+// drainOutput converts buffered inferior output into target stream records.
+func (s *Server) drainOutput() []Record {
+	if s.stdout.Len() == 0 {
+		return nil
+	}
+	out := s.stdout.String()
+	s.stdout.Reset()
+	return []Record{{Kind: TargetStreamRecord, Stream: out}}
+}
+
+func (s *Server) need() error {
+	if s.d == nil {
+		return fmt.Errorf("no program loaded (use -file-exec-and-symbols)")
+	}
+	return nil
+}
+
+func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
+	switch op {
+	case "-gdb-exit":
+		s.closed = true
+		return []Record{{Kind: ResultRecord, Token: token, Class: "exit"}}, nil
+
+	case "-file-exec-and-symbols":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("usage: -file-exec-and-symbols PATH")
+		}
+		data, err := os.ReadFile(args[0])
+		if err != nil {
+			return nil, err
+		}
+		var prog isa.Program
+		if err := json.Unmarshal(data, &prog); err != nil {
+			return nil, fmt.Errorf("bad program image: %v", err)
+		}
+		s.prog = &prog
+		return []Record{doneRec(token)}, nil
+
+	case "-et-track-heap":
+		s.trackHeap = true
+		return []Record{doneRec(token)}, nil
+
+	case "-exec-run":
+		if s.prog == nil {
+			return nil, fmt.Errorf("no program loaded")
+		}
+		d, err := dbg.New(s.prog, vm.Config{Stdout: &s.stdout, Stderr: &s.stdout, Stdin: s.stdin})
+		if err != nil {
+			return nil, err
+		}
+		s.d = d
+		s.heapMap = map[uint64]uint64{}
+		d.SetHeapMap(s.heapMap)
+		if s.trackHeap {
+			if err := s.armHeapInterposition(); err != nil {
+				return nil, err
+			}
+		}
+		stop, err := d.Start()
+		if err != nil {
+			return nil, err
+		}
+		return s.stopRecords(token, stop), nil
+
+	case "-exec-continue":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		stop, err := s.d.Continue(s.onInternal)
+		if err != nil {
+			return nil, err
+		}
+		return s.stopRecords(token, stop), nil
+
+	case "-exec-step":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		stop, err := s.d.StepLine(s.onInternal)
+		if err != nil {
+			return nil, err
+		}
+		return s.stopRecords(token, stop), nil
+
+	case "-exec-next":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		stop, err := s.d.NextLine(s.onInternal)
+		if err != nil {
+			return nil, err
+		}
+		return s.stopRecords(token, stop), nil
+
+	case "-exec-finish":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		stop, err := s.d.Finish(s.onInternal)
+		if err != nil {
+			return nil, err
+		}
+		return s.stopRecords(token, stop), nil
+
+	case "-break-insert":
+		return s.breakInsert(token, args)
+
+	case "-break-delete":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		for _, a := range args {
+			id, err := strconv.Atoi(a)
+			if err != nil {
+				return nil, fmt.Errorf("bad breakpoint id %q", a)
+			}
+			s.d.RemoveBreakpoint(id)
+			s.d.RemoveWatch(id)
+		}
+		return []Record{doneRec(token)}, nil
+
+	case "-break-watch":
+		return s.breakWatch(token, args)
+
+	case "-stack-list-frames":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		var frames List
+		for i, fr := range s.d.Unwind() {
+			frames = append(frames, Tuple{
+				{Var: "level", Val: StringVal(strconv.Itoa(i))},
+				{Var: "func", Val: StringVal(fr.Fn.Name)},
+				{Var: "line", Val: StringVal(strconv.Itoa(s.prog.LineAt(fr.PC)))},
+				{Var: "addr", Val: StringVal(fmt.Sprintf("%#x", fr.PC))},
+				{Var: "fp", Val: StringVal(fmt.Sprintf("%#x", fr.FP))},
+			})
+		}
+		return []Record{doneRec(token, Result{Var: "stack", Val: frames})}, nil
+
+	case "-et-inspect":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		reason := s.reasonFromStop(s.d.LastStop())
+		st := s.d.State(reason)
+		data, err := json.Marshal(st)
+		if err != nil {
+			return nil, err
+		}
+		return []Record{doneRec(token, Result{Var: "state", Val: StringVal(string(data))})}, nil
+
+	case "-et-heap-blocks":
+		var blocks List
+		for addr, size := range s.heapMap {
+			blocks = append(blocks, Tuple{
+				{Var: "addr", Val: StringVal(strconv.FormatUint(addr, 10))},
+				{Var: "size", Val: StringVal(strconv.FormatUint(size, 10))},
+			})
+		}
+		return []Record{doneRec(token, Result{Var: "blocks", Val: blocks})}, nil
+
+	case "-data-list-register-values":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		names := isa.RegNames()
+		regs := s.d.Machine().Registers()
+		var vals List
+		for i, n := range names {
+			vals = append(vals, Tuple{
+				{Var: "number", Val: StringVal(strconv.Itoa(i))},
+				{Var: "name", Val: StringVal(n)},
+				{Var: "value", Val: StringVal(strconv.FormatUint(regs[i], 10))},
+			})
+		}
+		vals = append(vals, Tuple{
+			{Var: "number", Val: StringVal("32")},
+			{Var: "name", Val: StringVal("pc")},
+			{Var: "value", Val: StringVal(strconv.FormatUint(s.d.Machine().PC(), 10))},
+		})
+		return []Record{doneRec(token, Result{Var: "register-values", Val: vals})}, nil
+
+	case "-data-read-memory":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		if len(args) != 2 {
+			return nil, fmt.Errorf("usage: -data-read-memory ADDR SIZE")
+		}
+		addr, err := strconv.ParseUint(args[0], 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad address %q", args[0])
+		}
+		size, err := strconv.ParseUint(args[1], 0, 64)
+		if err != nil || size > 1<<20 {
+			return nil, fmt.Errorf("bad size %q", args[1])
+		}
+		mem, err := s.d.Machine().ReadMem(addr, size)
+		if err != nil {
+			return nil, err
+		}
+		return []Record{doneRec(token, Result{Var: "memory", Val: StringVal(hex.EncodeToString(mem))})}, nil
+
+	case "-data-disassemble":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, fmt.Errorf("usage: -data-disassemble FUNC")
+		}
+		fn := s.prog.FuncByName(args[0])
+		if fn == nil {
+			return nil, fmt.Errorf("no function %q", args[0])
+		}
+		var insns List
+		for _, dl := range s.prog.Disassemble(fn.Entry, fn.End) {
+			insns = append(insns, Tuple{
+				{Var: "address", Val: StringVal(fmt.Sprintf("%#x", dl.PC))},
+				{Var: "inst", Val: StringVal(dl.Text)},
+			})
+		}
+		return []Record{doneRec(token, Result{Var: "asm_insns", Val: insns})}, nil
+
+	case "-et-segments":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		var segs List
+		for _, sg := range s.d.Machine().Segments() {
+			segs = append(segs, Tuple{
+				{Var: "name", Val: StringVal(sg.Name)},
+				{Var: "start", Val: StringVal(strconv.FormatUint(sg.Start, 10))},
+				{Var: "size", Val: StringVal(strconv.FormatUint(sg.Size, 10))},
+			})
+		}
+		return []Record{doneRec(token, Result{Var: "segments", Val: segs})}, nil
+
+	case "-et-source":
+		if s.prog == nil {
+			return nil, fmt.Errorf("no program loaded")
+		}
+		return []Record{doneRec(token,
+			Result{Var: "file", Val: StringVal(s.prog.SourceFile)},
+			Result{Var: "source", Val: StringVal(s.prog.Source)},
+		)}, nil
+
+	case "-et-last-line":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		return []Record{doneRec(token,
+			Result{Var: "line", Val: StringVal(strconv.Itoa(s.d.LastLine()))},
+		)}, nil
+
+	case "-list-features":
+		return []Record{doneRec(token, Result{Var: "features", Val: List{
+			StringVal("et-inspect"), StringVal("et-maxdepth"),
+			StringVal("et-heap-track"), StringVal("et-segments"),
+		}})}, nil
+	}
+	return nil, fmt.Errorf("undefined MI command: %s", op)
+}
+
+// breakInsert handles -break-insert [-t] [--maxdepth N] (LINE | *ADDR |
+// --function NAME | --exit NAME).
+func (s *Server) breakInsert(token string, args []string) ([]Record, error) {
+	if err := s.need(); err != nil {
+		return nil, err
+	}
+	maxDepth := 0
+	temporary := false
+	var target string
+	mode := "line"
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-t":
+			temporary = true
+		case "--maxdepth":
+			i++
+			if i >= len(args) {
+				return nil, fmt.Errorf("--maxdepth needs a value")
+			}
+			v, err := strconv.Atoi(args[i])
+			if err != nil {
+				return nil, fmt.Errorf("bad maxdepth %q", args[i])
+			}
+			maxDepth = v
+		case "--function":
+			mode = "func"
+		case "--exit":
+			mode = "exit"
+		default:
+			target = args[i]
+		}
+	}
+	if target == "" {
+		return nil, fmt.Errorf("-break-insert needs a location")
+	}
+	var bp *dbg.Breakpoint
+	var err error
+	switch {
+	case strings.HasPrefix(target, "*"):
+		addr, perr := strconv.ParseUint(target[1:], 0, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("bad address %q", target)
+		}
+		bp = s.d.BreakAtPC(addr)
+		bp.MaxDepth = maxDepth
+	case mode == "func":
+		bp, err = s.d.BreakAtFunc(target, maxDepth)
+	case mode == "exit":
+		bp, err = s.d.BreakAtFuncExit(target)
+	default:
+		// LINE or FILE:LINE.
+		lineStr := target
+		if i := strings.LastIndex(target, ":"); i >= 0 {
+			lineStr = target[i+1:]
+		}
+		line, perr := strconv.Atoi(lineStr)
+		if perr != nil {
+			return nil, fmt.Errorf("bad line %q", target)
+		}
+		bp, err = s.d.BreakAtLine(line, maxDepth)
+	}
+	if err != nil {
+		return nil, err
+	}
+	bp.Temporary = temporary
+	return []Record{doneRec(token, Result{Var: "bkpt", Val: Tuple{
+		{Var: "number", Val: StringVal(strconv.Itoa(bp.ID))},
+		{Var: "func", Val: StringVal(bp.Function)},
+		{Var: "line", Val: StringVal(strconv.Itoa(bp.Line))},
+	}})}, nil
+}
+
+// breakWatch handles -break-watch NAME | FUNC:NAME | *ADDR SIZE.
+func (s *Server) breakWatch(token string, args []string) ([]Record, error) {
+	if err := s.need(); err != nil {
+		return nil, err
+	}
+	if len(args) == 0 {
+		return nil, fmt.Errorf("-break-watch needs an expression")
+	}
+	var w *dbg.Watchpoint
+	var ty *isa.TypeInfo
+	var err error
+	target := args[0]
+	switch {
+	case strings.HasPrefix(target, "*"):
+		if len(args) != 2 {
+			return nil, fmt.Errorf("usage: -break-watch *ADDR SIZE")
+		}
+		addr, e1 := strconv.ParseUint(target[1:], 0, 64)
+		size, e2 := strconv.ParseUint(args[1], 0, 64)
+		if e1 != nil || e2 != nil {
+			return nil, fmt.Errorf("bad address/size")
+		}
+		w = s.d.WatchAddr(target, addr, size)
+		ty = isa.IntType()
+	case strings.Contains(target, ":"):
+		i := strings.Index(target, ":")
+		fn, name := target[:i], target[i+1:]
+		w, err = s.d.WatchLocal(fn, name)
+		if err != nil {
+			return nil, err
+		}
+		ty = s.localType(fn, name)
+	default:
+		w, err = s.d.WatchGlobal(target, false)
+		if err != nil {
+			return nil, err
+		}
+		if g := s.prog.GlobalByName(target); g != nil {
+			ty = g.Type
+		}
+	}
+	if ty == nil {
+		ty = isa.IntType()
+	}
+	s.watchTypes[w.ID] = ty
+	return []Record{doneRec(token, Result{Var: "wpt", Val: Tuple{
+		{Var: "number", Val: StringVal(strconv.Itoa(w.ID))},
+		{Var: "exp", Val: StringVal(w.Name)},
+	}})}, nil
+}
+
+func (s *Server) localType(fn, name string) *isa.TypeInfo {
+	f := s.prog.FuncByName(fn)
+	if f == nil {
+		return nil
+	}
+	for _, lv := range f.Locals {
+		if lv.Name == name {
+			return lv.Type
+		}
+	}
+	return nil
+}
+
+// armHeapInterposition sets the paper's silent internal watchpoints on the
+// interposition globals written by the runtime wrappers.
+func (s *Server) armHeapInterposition() error {
+	for _, g := range []string{"__et_alloc_ptr", "__et_free_ptr"} {
+		if _, err := s.d.WatchGlobal(g, true); err != nil {
+			return fmt.Errorf("heap tracking unavailable: %v", err)
+		}
+	}
+	return nil
+}
+
+// onInternal maintains the heap-block map from interposition watch hits,
+// exactly as the paper's extension does, then resumes silently.
+func (s *Server) onInternal(w *dbg.Watchpoint, hit *vm.WatchHit) {
+	ptr := leBytes(hit.New)
+	switch w.Name {
+	case "__et_alloc_ptr":
+		if ptr == 0 {
+			return
+		}
+		size := uint64(0)
+		if g := s.prog.GlobalByName("__et_alloc_size"); g != nil {
+			if v, err := s.d.Machine().ReadU64(uint64(g.Offset)); err == nil {
+				size = v
+			}
+		}
+		s.heapMap[ptr] = size
+	case "__et_free_ptr":
+		delete(s.heapMap, ptr)
+	}
+}
+
+func leBytes(b []byte) uint64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// stopRecords renders a debugger stop as MI records: buffered inferior
+// output first, then ^running + *stopped (the synchronous condensation of
+// GDB's async protocol).
+func (s *Server) stopRecords(token string, stop dbg.Stop) []Record {
+	recs := s.drainOutput()
+	recs = append(recs, Record{Kind: ResultRecord, Token: token, Class: "running"})
+	st := Record{Kind: AsyncRecord, Class: "stopped"}
+	st.Results = append(st.Results, Result{Var: "reason", Val: StringVal(stop.Reason.String())})
+	switch stop.Reason {
+	case dbg.StopExited:
+		st.Results = append(st.Results,
+			Result{Var: "exit-code", Val: StringVal(strconv.Itoa(stop.ExitCode))})
+	case dbg.StopFault:
+		st.Results = append(st.Results,
+			Result{Var: "signal-meaning", Val: StringVal(stop.Fault)},
+			Result{Var: "exit-code", Val: StringVal(strconv.Itoa(stop.ExitCode))})
+	default:
+		st.Results = append(st.Results,
+			Result{Var: "line", Val: StringVal(strconv.Itoa(stop.Line))},
+			Result{Var: "func", Val: StringVal(stop.Function)})
+		if stop.Reason == dbg.StopBreakpoint {
+			st.Results = append(st.Results,
+				Result{Var: "bkptno", Val: StringVal(strconv.Itoa(stop.Breakpoint))})
+		}
+		if stop.Watch != nil {
+			ty := s.watchTypes[stop.Watch.ID]
+			st.Results = append(st.Results,
+				Result{Var: "wpt", Val: Tuple{
+					{Var: "number", Val: StringVal(strconv.Itoa(stop.Watch.ID))},
+					{Var: "exp", Val: StringVal(stop.Watch.Name)},
+				}},
+				Result{Var: "value", Val: Tuple{
+					{Var: "old", Val: StringVal(renderRaw(stop.Watch.Old, ty))},
+					{Var: "new", Val: StringVal(renderRaw(stop.Watch.New, ty))},
+				}})
+		}
+	}
+	return append(recs, st)
+}
+
+// renderRaw renders watched raw bytes according to the declared type.
+func renderRaw(b []byte, ty *isa.TypeInfo) string {
+	v := leBytes(b)
+	if ty == nil {
+		return strconv.FormatUint(v, 10)
+	}
+	switch ty.Kind {
+	case isa.KChar:
+		if len(b) > 0 {
+			return strconv.FormatInt(int64(int8(b[0])), 10)
+		}
+		return "0"
+	case isa.KDouble:
+		return strconv.FormatFloat(float64frombits(v), 'g', -1, 64)
+	case isa.KPtr:
+		return fmt.Sprintf("%#x", v)
+	default:
+		return strconv.FormatInt(int64(v), 10)
+	}
+}
+
+// reasonFromStop translates the debugger stop into the core pause taxonomy
+// for the serialized state.
+func (s *Server) reasonFromStop(stop dbg.Stop) core.PauseReason {
+	r := core.PauseReason{
+		File: s.prog.SourceFile,
+		Line: stop.Line,
+	}
+	switch stop.Reason {
+	case dbg.StopEntry:
+		r.Type = core.PauseEntry
+	case dbg.StopStep:
+		r.Type = core.PauseStep
+	case dbg.StopBreakpoint:
+		r.Type = core.PauseBreakpoint
+		r.Function = stop.Function
+	case dbg.StopWatch:
+		r.Type = core.PauseWatch
+		if stop.Watch != nil {
+			r.Variable = stop.Watch.Name
+		}
+	case dbg.StopExited, dbg.StopFault:
+		r.Type = core.PauseExited
+		r.ExitCode = stop.ExitCode
+	}
+	return r
+}

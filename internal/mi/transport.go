@@ -1,0 +1,125 @@
+package mi
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"sync"
+)
+
+func float64frombits(v uint64) float64 { return math.Float64frombits(v) }
+
+// Conn is a bidirectional line transport between an MI client and server.
+type Conn interface {
+	// Send writes one line.
+	Send(line string) error
+	// Recv reads one line (without the newline).
+	Recv() (string, error)
+	// Close tears the connection down.
+	Close() error
+}
+
+// ErrClosed is returned on use after Close.
+var ErrClosed = errors.New("mi: connection closed")
+
+// chanConn is one endpoint of an in-process pipe. Both endpoints share the
+// done channel and the Once guarding its close.
+type chanConn struct {
+	in   <-chan string
+	out  chan<- string
+	done chan struct{}
+	once *sync.Once
+}
+
+// Pipe creates a connected in-process client/server transport pair. The
+// returned connections play the role of the OS pipe of the paper's Fig. 4
+// when tracker and MiniGDB share a process (the default in tests); the
+// subprocess transport in StdioConn is byte-compatible.
+func Pipe() (client, server Conn) {
+	a := make(chan string, 64)
+	b := make(chan string, 64)
+	done := make(chan struct{})
+	once := new(sync.Once)
+	return &chanConn{in: b, out: a, done: done, once: once},
+		&chanConn{in: a, out: b, done: done, once: once}
+}
+
+// Send implements Conn.
+func (c *chanConn) Send(line string) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-c.done:
+		return ErrClosed
+	case c.out <- line:
+		return nil
+	}
+}
+
+// Recv implements Conn.
+func (c *chanConn) Recv() (string, error) {
+	select {
+	case <-c.done:
+		return "", ErrClosed
+	default:
+	}
+	select {
+	case <-c.done:
+		return "", ErrClosed
+	case line, ok := <-c.in:
+		if !ok {
+			return "", io.EOF
+		}
+		return line, nil
+	}
+}
+
+// Close implements Conn.
+func (c *chanConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// StdioConn adapts a reader/writer pair (subprocess stdin/stdout, sockets)
+// into a line transport.
+type StdioConn struct {
+	r      *bufio.Reader
+	w      io.Writer
+	closer io.Closer
+	mu     sync.Mutex
+}
+
+// NewStdioConn wraps r/w; closer (may be nil) is closed by Close.
+func NewStdioConn(r io.Reader, w io.Writer, closer io.Closer) *StdioConn {
+	return &StdioConn{r: bufio.NewReader(r), w: w, closer: closer}
+}
+
+// Send implements Conn.
+func (c *StdioConn) Send(line string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, err := io.WriteString(c.w, line+"\n")
+	return err
+}
+
+// Recv implements Conn.
+func (c *StdioConn) Recv() (string, error) {
+	line, err := c.r.ReadString('\n')
+	if err != nil && line == "" {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// Close implements Conn.
+func (c *StdioConn) Close() error {
+	if c.closer != nil {
+		return c.closer.Close()
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package mi
+
+import (
+	"io"
+	"testing"
+
+	"easytracker/internal/minic"
+)
+
+// TestStdioTransportFullSession runs a complete client/server session over
+// the byte-stream transport (what cmd/minigdb speaks on stdin/stdout),
+// proving the line protocol is subprocess-safe.
+func TestStdioTransportFullSession(t *testing.T) {
+	prog, err := minic.Compile("p.c", `int main() {
+    int x = 41;
+    x = x + 1;
+    printf("%d\n", x);
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two unidirectional byte pipes, like a subprocess's stdin/stdout.
+	cliR, srvW := io.Pipe()
+	srvR, cliW := io.Pipe()
+	server := NewStdioConn(srvR, srvW, nil)
+	client := NewStdioConn(cliR, cliW, nil)
+
+	srv := NewServer(prog)
+	done := make(chan struct{})
+	go func() {
+		_ = srv.Serve(server)
+		close(done)
+	}()
+
+	cl := NewClient(client)
+	resp, err := cl.Send("-exec-run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped, ok := resp.Stopped()
+	if !ok || stopped.GetString("reason") != "entry" {
+		t.Fatalf("entry stop: %v", resp.Result.Print())
+	}
+	if _, err := cl.Send("-exec-next"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = cl.Send("-et-inspect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.GetString("state") == "" {
+		t.Fatal("no state over stdio")
+	}
+	resp, err = cl.Send("-exec-continue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped, _ = resp.Stopped()
+	if stopped.GetString("reason") != "exited" {
+		t.Fatalf("final stop: %s", stopped.Print())
+	}
+	if out := cl.TakeOutput(); out != "42\n" {
+		t.Errorf("inferior output = %q", out)
+	}
+	if _, err := cl.Send("-gdb-exit"); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+func TestStdioConnLineFraming(t *testing.T) {
+	r, w := io.Pipe()
+	conn := NewStdioConn(r, w, nil)
+	go func() {
+		_ = conn.Send("first line")
+		_ = conn.Send(`second with "quotes" and \escapes`)
+		w.Close()
+	}()
+	reader := NewStdioConn(r, io.Discard, nil)
+	l1, err := reader.Recv()
+	if err != nil || l1 != "first line" {
+		t.Fatalf("line 1: %q %v", l1, err)
+	}
+	l2, err := reader.Recv()
+	if err != nil || l2 != `second with "quotes" and \escapes` {
+		t.Fatalf("line 2: %q %v", l2, err)
+	}
+	if _, err := reader.Recv(); err == nil {
+		t.Fatal("EOF not reported")
+	}
+}
+
+func TestPipeClosePropagates(t *testing.T) {
+	c, s := Pipe()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Send("x"); err != ErrClosed {
+		t.Errorf("send after close = %v", err)
+	}
+	if _, err := s.Recv(); err != ErrClosed {
+		t.Errorf("recv after close = %v", err)
+	}
+	// Closing the other side too is fine.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+package minic
+
+import "easytracker/internal/isa"
+
+// Node is the common AST interface.
+type Node interface{ Pos() int }
+
+type cpos struct{ Line int }
+
+// Pos returns the node's source line.
+func (p cpos) Pos() int { return p.Line }
+
+// File is a parsed translation unit.
+type File struct {
+	Name  string
+	Decls []Decl
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// Param is one function parameter.
+type Param struct {
+	Type *isa.TypeInfo
+	Name string
+	Line int
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	cpos
+	Ret    *isa.TypeInfo
+	Name   string
+	Params []Param
+	Body   *BlockStmt
+	// EndLine is the closing brace's line.
+	EndLine int
+}
+
+// GlobalDecl is a global variable with an optional constant initializer.
+type GlobalDecl struct {
+	cpos
+	Type *isa.TypeInfo
+	Name string
+	Init Expr // nil, IntLit, FloatLit, CharLit, StrLit, or brace list
+}
+
+// StructDecl defines a named struct.
+type StructDecl struct {
+	cpos
+	Name   string
+	Fields []Param
+}
+
+// EnumDecl defines enumeration constants (all typed int).
+type EnumDecl struct {
+	cpos
+	Names  []string
+	Values []int64
+}
+
+// TypedefDecl introduces a type alias (recorded in the parser's typedef
+// table; kept in the AST for completeness).
+type TypedefDecl struct {
+	cpos
+	Name string
+	Type *isa.TypeInfo
+}
+
+func (*FuncDecl) declNode()    {}
+func (*GlobalDecl) declNode()  {}
+func (*StructDecl) declNode()  {}
+func (*EnumDecl) declNode()    {}
+func (*TypedefDecl) declNode() {}
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	cStmtNode()
+}
+
+// BlockStmt is `{ ... }`.
+type BlockStmt struct {
+	cpos
+	Body []Stmt
+	// EndLine is the closing brace's line.
+	EndLine int
+}
+
+// DeclStmt declares a local variable with an optional initializer.
+type DeclStmt struct {
+	cpos
+	Type *isa.TypeInfo
+	Name string
+	Init Expr
+	// InitList holds brace-list initializers for arrays.
+	InitList []Expr
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	cpos
+	X Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	cpos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	cpos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a for loop; Init/Cond/Post may be nil.
+type ForStmt struct {
+	cpos
+	Init Stmt // DeclStmt or ExprStmt
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+// ReturnStmt is `return [expr];`.
+type ReturnStmt struct {
+	cpos
+	Value Expr
+}
+
+// BreakStmt is `break;`.
+type BreakStmt struct{ cpos }
+
+// ContinueStmt is `continue;`.
+type ContinueStmt struct{ cpos }
+
+// EmptyStmt is `;`.
+type EmptyStmt struct{ cpos }
+
+func (*BlockStmt) cStmtNode()    {}
+func (*DeclStmt) cStmtNode()     {}
+func (*ExprStmt) cStmtNode()     {}
+func (*IfStmt) cStmtNode()       {}
+func (*WhileStmt) cStmtNode()    {}
+func (*ForStmt) cStmtNode()      {}
+func (*ReturnStmt) cStmtNode()   {}
+func (*BreakStmt) cStmtNode()    {}
+func (*ContinueStmt) cStmtNode() {}
+func (*EmptyStmt) cStmtNode()    {}
+
+// Expr is an expression.
+type Expr interface {
+	Node
+	cExprNode()
+}
+
+// Ident references a variable, enum constant, or function.
+type Ident struct {
+	cpos
+	Name string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	cpos
+	Value int64
+}
+
+// FloatLit is a double literal.
+type FloatLit struct {
+	cpos
+	Value float64
+}
+
+// CharLit is a character literal (int-typed, like C).
+type CharLit struct {
+	cpos
+	Value int64
+}
+
+// StrLit is a string literal (char*).
+type StrLit struct {
+	cpos
+	Value string
+}
+
+// UnaryExpr is !x, -x, +x, ~x, *p, &lv, ++x, --x.
+type UnaryExpr struct {
+	cpos
+	Op TokKind
+	X  Expr
+}
+
+// PostfixExpr is x++ or x--.
+type PostfixExpr struct {
+	cpos
+	Op TokKind // TPlusPlus or TMinusMinus
+	X  Expr
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	cpos
+	Op   TokKind
+	L, R Expr
+}
+
+// AssignExpr is L = R or L op= R.
+type AssignExpr struct {
+	cpos
+	Op   TokKind // TAssign or compound
+	L, R Expr
+}
+
+// CallExpr is fn(args); Fn is an Ident (no function pointers calls through
+// expressions in MiniC — function pointers can be stored and compared but
+// calls go through names).
+type CallExpr struct {
+	cpos
+	Fn   string
+	Args []Expr
+}
+
+// IndexExpr is a[i].
+type IndexExpr struct {
+	cpos
+	X     Expr
+	Index Expr
+}
+
+// MemberExpr is s.f (Arrow false) or p->f (Arrow true).
+type MemberExpr struct {
+	cpos
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// CastExpr is (type)x.
+type CastExpr struct {
+	cpos
+	Type *isa.TypeInfo
+	X    Expr
+}
+
+// SizeofExpr is sizeof(type) or sizeof expr.
+type SizeofExpr struct {
+	cpos
+	Type *isa.TypeInfo // set for sizeof(type)
+	X    Expr          // set for sizeof expr
+}
+
+func (*Ident) cExprNode()       {}
+func (*IntLit) cExprNode()      {}
+func (*FloatLit) cExprNode()    {}
+func (*CharLit) cExprNode()     {}
+func (*StrLit) cExprNode()      {}
+func (*UnaryExpr) cExprNode()   {}
+func (*PostfixExpr) cExprNode() {}
+func (*BinaryExpr) cExprNode()  {}
+func (*AssignExpr) cExprNode()  {}
+func (*CallExpr) cExprNode()    {}
+func (*IndexExpr) cExprNode()   {}
+func (*MemberExpr) cExprNode()  {}
+func (*CastExpr) cExprNode()    {}
+func (*SizeofExpr) cExprNode()  {}
+
+// InitListExpr is a brace initializer {1, 2, 3} for arrays.
+type InitListExpr struct {
+	cpos
+	Elems []Expr
+}
+
+func (*InitListExpr) cExprNode() {}

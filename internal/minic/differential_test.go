@@ -1,0 +1,125 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"easytracker/internal/vm"
+)
+
+// Differential testing of the whole toolchain: generate random integer
+// expressions, compile and execute them on the machine, and compare with a
+// reference evaluation in Go (whose int64 semantics the VM must match).
+
+// genExpr produces (C source, reference value). Division and shifts are
+// constrained to defined behaviour.
+func genExprTree(r *rand.Rand, depth int) (string, int64) {
+	if depth == 0 || r.Intn(3) == 0 {
+		v := int64(r.Intn(201) - 100)
+		if v < 0 {
+			return fmt.Sprintf("(%d)", v), v
+		}
+		return fmt.Sprintf("%d", v), v
+	}
+	ls, lv := genExprTree(r, depth-1)
+	rs, rv := genExprTree(r, depth-1)
+	switch r.Intn(10) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", ls, rs), lv * rv
+	case 3:
+		if rv == 0 {
+			return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+		}
+		return fmt.Sprintf("(%s / %s)", ls, rs), lv / rv
+	case 4:
+		if rv == 0 {
+			return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+		}
+		return fmt.Sprintf("(%s %% %s)", ls, rs), lv % rv
+	case 5:
+		return fmt.Sprintf("(%s & %s)", ls, rs), lv & rv
+	case 6:
+		return fmt.Sprintf("(%s | %s)", ls, rs), lv | rv
+	case 7:
+		return fmt.Sprintf("(%s ^ %s)", ls, rs), lv ^ rv
+	case 8:
+		return fmt.Sprintf("(%s < %s)", ls, rs), b2i(lv < rv)
+	default:
+		return fmt.Sprintf("(%s == %s)", ls, rs), b2i(lv == rv)
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestDifferentialExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(20260705))
+	for trial := 0; trial < 60; trial++ {
+		expr, want := genExprTree(r, 4)
+		src := fmt.Sprintf("int main() {\n    printf(\"%%ld\", %s);\n    return 0;\n}", expr)
+		prog, err := Compile("diff.c", src)
+		if err != nil {
+			t.Fatalf("trial %d: compile %s: %v", trial, expr, err)
+		}
+		var out strings.Builder
+		m, err := vm.New(prog, vm.Config{Stdout: &out})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stop := m.Run(0); stop.Kind != vm.StopExit {
+			t.Fatalf("trial %d: %s stopped %v (%v)", trial, expr, stop.Kind, stop.Err)
+		}
+		if got := out.String(); got != fmt.Sprint(want) {
+			t.Errorf("trial %d: %s = %s, want %d", trial, expr, got, want)
+		}
+	}
+}
+
+// TestDifferentialStatements generates small straight-line programs with
+// variables and compound assignments and checks the final value.
+func TestDifferentialStatements(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	ops := []string{"+=", "-=", "*="}
+	for trial := 0; trial < 40; trial++ {
+		var body strings.Builder
+		ref := int64(r.Intn(20))
+		fmt.Fprintf(&body, "    long x = %d;\n", ref)
+		n := 3 + r.Intn(5)
+		for i := 0; i < n; i++ {
+			op := ops[r.Intn(len(ops))]
+			v := int64(r.Intn(9) + 1)
+			fmt.Fprintf(&body, "    x %s %d;\n", op, v)
+			switch op {
+			case "+=":
+				ref += v
+			case "-=":
+				ref -= v
+			case "*=":
+				ref *= v
+			}
+		}
+		src := fmt.Sprintf("int main() {\n%s    printf(\"%%ld\", x);\n    return 0;\n}", body.String())
+		prog, err := Compile("st.c", src)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		var out strings.Builder
+		m, _ := vm.New(prog, vm.Config{Stdout: &out})
+		if stop := m.Run(0); stop.Kind != vm.StopExit {
+			t.Fatalf("trial %d stopped %v", trial, stop.Kind)
+		}
+		if out.String() != fmt.Sprint(ref) {
+			t.Errorf("trial %d: got %s want %d\n%s", trial, out.String(), ref, src)
+		}
+	}
+}

@@ -1,0 +1,503 @@
+// Package minic implements MiniC, the C-subset compiler of the compiled
+// substrate: lexer, parser, type checker and code generator targeting the
+// isa/vm machine, with full debug information (line table, frame layouts,
+// variable types) so MiniGDB can control and inspect compiled programs the
+// way GDB controls C binaries in the paper.
+//
+// The subset covers the paper's classroom programs: int/long/char/double,
+// pointers, fixed-size arrays, structs, string literals, the standard
+// control flow, functions with recursion, and a libc-lite (printf, puts,
+// putchar, malloc/free/calloc/realloc, exit) backed by the runtime in
+// internal/rt.
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TokKind enumerates MiniC token kinds.
+type TokKind int
+
+// Token kinds.
+const (
+	TEOF TokKind = iota
+	TName
+	TInt
+	TFloat
+	TChar
+	TString
+
+	// keywords
+	TKInt
+	TKLong
+	TKChar
+	TKDouble
+	TKVoid
+	TKStruct
+	TKIf
+	TKElse
+	TKWhile
+	TKFor
+	TKReturn
+	TKBreak
+	TKContinue
+	TKSizeof
+	TKTypedef
+	TKEnum
+
+	// punctuation
+	TLParen
+	TRParen
+	TLBrace
+	TRBrace
+	TLBracket
+	TRBracket
+	TSemi
+	TComma
+	TDot
+	TArrow
+
+	// operators
+	TAssign
+	TPlusEq
+	TMinusEq
+	TStarEq
+	TSlashEq
+	TPercentEq
+	TPlus
+	TMinus
+	TStar
+	TSlash
+	TPercent
+	TPlusPlus
+	TMinusMinus
+	TEq
+	TNe
+	TLt
+	TLe
+	TGt
+	TGe
+	TAndAnd
+	TOrOr
+	TNot
+	TAmp
+	TPipe
+	TCaret
+	TTilde
+	TShl
+	TShr
+)
+
+var cKeywords = map[string]TokKind{
+	"int": TKInt, "long": TKLong, "char": TKChar, "double": TKDouble,
+	"void": TKVoid, "struct": TKStruct, "if": TKIf, "else": TKElse,
+	"while": TKWhile, "for": TKFor, "return": TKReturn, "break": TKBreak,
+	"continue": TKContinue, "sizeof": TKSizeof, "typedef": TKTypedef,
+	"enum": TKEnum,
+}
+
+var cTokNames = map[TokKind]string{
+	TEOF: "EOF", TName: "identifier", TInt: "integer", TFloat: "float",
+	TChar: "char literal", TString: "string literal",
+	TKInt: "int", TKLong: "long", TKChar: "char", TKDouble: "double",
+	TKVoid: "void", TKStruct: "struct", TKIf: "if", TKElse: "else",
+	TKWhile: "while", TKFor: "for", TKReturn: "return", TKBreak: "break",
+	TKContinue: "continue", TKSizeof: "sizeof", TKTypedef: "typedef",
+	TKEnum:  "enum",
+	TLParen: "(", TRParen: ")", TLBrace: "{", TRBrace: "}",
+	TLBracket: "[", TRBracket: "]", TSemi: ";", TComma: ",",
+	TDot: ".", TArrow: "->",
+	TAssign: "=", TPlusEq: "+=", TMinusEq: "-=", TStarEq: "*=",
+	TSlashEq: "/=", TPercentEq: "%=",
+	TPlus: "+", TMinus: "-", TStar: "*", TSlash: "/", TPercent: "%",
+	TPlusPlus: "++", TMinusMinus: "--",
+	TEq: "==", TNe: "!=", TLt: "<", TLe: "<=", TGt: ">", TGe: ">=",
+	TAndAnd: "&&", TOrOr: "||", TNot: "!", TAmp: "&", TPipe: "|",
+	TCaret: "^", TTilde: "~", TShl: "<<", TShr: ">>",
+}
+
+// String names the token kind.
+func (k TokKind) String() string {
+	if n, ok := cTokNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("TokKind(%d)", int(k))
+}
+
+// Token is one MiniC token.
+type Token struct {
+	Kind  TokKind
+	Text  string
+	Int   int64
+	Float float64
+	Line  int
+	Col   int
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case TName:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case TInt:
+		return fmt.Sprintf("integer %s", t.Text)
+	case TString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Kind.String())
+	}
+}
+
+// Error is a compile failure with position information.
+type Error struct {
+	File string
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d:%d: %s", e.File, e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes MiniC source.
+func Lex(file, src string) ([]Token, error) {
+	var toks []Token
+	rs := []rune(src)
+	pos, line, col := 0, 1, 1
+
+	peek := func(off int) rune {
+		if pos+off >= len(rs) {
+			return 0
+		}
+		return rs[pos+off]
+	}
+	advance := func() rune {
+		r := rs[pos]
+		pos++
+		if r == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+		return r
+	}
+	errf := func(l, c int, format string, args ...any) error {
+		return &Error{File: file, Line: l, Col: c, Msg: fmt.Sprintf(format, args...)}
+	}
+	emit := func(k TokKind, text string, l, c int) {
+		toks = append(toks, Token{Kind: k, Text: text, Line: l, Col: c})
+	}
+
+	for pos < len(rs) {
+		r := peek(0)
+		l, c := line, col
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			advance()
+		case r == '/' && peek(1) == '/':
+			for pos < len(rs) && peek(0) != '\n' {
+				advance()
+			}
+		case r == '/' && peek(1) == '*':
+			advance()
+			advance()
+			for pos < len(rs) && !(peek(0) == '*' && peek(1) == '/') {
+				advance()
+			}
+			if pos >= len(rs) {
+				return nil, errf(l, c, "unterminated block comment")
+			}
+			advance()
+			advance()
+		case r == '#':
+			// Preprocessor lines (#include etc.) are ignored: the
+			// runtime is linked implicitly.
+			for pos < len(rs) && peek(0) != '\n' {
+				advance()
+			}
+		case isCNameStart(r):
+			var b strings.Builder
+			for pos < len(rs) && isCNameChar(peek(0)) {
+				b.WriteRune(advance())
+			}
+			text := b.String()
+			if kw, ok := cKeywords[text]; ok {
+				emit(kw, text, l, c)
+			} else {
+				emit(TName, text, l, c)
+			}
+		case r >= '0' && r <= '9':
+			var b strings.Builder
+			isFloat := false
+			if r == '0' && (peek(1) == 'x' || peek(1) == 'X') {
+				b.WriteRune(advance())
+				b.WriteRune(advance())
+				for isCHex(peek(0)) {
+					b.WriteRune(advance())
+				}
+				v, err := strconv.ParseInt(b.String()[2:], 16, 64)
+				if err != nil {
+					return nil, errf(l, c, "bad hex literal %q", b.String())
+				}
+				toks = append(toks, Token{Kind: TInt, Text: b.String(), Int: v, Line: l, Col: c})
+				continue
+			}
+			for pos < len(rs) && peek(0) >= '0' && peek(0) <= '9' {
+				b.WriteRune(advance())
+			}
+			if peek(0) == '.' && peek(1) >= '0' && peek(1) <= '9' {
+				isFloat = true
+				b.WriteRune(advance())
+				for pos < len(rs) && peek(0) >= '0' && peek(0) <= '9' {
+					b.WriteRune(advance())
+				}
+			}
+			if peek(0) == 'e' || peek(0) == 'E' {
+				nxt := peek(1)
+				if (nxt >= '0' && nxt <= '9') || ((nxt == '+' || nxt == '-') && peek(2) >= '0' && peek(2) <= '9') {
+					isFloat = true
+					b.WriteRune(advance())
+					if peek(0) == '+' || peek(0) == '-' {
+						b.WriteRune(advance())
+					}
+					for pos < len(rs) && peek(0) >= '0' && peek(0) <= '9' {
+						b.WriteRune(advance())
+					}
+				}
+			}
+			// Suffixes L/UL ignored.
+			for peek(0) == 'l' || peek(0) == 'L' || peek(0) == 'u' || peek(0) == 'U' {
+				advance()
+			}
+			text := b.String()
+			if isFloat {
+				v, err := strconv.ParseFloat(text, 64)
+				if err != nil {
+					return nil, errf(l, c, "bad float literal %q", text)
+				}
+				toks = append(toks, Token{Kind: TFloat, Text: text, Float: v, Line: l, Col: c})
+			} else {
+				v, err := strconv.ParseInt(text, 10, 64)
+				if err != nil {
+					return nil, errf(l, c, "bad integer literal %q", text)
+				}
+				toks = append(toks, Token{Kind: TInt, Text: text, Int: v, Line: l, Col: c})
+			}
+		case r == '\'':
+			advance()
+			var v int64
+			switch peek(0) {
+			case '\\':
+				advance()
+				esc := advance()
+				switch esc {
+				case 'n':
+					v = '\n'
+				case 't':
+					v = '\t'
+				case 'r':
+					v = '\r'
+				case '0':
+					v = 0
+				case '\\', '\'', '"':
+					v = int64(esc)
+				default:
+					return nil, errf(l, c, "unknown escape '\\%c'", esc)
+				}
+			case 0, '\'':
+				return nil, errf(l, c, "bad character literal")
+			default:
+				v = int64(advance())
+			}
+			if peek(0) != '\'' {
+				return nil, errf(l, c, "unterminated character literal")
+			}
+			advance()
+			toks = append(toks, Token{Kind: TChar, Int: v, Line: l, Col: c})
+		case r == '"':
+			advance()
+			var b strings.Builder
+			for {
+				if pos >= len(rs) || peek(0) == '\n' {
+					return nil, errf(l, c, "unterminated string literal")
+				}
+				ch := advance()
+				if ch == '"' {
+					break
+				}
+				if ch == '\\' {
+					esc := advance()
+					switch esc {
+					case 'n':
+						b.WriteRune('\n')
+					case 't':
+						b.WriteRune('\t')
+					case 'r':
+						b.WriteRune('\r')
+					case '0':
+						b.WriteRune(0)
+					case '\\', '\'', '"':
+						b.WriteRune(esc)
+					default:
+						return nil, errf(l, c, "unknown escape '\\%c'", esc)
+					}
+					continue
+				}
+				b.WriteRune(ch)
+			}
+			emit(TString, b.String(), l, c)
+		default:
+			two := string(r) + string(peek(1))
+			switch two {
+			case "->":
+				advance()
+				advance()
+				emit(TArrow, two, l, c)
+				continue
+			case "++":
+				advance()
+				advance()
+				emit(TPlusPlus, two, l, c)
+				continue
+			case "--":
+				advance()
+				advance()
+				emit(TMinusMinus, two, l, c)
+				continue
+			case "+=":
+				advance()
+				advance()
+				emit(TPlusEq, two, l, c)
+				continue
+			case "-=":
+				advance()
+				advance()
+				emit(TMinusEq, two, l, c)
+				continue
+			case "*=":
+				advance()
+				advance()
+				emit(TStarEq, two, l, c)
+				continue
+			case "/=":
+				advance()
+				advance()
+				emit(TSlashEq, two, l, c)
+				continue
+			case "%=":
+				advance()
+				advance()
+				emit(TPercentEq, two, l, c)
+				continue
+			case "==":
+				advance()
+				advance()
+				emit(TEq, two, l, c)
+				continue
+			case "!=":
+				advance()
+				advance()
+				emit(TNe, two, l, c)
+				continue
+			case "<=":
+				advance()
+				advance()
+				emit(TLe, two, l, c)
+				continue
+			case ">=":
+				advance()
+				advance()
+				emit(TGe, two, l, c)
+				continue
+			case "&&":
+				advance()
+				advance()
+				emit(TAndAnd, two, l, c)
+				continue
+			case "||":
+				advance()
+				advance()
+				emit(TOrOr, two, l, c)
+				continue
+			case "<<":
+				advance()
+				advance()
+				emit(TShl, two, l, c)
+				continue
+			case ">>":
+				advance()
+				advance()
+				emit(TShr, two, l, c)
+				continue
+			}
+			var k TokKind
+			switch r {
+			case '(':
+				k = TLParen
+			case ')':
+				k = TRParen
+			case '{':
+				k = TLBrace
+			case '}':
+				k = TRBrace
+			case '[':
+				k = TLBracket
+			case ']':
+				k = TRBracket
+			case ';':
+				k = TSemi
+			case ',':
+				k = TComma
+			case '.':
+				k = TDot
+			case '=':
+				k = TAssign
+			case '+':
+				k = TPlus
+			case '-':
+				k = TMinus
+			case '*':
+				k = TStar
+			case '/':
+				k = TSlash
+			case '%':
+				k = TPercent
+			case '<':
+				k = TLt
+			case '>':
+				k = TGt
+			case '!':
+				k = TNot
+			case '&':
+				k = TAmp
+			case '|':
+				k = TPipe
+			case '^':
+				k = TCaret
+			case '~':
+				k = TTilde
+			default:
+				return nil, errf(l, c, "unexpected character %q", string(r))
+			}
+			advance()
+			emit(k, string(r), l, c)
+		}
+	}
+	toks = append(toks, Token{Kind: TEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isCNameStart(r rune) bool {
+	return r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
+
+func isCNameChar(r rune) bool { return isCNameStart(r) || (r >= '0' && r <= '9') }
+
+func isCHex(r rune) bool {
+	return (r >= '0' && r <= '9') || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F')
+}

@@ -1,0 +1,654 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"easytracker/internal/isa"
+	"easytracker/internal/vm"
+)
+
+// compileRun compiles src, runs it, and returns (stdout, exit code).
+func compileRun(t *testing.T, src string, stdin string) (string, int) {
+	t.Helper()
+	prog, err := Compile("test.c", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var out strings.Builder
+	m, err := vm.New(prog, vm.Config{Stdout: &out, Stdin: strings.NewReader(stdin)})
+	if err != nil {
+		t.Fatalf("vm: %v", err)
+	}
+	stop := m.Run(0)
+	if stop.Kind != vm.StopExit {
+		t.Fatalf("program did not exit: %v (%v)\noutput so far: %q", stop.Kind, stop.Err, out.String())
+	}
+	return out.String(), stop.ExitCode
+}
+
+// expectC asserts stdout and a zero exit code.
+func expectC(t *testing.T, src, want string) {
+	t.Helper()
+	got, code := compileRun(t, src, "")
+	if code != 0 {
+		t.Fatalf("exit code %d, output %q", code, got)
+	}
+	if got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestReturnCode(t *testing.T) {
+	_, code := compileRun(t, "int main() { return 42; }", "")
+	if code != 42 {
+		t.Errorf("exit = %d", code)
+	}
+	_, code = compileRun(t, "int main() { return 0; }", "")
+	if code != 0 {
+		t.Errorf("exit = %d", code)
+	}
+	// Implicit return 0 from main.
+	_, code = compileRun(t, "int main() { int x; x = 1; }", "")
+	if code != 0 {
+		t.Errorf("implicit return exit = %d", code)
+	}
+}
+
+func TestPrintf(t *testing.T) {
+	expectC(t, `int main() { printf("hello world\n"); return 0; }`, "hello world\n")
+	expectC(t, `int main() { printf("%d + %d = %d\n", 2, 3, 2 + 3); return 0; }`, "2 + 3 = 5\n")
+	expectC(t, `int main() { printf("%s|%c|%d%%\n", "str", 'x', -7); return 0; }`, "str|x|-7%\n")
+	expectC(t, `int main() { printf("%f\n", 2.5); return 0; }`, "2.5\n")
+	expectC(t, `int main() { printf("%g\n", 1.0 / 4.0); return 0; }`, "0.25\n")
+	expectC(t, `int main() { printf("%ld\n", 1000000); return 0; }`, "1000000\n")
+	expectC(t, `int main() { puts("line"); putchar('A'); putchar(10); return 0; }`, "line\nA\n")
+}
+
+func TestArithmeticC(t *testing.T) {
+	expectC(t, `int main() { printf("%d", 7 / 2); return 0; }`, "3")
+	expectC(t, `int main() { printf("%d", -7 / 2); return 0; }`, "-3") // C truncation
+	expectC(t, `int main() { printf("%d", -7 % 2); return 0; }`, "-1")
+	expectC(t, `int main() { printf("%d", 1 << 10); return 0; }`, "1024")
+	expectC(t, `int main() { printf("%d", -16 >> 2); return 0; }`, "-4")
+	expectC(t, `int main() { printf("%d", 0xFF & 0x0F); return 0; }`, "15")
+	expectC(t, `int main() { printf("%d", 5 | 2); return 0; }`, "7")
+	expectC(t, `int main() { printf("%d", 5 ^ 1); return 0; }`, "4")
+	expectC(t, `int main() { printf("%d", ~0); return 0; }`, "-1")
+	expectC(t, `int main() { printf("%d %d", 3 < 4, 4 <= 3); return 0; }`, "1 0")
+	expectC(t, `int main() { printf("%d %d", 1 && 0, 1 || 0); return 0; }`, "0 1")
+	expectC(t, `int main() { printf("%d", !5); return 0; }`, "0")
+	expectC(t, `int main() { printf("%g", 1.5 * 4.0); return 0; }`, "6")
+	expectC(t, `int main() { printf("%g", 1 + 0.5); return 0; }`, "1.5")
+	expectC(t, `int main() { printf("%d", (int)3.9); return 0; }`, "3")
+	expectC(t, `int main() { printf("%g", (double)7 / 2); return 0; }`, "3.5")
+}
+
+func TestShortCircuit(t *testing.T) {
+	src := `
+int calls = 0;
+int bump() { calls = calls + 1; return 1; }
+int main() {
+    int a = 0 && bump();
+    int b = 1 || bump();
+    printf("%d %d %d", a, b, calls);
+    return 0;
+}`
+	expectC(t, src, "0 1 0")
+}
+
+func TestVariablesAndControlFlow(t *testing.T) {
+	expectC(t, `
+int main() {
+    int total = 0;
+    for (int i = 1; i <= 10; i++) {
+        total += i;
+    }
+    printf("%d", total);
+    return 0;
+}`, "55")
+	expectC(t, `
+int main() {
+    int i = 0;
+    while (i < 10) {
+        i++;
+        if (i == 3) { continue; }
+        if (i > 5) { break; }
+        printf("%d ", i);
+    }
+    return 0;
+}`, "1 2 4 5 ")
+	expectC(t, `
+int main() {
+    int x = 7;
+    if (x > 10) { puts("big"); } else if (x > 5) { puts("mid"); } else { puts("small"); }
+    return 0;
+}`, "mid\n")
+}
+
+func TestRecursionC(t *testing.T) {
+	expectC(t, `
+int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() { printf("%d", fib(15)); return 0; }`, "610")
+	expectC(t, `
+int fact(int n) {
+    if (n == 0) { return 1; }
+    return n * fact(n - 1);
+}
+int main() { printf("%d", fact(10)); return 0; }`, "3628800")
+}
+
+func TestArraysC(t *testing.T) {
+	expectC(t, `
+int main() {
+    int a[5] = {5, 2, 9, 1, 7};
+    int n = 5;
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n - 1 - i; j++) {
+            if (a[j] > a[j + 1]) {
+                int tmp = a[j];
+                a[j] = a[j + 1];
+                a[j + 1] = tmp;
+            }
+        }
+    }
+    for (int i = 0; i < n; i++) { printf("%d ", a[i]); }
+    return 0;
+}`, "1 2 5 7 9 ")
+	expectC(t, `
+int sum(int* xs, int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) { s += xs[i]; }
+    return s;
+}
+int main() {
+    int a[3] = {10, 20, 12};
+    printf("%d", sum(a, 3));
+    return 0;
+}`, "42")
+	expectC(t, `
+int main() {
+    char buf[4];
+    buf[0] = 'h';
+    buf[1] = 'i';
+    buf[2] = 0;
+    puts(buf);
+    return 0;
+}`, "hi\n")
+}
+
+func TestPointersC(t *testing.T) {
+	expectC(t, `
+int main() {
+    int x = 1;
+    int* p = &x;
+    *p = 99;
+    printf("%d", x);
+    return 0;
+}`, "99")
+	expectC(t, `
+void swap(int* a, int* b) {
+    int t = *a;
+    *a = *b;
+    *b = t;
+}
+int main() {
+    int x = 1;
+    int y = 2;
+    swap(&x, &y);
+    printf("%d %d", x, y);
+    return 0;
+}`, "2 1")
+	expectC(t, `
+int main() {
+    int a[4] = {10, 20, 30, 40};
+    int* p = a;
+    p++;
+    printf("%d ", *p);
+    p += 2;
+    printf("%d ", *p);
+    printf("%d", (int)(p - a));
+    return 0;
+}`, "20 40 3")
+	expectC(t, `
+int main() {
+    int x = 5;
+    int* p = &x;
+    int** pp = &p;
+    **pp = 7;
+    printf("%d", x);
+    return 0;
+}`, "7")
+	expectC(t, `
+int main() {
+    char* s = "abc";
+    printf("%c%c", s[0], *(s + 2));
+    return 0;
+}`, "ac")
+}
+
+func TestStructsC(t *testing.T) {
+	expectC(t, `
+struct point {
+    int x;
+    int y;
+};
+int main() {
+    struct point p;
+    p.x = 3;
+    p.y = 4;
+    printf("%d", p.x * p.x + p.y * p.y);
+    return 0;
+}`, "25")
+	expectC(t, `
+struct node {
+    int v;
+    struct node* next;
+};
+int main() {
+    struct node a;
+    struct node b;
+    a.v = 1;
+    b.v = 2;
+    a.next = &b;
+    b.next = 0;
+    printf("%d", a.next->v);
+    return 0;
+}`, "2")
+	expectC(t, `
+struct mix {
+    char c;
+    int n;
+    double d;
+};
+int main() {
+    printf("%d", (int)sizeof(struct mix));
+    return 0;
+}`, "24")
+}
+
+func TestSizeof(t *testing.T) {
+	expectC(t, `int main() { printf("%d %d %d %d", (int)sizeof(int), (int)sizeof(char), (int)sizeof(double), (int)sizeof(int*)); return 0; }`,
+		"8 1 8 8")
+	expectC(t, `int main() { int a[10]; printf("%d", (int)sizeof(a)); return 0; }`, "80")
+}
+
+func TestGlobalsC(t *testing.T) {
+	expectC(t, `
+int counter = 100;
+int arr[3] = {1, 2, 3};
+char* greeting = "yo";
+double ratio = 0.5;
+int bump() { counter++; return counter; }
+int main() {
+    bump();
+    bump();
+    printf("%d %d %s %g", counter, arr[1], greeting, ratio);
+    return 0;
+}`, "102 2 yo 0.5")
+}
+
+func TestEnumsAndTypedef(t *testing.T) {
+	expectC(t, `
+typedef enum { UP, DOWN, LEFT = 10, RIGHT } orientation;
+int main() {
+    orientation o = RIGHT;
+    printf("%d %d %d %d", UP, DOWN, LEFT, o);
+    return 0;
+}`, "0 1 10 11")
+	expectC(t, `
+typedef struct Pair { int a; int b; } pair;
+int main() {
+    pair p;
+    p.a = 1;
+    p.b = 2;
+    printf("%d", p.a + p.b);
+    return 0;
+}`, "3")
+	expectC(t, `
+typedef int myint;
+int main() { myint x = 9; printf("%d", x); return 0; }`, "9")
+}
+
+func TestMallocFree(t *testing.T) {
+	expectC(t, `
+int main() {
+    int* xs = (int*)malloc(5 * sizeof(int));
+    for (int i = 0; i < 5; i++) { xs[i] = i * i; }
+    int total = 0;
+    for (int i = 0; i < 5; i++) { total += xs[i]; }
+    free(xs);
+    printf("%d", total);
+    return 0;
+}`, "30")
+	expectC(t, `
+int main() {
+    char* p = (char*)calloc(8, 1);
+    int allzero = 1;
+    for (int i = 0; i < 8; i++) {
+        if (p[i] != 0) { allzero = 0; }
+    }
+    printf("%d", allzero);
+    return 0;
+}`, "1")
+	expectC(t, `
+int main() {
+    int* p = (int*)malloc(2 * sizeof(int));
+    p[0] = 11;
+    p[1] = 22;
+    p = (int*)realloc((char*)p, 4 * sizeof(int));
+    p[2] = 33;
+    printf("%d %d %d", p[0], p[1], p[2]);
+    return 0;
+}`, "11 22 33")
+}
+
+func TestMallocReuseAfterFree(t *testing.T) {
+	expectC(t, `
+int main() {
+    char* a = malloc(64);
+    free(a);
+    char* b = malloc(64);
+    printf("%d", a == b);
+    return 0;
+}`, "1")
+}
+
+func TestLinkedListOnHeap(t *testing.T) {
+	expectC(t, `
+struct node {
+    int v;
+    struct node* next;
+};
+struct node* push(struct node* head, int v) {
+    struct node* n = (struct node*)malloc(sizeof(struct node));
+    n->v = v;
+    n->next = head;
+    return n;
+}
+int main() {
+    struct node* head = 0;
+    for (int i = 1; i <= 4; i++) { head = push(head, i * i); }
+    int total = 0;
+    while (head != 0) {
+        total += head->v;
+        struct node* dead = head;
+        head = head->next;
+        free((char*)dead);
+    }
+    printf("%d", total);
+    return 0;
+}`, "30")
+}
+
+func TestReadIntC(t *testing.T) {
+	got, code := compileRun(t, `
+int main() {
+    int a = read_int();
+    int b = read_int();
+    printf("%d", a * b);
+    return 0;
+}`, "6 7\n")
+	if code != 0 || got != "42" {
+		t.Errorf("got %q code %d", got, code)
+	}
+}
+
+func TestExitBuiltin(t *testing.T) {
+	got, code := compileRun(t, `
+int main() {
+    printf("before");
+    exit(3);
+    printf("after");
+    return 0;
+}`, "")
+	if code != 3 || got != "before" {
+		t.Errorf("got %q code %d", got, code)
+	}
+}
+
+func TestCharSemantics(t *testing.T) {
+	expectC(t, `
+int main() {
+    char c = 'A';
+    c = c + 1;
+    printf("%c %d", c, c);
+    return 0;
+}`, "B 66")
+	expectC(t, `
+int main() {
+    char c = (char)300; // truncates to 44
+    printf("%d", c);
+    return 0;
+}`, "44")
+}
+
+func TestBlockScoping(t *testing.T) {
+	expectC(t, `
+int main() {
+    int x = 1;
+    {
+        int x = 2;
+        printf("%d", x);
+    }
+    printf("%d", x);
+    for (int i = 0; i < 1; i++) { int x = 3; printf("%d", x); }
+    return 0;
+}`, "213")
+}
+
+func TestFunctionPointerValue(t *testing.T) {
+	expectC(t, `
+int f() { return 1; }
+int main() {
+    long addr = (long)f;
+    printf("%d", addr > 0);
+    return 0;
+}`, "1")
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"int main() { return undefined; }", "undefined variable"},
+		{"int main() { nofn(); return 0; }", "undefined function"},
+		{"int f(int a) { return a; } int main() { return f(); }", "expects 1 arguments"},
+		{"int main() { int x; int x; return 0; }", "redeclared"},
+		{"int main() { break; }", "break outside loop"},
+		{"int main() { continue; }", "continue outside loop"},
+		{"int main() { double d; d = 1.0; return d % 2; }", "not defined on double"},
+		{"int main() { int x; return *x; }", "dereference"},
+		{"int main() { return 1 +; }", "unexpected"},
+		{"int main() { printf(\"%d\"); }", "not enough arguments"},
+		{"int main() { printf(\"%d\", 1, 2); }", "too many arguments"},
+		{"int main() { printf(\"%q\", 1); }", "unsupported conversion"},
+		{"int main() { int x = 3; x(); }", "undefined function"},
+		{"struct s { int a; }; int main() { struct s v; v.b = 1; }", "no member"},
+		{"int g() { return 0; }", "no main function"},
+		{"int main(int argc) { return 0; }", "main must take no parameters"},
+		{"void f() {} void f() {} int main() { return 0; }", "redefined"},
+		{"int main() { return sizeof(struct nosuch) == 0; }", ""},
+	}
+	for _, c := range cases {
+		_, err := Compile("e.c", c.src)
+		if c.want == "" {
+			continue
+		}
+		if err == nil {
+			t.Errorf("Compile(%q) succeeded, want error %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Compile(%q) error %q, want substring %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestRuntimeFaults(t *testing.T) {
+	// Null deref must fault the machine.
+	prog, err := Compile("f.c", `
+int main() {
+    int* p = 0;
+    return *p;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stop := m.Run(0); stop.Kind != vm.StopFault {
+		t.Errorf("null deref stop = %v", stop.Kind)
+	}
+	// Division by zero.
+	prog, err = Compile("f.c", `
+int main() {
+    int z = 0;
+    return 1 / z;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ = vm.New(prog, vm.Config{})
+	if stop := m.Run(0); stop.Kind != vm.StopFault {
+		t.Errorf("div by zero stop = %v", stop.Kind)
+	}
+}
+
+func TestDebugInfoLineTable(t *testing.T) {
+	src := `int add(int a, int b) {
+    int s = a + b;
+    return s;
+}
+int main() {
+    int r = add(1, 2);
+    printf("%d", r);
+    return 0;
+}`
+	prog, err := Compile("dbg.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainFn := prog.FuncByName("main")
+	if mainFn == nil {
+		t.Fatal("main missing from debug info")
+	}
+	if prog.LineAt(mainFn.PrologueEnd) != 6 {
+		t.Errorf("main prologue-end line = %d, want 6", prog.LineAt(mainFn.PrologueEnd))
+	}
+	addFn := prog.FuncByName("add")
+	if addFn == nil {
+		t.Fatal("add missing")
+	}
+	var names []string
+	for _, lv := range addFn.Locals {
+		names = append(names, lv.Name)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "a") || !strings.Contains(joined, "b") || !strings.Contains(joined, "s") {
+		t.Errorf("add locals = %v", names)
+	}
+	for _, lv := range addFn.Locals {
+		if lv.Offset >= 0 {
+			t.Errorf("local %s has non-negative fp offset %d", lv.Name, lv.Offset)
+		}
+		if (lv.Name == "a" || lv.Name == "b") && !lv.Param {
+			t.Errorf("%s not marked as param", lv.Name)
+		}
+	}
+	if _start := prog.FuncByName("_start"); _start == nil {
+		t.Error("_start missing")
+	}
+	// Runtime functions carry no line info.
+	if mallocFn := prog.FuncByName("malloc"); mallocFn == nil {
+		t.Error("malloc missing from image")
+	} else if prog.LineAt(mallocFn.Entry) != 0 {
+		t.Errorf("malloc has line info %d", prog.LineAt(mallocFn.Entry))
+	}
+}
+
+func TestSingleEpiloguePerFunction(t *testing.T) {
+	// The compiler emits one epilogue per function — the property the
+	// paper's ret-scanning exit breakpoints rely on.
+	src := `
+int classify(int x) {
+    if (x > 0) { return 1; }
+    if (x < 0) { return -1; }
+    return 0;
+}
+int main() { return classify(5); }`
+	prog, err := Compile("epi.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.FuncByName("classify")
+	rets := 0
+	for _, d := range prog.Disassemble(f.Entry, f.End) {
+		if d.Instr.IsRet() {
+			rets++
+		}
+	}
+	if rets != 1 {
+		t.Errorf("classify has %d ret instructions, want 1", rets)
+	}
+}
+
+func TestScopeRangesInDebugInfo(t *testing.T) {
+	src := `int main() {
+    int x = 1;
+    {
+        int y = 2;
+        x = y;
+    }
+    return x;
+}`
+	prog, err := Compile("sc.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.FuncByName("main")
+	var x, y *isa.VarInfo
+	for i := range f.Locals {
+		switch f.Locals[i].Name {
+		case "x":
+			x = &f.Locals[i]
+		case "y":
+			y = &f.Locals[i]
+		}
+	}
+	if x == nil || y == nil {
+		t.Fatalf("locals: %+v", f.Locals)
+	}
+	if y.ScopeStart <= x.ScopeStart {
+		t.Error("y scope should start after x")
+	}
+	if y.ScopeEnd >= x.ScopeEnd {
+		t.Error("y scope should end before x")
+	}
+}
+
+func TestInterpositionGlobalsPresent(t *testing.T) {
+	prog, err := Compile("g.c", "int main() { return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []string{"__et_alloc_size", "__et_alloc_ptr", "__et_free_ptr"} {
+		if prog.GlobalByName(g) == nil {
+			t.Errorf("interposition global %s missing", g)
+		}
+	}
+}
+
+func TestCommentsAndPreprocessorIgnored(t *testing.T) {
+	expectC(t, `
+#include <stdio.h>
+/* block
+   comment */
+int main() { // trailing
+    printf("ok");
+    return 0;
+}`, "ok")
+}

@@ -1,0 +1,848 @@
+package minic
+
+import (
+	"fmt"
+
+	"easytracker/internal/isa"
+)
+
+// Parser is a recursive-descent parser for MiniC.
+type Parser struct {
+	file     string
+	toks     []Token
+	pos      int
+	typedefs map[string]*isa.TypeInfo
+}
+
+// ParseFile parses MiniC source into an AST.
+func ParseFile(file, src string) (*File, error) {
+	toks, err := Lex(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{file: file, toks: toks, typedefs: map[string]*isa.TypeInfo{}}
+	f := &File{Name: file}
+	for !p.at(TEOF) {
+		d, err := p.decl()
+		if err != nil {
+			return nil, err
+		}
+		if d != nil {
+			f.Decls = append(f.Decls, d)
+		}
+	}
+	return f, nil
+}
+
+func (p *Parser) cur() Token        { return p.toks[p.pos] }
+func (p *Parser) at(k TokKind) bool { return p.toks[p.pos].Kind == k }
+func (p *Parser) peek(off int) Token {
+	if p.pos+off >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errf(t Token, format string, args ...any) error {
+	return &Error{File: p.file, Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, p.errf(p.cur(), "expected %q, found %s", k.String(), p.cur())
+	}
+	return p.next(), nil
+}
+
+// atType reports whether the current token starts a type.
+func (p *Parser) atType() bool {
+	switch p.cur().Kind {
+	case TKInt, TKLong, TKChar, TKDouble, TKVoid, TKStruct:
+		return true
+	case TName:
+		_, ok := p.typedefs[p.cur().Text]
+		return ok
+	}
+	return false
+}
+
+// parseType parses a base type plus pointer stars.
+func (p *Parser) parseType() (*isa.TypeInfo, error) {
+	var base *isa.TypeInfo
+	switch t := p.next(); t.Kind {
+	case TKInt, TKLong:
+		base = isa.IntType()
+	case TKChar:
+		base = isa.CharType()
+	case TKDouble:
+		base = isa.DoubleType()
+	case TKVoid:
+		base = isa.VoidType()
+	case TKStruct:
+		name, err := p.expect(TName)
+		if err != nil {
+			return nil, err
+		}
+		base = isa.StructType(name.Text)
+	case TName:
+		td, ok := p.typedefs[t.Text]
+		if !ok {
+			return nil, p.errf(t, "unknown type %q", t.Text)
+		}
+		base = td
+	default:
+		return nil, p.errf(t, "expected a type, found %s", t)
+	}
+	// `long long`, `unsigned`? accept extra int/long tokens after long.
+	for p.at(TKInt) || p.at(TKLong) {
+		p.next()
+	}
+	for p.at(TStar) {
+		p.next()
+		base = isa.PtrTo(base)
+	}
+	return base, nil
+}
+
+// arraySuffix parses trailing [N] dimensions onto a type.
+func (p *Parser) arraySuffix(base *isa.TypeInfo) (*isa.TypeInfo, error) {
+	var dims []int
+	for p.at(TLBracket) {
+		p.next()
+		n, err := p.expect(TInt)
+		if err != nil {
+			return nil, err
+		}
+		if n.Int <= 0 {
+			return nil, p.errf(n, "array size must be positive")
+		}
+		if _, err := p.expect(TRBracket); err != nil {
+			return nil, err
+		}
+		dims = append(dims, int(n.Int))
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		base = isa.ArrayOf(base, dims[i])
+	}
+	return base, nil
+}
+
+func (p *Parser) decl() (Decl, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TSemi:
+		p.next()
+		return nil, nil
+	case TKTypedef:
+		return p.typedefDecl()
+	case TKEnum:
+		return p.enumDecl("")
+	case TKStruct:
+		// Definition `struct Name { ... };` vs use `struct Name x;`.
+		if p.peek(1).Kind == TName && p.peek(2).Kind == TLBrace {
+			return p.structDecl()
+		}
+	}
+	if !p.atType() {
+		return nil, p.errf(t, "expected a declaration, found %s", t)
+	}
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TName)
+	if err != nil {
+		return nil, err
+	}
+	if p.at(TLParen) {
+		return p.funcDecl(ty, name)
+	}
+	return p.globalDecl(ty, name)
+}
+
+func (p *Parser) structDecl() (Decl, error) {
+	t := p.next() // struct
+	name, err := p.expect(TName)
+	if err != nil {
+		return nil, err
+	}
+	fields, err := p.fieldList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	return &StructDecl{cpos: cpos{t.Line}, Name: name.Text, Fields: fields}, nil
+}
+
+func (p *Parser) fieldList() ([]Param, error) {
+	if _, err := p.expect(TLBrace); err != nil {
+		return nil, err
+	}
+	var fields []Param
+	for !p.at(TRBrace) {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		fname, err := p.expect(TName)
+		if err != nil {
+			return nil, err
+		}
+		fty, err := p.arraySuffix(ty)
+		if err != nil {
+			return nil, err
+		}
+		fields = append(fields, Param{Type: fty, Name: fname.Text, Line: fname.Line})
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // }
+	return fields, nil
+}
+
+func (p *Parser) typedefDecl() (Decl, error) {
+	t := p.next() // typedef
+	var base *isa.TypeInfo
+	var extra Decl
+	switch {
+	case p.at(TKEnum):
+		ed, err := p.enumDecl("")
+		if err != nil {
+			return nil, err
+		}
+		extra = ed
+		base = isa.IntType()
+		// enumDecl consumed up to (not including) the typedef name.
+	case p.at(TKStruct) && p.peek(1).Kind == TName && p.peek(2).Kind == TLBrace:
+		sname := p.peek(1).Text
+		sd, err := p.structDeclNoSemi()
+		if err != nil {
+			return nil, err
+		}
+		extra = sd
+		base = isa.StructType(sname)
+	default:
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		base = ty
+	}
+	for p.at(TStar) {
+		p.next()
+		base = isa.PtrTo(base)
+	}
+	name, err := p.expect(TName)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	p.typedefs[name.Text] = base
+	td := &TypedefDecl{cpos: cpos{t.Line}, Name: name.Text, Type: base}
+	if extra != nil {
+		// Wrap both declarations; caller appends them in order via a
+		// synthetic group: return extra first by re-queueing typedef.
+		return &declGroup{cpos{t.Line}, []Decl{extra, td}}, nil
+	}
+	return td, nil
+}
+
+func (p *Parser) structDeclNoSemi() (*StructDecl, error) {
+	t := p.next() // struct
+	name, err := p.expect(TName)
+	if err != nil {
+		return nil, err
+	}
+	fields, err := p.fieldList()
+	if err != nil {
+		return nil, err
+	}
+	return &StructDecl{cpos: cpos{t.Line}, Name: name.Text, Fields: fields}, nil
+}
+
+// declGroup bundles declarations produced by one source construct.
+type declGroup struct {
+	cpos
+	Decls []Decl
+}
+
+func (*declGroup) declNode() {}
+
+// enumDecl parses `enum [Name] { A, B = 3, C } ;`-style bodies. The
+// terminating semicolon is consumed only when the enum is a standalone
+// declaration (peek distinguishes typedef use).
+func (p *Parser) enumDecl(string) (Decl, error) {
+	t := p.next() // enum
+	if p.at(TName) {
+		p.next() // tag ignored
+	}
+	if _, err := p.expect(TLBrace); err != nil {
+		return nil, err
+	}
+	ed := &EnumDecl{cpos: cpos{t.Line}}
+	next := int64(0)
+	for !p.at(TRBrace) {
+		n, err := p.expect(TName)
+		if err != nil {
+			return nil, err
+		}
+		if p.at(TAssign) {
+			p.next()
+			neg := false
+			if p.at(TMinus) {
+				p.next()
+				neg = true
+			}
+			v, err := p.expect(TInt)
+			if err != nil {
+				return nil, err
+			}
+			next = v.Int
+			if neg {
+				next = -next
+			}
+		}
+		ed.Names = append(ed.Names, n.Text)
+		ed.Values = append(ed.Values, next)
+		next++
+		if p.at(TComma) {
+			p.next()
+		} else {
+			break
+		}
+	}
+	if _, err := p.expect(TRBrace); err != nil {
+		return nil, err
+	}
+	if p.at(TSemi) {
+		p.next()
+	}
+	return ed, nil
+}
+
+func (p *Parser) globalDecl(ty *isa.TypeInfo, name Token) (Decl, error) {
+	ty, err := p.arraySuffix(ty)
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{cpos: cpos{name.Line}, Type: ty, Name: name.Text}
+	if p.at(TAssign) {
+		p.next()
+		init, err := p.initializer()
+		if err != nil {
+			return nil, err
+		}
+		g.Init = init
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *Parser) initializer() (Expr, error) {
+	if p.at(TLBrace) {
+		t := p.next()
+		lst := &InitListExpr{cpos: cpos{t.Line}}
+		for !p.at(TRBrace) {
+			e, err := p.assignExpr()
+			if err != nil {
+				return nil, err
+			}
+			lst.Elems = append(lst.Elems, e)
+			if p.at(TComma) {
+				p.next()
+			} else {
+				break
+			}
+		}
+		if _, err := p.expect(TRBrace); err != nil {
+			return nil, err
+		}
+		return lst, nil
+	}
+	return p.assignExpr()
+}
+
+func (p *Parser) funcDecl(ret *isa.TypeInfo, name Token) (Decl, error) {
+	p.next() // (
+	var params []Param
+	if p.at(TKVoid) && p.peek(1).Kind == TRParen {
+		p.next()
+	}
+	for !p.at(TRParen) {
+		ty, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pn, err := p.expect(TName)
+		if err != nil {
+			return nil, err
+		}
+		pty, err := p.arraySuffix(ty)
+		if err != nil {
+			return nil, err
+		}
+		// Array parameters decay to pointers.
+		if pty.Kind == isa.KArray {
+			pty = isa.PtrTo(pty.Elem)
+		}
+		params = append(params, Param{Type: pty, Name: pn.Text, Line: pn.Line})
+		if p.at(TComma) {
+			p.next()
+		} else {
+			break
+		}
+	}
+	if _, err := p.expect(TRParen); err != nil {
+		return nil, err
+	}
+	if p.at(TSemi) {
+		// Prototype: record nothing (two-pass checker collects
+		// signatures from definitions; prototypes are tolerated).
+		p.next()
+		return nil, nil
+	}
+	body, err := p.blockStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{
+		cpos: cpos{name.Line}, Ret: ret, Name: name.Text,
+		Params: params, Body: body, EndLine: body.EndLine,
+	}, nil
+}
+
+func (p *Parser) blockStmt() (*BlockStmt, error) {
+	t, err := p.expect(TLBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{cpos: cpos{t.Line}}
+	for !p.at(TRBrace) {
+		if p.at(TEOF) {
+			return nil, p.errf(p.cur(), "unexpected end of file in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Body = append(b.Body, s)
+	}
+	end := p.next() // }
+	b.EndLine = end.Line
+	return b, nil
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TLBrace:
+		return p.blockStmt()
+	case TSemi:
+		p.next()
+		return &EmptyStmt{cpos{t.Line}}, nil
+	case TKIf:
+		p.next()
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{cpos: cpos{t.Line}, Cond: cond, Then: then}
+		if p.at(TKElse) {
+			p.next()
+			els, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case TKWhile:
+		p.next()
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{cpos: cpos{t.Line}, Cond: cond, Body: body}, nil
+	case TKFor:
+		p.next()
+		if _, err := p.expect(TLParen); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{cpos: cpos{t.Line}}
+		if !p.at(TSemi) {
+			if p.atType() {
+				ds, err := p.declStmt()
+				if err != nil {
+					return nil, err
+				}
+				st.Init = ds
+			} else {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				st.Init = &ExprStmt{cpos: cpos{e.Pos()}, X: e}
+				if _, err := p.expect(TSemi); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			p.next()
+		}
+		if !p.at(TSemi) {
+			cond, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		if !p.at(TRParen) {
+			post, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = post
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+	case TKReturn:
+		p.next()
+		st := &ReturnStmt{cpos: cpos{t.Line}}
+		if !p.at(TSemi) {
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case TKBreak:
+		p.next()
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{cpos{t.Line}}, nil
+	case TKContinue:
+		p.next()
+		if _, err := p.expect(TSemi); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{cpos{t.Line}}, nil
+	}
+	if p.atType() {
+		return p.declStmt()
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	return &ExprStmt{cpos: cpos{t.Line}, X: e}, nil
+}
+
+// declStmt parses `type name [dims] [= init];`.
+func (p *Parser) declStmt() (Stmt, error) {
+	ty, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TName)
+	if err != nil {
+		return nil, err
+	}
+	ty, err = p.arraySuffix(ty)
+	if err != nil {
+		return nil, err
+	}
+	ds := &DeclStmt{cpos: cpos{name.Line}, Type: ty, Name: name.Text}
+	if p.at(TAssign) {
+		p.next()
+		init, err := p.initializer()
+		if err != nil {
+			return nil, err
+		}
+		if lst, ok := init.(*InitListExpr); ok {
+			ds.InitList = lst.Elems
+		} else {
+			ds.Init = init
+		}
+	}
+	if _, err := p.expect(TSemi); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// ---- Expressions (C precedence ladder) ----
+
+func (p *Parser) expr() (Expr, error) { return p.assignExpr() }
+
+func (p *Parser) assignExpr() (Expr, error) {
+	l, err := p.orExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case TAssign, TPlusEq, TMinusEq, TStarEq, TSlashEq, TPercentEq:
+		op := p.next()
+		r, err := p.assignExpr() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{cpos: cpos{op.Line}, Op: op.Kind, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+// binary precedence climbing
+var cBinPrec = map[TokKind]int{
+	TOrOr:   1,
+	TAndAnd: 2,
+	TPipe:   3,
+	TCaret:  4,
+	TAmp:    5,
+	TEq:     6, TNe: 6,
+	TLt: 7, TLe: 7, TGt: 7, TGe: 7,
+	TShl: 8, TShr: 8,
+	TPlus: 9, TMinus: 9,
+	TStar: 10, TSlash: 10, TPercent: 10,
+}
+
+func (p *Parser) orExpr() (Expr, error) { return p.binExpr(1) }
+
+func (p *Parser) binExpr(minPrec int) (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := cBinPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return l, nil
+		}
+		op := p.next()
+		r, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{cpos: cpos{op.Line}, Op: op.Kind, L: l, R: r}
+	}
+}
+
+func (p *Parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TNot, TMinus, TPlus, TTilde, TStar, TAmp:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{cpos: cpos{t.Line}, Op: t.Kind, X: x}, nil
+	case TPlusPlus, TMinusMinus:
+		p.next()
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{cpos: cpos{t.Line}, Op: t.Kind, X: x}, nil
+	case TKSizeof:
+		p.next()
+		if p.at(TLParen) && p.isTypeAt(p.pos+1) {
+			p.next()
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			ty, err = p.arraySuffix(ty)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TRParen); err != nil {
+				return nil, err
+			}
+			return &SizeofExpr{cpos: cpos{t.Line}, Type: ty}, nil
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{cpos: cpos{t.Line}, X: x}, nil
+	case TLParen:
+		// Cast vs grouping.
+		if p.isTypeAt(p.pos + 1) {
+			p.next()
+			ty, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TRParen); err != nil {
+				return nil, err
+			}
+			x, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{cpos: cpos{t.Line}, Type: ty, X: x}, nil
+		}
+	}
+	return p.postfixExpr()
+}
+
+// isTypeAt reports whether the token at index i starts a type.
+func (p *Parser) isTypeAt(i int) bool {
+	if i >= len(p.toks) {
+		return false
+	}
+	switch p.toks[i].Kind {
+	case TKInt, TKLong, TKChar, TKDouble, TKVoid, TKStruct:
+		return true
+	case TName:
+		_, ok := p.typedefs[p.toks[i].Text]
+		return ok
+	}
+	return false
+}
+
+func (p *Parser) postfixExpr() (Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		switch t.Kind {
+		case TLBracket:
+			p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TRBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{cpos: cpos{t.Line}, X: x, Index: idx}
+		case TDot:
+			p.next()
+			n, err := p.expect(TName)
+			if err != nil {
+				return nil, err
+			}
+			x = &MemberExpr{cpos: cpos{t.Line}, X: x, Name: n.Text}
+		case TArrow:
+			p.next()
+			n, err := p.expect(TName)
+			if err != nil {
+				return nil, err
+			}
+			x = &MemberExpr{cpos: cpos{t.Line}, X: x, Name: n.Text, Arrow: true}
+		case TPlusPlus, TMinusMinus:
+			p.next()
+			x = &PostfixExpr{cpos: cpos{t.Line}, Op: t.Kind, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TName:
+		p.next()
+		if p.at(TLParen) {
+			p.next()
+			call := &CallExpr{cpos: cpos{t.Line}, Fn: t.Text}
+			for !p.at(TRParen) {
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.at(TComma) {
+					p.next()
+				} else {
+					break
+				}
+			}
+			if _, err := p.expect(TRParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{cpos: cpos{t.Line}, Name: t.Text}, nil
+	case TInt:
+		p.next()
+		return &IntLit{cpos: cpos{t.Line}, Value: t.Int}, nil
+	case TFloat:
+		p.next()
+		return &FloatLit{cpos: cpos{t.Line}, Value: t.Float}, nil
+	case TChar:
+		p.next()
+		return &CharLit{cpos: cpos{t.Line}, Value: t.Int}, nil
+	case TString:
+		p.next()
+		return &StrLit{cpos: cpos{t.Line}, Value: t.Text}, nil
+	case TLParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf(t, "unexpected %s in expression", t)
+}

@@ -1,0 +1,242 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"easytracker/internal/isa"
+)
+
+func parse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := ParseFile("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func TestParseFunctionShape(t *testing.T) {
+	f := parse(t, `int add(int a, char* s) {
+    return a;
+}`)
+	if len(f.Decls) != 1 {
+		t.Fatalf("decls = %d", len(f.Decls))
+	}
+	fd, ok := f.Decls[0].(*FuncDecl)
+	if !ok {
+		t.Fatalf("decl is %T", f.Decls[0])
+	}
+	if fd.Name != "add" || fd.Ret.Kind != isa.KInt {
+		t.Errorf("func = %s %s", fd.Ret, fd.Name)
+	}
+	if len(fd.Params) != 2 {
+		t.Fatalf("params = %d", len(fd.Params))
+	}
+	if fd.Params[1].Type.String() != "char*" {
+		t.Errorf("param 1 type = %s", fd.Params[1].Type)
+	}
+	if fd.Pos() != 1 || fd.EndLine != 3 {
+		t.Errorf("lines = %d..%d", fd.Pos(), fd.EndLine)
+	}
+}
+
+func TestParseArrayParamDecays(t *testing.T) {
+	f := parse(t, "int sum(int xs[10]) {\n    return xs[0];\n}")
+	fd := f.Decls[0].(*FuncDecl)
+	if fd.Params[0].Type.String() != "int*" {
+		t.Errorf("array param type = %s", fd.Params[0].Type)
+	}
+}
+
+func TestParseStructAndTypes(t *testing.T) {
+	f := parse(t, `struct node {
+    int v;
+    struct node* next;
+    char tag[8];
+};`)
+	sd := f.Decls[0].(*StructDecl)
+	if sd.Name != "node" || len(sd.Fields) != 3 {
+		t.Fatalf("struct = %+v", sd)
+	}
+	if sd.Fields[1].Type.String() != "struct node*" {
+		t.Errorf("next type = %s", sd.Fields[1].Type)
+	}
+	if sd.Fields[2].Type.String() != "char[8]" {
+		t.Errorf("tag type = %s", sd.Fields[2].Type)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := parse(t, "int main() {\n    int x = 1 + 2 * 3 < 4 && 5 == 6;\n    return x;\n}")
+	fd := f.Decls[0].(*FuncDecl)
+	ds := fd.Body.Body[0].(*DeclStmt)
+	// Top-level operator is &&.
+	top, ok := ds.Init.(*BinaryExpr)
+	if !ok || top.Op != TAndAnd {
+		t.Fatalf("top op = %+v", ds.Init)
+	}
+	lt, ok := top.L.(*BinaryExpr)
+	if !ok || lt.Op != TLt {
+		t.Fatalf("left of && = %+v", top.L)
+	}
+	plus, ok := lt.L.(*BinaryExpr)
+	if !ok || plus.Op != TPlus {
+		t.Fatalf("left of < = %+v", lt.L)
+	}
+	if mul, ok := plus.R.(*BinaryExpr); !ok || mul.Op != TStar {
+		t.Fatalf("right of + = %+v", plus.R)
+	}
+}
+
+func TestParseAssignRightAssoc(t *testing.T) {
+	f := parse(t, "int main() {\n    int a;\n    int b;\n    a = b = 3;\n    return a;\n}")
+	fd := f.Decls[0].(*FuncDecl)
+	es := fd.Body.Body[2].(*ExprStmt)
+	outer, ok := es.X.(*AssignExpr)
+	if !ok {
+		t.Fatalf("stmt = %T", es.X)
+	}
+	if _, ok := outer.R.(*AssignExpr); !ok {
+		t.Fatalf("rhs = %T, want nested assignment", outer.R)
+	}
+}
+
+func TestParseCastVsGrouping(t *testing.T) {
+	f := parse(t, "int main() {\n    int x = (int)1.5;\n    int y = (x) + 1;\n    return x + y;\n}")
+	fd := f.Decls[0].(*FuncDecl)
+	if _, ok := fd.Body.Body[0].(*DeclStmt).Init.(*CastExpr); !ok {
+		t.Error("(int)1.5 not parsed as cast")
+	}
+	if _, ok := fd.Body.Body[1].(*DeclStmt).Init.(*BinaryExpr); !ok {
+		t.Error("(x) + 1 not parsed as grouping + binary")
+	}
+}
+
+func TestParsePointerChains(t *testing.T) {
+	f := parse(t, "int main() {\n    int x = 0;\n    int** pp = 0;\n    **pp = x;\n    return (*pp)[2];\n}")
+	fd := f.Decls[0].(*FuncDecl)
+	if fd.Body.Body[1].(*DeclStmt).Type.String() != "int**" {
+		t.Errorf("pp type = %s", fd.Body.Body[1].(*DeclStmt).Type)
+	}
+	es := fd.Body.Body[2].(*ExprStmt)
+	asn := es.X.(*AssignExpr)
+	u1, ok := asn.L.(*UnaryExpr)
+	if !ok || u1.Op != TStar {
+		t.Fatalf("lhs = %+v", asn.L)
+	}
+	if u2, ok := u1.X.(*UnaryExpr); !ok || u2.Op != TStar {
+		t.Fatalf("**pp inner = %+v", u1.X)
+	}
+}
+
+func TestParseMemberChains(t *testing.T) {
+	f := parse(t, "struct s { int v; };\nint main() {\n    struct s a;\n    struct s* p = &a;\n    return p->v + a.v;\n}")
+	fd := f.Decls[1].(*FuncDecl)
+	ret := fd.Body.Body[2].(*ReturnStmt)
+	bin := ret.Value.(*BinaryExpr)
+	arrow := bin.L.(*MemberExpr)
+	if !arrow.Arrow || arrow.Name != "v" {
+		t.Errorf("p->v = %+v", arrow)
+	}
+	dot := bin.R.(*MemberExpr)
+	if dot.Arrow || dot.Name != "v" {
+		t.Errorf("a.v = %+v", dot)
+	}
+}
+
+func TestParseForVariants(t *testing.T) {
+	f := parse(t, `int main() {
+    for (;;) { break; }
+    for (int i = 0; i < 3; i++) { continue; }
+    int j;
+    for (j = 9; j > 0; ) { j--; }
+    return 0;
+}`)
+	fd := f.Decls[0].(*FuncDecl)
+	f1 := fd.Body.Body[0].(*ForStmt)
+	if f1.Init != nil || f1.Cond != nil || f1.Post != nil {
+		t.Error("for(;;) has clauses")
+	}
+	f2 := fd.Body.Body[1].(*ForStmt)
+	if _, ok := f2.Init.(*DeclStmt); !ok {
+		t.Error("for-decl init missing")
+	}
+	f3 := fd.Body.Body[3].(*ForStmt)
+	if _, ok := f3.Init.(*ExprStmt); !ok || f3.Post != nil {
+		t.Error("for with expr init / empty post wrong")
+	}
+}
+
+func TestParseTypedefEnumGroup(t *testing.T) {
+	f := parse(t, "typedef enum { A, B = 5, C } abc;\nint main() { abc x = C; return x; }")
+	grp, ok := f.Decls[0].(*declGroup)
+	if !ok {
+		t.Fatalf("decl = %T", f.Decls[0])
+	}
+	ed := grp.Decls[0].(*EnumDecl)
+	if len(ed.Names) != 3 || ed.Values[1] != 5 || ed.Values[2] != 6 {
+		t.Errorf("enum = %+v", ed)
+	}
+	td := grp.Decls[1].(*TypedefDecl)
+	if td.Name != "abc" || td.Type.Kind != isa.KInt {
+		t.Errorf("typedef = %+v", td)
+	}
+}
+
+func TestParsePrototypeSkipped(t *testing.T) {
+	f := parse(t, "int helper(int x);\nint main() { return 0; }")
+	if len(f.Decls) != 1 {
+		t.Fatalf("prototype not skipped: %d decls", len(f.Decls))
+	}
+}
+
+func TestParseSizeofForms(t *testing.T) {
+	f := parse(t, "int main() {\n    int a[4];\n    return sizeof(int) + sizeof a + sizeof(struct nope);\n}")
+	fd := f.Decls[0].(*FuncDecl)
+	ret := fd.Body.Body[1].(*ReturnStmt)
+	sum := ret.Value.(*BinaryExpr)
+	inner := sum.L.(*BinaryExpr)
+	if s, ok := inner.L.(*SizeofExpr); !ok || s.Type == nil {
+		t.Error("sizeof(int) not a type sizeof")
+	}
+	if s, ok := inner.R.(*SizeofExpr); !ok || s.X == nil {
+		t.Error("sizeof a not an expr sizeof")
+	}
+}
+
+func TestParseErrorsC(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"int main() {", "unexpected end of file"},
+		{"int main() { return 1 }", "expected"},
+		{"int 3x() {}", "expected"},
+		{"int main() { int a[0]; }", "array size must be positive"},
+		{"unknown_t main() {}", "expected a declaration"},
+		{"int main() { x ->; }", "expected"},
+	}
+	for _, c := range cases {
+		_, err := ParseFile("e.c", c.src)
+		if err == nil {
+			t.Errorf("ParseFile(%q) succeeded", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("ParseFile(%q) error %q, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestLexErrorsC(t *testing.T) {
+	cases := []string{
+		"int main() { char* s = \"unterminated; }",
+		"int main() { /* unterminated",
+		"int main() { char c = 'ab'; }",
+		"int main() { int x = 1 @ 2; }",
+		"int main() { char c = '\\q'; }",
+	}
+	for _, src := range cases {
+		if _, err := Lex("e.c", src); err == nil {
+			t.Errorf("Lex(%q) succeeded", src)
+		}
+	}
+}

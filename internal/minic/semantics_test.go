@@ -1,0 +1,326 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"easytracker/internal/vm"
+)
+
+func TestTwoDimensionalArrays(t *testing.T) {
+	expectC(t, `
+int main() {
+    int m[3][4];
+    for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 4; j++) {
+            m[i][j] = i * 10 + j;
+        }
+    }
+    printf("%d %d %d", m[0][0], m[1][2], m[2][3]);
+    printf(" %d", (int)sizeof(m));
+    return 0;
+}`, "0 12 23 96")
+}
+
+func TestArrayOfStructs(t *testing.T) {
+	expectC(t, `
+struct point { int x; int y; };
+int main() {
+    struct point pts[3];
+    for (int i = 0; i < 3; i++) {
+        pts[i].x = i;
+        pts[i].y = i * i;
+    }
+    int total = 0;
+    for (int i = 0; i < 3; i++) {
+        total += pts[i].x + pts[i].y;
+    }
+    printf("%d", total);
+    return 0;
+}`, "8")
+}
+
+func TestStructWithArrayField(t *testing.T) {
+	expectC(t, `
+struct buf { int len; char data[8]; };
+int main() {
+    struct buf b;
+    b.len = 2;
+    b.data[0] = 'o';
+    b.data[1] = 'k';
+    b.data[2] = 0;
+    puts(b.data);
+    printf("%d", (int)sizeof(struct buf));
+    return 0;
+}`, "ok\n16")
+}
+
+func TestNestedStructs(t *testing.T) {
+	expectC(t, `
+struct inner { int v; };
+struct outer { struct inner a; struct inner b; };
+int main() {
+    struct outer o;
+    o.a.v = 3;
+    o.b.v = 4;
+    struct outer* p = &o;
+    printf("%d", p->a.v + p->b.v);
+    return 0;
+}`, "7")
+}
+
+func TestPointerToStructField(t *testing.T) {
+	expectC(t, `
+struct point { int x; int y; };
+int main() {
+    struct point p;
+    p.x = 0;
+    int* px = &p.x;
+    *px = 9;
+    printf("%d", p.x);
+    return 0;
+}`, "9")
+}
+
+func TestStringFunctionsViaPointers(t *testing.T) {
+	expectC(t, `
+int mystrlen(char* s) {
+    int n = 0;
+    while (s[n] != 0) {
+        n++;
+    }
+    return n;
+}
+void mystrcpy(char* dst, char* src) {
+    int i = 0;
+    while (src[i] != 0) {
+        dst[i] = src[i];
+        i++;
+    }
+    dst[i] = 0;
+}
+int main() {
+    char buf[16];
+    mystrcpy(buf, "hello");
+    printf("%s %d", buf, mystrlen(buf));
+    return 0;
+}`, "hello 5")
+}
+
+func TestDoubleArithmetic(t *testing.T) {
+	expectC(t, `
+double avg(double a, double b) {
+    return (a + b) / 2.0;
+}
+int main() {
+    double x = avg(1.0, 2.0);
+    printf("%g %d %g", x, (int)(x * 10.0), avg(0.5, 0.25));
+    return 0;
+}`, "1.5 15 0.375")
+	expectC(t, `
+int main() {
+    double d = 1.0;
+    d += 0.5;
+    d *= 4.0;
+    d -= 1.0;
+    d /= 5.0;
+    printf("%g", d);
+    return 0;
+}`, "1")
+	expectC(t, `
+int main() {
+    double a = 0.1;
+    double b = 0.2;
+    printf("%d %d", a + b > 0.3, a < b);
+    return 0;
+}`, "1 1")
+}
+
+func TestDoubleGlobalAndConditions(t *testing.T) {
+	expectC(t, `
+double ratio = 2.5;
+int main() {
+    if (ratio) { printf("t"); }
+    ratio = 0.0;
+    if (!ratio) { printf("f"); }
+    while (ratio < 2.0) { ratio += 1.0; }
+    printf("%g", ratio);
+    return 0;
+}`, "tf2")
+}
+
+func TestNegativeConstantsAndSlot(t *testing.T) {
+	// Constants wider than 32 bits go through the data-slot loader.
+	expectC(t, `
+int main() {
+    long big = 1234567890123;
+    long neg = -9876543210;
+    printf("%ld %ld", big, neg);
+    return 0;
+}`, "1234567890123 -9876543210")
+}
+
+func TestGlobalPointerInit(t *testing.T) {
+	expectC(t, `
+int target = 5;
+int arr[2] = {7, 8};
+int main() {
+    int* p = &target;
+    int* q = arr;
+    printf("%d %d", *p, q[1]);
+    return 0;
+}`, "5 8")
+}
+
+func TestRecursiveStructOnHeap(t *testing.T) {
+	expectC(t, `
+struct tree {
+    int v;
+    struct tree* l;
+    struct tree* r;
+};
+struct tree* mk(int v) {
+    struct tree* t = (struct tree*)malloc(sizeof(struct tree));
+    t->v = v;
+    t->l = 0;
+    t->r = 0;
+    return t;
+}
+void insert(struct tree* t, int v) {
+    if (v < t->v) {
+        if (t->l == 0) { t->l = mk(v); } else { insert(t->l, v); }
+    } else {
+        if (t->r == 0) { t->r = mk(v); } else { insert(t->r, v); }
+    }
+}
+int sum(struct tree* t) {
+    if (t == 0) { return 0; }
+    return t->v + sum(t->l) + sum(t->r);
+}
+int main() {
+    struct tree* root = mk(5);
+    insert(root, 3);
+    insert(root, 8);
+    insert(root, 1);
+    printf("%d", sum(root));
+    return 0;
+}`, "17")
+}
+
+func TestCommaFreeForInit(t *testing.T) {
+	expectC(t, `
+int main() {
+    int total = 0;
+    int i;
+    for (i = 10; i > 0; i -= 3) {
+        total += i;
+    }
+    printf("%d %d", total, i);
+    return 0;
+}`, "22 -2")
+}
+
+func TestLogicalAsValues(t *testing.T) {
+	expectC(t, `
+int main() {
+    int a = 5 && 3;
+    int b = 0 || 7;
+    int c = !(1 && 0);
+    printf("%d %d %d", a, b, c);
+    return 0;
+}`, "1 1 1")
+}
+
+func TestTernaryFreeEdgeCases(t *testing.T) {
+	// MiniC has no ?:, but nested if/else with returns covers the same
+	// shapes; make sure dangling else binds to the nearest if.
+	expectC(t, `
+int classify(int x) {
+    if (x > 0)
+        if (x > 10) { return 2; }
+        else { return 1; }
+    return 0;
+}
+int main() {
+    printf("%d%d%d", classify(20), classify(5), classify(-1));
+    return 0;
+}`, "210")
+}
+
+func TestStackDepthRecursion(t *testing.T) {
+	// Deep recursion must work within the default 1 MB stack.
+	expectC(t, `
+int down(int n) {
+    if (n == 0) { return 0; }
+    return down(n - 1) + 1;
+}
+int main() {
+    printf("%d", down(5000));
+    return 0;
+}`, "5000")
+}
+
+func TestStackOverflowFaults(t *testing.T) {
+	prog, err := Compile("so.c", `
+int forever(int n) {
+    return forever(n + 1);
+}
+int main() {
+    return forever(0);
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(prog, vm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := m.Run(0)
+	if stop.Kind != vm.StopFault || !strings.Contains(stop.Err.Error(), "segmentation") {
+		t.Errorf("stack overflow stop = %v (%v)", stop.Kind, stop.Err)
+	}
+}
+
+func TestCharPointerWalk(t *testing.T) {
+	expectC(t, `
+int main() {
+    char* s = "abc";
+    int total = 0;
+    while (*s != 0) {
+        total += *s;
+        s++;
+    }
+    printf("%d", total);
+    return 0;
+}`, "294") // 97+98+99
+}
+
+func TestVoidFunctionAndEarlyReturn(t *testing.T) {
+	expectC(t, `
+int hits = 0;
+void maybe(int x) {
+    if (x < 0) {
+        return;
+    }
+    hits++;
+}
+int main() {
+    maybe(-1);
+    maybe(1);
+    maybe(2);
+    printf("%d", hits);
+    return 0;
+}`, "2")
+}
+
+func TestShadowingInLoops(t *testing.T) {
+	expectC(t, `
+int main() {
+    int x = 100;
+    for (int x = 0; x < 3; x++) {
+        printf("%d", x);
+    }
+    printf(" %d", x);
+    return 0;
+}`, "012 100")
+}

@@ -1,0 +1,174 @@
+package minic
+
+import (
+	"fmt"
+
+	"easytracker/internal/isa"
+)
+
+// funcSig is a function's compile-time signature.
+type funcSig struct {
+	name   string
+	ret    *isa.TypeInfo
+	params []Param
+	line   int
+}
+
+// alignOf returns the natural alignment of a type.
+func (c *Compiler) alignOf(t *isa.TypeInfo) int64 {
+	switch t.Kind {
+	case isa.KChar:
+		return 1
+	case isa.KArray:
+		return c.alignOf(t.Elem)
+	case isa.KStruct:
+		var a int64 = 1
+		if s, ok := c.structs[t.Name]; ok {
+			for _, f := range s.Fields {
+				if fa := c.alignOf(f.Type); fa > a {
+					a = fa
+				}
+			}
+		}
+		return a
+	default:
+		return 8
+	}
+}
+
+// sizeOf returns a type's size using the compiler's struct table.
+func (c *Compiler) sizeOf(t *isa.TypeInfo) int64 {
+	return t.Sizeof(c.structs)
+}
+
+// layoutStruct computes field offsets and total size.
+func (c *Compiler) layoutStruct(d *StructDecl) (*isa.StructLayout, error) {
+	lay := &isa.StructLayout{Name: d.Name}
+	var off int64
+	for _, f := range d.Fields {
+		if f.Type.Kind == isa.KStruct {
+			if _, ok := c.structs[f.Type.Name]; !ok {
+				return nil, &Error{File: c.file, Line: f.Line,
+					Msg: fmt.Sprintf("field %s has undefined struct type %s", f.Name, f.Type.Name)}
+			}
+		}
+		a := c.alignOf(f.Type)
+		off = align(off, a)
+		lay.Fields = append(lay.Fields, isa.FieldInfo{Name: f.Name, Type: f.Type, Offset: off})
+		off += c.sizeOf(f.Type)
+	}
+	lay.Size = align(off, 8)
+	if lay.Size == 0 {
+		lay.Size = 8
+	}
+	return lay, nil
+}
+
+func align(v, a int64) int64 {
+	if a <= 1 {
+		return v
+	}
+	return (v + a - 1) / a * a
+}
+
+// isScalar reports whether the type fits a register.
+func isScalar(t *isa.TypeInfo) bool {
+	switch t.Kind {
+	case isa.KInt, isa.KChar, isa.KDouble, isa.KPtr, isa.KFunc:
+		return true
+	}
+	return false
+}
+
+func isInteger(t *isa.TypeInfo) bool {
+	return t.Kind == isa.KInt || t.Kind == isa.KChar
+}
+
+func isNumeric(t *isa.TypeInfo) bool {
+	return isInteger(t) || t.Kind == isa.KDouble
+}
+
+func isPointerish(t *isa.TypeInfo) bool {
+	return t.Kind == isa.KPtr || t.Kind == isa.KArray || t.Kind == isa.KFunc
+}
+
+// decay converts array types to pointer-to-element for value contexts.
+func decay(t *isa.TypeInfo) *isa.TypeInfo {
+	if t.Kind == isa.KArray {
+		return isa.PtrTo(t.Elem)
+	}
+	return t
+}
+
+// constValue is a compile-time constant (int or float or string index).
+type constValue struct {
+	isFloat bool
+	i       int64
+	f       float64
+	// str is set for string literals (data address filled by caller).
+	isStr bool
+	str   string
+}
+
+// constEval evaluates a constant expression for global initializers and
+// enum values.
+func (c *Compiler) constEval(e Expr) (constValue, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return constValue{i: x.Value}, nil
+	case *CharLit:
+		return constValue{i: x.Value}, nil
+	case *FloatLit:
+		return constValue{isFloat: true, f: x.Value}, nil
+	case *StrLit:
+		return constValue{isStr: true, str: x.Value}, nil
+	case *Ident:
+		if v, ok := c.enums[x.Name]; ok {
+			return constValue{i: v}, nil
+		}
+		return constValue{}, &Error{File: c.file, Line: x.Pos(),
+			Msg: fmt.Sprintf("initializer must be constant; %q is not", x.Name)}
+	case *UnaryExpr:
+		if x.Op == TMinus {
+			v, err := c.constEval(x.X)
+			if err != nil {
+				return constValue{}, err
+			}
+			if v.isFloat {
+				v.f = -v.f
+			} else {
+				v.i = -v.i
+			}
+			return v, nil
+		}
+	case *SizeofExpr:
+		if x.Type != nil {
+			return constValue{i: c.sizeOf(x.Type)}, nil
+		}
+	case *BinaryExpr:
+		l, err := c.constEval(x.L)
+		if err != nil {
+			return constValue{}, err
+		}
+		r, err := c.constEval(x.R)
+		if err != nil {
+			return constValue{}, err
+		}
+		if !l.isFloat && !r.isFloat && !l.isStr && !r.isStr {
+			switch x.Op {
+			case TPlus:
+				return constValue{i: l.i + r.i}, nil
+			case TMinus:
+				return constValue{i: l.i - r.i}, nil
+			case TStar:
+				return constValue{i: l.i * r.i}, nil
+			case TSlash:
+				if r.i == 0 {
+					return constValue{}, &Error{File: c.file, Line: x.Pos(), Msg: "division by zero in constant"}
+				}
+				return constValue{i: l.i / r.i}, nil
+			}
+		}
+	}
+	return constValue{}, &Error{File: c.file, Line: e.Pos(), Msg: "initializer is not a supported constant expression"}
+}

@@ -1,0 +1,271 @@
+package minipy
+
+// Node is the common interface of all AST nodes.
+type Node interface {
+	// Pos returns the node's 1-based source line.
+	Pos() int
+}
+
+type pos struct{ Line int }
+
+// Pos returns the node's source line.
+func (p pos) Pos() int { return p.Line }
+
+// ---- Statements ----
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Module is a parsed MiniPy source file.
+type Module struct {
+	File string
+	Body []Stmt
+}
+
+// ExprStmt is an expression evaluated for effect (typically a call).
+type ExprStmt struct {
+	pos
+	X Expr
+}
+
+// AssignStmt is `target = target = ... = value` (chained allowed) or an
+// unpacking assignment `a, b = value`.
+type AssignStmt struct {
+	pos
+	Targets []Expr // each a Name, IndexExpr, AttrExpr or TupleLit of those
+	Value   Expr
+}
+
+// AugAssignStmt is `target op= value`.
+type AugAssignStmt struct {
+	pos
+	Target Expr
+	Op     TokKind // Plus, Minus, Star, Slash, Percent
+	Value  Expr
+}
+
+// DelStmt is `del target` (subscript deletion on dicts and lists).
+type DelStmt struct {
+	pos
+	Target Expr
+}
+
+// IfStmt is an if/elif/else chain; Elifs are folded into nested Else chains
+// by the parser, so each IfStmt has one condition, a body, and an optional
+// else body.
+type IfStmt struct {
+	pos
+	Cond Expr
+	Body []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	pos
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt is `for target in iterable:`.
+type ForStmt struct {
+	pos
+	Target Expr // Name or TupleLit of Names
+	Iter   Expr
+	Body   []Stmt
+}
+
+// FuncDef is `def name(params):`.
+type FuncDef struct {
+	pos
+	Name   string
+	Params []string
+	Body   []Stmt
+	// EndLine is the last source line of the body, for tools.
+	EndLine int
+}
+
+// ClassDef is `class Name:` with a body of method FuncDefs and assignments.
+type ClassDef struct {
+	pos
+	Name string
+	Body []Stmt
+}
+
+// ReturnStmt is `return [expr]`.
+type ReturnStmt struct {
+	pos
+	Value Expr // nil for bare return
+}
+
+// BreakStmt is `break`.
+type BreakStmt struct{ pos }
+
+// ContinueStmt is `continue`.
+type ContinueStmt struct{ pos }
+
+// PassStmt is `pass`.
+type PassStmt struct{ pos }
+
+// GlobalStmt is `global a, b`.
+type GlobalStmt struct {
+	pos
+	Names []string
+}
+
+func (*ExprStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()    {}
+func (*AugAssignStmt) stmtNode() {}
+func (*DelStmt) stmtNode()       {}
+func (*IfStmt) stmtNode()        {}
+func (*WhileStmt) stmtNode()     {}
+func (*ForStmt) stmtNode()       {}
+func (*FuncDef) stmtNode()       {}
+func (*ClassDef) stmtNode()      {}
+func (*ReturnStmt) stmtNode()    {}
+func (*BreakStmt) stmtNode()     {}
+func (*ContinueStmt) stmtNode()  {}
+func (*PassStmt) stmtNode()      {}
+func (*GlobalStmt) stmtNode()    {}
+
+// ---- Expressions ----
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// NameExpr is an identifier reference.
+type NameExpr struct {
+	pos
+	Name string
+}
+
+// IntLitExpr is an integer literal.
+type IntLitExpr struct {
+	pos
+	Value int64
+}
+
+// FloatLitExpr is a floating-point literal.
+type FloatLitExpr struct {
+	pos
+	Value float64
+}
+
+// StrLitExpr is a string literal.
+type StrLitExpr struct {
+	pos
+	Value string
+}
+
+// BoolLitExpr is True or False.
+type BoolLitExpr struct {
+	pos
+	Value bool
+}
+
+// NoneLitExpr is None.
+type NoneLitExpr struct{ pos }
+
+// ListLitExpr is `[a, b, c]`.
+type ListLitExpr struct {
+	pos
+	Elems []Expr
+}
+
+// TupleLitExpr is `(a, b)` or a bare comma list.
+type TupleLitExpr struct {
+	pos
+	Elems []Expr
+}
+
+// DictLitExpr is `{k: v, ...}`.
+type DictLitExpr struct {
+	pos
+	Keys []Expr
+	Vals []Expr
+}
+
+// BinOpExpr is a binary arithmetic/comparison-free operation.
+type BinOpExpr struct {
+	pos
+	Op   TokKind // Plus Minus Star Slash DblSlash Percent StarStar
+	L, R Expr
+}
+
+// UnaryExpr is `-x` or `not x`.
+type UnaryExpr struct {
+	pos
+	Op TokKind // Minus, KwNot, Plus
+	X  Expr
+}
+
+// BoolOpExpr is short-circuit `and`/`or` over two operands.
+type BoolOpExpr struct {
+	pos
+	Op   TokKind // KwAnd, KwOr
+	L, R Expr
+}
+
+// CompareExpr is a chained comparison `a < b <= c`.
+type CompareExpr struct {
+	pos
+	First Expr
+	Ops   []TokKind // Eq Ne Lt Le Gt Ge KwIn (NotIn encoded as KwNot? no: see NotIn)
+	Rest  []Expr
+}
+
+// NotIn marks the `not in` comparison inside CompareExpr.Ops; it borrows an
+// otherwise-unused token kind slot.
+const NotIn = TokKind(-2)
+
+// CallExpr is `fn(args)`.
+type CallExpr struct {
+	pos
+	Fn   Expr
+	Args []Expr
+}
+
+// IndexExpr is `obj[index]`.
+type IndexExpr struct {
+	pos
+	X     Expr
+	Index Expr
+}
+
+// SliceExpr is `obj[lo:hi]`; Lo/Hi may be nil.
+type SliceExpr struct {
+	pos
+	X      Expr
+	Lo, Hi Expr
+}
+
+// AttrExpr is `obj.name`.
+type AttrExpr struct {
+	pos
+	X    Expr
+	Name string
+}
+
+func (*NameExpr) exprNode()     {}
+func (*IntLitExpr) exprNode()   {}
+func (*FloatLitExpr) exprNode() {}
+func (*StrLitExpr) exprNode()   {}
+func (*BoolLitExpr) exprNode()  {}
+func (*NoneLitExpr) exprNode()  {}
+func (*ListLitExpr) exprNode()  {}
+func (*TupleLitExpr) exprNode() {}
+func (*DictLitExpr) exprNode()  {}
+func (*BinOpExpr) exprNode()    {}
+func (*UnaryExpr) exprNode()    {}
+func (*BoolOpExpr) exprNode()   {}
+func (*CompareExpr) exprNode()  {}
+func (*CallExpr) exprNode()     {}
+func (*IndexExpr) exprNode()    {}
+func (*SliceExpr) exprNode()    {}
+func (*AttrExpr) exprNode()     {}

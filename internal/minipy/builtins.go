@@ -1,0 +1,703 @@
+package minipy
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+func mathPow(a, b float64) float64 { return math.Pow(a, b) }
+
+func argErr(name string, want string) error {
+	return fmt.Errorf("%s() %s", name, want)
+}
+
+func installBuiltins(in *Interp) {
+	reg := func(name string, fn func(*Interp, []*Object) (*Object, error)) {
+		in.Globals.Set(name, in.alloc(&Object{Kind: OBuiltin, Bi: &Builtin{Name: name, Fn: fn}}))
+	}
+
+	reg("print", func(in *Interp, args []*Object) (*Object, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = a.Str()
+		}
+		fmt.Fprintln(in.stdout, strings.Join(parts, " "))
+		return in.noneO, nil
+	})
+
+	reg("len", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) != 1 {
+			return nil, argErr("len", "takes exactly one argument")
+		}
+		switch o := args[0]; o.Kind {
+		case OStr:
+			return in.newInt(int64(len([]rune(o.S)))), nil
+		case OList, OTuple:
+			return in.newInt(int64(len(o.L))), nil
+		case ODict:
+			return in.newInt(int64(o.D.Len())), nil
+		default:
+			return nil, fmt.Errorf("object of type '%s' has no len()", o.TypeName())
+		}
+	})
+
+	reg("range", func(in *Interp, args []*Object) (*Object, error) {
+		var lo, hi, step int64 = 0, 0, 1
+		get := func(o *Object) (int64, error) {
+			if v, ok := intVal(o); ok {
+				return v, nil
+			}
+			return 0, argErr("range", "arguments must be integers")
+		}
+		var err error
+		switch len(args) {
+		case 1:
+			if hi, err = get(args[0]); err != nil {
+				return nil, err
+			}
+		case 2:
+			if lo, err = get(args[0]); err != nil {
+				return nil, err
+			}
+			if hi, err = get(args[1]); err != nil {
+				return nil, err
+			}
+		case 3:
+			if lo, err = get(args[0]); err != nil {
+				return nil, err
+			}
+			if hi, err = get(args[1]); err != nil {
+				return nil, err
+			}
+			if step, err = get(args[2]); err != nil {
+				return nil, err
+			}
+			if step == 0 {
+				return nil, argErr("range", "arg 3 must not be zero")
+			}
+		default:
+			return nil, argErr("range", "expects 1 to 3 arguments")
+		}
+		var elems []*Object
+		if step > 0 {
+			for i := lo; i < hi; i += step {
+				elems = append(elems, in.newInt(i))
+			}
+		} else {
+			for i := lo; i > hi; i += step {
+				elems = append(elems, in.newInt(i))
+			}
+		}
+		return in.newList(elems), nil
+	})
+
+	reg("abs", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) != 1 {
+			return nil, argErr("abs", "takes exactly one argument")
+		}
+		switch o := args[0]; o.Kind {
+		case OInt:
+			if o.I < 0 {
+				return in.newInt(-o.I), nil
+			}
+			return o, nil
+		case OFloat:
+			return in.newFloat(math.Abs(o.F)), nil
+		case OBool:
+			if o.B {
+				return in.newInt(1), nil
+			}
+			return in.newInt(0), nil
+		default:
+			return nil, fmt.Errorf("bad operand type for abs(): '%s'", o.TypeName())
+		}
+	})
+
+	minmax := func(name string, wantLess bool) func(*Interp, []*Object) (*Object, error) {
+		return func(in *Interp, args []*Object) (*Object, error) {
+			var items []*Object
+			switch {
+			case len(args) == 1 && (args[0].Kind == OList || args[0].Kind == OTuple):
+				items = args[0].L
+			case len(args) >= 2:
+				items = args
+			default:
+				return nil, argErr(name, "expects an iterable or two or more arguments")
+			}
+			if len(items) == 0 {
+				return nil, argErr(name, "arg is an empty sequence")
+			}
+			best := items[0]
+			for _, it := range items[1:] {
+				less, err := pyLess(it, best)
+				if err != nil {
+					return nil, err
+				}
+				if less == wantLess {
+					best = it
+				}
+			}
+			return best, nil
+		}
+	}
+	reg("min", minmax("min", true))
+	reg("max", minmax("max", false))
+
+	reg("sum", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) != 1 || (args[0].Kind != OList && args[0].Kind != OTuple) {
+			return nil, argErr("sum", "expects a list or tuple")
+		}
+		var isum int64
+		var fsum float64
+		isInt := true
+		for _, e := range args[0].L {
+			if i, ok := intVal(e); ok {
+				isum += i
+				fsum += float64(i)
+			} else if f, ok := numVal(e); ok {
+				isInt = false
+				fsum += f
+			} else {
+				return nil, fmt.Errorf("unsupported operand type(s) for +: 'int' and '%s'", e.TypeName())
+			}
+		}
+		if isInt {
+			return in.newInt(isum), nil
+		}
+		return in.newFloat(fsum), nil
+	})
+
+	reg("sorted", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) != 1 {
+			return nil, argErr("sorted", "takes exactly one argument")
+		}
+		items, err := in.iterate(0, args[0])
+		if err != nil {
+			return nil, fmt.Errorf("sorted() argument is not iterable")
+		}
+		if err := sortObjects(items); err != nil {
+			return nil, err
+		}
+		return in.newList(items), nil
+	})
+
+	reg("str", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) == 0 {
+			return in.newStr(""), nil
+		}
+		return in.newStr(args[0].Str()), nil
+	})
+
+	reg("repr", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) != 1 {
+			return nil, argErr("repr", "takes exactly one argument")
+		}
+		return in.newStr(args[0].Repr()), nil
+	})
+
+	reg("int", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) == 0 {
+			return in.newInt(0), nil
+		}
+		switch o := args[0]; o.Kind {
+		case OInt:
+			return o, nil
+		case OFloat:
+			return in.newInt(int64(o.F)), nil
+		case OBool:
+			if o.B {
+				return in.newInt(1), nil
+			}
+			return in.newInt(0), nil
+		case OStr:
+			v, err := strconv.ParseInt(strings.TrimSpace(o.S), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("invalid literal for int(): %q", o.S)
+			}
+			return in.newInt(v), nil
+		default:
+			return nil, fmt.Errorf("int() argument must be a string or a number, not '%s'", o.TypeName())
+		}
+	})
+
+	reg("float", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) == 0 {
+			return in.newFloat(0), nil
+		}
+		switch o := args[0]; o.Kind {
+		case OFloat:
+			return o, nil
+		case OInt:
+			return in.newFloat(float64(o.I)), nil
+		case OBool:
+			if o.B {
+				return in.newFloat(1), nil
+			}
+			return in.newFloat(0), nil
+		case OStr:
+			v, err := strconv.ParseFloat(strings.TrimSpace(o.S), 64)
+			if err != nil {
+				return nil, fmt.Errorf("could not convert string to float: %q", o.S)
+			}
+			return in.newFloat(v), nil
+		default:
+			return nil, fmt.Errorf("float() argument must be a string or a number, not '%s'", o.TypeName())
+		}
+	})
+
+	reg("bool", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) == 0 {
+			return in.falseO, nil
+		}
+		return in.newBool(args[0].Truthy()), nil
+	})
+
+	reg("list", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) == 0 {
+			return in.newList(nil), nil
+		}
+		items, err := in.iterate(0, args[0])
+		if err != nil {
+			return nil, fmt.Errorf("list() argument is not iterable")
+		}
+		return in.newList(items), nil
+	})
+
+	reg("tuple", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) == 0 {
+			return in.newTuple(nil), nil
+		}
+		items, err := in.iterate(0, args[0])
+		if err != nil {
+			return nil, fmt.Errorf("tuple() argument is not iterable")
+		}
+		return in.newTuple(items), nil
+	})
+
+	reg("dict", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) != 0 {
+			return nil, argErr("dict", "takes no arguments in MiniPy")
+		}
+		return in.newDict(), nil
+	})
+
+	reg("id", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) != 1 {
+			return nil, argErr("id", "takes exactly one argument")
+		}
+		return in.newInt(int64(args[0].ID)), nil
+	})
+
+	reg("type", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) != 1 {
+			return nil, argErr("type", "takes exactly one argument")
+		}
+		return in.newStr(args[0].TypeName()), nil
+	})
+
+	reg("chr", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) != 1 || args[0].Kind != OInt {
+			return nil, argErr("chr", "takes one integer")
+		}
+		return in.newStr(string(rune(args[0].I))), nil
+	})
+
+	reg("ord", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) != 1 || args[0].Kind != OStr || len([]rune(args[0].S)) != 1 {
+			return nil, argErr("ord", "expects a single character")
+		}
+		return in.newInt(int64([]rune(args[0].S)[0])), nil
+	})
+
+	reg("enumerate", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) != 1 {
+			return nil, argErr("enumerate", "takes exactly one argument")
+		}
+		items, err := in.iterate(0, args[0])
+		if err != nil {
+			return nil, fmt.Errorf("enumerate() argument is not iterable")
+		}
+		out := make([]*Object, len(items))
+		for i, it := range items {
+			out[i] = in.newTuple([]*Object{in.newInt(int64(i)), it})
+		}
+		return in.newList(out), nil
+	})
+
+	reg("zip", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) < 2 {
+			return nil, argErr("zip", "takes at least two arguments")
+		}
+		var seqs [][]*Object
+		n := -1
+		for _, a := range args {
+			items, err := in.iterate(0, a)
+			if err != nil {
+				return nil, fmt.Errorf("zip() argument is not iterable")
+			}
+			if n < 0 || len(items) < n {
+				n = len(items)
+			}
+			seqs = append(seqs, items)
+		}
+		out := make([]*Object, n)
+		for i := 0; i < n; i++ {
+			row := make([]*Object, len(seqs))
+			for j := range seqs {
+				row[j] = seqs[j][i]
+			}
+			out[i] = in.newTuple(row)
+		}
+		return in.newList(out), nil
+	})
+
+	reg("input", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) == 1 {
+			fmt.Fprint(in.stdout, args[0].Str())
+		}
+		line, err := in.stdin.ReadString('\n')
+		line = strings.TrimRight(line, "\r\n")
+		if err != nil && line == "" {
+			return nil, fmt.Errorf("EOF when reading a line")
+		}
+		return in.newStr(line), nil
+	})
+
+	reg("exit", func(in *Interp, args []*Object) (*Object, error) {
+		code := 0
+		if len(args) == 1 {
+			if v, ok := intVal(args[0]); ok {
+				code = int(v)
+			}
+		}
+		return nil, exitSignal{code}
+	})
+
+	reg("isinstance", func(in *Interp, args []*Object) (*Object, error) {
+		if len(args) != 2 {
+			return nil, argErr("isinstance", "takes exactly two arguments")
+		}
+		switch t := args[1]; t.Kind {
+		case OClass:
+			return in.newBool(args[0].Kind == OInstance && args[0].Cls == t.Cls), nil
+		case OStr:
+			return in.newBool(args[0].TypeName() == t.S), nil
+		default:
+			return nil, argErr("isinstance", "second argument must be a class or type name")
+		}
+	})
+}
+
+// getAttr resolves obj.name: instance attributes, class methods, and the
+// built-in methods of str/list/dict.
+func (in *Interp) getAttr(line int, obj *Object, name string) (*Object, error) {
+	if obj.Kind == OInstance {
+		if v, ok := obj.Attrs.GetStr(name); ok {
+			return v, nil
+		}
+		if m, ok := obj.Cls.Methods[name]; ok {
+			if m.Kind == OFunc {
+				return in.alloc(&Object{Kind: OMethod, Fn: m.Fn, Self: obj}), nil
+			}
+			return m, nil
+		}
+		return nil, in.rtErr(line, "'%s' object has no attribute '%s'", obj.Cls.Name, name)
+	}
+	if m := in.builtinMethod(obj, name); m != nil {
+		return m, nil
+	}
+	return nil, in.rtErr(line, "'%s' object has no attribute '%s'", obj.TypeName(), name)
+}
+
+// builtinMethod returns a bound built-in method object, or nil.
+func (in *Interp) builtinMethod(recv *Object, name string) *Object {
+	bind := func(fn func(*Interp, []*Object) (*Object, error)) *Object {
+		return in.alloc(&Object{Kind: OBuiltin, Bi: &Builtin{
+			Name: recv.TypeName() + "." + name, Fn: fn,
+		}})
+	}
+	switch recv.Kind {
+	case OList:
+		switch name {
+		case "append":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) != 1 {
+					return nil, argErr("append", "takes exactly one argument")
+				}
+				recv.L = append(recv.L, args[0])
+				return in.noneO, nil
+			})
+		case "pop":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(recv.L) == 0 {
+					return nil, fmt.Errorf("pop from empty list")
+				}
+				i := len(recv.L) - 1
+				if len(args) == 1 {
+					v, ok := intVal(args[0])
+					if !ok {
+						return nil, argErr("pop", "index must be an integer")
+					}
+					i = int(v)
+					if i < 0 {
+						i += len(recv.L)
+					}
+					if i < 0 || i >= len(recv.L) {
+						return nil, fmt.Errorf("pop index out of range")
+					}
+				}
+				out := recv.L[i]
+				recv.L = append(recv.L[:i], recv.L[i+1:]...)
+				return out, nil
+			})
+		case "insert":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) != 2 {
+					return nil, argErr("insert", "takes exactly two arguments")
+				}
+				v, ok := intVal(args[0])
+				if !ok {
+					return nil, argErr("insert", "index must be an integer")
+				}
+				i := int(v)
+				if i < 0 {
+					i += len(recv.L)
+					if i < 0 {
+						i = 0
+					}
+				}
+				if i > len(recv.L) {
+					i = len(recv.L)
+				}
+				recv.L = append(recv.L, nil)
+				copy(recv.L[i+1:], recv.L[i:])
+				recv.L[i] = args[1]
+				return in.noneO, nil
+			})
+		case "remove":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) != 1 {
+					return nil, argErr("remove", "takes exactly one argument")
+				}
+				for i, e := range recv.L {
+					if pyEqual(e, args[0]) {
+						recv.L = append(recv.L[:i], recv.L[i+1:]...)
+						return in.noneO, nil
+					}
+				}
+				return nil, fmt.Errorf("list.remove(x): x not in list")
+			})
+		case "index":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) != 1 {
+					return nil, argErr("index", "takes exactly one argument")
+				}
+				for i, e := range recv.L {
+					if pyEqual(e, args[0]) {
+						return in.newInt(int64(i)), nil
+					}
+				}
+				return nil, fmt.Errorf("%s is not in list", args[0].Repr())
+			})
+		case "count":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) != 1 {
+					return nil, argErr("count", "takes exactly one argument")
+				}
+				var n int64
+				for _, e := range recv.L {
+					if pyEqual(e, args[0]) {
+						n++
+					}
+				}
+				return in.newInt(n), nil
+			})
+		case "sort":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if err := sortObjects(recv.L); err != nil {
+					return nil, err
+				}
+				return in.noneO, nil
+			})
+		case "reverse":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				for i, j := 0, len(recv.L)-1; i < j; i, j = i+1, j-1 {
+					recv.L[i], recv.L[j] = recv.L[j], recv.L[i]
+				}
+				return in.noneO, nil
+			})
+		case "extend":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) != 1 {
+					return nil, argErr("extend", "takes exactly one argument")
+				}
+				items, err := in.iterate(0, args[0])
+				if err != nil {
+					return nil, fmt.Errorf("extend() argument is not iterable")
+				}
+				recv.L = append(recv.L, items...)
+				return in.noneO, nil
+			})
+		case "clear":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				recv.L = nil
+				return in.noneO, nil
+			})
+		case "copy":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				return in.newList(append([]*Object(nil), recv.L...)), nil
+			})
+		}
+	case ODict:
+		switch name {
+		case "get":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) < 1 || len(args) > 2 {
+					return nil, argErr("get", "takes one or two arguments")
+				}
+				v, ok, err := recv.D.Get(args[0])
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					return v, nil
+				}
+				if len(args) == 2 {
+					return args[1], nil
+				}
+				return in.noneO, nil
+			})
+		case "keys":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				return in.newList(recv.D.Keys()), nil
+			})
+		case "values":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				return in.newList(recv.D.Values()), nil
+			})
+		case "items":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				var out []*Object
+				recv.D.Each(func(k, v *Object) bool {
+					out = append(out, in.newTuple([]*Object{k, v}))
+					return true
+				})
+				return in.newList(out), nil
+			})
+		case "pop":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) < 1 || len(args) > 2 {
+					return nil, argErr("pop", "takes one or two arguments")
+				}
+				v, ok, err := recv.D.Get(args[0])
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					if _, err := recv.D.Delete(args[0]); err != nil {
+						return nil, err
+					}
+					return v, nil
+				}
+				if len(args) == 2 {
+					return args[1], nil
+				}
+				return nil, fmt.Errorf("KeyError: %s", args[0].Repr())
+			})
+		case "clear":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				*recv.D = *NewOrderedDict()
+				return in.noneO, nil
+			})
+		case "copy":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				out := in.newDict()
+				var err error
+				recv.D.Each(func(k, v *Object) bool {
+					err = out.D.Set(k, v)
+					return err == nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				return out, nil
+			})
+		}
+	case OStr:
+		switch name {
+		case "upper":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				return in.newStr(strings.ToUpper(recv.S)), nil
+			})
+		case "lower":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				return in.newStr(strings.ToLower(recv.S)), nil
+			})
+		case "strip":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				return in.newStr(strings.TrimSpace(recv.S)), nil
+			})
+		case "split":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				var parts []string
+				if len(args) == 0 {
+					parts = strings.Fields(recv.S)
+				} else if args[0].Kind == OStr {
+					parts = strings.Split(recv.S, args[0].S)
+				} else {
+					return nil, argErr("split", "separator must be a string")
+				}
+				out := make([]*Object, len(parts))
+				for i, p := range parts {
+					out[i] = in.newStr(p)
+				}
+				return in.newList(out), nil
+			})
+		case "join":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) != 1 || (args[0].Kind != OList && args[0].Kind != OTuple) {
+					return nil, argErr("join", "expects a list or tuple")
+				}
+				parts := make([]string, len(args[0].L))
+				for i, e := range args[0].L {
+					if e.Kind != OStr {
+						return nil, fmt.Errorf("sequence item %d: expected str, %s found", i, e.TypeName())
+					}
+					parts[i] = e.S
+				}
+				return in.newStr(strings.Join(parts, recv.S)), nil
+			})
+		case "replace":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) != 2 || args[0].Kind != OStr || args[1].Kind != OStr {
+					return nil, argErr("replace", "takes two string arguments")
+				}
+				return in.newStr(strings.ReplaceAll(recv.S, args[0].S, args[1].S)), nil
+			})
+		case "startswith":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) != 1 || args[0].Kind != OStr {
+					return nil, argErr("startswith", "takes one string argument")
+				}
+				return in.newBool(strings.HasPrefix(recv.S, args[0].S)), nil
+			})
+		case "endswith":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) != 1 || args[0].Kind != OStr {
+					return nil, argErr("endswith", "takes one string argument")
+				}
+				return in.newBool(strings.HasSuffix(recv.S, args[0].S)), nil
+			})
+		case "find":
+			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				if len(args) != 1 || args[0].Kind != OStr {
+					return nil, argErr("find", "takes one string argument")
+				}
+				return in.newInt(int64(strings.Index(recv.S, args[0].S))), nil
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package minipy
+
+import (
+	"strings"
+	"testing"
+)
+
+// expectErr asserts the program fails at runtime with a message containing
+// want.
+func expectErr(t *testing.T, src, want string) {
+	t.Helper()
+	m, err := Parse("e.py", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	in := NewInterp(m)
+	var errb strings.Builder
+	in.SetStderr(&errb)
+	code, err := in.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Fatalf("%q: exit %d, want 1", src, code)
+	}
+	if !strings.Contains(errb.String(), want) {
+		t.Errorf("%q: stderr %q missing %q", src, errb.String(), want)
+	}
+}
+
+func TestBuiltinArgErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"len(1, 2)", "exactly one argument"},
+		{"range()", "expects 1 to 3"},
+		{"range(1, 2, 0)", "must not be zero"},
+		{"range(\"a\")", "must be integers"},
+		{"abs(\"s\")", "bad operand"},
+		{"min([])", "empty sequence"},
+		{"max()", "expects an iterable"},
+		{"sum(1)", "expects a list"},
+		{"sum([\"a\"])", "unsupported operand"},
+		{"sorted(1)", "not iterable"},
+		{"sorted([1, \"a\"])", "not supported between"},
+		{"int(\"xy\")", "invalid literal"},
+		{"float(\"zz\")", "could not convert"},
+		{"int([1])", "must be a string or a number"},
+		{"list(5)", "not iterable"},
+		{"tuple(5)", "not iterable"},
+		{"dict(1)", "takes no arguments"},
+		{"chr(\"a\")", "takes one integer"},
+		{"ord(\"ab\")", "single character"},
+		{"enumerate(1)", "not iterable"},
+		{"zip([1])", "at least two"},
+		{"zip([1], 2)", "not iterable"},
+		{"isinstance(1)", "exactly two"},
+		{"isinstance(1, 2)", "must be a class"},
+		{"x = input()", "EOF"},
+		{"min(1, \"a\")", "not supported between"},
+	}
+	for _, c := range cases {
+		expectErr(t, c.src, c.want)
+	}
+}
+
+func TestMethodArgErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"[].pop()", "empty list"},
+		{"[1].pop(5)", "out of range"},
+		{"[1].pop(\"x\")", "must be an integer"},
+		{"[1].remove(2)", "not in list"},
+		{"[1].index(2)", "is not in list"},
+		{"[1].insert(1)", "exactly two"},
+		{"[1].extend(1)", "not iterable"},
+		{"{}.pop(1)", "KeyError"},
+		{"\"a\".join([1])", "expected str"},
+		{"\"a\".split(1)", "must be a string"},
+		{"\"ab\".replace(1, 2)", "two string arguments"},
+		{"[1].nosuch()", "no attribute"},
+		{"(1).anything", "no attribute"},
+	}
+	for _, c := range cases {
+		expectErr(t, c.src, c.want)
+	}
+}
+
+func TestMethodHappyPaths(t *testing.T) {
+	expectOut(t, `print({"a": 1}.pop("a", 9), {"a": 1}.pop("z", 9))`, "1 9")
+	expectOut(t, `
+d = {"a": 1}
+d.clear()
+print(len(d))
+c = {"x": 2}.copy()
+print(c)
+`, "0\n{'x': 2}")
+	expectOut(t, `
+xs = [3, 1]
+ys = xs.copy()
+ys.clear()
+print(xs, ys)
+`, "[3, 1] []")
+	expectOut(t, `print([2, 1].index(1))`, "1")
+	expectOut(t, `print("a-b".split("-"), "x y  z".split())`, "['a', 'b'] ['x', 'y', 'z']")
+	expectOut(t, `print("abc".find("zz"))`, "-1")
+	expectOut(t, `print(min(3, 1), max(2, 9), min([5]))`, "1 9 5")
+	expectOut(t, `print(str(), int(), float(), bool())`, " 0 0.0 False")
+	expectOut(t, `print(repr([1, "a"]))`, "[1, 'a']")
+	expectOut(t, `print(zip([1, 2, 3], "ab"))`, "[(1, 'a'), (2, 'b')]")
+}
+
+func TestClassErrors(t *testing.T) {
+	expectErr(t, `
+class P:
+    def __init__(self, x):
+        self.x = x
+p = P()
+`, "takes 2 arguments but 1 were given")
+	expectErr(t, `
+class Q:
+    pass
+q = Q(1)
+`, "takes no arguments")
+	expectErr(t, `
+class R:
+    pass
+r = R()
+print(r.missing)
+`, "no attribute")
+	expectErr(t, "x = 1\nx.attr = 2\n", "no settable attribute")
+}
+
+func TestForUnpackErrors(t *testing.T) {
+	expectErr(t, "for a, b in [1, 2]:\n    pass\n", "cannot unpack")
+	expectErr(t, "for x in 5:\n    pass\n", "not iterable")
+}
+
+func TestStringIndexErrors(t *testing.T) {
+	expectErr(t, `print("abc"[5])`, "out of range")
+	expectErr(t, `print("abc"["x"])`, "must be integers")
+	expectErr(t, `"abc"[0] = "z"`, "does not support item assignment")
+}
+
+func TestSliceEdgeCases(t *testing.T) {
+	expectOut(t, `
+xs = [1, 2, 3, 4]
+print(xs[:], xs[10:], xs[:99], xs[-2:], xs[2:1])
+`, "[1, 2, 3, 4] [] [1, 2, 3, 4] [3, 4] []")
+	expectOut(t, `print("hello"[-3:-1])`, "ll")
+	expectOut(t, `t = (1, 2, 3)
+print(t[1:])`, "(2, 3)")
+	expectErr(t, `print([1][1.5:])`, "must be integers")
+}
+
+func TestDelVariants(t *testing.T) {
+	expectOut(t, `
+x = 1
+del x
+y = 2
+print(y)
+`, "2")
+	expectErr(t, "del undefined_name\n", "not defined")
+	expectErr(t, "d = {}\ndel d[1]\n", "KeyError")
+	expectErr(t, "del (1 + 2)\n", "cannot delete")
+}
+
+func TestGlobalDeclarationEdge(t *testing.T) {
+	expectOut(t, `
+g = 1
+def f():
+    global g
+    del g
+
+f()
+def h():
+    global g
+    g = 5
+h()
+print(g)
+`, "5")
+}
+
+func TestUnaryEdge(t *testing.T) {
+	expectOut(t, `print(-True, +5, not [])`, "-1 5 True")
+	expectErr(t, `print(-"s")`, "bad operand")
+	expectErr(t, `print(+[1])`, "bad operand")
+}
+
+func TestScopeDelete(t *testing.T) {
+	s := NewScope()
+	s.Set("a", nil)
+	s.Set("b", nil)
+	s.Delete("a")
+	s.Delete("zz") // no-op
+	if s.Len() != 1 || s.Names()[0] != "b" {
+		t.Errorf("scope = %v", s.Names())
+	}
+}
+
+func TestOrderedDictOps(t *testing.T) {
+	d := NewOrderedDict()
+	k1 := &Object{Kind: OInt, I: 1}
+	v1 := &Object{Kind: OStr, S: "one"}
+	if err := d.Set(k1, v1); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := d.Delete(&Object{Kind: OInt, I: 2}); ok {
+		t.Error("deleted phantom key")
+	}
+	if ok, _ := d.Delete(&Object{Kind: OInt, I: 1}); !ok {
+		t.Error("delete failed")
+	}
+	if d.Len() != 0 {
+		t.Error("dict not empty")
+	}
+	bad := &Object{Kind: OList}
+	if err := d.Set(bad, v1); err == nil {
+		t.Error("unhashable key accepted")
+	}
+	if _, _, err := d.Get(bad); err == nil {
+		t.Error("unhashable get accepted")
+	}
+	if _, err := d.Delete(bad); err == nil {
+		t.Error("unhashable delete accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package minipy
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Differential testing of the interpreter: random integer expressions are
+// evaluated by MiniPy and by a Go reference with Python semantics (floor
+// division, sign-of-divisor modulo).
+
+func genPyExpr(r *rand.Rand, depth int) (string, int64) {
+	if depth == 0 || r.Intn(3) == 0 {
+		v := int64(r.Intn(201) - 100)
+		if v < 0 {
+			return fmt.Sprintf("(%d)", v), v
+		}
+		return fmt.Sprintf("%d", v), v
+	}
+	ls, lv := genPyExpr(r, depth-1)
+	rs, rv := genPyExpr(r, depth-1)
+	switch r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+	case 1:
+		return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+	case 2:
+		return fmt.Sprintf("(%s * %s)", ls, rs), lv * rv
+	case 3:
+		if rv == 0 {
+			return fmt.Sprintf("(%s + %s)", ls, rs), lv + rv
+		}
+		return fmt.Sprintf("(%s // %s)", ls, rs), floorDiv(lv, rv)
+	case 4:
+		if rv == 0 {
+			return fmt.Sprintf("(%s - %s)", ls, rs), lv - rv
+		}
+		return fmt.Sprintf("(%s %% %s)", ls, rs), pyMod(lv, rv)
+	case 5:
+		if lv < 1000 && lv > -1000 {
+			e := int64(r.Intn(3))
+			return fmt.Sprintf("(%s ** %d)", ls, e), ipow(lv, e)
+		}
+		return ls, lv
+	case 6:
+		v := int64(0)
+		if lv < rv {
+			v = 1
+		}
+		return fmt.Sprintf("int(%s < %s)", ls, rs), v
+	default:
+		v := int64(0)
+		if lv == rv {
+			v = 1
+		}
+		return fmt.Sprintf("int(%s == %s)", ls, rs), v
+	}
+}
+
+func TestDifferentialPyExpressions(t *testing.T) {
+	r := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 80; trial++ {
+		expr, want := genPyExpr(r, 4)
+		src := fmt.Sprintf("print(%s)\n", expr)
+		mod, err := Parse("d.py", src)
+		if err != nil {
+			t.Fatalf("trial %d: parse %s: %v", trial, expr, err)
+		}
+		in := NewInterp(mod)
+		var out strings.Builder
+		in.SetStdout(&out)
+		code, err := in.Run()
+		if err != nil || code != 0 {
+			t.Fatalf("trial %d: run %s: %v code %d", trial, expr, err, code)
+		}
+		if got := strings.TrimSpace(out.String()); got != fmt.Sprint(want) {
+			t.Errorf("trial %d: %s = %s, want %d", trial, expr, got, want)
+		}
+	}
+}
+
+// TestDifferentialListOps mutates a reference slice and a MiniPy list with
+// the same random operation sequence and compares the result.
+func TestDifferentialListOps(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		var body strings.Builder
+		body.WriteString("xs = []\n")
+		ref := []int64{}
+		n := 5 + r.Intn(15)
+		for i := 0; i < n; i++ {
+			switch r.Intn(4) {
+			case 0, 1:
+				v := int64(r.Intn(50))
+				fmt.Fprintf(&body, "xs.append(%d)\n", v)
+				ref = append(ref, v)
+			case 2:
+				if len(ref) > 0 {
+					fmt.Fprintf(&body, "xs.pop()\n")
+					ref = ref[:len(ref)-1]
+				}
+			case 3:
+				if len(ref) > 1 {
+					idx := r.Intn(len(ref))
+					v := int64(r.Intn(50))
+					fmt.Fprintf(&body, "xs[%d] = %d\n", idx, v)
+					ref[idx] = v
+				}
+			}
+		}
+		body.WriteString("xs.sort()\nprint(xs)\n")
+		sorted := append([]int64(nil), ref...)
+		for i := 0; i < len(sorted); i++ {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j] < sorted[i] {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		wantParts := make([]string, len(sorted))
+		for i, v := range sorted {
+			wantParts[i] = fmt.Sprint(v)
+		}
+		want := "[" + strings.Join(wantParts, ", ") + "]"
+
+		mod, err := Parse("l.py", body.String())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		in := NewInterp(mod)
+		var out strings.Builder
+		in.SetStdout(&out)
+		if code, err := in.Run(); err != nil || code != 0 {
+			t.Fatalf("trial %d: %v code %d\n%s", trial, err, code, body.String())
+		}
+		if got := strings.TrimSpace(out.String()); got != want {
+			t.Errorf("trial %d: got %s want %s\n%s", trial, got, want, body.String())
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package minipy
+
+import (
+	"easytracker/internal/core"
+)
+
+// Converter turns MiniPy runtime objects into core.Value graphs. One
+// Converter corresponds to one inspection snapshot: objects are memoized by
+// identity, so aliasing and cycles in the program state survive conversion,
+// and repeated conversions of the same object return the same *core.Value.
+type Converter struct {
+	memo map[uint64]*core.Value
+}
+
+// NewConverter returns a fresh snapshot converter.
+func NewConverter() *Converter {
+	return &Converter{memo: map[uint64]*core.Value{}}
+}
+
+// isCompound reports whether the object is shown behind a reference arrow in
+// visualizations (mutable containers and instances), as Python Tutor does.
+func isCompound(o *Object) bool {
+	switch o.Kind {
+	case OList, OTuple, ODict, OInstance:
+		return true
+	}
+	return false
+}
+
+// Convert returns the heap-located core.Value for the object.
+func (c *Converter) Convert(o *Object) *core.Value {
+	if o == nil {
+		return core.NewInvalid()
+	}
+	if v, ok := c.memo[o.ID]; ok && o.ID != 0 {
+		return v
+	}
+	v := &core.Value{
+		Location:     core.LocHeap,
+		Address:      o.ID,
+		LanguageType: o.TypeName(),
+	}
+	if o.ID != 0 {
+		c.memo[o.ID] = v
+	}
+	switch o.Kind {
+	case OInt:
+		v.Kind = core.Primitive
+		v.Content = o.I
+	case OFloat:
+		v.Kind = core.Primitive
+		v.Content = o.F
+	case OBool:
+		v.Kind = core.Primitive
+		v.Content = o.B
+	case OStr:
+		v.Kind = core.Primitive
+		v.Content = o.S
+	case ONone:
+		v.Kind = core.None
+	case OList, OTuple:
+		v.Kind = core.List
+		elems := make([]*core.Value, len(o.L))
+		for i, e := range o.L {
+			elems[i] = c.slot(e)
+		}
+		v.Content = elems
+	case ODict:
+		v.Kind = core.Dict
+		var entries []core.DictEntry
+		o.D.Each(func(k, val *Object) bool {
+			entries = append(entries, core.DictEntry{
+				Key: c.Convert(k),
+				Val: c.slot(val),
+			})
+			return true
+		})
+		v.Content = entries
+	case OInstance:
+		v.Kind = core.Struct
+		var fields []core.Field
+		o.Attrs.Each(func(k, val *Object) bool {
+			fields = append(fields, core.Field{Name: k.S, Value: c.slot(val)})
+			return true
+		})
+		v.Content = fields
+	case OFunc:
+		v.Kind = core.Function
+		v.Content = o.Fn.Name
+	case OBuiltin:
+		v.Kind = core.Function
+		v.Content = o.Bi.Name
+	case OMethod:
+		v.Kind = core.Function
+		v.Content = o.Fn.Name
+	case OClass:
+		v.Kind = core.Function
+		v.Content = o.Cls.Name
+		v.LanguageType = "type"
+	default:
+		v.Kind = core.Invalid
+	}
+	return v
+}
+
+// slot converts a container-element or attribute slot: compound targets get
+// a Ref wrapper (an arrow in diagrams), primitives are inlined.
+func (c *Converter) slot(o *Object) *core.Value {
+	target := c.Convert(o)
+	if isCompound(o) {
+		return &core.Value{Kind: core.Ref, Content: target, Location: core.LocHeap,
+			LanguageType: "ref"}
+	}
+	return target
+}
+
+// VarValue converts a variable binding: per the paper's conceptual model,
+// every MiniPy variable is a stack-located Ref to a heap value.
+func (c *Converter) VarValue(o *Object) *core.Value {
+	return &core.Value{
+		Kind:         core.Ref,
+		Content:      c.Convert(o),
+		Location:     core.LocStack,
+		LanguageType: "ref",
+	}
+}
+
+// builtinNames lists the globals installed by the interpreter itself, which
+// inspection hides (as Python tools hide __builtins__).
+var builtinNames = map[string]bool{
+	"print": true, "len": true, "range": true, "abs": true, "min": true,
+	"max": true, "sum": true, "sorted": true, "str": true, "repr": true,
+	"int": true, "float": true, "bool": true, "list": true, "tuple": true,
+	"dict": true, "id": true, "type": true, "chr": true, "ord": true,
+	"enumerate": true, "zip": true, "input": true, "exit": true,
+	"isinstance": true,
+}
+
+// SnapshotFrame converts the live frame chain into core.Frames. file is the
+// program's display name; the innermost frame is returned.
+func SnapshotFrame(c *Converter, fr *RTFrame, file string) *core.Frame {
+	if fr == nil {
+		return nil
+	}
+	out := &core.Frame{
+		Name:   fr.Name,
+		Depth:  fr.Depth,
+		File:   file,
+		Line:   fr.Line,
+		Parent: SnapshotFrame(c, fr.Parent, file),
+	}
+	for _, name := range fr.Locals.Names() {
+		if fr.Fn == nil && builtinNames[name] {
+			continue
+		}
+		o, _ := fr.Locals.Get(name)
+		if fr.Fn == nil && (o.Kind == OFunc || o.Kind == OClass) {
+			// Module-level function and class definitions are
+			// reported through globals, not as frame variables.
+			continue
+		}
+		out.Vars = append(out.Vars, &core.Variable{Name: name, Value: c.VarValue(o)})
+	}
+	return out
+}
+
+// SnapshotGlobals converts the module scope's user-defined bindings.
+func SnapshotGlobals(c *Converter, g *Scope) []*core.Variable {
+	var out []*core.Variable
+	for _, name := range g.Names() {
+		if builtinNames[name] {
+			continue
+		}
+		o, _ := g.Get(name)
+		out = append(out, &core.Variable{Name: name, Value: c.VarValue(o)})
+	}
+	return out
+}

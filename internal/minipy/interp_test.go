@@ -1,0 +1,489 @@
+package minipy
+
+import (
+	"strings"
+	"testing"
+)
+
+// runProg parses and runs src, returning stdout and the exit code.
+func runProg(t *testing.T, src string) (string, int) {
+	t.Helper()
+	m, err := Parse("test.py", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	in := NewInterp(m)
+	var out strings.Builder
+	in.SetStdout(&out)
+	var errb strings.Builder
+	in.SetStderr(&errb)
+	code, err := in.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 && errb.Len() > 0 {
+		t.Logf("stderr: %s", errb.String())
+	}
+	return out.String(), code
+}
+
+// expectOut asserts the program prints exactly want (with trailing newline
+// normalization).
+func expectOut(t *testing.T, src, want string) {
+	t.Helper()
+	got, code := runProg(t, src)
+	if code != 0 {
+		t.Fatalf("exit code %d, output %q", code, got)
+	}
+	if strings.TrimRight(got, "\n") != strings.TrimRight(want, "\n") {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	expectOut(t, `print(1 + 2 * 3)`, "7")
+	expectOut(t, `print((1 + 2) * 3)`, "9")
+	expectOut(t, `print(7 // 2)`, "3")
+	expectOut(t, `print(-7 // 2)`, "-4") // Python floor semantics
+	expectOut(t, `print(7 % 3)`, "1")
+	expectOut(t, `print(-7 % 3)`, "2") // Python sign-of-divisor
+	expectOut(t, `print(7 % -3)`, "-2")
+	expectOut(t, `print(2 ** 10)`, "1024")
+	expectOut(t, `print(10 / 4)`, "2.5")
+	expectOut(t, `print(2.5 + 1.5)`, "4.0")
+	expectOut(t, `print(-3)`, "-3")
+	expectOut(t, `print(2 ** -1)`, "0.5")
+	expectOut(t, `print(1.5 * 2)`, "3.0")
+}
+
+func TestStringsAndConcat(t *testing.T) {
+	expectOut(t, `print("a" + "b")`, "ab")
+	expectOut(t, `print("ab" * 3)`, "ababab")
+	expectOut(t, `print(len("hello"))`, "5")
+	expectOut(t, `print("hello"[1])`, "e")
+	expectOut(t, `print("hello"[-1])`, "o")
+	expectOut(t, `print("hello"[1:3])`, "el")
+	expectOut(t, `print("hello"[:2] + "hello"[2:])`, "hello")
+	expectOut(t, `print("a,b,c".split(","))`, "['a', 'b', 'c']")
+	expectOut(t, `print("-".join(["x", "y"]))`, "x-y")
+	expectOut(t, `print("Hello".upper(), "Hello".lower())`, "HELLO hello")
+	expectOut(t, `print("hello".replace("l", "L"))`, "heLLo")
+	expectOut(t, `print("hello".find("ll"))`, "2")
+	expectOut(t, `print("hello".startswith("he"), "hello".endswith("lo"))`, "True True")
+	expectOut(t, `print("  x  ".strip())`, "x")
+	expectOut(t, "print('esc\\t\\x41')", "esc\tA")
+}
+
+func TestComparisonsAndBool(t *testing.T) {
+	expectOut(t, `print(1 < 2, 2 <= 2, 3 > 4, 4 >= 5, 1 == 1.0, 1 != 2)`,
+		"True True False False True True")
+	expectOut(t, `print(1 < 2 < 3, 1 < 2 > 3)`, "True False") // chained
+	expectOut(t, `print("a" < "b", [1, 2] < [1, 3], (1,) < (1, 2))`, "True True True")
+	expectOut(t, `print(True and False, True or False, not True)`, "False True False")
+	expectOut(t, `print(0 or "x", 1 and "y")`, "x y") // value-returning
+	expectOut(t, `print(2 in [1, 2], 3 in [1, 2], "el" in "hello", 3 not in [1, 2])`,
+		"True False True True")
+	expectOut(t, `print("k" in {"k": 1}, "z" in {"k": 1})`, "True False")
+	expectOut(t, `print(None == None, None == 0)`, "True False")
+}
+
+func TestVariablesAndAssignment(t *testing.T) {
+	expectOut(t, "x = 3\ny = x\nx = 4\nprint(x, y)", "4 3")
+	expectOut(t, "a = b = 5\nprint(a, b)", "5 5")
+	expectOut(t, "a, b = 1, 2\nprint(a, b)", "1 2")
+	expectOut(t, "a, b = 1, 2\na, b = b, a\nprint(a, b)", "2 1")
+	expectOut(t, "x = 10\nx += 5\nx -= 3\nx *= 2\nprint(x)", "24")
+	expectOut(t, "x = 7\nx //= 2\nprint(x)", "3")
+	expectOut(t, "x = 7\nx %= 4\nprint(x)", "3")
+}
+
+func TestListsAndAliasing(t *testing.T) {
+	expectOut(t, `print([1, 2, 3])`, "[1, 2, 3]")
+	expectOut(t, "xs = [1, 2]\nys = xs\nys.append(3)\nprint(xs)", "[1, 2, 3]")
+	expectOut(t, "xs = [1, 2]\nys = xs[:]\nys.append(3)\nprint(xs, ys)", "[1, 2] [1, 2, 3]")
+	expectOut(t, "xs = [1, 2, 3]\nxs[1] = 9\nprint(xs)", "[1, 9, 3]")
+	expectOut(t, "xs = [1, 2, 3]\nprint(xs[-1], xs[0:2])", "3 [1, 2]")
+	expectOut(t, "xs = [3, 1, 2]\nxs.sort()\nprint(xs)", "[1, 2, 3]")
+	expectOut(t, "xs = [1, 2, 3]\nxs.reverse()\nprint(xs)", "[3, 2, 1]")
+	expectOut(t, "xs = [1, 2]\nxs.extend([3, 4])\nprint(xs)", "[1, 2, 3, 4]")
+	expectOut(t, "xs = [1, 2, 3]\nprint(xs.pop(), xs)", "3 [1, 2]")
+	expectOut(t, "xs = [1, 2, 3]\nprint(xs.pop(0), xs)", "1 [2, 3]")
+	expectOut(t, "xs = [1, 2, 3]\nxs.insert(1, 9)\nprint(xs)", "[1, 9, 2, 3]")
+	expectOut(t, "xs = [1, 2, 1]\nxs.remove(1)\nprint(xs)", "[2, 1]")
+	expectOut(t, "xs = [1, 2, 1]\nprint(xs.count(1), xs.index(2))", "2 1")
+	expectOut(t, "xs = [1, 2, 3]\ndel xs[1]\nprint(xs)", "[1, 3]")
+	expectOut(t, "print([1, 2] + [3], [0] * 3)", "[1, 2, 3] [0, 0, 0]")
+	expectOut(t, "xs = [1]\nxs += [2]\nprint(xs)", "[1, 2]")
+}
+
+func TestTuples(t *testing.T) {
+	expectOut(t, `print((1, 2), (1,), ())`, "(1, 2) (1,) ()")
+	expectOut(t, "t = 1, 2, 3\nprint(t, t[1], len(t))", "(1, 2, 3) 2 3")
+	expectOut(t, "print((1, 2) + (3,))", "(1, 2, 3)")
+	expectOut(t, "print(tuple([1, 2]), list((3, 4)))", "(1, 2) [3, 4]")
+}
+
+func TestDicts(t *testing.T) {
+	expectOut(t, `d = {"a": 1, "b": 2}`+"\nprint(d)", "{'a': 1, 'b': 2}")
+	expectOut(t, `d = {}`+"\nd[1] = \"one\"\nprint(d[1], len(d))", "one 1")
+	expectOut(t, `d = {"a": 1}`+"\nprint(d.get(\"a\"), d.get(\"z\"), d.get(\"z\", 9))", "1 None 9")
+	expectOut(t, `d = {"a": 1, "b": 2}`+"\nprint(d.keys(), d.values())", "['a', 'b'] [1, 2]")
+	expectOut(t, `d = {"a": 1}`+"\nprint(d.items())", "[('a', 1)]")
+	expectOut(t, `d = {"a": 1, "b": 2}`+"\ndel d[\"a\"]\nprint(d)", "{'b': 2}")
+	expectOut(t, `d = {True: "t", 1.0: "override"}`+"\nprint(d)", "{True: 'override'}")
+	expectOut(t, "d = {(1, 2): 5}\nprint(d[(1, 2)])", "5")
+	expectOut(t, "d = {\"k\": 0}\nfor k in d:\n    print(k)", "k")
+}
+
+func TestControlFlow(t *testing.T) {
+	expectOut(t, `
+x = 5
+if x > 3:
+    print("big")
+else:
+    print("small")
+`, "big")
+	expectOut(t, `
+x = 2
+if x > 3:
+    print("big")
+elif x > 1:
+    print("mid")
+else:
+    print("small")
+`, "mid")
+	expectOut(t, `
+i = 0
+total = 0
+while i < 5:
+    total += i
+    i += 1
+print(total)
+`, "10")
+	expectOut(t, `
+total = 0
+for i in range(1, 6):
+    total += i
+print(total)
+`, "15")
+	expectOut(t, `
+for i in range(10):
+    if i == 3:
+        break
+    print(i)
+`, "0\n1\n2")
+	expectOut(t, `
+for i in range(5):
+    if i % 2 == 0:
+        continue
+    print(i)
+`, "1\n3")
+	expectOut(t, `
+for i in range(10, 0, -3):
+    print(i)
+`, "10\n7\n4\n1")
+	expectOut(t, `
+for c in "abc":
+    print(c)
+`, "a\nb\nc")
+	expectOut(t, `
+for k, v in [("a", 1), ("b", 2)]:
+    print(k, v)
+`, "a 1\nb 2")
+	expectOut(t, `
+while True:
+    break
+print("done")
+`, "done")
+}
+
+func TestFunctions(t *testing.T) {
+	expectOut(t, `
+def add(a, b):
+    return a + b
+print(add(2, 3))
+`, "5")
+	expectOut(t, `
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+print(fib(10))
+`, "55")
+	expectOut(t, `
+def noret():
+    pass
+print(noret())
+`, "None")
+	expectOut(t, `
+def f():
+    return 1, 2
+a, b = f()
+print(a, b)
+`, "1 2")
+	expectOut(t, `
+def outer(x):
+    def sq(y):
+        return y * y
+    return sq(x) + 1
+print(outer(4))
+`, "17")
+	expectOut(t, `
+g = 10
+def bump():
+    global g
+    g += 1
+bump()
+bump()
+print(g)
+`, "12")
+	expectOut(t, `
+x = 1
+def shadow():
+    x = 2
+    return x
+print(shadow(), x)
+`, "2 1")
+	expectOut(t, `
+def apply(f, v):
+    return f(v)
+def double(x):
+    return x * 2
+print(apply(double, 21))
+`, "42")
+}
+
+func TestClasses(t *testing.T) {
+	expectOut(t, `
+class Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+    def norm2(self):
+        return self.x * self.x + self.y * self.y
+p = Point(3, 4)
+print(p.x, p.y, p.norm2())
+`, "3 4 25")
+	expectOut(t, `
+class Counter:
+    def __init__(self):
+        self.n = 0
+    def inc(self):
+        self.n += 1
+c = Counter()
+c.inc()
+c.inc()
+print(c.n)
+`, "2")
+	expectOut(t, `
+class Node:
+    def __init__(self, v):
+        self.v = v
+        self.next = None
+a = Node(1)
+b = Node(2)
+a.next = b
+print(a.next.v)
+`, "2")
+	expectOut(t, `
+class Box:
+    pass
+b = Box()
+b.val = 9
+print(b.val, type(b))
+`, "9 Box")
+	expectOut(t, `
+class K:
+    tag = "konst"
+k = K()
+print(k.tag)
+`, "konst")
+}
+
+func TestBuiltins(t *testing.T) {
+	expectOut(t, `print(abs(-3), abs(2.5), abs(-2.5))`, "3 2.5 2.5")
+	expectOut(t, `print(min(3, 1, 2), max([4, 9, 2]))`, "1 9")
+	expectOut(t, `print(sum([1, 2, 3]), sum([1.5, 2.5]))`, "6 4.0")
+	expectOut(t, `print(sorted([3, 1, 2]), sorted("cab"))`, "[1, 2, 3] ['a', 'b', 'c']")
+	expectOut(t, `print(str(42), int("17"), float("2.5"), int(3.9), bool(0), bool("x"))`,
+		"42 17 2.5 3 False True")
+	expectOut(t, `print(chr(65), ord("A"))`, "A 65")
+	expectOut(t, `print(enumerate("ab"))`, "[(0, 'a'), (1, 'b')]")
+	expectOut(t, `print(zip([1, 2], ["a", "b"]))`, "[(1, 'a'), (2, 'b')]")
+	expectOut(t, `print(type(1), type("s"), type([]), type(None))`, "int str list NoneType")
+	expectOut(t, `print(repr("x"))`, "'x'")
+	expectOut(t, `
+xs = [1]
+ys = xs
+print(id(xs) == id(ys), id(xs) == id([1]))
+`, "True False")
+	expectOut(t, `print(isinstance(1, "int"), isinstance("s", "int"))`, "True False")
+}
+
+func TestExitCode(t *testing.T) {
+	_, code := runProg(t, "exit(3)")
+	if code != 3 {
+		t.Errorf("exit code = %d, want 3", code)
+	}
+	out, code := runProg(t, "print(\"before\")\nexit(1)\nprint(\"after\")")
+	if code != 1 || strings.Contains(out, "after") || !strings.Contains(out, "before") {
+		t.Errorf("exit mid-program: code=%d out=%q", code, out)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"print(undefined)", "name 'undefined' is not defined"},
+		{"xs = [1]\nprint(xs[5])", "index out of range"},
+		{"print(1 / 0)", "division by zero"},
+		{"print(1 // 0)", "modulo by zero"},
+		{"print(1 + \"s\")", "unsupported operand"},
+		{"d = {}\nprint(d[1])", "KeyError"},
+		{"print(len(1))", "has no len()"},
+		{"(1)[0]", "not subscriptable"},
+		{"x = 1\nx()", "not callable"},
+		{"d = {[1]: 2}", "unhashable"},
+		{"def f(a):\n    pass\nf(1, 2)", "takes 1 arguments but 2 were given"},
+		{"t = (1, 2)\nt[0] = 5", "does not support item assignment"},
+		{"a, b = [1, 2, 3]", "cannot unpack"},
+		{"print(1 < \"s\")", "not supported between"},
+	}
+	for _, c := range cases {
+		m, err := Parse("e.py", c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		in := NewInterp(m)
+		var errb strings.Builder
+		in.SetStderr(&errb)
+		code, err := in.Run()
+		if err != nil {
+			t.Fatalf("run %q: %v", c.src, err)
+		}
+		if code != 1 {
+			t.Errorf("%q: exit code = %d, want 1", c.src, code)
+		}
+		if !strings.Contains(errb.String(), c.want) {
+			t.Errorf("%q: stderr %q missing %q", c.src, errb.String(), c.want)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		"def f(:\n    pass",
+		"if x\n    pass",
+		"x = ",
+		"1 = x",
+		"print('unterminated",
+		"x = 1\n  y = 2",               // stray indent
+		"if 1:\npass",                  // missing indent
+		"while 1:\n    x = 1\n  y = 2", // bad dedent
+		"x ~ 2",
+		"x = 0x",
+		"for 1 in [1]:\n    pass",
+	}
+	for _, src := range cases {
+		if _, err := Parse("s.py", src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	m, err := Parse("loop.py", "while True:\n    pass")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(m)
+	in.MaxSteps = 1000
+	var errb strings.Builder
+	in.SetStderr(&errb)
+	code, err := in.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 || !strings.Contains(errb.String(), "step budget") {
+		t.Errorf("infinite loop not caught: code=%d stderr=%q", code, errb.String())
+	}
+}
+
+func TestInput(t *testing.T) {
+	m, err := Parse("in.py", "name = input(\"? \")\nprint(\"hi\", name)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(m)
+	var out strings.Builder
+	in.SetStdout(&out)
+	in.SetStdin(strings.NewReader("bob\n"))
+	if code, err := in.Run(); err != nil || code != 0 {
+		t.Fatalf("run: %v code %d", err, code)
+	}
+	if out.String() != "? hi bob\n" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestArgv(t *testing.T) {
+	m, err := Parse("a.py", "print(argv)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp(m)
+	in.SetArgs([]string{"x", "y"})
+	var out strings.Builder
+	in.SetStdout(&out)
+	if _, err := in.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "['x', 'y']\n" {
+		t.Errorf("argv output = %q", out.String())
+	}
+}
+
+func TestComments(t *testing.T) {
+	expectOut(t, `
+# leading comment
+x = 1  # trailing
+# only comment line
+
+print(x)
+`, "1")
+}
+
+func TestImplicitLineJoining(t *testing.T) {
+	expectOut(t, `
+xs = [1,
+      2,
+      3]
+print(len(xs))
+`, "3")
+	expectOut(t, `
+total = (1 +
+         2)
+print(total)
+`, "3")
+}
+
+func TestSelfReferencingList(t *testing.T) {
+	expectOut(t, `
+xs = [1]
+xs.append(xs)
+print(len(xs))
+print(xs)
+`, "2\n[1, [...]]")
+}
+
+func TestBubbleSortProgram(t *testing.T) {
+	expectOut(t, `
+def bubble_sort(a):
+    n = len(a)
+    for i in range(n):
+        for j in range(n - 1 - i):
+            if a[j] > a[j + 1]:
+                a[j], a[j + 1] = a[j + 1], a[j]
+    return a
+print(bubble_sort([5, 2, 9, 1, 7]))
+`, "[1, 2, 5, 7, 9]")
+}

@@ -1,0 +1,755 @@
+package minipy
+
+import "fmt"
+
+// Parser is a recursive-descent parser for MiniPy.
+type Parser struct {
+	file string
+	toks []Token
+	pos  int
+}
+
+// Parse parses src into a Module.
+func Parse(file, src string) (*Module, error) {
+	toks, err := Tokenize(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{file: file, toks: toks}
+	m := &Module{File: file}
+	for !p.at(EOF) {
+		if p.at(Newline) {
+			p.next()
+			continue
+		}
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		m.Body = append(m.Body, st)
+	}
+	return m, nil
+}
+
+func (p *Parser) cur() Token        { return p.toks[p.pos] }
+func (p *Parser) at(k TokKind) bool { return p.toks[p.pos].Kind == k }
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) errf(t Token, format string, args ...any) *SyntaxError {
+	return &SyntaxError{File: p.file, Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, p.errf(p.cur(), "expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+// block parses `: NEWLINE INDENT stmt+ DEDENT` and returns the body along
+// with the last line it covers.
+func (p *Parser) block() ([]Stmt, int, error) {
+	if _, err := p.expect(Colon); err != nil {
+		return nil, 0, err
+	}
+	if _, err := p.expect(Newline); err != nil {
+		return nil, 0, err
+	}
+	if _, err := p.expect(Indent); err != nil {
+		return nil, 0, err
+	}
+	var body []Stmt
+	last := 0
+	for !p.at(Dedent) && !p.at(EOF) {
+		if p.at(Newline) {
+			p.next()
+			continue
+		}
+		st, err := p.stmt()
+		if err != nil {
+			return nil, 0, err
+		}
+		body = append(body, st)
+		if l := stmtEndLine(st); l > last {
+			last = l
+		}
+	}
+	if _, err := p.expect(Dedent); err != nil {
+		return nil, 0, err
+	}
+	if len(body) == 0 {
+		return nil, 0, p.errf(p.cur(), "expected an indented block")
+	}
+	return body, last, nil
+}
+
+func stmtEndLine(s Stmt) int {
+	switch st := s.(type) {
+	case *IfStmt:
+		last := st.Pos()
+		for _, b := range st.Body {
+			if l := stmtEndLine(b); l > last {
+				last = l
+			}
+		}
+		for _, b := range st.Else {
+			if l := stmtEndLine(b); l > last {
+				last = l
+			}
+		}
+		return last
+	case *WhileStmt:
+		last := st.Pos()
+		for _, b := range st.Body {
+			if l := stmtEndLine(b); l > last {
+				last = l
+			}
+		}
+		return last
+	case *ForStmt:
+		last := st.Pos()
+		for _, b := range st.Body {
+			if l := stmtEndLine(b); l > last {
+				last = l
+			}
+		}
+		return last
+	case *FuncDef:
+		return st.EndLine
+	case *ClassDef:
+		last := st.Pos()
+		for _, b := range st.Body {
+			if l := stmtEndLine(b); l > last {
+				last = l
+			}
+		}
+		return last
+	default:
+		return s.Pos()
+	}
+}
+
+func (p *Parser) stmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case KwIf:
+		return p.ifStmt()
+	case KwWhile:
+		return p.whileStmt()
+	case KwFor:
+		return p.forStmt()
+	case KwDef:
+		return p.funcDef()
+	case KwClass:
+		return p.classDef()
+	default:
+		return p.simpleStmt()
+	}
+}
+
+func (p *Parser) ifStmt() (Stmt, error) {
+	t := p.next() // if / elif
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &IfStmt{pos: pos{t.Line}, Cond: cond, Body: body}
+	switch p.cur().Kind {
+	case KwElif:
+		els, err := p.ifStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = []Stmt{els}
+	case KwElse:
+		p.next()
+		els, _, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		st.Else = els
+	}
+	return st, nil
+}
+
+func (p *Parser) whileStmt() (Stmt, error) {
+	t := p.next()
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{pos: pos{t.Line}, Cond: cond, Body: body}, nil
+}
+
+func (p *Parser) forStmt() (Stmt, error) {
+	t := p.next()
+	target, err := p.targetList()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(KwIn); err != nil {
+		return nil, err
+	}
+	iter, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{pos: pos{t.Line}, Target: target, Iter: iter, Body: body}, nil
+}
+
+// targetList parses one or more comma-separated names for `for` targets.
+func (p *Parser) targetList() (Expr, error) {
+	first, err := p.expect(Name)
+	if err != nil {
+		return nil, err
+	}
+	t := &NameExpr{pos: pos{first.Line}, Name: first.Text}
+	if !p.at(Comma) {
+		return t, nil
+	}
+	elems := []Expr{t}
+	for p.at(Comma) {
+		p.next()
+		n, err := p.expect(Name)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, &NameExpr{pos: pos{n.Line}, Name: n.Text})
+	}
+	return &TupleLitExpr{pos: pos{first.Line}, Elems: elems}, nil
+}
+
+func (p *Parser) funcDef() (Stmt, error) {
+	t := p.next()
+	name, err := p.expect(Name)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Lparen); err != nil {
+		return nil, err
+	}
+	var params []string
+	for !p.at(Rparen) {
+		pn, err := p.expect(Name)
+		if err != nil {
+			return nil, err
+		}
+		params = append(params, pn.Text)
+		if p.at(Comma) {
+			p.next()
+		} else {
+			break
+		}
+	}
+	if _, err := p.expect(Rparen); err != nil {
+		return nil, err
+	}
+	body, end, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDef{pos: pos{t.Line}, Name: name.Text, Params: params, Body: body, EndLine: end}, nil
+}
+
+func (p *Parser) classDef() (Stmt, error) {
+	t := p.next()
+	name, err := p.expect(Name)
+	if err != nil {
+		return nil, err
+	}
+	body, _, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ClassDef{pos: pos{t.Line}, Name: name.Text, Body: body}, nil
+}
+
+func (p *Parser) simpleStmt() (Stmt, error) {
+	t := p.cur()
+	var st Stmt
+	var err error
+	switch t.Kind {
+	case KwReturn:
+		p.next()
+		var val Expr
+		if !p.at(Newline) && !p.at(EOF) {
+			val, err = p.exprOrTuple()
+			if err != nil {
+				return nil, err
+			}
+		}
+		st = &ReturnStmt{pos: pos{t.Line}, Value: val}
+	case KwBreak:
+		p.next()
+		st = &BreakStmt{pos{t.Line}}
+	case KwContinue:
+		p.next()
+		st = &ContinueStmt{pos{t.Line}}
+	case KwPass:
+		p.next()
+		st = &PassStmt{pos{t.Line}}
+	case KwDel:
+		p.next()
+		target, err := p.exprOrTuple()
+		if err != nil {
+			return nil, err
+		}
+		st = &DelStmt{pos: pos{t.Line}, Target: target}
+	case KwGlobal:
+		p.next()
+		var names []string
+		for {
+			n, err := p.expect(Name)
+			if err != nil {
+				return nil, err
+			}
+			names = append(names, n.Text)
+			if !p.at(Comma) {
+				break
+			}
+			p.next()
+		}
+		st = &GlobalStmt{pos: pos{t.Line}, Names: names}
+	default:
+		st, err = p.exprBasedStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.at(Newline) {
+		p.next()
+	} else if !p.at(EOF) && !p.at(Dedent) {
+		return nil, p.errf(p.cur(), "unexpected %s after statement", p.cur())
+	}
+	return st, nil
+}
+
+// exprBasedStmt parses an expression statement, assignment, or augmented
+// assignment.
+func (p *Parser) exprBasedStmt() (Stmt, error) {
+	t := p.cur()
+	first, err := p.exprOrTuple()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case Assign:
+		targets := []Expr{first}
+		var value Expr
+		for p.at(Assign) {
+			p.next()
+			nxt, err := p.exprOrTuple()
+			if err != nil {
+				return nil, err
+			}
+			value = nxt
+			if p.at(Assign) {
+				targets = append(targets, nxt)
+			}
+		}
+		for _, tg := range targets {
+			if err := checkTarget(p, tg); err != nil {
+				return nil, err
+			}
+		}
+		return &AssignStmt{pos: pos{t.Line}, Targets: targets, Value: value}, nil
+	case PlusEq, MinusEq, StarEq, SlashEq, PercentEq, DblSlashEq, StarStarEq:
+		opTok := p.next()
+		var op TokKind
+		switch opTok.Kind {
+		case PlusEq:
+			op = Plus
+		case MinusEq:
+			op = Minus
+		case StarEq:
+			op = Star
+		case SlashEq:
+			op = Slash
+		case PercentEq:
+			op = Percent
+		case DblSlashEq:
+			op = DblSlash
+		case StarStarEq:
+			op = StarStar
+		}
+		if err := checkTarget(p, first); err != nil {
+			return nil, err
+		}
+		value, err := p.exprOrTuple()
+		if err != nil {
+			return nil, err
+		}
+		return &AugAssignStmt{pos: pos{t.Line}, Target: first, Op: op, Value: value}, nil
+	default:
+		return &ExprStmt{pos: pos{t.Line}, X: first}, nil
+	}
+}
+
+func checkTarget(p *Parser, e Expr) error {
+	switch t := e.(type) {
+	case *NameExpr, *IndexExpr, *AttrExpr:
+		return nil
+	case *TupleLitExpr:
+		for _, el := range t.Elems {
+			if err := checkTarget(p, el); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *ListLitExpr:
+		for _, el := range t.Elems {
+			if err := checkTarget(p, el); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return &SyntaxError{File: p.file, Line: e.Pos(), Col: 1, Msg: "cannot assign to this expression"}
+	}
+}
+
+// exprOrTuple parses `expr (, expr)* [,]` — a bare comma list becomes a
+// tuple literal, as in Python.
+func (p *Parser) exprOrTuple() (Expr, error) {
+	first, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(Comma) {
+		return first, nil
+	}
+	elems := []Expr{first}
+	for p.at(Comma) {
+		p.next()
+		if p.at(Newline) || p.at(EOF) || p.at(Assign) || p.at(Rparen) {
+			break // trailing comma
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+	}
+	return &TupleLitExpr{pos: pos{first.Pos()}, Elems: elems}, nil
+}
+
+// expr parses a full expression (orexpr).
+func (p *Parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *Parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(KwOr) {
+		t := p.next()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BoolOpExpr{pos: pos{t.Line}, Op: KwOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(KwAnd) {
+		t := p.next()
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BoolOpExpr{pos: pos{t.Line}, Op: KwAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) notExpr() (Expr, error) {
+	if p.at(KwNot) {
+		t := p.next()
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{pos: pos{t.Line}, Op: KwNot, X: x}, nil
+	}
+	return p.comparison()
+}
+
+func isCompareOp(k TokKind) bool {
+	switch k {
+	case Eq, Ne, Lt, Le, Gt, Ge, KwIn:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) comparison() (Expr, error) {
+	first, err := p.arith()
+	if err != nil {
+		return nil, err
+	}
+	if !isCompareOp(p.cur().Kind) && !(p.at(KwNot) && p.toks[p.pos+1].Kind == KwIn) {
+		return first, nil
+	}
+	cmp := &CompareExpr{pos: pos{first.Pos()}, First: first}
+	for {
+		var op TokKind
+		switch {
+		case p.at(KwNot) && p.toks[p.pos+1].Kind == KwIn:
+			p.next()
+			p.next()
+			op = NotIn
+		case isCompareOp(p.cur().Kind):
+			op = p.next().Kind
+		default:
+			return cmp, nil
+		}
+		r, err := p.arith()
+		if err != nil {
+			return nil, err
+		}
+		cmp.Ops = append(cmp.Ops, op)
+		cmp.Rest = append(cmp.Rest, r)
+	}
+}
+
+func (p *Parser) arith() (Expr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(Plus) || p.at(Minus) {
+		t := p.next()
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOpExpr{pos: pos{t.Line}, Op: t.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) term() (Expr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(Star) || p.at(Slash) || p.at(DblSlash) || p.at(Percent) {
+		t := p.next()
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinOpExpr{pos: pos{t.Line}, Op: t.Kind, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) factor() (Expr, error) {
+	switch p.cur().Kind {
+	case Minus, Plus:
+		t := p.next()
+		x, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{pos: pos{t.Line}, Op: t.Kind, X: x}, nil
+	}
+	return p.power()
+}
+
+func (p *Parser) power() (Expr, error) {
+	base, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(StarStar) {
+		t := p.next()
+		// Right associative; exponent may itself be a unary factor.
+		exp, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return &BinOpExpr{pos: pos{t.Line}, Op: StarStar, L: base, R: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	x, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case Lparen:
+			t := p.next()
+			var args []Expr
+			for !p.at(Rparen) {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.at(Comma) {
+					p.next()
+				} else {
+					break
+				}
+			}
+			if _, err := p.expect(Rparen); err != nil {
+				return nil, err
+			}
+			x = &CallExpr{pos: pos{t.Line}, Fn: x, Args: args}
+		case Lbracket:
+			t := p.next()
+			var lo, hi Expr
+			isSlice := false
+			if !p.at(Colon) {
+				lo, err = p.expr()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if p.at(Colon) {
+				isSlice = true
+				p.next()
+				if !p.at(Rbracket) {
+					hi, err = p.expr()
+					if err != nil {
+						return nil, err
+					}
+				}
+			}
+			if _, err := p.expect(Rbracket); err != nil {
+				return nil, err
+			}
+			if isSlice {
+				x = &SliceExpr{pos: pos{t.Line}, X: x, Lo: lo, Hi: hi}
+			} else {
+				x = &IndexExpr{pos: pos{t.Line}, X: x, Index: lo}
+			}
+		case Dot:
+			t := p.next()
+			n, err := p.expect(Name)
+			if err != nil {
+				return nil, err
+			}
+			x = &AttrExpr{pos: pos{t.Line}, X: x, Name: n.Text}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) atom() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case Name:
+		p.next()
+		return &NameExpr{pos: pos{t.Line}, Name: t.Text}, nil
+	case IntLit:
+		p.next()
+		return &IntLitExpr{pos: pos{t.Line}, Value: t.Int}, nil
+	case FloatLit:
+		p.next()
+		return &FloatLitExpr{pos: pos{t.Line}, Value: t.Float}, nil
+	case StrLit:
+		p.next()
+		return &StrLitExpr{pos: pos{t.Line}, Value: t.Text}, nil
+	case KwTrue:
+		p.next()
+		return &BoolLitExpr{pos: pos{t.Line}, Value: true}, nil
+	case KwFalse:
+		p.next()
+		return &BoolLitExpr{pos: pos{t.Line}, Value: false}, nil
+	case KwNone:
+		p.next()
+		return &NoneLitExpr{pos{t.Line}}, nil
+	case Lparen:
+		p.next()
+		if p.at(Rparen) {
+			p.next()
+			return &TupleLitExpr{pos: pos{t.Line}}, nil
+		}
+		inner, err := p.exprOrTuple()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Rparen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case Lbracket:
+		p.next()
+		var elems []Expr
+		for !p.at(Rbracket) {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if p.at(Comma) {
+				p.next()
+			} else {
+				break
+			}
+		}
+		if _, err := p.expect(Rbracket); err != nil {
+			return nil, err
+		}
+		return &ListLitExpr{pos: pos{t.Line}, Elems: elems}, nil
+	case Lbrace:
+		p.next()
+		lit := &DictLitExpr{pos: pos{t.Line}}
+		for !p.at(Rbrace) {
+			k, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(Colon); err != nil {
+				return nil, err
+			}
+			v, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			lit.Keys = append(lit.Keys, k)
+			lit.Vals = append(lit.Vals, v)
+			if p.at(Comma) {
+				p.next()
+			} else {
+				break
+			}
+		}
+		if _, err := p.expect(Rbrace); err != nil {
+			return nil, err
+		}
+		return lit, nil
+	}
+	return nil, p.errf(t, "unexpected %s in expression", t)
+}

@@ -1,0 +1,139 @@
+package pt
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"strings"
+
+	"easytracker/internal/core"
+)
+
+// HTML renders the trace as a self-contained Python-Tutor-style page
+// (the paper's Fig. 10 artifact is exactly this: a generated demo.html
+// navigated with Back/Forward buttons). The page embeds the pre-rendered
+// state of every step, so it needs no server and no external assets.
+func HTML(t *Trace) (string, error) {
+	type stepView struct {
+		Event  string `json:"event"`
+		Line   int    `json:"line"`
+		Func   string `json:"func,omitempty"`
+		Stdout string `json:"stdout"`
+		// State is the pre-rendered frames/globals panel.
+		State string `json:"state"`
+	}
+	views := make([]stepView, len(t.Steps))
+	for i, s := range t.Steps {
+		views[i] = stepView{
+			Event: s.Event, Line: s.Line, Func: s.Func, Stdout: s.Stdout,
+			State: renderStateHTML(s.State),
+		}
+	}
+	payload, err := json.Marshal(views)
+	if err != nil {
+		return "", err
+	}
+	codeLines := strings.Split(t.Code, "\n")
+	var codeHTML strings.Builder
+	for i, line := range codeLines {
+		fmt.Fprintf(&codeHTML, `<div class="cl" id="L%d"><span class="ln">%3d</span> %s</div>`,
+			i+1, i+1, html.EscapeString(line))
+		codeHTML.WriteString("\n")
+	}
+
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>`)
+	b.WriteString(html.EscapeString(t.File))
+	b.WriteString(` — EasyTracker trace</title>
+<style>
+body { font-family: monospace; display: flex; gap: 24px; margin: 16px; }
+.panel { border: 1px solid #999; padding: 8px; min-width: 320px; }
+.cl { white-space: pre; }
+.cl.cur { background: #ffe9c7; }
+.ln { color: #888; }
+.frame { border: 1px solid #777; margin: 6px 0; }
+.frame h4 { margin: 0; padding: 2px 6px; background: #2b4a7d; color: white; font-size: 12px; }
+.frame table { border-collapse: collapse; }
+.frame td { border-top: 1px solid #ddd; padding: 1px 8px; }
+#stdout { white-space: pre; background: #111; color: #0f0; padding: 6px; min-height: 40px; }
+button { font-family: monospace; }
+</style></head><body>
+<div class="panel"><h3>`)
+	b.WriteString(html.EscapeString(t.File))
+	b.WriteString(`</h3>
+<div id="code">`)
+	b.WriteString(codeHTML.String())
+	b.WriteString(`</div>
+<p>
+<button id="first">|&lt;</button>
+<button id="back">&lt; Back</button>
+<button id="fwd">Forward &gt;</button>
+<button id="last">&gt;|</button>
+<span id="where"></span>
+</p>
+<div id="stdout"></div>
+</div>
+<div class="panel"><h3>Frames and objects</h3><div id="state"></div></div>
+<script>
+const steps = `)
+	b.Write(payload)
+	b.WriteString(`;
+let pos = 0;
+function show() {
+  const s = steps[pos];
+  document.querySelectorAll('.cl').forEach(e => e.classList.remove('cur'));
+  const cur = document.getElementById('L' + s.line);
+  if (cur) cur.classList.add('cur');
+  document.getElementById('state').innerHTML = s.state;
+  document.getElementById('stdout').textContent = s.stdout;
+  document.getElementById('where').textContent =
+    'step ' + (pos + 1) + '/' + steps.length + ' (' + s.event + ')';
+}
+document.getElementById('fwd').onclick = () => { if (pos < steps.length - 1) { pos++; show(); } };
+document.getElementById('back').onclick = () => { if (pos > 0) { pos--; show(); } };
+document.getElementById('first').onclick = () => { pos = 0; show(); };
+document.getElementById('last').onclick = () => { pos = steps.length - 1; show(); };
+show();
+</script>
+</body></html>
+`)
+	return b.String(), nil
+}
+
+// renderStateHTML renders one snapshot's frames and globals as HTML tables.
+func renderStateHTML(st *core.State) string {
+	if st == nil {
+		return "<em>program finished</em>"
+	}
+	var b strings.Builder
+	writeVars := func(title string, vars []*core.Variable) {
+		b.WriteString(`<div class="frame"><h4>`)
+		b.WriteString(html.EscapeString(title))
+		b.WriteString(`</h4><table>`)
+		for _, v := range vars {
+			val := v.Value
+			if val != nil && val.Kind == core.Ref && val.Deref() != nil {
+				val = val.Deref()
+			}
+			rendered := "?"
+			if val != nil {
+				rendered = val.String()
+			}
+			fmt.Fprintf(&b, `<tr><td>%s</td><td>%s</td></tr>`,
+				html.EscapeString(v.Name), html.EscapeString(rendered))
+		}
+		b.WriteString(`</table></div>`)
+	}
+	if len(st.Globals) > 0 {
+		writeVars("globals", st.Globals)
+	}
+	if st.Frame != nil {
+		frames := st.Frame.Stack()
+		for i := len(frames) - 1; i >= 0; i-- {
+			fr := frames[i]
+			writeVars(fmt.Sprintf("%s (line %d)", fr.Name, fr.Line), fr.Vars)
+		}
+	}
+	return b.String()
+}

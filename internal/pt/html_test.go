@@ -1,0 +1,51 @@
+package pt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHTMLExport(t *testing.T) {
+	trace := recordProg(t, Options{
+		Mode: ModeTracked, TrackFunctions: []string{"fib"}, Lang: "minipy",
+	})
+	page, err := HTML(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"def fib(n):",        // embedded source
+		`id="fwd"`,           // the Forward button of Fig. 10
+		`id="back"`,          // and Back
+		`"event":"call"`,     // step payload
+		"Frames and objects", // state panel
+		"lt;module",          // rendered module frame (JSON-escaped in the payload)
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// No unescaped program text that could break the page.
+	if strings.Contains(page, "<script>alert") {
+		t.Error("unsafe content")
+	}
+}
+
+func TestHTMLEscapesSource(t *testing.T) {
+	trace := &Trace{
+		Code:  "x = \"<script>alert('x')</script>\"\n",
+		File:  "evil.py",
+		Steps: []Step{{Event: EventFinished, Stdout: ""}},
+	}
+	page, err := HTML(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(page, "<script>alert") {
+		t.Error("source not escaped")
+	}
+	if !strings.Contains(page, "&lt;script&gt;alert") {
+		t.Error("escaped source missing")
+	}
+}

@@ -1,0 +1,206 @@
+// Package pt implements a Python-Tutor-style execution trace format and a
+// recorder that generates traces by driving any EasyTracker tracker —
+// Section III-E of the paper: EasyTracker can generate full or partial
+// (filtered) traces for external visualization front-ends, and a trace can
+// in turn be replayed through the Tracker API (internal/tracetracker).
+package pt
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"easytracker/internal/core"
+)
+
+// Step events, following Python Tutor's vocabulary.
+const (
+	EventStepLine  = "step_line"
+	EventCall      = "call"
+	EventReturn    = "return"
+	EventException = "exception"
+	EventFinished  = "finished"
+)
+
+// Step is one recorded execution point.
+type Step struct {
+	// Event classifies the step.
+	Event string `json:"event"`
+	// Line is the next line to execute at this point.
+	Line int `json:"line"`
+	// Func is the function name for call/return events.
+	Func string `json:"func_name,omitempty"`
+	// Stdout is the cumulative program output so far (PT convention).
+	Stdout string `json:"stdout"`
+	// State is the full serialized program state at this point.
+	State *core.State `json:"state,omitempty"`
+}
+
+// Trace is a recorded execution.
+type Trace struct {
+	// Code is the program source.
+	Code string `json:"code"`
+	// File is the program's display name.
+	File string `json:"file"`
+	// Lang names the inferior language/tracker kind.
+	Lang string `json:"lang"`
+	// Steps are the recorded execution points.
+	Steps []Step `json:"trace"`
+	// ExitCode is the program's exit status.
+	ExitCode int `json:"exit_code"`
+}
+
+// Encode serializes the trace as JSON.
+func (t *Trace) Encode() ([]byte, error) {
+	return json.MarshalIndent(t, "", " ")
+}
+
+// Decode parses a serialized trace.
+func Decode(data []byte) (*Trace, error) {
+	var t Trace
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("pt: bad trace: %w", err)
+	}
+	return &t, nil
+}
+
+// Mode selects what the recorder captures.
+type Mode int
+
+const (
+	// ModeFullStep records the state after every executed line (a
+	// Python-Tutor-style full trace).
+	ModeFullStep Mode = iota
+	// ModeTracked records only the pauses produced by the configured
+	// tracked functions and watches — the paper's partial trace that
+	// "focuses on interesting parts of the execution".
+	ModeTracked
+)
+
+// Options configures Record.
+type Options struct {
+	Mode Mode
+	// TrackFunctions lists functions to track in ModeTracked.
+	TrackFunctions []string
+	// Watches lists variable identifiers to watch in ModeTracked.
+	Watches []string
+	// MaxSteps bounds the trace length (default 100000).
+	MaxSteps int
+	// Lang is recorded in the trace header.
+	Lang string
+}
+
+// stateProvider is implemented by both built-in trackers for a full
+// snapshot in one call.
+type stateProvider interface {
+	State() (*core.State, error)
+}
+
+// snapshot obtains a full state from the tracker.
+func snapshot(tr core.Tracker) (*core.State, error) {
+	if sp, ok := tr.(stateProvider); ok {
+		return sp.State()
+	}
+	fr, err := tr.CurrentFrame()
+	if err != nil {
+		return nil, err
+	}
+	globals, err := tr.GlobalVariables()
+	if err != nil {
+		return nil, err
+	}
+	return &core.State{Frame: fr, Globals: globals, Reason: tr.PauseReason()}, nil
+}
+
+// Record drives a loaded-but-unstarted tracker to completion and returns
+// the trace. The tracker's program output must have been routed to out
+// (pass the same strings.Builder given to WithStdout) so cumulative stdout
+// can be recorded per step; out may be nil.
+func Record(tr core.Tracker, out *strings.Builder, opts Options) (*Trace, error) {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 100000
+	}
+	lines, err := tr.SourceLines()
+	if err != nil {
+		return nil, err
+	}
+	file, _ := tr.Position()
+
+	if err := tr.Start(); err != nil {
+		return nil, err
+	}
+	for _, fn := range opts.TrackFunctions {
+		if err := tr.TrackFunction(fn); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range opts.Watches {
+		if err := tr.Watch(w); err != nil {
+			return nil, err
+		}
+	}
+
+	trace := &Trace{
+		Code: strings.Join(lines, "\n"),
+		File: file,
+		Lang: opts.Lang,
+	}
+	stdout := func() string {
+		if out == nil {
+			return ""
+		}
+		return out.String()
+	}
+
+	record := func() error {
+		st, err := snapshot(tr)
+		if err != nil {
+			return err
+		}
+		// The tracker's classification is richer than what a snapshot
+		// may carry (the MiniGDB tracker classifies raw breakpoint
+		// stops into CALL/RETURN client-side).
+		st.Reason = tr.PauseReason()
+		_, line := tr.Position()
+		step := Step{Line: line, Stdout: stdout(), State: st}
+		switch st.Reason.Type {
+		case core.PauseCall:
+			step.Event = EventCall
+			step.Func = st.Reason.Function
+		case core.PauseReturn:
+			step.Event = EventReturn
+			step.Func = st.Reason.Function
+		default:
+			step.Event = EventStepLine
+		}
+		trace.Steps = append(trace.Steps, step)
+		return nil
+	}
+
+	// Entry point state.
+	if err := record(); err != nil {
+		return nil, err
+	}
+	for len(trace.Steps) < opts.MaxSteps {
+		var err error
+		if opts.Mode == ModeFullStep {
+			err = tr.Step()
+		} else {
+			err = tr.Resume()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if code, done := tr.ExitCode(); done {
+			trace.ExitCode = code
+			trace.Steps = append(trace.Steps, Step{
+				Event: EventFinished, Stdout: stdout(),
+			})
+			return trace, nil
+		}
+		if err := record(); err != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("pt: trace exceeded %d steps", opts.MaxSteps)
+}

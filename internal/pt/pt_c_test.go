@@ -1,0 +1,90 @@
+package pt_test
+
+import (
+	"strings"
+	"testing"
+
+	"easytracker/internal/core"
+	"easytracker/internal/gdbtracker"
+	"easytracker/internal/pt"
+	"easytracker/internal/tracetracker"
+)
+
+// TestRecordAndReplayCProgram records a compiled inferior through the MI
+// pipe and replays the trace — the full §III-E loop on the GDB tracker.
+func TestRecordAndReplayCProgram(t *testing.T) {
+	src := `int square(int n) {
+    int s = n * n;
+    return s;
+}
+int main() {
+    int total = 0;
+    for (int i = 1; i <= 3; i++) {
+        total = total + square(i);
+    }
+    printf("%d\n", total);
+    return 0;
+}`
+	tr := gdbtracker.New()
+	var out strings.Builder
+	if err := tr.LoadProgram("sq.c", core.WithSource(src), core.WithStdout(&out)); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := pt.Record(tr, &out, pt.Options{
+		Mode: pt.ModeTracked, TrackFunctions: []string{"square"}, Lang: "minigdb",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Lang != "minigdb" || trace.ExitCode != 0 {
+		t.Errorf("header: %s %d", trace.Lang, trace.ExitCode)
+	}
+	calls := 0
+	for _, s := range trace.Steps {
+		if s.Event == pt.EventCall && s.Func == "square" {
+			calls++
+		}
+	}
+	if calls != 3 {
+		t.Errorf("recorded calls = %d", calls)
+	}
+	if last := trace.Steps[len(trace.Steps)-1]; last.Stdout != "14\n" {
+		t.Errorf("final stdout = %q", last.Stdout)
+	}
+
+	// Replay with a watch on the C global-frame variable `total`? total
+	// is a local of main; watch it via the main frame.
+	replay := tracetracker.New()
+	if err := replay.LoadTrace(trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.TrackFunction("square"); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay.Start(); err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	for {
+		if err := replay.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := replay.ExitCode(); done {
+			break
+		}
+		r := replay.PauseReason()
+		if r.Type == core.PauseCall {
+			fr, err := replay.CurrentFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.Name != "square" || fr.Lookup("n") == nil {
+				t.Errorf("replayed frame: %s", fr)
+			}
+		}
+		events++
+	}
+	if events != 6 { // 3 calls + 3 returns
+		t.Errorf("replayed events = %d", events)
+	}
+}

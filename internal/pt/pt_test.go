@@ -1,0 +1,167 @@
+package pt
+
+import (
+	"strings"
+	"testing"
+
+	"easytracker/internal/core"
+	"easytracker/internal/pytracker"
+)
+
+// recProg does a little per-call work so a full line trace is much larger
+// than the call/return-filtered one, as in the paper's recursion example.
+const recProg = `def fib(n):
+    pad = 0
+    k = 0
+    while k < 6:
+        pad = pad + k
+        k = k + 1
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+x = fib(5)
+print(x)
+`
+
+func recordProg(t *testing.T, opts Options) *Trace {
+	t.Helper()
+	tr := pytracker.New()
+	var out strings.Builder
+	if err := tr.LoadProgram("rec.py", core.WithSource(recProg), core.WithStdout(&out)); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := Record(tr, &out, opts)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	return trace
+}
+
+func TestFullStepTrace(t *testing.T) {
+	trace := recordProg(t, Options{Mode: ModeFullStep, Lang: "minipy"})
+	if trace.ExitCode != 0 {
+		t.Errorf("exit = %d", trace.ExitCode)
+	}
+	if len(trace.Steps) < 150 {
+		t.Errorf("full trace of fib(5) has only %d steps", len(trace.Steps))
+	}
+	last := trace.Steps[len(trace.Steps)-1]
+	if last.Event != EventFinished || last.Stdout != "5\n" {
+		t.Errorf("last step = %+v", last)
+	}
+	// Every non-final step carries a state.
+	for i, s := range trace.Steps[:len(trace.Steps)-1] {
+		if s.State == nil {
+			t.Fatalf("step %d has no state", i)
+		}
+	}
+	if !strings.Contains(trace.Code, "def fib") {
+		t.Error("code not embedded")
+	}
+}
+
+func TestTrackedTraceReduction(t *testing.T) {
+	full := recordProg(t, Options{Mode: ModeFullStep, Lang: "minipy"})
+	partial := recordProg(t, Options{
+		Mode:           ModeTracked,
+		TrackFunctions: []string{"fib"},
+		Lang:           "minipy",
+	})
+	// The paper reports a ~10x reduction on its recursion example
+	// (Section III-E); assert at least 4x on steps here.
+	if len(partial.Steps)*4 > len(full.Steps) {
+		t.Errorf("partial trace not much smaller: %d vs %d", len(partial.Steps), len(full.Steps))
+	}
+	fullJSON, err := full.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	partialJSON, err := partial.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	factor := float64(len(fullJSON)) / float64(len(partialJSON))
+	t.Logf("steps: %d -> %d; bytes: %d -> %d (%.1fx)",
+		len(full.Steps), len(partial.Steps), len(fullJSON), len(partialJSON), factor)
+	if factor < 2 {
+		t.Errorf("size reduction factor %.1f < 2", factor)
+	}
+	// Partial trace records call/return events for fib.
+	calls := 0
+	for _, s := range partial.Steps {
+		if s.Event == EventCall && s.Func == "fib" {
+			calls++
+		}
+	}
+	if calls != 15 { // fib(5) makes 15 calls
+		t.Errorf("recorded calls = %d, want 15", calls)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	trace := recordProg(t, Options{
+		Mode: ModeTracked, TrackFunctions: []string{"fib"}, Lang: "minipy",
+	})
+	data, err := trace.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Steps) != len(trace.Steps) || back.ExitCode != trace.ExitCode {
+		t.Errorf("shape lost: %d/%d steps", len(back.Steps), len(trace.Steps))
+	}
+	for i := range trace.Steps {
+		a, b := trace.Steps[i], back.Steps[i]
+		if a.Event != b.Event || a.Line != b.Line || a.Func != b.Func {
+			t.Fatalf("step %d differs", i)
+		}
+		if (a.State == nil) != (b.State == nil) {
+			t.Fatalf("step %d state presence differs", i)
+		}
+		if a.State != nil && !a.State.Frame.Equal(b.State.Frame) {
+			t.Fatalf("step %d state frame differs", i)
+		}
+	}
+	if _, err := Decode([]byte("{nope")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestRecordWatch(t *testing.T) {
+	src := "total = 0\nfor i in range(3):\n    total = total + i\nprint(total)\n"
+	tr := pytracker.New()
+	var out strings.Builder
+	if err := tr.LoadProgram("w.py", core.WithSource(src), core.WithStdout(&out)); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := Record(tr, &out, Options{
+		Mode: ModeTracked, Watches: []string{"::total"}, Lang: "minipy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	watchSteps := 0
+	for _, s := range trace.Steps {
+		if s.State != nil && s.State.Reason.Type == core.PauseWatch {
+			watchSteps++
+		}
+	}
+	// Definition + 2 modifications (total=0+0 is no change).
+	if watchSteps != 3 {
+		t.Errorf("watch steps = %d, want 3", watchSteps)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	tr := pytracker.New()
+	if err := tr.LoadProgram("b.py", core.WithSource("i = 0\nwhile i < 1000:\n    i = i + 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Record(tr, nil, Options{Mode: ModeFullStep, MaxSteps: 10}); err == nil {
+		t.Error("budget overrun not reported")
+	}
+}

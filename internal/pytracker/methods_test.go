@@ -1,0 +1,140 @@
+package pytracker
+
+import (
+	"testing"
+
+	"easytracker/internal/core"
+)
+
+// TestTrackClassMethod verifies function tracking on class methods: the
+// interpreter reports method frames under the method name, and self is
+// inspectable at entry.
+func TestTrackClassMethod(t *testing.T) {
+	src := `class Counter:
+    def __init__(self, start):
+        self.n = start
+    def bump(self, by):
+        self.n = self.n + by
+        return self.n
+
+c = Counter(10)
+c.bump(5)
+c.bump(7)
+print(c.n)
+`
+	tr := start(t, src)
+	if err := tr.TrackFunction("bump"); err != nil {
+		t.Fatal(err)
+	}
+	calls, rets := 0, 0
+	var lastRet int64
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		switch r := tr.PauseReason(); r.Type {
+		case core.PauseCall:
+			calls++
+			fr, err := tr.CurrentFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.Name != "bump" {
+				t.Errorf("frame = %s", fr.Name)
+			}
+			self := fr.Lookup("self")
+			if self == nil {
+				t.Fatal("self not inspectable at method entry")
+			}
+			inst := self.Value.Deref()
+			if inst.Kind != core.Struct || inst.LanguageType != "Counter" {
+				t.Errorf("self = %+v", inst)
+			}
+			if inst.FieldByName("n") == nil {
+				t.Errorf("self.n missing: %s", inst)
+			}
+			if by := fr.Lookup("by"); by == nil {
+				t.Error("method argument missing")
+			}
+		case core.PauseReturn:
+			rets++
+			if v, ok := r.ReturnValue.Int(); ok {
+				lastRet = v
+			}
+		}
+	}
+	if calls != 2 || rets != 2 {
+		t.Errorf("calls=%d rets=%d", calls, rets)
+	}
+	if lastRet != 22 {
+		t.Errorf("last return = %d, want 22", lastRet)
+	}
+}
+
+// TestTrackInitMethod tracks the constructor.
+func TestTrackInitMethod(t *testing.T) {
+	src := `class P:
+    def __init__(self, x):
+        self.x = x
+
+a = P(1)
+b = P(2)
+print(a.x + b.x)
+`
+	tr := start(t, src)
+	if err := tr.TrackFunction("__init__"); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		if tr.PauseReason().Type == core.PauseCall {
+			calls++
+		}
+	}
+	if calls != 2 {
+		t.Errorf("constructor calls = %d", calls)
+	}
+}
+
+// TestWatchInstanceAttribute watches an instance through a variable: the
+// snapshot comparison sees attribute mutations.
+func TestWatchInstanceAttribute(t *testing.T) {
+	src := `class Box:
+    def __init__(self):
+        self.v = 0
+
+b = Box()
+b.v = 1
+b.v = 2
+done = 1
+`
+	tr := start(t, src)
+	if err := tr.Watch("::b"); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		if tr.PauseReason().Type == core.PauseWatch {
+			hits++
+		}
+	}
+	// Definition + two attribute mutations.
+	if hits != 3 {
+		t.Errorf("watch hits = %d, want 3", hits)
+	}
+}

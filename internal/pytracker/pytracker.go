@@ -1,0 +1,527 @@
+// Package pytracker implements the EasyTracker Tracker interface for MiniPy
+// inferiors, reproducing the paper's Python tracker (Section II-C2): the
+// inferior runs in its own goroutine (the paper's thread), the interpreter's
+// trace hook is the control point, and control functions performed by the
+// tool goroutine block until the inferior pauses again. Watchpoints are
+// implemented by comparing watched values before every executed line, so
+// resume degrades to internal single-stepping exactly as in the paper.
+package pytracker
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"easytracker/internal/core"
+	"easytracker/internal/minipy"
+)
+
+// Kind is the tracker registry name.
+const Kind = "minipy"
+
+func init() {
+	core.RegisterTracker(Kind, func() core.Tracker { return New() })
+}
+
+var errTerminated = errors.New("pytracker: inferior terminated by tracker")
+
+type stepMode int
+
+const (
+	modeRun stepMode = iota
+	modeStep
+	modeNext
+)
+
+type lineBP struct {
+	file     string
+	line     int
+	maxDepth int
+}
+
+type funcBP struct {
+	name     string
+	maxDepth int
+}
+
+type watch struct {
+	id string
+	// snap is the last observed value rendering; nil means "not yet
+	// observed/defined".
+	snap *core.Value
+	// defined reports whether the variable resolved at last check.
+	defined bool
+}
+
+type exitInfo struct {
+	code int
+	err  error
+}
+
+// Tracker controls one MiniPy inferior. It is driven by a single tool
+// goroutine; the inferior runs in a second goroutine started by Start.
+type Tracker struct {
+	file     string
+	srcLines []string
+	module   *minipy.Module
+	interp   *minipy.Interp
+	cfg      core.LoadConfig
+
+	pauseCh  chan struct{}
+	resumeCh chan struct{}
+	doneCh   chan exitInfo
+
+	loaded     bool
+	started    bool
+	exited     bool
+	terminated bool
+	exitCode   int
+
+	reason    core.PauseReason
+	curFrame  *minipy.RTFrame
+	prevLine  int
+	lastLine  int
+	entrySeen bool
+
+	mode      stepMode
+	nextDepth int
+	lineBPs   []lineBP
+	funcBPs   []funcBP
+	tracked   map[string]bool
+	watches   []*watch
+}
+
+// New returns an unloaded MiniPy tracker.
+func New() *Tracker {
+	return &Tracker{
+		pauseCh:  make(chan struct{}),
+		resumeCh: make(chan struct{}),
+		doneCh:   make(chan exitInfo, 1),
+		tracked:  map[string]bool{},
+	}
+}
+
+// LoadProgram parses the MiniPy program at path (or the source provided via
+// core.WithSource) and prepares the interpreter.
+func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
+	cfg := core.ApplyLoadOptions(opts)
+	src := cfg.Source
+	if src == "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("pytracker: %w", err)
+		}
+		src = string(data)
+	}
+	mod, err := minipy.Parse(path, src)
+	if err != nil {
+		return err
+	}
+	in := minipy.NewInterp(mod)
+	in.SetStdout(cfg.Stdout)
+	in.SetStderr(cfg.Stderr)
+	in.SetStdin(cfg.Stdin)
+	if cfg.Args != nil {
+		in.SetArgs(cfg.Args)
+	}
+	in.SetTrace(t.traceFn)
+	t.file = path
+	t.srcLines = strings.Split(strings.TrimRight(src, "\n"), "\n")
+	t.module = mod
+	t.interp = in
+	t.cfg = cfg
+	t.loaded = true
+	return nil
+}
+
+// Start launches the inferior goroutine and pauses at the entry point (the
+// first executable line of the module).
+func (t *Tracker) Start() error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	if t.started {
+		return errors.New("pytracker: already started")
+	}
+	t.started = true
+	go func() {
+		code, err := t.interp.Run()
+		t.doneCh <- exitInfo{code, err}
+	}()
+	return t.waitPause()
+}
+
+// traceFn runs in the inferior goroutine between every event.
+func (t *Tracker) traceFn(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Object) error {
+	if t.terminated {
+		return errTerminated
+	}
+	reason, pause := t.checkPause(fr, ev, ret)
+	if ev == minipy.EventLine {
+		t.lastLine = t.prevLine
+		t.prevLine = fr.Line
+	}
+	if !pause {
+		return nil
+	}
+	t.curFrame = fr
+	t.reason = reason
+	t.mode = modeRun
+	t.pauseCh <- struct{}{}
+	<-t.resumeCh
+	if t.terminated {
+		return errTerminated
+	}
+	return nil
+}
+
+// checkPause applies, in priority order, the paper's pause conditions:
+// watchpoint, tracked-function boundary, breakpoint, then single-stepping.
+func (t *Tracker) checkPause(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Object) (core.PauseReason, bool) {
+	// 1. Watchpoints: compared before every line (and at call/return so
+	// parameter binding and final mutations are seen).
+	if r, hit := t.checkWatches(fr); hit {
+		return r, true
+	}
+
+	switch ev {
+	case minipy.EventCall:
+		// 2. Tracked function entered.
+		if t.tracked[fr.Name] {
+			return core.PauseReason{
+				Type: core.PauseCall, Function: fr.Name,
+				File: t.file, Line: fr.Line,
+			}, true
+		}
+		// 3. Function breakpoint (args are bound at EventCall, which
+		// is what guarantees the paper's "arguments are initialized").
+		for _, bp := range t.funcBPs {
+			if bp.name == fr.Name && depthOK(bp.maxDepth, fr.Depth) {
+				return core.PauseReason{
+					Type: core.PauseBreakpoint, Function: fr.Name,
+					File: t.file, Line: fr.Line,
+				}, true
+			}
+		}
+
+	case minipy.EventReturn:
+		if t.tracked[fr.Name] {
+			conv := minipy.NewConverter()
+			return core.PauseReason{
+				Type: core.PauseReturn, Function: fr.Name,
+				File: t.file, Line: fr.Line,
+				ReturnValue: conv.Convert(ret),
+			}, true
+		}
+
+	case minipy.EventLine:
+		// 4. Line breakpoints.
+		for _, bp := range t.lineBPs {
+			if bp.line == fr.Line && (bp.file == "" || bp.file == t.file) &&
+				depthOK(bp.maxDepth, fr.Depth) {
+				return core.PauseReason{
+					Type: core.PauseBreakpoint,
+					File: t.file, Line: fr.Line,
+				}, true
+			}
+		}
+		// 5. Entry pause and stepping.
+		if !t.entrySeen {
+			t.entrySeen = true
+			return core.PauseReason{
+				Type: core.PauseEntry, File: t.file, Line: fr.Line,
+			}, true
+		}
+		switch t.mode {
+		case modeStep:
+			return core.PauseReason{
+				Type: core.PauseStep, File: t.file, Line: fr.Line,
+			}, true
+		case modeNext:
+			if fr.Depth <= t.nextDepth {
+				return core.PauseReason{
+					Type: core.PauseStep, File: t.file, Line: fr.Line,
+				}, true
+			}
+		}
+	}
+	return core.PauseReason{}, false
+}
+
+func depthOK(maxDepth, depth int) bool {
+	return maxDepth <= 0 || depth < maxDepth
+}
+
+// checkWatches compares every watched variable against its last snapshot.
+func (t *Tracker) checkWatches(fr *minipy.RTFrame) (core.PauseReason, bool) {
+	for _, w := range t.watches {
+		obj, ok := t.resolveVar(fr, w.id)
+		if !ok {
+			// Still undefined, or frame holding it is gone.
+			if w.defined {
+				w.defined = false
+				w.snap = nil
+			}
+			continue
+		}
+		conv := minipy.NewConverter()
+		now := conv.VarValue(obj)
+		if !w.defined {
+			// First definition counts as a modification.
+			old := w.snap
+			w.snap = now
+			w.defined = true
+			return core.PauseReason{
+				Type: core.PauseWatch, Variable: w.id,
+				Old: old, New: now,
+				File: t.file, Line: fr.Line,
+			}, true
+		}
+		if !valueEquivalent(w.snap, now) {
+			old := w.snap
+			w.snap = now
+			return core.PauseReason{
+				Type: core.PauseWatch, Variable: w.id,
+				Old: old, New: now,
+				File: t.file, Line: fr.Line,
+			}, true
+		}
+		w.snap = now
+	}
+	return core.PauseReason{}, false
+}
+
+// valueEquivalent compares two snapshots by structure and content, ignoring
+// object addresses: re-assigning the same number to a variable allocates a
+// fresh object but is not a modification.
+func valueEquivalent(a, b *core.Value) bool {
+	return a.String() == b.String()
+}
+
+// resolveVar resolves a variable identifier against the paused state. fr is
+// the frame the inferior is currently in.
+func (t *Tracker) resolveVar(fr *minipy.RTFrame, id string) (*minipy.Object, bool) {
+	fn, name := core.SplitVarID(id)
+	switch fn {
+	case "::":
+		o, ok := t.interp.Globals.Get(name)
+		return o, ok
+	case "":
+		for f := fr; f != nil; f = f.Parent {
+			if o, ok := f.Locals.Get(name); ok {
+				return o, true
+			}
+			break // only the innermost frame, then globals
+		}
+		o, ok := t.interp.Globals.Get(name)
+		return o, ok
+	default:
+		for f := fr; f != nil; f = f.Parent {
+			if f.Name == fn {
+				o, ok := f.Locals.Get(name)
+				return o, ok
+			}
+		}
+		return nil, false
+	}
+}
+
+// waitPause blocks the tool goroutine until the inferior pauses or exits.
+func (t *Tracker) waitPause() error {
+	select {
+	case <-t.pauseCh:
+		return nil
+	case d := <-t.doneCh:
+		t.exited = true
+		t.exitCode = d.code
+		t.curFrame = nil
+		t.reason = core.PauseReason{Type: core.PauseExited, ExitCode: d.code}
+		if d.err != nil && !errors.Is(d.err, errTerminated) {
+			return d.err
+		}
+		return nil
+	}
+}
+
+func (t *Tracker) resumeWith(mode stepMode) error {
+	if !t.started {
+		return core.ErrNotStarted
+	}
+	if t.exited {
+		return core.ErrExited
+	}
+	t.mode = mode
+	if mode == modeNext && t.curFrame != nil {
+		t.nextDepth = t.curFrame.Depth
+	}
+	t.resumeCh <- struct{}{}
+	return t.waitPause()
+}
+
+// Resume continues to the next pause condition or termination.
+func (t *Tracker) Resume() error { return t.resumeWith(modeRun) }
+
+// Step executes one line, entering calls.
+func (t *Tracker) Step() error { return t.resumeWith(modeStep) }
+
+// Next executes one line, stepping over calls.
+func (t *Tracker) Next() error { return t.resumeWith(modeNext) }
+
+// Terminate kills the inferior.
+func (t *Tracker) Terminate() error {
+	if !t.started || t.exited {
+		t.exited = true
+		return nil
+	}
+	t.terminated = true
+	t.resumeCh <- struct{}{}
+	d := <-t.doneCh
+	t.exited = true
+	t.exitCode = d.code
+	t.reason = core.PauseReason{Type: core.PauseExited, ExitCode: d.code}
+	return nil
+}
+
+// BreakBeforeLine registers a line breakpoint.
+func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	bc := core.ApplyBreakOptions(opts)
+	if line < 1 || line > len(t.srcLines) {
+		return core.ErrBadLine
+	}
+	t.lineBPs = append(t.lineBPs, lineBP{file: file, line: line, maxDepth: bc.MaxDepth})
+	return nil
+}
+
+// BreakBeforeFunc registers a function-entry breakpoint.
+func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	if !t.functionExists(name) {
+		return core.ErrUnknownFunction
+	}
+	bc := core.ApplyBreakOptions(opts)
+	t.funcBPs = append(t.funcBPs, funcBP{name: name, maxDepth: bc.MaxDepth})
+	return nil
+}
+
+// TrackFunction pauses at every entry and exit of the named function.
+func (t *Tracker) TrackFunction(name string) error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	if !t.functionExists(name) {
+		return core.ErrUnknownFunction
+	}
+	t.tracked[name] = true
+	return nil
+}
+
+// functionExists scans the module for a def (or class method) of this name.
+func (t *Tracker) functionExists(name string) bool {
+	found := false
+	var walk func([]minipy.Stmt)
+	walk = func(body []minipy.Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *minipy.FuncDef:
+				if st.Name == name {
+					found = true
+				}
+				walk(st.Body)
+			case *minipy.ClassDef:
+				walk(st.Body)
+			case *minipy.IfStmt:
+				walk(st.Body)
+				walk(st.Else)
+			case *minipy.WhileStmt:
+				walk(st.Body)
+			case *minipy.ForStmt:
+				walk(st.Body)
+			}
+		}
+	}
+	walk(t.module.Body)
+	return found
+}
+
+// Watch pauses whenever the identified variable is modified.
+func (t *Tracker) Watch(varID string) error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	t.watches = append(t.watches, &watch{id: varID})
+	return nil
+}
+
+// PauseReason reports why the inferior is paused.
+func (t *Tracker) PauseReason() core.PauseReason { return t.reason }
+
+// ExitCode returns the exit status once the inferior terminated.
+func (t *Tracker) ExitCode() (int, bool) {
+	if !t.exited {
+		return 0, false
+	}
+	return t.exitCode, true
+}
+
+// CurrentFrame snapshots the paused inferior's innermost frame.
+func (t *Tracker) CurrentFrame() (*core.Frame, error) {
+	if !t.started {
+		return nil, core.ErrNotStarted
+	}
+	if t.exited || t.curFrame == nil {
+		return nil, core.ErrExited
+	}
+	conv := minipy.NewConverter()
+	return minipy.SnapshotFrame(conv, t.curFrame, t.file), nil
+}
+
+// GlobalVariables snapshots the module scope.
+func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
+	if !t.started {
+		return nil, core.ErrNotStarted
+	}
+	conv := minipy.NewConverter()
+	return minipy.SnapshotGlobals(conv, t.interp.Globals), nil
+}
+
+// State snapshots frames, globals and the pause reason with one shared value
+// table, preserving aliasing between frame variables and globals.
+func (t *Tracker) State() (*core.State, error) {
+	if !t.started {
+		return nil, core.ErrNotStarted
+	}
+	if t.exited || t.curFrame == nil {
+		return &core.State{Reason: t.reason}, nil
+	}
+	conv := minipy.NewConverter()
+	return &core.State{
+		Frame:   minipy.SnapshotFrame(conv, t.curFrame, t.file),
+		Globals: minipy.SnapshotGlobals(conv, t.interp.Globals),
+		Reason:  t.reason,
+	}, nil
+}
+
+// Position returns the next line to execute.
+func (t *Tracker) Position() (string, int) {
+	if t.curFrame == nil {
+		return t.file, 0
+	}
+	return t.file, t.curFrame.Line
+}
+
+// LastLine returns the most recently executed line.
+func (t *Tracker) LastLine() int { return t.lastLine }
+
+// SourceLines returns the program's source text.
+func (t *Tracker) SourceLines() ([]string, error) {
+	if !t.loaded {
+		return nil, core.ErrNoProgram
+	}
+	return append([]string(nil), t.srcLines...), nil
+}

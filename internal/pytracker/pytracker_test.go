@@ -1,0 +1,645 @@
+package pytracker
+
+import (
+	"strings"
+	"testing"
+
+	"easytracker/internal/core"
+)
+
+const fibProg = `def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+x = fib(4)
+print(x)
+`
+
+const sortProg = `def bubble(a):
+    n = len(a)
+    for i in range(n):
+        for j in range(n - 1 - i):
+            if a[j] > a[j + 1]:
+                a[j], a[j + 1] = a[j + 1], a[j]
+    return a
+
+data = [3, 1, 2]
+bubble(data)
+print(data)
+`
+
+// load builds a started tracker over src.
+func load(t *testing.T, src string, opts ...core.LoadOption) *Tracker {
+	t.Helper()
+	tr := New()
+	if err := tr.LoadProgram("prog.py", append(opts, core.WithSource(src))...); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return tr
+}
+
+func start(t *testing.T, src string, opts ...core.LoadOption) *Tracker {
+	t.Helper()
+	tr := load(t, src, opts...)
+	if err := tr.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() { _ = tr.Terminate() })
+	return tr
+}
+
+// runToExit resumes until termination, bounding iterations.
+func runToExit(t *testing.T, tr *Tracker) {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		if _, done := tr.ExitCode(); done {
+			return
+		}
+		if err := tr.Resume(); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+	}
+	t.Fatal("program did not terminate")
+}
+
+func TestRegistryIntegration(t *testing.T) {
+	tr, err := core.NewTracker(Kind)
+	if err != nil {
+		t.Fatalf("NewTracker: %v", err)
+	}
+	if _, ok := tr.(*Tracker); !ok {
+		t.Fatalf("NewTracker returned %T", tr)
+	}
+}
+
+func TestStartPausesAtEntry(t *testing.T) {
+	tr := start(t, fibProg)
+	if r := tr.PauseReason(); r.Type != core.PauseEntry {
+		t.Errorf("reason = %v, want ENTRY", r)
+	}
+	_, line := tr.Position()
+	if line != 1 {
+		t.Errorf("entry line = %d, want 1 (the def)", line)
+	}
+	if _, ok := tr.ExitCode(); ok {
+		t.Error("ExitCode set at entry")
+	}
+}
+
+func TestStepThroughProgram(t *testing.T) {
+	var out strings.Builder
+	tr := start(t, "x = 1\ny = x + 1\nprint(y)\n", core.WithStdout(&out))
+	var lines []int
+	for {
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		_, l := tr.Position()
+		lines = append(lines, l)
+		if err := tr.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	want := []int{1, 2, 3}
+	if len(lines) != len(want) {
+		t.Fatalf("stepped lines = %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("stepped lines = %v, want %v", lines, want)
+		}
+	}
+	if out.String() != "2\n" {
+		t.Errorf("program output = %q", out.String())
+	}
+	if code, ok := tr.ExitCode(); !ok || code != 0 {
+		t.Errorf("exit = %d, %v", code, ok)
+	}
+	if r := tr.PauseReason(); r.Type != core.PauseExited {
+		t.Errorf("final reason = %v", r)
+	}
+}
+
+func TestStepEntersCallsNextSkipsThem(t *testing.T) {
+	src := `def f():
+    a = 1
+    return a
+
+x = f()
+y = 2
+`
+	// Step enters f.
+	tr := start(t, src)
+	for i := 0; i < 3; i++ { // entry at 1 -> step to 5 -> step into f (line 2)
+		if err := tr.Step(); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	fr, err := tr.CurrentFrame()
+	if err != nil {
+		t.Fatalf("frame: %v", err)
+	}
+	if fr.Name != "f" {
+		t.Errorf("step-into frame = %s, want f (at %s:%d)", fr.Name, fr.File, fr.Line)
+	}
+
+	// Next skips f entirely.
+	tr2 := start(t, src)
+	if err := tr2.Next(); err != nil { // from def line to x = f()
+		t.Fatal(err)
+	}
+	if err := tr2.Next(); err != nil { // over the call
+		t.Fatal(err)
+	}
+	fr2, err := tr2.CurrentFrame()
+	if err != nil {
+		t.Fatalf("frame: %v", err)
+	}
+	if fr2.Name != "<module>" || fr2.Line != 6 {
+		t.Errorf("next landed at %s:%d, want <module>:6", fr2.Name, fr2.Line)
+	}
+}
+
+func TestCurrentFrameVariables(t *testing.T) {
+	tr := start(t, "x = 41\ny = x + 1\nz = 0\n")
+	if err := tr.Step(); err != nil { // execute line 1
+		t.Fatal(err)
+	}
+	if err := tr.Step(); err != nil { // execute line 2
+		t.Fatal(err)
+	}
+	fr, err := tr.CurrentFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := fr.Lookup("x")
+	if x == nil {
+		t.Fatalf("x not in frame: %s", fr.Backtrace())
+	}
+	// Variables are Refs into the heap (the paper's conceptual model).
+	if x.Value.Kind != core.Ref || x.Value.Location != core.LocStack {
+		t.Errorf("x slot = %+v, want stack ref", x.Value)
+	}
+	if v, _ := x.Value.Deref().Int(); v != 41 {
+		t.Errorf("x = %s, want 41", x.Value.Deref())
+	}
+	if x.Value.Deref().Location != core.LocHeap {
+		t.Errorf("x target location = %v, want HEAP", x.Value.Deref().Location)
+	}
+	y := fr.Lookup("y")
+	if v, _ := y.Value.Deref().Int(); v != 42 {
+		t.Errorf("y = %s", y.Value.Deref())
+	}
+	if fr.Lookup("z") != nil {
+		t.Error("z defined before its line executed")
+	}
+}
+
+func TestBacktraceDepths(t *testing.T) {
+	tr := start(t, fibProg)
+	if err := tr.BreakBeforeLine("", 3); err != nil { // return n (n<2)
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := tr.CurrentFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stack := fr.Stack()
+	// fib(4) -> fib(3) -> fib(2) -> fib(1): depths 4..1 plus module 0.
+	if len(stack) != 5 {
+		t.Fatalf("stack depth = %d, want 5:\n%s", len(stack), fr.Backtrace())
+	}
+	if stack[0].Depth != 4 || stack[len(stack)-1].Depth != 0 {
+		t.Errorf("depths wrong:\n%s", fr.Backtrace())
+	}
+	if stack[len(stack)-1].Name != "<module>" {
+		t.Errorf("outermost frame = %s", stack[len(stack)-1].Name)
+	}
+	n := fr.Lookup("n")
+	if v, _ := n.Value.Deref().Int(); v != 1 {
+		t.Errorf("innermost n = %s, want 1", n.Value.Deref())
+	}
+	// Each enclosing fib frame has its own n.
+	if v, _ := stack[1].Lookup("n").Value.Deref().Int(); v != 2 {
+		t.Errorf("caller n = %s, want 2", stack[1].Lookup("n").Value.Deref())
+	}
+}
+
+func TestBreakBeforeLineMaxDepth(t *testing.T) {
+	tr := start(t, fibProg)
+	// Depth of fib(4)'s frame is 1; restrict to depth < 2 so recursive
+	// activations do not pause.
+	if err := tr.BreakBeforeLine("", 2, core.WithMaxDepth(2)); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		hits++
+		fr, _ := tr.CurrentFrame()
+		if fr.Depth >= 2 {
+			t.Errorf("paused at depth %d despite maxdepth 2", fr.Depth)
+		}
+	}
+	if hits != 1 {
+		t.Errorf("breakpoint hits = %d, want 1 (only the outermost fib call)", hits)
+	}
+}
+
+func TestBreakBeforeFunc(t *testing.T) {
+	tr := start(t, fibProg)
+	if err := tr.BreakBeforeFunc("fib"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	r := tr.PauseReason()
+	if r.Type != core.PauseBreakpoint || r.Function != "fib" {
+		t.Fatalf("reason = %v", r)
+	}
+	// Arguments must be initialized (the paper's guarantee).
+	fr, err := tr.CurrentFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := fr.Lookup("n").Value.Deref().Int(); v != 4 {
+		t.Errorf("n = %s, want 4", fr.Lookup("n").Value.Deref())
+	}
+}
+
+func TestBreakBeforeFuncUnknown(t *testing.T) {
+	tr := load(t, fibProg)
+	if err := tr.BreakBeforeFunc("nope"); err != core.ErrUnknownFunction {
+		t.Errorf("err = %v, want ErrUnknownFunction", err)
+	}
+	if err := tr.TrackFunction("nope"); err != core.ErrUnknownFunction {
+		t.Errorf("err = %v, want ErrUnknownFunction", err)
+	}
+	if err := tr.BreakBeforeLine("", 999); err != core.ErrBadLine {
+		t.Errorf("err = %v, want ErrBadLine", err)
+	}
+}
+
+func TestTrackFunction(t *testing.T) {
+	tr := start(t, fibProg)
+	if err := tr.TrackFunction("fib"); err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		r := tr.PauseReason()
+		switch r.Type {
+		case core.PauseCall:
+			fr, _ := tr.CurrentFrame()
+			n, _ := fr.Lookup("n").Value.Deref().Int()
+			events = append(events, "call", "n="+itoa(n))
+		case core.PauseReturn:
+			rv, _ := r.ReturnValue.Int()
+			events = append(events, "ret="+itoa(rv))
+		default:
+			t.Fatalf("unexpected pause %v", r)
+		}
+	}
+	// fib(4) makes 9 calls and 9 returns.
+	calls, rets := 0, 0
+	for _, e := range events {
+		if e == "call" {
+			calls++
+		}
+		if strings.HasPrefix(e, "ret=") {
+			rets++
+		}
+	}
+	if calls != 9 || rets != 9 {
+		t.Errorf("calls=%d rets=%d, want 9/9: %v", calls, rets, events)
+	}
+	// First call sees n=4; last return yields 3 = fib(4).
+	if events[1] != "n=4" {
+		t.Errorf("first call n = %s", events[1])
+	}
+	if events[len(events)-1] != "ret=3" {
+		t.Errorf("last return = %s", events[len(events)-1])
+	}
+}
+
+func itoa(n int64) string {
+	return strings.TrimSpace(core.NewInt(n).String())
+}
+
+func TestWatchGlobal(t *testing.T) {
+	src := `count = 0
+i = 0
+while i < 3:
+    count = count + 10
+    i = i + 1
+print(count)
+`
+	tr := start(t, src)
+	if err := tr.Watch("::count"); err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		r := tr.PauseReason()
+		if r.Type != core.PauseWatch {
+			t.Fatalf("unexpected pause %v", r)
+		}
+		seen = append(seen, r.Old.String()+"->"+r.New.String())
+	}
+	want := []string{"<nil>->&0", "&0->&10", "&10->&20", "&20->&30"}
+	if len(seen) != len(want) {
+		t.Fatalf("watch events = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("watch[%d] = %s, want %s", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestWatchLocalOfFunction(t *testing.T) {
+	src := `def f():
+    a = 1
+    a = 2
+    return a
+
+f()
+`
+	tr := start(t, src)
+	if err := tr.Watch("f:a"); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		if r := tr.PauseReason(); r.Type == core.PauseWatch {
+			hits++
+		}
+	}
+	if hits != 2 {
+		t.Errorf("watch hits = %d, want 2 (definition + modification)", hits)
+	}
+}
+
+func TestWatchListMutation(t *testing.T) {
+	src := `xs = [1, 2]
+xs.append(3)
+xs[0] = 9
+done = 1
+`
+	tr := start(t, src)
+	if err := tr.Watch("xs"); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		hits++
+	}
+	// Definition, append, and element write are all modifications.
+	if hits != 3 {
+		t.Errorf("watch hits = %d, want 3", hits)
+	}
+}
+
+func TestGlobalVariablesAndState(t *testing.T) {
+	tr := start(t, sortProg)
+	if err := tr.BreakBeforeFunc("bubble"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	globals, err := tr.GlobalVariables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, g := range globals {
+		names = append(names, g.Name)
+	}
+	joined := strings.Join(names, ",")
+	if !strings.Contains(joined, "data") || !strings.Contains(joined, "bubble") {
+		t.Errorf("globals = %v", names)
+	}
+
+	st, err := tr.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aliasing: parameter a and global data refer to the same list.
+	a := st.Frame.Lookup("a").Value.Deref()
+	var data *core.Value
+	for _, g := range st.Globals {
+		if g.Name == "data" {
+			data = g.Value.Deref()
+		}
+	}
+	if a == nil || data == nil {
+		t.Fatalf("missing a or data in state")
+	}
+	if a != data {
+		t.Error("aliasing lost: a and data are different Values in one snapshot")
+	}
+}
+
+func TestStateJSONRoundTrip(t *testing.T) {
+	tr := start(t, sortProg)
+	if err := tr.BreakBeforeLine("", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := st.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back core.State
+	if err := back.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Frame.Equal(st.Frame) {
+		t.Error("state frame did not survive serialization")
+	}
+}
+
+func TestResumeToCompletion(t *testing.T) {
+	var out strings.Builder
+	tr := start(t, sortProg, core.WithStdout(&out))
+	runToExit(t, tr)
+	if out.String() != "[1, 2, 3]\n" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestExitCodePropagation(t *testing.T) {
+	tr := start(t, "exit(7)\n")
+	runToExit(t, tr)
+	if code, ok := tr.ExitCode(); !ok || code != 7 {
+		t.Errorf("exit = %d, %v; want 7", code, ok)
+	}
+	if err := tr.Resume(); err != core.ErrExited {
+		t.Errorf("Resume after exit = %v, want ErrExited", err)
+	}
+	if err := tr.Step(); err != core.ErrExited {
+		t.Errorf("Step after exit = %v, want ErrExited", err)
+	}
+	if _, err := tr.CurrentFrame(); err != core.ErrExited {
+		t.Errorf("CurrentFrame after exit = %v", err)
+	}
+}
+
+func TestRuntimeErrorGivesExitCodeOne(t *testing.T) {
+	var errb strings.Builder
+	tr := start(t, "x = 1\ny = x + \"s\"\n", core.WithStderr(&errb))
+	runToExit(t, tr)
+	if code, _ := tr.ExitCode(); code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "unsupported operand") {
+		t.Errorf("stderr = %q", errb.String())
+	}
+}
+
+func TestTerminateMidRun(t *testing.T) {
+	tr := start(t, "i = 0\nwhile True:\n    i = i + 1\n")
+	for i := 0; i < 5; i++ {
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Terminate(); err != nil {
+		t.Fatalf("terminate: %v", err)
+	}
+	if _, ok := tr.ExitCode(); !ok {
+		t.Error("ExitCode unset after Terminate")
+	}
+}
+
+func TestLastLine(t *testing.T) {
+	tr := start(t, "a = 1\nb = 2\nc = 3\n")
+	if tr.LastLine() != 0 {
+		t.Errorf("LastLine at entry = %d", tr.LastLine())
+	}
+	if err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.LastLine() != 1 {
+		t.Errorf("LastLine after one step = %d, want 1", tr.LastLine())
+	}
+	_, next := tr.Position()
+	if next != 2 {
+		t.Errorf("Position = %d, want 2", next)
+	}
+}
+
+func TestSourceLines(t *testing.T) {
+	tr := load(t, "a = 1\nb = 2\n")
+	lines, err := tr.SourceLines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 || lines[0] != "a = 1" {
+		t.Errorf("SourceLines = %q", lines)
+	}
+}
+
+func TestErrorsBeforeLoadAndStart(t *testing.T) {
+	tr := New()
+	if err := tr.Start(); err != core.ErrNoProgram {
+		t.Errorf("Start = %v", err)
+	}
+	if err := tr.BreakBeforeLine("", 1); err != core.ErrNoProgram {
+		t.Errorf("BreakBeforeLine = %v", err)
+	}
+	if err := tr.Watch("x"); err != core.ErrNoProgram {
+		t.Errorf("Watch = %v", err)
+	}
+	tr2 := load(t, "x = 1\n")
+	if err := tr2.Resume(); err != core.ErrNotStarted {
+		t.Errorf("Resume before start = %v", err)
+	}
+	if _, err := tr2.CurrentFrame(); err != core.ErrNotStarted {
+		t.Errorf("CurrentFrame before start = %v", err)
+	}
+}
+
+func TestClassInstanceInspection(t *testing.T) {
+	src := `class Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+p = Point(3, 4)
+q = p
+done = 1
+`
+	tr := start(t, src)
+	if err := tr.BreakBeforeLine("", 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := tr.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p, q *core.Value
+	for _, g := range st.Globals {
+		switch g.Name {
+		case "p":
+			p = g.Value.Deref()
+		case "q":
+			q = g.Value.Deref()
+		}
+	}
+	if p == nil || p.Kind != core.Struct || p.LanguageType != "Point" {
+		t.Fatalf("p = %+v", p)
+	}
+	if v := p.FieldByName("x"); v == nil {
+		t.Fatalf("p.x missing: %s", p)
+	} else if n, _ := v.Int(); n != 3 {
+		t.Errorf("p.x = %s", v)
+	}
+	if p != q {
+		t.Error("p and q should alias the same instance Value")
+	}
+}

@@ -1,0 +1,169 @@
+// Package rt holds the MiniC runtime that the compiler links into every
+// program: a first-fit free-list allocator with address-ordered coalescing
+// built on the machine's sbrk service, plus the allocator interposition
+// wrappers of the EasyTracker paper (Section II-C1).
+//
+// The wrappers are the paper's LD_PRELOAD shim: malloc/free/calloc/realloc
+// call the real implementations and then store their argument/result into
+// the reserved globals __et_alloc_size, __et_alloc_ptr and __et_free_ptr.
+// The MiniGDB tracker, when heap tracking is enabled, places internal
+// watchpoints on those globals, silently maintains the map of live heap
+// blocks and their sizes, and resumes — so it can tell whether a pointer
+// refers to a heap block and how big that block is, which plain type
+// information (int*) cannot say.
+package rt
+
+// Source is the runtime's MiniC source. Functions prefixed __ are internal;
+// user programs call malloc, free, calloc, realloc.
+const Source = `
+struct __hdr {
+    long size;
+    struct __hdr* next;
+};
+
+struct __hdr* __free_list = 0;
+
+long  __et_alloc_size = 0;
+char* __et_alloc_ptr = 0;
+char* __et_free_ptr = 0;
+
+char* __malloc_impl(long n) {
+    if (n <= 0) {
+        return 0;
+    }
+    n = (n + 7) / 8 * 8;
+    struct __hdr* prev = 0;
+    struct __hdr* h = __free_list;
+    while (h != 0) {
+        if (h->size >= n) {
+            if (h->size >= n + 32) {
+                struct __hdr* rest = (struct __hdr*)((char*)h + 16 + n);
+                rest->size = h->size - n - 16;
+                rest->next = h->next;
+                h->size = n;
+                if (prev == 0) {
+                    __free_list = rest;
+                } else {
+                    prev->next = rest;
+                }
+            } else {
+                if (prev == 0) {
+                    __free_list = h->next;
+                } else {
+                    prev->next = h->next;
+                }
+            }
+            h->next = 0;
+            return (char*)h + 16;
+        }
+        prev = h;
+        h = h->next;
+    }
+    h = (struct __hdr*)__sbrk(n + 16);
+    if ((long)h == -1) {
+        return 0;
+    }
+    h->size = n;
+    h->next = 0;
+    return (char*)h + 16;
+}
+
+void __free_impl(char* p) {
+    if (p == 0) {
+        return;
+    }
+    struct __hdr* h = (struct __hdr*)(p - 16);
+    struct __hdr* prev = 0;
+    struct __hdr* cur = __free_list;
+    while (cur != 0 && (long)cur < (long)h) {
+        prev = cur;
+        cur = cur->next;
+    }
+    h->next = cur;
+    if (prev == 0) {
+        __free_list = h;
+    } else {
+        prev->next = h;
+    }
+    if (cur != 0 && (char*)h + 16 + h->size == (char*)cur) {
+        h->size = h->size + 16 + cur->size;
+        h->next = cur->next;
+    }
+    if (prev != 0 && (char*)prev + 16 + prev->size == (char*)h) {
+        prev->size = prev->size + 16 + h->size;
+        prev->next = h->next;
+    }
+}
+
+void __memcpy(char* dst, char* src, long n) {
+    long i = 0;
+    while (i < n) {
+        dst[i] = src[i];
+        i = i + 1;
+    }
+}
+
+void __memset(char* dst, int c, long n) {
+    long i = 0;
+    while (i < n) {
+        dst[i] = (char)c;
+        i = i + 1;
+    }
+}
+
+char* __realloc_impl(char* p, long n) {
+    if (p == 0) {
+        return __malloc_impl(n);
+    }
+    if (n <= 0) {
+        __free_impl(p);
+        return 0;
+    }
+    struct __hdr* h = (struct __hdr*)(p - 16);
+    if (h->size >= n) {
+        return p;
+    }
+    char* q = __malloc_impl(n);
+    if (q == 0) {
+        return 0;
+    }
+    __memcpy(q, p, h->size);
+    __free_impl(p);
+    return q;
+}
+
+char* malloc(long n) {
+    char* p = __malloc_impl(n);
+    __et_alloc_size = n;
+    __et_alloc_ptr = p;
+    return p;
+}
+
+void free(char* p) {
+    __free_impl(p);
+    __et_free_ptr = p;
+}
+
+char* calloc(long count, long size) {
+    long n = count * size;
+    char* p = __malloc_impl(n);
+    if (p != 0) {
+        __memset(p, 0, n);
+    }
+    __et_alloc_size = n;
+    __et_alloc_ptr = p;
+    return p;
+}
+
+char* realloc(char* p, long n) {
+    char* q = __realloc_impl(p, n);
+    if (q != p && p != 0) {
+        __et_free_ptr = p;
+    }
+    if (q != 0) {
+        __et_alloc_size = n;
+        __et_alloc_ptr = q;
+    }
+    return q;
+}
+`

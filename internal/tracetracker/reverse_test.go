@@ -1,0 +1,219 @@
+package tracetracker
+
+import (
+	"testing"
+
+	"easytracker/internal/core"
+)
+
+func startedReplay(t *testing.T) *Tracker {
+	t.Helper()
+	tr := loadReplay(t)
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestStepBackUndoesStep(t *testing.T) {
+	tr := startedReplay(t)
+	var forward []int
+	for i := 0; i < 5; i++ {
+		_, line := tr.Position()
+		forward = append(forward, line)
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Walk back and compare positions in reverse.
+	for i := 4; i >= 0; i-- {
+		if err := tr.StepBack(); err != nil {
+			t.Fatal(err)
+		}
+		_, line := tr.Position()
+		if line != forward[i] {
+			t.Fatalf("back to step %d: line %d, want %d", i, line, forward[i])
+		}
+	}
+	if tr.PauseReason().Type != core.PauseEntry {
+		t.Errorf("reason at position 0 = %v, want ENTRY", tr.PauseReason())
+	}
+	// StepBack at the entry stays at the entry.
+	if err := tr.StepBack(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Pos() != 0 {
+		t.Errorf("pos = %d after StepBack at entry", tr.Pos())
+	}
+}
+
+func TestReverseAfterExit(t *testing.T) {
+	tr := startedReplay(t)
+	for {
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reverse execution resurrects the replay.
+	if err := tr.StepBack(); err != nil {
+		t.Fatal(err)
+	}
+	if _, done := tr.ExitCode(); done {
+		t.Fatal("still exited after StepBack")
+	}
+	if _, err := tr.CurrentFrame(); err != nil {
+		t.Fatalf("frame after reverse: %v", err)
+	}
+	// And forward again to the same end.
+	for {
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if code, _ := tr.ExitCode(); code != 0 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestResumeBackStopsAtBreakpoints(t *testing.T) {
+	tr := startedReplay(t)
+	if err := tr.TrackFunction("fib"); err != nil {
+		t.Fatal(err)
+	}
+	// Run forward through all fib events.
+	events := 0
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		events++
+	}
+	if events != 18 { // 9 calls + 9 returns for fib(4)
+		t.Fatalf("forward events = %d", events)
+	}
+	// Now run backward: the same pause conditions fire in reverse.
+	back := 0
+	for {
+		if err := tr.ResumeBack(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Pos() == 0 {
+			break
+		}
+		r := tr.PauseReason()
+		if r.Type != core.PauseCall && r.Type != core.PauseReturn {
+			t.Fatalf("reverse pause = %v", r)
+		}
+		back++
+		if back > 50 {
+			t.Fatal("runaway")
+		}
+	}
+	if back != 18 {
+		t.Errorf("reverse events = %d, want 18", back)
+	}
+}
+
+func TestNextBack(t *testing.T) {
+	tr := startedReplay(t)
+	// Go deep into the recursion.
+	for i := 0; i < 12; i++ {
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr, err := tr.CurrentFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := fr.Depth
+	if err := tr.NextBack(); err != nil {
+		t.Fatal(err)
+	}
+	fr2, err := tr.CurrentFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Depth > depth {
+		t.Errorf("NextBack went deeper: %d -> %d", depth, fr2.Depth)
+	}
+}
+
+func TestSeek(t *testing.T) {
+	tr := startedReplay(t)
+	n := tr.Len()
+	if n < 10 {
+		t.Fatalf("trace too short: %d", n)
+	}
+	if err := tr.Seek(7); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Pos() != 7 {
+		t.Errorf("pos = %d", tr.Pos())
+	}
+	if _, err := tr.CurrentFrame(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Seek(0); err != nil {
+		t.Fatal(err)
+	}
+	if tr.PauseReason().Type != core.PauseEntry {
+		t.Errorf("reason = %v", tr.PauseReason())
+	}
+	if err := tr.Seek(n + 5); err != core.ErrBadLine {
+		t.Errorf("out-of-range seek = %v", err)
+	}
+	// Seeking to the finished sentinel lands on the last real step.
+	if err := tr.Seek(n - 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.CurrentFrame(); err != nil {
+		t.Fatalf("frame after seek-to-end: %v", err)
+	}
+}
+
+func TestReverseWatch(t *testing.T) {
+	tr := startedReplay(t)
+	if err := tr.Watch("::x"); err != nil {
+		t.Fatal(err)
+	}
+	// Forward: x defined once (x = fib(4)).
+	hits := 0
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		hits++
+	}
+	if hits != 1 {
+		t.Fatalf("forward watch hits = %d", hits)
+	}
+	// Backward: crossing the definition in reverse pauses once too.
+	back := 0
+	for {
+		if err := tr.ResumeBack(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Pos() == 0 {
+			break
+		}
+		if tr.PauseReason().Type == core.PauseWatch {
+			back++
+		}
+	}
+	if back != 1 {
+		t.Errorf("reverse watch hits = %d, want 1", back)
+	}
+}

@@ -1,0 +1,423 @@
+// Package tracetracker implements the EasyTracker Tracker interface on top
+// of a recorded pt.Trace — the paper's Section III-E in the other
+// direction: "use an existing trace format and navigate the trace with the
+// EasyTracker API by implementing a dedicated tracker. ... This enables the
+// full power of control through the API on a pre-generated trace", and
+// languages not supported natively become controllable through an external
+// tracer.
+package tracetracker
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"easytracker/internal/core"
+	"easytracker/internal/pt"
+)
+
+// Kind is the tracker registry name.
+const Kind = "trace"
+
+func init() {
+	core.RegisterTracker(Kind, func() core.Tracker { return New() })
+}
+
+type lineBP struct {
+	line     int
+	maxDepth int
+}
+
+type funcBP struct {
+	name     string
+	maxDepth int
+}
+
+// Tracker replays a recorded trace through the control/inspection API.
+type Tracker struct {
+	trace  *pt.Trace
+	loaded bool
+
+	// pos indexes the current step; -1 before Start.
+	pos     int
+	started bool
+	exited  bool
+
+	reason   core.PauseReason
+	lastLine int
+
+	lineBPs []lineBP
+	funcBPs []funcBP
+	tracked map[string]bool
+	watches []string
+}
+
+// New returns an unloaded trace tracker.
+func New() *Tracker {
+	return &Tracker{pos: -1, tracked: map[string]bool{}}
+}
+
+// LoadTrace installs an in-memory trace.
+func (t *Tracker) LoadTrace(tr *pt.Trace) error {
+	if len(tr.Steps) == 0 {
+		return errors.New("tracetracker: empty trace")
+	}
+	t.trace = tr
+	t.loaded = true
+	return nil
+}
+
+// LoadProgram loads a serialized trace from path (or core.WithSource).
+func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
+	cfg := core.ApplyLoadOptions(opts)
+	data := []byte(cfg.Source)
+	if cfg.Source == "" {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("tracetracker: %w", err)
+		}
+		data = b
+	}
+	tr, err := pt.Decode(data)
+	if err != nil {
+		return err
+	}
+	return t.LoadTrace(tr)
+}
+
+// step returns the current step.
+func (t *Tracker) step() *pt.Step { return &t.trace.Steps[t.pos] }
+
+// depthAt computes the frame depth recorded at step i.
+func (t *Tracker) depthAt(i int) int {
+	st := t.trace.Steps[i].State
+	if st == nil || st.Frame == nil {
+		return 0
+	}
+	return st.Frame.Depth
+}
+
+// Start positions the replay at the first recorded step.
+func (t *Tracker) Start() error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	if t.started {
+		return errors.New("tracetracker: already started")
+	}
+	t.started = true
+	t.pos = 0
+	t.reason = core.PauseReason{
+		Type: core.PauseEntry,
+		File: t.trace.File,
+		Line: t.step().Line,
+	}
+	return nil
+}
+
+// advance moves to the next step, handling the end of the trace.
+func (t *Tracker) advance() bool {
+	t.lastLine = t.step().Line
+	t.pos++
+	if t.pos >= len(t.trace.Steps) || t.trace.Steps[t.pos].Event == pt.EventFinished {
+		t.exited = true
+		t.reason = core.PauseReason{Type: core.PauseExited, ExitCode: t.trace.ExitCode}
+		return false
+	}
+	return true
+}
+
+// pauseHere classifies the current step against the registered pause
+// conditions; ok=false means the replay should keep advancing on Resume.
+func (t *Tracker) pauseHere(prev int) (core.PauseReason, bool) {
+	s := t.step()
+	depth := t.depthAt(t.pos)
+
+	// Watches: compare variable renderings between prev and now.
+	for _, w := range t.watches {
+		oldV := lookupVar(t.trace, prev, w)
+		newV := lookupVar(t.trace, t.pos, w)
+		if renderVal(oldV) != renderVal(newV) {
+			return core.PauseReason{
+				Type: core.PauseWatch, Variable: w,
+				Old: oldV, New: newV,
+				File: t.trace.File, Line: s.Line,
+			}, true
+		}
+	}
+	// Tracked function boundaries recorded in the trace.
+	if s.Event == pt.EventCall && t.tracked[s.Func] {
+		return core.PauseReason{
+			Type: core.PauseCall, Function: s.Func,
+			File: t.trace.File, Line: s.Line,
+		}, true
+	}
+	if s.Event == pt.EventReturn && t.tracked[s.Func] {
+		var rv *core.Value
+		if s.State != nil {
+			rv = s.State.Reason.ReturnValue
+		}
+		return core.PauseReason{
+			Type: core.PauseReturn, Function: s.Func,
+			ReturnValue: rv,
+			File:        t.trace.File, Line: s.Line,
+		}, true
+	}
+	// Function breakpoints: a call event entering the function.
+	if s.Event == pt.EventCall {
+		for _, bp := range t.funcBPs {
+			if bp.name == s.Func && depthOK(bp.maxDepth, depth) {
+				return core.PauseReason{
+					Type: core.PauseBreakpoint, Function: s.Func,
+					File: t.trace.File, Line: s.Line,
+				}, true
+			}
+		}
+	}
+	// Line breakpoints.
+	for _, bp := range t.lineBPs {
+		if bp.line == s.Line && depthOK(bp.maxDepth, depth) {
+			return core.PauseReason{
+				Type: core.PauseBreakpoint,
+				File: t.trace.File, Line: s.Line,
+			}, true
+		}
+	}
+	return core.PauseReason{}, false
+}
+
+func depthOK(maxDepth, depth int) bool {
+	return maxDepth <= 0 || depth < maxDepth
+}
+
+// lookupVar resolves a variable identifier in the state recorded at step i.
+func lookupVar(trace *pt.Trace, i int, id string) *core.Value {
+	if i < 0 || i >= len(trace.Steps) {
+		return nil
+	}
+	st := trace.Steps[i].State
+	if st == nil {
+		return nil
+	}
+	fn, name := core.SplitVarID(id)
+	if fn != "" && fn != "::" {
+		for fr := st.Frame; fr != nil; fr = fr.Parent {
+			if fr.Name == fn {
+				if v := fr.Lookup(name); v != nil {
+					return v.Value
+				}
+				return nil
+			}
+		}
+		return nil
+	}
+	if fn == "" && st.Frame != nil {
+		if v := st.Frame.Lookup(name); v != nil {
+			return v.Value
+		}
+	}
+	for _, g := range st.Globals {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return nil
+}
+
+func renderVal(v *core.Value) string {
+	if v == nil {
+		return "<undef>"
+	}
+	return v.String()
+}
+
+// Resume advances to the next recorded step matching a pause condition.
+func (t *Tracker) Resume() error {
+	if err := t.controlOK(); err != nil {
+		return err
+	}
+	for {
+		prev := t.pos
+		if !t.advance() {
+			return nil
+		}
+		if r, ok := t.pauseHere(prev); ok {
+			t.reason = r
+			return nil
+		}
+	}
+}
+
+// Step advances one recorded step.
+func (t *Tracker) Step() error {
+	if err := t.controlOK(); err != nil {
+		return err
+	}
+	if !t.advance() {
+		return nil
+	}
+	t.reason = core.PauseReason{
+		Type: core.PauseStep, File: t.trace.File, Line: t.step().Line,
+	}
+	return nil
+}
+
+// Next advances to the next step at the same or shallower depth.
+func (t *Tracker) Next() error {
+	if err := t.controlOK(); err != nil {
+		return err
+	}
+	startDepth := t.depthAt(t.pos)
+	for {
+		if !t.advance() {
+			return nil
+		}
+		if t.depthAt(t.pos) <= startDepth {
+			t.reason = core.PauseReason{
+				Type: core.PauseStep, File: t.trace.File, Line: t.step().Line,
+			}
+			return nil
+		}
+	}
+}
+
+func (t *Tracker) controlOK() error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	if !t.started {
+		return core.ErrNotStarted
+	}
+	if t.exited {
+		return core.ErrExited
+	}
+	return nil
+}
+
+// Terminate ends the replay.
+func (t *Tracker) Terminate() error {
+	t.exited = true
+	return nil
+}
+
+// BreakBeforeLine arms a replay breakpoint on a source line.
+func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	bc := core.ApplyBreakOptions(opts)
+	t.lineBPs = append(t.lineBPs, lineBP{line: line, maxDepth: bc.MaxDepth})
+	return nil
+}
+
+// BreakBeforeFunc arms a replay breakpoint on function entry; only
+// functions whose calls were recorded can fire.
+func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	bc := core.ApplyBreakOptions(opts)
+	t.funcBPs = append(t.funcBPs, funcBP{name: name, maxDepth: bc.MaxDepth})
+	return nil
+}
+
+// TrackFunction pauses at recorded entries/exits of the named function.
+func (t *Tracker) TrackFunction(name string) error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	t.tracked[name] = true
+	return nil
+}
+
+// Watch pauses when the identified variable's recorded value changes
+// between consecutive steps.
+func (t *Tracker) Watch(varID string) error {
+	if !t.loaded {
+		return core.ErrNoProgram
+	}
+	t.watches = append(t.watches, varID)
+	return nil
+}
+
+// PauseReason reports why the replay is paused.
+func (t *Tracker) PauseReason() core.PauseReason { return t.reason }
+
+// ExitCode reports the recorded exit status once the replay finished.
+func (t *Tracker) ExitCode() (int, bool) {
+	if !t.exited {
+		return 0, false
+	}
+	return t.trace.ExitCode, true
+}
+
+// CurrentFrame returns the recorded frame at the current step.
+func (t *Tracker) CurrentFrame() (*core.Frame, error) {
+	if err := t.controlOK(); err != nil {
+		return nil, err
+	}
+	st := t.step().State
+	if st == nil || st.Frame == nil {
+		return nil, fmt.Errorf("tracetracker: step %d has no recorded state", t.pos)
+	}
+	return st.Frame, nil
+}
+
+// GlobalVariables returns the recorded globals at the current step.
+func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
+	if err := t.controlOK(); err != nil {
+		return nil, err
+	}
+	st := t.step().State
+	if st == nil {
+		return nil, fmt.Errorf("tracetracker: step %d has no recorded state", t.pos)
+	}
+	return st.Globals, nil
+}
+
+// State returns the recorded snapshot at the current step.
+func (t *Tracker) State() (*core.State, error) {
+	if err := t.controlOK(); err != nil {
+		return nil, err
+	}
+	return t.step().State, nil
+}
+
+// Position returns the replay's current source position.
+func (t *Tracker) Position() (string, int) {
+	if !t.started || t.exited || t.pos < 0 {
+		return t.fileName(), 0
+	}
+	return t.fileName(), t.step().Line
+}
+
+func (t *Tracker) fileName() string {
+	if t.trace == nil {
+		return ""
+	}
+	return t.trace.File
+}
+
+// LastLine returns the most recently replayed line.
+func (t *Tracker) LastLine() int { return t.lastLine }
+
+// SourceLines returns the recorded program text.
+func (t *Tracker) SourceLines() ([]string, error) {
+	if !t.loaded {
+		return nil, core.ErrNoProgram
+	}
+	return strings.Split(strings.TrimRight(t.trace.Code, "\n"), "\n"), nil
+}
+
+// Stdout returns the cumulative program output recorded at the current
+// step (trace-specific extension).
+func (t *Tracker) Stdout() string {
+	if !t.started || t.pos < 0 {
+		return ""
+	}
+	if t.exited {
+		return t.trace.Steps[len(t.trace.Steps)-1].Stdout
+	}
+	return t.step().Stdout
+}

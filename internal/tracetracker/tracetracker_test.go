@@ -1,0 +1,263 @@
+package tracetracker
+
+import (
+	"strings"
+	"testing"
+
+	"easytracker/internal/core"
+	"easytracker/internal/pt"
+	"easytracker/internal/pytracker"
+)
+
+const srcPy = `def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+x = fib(4)
+print(x)
+`
+
+// record produces a full-step trace of srcPy.
+func record(t *testing.T) *pt.Trace {
+	t.Helper()
+	tr := pytracker.New()
+	var out strings.Builder
+	if err := tr.LoadProgram("fib.py", core.WithSource(srcPy), core.WithStdout(&out)); err != nil {
+		t.Fatal(err)
+	}
+	// Tracking fib while full-stepping records call/return events in the
+	// trace (the events a PT trace carries), so the replay can pause on
+	// function boundaries.
+	trace, err := pt.Record(tr, &out, pt.Options{
+		Mode: pt.ModeFullStep, TrackFunctions: []string{"fib"}, Lang: "minipy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+func loadReplay(t *testing.T) *Tracker {
+	t.Helper()
+	tr := New()
+	if err := tr.LoadTrace(record(t)); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRegistered(t *testing.T) {
+	tr, err := core.NewTracker(Kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.(*Tracker); !ok {
+		t.Fatalf("got %T", tr)
+	}
+}
+
+func TestReplayStepThrough(t *testing.T) {
+	tr := loadReplay(t)
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if r := tr.PauseReason(); r.Type != core.PauseEntry {
+		t.Errorf("reason = %v", r)
+	}
+	steps := 0
+	for {
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		if _, err := tr.CurrentFrame(); err != nil {
+			t.Fatalf("frame at step %d: %v", steps, err)
+		}
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if steps > 1000 {
+			t.Fatal("runaway")
+		}
+	}
+	if steps < 30 {
+		t.Errorf("replayed only %d steps", steps)
+	}
+	if code, _ := tr.ExitCode(); code != 0 {
+		t.Errorf("exit = %d", code)
+	}
+	if tr.Stdout() != "3\n" {
+		t.Errorf("stdout = %q", tr.Stdout())
+	}
+}
+
+func TestReplayBreakpointsAndTracking(t *testing.T) {
+	tr := loadReplay(t)
+	if err := tr.TrackFunction("fib"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	calls, rets := 0, 0
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		switch tr.PauseReason().Type {
+		case core.PauseCall:
+			calls++
+			fr, err := tr.CurrentFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fr.Name != "fib" {
+				t.Errorf("call frame = %s", fr.Name)
+			}
+		case core.PauseReturn:
+			rets++
+		}
+	}
+	if calls != 9 || rets != 9 {
+		t.Errorf("calls=%d rets=%d, want 9/9 (fib(4))", calls, rets)
+	}
+}
+
+func TestReplayLineBreakpointWithMaxDepth(t *testing.T) {
+	tr := loadReplay(t)
+	// Depth of the first fib frame is 1; allow only depth < 2.
+	if err := tr.BreakBeforeLine("", 2, core.WithMaxDepth(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		hits++
+		fr, _ := tr.CurrentFrame()
+		if fr.Depth >= 2 {
+			t.Errorf("paused at depth %d", fr.Depth)
+		}
+	}
+	if hits == 0 {
+		t.Error("breakpoint never hit")
+	}
+}
+
+func TestReplayWatch(t *testing.T) {
+	tr := loadReplay(t)
+	if err := tr.Watch("::x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for {
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		r := tr.PauseReason()
+		if r.Type != core.PauseWatch || r.Variable != "::x" {
+			t.Fatalf("pause = %v", r)
+		}
+		hits++
+	}
+	if hits != 1 { // x defined once, with fib(4)=3
+		t.Errorf("watch hits = %d, want 1", hits)
+	}
+}
+
+func TestReplayNextSkipsDeeperFrames(t *testing.T) {
+	tr := loadReplay(t)
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Step to the `x = fib(4)` line (line 6).
+	for {
+		_, line := tr.Position()
+		if line == 6 {
+			break
+		}
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Next(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := tr.CurrentFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Depth != 0 {
+		t.Errorf("next landed at depth %d: %s", fr.Depth, fr)
+	}
+}
+
+func TestReplayRoundTripThroughJSON(t *testing.T) {
+	trace := record(t)
+	data, err := trace.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := New()
+	if err := tr.LoadProgram("fib.trace", core.WithSource(string(data))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := tr.SourceLines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lines[0], "def fib") {
+		t.Error("source lost through serialization")
+	}
+	if err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := tr.CurrentFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Name != "<module>" {
+		t.Errorf("frame = %s", fr.Name)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	tr := New()
+	if err := tr.Start(); err != core.ErrNoProgram {
+		t.Errorf("Start = %v", err)
+	}
+	if err := tr.LoadTrace(&pt.Trace{}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	tr2 := loadReplay(t)
+	if err := tr2.Resume(); err != core.ErrNotStarted {
+		t.Errorf("Resume before start = %v", err)
+	}
+	if err := tr2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_ = tr2.Terminate()
+	if err := tr2.Step(); err != core.ErrExited {
+		t.Errorf("Step after terminate = %v", err)
+	}
+}

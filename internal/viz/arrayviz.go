@@ -1,0 +1,71 @@
+package viz
+
+import (
+	"fmt"
+
+	"easytracker/internal/core"
+)
+
+// ArrayViewOptions configures the loop-invariant array visualization of the
+// paper's Fig. 1: the array cells, index markers underneath, and a shaded
+// prefix/suffix showing the invariant (elements already sorted).
+type ArrayViewOptions struct {
+	Title string
+	// Indices maps marker names ("i", "j") to their current values;
+	// markers outside [0, len) are not drawn.
+	Indices map[string]int
+	// SortedFrom shades cells at positions >= SortedFrom (paper Fig. 1
+	// shades the already-sorted tail of a selection sort); negative
+	// disables.
+	SortedFrom int
+	// SortedTo shades cells at positions < SortedTo; negative disables.
+	SortedTo int
+}
+
+// ArraySVG renders a list value as the Fig. 1 array view.
+func ArraySVG(arr *core.Value, opt ArrayViewOptions) string {
+	elems := arr.Elems()
+	n := len(elems)
+	cw := 52
+	w := n*cw + 2*padX
+	if w < 320 {
+		w = 320
+	}
+	h := 160
+	s := NewSVG(w, h)
+	y := padY
+	if opt.Title != "" {
+		s.Text(padX, y+12, fontSize+2, ColText, opt.Title)
+	}
+	boxY := y + 30
+	for i, e := range elems {
+		x := padX + i*cw
+		fill := ColHeapObj
+		if (opt.SortedFrom >= 0 && i >= opt.SortedFrom) ||
+			(opt.SortedTo >= 0 && i < opt.SortedTo) {
+			fill = ColSorted
+		}
+		s.Rect(x, boxY, cw, 36, fill, ColBorder)
+		val := e
+		if e != nil && e.Kind == core.Ref {
+			val = e.Deref()
+		}
+		txt := "?"
+		if val != nil {
+			txt = val.String()
+		}
+		s.TextAnchored(x+cw/2, boxY+24, fontSize+2, ColText, "middle", clip(txt, 6))
+		s.TextAnchored(x+cw/2, boxY+50, fontSize-2, ColMuted, "middle", fmt.Sprintf("%d", i))
+	}
+	// Index markers under the cells.
+	markY := boxY + 66
+	for name, idx := range opt.Indices {
+		if idx < 0 || idx >= n {
+			continue
+		}
+		x := padX + idx*cw + cw/2
+		s.Line(x, markY+8, x, boxY+38, ColAccent)
+		s.TextAnchored(x, markY+22, fontSize, ColAccent, "middle", name)
+	}
+	return s.String()
+}

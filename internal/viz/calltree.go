@@ -1,0 +1,147 @@
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CallNode is one node of the recursive-call tree (paper Fig. 8 and
+// Listing 6): a call with its displayed arguments, its children in call
+// order, whether it is still live, and its return value once it returned.
+type CallNode struct {
+	// UID is a stable identifier (creation order).
+	UID int
+	// Label shows the displayed arguments, e.g. "fib(4)".
+	Label string
+	// Active marks live calls (drawn red); returned calls turn gray.
+	Active bool
+	// RetVal is the rendered return value for the back edge, "" before
+	// the call returns.
+	RetVal string
+	// Children in call order.
+	Children []*CallNode
+}
+
+// AddChild appends and returns a new child call.
+func (n *CallNode) AddChild(uid int, label string) *CallNode {
+	c := &CallNode{UID: uid, Label: label, Active: true}
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// CallTreeDOT renders the tree in Graphviz DOT (the format the paper's tool
+// feeds to dot); return values appear on dashed back edges.
+func CallTreeDOT(root *CallNode) string {
+	var b strings.Builder
+	b.WriteString("digraph rec {\n")
+	b.WriteString("  node [fontname=\"monospace\", shape=box, style=filled];\n")
+	var walk func(n *CallNode)
+	walk = func(n *CallNode) {
+		color := "gray80"
+		if n.Active {
+			color = "tomato"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, fillcolor=%s];\n", n.UID, n.Label, color)
+		for _, c := range n.Children {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", n.UID, c.UID)
+			if c.RetVal != "" {
+				fmt.Fprintf(&b, "  n%d -> n%d [style=dashed, label=%q, constraint=false];\n",
+					c.UID, n.UID, c.RetVal)
+			}
+			walk(c)
+		}
+	}
+	walk(root)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// treeGeom computes node positions with a simple layered tidy layout.
+type treeGeom struct {
+	pos    map[*CallNode][2]int
+	nextX  int
+	levelH int
+	nodeW  int
+}
+
+// CallTreeSVG renders the tree directly as SVG (no external dot binary).
+func CallTreeSVG(root *CallNode) string {
+	g := &treeGeom{pos: map[*CallNode][2]int{}, levelH: 80, nodeW: 96}
+	g.place(root, 0)
+	maxX, maxY := 0, 0
+	for _, p := range g.pos {
+		if p[0] > maxX {
+			maxX = p[0]
+		}
+		if p[1] > maxY {
+			maxY = p[1]
+		}
+	}
+	s := NewSVG(maxX+g.nodeW+2*padX, maxY+60+2*padY)
+	g.draw(s, root)
+	return s.String()
+}
+
+// place assigns x by leaf order and y by depth.
+func (g *treeGeom) place(n *CallNode, depth int) int {
+	y := padY + depth*g.levelH
+	if len(n.Children) == 0 {
+		x := padX + g.nextX
+		g.nextX += g.nodeW + 16
+		g.pos[n] = [2]int{x, y}
+		return x
+	}
+	first, last := 0, 0
+	for i, c := range n.Children {
+		cx := g.place(c, depth+1)
+		if i == 0 {
+			first = cx
+		}
+		last = cx
+	}
+	x := (first + last) / 2
+	g.pos[n] = [2]int{x, y}
+	return x
+}
+
+func (g *treeGeom) draw(s *SVG, n *CallNode) {
+	p := g.pos[n]
+	fill := ColDone
+	if n.Active {
+		fill = ColActive
+	}
+	// Edges below the node first.
+	for _, c := range n.Children {
+		cp := g.pos[c]
+		s.Line(p[0]+g.nodeW/2, p[1]+36, cp[0]+g.nodeW/2, cp[1], ColArrow)
+		if c.RetVal != "" {
+			midX := (p[0] + cp[0]) / 2
+			s.TextAnchored(midX+g.nodeW/2+14, (p[1]+36+cp[1])/2, fontSize-1,
+				ColFrameHdr, "middle", c.RetVal)
+		}
+		g.draw(s, c)
+	}
+	s.Rect(p[0], p[1], g.nodeW, 36, fill, ColBorder)
+	s.TextAnchored(p[0]+g.nodeW/2, p[1]+23, fontSize, "white", "middle", clip(n.Label, 13))
+}
+
+// CountNodes returns the number of nodes in the tree (tests, stats).
+func CountNodes(root *CallNode) int {
+	n := 1
+	for _, c := range root.Children {
+		n += CountNodes(c)
+	}
+	return n
+}
+
+// SortChildrenByUID normalizes child order for deterministic output when a
+// tree was reassembled from events.
+func SortChildrenByUID(root *CallNode) {
+	sort.Slice(root.Children, func(i, j int) bool {
+		return root.Children[i].UID < root.Children[j].UID
+	})
+	for _, c := range root.Children {
+		SortChildrenByUID(c)
+	}
+}

@@ -1,0 +1,392 @@
+package viz
+
+import (
+	"fmt"
+
+	"easytracker/internal/core"
+)
+
+// DiagramMode selects between the paper's two diagram flavours.
+type DiagramMode int
+
+const (
+	// StackOnly inlines every value inside its frame row (Fig. 6a).
+	StackOnly DiagramMode = iota
+	// StackAndHeap draws compound values as separate heap objects with
+	// reference arrows (Figs. 6b and 6c).
+	StackAndHeap
+)
+
+// StackHeapOptions configures the diagram.
+type StackHeapOptions struct {
+	Mode  DiagramMode
+	Title string
+	// ShowGlobals adds the globals box above the stack.
+	ShowGlobals bool
+}
+
+// geometry constants
+const (
+	rowH     = 22
+	frameW   = 300
+	heapX    = 420
+	heapW    = 320
+	cellW    = 46
+	padX     = 20
+	padY     = 16
+	fontSize = 13
+)
+
+type anchor struct{ x, y int }
+
+type heapObj struct {
+	val *core.Value
+	y   int
+	h   int
+}
+
+type pendingArrow struct {
+	from   anchor
+	target *core.Value
+}
+
+// shLayout accumulates layout state for one diagram.
+type shLayout struct {
+	svg     *SVG
+	opt     StackHeapOptions
+	anchors map[*core.Value]anchor // where a value is drawn (arrow targets)
+	objs    []*heapObj
+	objSet  map[*core.Value]bool
+	arrows  []pendingArrow
+	heapY   int
+}
+
+// StackHeapSVG renders the state as a stack(-and-heap) diagram.
+func StackHeapSVG(st *core.State, opt StackHeapOptions) string {
+	// Estimate height: frames plus globals plus heap side.
+	frames := []*core.Frame{}
+	if st.Frame != nil {
+		frames = st.Frame.Stack()
+	}
+	rows := 2
+	for _, fr := range frames {
+		rows += len(fr.Vars) + 2
+	}
+	if opt.ShowGlobals {
+		rows += len(st.Globals) + 2
+	}
+	height := rows*rowH + 2*padY + 60
+	heapGuess := padY + 40
+	if opt.Mode == StackAndHeap {
+		heapGuess += estimateHeapHeight(st)
+	}
+	if heapGuess > height {
+		height = heapGuess
+	}
+	width := frameW + 2*padX
+	if opt.Mode == StackAndHeap {
+		width = heapX + heapW + padX
+	}
+
+	l := &shLayout{
+		svg:     NewSVG(width, height),
+		opt:     opt,
+		anchors: map[*core.Value]anchor{},
+		objSet:  map[*core.Value]bool{},
+		heapY:   padY + 40,
+	}
+	y := padY
+	if opt.Title != "" {
+		l.svg.Text(padX, y+14, fontSize+2, ColText, opt.Title)
+		y += 30
+	}
+	if opt.Mode == StackAndHeap {
+		l.svg.Text(padX, y, fontSize, ColMuted, "Frames")
+		l.svg.Text(heapX, y, fontSize, ColMuted, "Objects")
+		y += 8
+	}
+
+	// Globals box.
+	if opt.ShowGlobals && len(st.Globals) > 0 {
+		y = l.drawVarBox("globals", st.Globals, y, false)
+		y += 12
+	}
+	// Frames outermost first (paper's diagrams grow downward).
+	for i := len(frames) - 1; i >= 0; i-- {
+		fr := frames[i]
+		label := fr.Name
+		if fr.Line > 0 {
+			label = fmt.Sprintf("%s (line %d)", fr.Name, fr.Line)
+		}
+		current := i == 0
+		y = l.drawVarBox(label, fr.Vars, y, current)
+		y += 12
+	}
+
+	// Heap objects scheduled by the rows; objects may schedule more.
+	if opt.Mode == StackAndHeap {
+		for i := 0; i < len(l.objs); i++ {
+			l.drawHeapObj(l.objs[i])
+		}
+	}
+	// Arrows last, on top.
+	for _, a := range l.arrows {
+		to, ok := l.anchors[a.target]
+		if !ok {
+			continue
+		}
+		l.svg.Arrow(a.from.x, a.from.y, to.x, to.y, ColArrow)
+	}
+	return l.svg.String()
+}
+
+func estimateHeapHeight(st *core.State) int {
+	seen := map[*core.Value]bool{}
+	count := 0
+	var walk func(v *core.Value)
+	walk = func(v *core.Value) {
+		if v == nil || seen[v] {
+			return
+		}
+		seen[v] = true
+		switch v.Kind {
+		case core.List:
+			count += 2
+			for _, e := range v.Elems() {
+				walk(e)
+			}
+		case core.Dict:
+			count += len(v.Entries()) + 2
+			for _, e := range v.Entries() {
+				walk(e.Val)
+			}
+		case core.Struct:
+			count += len(v.Fields()) + 2
+			for _, f := range v.Fields() {
+				walk(f.Value)
+			}
+		case core.Ref:
+			count++
+			walk(v.Deref())
+		default:
+			count++
+		}
+	}
+	for _, g := range st.Globals {
+		walk(g.Value)
+	}
+	if st.Frame != nil {
+		for _, fr := range st.Frame.Stack() {
+			for _, va := range fr.Vars {
+				walk(va.Value)
+			}
+		}
+	}
+	return count*rowH + 80
+}
+
+// drawVarBox renders one frame (or the globals) and returns the next y.
+func (l *shLayout) drawVarBox(label string, vars []*core.Variable, y int, current bool) int {
+	h := (len(vars)+1)*rowH + 6
+	hdr := ColFrameHdr
+	if current {
+		hdr = ColAccent
+	}
+	l.svg.Rect(padX, y, frameW, h, ColFrame, ColBorder)
+	l.svg.Rect(padX, y, frameW, rowH, hdr, ColBorder)
+	l.svg.Text(padX+8, y+rowH-6, fontSize, "white", label)
+	ry := y + rowH
+	for _, va := range vars {
+		l.drawVarRow(va, ry)
+		ry += rowH
+	}
+	return y + h
+}
+
+// drawVarRow renders "name | value" and schedules arrows/objects.
+func (l *shLayout) drawVarRow(va *core.Variable, y int) {
+	l.svg.Line(padX, y, padX+frameW, y, "#cccccc")
+	l.svg.Text(padX+8, y+rowH-6, fontSize, ColText, va.Name)
+	valX := padX + 120
+	l.svg.Line(valX-8, y, valX-8, y+rowH, "#cccccc")
+
+	v := va.Value
+	// Register the slot itself as an arrow target (C pointers can point
+	// at stack variables).
+	slot := v
+	if v != nil && v.Kind == core.Ref && v.Deref() != nil {
+		// For reference slots the conceptual object is the target.
+		slot = v.Deref()
+	}
+	if _, dup := l.anchors[slot]; !dup && slot != nil && slot.Location == core.LocStack {
+		l.anchors[slot] = anchor{x: valX - 8, y: y + rowH/2}
+	}
+	l.renderCell(v, valX, y, frameW-128+padX-valX+120)
+}
+
+// renderCell renders a value inside a row cell; compound targets become
+// heap objects with arrows in StackAndHeap mode.
+func (l *shLayout) renderCell(v *core.Value, x, y, w int) {
+	if v == nil {
+		l.svg.Text(x, y+rowH-6, fontSize, ColMuted, "?")
+		return
+	}
+	switch v.Kind {
+	case core.Invalid:
+		l.svg.Cross(x+4, y+5, 12, 12, ColAccent)
+	case core.Ref:
+		target := v.Deref()
+		if target == nil {
+			l.svg.Cross(x+4, y+5, 12, 12, ColAccent)
+			return
+		}
+		if l.opt.Mode == StackOnly {
+			l.svg.Text(x, y+rowH-6, fontSize, ColText, clip(target.String(), 24))
+			return
+		}
+		if inlineable(target) {
+			l.svg.Text(x, y+rowH-6, fontSize, ColText, clip(target.String(), 24))
+			return
+		}
+		// Bullet with an arrow to the (scheduled) target object.
+		l.svg.TextAnchored(x+8, y+rowH-6, fontSize, ColText, "middle", "•")
+		l.arrows = append(l.arrows, pendingArrow{
+			from:   anchor{x: x + 12, y: y + rowH/2},
+			target: l.schedule(target),
+		})
+	default:
+		if l.opt.Mode == StackAndHeap && !inlineable(v) {
+			// Direct compound value (C array/struct in the frame):
+			// draw inline as a mini rendering.
+			l.svg.Text(x, y+rowH-6, fontSize, ColText, clip(v.String(), 24))
+			l.anchors[v] = anchor{x: x - 8, y: y + rowH/2}
+			return
+		}
+		l.svg.Text(x, y+rowH-6, fontSize, ColText, clip(v.String(), 24))
+	}
+}
+
+// inlineable values render inside the row even in heap mode.
+func inlineable(v *core.Value) bool {
+	switch v.Kind {
+	case core.Primitive, core.None, core.Invalid, core.Function:
+		return true
+	}
+	return false
+}
+
+// schedule adds a heap object (once) and returns its value for arrows.
+func (l *shLayout) schedule(v *core.Value) *core.Value {
+	if l.objSet[v] {
+		return v
+	}
+	l.objSet[v] = true
+	obj := &heapObj{val: v}
+	l.objs = append(l.objs, obj)
+	return v
+}
+
+// drawHeapObj renders one heap object at the current heap cursor.
+func (l *shLayout) drawHeapObj(o *heapObj) {
+	v := o.val
+	y := l.heapY
+	title := v.LanguageType
+	switch v.Kind {
+	case core.List:
+		elems := v.Elems()
+		w := len(elems) * cellW
+		if w < cellW {
+			w = cellW
+		}
+		l.svg.Text(heapX, y+12, fontSize-2, ColMuted, title)
+		boxY := y + 16
+		l.anchors[v] = anchor{x: heapX, y: boxY + rowH/2}
+		for i, e := range elems {
+			x := heapX + i*cellW
+			l.svg.Rect(x, boxY, cellW, rowH, ColHeapObj, ColBorder)
+			l.svg.TextAnchored(x+cellW/2, boxY-2+rowH+12, fontSize-3, ColMuted, "middle", fmt.Sprintf("%d", i))
+			l.renderElem(e, x, boxY)
+		}
+		l.heapY = boxY + rowH + 24
+	case core.Dict:
+		entries := v.Entries()
+		h := (len(entries)+1)*rowH + 4
+		l.svg.Text(heapX, y+12, fontSize-2, ColMuted, title)
+		boxY := y + 16
+		l.svg.Rect(heapX, boxY, heapW-40, h, ColHeapObj, ColBorder)
+		l.anchors[v] = anchor{x: heapX, y: boxY + rowH/2}
+		ry := boxY + 4
+		for _, en := range entries {
+			l.svg.Text(heapX+8, ry+rowH-6, fontSize, ColText, clip(en.Key.String(), 12)+":")
+			l.renderElem(en.Val, heapX+120, ry)
+			ry += rowH
+		}
+		l.heapY = boxY + h + 16
+	case core.Struct:
+		fields := v.Fields()
+		h := (len(fields)+1)*rowH + 4
+		l.svg.Text(heapX, y+12, fontSize-2, ColMuted, title)
+		boxY := y + 16
+		l.svg.Rect(heapX, boxY, heapW-40, h, ColHeapObj, ColBorder)
+		l.anchors[v] = anchor{x: heapX, y: boxY + rowH/2}
+		ry := boxY + 4
+		for _, f := range fields {
+			l.svg.Text(heapX+8, ry+rowH-6, fontSize, ColText, f.Name)
+			l.renderElem(f.Value, heapX+120, ry)
+			ry += rowH
+		}
+		l.heapY = boxY + h + 16
+	default:
+		// Primitive pushed to the heap (python objects).
+		l.svg.Text(heapX, y+12, fontSize-2, ColMuted, title)
+		boxY := y + 16
+		l.svg.Rect(heapX, boxY, cellW*2, rowH, ColHeapObj, ColBorder)
+		l.anchors[v] = anchor{x: heapX, y: boxY + rowH/2}
+		l.svg.Text(heapX+6, boxY+rowH-6, fontSize, ColText, clip(v.String(), 12))
+		l.heapY = boxY + rowH + 16
+	}
+}
+
+// renderElem renders a container slot, scheduling nested objects.
+func (l *shLayout) renderElem(e *core.Value, x, y int) {
+	if e == nil {
+		return
+	}
+	if e.Kind == core.Ref {
+		target := e.Deref()
+		if target == nil {
+			l.svg.Cross(x+4, y+5, 12, 12, ColAccent)
+			return
+		}
+		if inlineable(target) {
+			l.svg.Text(x+6, y+rowH-6, fontSize, ColText, clip(target.String(), 10))
+			return
+		}
+		l.svg.TextAnchored(x+cellW/2, y+rowH-6, fontSize, ColText, "middle", "•")
+		l.arrows = append(l.arrows, pendingArrow{
+			from:   anchor{x: x + cellW/2, y: y + rowH/2},
+			target: l.schedule(target),
+		})
+		return
+	}
+	if e.Kind == core.Invalid {
+		l.svg.Cross(x+4, y+5, 12, 12, ColAccent)
+		return
+	}
+	if !inlineable(e) {
+		l.svg.TextAnchored(x+cellW/2, y+rowH-6, fontSize, ColText, "middle", "•")
+		l.arrows = append(l.arrows, pendingArrow{
+			from:   anchor{x: x + cellW/2, y: y + rowH/2},
+			target: l.schedule(e),
+		})
+		return
+	}
+	l.svg.Text(x+6, y+rowH-6, fontSize, ColText, clip(e.String(), 10))
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,89 @@
+// Package viz renders the paper's classroom visualizations from the
+// language-agnostic program state: stack and stack-and-heap diagrams
+// (Fig. 6), the loop-invariant array view (Fig. 1), the recursive call tree
+// (Fig. 8), and the registers-and-memory view (Fig. 7). Output is
+// self-contained SVG (and Graphviz DOT for graphs), generated without any
+// external binary.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SVG is a minimal SVG document builder.
+type SVG struct {
+	b    strings.Builder
+	w, h int
+}
+
+// NewSVG starts a document of the given size.
+func NewSVG(w, h int) *SVG {
+	s := &SVG{w: w, h: h}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	s.b.WriteString(`<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="7" markerHeight="7" orient="auto-start-reverse"><path d="M 0 0 L 10 5 L 0 10 z" fill="#333"/></marker></defs>` + "\n")
+	fmt.Fprintf(&s.b, `<rect x="0" y="0" width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return s
+}
+
+// Rect draws a rectangle.
+func (s *SVG) Rect(x, y, w, h int, fill, stroke string) {
+	fmt.Fprintf(&s.b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s" stroke="%s"/>`+"\n",
+		x, y, w, h, fill, stroke)
+}
+
+// Text draws left-anchored text.
+func (s *SVG) Text(x, y int, size int, fill, text string) {
+	fmt.Fprintf(&s.b, `<text x="%d" y="%d" font-family="monospace" font-size="%d" fill="%s">%s</text>`+"\n",
+		x, y, size, fill, escape(text))
+}
+
+// TextAnchored draws text with an explicit anchor ("middle", "end").
+func (s *SVG) TextAnchored(x, y, size int, fill, anchor, text string) {
+	fmt.Fprintf(&s.b, `<text x="%d" y="%d" font-family="monospace" font-size="%d" fill="%s" text-anchor="%s">%s</text>`+"\n",
+		x, y, size, fill, anchor, escape(text))
+}
+
+// Line draws a line.
+func (s *SVG) Line(x1, y1, x2, y2 int, stroke string) {
+	fmt.Fprintf(&s.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"/>`+"\n",
+		x1, y1, x2, y2, stroke)
+}
+
+// Arrow draws a line with an arrowhead, curving gently via a quadratic path.
+func (s *SVG) Arrow(x1, y1, x2, y2 int, stroke string) {
+	mx := (x1 + x2) / 2
+	fmt.Fprintf(&s.b, `<path d="M %d %d Q %d %d %d %d" fill="none" stroke="%s" marker-end="url(#arrow)"/>`+"\n",
+		x1, y1, mx, y1, x2, y2, stroke)
+}
+
+// Cross draws an X inside the given box (the paper's invalid-pointer mark).
+func (s *SVG) Cross(x, y, w, h int, stroke string) {
+	s.Line(x, y, x+w, y+h, stroke)
+	s.Line(x, y+h, x+w, y, stroke)
+}
+
+// String finalizes and returns the document.
+func (s *SVG) String() string {
+	return s.b.String() + "</svg>\n"
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// Palette used across the diagrams.
+const (
+	ColFrame    = "#eef3fb"
+	ColFrameHdr = "#2b4a7d"
+	ColHeapObj  = "#fdf6e3"
+	ColBorder   = "#444444"
+	ColText     = "#111111"
+	ColMuted    = "#666666"
+	ColAccent   = "#b5452a"
+	ColSorted   = "#c8dcc8"
+	ColActive   = "#d83a2e"
+	ColDone     = "#9a9a9a"
+	ColArrow    = "#333333"
+)

@@ -1,0 +1,185 @@
+package vm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"easytracker/internal/isa"
+)
+
+func TestFloatOpsSemantics(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b float64
+		want float64
+	}{
+		{isa.FADD, 1.5, 2.25, 3.75},
+		{isa.FSUB, 1.0, 0.25, 0.75},
+		{isa.FMUL, -2.0, 3.0, -6.0},
+		{isa.FDIV, 7.0, 2.0, 3.5},
+	}
+	for _, c := range cases {
+		m := mustMachine(t, prog(isa.Instr{Op: c.op, Rd: isa.A2, Rs1: isa.A0, Rs2: isa.A1}), Config{})
+		m.SetReg(isa.A0, math.Float64bits(c.a))
+		m.SetReg(isa.A1, math.Float64bits(c.b))
+		if s := m.StepOne(); s.Kind != StopStep {
+			t.Fatalf("%v: %v", c.op, s.Kind)
+		}
+		if got := math.Float64frombits(m.Reg(isa.A2)); got != c.want {
+			t.Errorf("%v(%g, %g) = %g, want %g", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFloatCompares(t *testing.T) {
+	cases := []struct {
+		op   isa.Op
+		a, b float64
+		want uint64
+	}{
+		{isa.FEQ, 1.5, 1.5, 1},
+		{isa.FEQ, 1.5, 2.0, 0},
+		{isa.FLT, 1.0, 2.0, 1},
+		{isa.FLT, 2.0, 1.0, 0},
+		{isa.FLE, 2.0, 2.0, 1},
+		{isa.FEQ, math.NaN(), math.NaN(), 0},
+		{isa.FLT, math.NaN(), 1.0, 0},
+	}
+	for _, c := range cases {
+		m := mustMachine(t, prog(isa.Instr{Op: c.op, Rd: isa.A2, Rs1: isa.A0, Rs2: isa.A1}), Config{})
+		m.SetReg(isa.A0, math.Float64bits(c.a))
+		m.SetReg(isa.A1, math.Float64bits(c.b))
+		m.StepOne()
+		if m.Reg(isa.A2) != c.want {
+			t.Errorf("%v(%g, %g) = %d, want %d", c.op, c.a, c.b, m.Reg(isa.A2), c.want)
+		}
+	}
+}
+
+func TestFnegItofFtoi(t *testing.T) {
+	p := prog(
+		isa.Instr{Op: isa.ADDI, Rd: isa.A0, Rs1: isa.Zero, Imm: -7},
+		isa.Instr{Op: isa.ITOF, Rd: isa.A1, Rs1: isa.A0},
+		isa.Instr{Op: isa.FNEG, Rd: isa.A2, Rs1: isa.A1},
+		isa.Instr{Op: isa.FTOI, Rd: isa.A3, Rs1: isa.A2},
+	)
+	m := mustMachine(t, p, Config{})
+	for i := 0; i < 4; i++ {
+		m.StepOne()
+	}
+	if f := math.Float64frombits(m.Reg(isa.A1)); f != -7.0 {
+		t.Errorf("itof = %g", f)
+	}
+	if f := math.Float64frombits(m.Reg(isa.A2)); f != 7.0 {
+		t.Errorf("fneg = %g", f)
+	}
+	if v := int64(m.Reg(isa.A3)); v != 7 {
+		t.Errorf("ftoi = %d", v)
+	}
+}
+
+func TestReadCStringUnterminated(t *testing.T) {
+	p := prog(isa.Nop())
+	p.Data = []byte{'a', 'b', 'c'} // no NUL inside data segment
+	m := mustMachine(t, p, Config{})
+	// Reading runs to the max or faults at the segment end; either way
+	// it must not hang and must return what was readable.
+	s, err := m.ReadCString(isa.DataBase, 2)
+	if err != nil || s != "ab" {
+		t.Errorf("capped read = %q, %v", s, err)
+	}
+	if _, err := m.ReadCString(isa.DataBase, 100); err == nil {
+		t.Error("read past segment end succeeded")
+	}
+}
+
+func TestReadCharEcall(t *testing.T) {
+	p := exitProg(
+		isa.Instr{Op: isa.ADDI, Rd: isa.A7, Rs1: isa.Zero, Imm: isa.SysReadChr},
+		isa.Instr{Op: isa.ECALL},
+		isa.Instr{Op: isa.ADDI, Rd: isa.S1, Rs1: isa.A0, Imm: 0},
+		isa.Instr{Op: isa.ADDI, Rd: isa.A7, Rs1: isa.Zero, Imm: isa.SysReadChr},
+		isa.Instr{Op: isa.ECALL},
+		isa.Instr{Op: isa.ADDI, Rd: isa.S2, Rs1: isa.A0, Imm: 0},
+	)
+	m := mustMachine(t, p, Config{Stdin: strings.NewReader("Z")})
+	if s := m.Run(0); s.Kind != StopExit {
+		t.Fatalf("stop %v", s.Kind)
+	}
+	if m.Reg(isa.S1) != 'Z' {
+		t.Errorf("first read = %d", m.Reg(isa.S1))
+	}
+	if int64(m.Reg(isa.S2)) != -1 {
+		t.Errorf("EOF read = %d", int64(m.Reg(isa.S2)))
+	}
+}
+
+func TestUnknownEcallFaults(t *testing.T) {
+	p := prog(
+		isa.Instr{Op: isa.ADDI, Rd: isa.A7, Rs1: isa.Zero, Imm: 99},
+		isa.Instr{Op: isa.ECALL},
+	)
+	m := mustMachine(t, p, Config{})
+	if s := m.Run(0); s.Kind != StopFault {
+		t.Errorf("stop = %v", s.Kind)
+	}
+}
+
+func TestBadPCFaults(t *testing.T) {
+	m := mustMachine(t, prog(isa.Nop()), Config{})
+	m.SetPC(isa.DataBase)
+	if s := m.StepOne(); s.Kind != StopFault {
+		t.Errorf("stop = %v", s.Kind)
+	}
+	m.SetPC(isa.TextBase + 3) // unaligned
+	if s := m.StepOne(); s.Kind != StopFault {
+		t.Errorf("unaligned stop = %v", s.Kind)
+	}
+}
+
+func TestStepOneAfterExit(t *testing.T) {
+	p := exitProg()
+	m := mustMachine(t, p, Config{})
+	if s := m.Run(0); s.Kind != StopExit {
+		t.Fatal("no exit")
+	}
+	if s := m.StepOne(); s.Kind != StopExit {
+		t.Errorf("step after exit = %v", s.Kind)
+	}
+}
+
+func TestSltiAndShiftImmediates(t *testing.T) {
+	p := prog(
+		isa.Instr{Op: isa.SLTI, Rd: isa.A1, Rs1: isa.A0, Imm: 5},
+		isa.Instr{Op: isa.SLLI, Rd: isa.A2, Rs1: isa.A0, Imm: 4},
+		isa.Instr{Op: isa.SRLI, Rd: isa.A3, Rs1: isa.A0, Imm: 1},
+		isa.Instr{Op: isa.SRAI, Rd: isa.A4, Rs1: isa.A5, Imm: 2},
+		isa.Instr{Op: isa.ANDI, Rd: isa.A6, Rs1: isa.A0, Imm: 6},
+		isa.Instr{Op: isa.ORI, Rd: isa.A7, Rs1: isa.A0, Imm: 8},
+		isa.Instr{Op: isa.XORI, Rd: isa.S1, Rs1: isa.A0, Imm: 1},
+	)
+	m := mustMachine(t, p, Config{})
+	m.SetReg(isa.A0, 3)
+	m.SetReg(isa.A5, uint64(^uint64(0))-15) // -16
+	for i := 0; i < 7; i++ {
+		m.StepOne()
+	}
+	if m.Reg(isa.A1) != 1 || m.Reg(isa.A2) != 48 || m.Reg(isa.A3) != 1 {
+		t.Errorf("slti/slli/srli = %d %d %d", m.Reg(isa.A1), m.Reg(isa.A2), m.Reg(isa.A3))
+	}
+	if int64(m.Reg(isa.A4)) != -4 {
+		t.Errorf("srai = %d", int64(m.Reg(isa.A4)))
+	}
+	if m.Reg(isa.A6) != 2 || m.Reg(isa.A7) != 11 || m.Reg(isa.S1) != 2 {
+		t.Errorf("andi/ori/xori = %d %d %d", m.Reg(isa.A6), m.Reg(isa.A7), m.Reg(isa.S1))
+	}
+}
+
+func TestLui(t *testing.T) {
+	m := mustMachine(t, prog(isa.Instr{Op: isa.LUI, Rd: isa.A0, Imm: 5}), Config{})
+	m.StepOne()
+	if m.Reg(isa.A0) != 5<<12 {
+		t.Errorf("lui = %#x", m.Reg(isa.A0))
+	}
+}
