@@ -41,6 +41,8 @@ func BenchmarkAblationDirectDbgStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		d, err := dbg.New(prog, vm.Config{})
 		if err != nil {
@@ -67,6 +69,7 @@ func BenchmarkAblationDirectDbgStep(b *testing.B) {
 // protocol; the difference against DirectDbgStep is the pipe cost the
 // paper accepts for process separation.
 func BenchmarkAblationMIPipeStep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr := gdbtracker.New()
 		if err := tr.LoadProgram("fib.c", core.WithSource(ablFibC)); err != nil {
@@ -93,6 +96,7 @@ func BenchmarkAblationMIPipeStep(b *testing.B) {
 // BenchmarkAblationMaxDepthServerSide uses the paper's custom maxdepth
 // breakpoint: filtered activations never cross the pipe.
 func BenchmarkAblationMaxDepthServerSide(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr := gdbtracker.New()
 		if err := tr.LoadProgram("fib.c", core.WithSource(ablFibC)); err != nil {
@@ -123,6 +127,7 @@ func BenchmarkAblationMaxDepthServerSide(b *testing.B) {
 // breakpoint pauses on every activation and the tracker inspects the depth
 // and resumes — every hit pays a pipe round trip plus a state transfer.
 func BenchmarkAblationMaxDepthClientSide(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr := gdbtracker.New()
 		if err := tr.LoadProgram("fib.c", core.WithSource(ablFibC)); err != nil {
@@ -180,6 +185,7 @@ func BenchmarkAblationHeapTrackingOn(b *testing.B) {
 }
 
 func benchAlloc(b *testing.B, track bool) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr := gdbtracker.New()
 		opts := []core.LoadOption{core.WithSource(ablAllocC)}
@@ -217,6 +223,7 @@ a = 1
 	for _, watches := range []int{0, 1, 4} {
 		watches := watches
 		b.Run(strings.Repeat("w", watches)+"-watches", func(b *testing.B) {
+			b.ReportAllocs()
 			names := []string{"::a", "::b", "::c", "::d"}
 			for i := 0; i < b.N; i++ {
 				tr := pytracker.New()

@@ -125,6 +125,7 @@ type stateTracker interface {
 // ---- Figure 1: loop-invariant array view of a sort ----
 
 func BenchmarkFig1LoopInvariant(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr := mustTracker(b, "minipy", "sort.py", sortPy)
 		if err := tr.Start(); err != nil {
@@ -180,6 +181,7 @@ func BenchmarkFig3StateSerialize(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		data, err := json.Marshal(st)
@@ -209,6 +211,7 @@ func BenchmarkFig4MIRoundTrip(b *testing.B) {
 	if _, err := cl.Send("-exec-run"); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := cl.Send("-data-list-register-values", "x"); err != nil {
@@ -231,6 +234,7 @@ func BenchmarkFig5ThreadHandoff(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer tr.Terminate()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := tr.Step(); err != nil {
@@ -242,6 +246,7 @@ func BenchmarkFig5ThreadHandoff(b *testing.B) {
 // ---- Figure 6: stack and stack-and-heap diagrams ----
 
 func benchStackHeap(b *testing.B, kind, path, src string, mode viz.DiagramMode, heapTrack bool) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var opts []easytracker.LoadOption
 		if heapTrack {
@@ -295,6 +300,7 @@ func BenchmarkFig6cStackHeapC(b *testing.B) {
 // ---- Figure 7: registers and memory viewer ----
 
 func BenchmarkFig7MemView(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr := mustTracker(b, "minigdb", "mem.s", memAsm)
 		if err := tr.Start(); err != nil {
@@ -336,6 +342,7 @@ func BenchmarkFig7MemView(b *testing.B) {
 // ---- Figure 8: recursive call tree ----
 
 func BenchmarkFig8RecTree(b *testing.B) {
+	b.ReportAllocs()
 	src := strings.Replace(fibPy, "fib(10)", "fib(6)", 1)
 	for i := 0; i < b.N; i++ {
 		tr := mustTracker(b, "minipy", "fib.py", src)
@@ -392,6 +399,8 @@ func BenchmarkFig9GameLevel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		buggy, err := engine.Play("")
 		if err != nil {
@@ -413,6 +422,7 @@ func BenchmarkFig9GameLevel(b *testing.B) {
 // ---- Figure 10: trace export and the partial-trace reduction ----
 
 func BenchmarkFig10TraceExport(b *testing.B) {
+	b.ReportAllocs()
 	src := `def fib(n):
     acc = 0
     k = 0
@@ -455,6 +465,7 @@ print(x)
 // ---- Tables I-III: regeneration ----
 
 func BenchmarkTablesIThroughIII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, tab := range []*tables.Table{tables.TableI(), tables.TableII(), tables.TableIII()} {
 			if out := tab.Render(); len(out) == 0 {
@@ -472,6 +483,8 @@ func BenchmarkNativeMiniPy(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in := minipy.NewInterp(mod)
 		if _, err := in.Run(); err != nil {
@@ -484,6 +497,7 @@ func BenchmarkNativeMiniPy(b *testing.B) {
 // line through the tracker (the paper: stepping "slows the execution down a
 // lot" but is acceptable in the pedagogical context).
 func BenchmarkSteppingOverheadMiniPy(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr := mustTracker(b, "minipy", "fib.py", fibPy)
 		if err := tr.Start(); err != nil {
@@ -507,6 +521,7 @@ func BenchmarkSteppingOverheadMiniPy(b *testing.B) {
 // BenchmarkResumeWithWatchpointMiniPy measures resume when a watchpoint
 // forces internal line-by-line comparison.
 func BenchmarkResumeWithWatchpointMiniPy(b *testing.B) {
+	b.ReportAllocs()
 	src := "total = 0\nk = 0\nwhile k < 200:\n    k = k + 1\ntotal = 1\n"
 	for i := 0; i < b.N; i++ {
 		tr := mustTracker(b, "minipy", "w.py", src)
@@ -534,6 +549,8 @@ func BenchmarkNativeMiniC(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m, err := vm.New(prog, vm.Config{})
 		if err != nil {
@@ -549,6 +566,7 @@ func BenchmarkNativeMiniC(b *testing.B) {
 // BenchmarkSteppingOverheadMiniC steps the compiled program line by line
 // through the full MI pipe.
 func BenchmarkSteppingOverheadMiniC(b *testing.B) {
+	b.ReportAllocs()
 	src := strings.Replace(fibC, "fib(10)", "fib(8)", 1)
 	for i := 0; i < b.N; i++ {
 		tr := gdbtracker.New()
@@ -590,6 +608,7 @@ func BenchmarkMIInspectState(b *testing.B) {
 	if err := tr.Resume(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		// Step alternately to invalidate the cached snapshot.

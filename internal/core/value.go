@@ -343,6 +343,120 @@ func valueEqual(a, b *Value, seen map[[2]*Value]bool) bool {
 	return false
 }
 
+// Equivalent reports whether two values have the same structure and content,
+// ignoring addresses, locations and language-type spelling: re-assigning an
+// equal value to a variable allocates a fresh object at a new address but is
+// not a modification. Watch checking uses it as the deep-compare fallback.
+// Mixed int/float primitives compare numerically (MiniPy 2 == 2.0), two NaNs
+// are equivalent (a NaN that stays a NaN did not change), and reference
+// cycles are handled: two values are equivalent if every finite observation
+// of them agrees. Comparisons of acyclic primitives allocate nothing; the
+// cycle-tracking map is only materialized once a Ref or container recurses.
+func (v *Value) Equivalent(o *Value) bool {
+	return valueEquivalent(v, o, nil)
+}
+
+// numEquivalent compares primitive payloads numerically when both are
+// numbers; ok is false when either payload is not an int64/float64.
+func numEquivalent(a, b any) (eq, ok bool) {
+	switch x := a.(type) {
+	case int64:
+		switch y := b.(type) {
+		case int64:
+			return x == y, true
+		case float64:
+			return float64(x) == y, true
+		}
+	case float64:
+		switch y := b.(type) {
+		case int64:
+			return x == float64(y), true
+		case float64:
+			return x == y || (x != x && y != y), true // NaN ~ NaN
+		}
+	}
+	return false, false
+}
+
+func valueEquivalent(a, b *Value, seen map[[2]*Value]bool) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a == b {
+		return true
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case Primitive:
+		if eq, ok := numEquivalent(a.Content, b.Content); ok {
+			return eq
+		}
+		return a.Content == b.Content
+	case None, Invalid:
+		return true
+	case Function:
+		return a.Content == b.Content
+	}
+	// Recursive kinds: materialize the cycle guard lazily so the common
+	// primitive comparisons above never allocate.
+	if seen == nil {
+		seen = map[[2]*Value]bool{}
+	}
+	key := [2]*Value{a, b}
+	if seen[key] {
+		return true // already comparing this pair on the current path
+	}
+	seen[key] = true
+	switch a.Kind {
+	case Ref:
+		return valueEquivalent(a.Deref(), b.Deref(), seen)
+	case List:
+		ae, be := a.Elems(), b.Elems()
+		if len(ae) != len(be) {
+			return false
+		}
+		for i := range ae {
+			if !valueEquivalent(ae[i], be[i], seen) {
+				return false
+			}
+		}
+		return true
+	case Dict:
+		ae, be := a.Entries(), b.Entries()
+		if len(ae) != len(be) {
+			return false
+		}
+		for i := range ae {
+			if !valueEquivalent(ae[i].Key, be[i].Key, seen) ||
+				!valueEquivalent(ae[i].Val, be[i].Val, seen) {
+				return false
+			}
+		}
+		return true
+	case Struct:
+		// The class/struct name is part of the observable value: an
+		// instance of a different class is a modification even when the
+		// field values coincide.
+		if a.LanguageType != b.LanguageType {
+			return false
+		}
+		af, bf := a.Fields(), b.Fields()
+		if len(af) != len(bf) {
+			return false
+		}
+		for i := range af {
+			if af[i].Name != bf[i].Name ||
+				!valueEquivalent(af[i].Value, bf[i].Value, seen) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
 // String renders the value in a compact single-line human form used by the
 // text tools and by tests. Cycles are cut with "...".
 func (v *Value) String() string {

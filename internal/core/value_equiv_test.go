@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEquivalentPrimitives(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *Value
+		want bool
+	}{
+		{"int==int", NewInt(3), NewInt(3), true},
+		{"int!=int", NewInt(3), NewInt(4), false},
+		{"int==float", NewInt(2), NewFloat(2.0), true},
+		{"float==int", NewFloat(2.0), NewInt(2), true},
+		{"int!=float", NewInt(2), NewFloat(2.5), false},
+		{"nan==nan", NewFloat(math.NaN()), NewFloat(math.NaN()), true},
+		{"nan!=0", NewFloat(math.NaN()), NewFloat(0), false},
+		{"str==str", NewString("a"), NewString("a"), true},
+		{"str!=str", NewString("a"), NewString("b"), false},
+		{"bool!=int", NewBool(true), NewInt(1), false},
+		{"none==none", NewNone(), NewNone(), true},
+		{"none!=invalid", NewNone(), NewInvalid(), false},
+		{"invalid==invalid", NewInvalid(), NewInvalid(), true},
+		{"fn==fn", NewFunction("f"), NewFunction("f"), true},
+		{"fn!=fn", NewFunction("f"), NewFunction("g"), false},
+		{"prim!=list", NewInt(1), NewList(NewInt(1)), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equivalent(c.b); got != c.want {
+			t.Errorf("%s: Equivalent = %v, want %v", c.name, got, c.want)
+		}
+		if got := c.b.Equivalent(c.a); got != c.want {
+			t.Errorf("%s (reversed): Equivalent = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestEquivalentNil(t *testing.T) {
+	var nilV *Value
+	if !nilV.Equivalent(nil) {
+		t.Error("nil.Equivalent(nil) = false")
+	}
+	if nilV.Equivalent(NewInt(1)) {
+		t.Error("nil.Equivalent(1) = true")
+	}
+	if NewInt(1).Equivalent(nil) {
+		t.Error("1.Equivalent(nil) = true")
+	}
+}
+
+func TestEquivalentIgnoresLocationAndAddress(t *testing.T) {
+	// Equal (strict) distinguishes values by Location/Address; Equivalent
+	// compares content only, so a snapshot and a freshly converted value
+	// of the same object compare equivalent.
+	a := NewInt(5)
+	a.Location = LocHeap
+	a.Address = 0x1000
+	b := NewInt(5)
+	b.Location = LocStack
+	b.Address = 0x2000
+	if a.Equal(b) {
+		t.Error("Equal ignored Location/Address")
+	}
+	if !a.Equivalent(b) {
+		t.Error("Equivalent did not ignore Location/Address")
+	}
+}
+
+func TestEquivalentListsAndDicts(t *testing.T) {
+	a := NewList(NewInt(1), NewString("x"))
+	b := NewList(NewInt(1), NewString("x"))
+	if !a.Equivalent(b) {
+		t.Error("equal lists not equivalent")
+	}
+	if a.Equivalent(NewList(NewInt(1))) {
+		t.Error("different-length lists equivalent")
+	}
+	if a.Equivalent(NewList(NewInt(1), NewString("y"))) {
+		t.Error("lists with different elements equivalent")
+	}
+
+	d1 := NewDict(DictEntry{Key: NewString("k"), Val: NewInt(1)})
+	d2 := NewDict(DictEntry{Key: NewString("k"), Val: NewInt(1)})
+	d3 := NewDict(DictEntry{Key: NewString("k"), Val: NewInt(2)})
+	if !d1.Equivalent(d2) {
+		t.Error("equal dicts not equivalent")
+	}
+	if d1.Equivalent(d3) {
+		t.Error("dicts with different values equivalent")
+	}
+}
+
+func TestEquivalentStructClassName(t *testing.T) {
+	a := NewStruct(Field{Name: "v", Value: NewInt(1)})
+	a.LanguageType = "Point"
+	b := NewStruct(Field{Name: "v", Value: NewInt(1)})
+	b.LanguageType = "Point"
+	c := NewStruct(Field{Name: "v", Value: NewInt(1)})
+	c.LanguageType = "Vec"
+	if !a.Equivalent(b) {
+		t.Error("same-class structs not equivalent")
+	}
+	if a.Equivalent(c) {
+		t.Error("structs of different classes equivalent (class name must be observable)")
+	}
+}
+
+func TestEquivalentRefIndirection(t *testing.T) {
+	// A Ref compares by target content, however many levels deep.
+	target1 := NewList(NewInt(1), NewInt(2))
+	target2 := NewList(NewInt(1), NewInt(2))
+	if !NewRef(target1).Equivalent(NewRef(target2)) {
+		t.Error("refs to equivalent targets not equivalent")
+	}
+	if !NewRef(NewRef(target1)).Equivalent(NewRef(NewRef(target2))) {
+		t.Error("double refs to equivalent targets not equivalent")
+	}
+	target2.Content = []*Value{NewInt(1), NewInt(9)}
+	if NewRef(target1).Equivalent(NewRef(target2)) {
+		t.Error("refs to different targets equivalent")
+	}
+	if NewRef(target1).Equivalent(NewInt(1)) {
+		t.Error("ref equivalent to non-ref")
+	}
+}
+
+func TestEquivalentAliasedSubObjects(t *testing.T) {
+	// One value appearing twice (aliased) vs two distinct-but-equal
+	// values: content-wise these are the same snapshot.
+	inner := NewList(NewInt(1))
+	aliased := NewList(inner, inner)
+	copied := NewList(NewList(NewInt(1)), NewList(NewInt(1)))
+	if !aliased.Equivalent(copied) {
+		t.Error("aliased and copied sub-objects with same content not equivalent")
+	}
+}
+
+func TestEquivalentCycles(t *testing.T) {
+	// a = [1]; a.append(a)  — two structurally identical cyclic lists.
+	mk := func() *Value {
+		v := NewList(NewInt(1))
+		v.Content = append(v.Content.([]*Value), v)
+		return v
+	}
+	a, b := mk(), mk()
+	if !a.Equivalent(b) {
+		t.Error("identical cyclic lists not equivalent")
+	}
+	// Same shape but a different scalar somewhere on the cycle.
+	c := NewList(NewInt(2))
+	c.Content = append(c.Content.([]*Value), c)
+	if a.Equivalent(c) {
+		t.Error("cyclic lists with different elements equivalent")
+	}
+	// Self-comparison of a cyclic value must terminate.
+	if !a.Equivalent(a) {
+		t.Error("cyclic value not equivalent to itself")
+	}
+}
+
+func TestEquivalentMutualCycle(t *testing.T) {
+	// Two structs pointing at each other, duplicated: x.next == y,
+	// y.next == x.
+	mk := func() *Value {
+		x := NewStruct(Field{Name: "next", Value: nil})
+		y := NewStruct(Field{Name: "next", Value: x})
+		x.Content = []Field{{Name: "next", Value: y}}
+		return x
+	}
+	if !mk().Equivalent(mk()) {
+		t.Error("identical mutual cycles not equivalent")
+	}
+}

@@ -167,6 +167,19 @@ func New(prog *isa.Program, cfg vm.Config) (*Debugger, error) {
 // Machine exposes the underlying machine (registers, raw memory).
 func (d *Debugger) Machine() *vm.Machine { return d.m }
 
+// DataVersion returns the machine's store counter; see vm.Machine.DataVersion.
+func (d *Debugger) DataVersion() uint64 { return d.m.DataVersion() }
+
+// WatchVersions maps each armed watchpoint's debugger ID to its store
+// counter (stores so far that overlapped its range).
+func (d *Debugger) WatchVersions() map[int]uint64 {
+	out := make(map[int]uint64, len(d.watches))
+	for id, w := range d.watches {
+		out[id] = d.m.WatchVersion(w.vmID)
+	}
+	return out
+}
+
 // Prog returns the program image.
 func (d *Debugger) Prog() *isa.Program { return d.prog }
 

@@ -67,8 +67,18 @@ type Tracker struct {
 
 	reason   core.PauseReason
 	curLine  int
+	curFunc  string
 	lastLine int
 	state    *core.State // cached snapshot for the current pause
+	// stateVersion is the machine data version at which state was
+	// fetched. After a resume, the snapshot is demoted to stale rather
+	// than dropped: if a cheap -data-watch-version round trip shows the
+	// version (and innermost function) unchanged, the stale snapshot is
+	// revalidated in place instead of re-serializing the full state.
+	stateVersion uint64
+	stale        *core.State
+	staleVersion uint64
+	staleFunc    string
 
 	bps     map[int]bpInfo // breakpoint id -> classification
 	watches map[int]string // watchpoint id -> variable identifier
@@ -173,7 +183,12 @@ func (t *Tracker) Start() error {
 
 // classifyStop turns the *stopped record into the pause reason taxonomy.
 func (t *Tracker) classifyStop(resp *mi.Response) error {
-	t.state = nil
+	// Demote the snapshot of the previous pause to a stale candidate:
+	// fetchState revalidates it with a version check before reuse.
+	if t.state != nil {
+		t.stale, t.staleVersion, t.staleFunc = t.state, t.stateVersion, t.curFunc
+		t.state = nil
+	}
 	stopped, ok := resp.Stopped()
 	if !ok {
 		return fmt.Errorf("gdbtracker: no *stopped record in response")
@@ -181,6 +196,7 @@ func (t *Tracker) classifyStop(resp *mi.Response) error {
 	line, _ := stopped.Results.GetInt("line")
 	t.lastLine = t.curLine
 	t.curLine = int(line)
+	t.curFunc = stopped.GetString("func")
 	reason := stopped.GetString("reason")
 	switch reason {
 	case "entry":
@@ -482,6 +498,9 @@ func (t *Tracker) fetchState() (*core.State, error) {
 	if t.state != nil {
 		return t.state, nil
 	}
+	if st := t.revalidateStale(); st != nil {
+		return st, nil
+	}
 	resp, err := t.send("-et-inspect")
 	if err != nil {
 		return nil, err
@@ -491,7 +510,63 @@ func (t *Tracker) fetchState() (*core.State, error) {
 		return nil, fmt.Errorf("gdbtracker: bad state payload: %w", err)
 	}
 	t.state = &st
+	t.stateVersion, _ = strconv.ParseUint(resp.Result.GetString("version"), 10, 64)
 	return &st, nil
+}
+
+// revalidateStale reuses the previous pause's snapshot when a single
+// -data-watch-version round trip proves no store (or debugger write, or
+// heap move) happened since it was serialized and the innermost frame is
+// still the same function. Only the position and pause reason can differ,
+// and both are known locally from the *stopped record, so they are patched
+// in place — the full state transfer and JSON decode are skipped.
+func (t *Tracker) revalidateStale() *core.State {
+	if t.stale == nil || t.stale.Frame == nil {
+		return nil
+	}
+	resp, err := t.send("-data-watch-version")
+	if err != nil {
+		return nil
+	}
+	ver, err := strconv.ParseUint(resp.Result.GetString("version"), 10, 64)
+	if err != nil || ver != t.staleVersion ||
+		t.staleFunc != t.curFunc || t.stale.Frame.Name != t.curFunc {
+		return nil
+	}
+	st := t.stale
+	st.Frame.Line = t.curLine
+	st.Reason = t.reason
+	t.state, t.stateVersion = st, ver
+	t.stale = nil
+	return st
+}
+
+// WatchVersions returns the per-watchpoint store counters (number of
+// stores so far overlapping each armed watchpoint's range), keyed by
+// watchpoint number, via one -data-watch-version round trip.
+func (t *Tracker) WatchVersions() (map[int]uint64, error) {
+	if !t.started {
+		return nil, core.ErrNotStarted
+	}
+	if t.exited {
+		return nil, core.ErrExited
+	}
+	resp, err := t.send("-data-watch-version")
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]uint64{}
+	lst, _ := resp.Result.Results.Get("watch-versions").(mi.List)
+	for _, el := range lst {
+		tp, ok := el.(mi.Tuple)
+		if !ok {
+			continue
+		}
+		no, _ := tp.GetInt("number")
+		ver, _ := strconv.ParseUint(tp.GetString("version"), 10, 64)
+		out[int(no)] = ver
+	}
+	return out, nil
 }
 
 // CurrentFrame returns the innermost frame of the paused inferior.
@@ -518,9 +593,13 @@ func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 // State returns the full snapshot (frames, globals, pause reason).
 func (t *Tracker) State() (*core.State, error) { return t.fetchState() }
 
-// InvalidateStateCache drops the cached snapshot so the next inspection
-// crosses the pipe again (benchmarks measuring the transfer cost).
-func (t *Tracker) InvalidateStateCache() { t.state = nil }
+// InvalidateStateCache drops the cached snapshot — including the stale
+// revalidation candidate — so the next inspection crosses the pipe again
+// with a full transfer (benchmarks measuring the transfer cost).
+func (t *Tracker) InvalidateStateCache() {
+	t.state = nil
+	t.stale = nil
+}
 
 // Position returns the next line to execute.
 func (t *Tracker) Position() (string, int) { return t.file, t.curLine }

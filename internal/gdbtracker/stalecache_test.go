@@ -1,0 +1,176 @@
+package gdbtracker
+
+import (
+	"testing"
+
+	"easytracker/internal/core"
+)
+
+// globalInt pulls the named global's int content out of a snapshot.
+func globalInt(t *testing.T, st *core.State, name string) int64 {
+	t.Helper()
+	for _, g := range st.Globals {
+		if g.Name == name {
+			v := g.Value
+			if v.Kind == core.Ref {
+				v = v.Deref()
+			}
+			n, ok := v.Content.(int64)
+			if !ok {
+				t.Fatalf("global %s content = %T", name, v.Content)
+			}
+			return n
+		}
+	}
+	t.Fatalf("global %s not in snapshot", name)
+	return 0
+}
+
+func TestStateRevalidatedAcrossNonStoringStep(t *testing.T) {
+	// Stepping over a line that performs no memory store must not pay
+	// for a second full state transfer: the previous snapshot is
+	// revalidated by a -data-watch-version round trip and patched with
+	// the new position.
+	src := `int g = 5;
+int main() {
+    g = 6;
+    return 0;
+}`
+	tr := start(t, src)
+	st0, err := tr.State() // entry pause, full fetch
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := globalInt(t, st0, "g"); got != 5 {
+		t.Fatalf("g at entry = %d, want 5", got)
+	}
+
+	if err := tr.Step(); err != nil { // executes g = 6: stores
+		t.Fatal(err)
+	}
+	st1, err := tr.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 == st0 {
+		t.Error("storing step reused the stale snapshot")
+	}
+	if got := globalInt(t, st1, "g"); got != 6 {
+		t.Errorf("g after store = %d, want 6", got)
+	}
+
+	if err := tr.Step(); err != nil { // executes return 0: no stores
+		t.Fatal(err)
+	}
+	st2, err := tr.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 != st1 {
+		t.Error("non-storing step re-fetched the full state instead of revalidating")
+	}
+	_, line := tr.Position()
+	if st2.Frame == nil || st2.Frame.Line != line {
+		t.Errorf("revalidated frame line = %d, want current position %d", st2.Frame.Line, line)
+	}
+	if st2.Reason.Type != core.PauseStep {
+		t.Errorf("revalidated reason = %v, want STEP", st2.Reason.Type)
+	}
+}
+
+func TestStateNotReusedAcrossFunctionChange(t *testing.T) {
+	// Even with no stores in between, a snapshot taken in one function
+	// must not be served for a pause in another: the innermost frame
+	// would be wrong.
+	src := `int id(int x) {
+    return x;
+}
+int main() {
+    int r = id(3);
+    return r;
+}`
+	tr := start(t, src)
+	if _, err := tr.State(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, done := tr.ExitCode(); done {
+			t.Fatal("program exited before reaching id()")
+		}
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := tr.State()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := tr.CurrentFrame()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Frame != fr {
+			t.Fatal("State and CurrentFrame disagree")
+		}
+		_, line := tr.Position()
+		if fr.Line != line {
+			t.Fatalf("frame line %d != position line %d (stale frame served?)", fr.Line, line)
+		}
+		if fr.Name == "id" {
+			return // reached the callee with a consistent frame
+		}
+	}
+	t.Fatal("never stepped into id()")
+}
+
+func TestInvalidateStateCacheDropsStaleCandidate(t *testing.T) {
+	src := `int main() {
+    int x = 1;
+    x = 2;
+    return 0;
+}`
+	tr := start(t, src)
+	st0, err := tr.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.InvalidateStateCache()
+	st1, err := tr.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1 == st0 {
+		t.Error("InvalidateStateCache did not force a fresh transfer")
+	}
+}
+
+func TestWatchVersionsOverTracker(t *testing.T) {
+	src := `int g = 0;
+int main() {
+    g = 1;
+    g = 2;
+    return 0;
+}`
+	tr := start(t, src)
+	if err := tr.Watch("g"); err != nil {
+		t.Fatal(err)
+	}
+	wv, err := tr.WatchVersions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wv) != 1 {
+		t.Fatalf("WatchVersions = %v, want one entry", wv)
+	}
+	if err := tr.Resume(); err != nil { // first hit: g = 1
+		t.Fatal(err)
+	}
+	wv2, err := tr.WatchVersions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, v0 := range wv {
+		if wv2[id] != v0+1 {
+			t.Errorf("watch %d version = %d, want %d", id, wv2[id], v0+1)
+		}
+	}
+}

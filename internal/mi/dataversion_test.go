@@ -1,0 +1,107 @@
+package mi
+
+import (
+	"strconv"
+	"testing"
+)
+
+func getVersion(t *testing.T, cl *Client) uint64 {
+	t.Helper()
+	resp, err := cl.Send("-data-watch-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := strconv.ParseUint(resp.Result.GetString("version"), 10, 64)
+	if err != nil {
+		t.Fatalf("bad version %q: %v", resp.Result.GetString("version"), err)
+	}
+	return v
+}
+
+func TestDataWatchVersionCommand(t *testing.T) {
+	src := `int g = 0;
+int main() {
+    g = 1;
+    g = 2;
+    return 0;
+}`
+	cl := startServer(t, src)
+	if _, err := cl.Send("-exec-run"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Send("-break-watch", "g"); err != nil {
+		t.Fatal(err)
+	}
+	v0 := getVersion(t, cl)
+
+	// First watch hit: stores happened, so the data version advanced and
+	// the watchpoint's own counter went from 0 to 1.
+	resp, err := cl.Send("-exec-continue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped, _ := resp.Stopped()
+	if stopped.GetString("reason") != "watchpoint-trigger" {
+		t.Fatalf("stop = %s", stopped.Print())
+	}
+	v1 := getVersion(t, cl)
+	if v1 <= v0 {
+		t.Errorf("version did not advance across stores: %d -> %d", v0, v1)
+	}
+
+	resp, err = cl.Send("-data-watch-version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst, _ := resp.Result.Results.Get("watch-versions").(List)
+	if len(lst) != 1 {
+		t.Fatalf("watch-versions = %v, want one entry", lst)
+	}
+	tp, _ := lst[0].(Tuple)
+	if got := tp.GetString("version"); got != "1" {
+		t.Errorf("watch version after first hit = %s, want 1", got)
+	}
+
+	// No execution between two queries: the version is stable (this is
+	// what lets clients reuse cached state).
+	if a, b := getVersion(t, cl), getVersion(t, cl); a != b {
+		t.Errorf("version changed with no execution: %d -> %d", a, b)
+	}
+}
+
+func TestEtInspectCarriesVersion(t *testing.T) {
+	src := `int main() {
+    int x = 1;
+    x = 2;
+    return 0;
+}`
+	cl := startServer(t, src)
+	if _, err := cl.Send("-exec-run"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Send("-et-inspect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.GetString("state") == "" {
+		t.Fatal("-et-inspect returned no state")
+	}
+	if _, err := strconv.ParseUint(resp.Result.GetString("version"), 10, 64); err != nil {
+		t.Errorf("-et-inspect version = %q, want a number", resp.Result.GetString("version"))
+	}
+}
+
+func TestListFeaturesAdvertisesDataWatchVersion(t *testing.T) {
+	cl := startServer(t, "int main() { return 0; }")
+	resp, err := cl.Send("-list-features")
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, _ := resp.Result.Results.Get("features").(List)
+	for _, f := range feats {
+		if sv, ok := f.(StringVal); ok && string(sv) == "et-data-watch-version" {
+			return
+		}
+	}
+	t.Errorf("features %v missing et-data-watch-version", feats)
+}

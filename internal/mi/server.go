@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -252,7 +253,32 @@ func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []Record{doneRec(token, Result{Var: "state", Val: StringVal(string(data))})}, nil
+		return []Record{doneRec(token,
+			Result{Var: "state", Val: StringVal(string(data))},
+			Result{Var: "version", Val: StringVal(strconv.FormatUint(s.d.DataVersion(), 10))},
+		)}, nil
+
+	case "-data-watch-version":
+		if err := s.need(); err != nil {
+			return nil, err
+		}
+		wv := s.d.WatchVersions()
+		ids := make([]int, 0, len(wv))
+		for id := range wv {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		var watches List
+		for _, id := range ids {
+			watches = append(watches, Tuple{
+				{Var: "number", Val: StringVal(strconv.Itoa(id))},
+				{Var: "version", Val: StringVal(strconv.FormatUint(wv[id], 10))},
+			})
+		}
+		return []Record{doneRec(token,
+			Result{Var: "version", Val: StringVal(strconv.FormatUint(s.d.DataVersion(), 10))},
+			Result{Var: "watch-versions", Val: watches},
+		)}, nil
 
 	case "-et-heap-blocks":
 		var blocks List
@@ -361,6 +387,7 @@ func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
 		return []Record{doneRec(token, Result{Var: "features", Val: List{
 			StringVal("et-inspect"), StringVal("et-maxdepth"),
 			StringVal("et-heap-track"), StringVal("et-segments"),
+			StringVal("et-data-watch-version"),
 		}})}, nil
 	}
 	return nil, fmt.Errorf("undefined MI command: %s", op)

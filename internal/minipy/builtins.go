@@ -427,6 +427,7 @@ func (in *Interp) builtinMethod(recv *Object, name string) *Object {
 					return nil, argErr("append", "takes exactly one argument")
 				}
 				recv.L = append(recv.L, args[0])
+				in.stamp(recv)
 				return in.noneO, nil
 			})
 		case "pop":
@@ -450,6 +451,7 @@ func (in *Interp) builtinMethod(recv *Object, name string) *Object {
 				}
 				out := recv.L[i]
 				recv.L = append(recv.L[:i], recv.L[i+1:]...)
+				in.stamp(recv)
 				return out, nil
 			})
 		case "insert":
@@ -474,6 +476,7 @@ func (in *Interp) builtinMethod(recv *Object, name string) *Object {
 				recv.L = append(recv.L, nil)
 				copy(recv.L[i+1:], recv.L[i:])
 				recv.L[i] = args[1]
+				in.stamp(recv)
 				return in.noneO, nil
 			})
 		case "remove":
@@ -484,6 +487,7 @@ func (in *Interp) builtinMethod(recv *Object, name string) *Object {
 				for i, e := range recv.L {
 					if pyEqual(e, args[0]) {
 						recv.L = append(recv.L[:i], recv.L[i+1:]...)
+						in.stamp(recv)
 						return in.noneO, nil
 					}
 				}
@@ -516,6 +520,7 @@ func (in *Interp) builtinMethod(recv *Object, name string) *Object {
 			})
 		case "sort":
 			return bind(func(in *Interp, args []*Object) (*Object, error) {
+				in.stamp(recv)
 				if err := sortObjects(recv.L); err != nil {
 					return nil, err
 				}
@@ -526,6 +531,7 @@ func (in *Interp) builtinMethod(recv *Object, name string) *Object {
 				for i, j := 0, len(recv.L)-1; i < j; i, j = i+1, j-1 {
 					recv.L[i], recv.L[j] = recv.L[j], recv.L[i]
 				}
+				in.stamp(recv)
 				return in.noneO, nil
 			})
 		case "extend":
@@ -538,11 +544,13 @@ func (in *Interp) builtinMethod(recv *Object, name string) *Object {
 					return nil, fmt.Errorf("extend() argument is not iterable")
 				}
 				recv.L = append(recv.L, items...)
+				in.stamp(recv)
 				return in.noneO, nil
 			})
 		case "clear":
 			return bind(func(in *Interp, args []*Object) (*Object, error) {
 				recv.L = nil
+				in.stamp(recv)
 				return in.noneO, nil
 			})
 		case "copy":
@@ -599,6 +607,7 @@ func (in *Interp) builtinMethod(recv *Object, name string) *Object {
 					if _, err := recv.D.Delete(args[0]); err != nil {
 						return nil, err
 					}
+					in.stamp(recv)
 					return v, nil
 				}
 				if len(args) == 2 {
@@ -609,6 +618,7 @@ func (in *Interp) builtinMethod(recv *Object, name string) *Object {
 		case "clear":
 			return bind(func(in *Interp, args []*Object) (*Object, error) {
 				*recv.D = *NewOrderedDict()
+				in.stamp(recv)
 				return in.noneO, nil
 			})
 		case "copy":

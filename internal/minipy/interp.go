@@ -43,6 +43,9 @@ type TraceFunc func(fr *RTFrame, ev Event, retval *Object) error
 type Scope struct {
 	names []string
 	vals  map[string]*Object
+	// clock, when non-nil, points at the owning interpreter's mutation
+	// epoch; every binding write advances it (the scope write barrier).
+	clock *uint64
 }
 
 // NewScope returns an empty scope.
@@ -58,6 +61,9 @@ func (s *Scope) Get(name string) (*Object, bool) {
 
 // Set binds a name, preserving first-assignment order.
 func (s *Scope) Set(name string, v *Object) {
+	if s.clock != nil {
+		*s.clock++
+	}
 	if _, ok := s.vals[name]; !ok {
 		s.names = append(s.names, name)
 	}
@@ -68,6 +74,9 @@ func (s *Scope) Set(name string, v *Object) {
 func (s *Scope) Delete(name string) {
 	if _, ok := s.vals[name]; !ok {
 		return
+	}
+	if s.clock != nil {
+		*s.clock++
 	}
 	delete(s.vals, name)
 	for i, n := range s.names {
@@ -150,6 +159,13 @@ type Interp struct {
 	cur    *RTFrame
 	retval *Object // value being returned, for EventReturn
 
+	// epoch is the mutation clock: advanced by every scope binding write
+	// and every in-place heap mutation (the write barriers). An unchanged
+	// epoch guarantees the program state is identical.
+	epoch uint64
+	// visitStamp numbers ReachableEpoch walks for cycle detection.
+	visitStamp uint64
+
 	// MaxSteps bounds the number of line events to catch runaway
 	// programs; zero means the default of 5 million.
 	MaxSteps int64
@@ -166,6 +182,7 @@ func NewInterp(m *Module) *Interp {
 		stdin:    bufio.NewReader(strings.NewReader("")),
 		MaxSteps: 5_000_000,
 	}
+	in.Globals.clock = &in.epoch
 	in.noneO = in.alloc(&Object{Kind: ONone})
 	in.trueO = in.alloc(&Object{Kind: OBool, B: true})
 	in.falseO = in.alloc(&Object{Kind: OBool, B: false})
@@ -212,11 +229,93 @@ func (in *Interp) SetArgs(args []string) {
 // CurrentFrame returns the interpreter's innermost live frame.
 func (in *Interp) CurrentFrame() *RTFrame { return in.cur }
 
-// alloc assigns the next object id.
+// alloc assigns the next object id and stamps the allocation epoch.
 func (in *Interp) alloc(o *Object) *Object {
 	in.nextID++
 	o.ID = in.nextID
+	o.Epoch = in.epoch
 	return o
+}
+
+// stamp records an in-place mutation of o: the write barrier advances the
+// interpreter's epoch and stamps the mutated object with it.
+func (in *Interp) stamp(o *Object) {
+	in.epoch++
+	o.Epoch = in.epoch
+}
+
+// newScope returns a scope wired to the interpreter's mutation clock.
+func (in *Interp) newScope() *Scope {
+	s := NewScope()
+	s.clock = &in.epoch
+	return s
+}
+
+// Epoch returns the interpreter's current mutation epoch. It is advanced by
+// every scope binding write and every in-place object mutation, so trackers
+// can use an unchanged epoch as proof that no program state moved.
+func (in *Interp) Epoch() uint64 { return in.epoch }
+
+// ReachableEpoch returns the maximum mutation epoch of o and of every object
+// reachable from it through list/tuple elements, dict values, instance
+// attributes and bound receivers. Watch checking uses it as an allocation-free
+// dirty test: a result not larger than the epoch of the last snapshot proves
+// the watched value graph is unchanged. Results are memoized on the walked
+// root and stay valid until the global epoch advances; dict keys are skipped
+// because MiniPy keys are restricted to immutable (hashable) objects.
+func (in *Interp) ReachableEpoch(o *Object) uint64 {
+	if o == nil {
+		return 0
+	}
+	if o.reachAt == in.epoch+1 {
+		return o.reachMax
+	}
+	in.visitStamp++
+	m := in.reachEpoch(o, in.visitStamp)
+	// Memoize only at the root of the walk: a root's result covers its
+	// whole reachable closure, while an interior node of a cycle would
+	// cache a value truncated at the back edge.
+	o.reachAt = in.epoch + 1
+	o.reachMax = m
+	return m
+}
+
+func (in *Interp) reachEpoch(o *Object, visit uint64) uint64 {
+	if o.visit == visit {
+		return 0 // cycle: the first visit accounts for this object
+	}
+	o.visit = visit
+	if o.reachAt == in.epoch+1 {
+		return o.reachMax
+	}
+	max := o.Epoch
+	switch o.Kind {
+	case OList, OTuple:
+		for _, e := range o.L {
+			if m := in.reachEpoch(e, visit); m > max {
+				max = m
+			}
+		}
+	case ODict:
+		for _, hk := range o.D.keys {
+			if m := in.reachEpoch(o.D.vobj[hk], visit); m > max {
+				max = m
+			}
+		}
+	case OInstance:
+		for _, hk := range o.Attrs.keys {
+			if m := in.reachEpoch(o.Attrs.vobj[hk], visit); m > max {
+				max = m
+			}
+		}
+	case OMethod:
+		if o.Self != nil {
+			if m := in.reachEpoch(o.Self, visit); m > max {
+				max = m
+			}
+		}
+	}
+	return max
 }
 
 func (in *Interp) newInt(v int64) *Object     { return in.alloc(&Object{Kind: OInt, I: v}) }
@@ -404,6 +503,7 @@ func (in *Interp) execStmt(fr *RTFrame, st Stmt) (ctrlSignal, error) {
 		// Python in-place semantics on lists: `xs += ys` extends in place.
 		if s.Op == Plus && old.Kind == OList && rhs.Kind == OList {
 			old.L = append(old.L, rhs.L...)
+			in.stamp(old)
 			return ctrlNone, nil
 		}
 		nv, err := in.binOp(s.Pos(), s.Op, old, rhs)
@@ -592,6 +692,7 @@ func (in *Interp) assign(fr *RTFrame, target Expr, v *Object) error {
 			return in.rtErr(t.Pos(), "'%s' object has no settable attribute '%s'", obj.TypeName(), t.Name)
 		}
 		obj.Attrs.SetStr(t.Name, v)
+		in.stamp(obj)
 		return nil
 	case *TupleLitExpr:
 		return in.unpack(fr, t, v)
@@ -632,11 +733,13 @@ func (in *Interp) setIndex(line int, obj, idx, v *Object) error {
 			return err
 		}
 		obj.L[i] = v
+		in.stamp(obj)
 		return nil
 	case ODict:
 		if err := obj.D.Set(idx, v); err != nil {
 			return in.rtErr(line, "%s", err)
 		}
+		in.stamp(obj)
 		return nil
 	case OTuple:
 		return in.rtErr(line, "'tuple' object does not support item assignment")
@@ -674,6 +777,7 @@ func (in *Interp) deleteTarget(fr *RTFrame, target Expr) error {
 				return err
 			}
 			obj.L = append(obj.L[:i], obj.L[i+1:]...)
+			in.stamp(obj)
 			return nil
 		case ODict:
 			ok, err := obj.D.Delete(idx)
@@ -683,6 +787,7 @@ func (in *Interp) deleteTarget(fr *RTFrame, target Expr) error {
 			if !ok {
 				return in.rtErr(t.Pos(), "KeyError: %s", idx.Repr())
 			}
+			in.stamp(obj)
 			return nil
 		}
 		return in.rtErr(t.Pos(), "cannot delete items of '%s'", obj.TypeName())
@@ -791,7 +896,7 @@ func (in *Interp) callUser(line int, fn *Function, args []*Object) (*Object, err
 			fn.Name, len(fn.Params), len(args))
 	}
 	fr := &RTFrame{
-		Name: fn.Name, Fn: fn, Locals: NewScope(),
+		Name: fn.Name, Fn: fn, Locals: in.newScope(),
 		Parent: in.cur, Line: fn.DefLine,
 		Depth: in.cur.Depth + 1, globalDecls: map[string]bool{},
 	}

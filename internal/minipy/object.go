@@ -52,6 +52,17 @@ type Object struct {
 	// Kind discriminates the payload fields below.
 	Kind ObjKind
 
+	// Epoch is the interpreter's mutation clock value at which this object
+	// was allocated or last mutated in place (the write-barrier stamp).
+	Epoch uint64
+	// reachAt/reachMax memoize Interp.ReachableEpoch: reachMax is valid
+	// while reachAt equals the interpreter's current epoch plus one (the
+	// +1 keeps the zero value distinct from epoch 0).
+	reachAt  uint64
+	reachMax uint64
+	// visit is the cycle-detection stamp of the current reachability walk.
+	visit uint64
+
 	I int64
 	F float64
 	B bool

@@ -47,11 +47,18 @@ type funcBP struct {
 
 type watch struct {
 	id string
-	// snap is the last observed value rendering; nil means "not yet
+	// snap is the last observed value snapshot; nil means "not yet
 	// observed/defined".
 	snap *core.Value
 	// defined reports whether the variable resolved at last check.
 	defined bool
+	// lastObj is the object the identifier resolved to when snap was
+	// taken, and epoch the interpreter's mutation epoch at that moment.
+	// Together they form the O(1) dirty check: the same object with no
+	// reachable mutation since epoch cannot have changed, so the deep
+	// compare (and its conversion allocations) is skipped.
+	lastObj *minipy.Object
+	epoch   uint64
 }
 
 type exitInfo struct {
@@ -90,6 +97,17 @@ type Tracker struct {
 	funcBPs   []funcBP
 	tracked   map[string]bool
 	watches   []*watch
+
+	// pauseSeq numbers pauses; together with the interpreter's mutation
+	// epoch it keys the memoized State snapshot below, so tools calling
+	// CurrentFrame, GlobalVariables and State in the same pause convert
+	// the program state once instead of three times. The epoch part
+	// invalidates the cache if a tool mutates state mid-pause (e.g. by
+	// evaluating a call through the interpreter).
+	pauseSeq  uint64
+	snapSeq   uint64
+	snapEpoch uint64
+	snapState *core.State
 }
 
 // New returns an unloaded MiniPy tracker.
@@ -254,6 +272,14 @@ func depthOK(maxDepth, depth int) bool {
 }
 
 // checkWatches compares every watched variable against its last snapshot.
+//
+// The hot path is O(1) per watch and allocation-free: a watch remembers the
+// object its identifier resolved to and the interpreter's mutation epoch at
+// the last snapshot. The interpreter's write barriers stamp every scope write
+// and in-place mutation, so "same object, no reachable stamp newer than the
+// snapshot" proves the value is unchanged without converting or comparing
+// anything. Only a rebinding or a dirty object graph falls back to the deep
+// structural compare (core.Value.Equivalent) on a fresh conversion.
 func (t *Tracker) checkWatches(fr *minipy.RTFrame) (core.PauseReason, bool) {
 	for _, w := range t.watches {
 		obj, ok := t.resolveVar(fr, w.id)
@@ -262,41 +288,40 @@ func (t *Tracker) checkWatches(fr *minipy.RTFrame) (core.PauseReason, bool) {
 			if w.defined {
 				w.defined = false
 				w.snap = nil
+				w.lastObj = nil
 			}
 			continue
 		}
+		if w.defined && obj == w.lastObj && t.interp.ReachableEpoch(obj) <= w.epoch {
+			continue // provably unchanged: skip conversion and compare
+		}
 		conv := minipy.NewConverter()
 		now := conv.VarValue(obj)
+		epoch := t.interp.Epoch()
 		if !w.defined {
 			// First definition counts as a modification.
 			old := w.snap
-			w.snap = now
-			w.defined = true
+			w.snap, w.defined = now, true
+			w.lastObj, w.epoch = obj, epoch
 			return core.PauseReason{
 				Type: core.PauseWatch, Variable: w.id,
 				Old: old, New: now,
 				File: t.file, Line: fr.Line,
 			}, true
 		}
-		if !valueEquivalent(w.snap, now) {
-			old := w.snap
-			w.snap = now
-			return core.PauseReason{
-				Type: core.PauseWatch, Variable: w.id,
-				Old: old, New: now,
-				File: t.file, Line: fr.Line,
-			}, true
-		}
+		changed := !w.snap.Equivalent(now)
+		old := w.snap
 		w.snap = now
+		w.lastObj, w.epoch = obj, epoch
+		if changed {
+			return core.PauseReason{
+				Type: core.PauseWatch, Variable: w.id,
+				Old: old, New: now,
+				File: t.file, Line: fr.Line,
+			}, true
+		}
 	}
 	return core.PauseReason{}, false
-}
-
-// valueEquivalent compares two snapshots by structure and content, ignoring
-// object addresses: re-assigning the same number to a variable allocates a
-// fresh object but is not a modification.
-func valueEquivalent(a, b *core.Value) bool {
-	return a.String() == b.String()
 }
 
 // resolveVar resolves a variable identifier against the paused state. fr is
@@ -308,11 +333,13 @@ func (t *Tracker) resolveVar(fr *minipy.RTFrame, id string) (*minipy.Object, boo
 		o, ok := t.interp.Globals.Get(name)
 		return o, ok
 	case "":
-		for f := fr; f != nil; f = f.Parent {
-			if o, ok := f.Locals.Get(name); ok {
-				return o, true
-			}
-			break // only the innermost frame, then globals
+		// A bare name follows MiniPy's two-level scoping rule, the same
+		// one the interpreter's own lookupName applies: the innermost
+		// frame's locals, then the module globals. MiniPy has no
+		// closures, so enclosing function frames never contribute
+		// bindings and are deliberately not walked.
+		if o, ok := fr.Locals.Get(name); ok {
+			return o, true
 		}
 		o, ok := t.interp.Globals.Get(name)
 		return o, ok
@@ -329,6 +356,7 @@ func (t *Tracker) resolveVar(fr *minipy.RTFrame, id string) (*minipy.Object, boo
 
 // waitPause blocks the tool goroutine until the inferior pauses or exits.
 func (t *Tracker) waitPause() error {
+	t.pauseSeq++
 	select {
 	case <-t.pauseCh:
 		return nil
@@ -469,7 +497,9 @@ func (t *Tracker) ExitCode() (int, bool) {
 	return t.exitCode, true
 }
 
-// CurrentFrame snapshots the paused inferior's innermost frame.
+// CurrentFrame snapshots the paused inferior's innermost frame. The snapshot
+// is served from the pause-scoped State cache, so a tool inspecting frame,
+// globals and full state in the same pause pays for one conversion.
 func (t *Tracker) CurrentFrame() (*core.Frame, error) {
 	if !t.started {
 		return nil, core.ErrNotStarted
@@ -477,21 +507,37 @@ func (t *Tracker) CurrentFrame() (*core.Frame, error) {
 	if t.exited || t.curFrame == nil {
 		return nil, core.ErrExited
 	}
-	conv := minipy.NewConverter()
-	return minipy.SnapshotFrame(conv, t.curFrame, t.file), nil
+	st, err := t.State()
+	if err != nil {
+		return nil, err
+	}
+	return st.Frame, nil
 }
 
-// GlobalVariables snapshots the module scope.
+// GlobalVariables snapshots the module scope, served from the pause-scoped
+// State cache while the inferior is live.
 func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 	if !t.started {
 		return nil, core.ErrNotStarted
 	}
-	conv := minipy.NewConverter()
-	return minipy.SnapshotGlobals(conv, t.interp.Globals), nil
+	if t.exited || t.curFrame == nil {
+		// After exit there is no frame to snapshot, but the module
+		// scope is still inspectable (State would return no globals).
+		conv := minipy.NewConverter()
+		return minipy.SnapshotGlobals(conv, t.interp.Globals), nil
+	}
+	st, err := t.State()
+	if err != nil {
+		return nil, err
+	}
+	return st.Globals, nil
 }
 
 // State snapshots frames, globals and the pause reason with one shared value
-// table, preserving aliasing between frame variables and globals.
+// table, preserving aliasing between frame variables and globals. The result
+// is memoized keyed by (pause sequence number, interpreter mutation epoch)
+// and invalidated by resuming, so repeated inspection of the same pause is
+// free.
 func (t *Tracker) State() (*core.State, error) {
 	if !t.started {
 		return nil, core.ErrNotStarted
@@ -499,12 +545,17 @@ func (t *Tracker) State() (*core.State, error) {
 	if t.exited || t.curFrame == nil {
 		return &core.State{Reason: t.reason}, nil
 	}
+	if t.snapState != nil && t.snapSeq == t.pauseSeq && t.snapEpoch == t.interp.Epoch() {
+		return t.snapState, nil
+	}
 	conv := minipy.NewConverter()
-	return &core.State{
+	st := &core.State{
 		Frame:   minipy.SnapshotFrame(conv, t.curFrame, t.file),
 		Globals: minipy.SnapshotGlobals(conv, t.interp.Globals),
 		Reason:  t.reason,
-	}, nil
+	}
+	t.snapState, t.snapSeq, t.snapEpoch = st, t.pauseSeq, t.interp.Epoch()
+	return st, nil
 }
 
 // Position returns the next line to execute.

@@ -1,0 +1,176 @@
+package pytracker
+
+import (
+	"testing"
+
+	"easytracker/internal/core"
+)
+
+// collectWatchHits resumes to exit, recording every watch pause as
+// "old->new" strings.
+func collectWatchHits(t *testing.T, tr *Tracker) []string {
+	t.Helper()
+	var seen []string
+	for i := 0; i < 100000; i++ {
+		if err := tr.Resume(); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if _, done := tr.ExitCode(); done {
+			return seen
+		}
+		r := tr.PauseReason()
+		if r.Type != core.PauseWatch {
+			t.Fatalf("unexpected pause %v", r)
+		}
+		old := "<nil>"
+		if r.Old != nil {
+			old = r.Old.String()
+		}
+		seen = append(seen, old+"->"+r.New.String())
+	}
+	t.Fatal("program did not terminate")
+	return nil
+}
+
+func TestWatchAliasMutationFires(t *testing.T) {
+	// b aliases a's list object; mutating through b must fire the watch
+	// on a even though the binding "a" itself was never reassigned —
+	// exactly the case a naive "did the variable's slot change" dirty
+	// check would miss.
+	src := `a = [1, 2]
+b = a
+b[0] = 9
+done = 1
+`
+	tr := start(t, src)
+	if err := tr.Watch("a"); err != nil {
+		t.Fatal(err)
+	}
+	hits := collectWatchHits(t, tr)
+	if len(hits) != 2 {
+		t.Fatalf("watch hits = %v, want definition + alias mutation", hits)
+	}
+	if hits[1] != "&[1, 2]->&[9, 2]" {
+		t.Errorf("alias mutation hit = %q, want \"&[1, 2]->&[9, 2]\"", hits[1])
+	}
+}
+
+func TestWatchInPlaceBuiltinsFire(t *testing.T) {
+	// In-place mutations through builtin methods (append, dict store)
+	// must be seen by the write barrier.
+	src := `xs = []
+xs.append(1)
+d = {}
+d["k"] = 5
+done = 1
+`
+	tr := start(t, src)
+	if err := tr.Watch("xs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Watch("d"); err != nil {
+		t.Fatal(err)
+	}
+	hits := collectWatchHits(t, tr)
+	want := []string{
+		"<nil>->&[]",     // xs defined
+		"&[]->&[1]",      // append
+		"<nil>->&{}",     // d defined
+		`&{}->&{"k": 5}`, // dict store
+	}
+	if len(hits) != len(want) {
+		t.Fatalf("watch hits = %v, want %v", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Errorf("hit[%d] = %q, want %q", i, hits[i], want[i])
+		}
+	}
+}
+
+func TestWatchEqualReassignmentDoesNotFire(t *testing.T) {
+	// Re-binding a variable to an equal value is not a modification:
+	// watch semantics compare values, not assignment events.
+	src := `x = 7
+x = 7
+x = 3 + 4
+x = 8
+done = 1
+`
+	tr := start(t, src)
+	if err := tr.Watch("x"); err != nil {
+		t.Fatal(err)
+	}
+	hits := collectWatchHits(t, tr)
+	want := []string{"<nil>->&7", "&7->&8"}
+	if len(hits) != len(want) {
+		t.Fatalf("watch hits = %v, want %v (equal re-assignments must not fire)", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Errorf("hit[%d] = %q, want %q", i, hits[i], want[i])
+		}
+	}
+}
+
+func TestWatchNotYetDefinedVariable(t *testing.T) {
+	// Watching a name before it exists is allowed; the first binding
+	// fires with old == nil.
+	src := `y = 1
+z = 2
+w = 3
+`
+	tr := start(t, src)
+	if err := tr.Watch("w"); err != nil {
+		t.Fatal(err)
+	}
+	hits := collectWatchHits(t, tr)
+	if len(hits) != 1 || hits[0] != "<nil>->&3" {
+		t.Errorf("watch hits = %v, want [\"<nil>->&3\"]", hits)
+	}
+}
+
+func TestWatchUndefineThenRedefine(t *testing.T) {
+	// del removes the binding; redefinition fires as a fresh definition.
+	src := `v = 1
+del v
+v = 2
+done = 1
+`
+	tr := start(t, src)
+	if err := tr.Watch("v"); err != nil {
+		t.Fatal(err)
+	}
+	hits := collectWatchHits(t, tr)
+	want := []string{"<nil>->&1", "<nil>->&2"}
+	if len(hits) != len(want) {
+		t.Fatalf("watch hits = %v, want %v", hits, want)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Errorf("hit[%d] = %q, want %q", i, hits[i], want[i])
+		}
+	}
+}
+
+func TestWatchNestedAliasMutation(t *testing.T) {
+	// The watched object reaches the mutated object through two levels
+	// of aliasing; the reachable-epoch walk must see the inner write.
+	src := `inner = [1]
+outer = [inner, 2]
+b = inner
+b[0] = 5
+done = 1
+`
+	tr := start(t, src)
+	if err := tr.Watch("outer"); err != nil {
+		t.Fatal(err)
+	}
+	hits := collectWatchHits(t, tr)
+	if len(hits) != 2 {
+		t.Fatalf("watch hits = %v, want definition + nested mutation", hits)
+	}
+	if hits[1] != "&[&[1], 2]->&[&[5], 2]" {
+		t.Errorf("nested mutation hit = %q, want \"&[&[1], 2]->&[&[5], 2]\"", hits[1])
+	}
+}

@@ -89,6 +89,8 @@ type watch struct {
 	id   int
 	addr uint64
 	size uint64
+	// version counts stores that overlapped this watched range.
+	version uint64
 }
 
 // Segment describes one mapped memory region.
@@ -120,6 +122,13 @@ type Machine struct {
 	breakpoints map[uint64]bool
 	watches     []watch
 	nextWatchID int
+
+	// dataVersion counts every memory-visible mutation (stores, debugger
+	// writes, brk moves, resets). Clients cache inspection snapshots and
+	// revalidate them with one cheap version compare instead of a full
+	// state transfer; it is monotonic across Reset so stale caches can
+	// never validate against a fresh run.
+	dataVersion uint64
 
 	exited   bool
 	exitCode int
@@ -191,6 +200,24 @@ func (m *Machine) Reset() {
 	m.exited = false
 	m.exitCode = 0
 	m.steps = 0
+	m.dataVersion++
+}
+
+// DataVersion returns the machine's store counter: it advances on every
+// memory store, debugger memory write, heap-break move and reset, so an
+// unchanged version proves memory (and therefore any memory-derived state
+// snapshot) is unchanged.
+func (m *Machine) DataVersion() uint64 { return m.dataVersion }
+
+// WatchVersion returns the per-watchpoint store counter: the number of
+// stores so far that overlapped the watched range. Unknown ids return 0.
+func (m *Machine) WatchVersion(id int) uint64 {
+	for i := range m.watches {
+		if m.watches[i].id == id {
+			return m.watches[i].version
+		}
+	}
+	return 0
 }
 
 // Prog returns the loaded program image.
@@ -273,6 +300,7 @@ func (m *Machine) WriteMem(addr uint64, data []byte) error {
 		return err
 	}
 	copy(buf[off:], data)
+	m.dataVersion++
 	return nil
 }
 
@@ -447,7 +475,11 @@ func (m *Machine) StepOne() Stop {
 	case isa.SD, isa.SW, isa.SB:
 		addr := uint64(sreg(ins.Rs1) + int64(ins.Imm))
 		size := uint64(ins.StoreSize())
+		m.dataVersion++
 		hit := m.watchOverlap(addr, size)
+		if hit != nil {
+			hit.version++
+		}
 		var old []byte
 		if hit != nil {
 			old, _ = m.ReadMem(hit.addr, hit.size)
@@ -587,6 +619,7 @@ func (m *Machine) ecall() (Stop, bool) {
 			break
 		}
 		m.brk = uint64(nb)
+		m.dataVersion++
 		need := int(m.brk - isa.HeapBase)
 		for len(m.heap) < need {
 			m.heap = append(m.heap, 0)
