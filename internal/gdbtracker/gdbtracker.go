@@ -68,17 +68,20 @@ type Tracker struct {
 	reason   core.PauseReason
 	curLine  int
 	curFunc  string
+	curDepth int
 	lastLine int
 	state    *core.State // cached snapshot for the current pause
 	// stateVersion is the machine data version at which state was
 	// fetched. After a resume, the snapshot is demoted to stale rather
 	// than dropped: if a cheap -data-watch-version round trip shows the
-	// version (and innermost function) unchanged, the stale snapshot is
-	// revalidated in place instead of re-serializing the full state.
+	// version (and innermost function and frame depth) unchanged, the
+	// stale snapshot is revalidated instead of re-serializing the full
+	// state.
 	stateVersion uint64
 	stale        *core.State
 	staleVersion uint64
 	staleFunc    string
+	staleDepth   int
 
 	bps     map[int]bpInfo // breakpoint id -> classification
 	watches map[int]string // watchpoint id -> variable identifier
@@ -186,7 +189,8 @@ func (t *Tracker) classifyStop(resp *mi.Response) error {
 	// Demote the snapshot of the previous pause to a stale candidate:
 	// fetchState revalidates it with a version check before reuse.
 	if t.state != nil {
-		t.stale, t.staleVersion, t.staleFunc = t.state, t.stateVersion, t.curFunc
+		t.stale, t.staleVersion = t.state, t.stateVersion
+		t.staleFunc, t.staleDepth = t.curFunc, t.curDepth
 		t.state = nil
 	}
 	stopped, ok := resp.Stopped()
@@ -197,6 +201,8 @@ func (t *Tracker) classifyStop(resp *mi.Response) error {
 	t.lastLine = t.curLine
 	t.curLine = int(line)
 	t.curFunc = stopped.GetString("func")
+	depth, _ := stopped.Results.GetInt("depth")
+	t.curDepth = int(depth)
 	reason := stopped.GetString("reason")
 	switch reason {
 	case "entry":
@@ -517,9 +523,13 @@ func (t *Tracker) fetchState() (*core.State, error) {
 // revalidateStale reuses the previous pause's snapshot when a single
 // -data-watch-version round trip proves no store (or debugger write, or
 // heap move) happened since it was serialized and the innermost frame is
-// still the same function. Only the position and pause reason can differ,
-// and both are known locally from the *stopped record, so they are patched
-// in place — the full state transfer and JSON decode are skipped.
+// still the same invocation (same function name at the same frame depth).
+// Only the position and pause reason can differ, and both are known
+// locally from the *stopped record, so the stale snapshot is revalidated
+// as a shallow clone with a fresh innermost Frame — the full state
+// transfer and JSON decode are skipped. Cloning matters: consumers
+// (pt.Record) retain each pause's State, so patching the previous pause's
+// snapshot in place would retroactively rewrite recorded traces.
 func (t *Tracker) revalidateStale() *core.State {
 	if t.stale == nil || t.stale.Frame == nil {
 		return nil
@@ -530,15 +540,18 @@ func (t *Tracker) revalidateStale() *core.State {
 	}
 	ver, err := strconv.ParseUint(resp.Result.GetString("version"), 10, 64)
 	if err != nil || ver != t.staleVersion ||
-		t.staleFunc != t.curFunc || t.stale.Frame.Name != t.curFunc {
+		t.staleFunc != t.curFunc || t.stale.Frame.Name != t.curFunc ||
+		t.staleDepth != t.curDepth {
 		return nil
 	}
-	st := t.stale
-	st.Frame.Line = t.curLine
-	st.Reason = t.reason
-	t.state, t.stateVersion = st, ver
+	cp := *t.stale
+	fr := *t.stale.Frame
+	fr.Line = t.curLine
+	cp.Frame = &fr
+	cp.Reason = t.reason
+	t.state, t.stateVersion = &cp, ver
 	t.stale = nil
-	return st
+	return &cp
 }
 
 // WatchVersions returns the per-watchpoint store counters (number of
@@ -590,8 +603,19 @@ func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 	return st.Globals, nil
 }
 
-// State returns the full snapshot (frames, globals, pause reason).
-func (t *Tracker) State() (*core.State, error) { return t.fetchState() }
+// State returns the full snapshot (frames, globals, pause reason). The
+// returned struct is a fresh shallow copy per call: callers may set its
+// Reason without writing into the pause-scoped cache, but the Frame and
+// Globals graphs are shared with the cache and must be treated as
+// read-only.
+func (t *Tracker) State() (*core.State, error) {
+	st, err := t.fetchState()
+	if err != nil {
+		return nil, err
+	}
+	cp := *st
+	return &cp, nil
+}
 
 // InvalidateStateCache drops the cached snapshot — including the stale
 // revalidation candidate — so the next inspection crosses the pipe again

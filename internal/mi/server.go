@@ -588,7 +588,8 @@ func (s *Server) stopRecords(token string, stop dbg.Stop) []Record {
 	default:
 		st.Results = append(st.Results,
 			Result{Var: "line", Val: StringVal(strconv.Itoa(stop.Line))},
-			Result{Var: "func", Val: StringVal(stop.Function)})
+			Result{Var: "func", Val: StringVal(stop.Function)},
+			Result{Var: "depth", Val: StringVal(strconv.Itoa(s.d.Depth()))})
 		if stop.Reason == dbg.StopBreakpoint {
 			st.Results = append(st.Results,
 				Result{Var: "bkptno", Val: StringVal(strconv.Itoa(stop.Breakpoint))})

@@ -537,7 +537,9 @@ func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 // table, preserving aliasing between frame variables and globals. The result
 // is memoized keyed by (pause sequence number, interpreter mutation epoch)
 // and invalidated by resuming, so repeated inspection of the same pause is
-// free.
+// free. Each call returns a fresh shallow copy of the cached struct: callers
+// may set its Reason without writing into the cache, but the Frame and
+// Globals graphs are shared and must be treated as read-only.
 func (t *Tracker) State() (*core.State, error) {
 	if !t.started {
 		return nil, core.ErrNotStarted
@@ -545,17 +547,17 @@ func (t *Tracker) State() (*core.State, error) {
 	if t.exited || t.curFrame == nil {
 		return &core.State{Reason: t.reason}, nil
 	}
-	if t.snapState != nil && t.snapSeq == t.pauseSeq && t.snapEpoch == t.interp.Epoch() {
-		return t.snapState, nil
+	if t.snapState == nil || t.snapSeq != t.pauseSeq || t.snapEpoch != t.interp.Epoch() {
+		conv := minipy.NewConverter()
+		t.snapState = &core.State{
+			Frame:   minipy.SnapshotFrame(conv, t.curFrame, t.file),
+			Globals: minipy.SnapshotGlobals(conv, t.interp.Globals),
+			Reason:  t.reason,
+		}
+		t.snapSeq, t.snapEpoch = t.pauseSeq, t.interp.Epoch()
 	}
-	conv := minipy.NewConverter()
-	st := &core.State{
-		Frame:   minipy.SnapshotFrame(conv, t.curFrame, t.file),
-		Globals: minipy.SnapshotGlobals(conv, t.interp.Globals),
-		Reason:  t.reason,
-	}
-	t.snapState, t.snapSeq, t.snapEpoch = st, t.pauseSeq, t.interp.Epoch()
-	return st, nil
+	cp := *t.snapState
+	return &cp, nil
 }
 
 // Position returns the next line to execute.

@@ -81,3 +81,38 @@ func TestWatchVersionCountsOverlappingStores(t *testing.T) {
 		t.Errorf("unknown id WatchVersion = %d, want 0", got)
 	}
 }
+
+func TestWatchVersionBumpsEveryOverlappedWatch(t *testing.T) {
+	// One SD spans [DataBase, DataBase+8); arm two watches that each
+	// overlap half of it. The first one reports the stop, but BOTH
+	// version counters must advance — a client polling per-watch
+	// counters would otherwise conclude the second range is unchanged.
+	m := mustMachine(t, storeProg(1), Config{})
+	m.SetReg(isa.A0, isa.DataBase)
+	first := m.AddWatch(isa.DataBase, 4)
+	second := m.AddWatch(isa.DataBase+4, 4)
+	s := m.StepOne()
+	if s.Kind != StopWatch || s.Watch == nil {
+		t.Fatalf("stop %v (%v)", s.Kind, s.Err)
+	}
+	if s.Watch.ID != first {
+		t.Errorf("reported watch %d, want first-armed %d", s.Watch.ID, first)
+	}
+	if got := m.WatchVersion(first); got != 1 {
+		t.Errorf("first watch version = %d, want 1", got)
+	}
+	if got := m.WatchVersion(second); got != 1 {
+		t.Errorf("second overlapped watch version = %d, want 1", got)
+	}
+}
+
+func TestWatchVersionCountsDebuggerWrites(t *testing.T) {
+	m := mustMachine(t, storeProg(0), Config{})
+	id := m.AddWatch(isa.DataBase, 8)
+	if err := m.WriteMem(isa.DataBase+2, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.WatchVersion(id); got != 1 {
+		t.Errorf("WatchVersion after debugger write = %d, want 1", got)
+	}
+}

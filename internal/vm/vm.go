@@ -301,6 +301,7 @@ func (m *Machine) WriteMem(addr uint64, data []byte) error {
 	}
 	copy(buf[off:], data)
 	m.dataVersion++
+	m.watchStore(addr, uint64(len(data)))
 	return nil
 }
 
@@ -476,10 +477,7 @@ func (m *Machine) StepOne() Stop {
 		addr := uint64(sreg(ins.Rs1) + int64(ins.Imm))
 		size := uint64(ins.StoreSize())
 		m.dataVersion++
-		hit := m.watchOverlap(addr, size)
-		if hit != nil {
-			hit.version++
-		}
+		hit := m.watchStore(addr, size)
 		var old []byte
 		if hit != nil {
 			old, _ = m.ReadMem(hit.addr, hit.size)
@@ -571,14 +569,22 @@ func (m *Machine) StepOne() Stop {
 	return Stop{Kind: StopStep}
 }
 
-func (m *Machine) watchOverlap(addr, size uint64) *watch {
+// watchStore bumps the store counter of every armed watchpoint whose range
+// overlaps the store — clients polling per-watch counters must see each
+// overlapped range as changed, not just the first — and returns the first
+// overlapping watchpoint, which is the one that reports the stop.
+func (m *Machine) watchStore(addr, size uint64) *watch {
+	var first *watch
 	for i := range m.watches {
 		w := &m.watches[i]
 		if addr < w.addr+w.size && w.addr < addr+size {
-			return w
+			w.version++
+			if first == nil {
+				first = w
+			}
 		}
 	}
-	return nil
+	return first
 }
 
 func b2u(b bool) uint64 {
