@@ -118,8 +118,18 @@ func mustTracker(b *testing.B, kind, path, src string, opts ...easytracker.LoadO
 	return tr
 }
 
-type stateTracker interface {
-	State() (*core.State, error)
+// mustState fetches the full snapshot through the capability API.
+func mustState(b *testing.B, tr easytracker.Tracker) *easytracker.State {
+	b.Helper()
+	sp, ok := easytracker.As[easytracker.StateProvider](tr)
+	if !ok {
+		b.Fatal("tracker does not provide state snapshots")
+	}
+	st, err := sp.State()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st
 }
 
 // ---- Figure 1: loop-invariant array view of a sort ----
@@ -177,10 +187,7 @@ func BenchmarkFig3StateSerialize(b *testing.B) {
 	if err := tr.Resume(); err != nil {
 		b.Fatal(err)
 	}
-	st, err := tr.(stateTracker).State()
-	if err != nil {
-		b.Fatal(err)
-	}
+	st := mustState(b, tr)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -261,10 +268,7 @@ func benchStackHeap(b *testing.B, kind, path, src string, mode viz.DiagramMode, 
 			if _, done := tr.ExitCode(); done {
 				break
 			}
-			st, err := tr.(stateTracker).State()
-			if err != nil {
-				b.Fatal(err)
-			}
+			st := mustState(b, tr)
 			doc := viz.StackHeapSVG(st, viz.StackHeapOptions{Mode: mode, ShowGlobals: true})
 			if len(doc) == 0 {
 				b.Fatal("empty diagram")
@@ -306,8 +310,14 @@ func BenchmarkFig7MemView(b *testing.B) {
 		if err := tr.Start(); err != nil {
 			b.Fatal(err)
 		}
-		regInsp := tr.(easytracker.RegisterInspector)
-		memInsp := tr.(easytracker.MemoryInspector)
+		regInsp, ok := easytracker.As[easytracker.RegisterInspector](tr)
+		if !ok {
+			b.Fatal("tracker does not expose registers")
+		}
+		memInsp, ok := easytracker.As[easytracker.MemoryInspector](tr)
+		if !ok {
+			b.Fatal("tracker does not expose raw memory")
+		}
 		frames := 0
 		for {
 			if _, done := tr.ExitCode(); done {

@@ -1,12 +1,14 @@
 // Command et-benchdiff runs the watchpoint benchmarks, compares them
 // against the committed baseline, and writes a JSON report. It exits
-// non-zero when the gated benchmark's allocs/op regresses beyond the
-// tolerance, so it can serve as a CI guard for the watchpoint fast path.
+// non-zero when the gated benchmark's allocs/op or ns/op regresses beyond
+// its tolerance, so it can serve as a CI guard for the watchpoint fast
+// path.
 //
 // Usage:
 //
 //	et-benchdiff [-bench REGEX] [-baseline FILE] [-o FILE]
-//	             [-count N] [-gate NAME] [-tolerance PCT] [-dir DIR]
+//	             [-count N] [-gate NAME] [-tolerance PCT]
+//	             [-ns-tolerance PCT] [-dir DIR]
 //
 // The baseline (cmd/et-benchdiff/baseline.json) holds the numbers
 // measured before the dirty-tracking write barriers landed; the report
@@ -53,11 +55,12 @@ type Comparison struct {
 
 // Report is the emitted JSON document.
 type Report struct {
-	Bench      string                `json:"bench"`
-	Gate       string                `json:"gate"`
-	ToleranceP float64               `json:"tolerance_pct"`
-	Pass       bool                  `json:"pass"`
-	Results    map[string]Comparison `json:"results"`
+	Bench        string                `json:"bench"`
+	Gate         string                `json:"gate"`
+	ToleranceP   float64               `json:"tolerance_pct"`
+	NsToleranceP float64               `json:"ns_tolerance_pct"`
+	Pass         bool                  `json:"pass"`
+	Results      map[string]Comparison `json:"results"`
 }
 
 // benchLine matches `BenchmarkName-8   123   456 ns/op   789 B/op   12 allocs/op`.
@@ -106,8 +109,9 @@ func main() {
 	baselinePath := flag.String("baseline", filepath.Join("cmd", "et-benchdiff", "baseline.json"), "committed baseline JSON")
 	outPath := flag.String("o", "BENCH_1.json", "report output path")
 	count := flag.Int("count", 1, "benchmark repetitions (best of N is kept)")
-	gate := flag.String("gate", "BenchmarkResumeWithWatchpointMiniPy", "benchmark whose allocs/op is gated against the baseline")
+	gate := flag.String("gate", "BenchmarkResumeWithWatchpointMiniPy", "benchmark whose allocs/op and ns/op are gated against the baseline")
 	tolerance := flag.Float64("tolerance", 10, "allowed allocs/op regression in percent")
+	nsTolerance := flag.Float64("ns-tolerance", 15, "allowed ns/op regression in percent (ns/op is noisier than allocs/op)")
 	dir := flag.String("dir", ".", "module directory to benchmark")
 	flag.Parse()
 
@@ -133,7 +137,8 @@ func main() {
 	}
 
 	report := Report{
-		Bench: *bench, Gate: *gate, ToleranceP: *tolerance,
+		Bench: *bench, Gate: *gate,
+		ToleranceP: *tolerance, NsToleranceP: *nsTolerance,
 		Pass: true, Results: map[string]Comparison{},
 	}
 	names := make([]string, 0, len(current))
@@ -172,6 +177,13 @@ func main() {
 				fmt.Fprintf(os.Stderr,
 					"et-benchdiff: %s allocs/op %.0f exceeds baseline %.0f by more than %.0f%%\n",
 					*gate, cur.AllocsPerOp, ref.AllocsPerOp, *tolerance)
+				report.Pass = false
+			}
+			nsLimit := ref.NsPerOp * (1 + *nsTolerance/100)
+			if ref.NsPerOp > 0 && cur.NsPerOp > nsLimit {
+				fmt.Fprintf(os.Stderr,
+					"et-benchdiff: %s ns/op %.0f exceeds baseline %.0f by more than %.0f%%\n",
+					*gate, cur.NsPerOp, ref.NsPerOp, *nsTolerance)
 				report.Pass = false
 			}
 		}

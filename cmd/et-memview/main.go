@@ -43,8 +43,13 @@ func main() {
 	check(tracker.Start())
 	defer tracker.Terminate()
 
-	regInsp := tracker.(easytracker.RegisterInspector)
-	memInsp := tracker.(easytracker.MemoryInspector)
+	caps := easytracker.Capabilities(tracker)
+	if !caps.Registers || !caps.Memory {
+		fmt.Fprintln(os.Stderr, "et-memview: tracker exposes neither registers nor raw memory; use a minigdb program")
+		os.Exit(2)
+	}
+	regInsp, _ := easytracker.As[easytracker.RegisterInspector](tracker)
+	memInsp, _ := easytracker.As[easytracker.MemoryInspector](tracker)
 	lines, err := tracker.SourceLines()
 	check(err)
 	stdin := bufio.NewReader(os.Stdin)

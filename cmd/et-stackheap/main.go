@@ -15,14 +15,8 @@ import (
 	"path/filepath"
 
 	"easytracker"
-	"easytracker/internal/core"
 	"easytracker/internal/viz"
 )
-
-// stateTracker is the full-snapshot extension both trackers provide.
-type stateTracker interface {
-	State() (*core.State, error)
-}
 
 func main() {
 	mode := flag.String("mode", "heap", "diagram mode: stack (inline values) or heap (stack+heap)")
@@ -43,6 +37,12 @@ func main() {
 	check(tracker.Start())
 	defer tracker.Terminate()
 
+	snap, ok := easytracker.As[easytracker.StateProvider](tracker)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "et-stackheap: tracker does not provide full state snapshots")
+		os.Exit(2)
+	}
+
 	dm := viz.StackAndHeap
 	if *mode == "stack" {
 		dm = viz.StackOnly
@@ -52,7 +52,7 @@ func main() {
 		if _, done := tracker.ExitCode(); done {
 			break
 		}
-		st, err := tracker.(stateTracker).State()
+		st, err := snap.State()
 		check(err)
 		_, line := tracker.Position()
 		doc := viz.StackHeapSVG(st, viz.StackHeapOptions{

@@ -4,14 +4,19 @@
 //
 // Usage:
 //
-//	minigdb [PROG.c|PROG.s|PROG.mobj]
+//	minigdb [-die-after N] [PROG.c|PROG.s|PROG.mobj]
 //
 // Commands are GDB/MI-style lines (-exec-run, -break-insert 12,
 // -exec-continue, -et-inspect, ...); responses end with "(gdb)".
+//
+// -die-after N makes the process exit abruptly (status 3) when command
+// N+1 arrives, before any response is written — a deterministic debugger
+// crash used by the session-recovery fault tests.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -22,10 +27,31 @@ import (
 	"easytracker/internal/minic"
 )
 
+// dieConn wraps the stdio transport and kills the process after serving
+// the configured number of commands.
+type dieConn struct {
+	mi.Conn
+	left int
+}
+
+func (d *dieConn) Recv() (string, error) {
+	line, err := d.Conn.Recv()
+	if err != nil {
+		return line, err
+	}
+	if d.left--; d.left < 0 {
+		os.Exit(3)
+	}
+	return line, nil
+}
+
 func main() {
+	dieAfter := flag.Int("die-after", -1, "crash (exit 3) when command N+1 arrives; -1 disables")
+	flag.Parse()
+
 	var prog *isa.Program
-	if len(os.Args) > 1 {
-		path := os.Args[1]
+	if flag.NArg() > 0 {
+		path := flag.Arg(0)
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -47,7 +73,10 @@ func main() {
 	}
 	srv := mi.NewServer(prog)
 	srv.SetStdin(strings.NewReader("")) // inferior input not wired on stdio
-	conn := mi.NewStdioConn(os.Stdin, os.Stdout, nil)
+	var conn mi.Conn = mi.NewStdioConn(os.Stdin, os.Stdout, nil)
+	if *dieAfter >= 0 {
+		conn = &dieConn{Conn: conn, left: *dieAfter}
+	}
 	_ = conn.Send("(gdb)")
 	if err := srv.Serve(conn); err != nil {
 		fmt.Fprintln(os.Stderr, err)

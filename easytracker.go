@@ -144,10 +144,17 @@ var (
 	WithSource = core.WithSource
 	// WithMaxDepth restricts a breakpoint to frame depths below d.
 	WithMaxDepth = core.WithMaxDepth
+	// WithCommandTimeout bounds every debugger round trip (MiniGDB
+	// tracker): a command with no complete response within the deadline
+	// fails with ErrCommandTimeout and the session layer restarts the
+	// debugger instead of blocking the tool forever.
+	WithCommandTimeout = core.WithCommandTimeout
 )
 
 // Extension interfaces implemented by the MiniGDB tracker only (the paper's
-// get_registers_gdb / get_value_at_gdb).
+// get_registers_gdb / get_value_at_gdb), plus the full-snapshot interface
+// both live trackers and the trace replayer provide. Access them through
+// Capabilities and As rather than raw type asserts.
 type (
 	// RegisterInspector exposes machine registers.
 	RegisterInspector = core.RegisterInspector
@@ -155,9 +162,26 @@ type (
 	MemoryInspector = core.MemoryInspector
 	// HeapInspector exposes the live heap-allocation map.
 	HeapInspector = core.HeapInspector
+	// StateProvider exposes the full inspection snapshot in one call.
+	StateProvider = core.StateProvider
 	// Segment describes one mapped memory region.
 	Segment = core.Segment
+	// CapabilitySet reports which extension interfaces a tracker has.
+	CapabilitySet = core.CapabilitySet
 )
+
+// Capabilities probes a tracker for its optional extension interfaces, so
+// tools can adapt or refuse early with a clear message:
+//
+//	caps := easytracker.Capabilities(tr)
+//	if !caps.Registers { ... }
+func Capabilities(tr Tracker) CapabilitySet { return core.CapabilitiesOf(tr) }
+
+// As returns tr viewed as the extension interface T — the typed accessor
+// that replaces raw type asserts on trackers:
+//
+//	regs, ok := easytracker.As[easytracker.RegisterInspector](tr)
+func As[T any](tr Tracker) (T, bool) { return core.As[T](tr) }
 
 // Errors shared by all trackers.
 var (
@@ -168,6 +192,28 @@ var (
 	ErrUnknownFunction = core.ErrUnknownFunction
 	ErrBadLine         = core.ErrBadLine
 	ErrUnsupported     = core.ErrUnsupported
+	// ErrCommandTimeout and ErrSessionLost classify debugger session
+	// failures (hung command, crashed or corrupted connection).
+	ErrCommandTimeout = core.ErrCommandTimeout
+	ErrSessionLost    = core.ErrSessionLost
+)
+
+// Typed errors: every tracker method reports failures as a *TrackerError
+// carrying the operation, tracker kind, source position and — for session
+// failures — the recovery outcome. errors.Is against the sentinels above
+// sees through it.
+type (
+	// TrackerError is the structured error returned by tracker methods.
+	TrackerError = core.TrackerError
+	// RecoveryStatus reports what the session layer did about a failure.
+	RecoveryStatus = core.RecoveryStatus
+)
+
+// Recovery statuses.
+const (
+	RecoveryNone      = core.RecoveryNone
+	RecoveryRestarted = core.RecoveryRestarted
+	RecoveryFailed    = core.RecoveryFailed
 )
 
 // Asynchronous control helpers (the paper's §V future-work item): control

@@ -1,0 +1,117 @@
+package easytracker_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"easytracker"
+)
+
+// TestTypedErrorsThroughPublicAPI proves the error-model contract from the
+// outside: every tracker kind reports failures as *TrackerError values that
+// errors.Is still matches against the package sentinels.
+func TestTypedErrorsThroughPublicAPI(t *testing.T) {
+	for _, kind := range []string{"minipy", "minigdb"} {
+		t.Run(kind, func(t *testing.T) {
+			tr, err := easytracker.New(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Control before LoadProgram.
+			err = tr.Start()
+			if !errors.Is(err, easytracker.ErrNoProgram) {
+				t.Fatalf("Start before load: %v", err)
+			}
+			var te *easytracker.TrackerError
+			if !errors.As(err, &te) {
+				t.Fatalf("not a *TrackerError: %v", err)
+			}
+			if te.Kind != kind || te.Op != "Start" {
+				t.Fatalf("kind/op = %q/%q", te.Kind, te.Op)
+			}
+			if te.Recovery != easytracker.RecoveryNone {
+				t.Fatalf("ordinary error reports recovery %v", te.Recovery)
+			}
+
+			src := "x = 1\n"
+			path := "p.py"
+			if kind == "minigdb" {
+				src = "int main() { return 0; }"
+				path = "p.c"
+			}
+			if err := tr.LoadProgram(path, easytracker.WithSource(src),
+				easytracker.WithCommandTimeout(5*time.Second)); err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Terminate()
+			// Control before Start.
+			if err := tr.Step(); !errors.Is(err, easytracker.ErrNotStarted) {
+				t.Fatalf("Step before start: %v", err)
+			}
+			if err := tr.Start(); err != nil {
+				t.Fatal(err)
+			}
+			for {
+				if _, done := tr.ExitCode(); done {
+					break
+				}
+				if err := tr.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Control after exit.
+			err = tr.Resume()
+			if !errors.Is(err, easytracker.ErrExited) {
+				t.Fatalf("Resume after exit: %v", err)
+			}
+			if !errors.As(err, &te) || te.Op != "Resume" {
+				t.Fatalf("typed error after exit: %v", err)
+			}
+		})
+	}
+}
+
+// TestCapabilitiesThroughPublicAPI checks the capability probe against what
+// each built-in tracker actually implements.
+func TestCapabilitiesThroughPublicAPI(t *testing.T) {
+	gdb, err := easytracker.New("minigdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := easytracker.Capabilities(gdb)
+	if !caps.Registers || !caps.Memory || !caps.Heap || !caps.State {
+		t.Fatalf("minigdb capabilities = %+v", caps)
+	}
+	py, err := easytracker.New("minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps = easytracker.Capabilities(py)
+	if caps.Registers || caps.Memory {
+		t.Fatalf("minipy claims machine-level capabilities: %+v", caps)
+	}
+	if !caps.State {
+		t.Fatalf("minipy capabilities = %+v", caps)
+	}
+
+	// The typed accessor agrees with the probe and returns a working view.
+	if _, ok := easytracker.As[easytracker.RegisterInspector](py); ok {
+		t.Fatal("As handed out registers on minipy")
+	}
+	sp, ok := easytracker.As[easytracker.StateProvider](py)
+	if !ok {
+		t.Fatal("As refused StateProvider on minipy")
+	}
+	if err := py.LoadProgram("p.py", easytracker.WithSource("x = 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	defer py.Terminate()
+	if err := py.Start(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := sp.State()
+	if err != nil || st == nil {
+		t.Fatalf("State through capability accessor: %v %v", st, err)
+	}
+}

@@ -13,7 +13,6 @@ import (
 	"path/filepath"
 
 	"easytracker"
-	"easytracker/internal/core"
 	"easytracker/internal/viz"
 )
 
@@ -39,10 +38,6 @@ const cProg = `int main() {
     *p = heap[1];
     return 0;
 }`
-
-type stateTracker interface {
-	State() (*core.State, error)
-}
 
 func main() {
 	outDir := "out-stackheap"
@@ -70,13 +65,17 @@ func generate(path, src, outDir, prefix string) int {
 	if err := tracker.Start(); err != nil {
 		log.Fatal(err)
 	}
+	snap, ok := easytracker.As[easytracker.StateProvider](tracker)
+	if !ok {
+		log.Fatalf("%s: tracker does not provide full state snapshots", path)
+	}
 
 	img := 0
 	for {
 		if _, done := tracker.ExitCode(); done {
 			return img
 		}
-		st, err := tracker.(stateTracker).State()
+		st, err := snap.State()
 		if err != nil {
 			log.Fatal(err)
 		}

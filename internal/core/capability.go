@@ -1,0 +1,63 @@
+package core
+
+// StateProvider is implemented by trackers that expose the full inspection
+// snapshot in one call (both built-in live trackers and the trace replayer
+// do). Tools prefer it over assembling CurrentFrame + GlobalVariables +
+// PauseReason by hand.
+type StateProvider interface {
+	// State returns the full snapshot (frames, globals, pause reason).
+	State() (*State, error)
+}
+
+// TrackerUnwrapper is implemented by tracker wrappers (middleware, future
+// decorators) that want capability probing to see through them. As and
+// CapabilitiesOf follow the chain.
+type TrackerUnwrapper interface {
+	// UnwrapTracker returns the wrapped tracker.
+	UnwrapTracker() Tracker
+}
+
+// CapabilitySet reports which optional extension interfaces a tracker
+// provides, so tools can adapt (or refuse early with a clear message)
+// instead of scattering raw type asserts.
+type CapabilitySet struct {
+	// Registers: the tracker implements RegisterInspector.
+	Registers bool
+	// Memory: the tracker implements MemoryInspector.
+	Memory bool
+	// Heap: the tracker implements HeapInspector.
+	Heap bool
+	// State: the tracker implements StateProvider.
+	State bool
+}
+
+// CapabilitiesOf probes tr (and anything it wraps) for the extension
+// interfaces.
+func CapabilitiesOf(tr Tracker) CapabilitySet {
+	var c CapabilitySet
+	_, c.Registers = As[RegisterInspector](tr)
+	_, c.Memory = As[MemoryInspector](tr)
+	_, c.Heap = As[HeapInspector](tr)
+	_, c.State = As[StateProvider](tr)
+	return c
+}
+
+// As returns tr viewed as the extension interface T, following
+// TrackerUnwrapper chains. It is the typed accessor tools use instead of a
+// raw type assert:
+//
+//	if regs, ok := core.As[core.RegisterInspector](tr); ok { ... }
+func As[T any](tr Tracker) (T, bool) {
+	for tr != nil {
+		if v, ok := tr.(T); ok {
+			return v, true
+		}
+		u, ok := tr.(TrackerUnwrapper)
+		if !ok {
+			break
+		}
+		tr = u.UnwrapTracker()
+	}
+	var zero T
+	return zero, false
+}

@@ -1,0 +1,77 @@
+package core
+
+import "testing"
+
+// stubTracker implements only the base Tracker interface.
+type stubTracker struct{}
+
+func (stubTracker) LoadProgram(string, ...LoadOption) error           { return nil }
+func (stubTracker) Start() error                                      { return nil }
+func (stubTracker) Resume() error                                     { return nil }
+func (stubTracker) Step() error                                       { return nil }
+func (stubTracker) Next() error                                       { return nil }
+func (stubTracker) Terminate() error                                  { return nil }
+func (stubTracker) BreakBeforeLine(string, int, ...BreakOption) error { return nil }
+func (stubTracker) BreakBeforeFunc(string, ...BreakOption) error      { return nil }
+func (stubTracker) TrackFunction(string) error                        { return nil }
+func (stubTracker) Watch(string) error                                { return nil }
+func (stubTracker) PauseReason() PauseReason                          { return PauseReason{} }
+func (stubTracker) ExitCode() (int, bool)                             { return 0, false }
+func (stubTracker) CurrentFrame() (*Frame, error)                     { return nil, nil }
+func (stubTracker) GlobalVariables() ([]*Variable, error)             { return nil, nil }
+func (stubTracker) Position() (string, int)                           { return "", 0 }
+func (stubTracker) LastLine() int                                     { return 0 }
+func (stubTracker) SourceLines() ([]string, error)                    { return nil, nil }
+
+// regTracker adds the register extension.
+type regTracker struct{ stubTracker }
+
+func (regTracker) Registers() (map[string]uint64, error) { return map[string]uint64{"sp": 1}, nil }
+
+// wrapped hides a tracker behind a TrackerUnwrapper, like middleware would.
+type wrapped struct {
+	stubTracker
+	inner Tracker
+}
+
+func (w wrapped) UnwrapTracker() Tracker { return w.inner }
+
+func TestAsDirectAndNegative(t *testing.T) {
+	var tr Tracker = regTracker{}
+	if ri, ok := As[RegisterInspector](tr); !ok || ri == nil {
+		t.Fatal("As missed a directly implemented interface")
+	}
+	if _, ok := As[MemoryInspector](tr); ok {
+		t.Fatal("As invented an unimplemented interface")
+	}
+	if _, ok := As[RegisterInspector](nil); ok {
+		t.Fatal("As on nil tracker")
+	}
+}
+
+func TestAsFollowsUnwrapChain(t *testing.T) {
+	var tr Tracker = wrapped{inner: wrapped{inner: regTracker{}}}
+	ri, ok := As[RegisterInspector](tr)
+	if !ok {
+		t.Fatal("As did not follow the unwrap chain")
+	}
+	regs, err := ri.Registers()
+	if err != nil || regs["sp"] != 1 {
+		t.Fatalf("wrong implementation found: %v %v", regs, err)
+	}
+	// The chain ends at a non-unwrapper without the interface.
+	if _, ok := As[MemoryInspector](tr); ok {
+		t.Fatal("As invented an interface at the end of a chain")
+	}
+}
+
+func TestCapabilitiesOf(t *testing.T) {
+	caps := CapabilitiesOf(stubTracker{})
+	if caps != (CapabilitySet{}) {
+		t.Fatalf("bare tracker reports capabilities: %+v", caps)
+	}
+	caps = CapabilitiesOf(wrapped{inner: regTracker{}})
+	if !caps.Registers || caps.Memory || caps.Heap || caps.State {
+		t.Fatalf("wrapped register tracker: %+v", caps)
+	}
+}

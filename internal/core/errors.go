@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Transport-level sentinels. They classify why a debugger session stopped
+// answering; tracker methods surface them wrapped in a *TrackerError so
+// errors.Is works against them through the public API.
+var (
+	// ErrCommandTimeout is returned when one debugger round trip exceeds
+	// the deadline configured with WithCommandTimeout.
+	ErrCommandTimeout = errors.New("easytracker: debugger command timed out")
+	// ErrSessionLost is returned when the debugger connection died
+	// (subprocess crash, closed pipe, protocol corruption).
+	ErrSessionLost = errors.New("easytracker: debugger session lost")
+)
+
+// RecoveryStatus reports what the session layer did about a failure.
+type RecoveryStatus int
+
+const (
+	// RecoveryNone: no recovery was attempted (the error is an ordinary
+	// tracker error, not a session failure).
+	RecoveryNone RecoveryStatus = iota
+	// RecoveryRestarted: the debugger session was restarted and the
+	// session journal (breakpoints, watchpoints, tracked functions) was
+	// replayed. The inferior is paused at its entry point again;
+	// execution progress up to the failure was lost.
+	RecoveryRestarted
+	// RecoveryFailed: a restart was attempted (or the one-shot recovery
+	// budget was already spent) and the session is unusable.
+	RecoveryFailed
+)
+
+// String renders the status for diagnostics.
+func (r RecoveryStatus) String() string {
+	switch r {
+	case RecoveryRestarted:
+		return "restarted"
+	case RecoveryFailed:
+		return "failed"
+	default:
+		return "none"
+	}
+}
+
+// TrackerError is the structured error returned by tracker methods: it
+// carries the failing operation, the tracker kind, the source position the
+// inferior was at, and — for session failures — what the recovery did and
+// which armed items could not be re-established. It wraps the underlying
+// cause, so errors.Is/errors.As against the package sentinels (ErrExited,
+// ErrCommandTimeout, ...) keep working.
+type TrackerError struct {
+	// Op is the tracker operation that failed ("Resume", "Watch", ...).
+	Op string
+	// Kind is the tracker kind ("minigdb", "minipy", "trace").
+	Kind string
+	// File and Line are the inferior's source position at failure time.
+	File string
+	Line int
+	// Recovery reports whether the session layer restarted the debugger.
+	Recovery RecoveryStatus
+	// Lost lists armed items that could not be re-armed after a restart
+	// (e.g. watchpoints on locals with no live activation).
+	Lost []string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *TrackerError) Error() string {
+	var b strings.Builder
+	b.WriteString(e.Kind)
+	if e.Op != "" {
+		b.WriteString(": ")
+		b.WriteString(e.Op)
+	}
+	if e.File != "" || e.Line > 0 {
+		fmt.Fprintf(&b, " at %s:%d", e.File, e.Line)
+	}
+	b.WriteString(": ")
+	if e.Err != nil {
+		b.WriteString(e.Err.Error())
+	} else {
+		b.WriteString("unknown error")
+	}
+	switch e.Recovery {
+	case RecoveryRestarted:
+		b.WriteString(" [session restarted, journal replayed")
+		if len(e.Lost) > 0 {
+			fmt.Fprintf(&b, "; lost: %s", strings.Join(e.Lost, ", "))
+		}
+		b.WriteString("]")
+	case RecoveryFailed:
+		b.WriteString(" [session recovery failed]")
+	}
+	return b.String()
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *TrackerError) Unwrap() error { return e.Err }
+
+// WrapErr wraps err in a *TrackerError carrying the tracker kind, the
+// failing operation and the inferior's position. A nil err stays nil and an
+// error that already is a *TrackerError (possibly wrapped) passes through
+// unchanged, so session-layer errors keep their recovery details.
+func WrapErr(kind, op, file string, line int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var te *TrackerError
+	if errors.As(err, &te) {
+		return err
+	}
+	return &TrackerError{Op: op, Kind: kind, File: file, Line: line, Err: err}
+}
+
+// WithCommandTimeout bounds every debugger round trip (trackers that drive
+// a debugger over a pipe, i.e. "minigdb"): a command that produces no
+// complete response within d fails with ErrCommandTimeout instead of
+// blocking forever, and the session layer restarts the debugger. Zero or
+// negative d disables the deadline.
+func WithCommandTimeout(d time.Duration) LoadOption {
+	return func(c *LoadConfig) { c.CommandTimeout = d }
+}

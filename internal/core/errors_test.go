@@ -1,0 +1,92 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTrackerErrorSentinelsVisible(t *testing.T) {
+	te := &TrackerError{
+		Op: "Resume", Kind: "minigdb", File: "p.c", Line: 7,
+		Err: fmt.Errorf("%w: pipe closed", ErrSessionLost),
+	}
+	if !errors.Is(te, ErrSessionLost) {
+		t.Fatal("errors.Is does not see ErrSessionLost through TrackerError")
+	}
+	if errors.Is(te, ErrCommandTimeout) {
+		t.Fatal("errors.Is matched the wrong sentinel")
+	}
+	var got *TrackerError
+	if !errors.As(te, &got) || got.Op != "Resume" || got.Kind != "minigdb" {
+		t.Fatalf("errors.As lost the structure: %+v", got)
+	}
+}
+
+func TestTrackerErrorThroughExtraWrapping(t *testing.T) {
+	te := &TrackerError{Op: "Step", Kind: "minipy", Err: ErrExited}
+	outer := fmt.Errorf("tool: %w", te)
+	if !errors.Is(outer, ErrExited) {
+		t.Fatal("sentinel lost under extra wrapping")
+	}
+	var got *TrackerError
+	if !errors.As(outer, &got) || got.Op != "Step" {
+		t.Fatal("*TrackerError lost under extra wrapping")
+	}
+}
+
+func TestTrackerErrorMessage(t *testing.T) {
+	te := &TrackerError{
+		Op: "Resume", Kind: "minigdb", File: "p.c", Line: 12,
+		Recovery: RecoveryRestarted,
+		Lost:     []string{"watchpoint on main:x"},
+		Err:      fmt.Errorf("%w: no response", ErrCommandTimeout),
+	}
+	msg := te.Error()
+	for _, want := range []string{"minigdb", "Resume", "p.c:12", "timed out", "restarted", "watchpoint on main:x"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+	if !strings.Contains((&TrackerError{Kind: "minigdb", Op: "Step", Recovery: RecoveryFailed, Err: ErrSessionLost}).Error(), "recovery failed") {
+		t.Fatal("RecoveryFailed not rendered")
+	}
+	if msg := (&TrackerError{Kind: "trace"}).Error(); !strings.Contains(msg, "unknown error") {
+		t.Fatalf("nil cause rendered as %q", msg)
+	}
+}
+
+func TestWrapErr(t *testing.T) {
+	if WrapErr("minipy", "Step", "p.py", 1, nil) != nil {
+		t.Fatal("WrapErr(nil) != nil")
+	}
+	err := WrapErr("minipy", "Step", "p.py", 3, ErrNotStarted)
+	var te *TrackerError
+	if !errors.As(err, &te) || te.Op != "Step" || te.Line != 3 {
+		t.Fatalf("WrapErr did not build a TrackerError: %v", err)
+	}
+	if !errors.Is(err, ErrNotStarted) {
+		t.Fatal("WrapErr hid the sentinel")
+	}
+	// Double wrapping passes through: the session layer's error (with its
+	// recovery detail) must not be buried under a second TrackerError.
+	inner := &TrackerError{Op: "Resume", Kind: "minigdb", Recovery: RecoveryRestarted, Err: ErrSessionLost}
+	rewrapped := WrapErr("minigdb", "State", "p.c", 9, fmt.Errorf("outer: %w", inner))
+	var got *TrackerError
+	if !errors.As(rewrapped, &got) || got.Op != "Resume" || got.Recovery != RecoveryRestarted {
+		t.Fatalf("passthrough lost the inner TrackerError: %v", rewrapped)
+	}
+}
+
+func TestRecoveryStatusString(t *testing.T) {
+	for status, want := range map[RecoveryStatus]string{
+		RecoveryNone:      "none",
+		RecoveryRestarted: "restarted",
+		RecoveryFailed:    "failed",
+	} {
+		if got := status.String(); got != want {
+			t.Fatalf("RecoveryStatus(%d).String() = %q, want %q", status, got, want)
+		}
+	}
+}

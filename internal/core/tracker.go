@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Sentinel errors shared by all trackers.
@@ -49,6 +50,9 @@ type LoadConfig struct {
 	// reading the file at the path given to LoadProgram. The path is
 	// still used as the file name in positions and diagnostics.
 	Source string
+	// CommandTimeout bounds each debugger round trip for trackers that
+	// drive a debugger over a pipe; see WithCommandTimeout.
+	CommandTimeout time.Duration
 }
 
 // LoadOption customizes LoadProgram.

@@ -1,0 +1,278 @@
+package gdbtracker
+
+import (
+	"errors"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"easytracker/internal/core"
+	"easytracker/internal/mi"
+)
+
+const countC = `int count = 0;
+int main() {
+    for (int i = 0; i < 3; i++) {
+        count += 5;
+    }
+    return 0;
+}`
+
+// faultTracker loads src behind a FaultConn; the returned getter always
+// yields the connection of the CURRENT session, including the one a
+// recovery opens.
+func faultTracker(t *testing.T, src string, opts ...core.LoadOption) (*Tracker, func() *mi.FaultConn) {
+	t.Helper()
+	tr := New()
+	var fc *mi.FaultConn
+	tr.SetConnWrapper(func(c mi.Conn) mi.Conn {
+		fc = mi.NewFaultConn(c)
+		return fc
+	})
+	opts = append(opts, core.WithSource(src))
+	if err := tr.LoadProgram("prog.c", opts...); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	t.Cleanup(func() { _ = tr.Terminate() })
+	return tr, func() *mi.FaultConn { return fc }
+}
+
+// sessionError pulls the *core.TrackerError out of err, failing if absent.
+func sessionError(t *testing.T, err error) *core.TrackerError {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected a session error, got nil")
+	}
+	var te *core.TrackerError
+	if !errors.As(err, &te) {
+		t.Fatalf("error is not a *TrackerError: %v", err)
+	}
+	return te
+}
+
+func TestTimeoutMidResumeRecoversAndReplays(t *testing.T) {
+	tr, fc := faultTracker(t, countC, core.WithCommandTimeout(200*time.Millisecond))
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Watch("::count"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The debugger goes silent in the middle of a Resume: the response is
+	// swallowed, the deadline fires, and recovery rebuilds the session.
+	fc().DropResponses(1000)
+	err := tr.Resume()
+	te := sessionError(t, err)
+	if !errors.Is(err, core.ErrCommandTimeout) {
+		t.Fatalf("want ErrCommandTimeout, got %v", err)
+	}
+	if errors.Is(err, core.ErrSessionLost) {
+		t.Fatalf("timeout misclassified as session lost: %v", err)
+	}
+	if te.Op != "Resume" || te.Kind != Kind {
+		t.Fatalf("op/kind = %q/%q", te.Op, te.Kind)
+	}
+	if te.Recovery != core.RecoveryRestarted {
+		t.Fatalf("recovery = %v, want restarted", te.Recovery)
+	}
+	if len(te.Lost) != 0 {
+		t.Fatalf("global watchpoint should replay cleanly, lost %v", te.Lost)
+	}
+
+	// The fresh session is paused at entry with the journal re-armed:
+	// resuming must hit the replayed watchpoint, from the initial value.
+	if code, done := tr.ExitCode(); done {
+		t.Fatalf("recovered session reports exit %d", code)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatalf("resume after recovery: %v", err)
+	}
+	r := tr.PauseReason()
+	if r.Type != core.PauseWatch || r.Variable != "::count" {
+		t.Fatalf("pause after recovery = %v, want replayed watch hit", r)
+	}
+	if got := r.Old.String() + "->" + r.New.String(); got != "0->5" {
+		t.Fatalf("watch transition = %s, want 0->5 (fresh inferior)", got)
+	}
+}
+
+func TestBreakpointSurvivesRecovery(t *testing.T) {
+	tr, fc := faultTracker(t, fibC)
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BreakBeforeFunc("fib"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the connection between two commands: the next Step dies with a
+	// closed pipe — the in-process analog of a debugger crash.
+	fc().KillAfterCommands(0)
+	err := tr.Step()
+	te := sessionError(t, err)
+	if !errors.Is(err, core.ErrSessionLost) {
+		t.Fatalf("want ErrSessionLost, got %v", err)
+	}
+	if te.Recovery != core.RecoveryRestarted || len(te.Lost) != 0 {
+		t.Fatalf("recovery = %v, lost = %v", te.Recovery, te.Lost)
+	}
+
+	if err := tr.Resume(); err != nil {
+		t.Fatalf("resume after recovery: %v", err)
+	}
+	if r := tr.PauseReason(); r.Type != core.PauseBreakpoint || r.Function != "fib" {
+		t.Fatalf("pause after recovery = %v, want replayed breakpoint on fib", r)
+	}
+}
+
+func TestCorruptedResponseRecovers(t *testing.T) {
+	tr, fc := faultTracker(t, fibC)
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	fc().CorruptResponses(1)
+	err := tr.Step()
+	te := sessionError(t, err)
+	if !errors.Is(err, core.ErrSessionLost) {
+		t.Fatalf("want ErrSessionLost on protocol corruption, got %v", err)
+	}
+	if te.Recovery != core.RecoveryRestarted {
+		t.Fatalf("recovery = %v", te.Recovery)
+	}
+	if err := tr.Step(); err != nil {
+		t.Fatalf("step after recovery: %v", err)
+	}
+}
+
+func TestSecondFailureRetiresSession(t *testing.T) {
+	tr, fc := faultTracker(t, fibC)
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	fc().KillAfterCommands(0)
+	te := sessionError(t, tr.Step())
+	if te.Recovery != core.RecoveryRestarted {
+		t.Fatalf("first failure: recovery = %v", te.Recovery)
+	}
+
+	// The one-shot budget is spent: a second failure retires the session
+	// instead of looping through restarts.
+	fc().KillAfterCommands(0)
+	err := tr.Step()
+	te = sessionError(t, err)
+	if !errors.Is(err, core.ErrSessionLost) {
+		t.Fatalf("want ErrSessionLost, got %v", err)
+	}
+	if te.Recovery != core.RecoveryFailed {
+		t.Fatalf("second failure: recovery = %v, want failed", te.Recovery)
+	}
+
+	// Listing-1 loops terminate: the dead session reports an exit code.
+	code, done := tr.ExitCode()
+	if !done || code != -1 {
+		t.Fatalf("dead session ExitCode = %d,%v", code, done)
+	}
+	// And every further call fails fast with the same classification.
+	err = tr.Resume()
+	te = sessionError(t, err)
+	if !errors.Is(err, core.ErrSessionLost) || te.Recovery != core.RecoveryFailed {
+		t.Fatalf("call on dead session: %v", err)
+	}
+	if _, err := tr.CurrentFrame(); !errors.Is(err, core.ErrSessionLost) {
+		t.Fatalf("inspection on dead session: %v", err)
+	}
+	if err := tr.Terminate(); err != nil {
+		t.Fatalf("terminate on dead session: %v", err)
+	}
+}
+
+func TestAsyncTimeoutYieldsEventNotHang(t *testing.T) {
+	tr, fc := faultTracker(t, fibC, core.WithCommandTimeout(200*time.Millisecond))
+	async := core.NewAsync(tr)
+	defer async.Close()
+
+	recv := func(what string) core.AsyncEvent {
+		t.Helper()
+		select {
+		case ev := <-async.Events():
+			return ev
+		case <-time.After(10 * time.Second):
+			t.Fatalf("%s: no event — the tool is hung", what)
+			return core.AsyncEvent{}
+		}
+	}
+
+	async.Start()
+	if ev := recv("start"); ev.Err != nil {
+		t.Fatal(ev.Err)
+	}
+	fc().DropResponses(1000)
+	async.Resume()
+	ev := recv("resume with silent debugger")
+	if ev.Err == nil {
+		t.Fatal("timed-out Resume reported success")
+	}
+	te := sessionError(t, ev.Err)
+	if !errors.Is(ev.Err, core.ErrCommandTimeout) || te.Recovery != core.RecoveryRestarted {
+		t.Fatalf("event error = %v", ev.Err)
+	}
+	// The wrapped tracker recovered; the async loop keeps working.
+	async.Step()
+	if ev := recv("step after recovery"); ev.Err != nil {
+		t.Fatal(ev.Err)
+	}
+}
+
+// buildMinigdb compiles cmd/minigdb into a temp dir for subprocess tests.
+func buildMinigdb(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "minigdb")
+	out, err := exec.Command("go", "build", "-o", bin, "easytracker/cmd/minigdb").CombinedOutput()
+	if err != nil {
+		t.Skipf("cannot build minigdb: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestSubprocessCrashDetectedAndRecovered(t *testing.T) {
+	bin := buildMinigdb(t)
+	// The child kills itself (exit 3) when the 9th command arrives —
+	// enough headroom for recovery's own boot sequence to survive.
+	tr := NewSubprocess(bin, "-die-after", "8")
+	if err := tr.LoadProgram("prog.c", core.WithSource(fibC)); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	t.Cleanup(func() { _ = tr.Terminate() })
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	var err error
+	for i := 0; i < 100; i++ {
+		if err = tr.Step(); err != nil {
+			break
+		}
+		if _, done := tr.ExitCode(); done {
+			t.Fatal("inferior finished before the injected crash")
+		}
+	}
+	te := sessionError(t, err)
+	if !errors.Is(err, core.ErrSessionLost) {
+		t.Fatalf("want ErrSessionLost, got %v", err)
+	}
+	if te.Recovery != core.RecoveryRestarted {
+		t.Fatalf("recovery = %v, want restarted", te.Recovery)
+	}
+	// Liveness detection quotes the child's wait status as evidence.
+	if !strings.Contains(err.Error(), "exit status 3") {
+		t.Fatalf("error does not carry the child's exit status: %v", err)
+	}
+	// The respawned debugger answers again.
+	if err := tr.Step(); err != nil {
+		t.Fatalf("step after respawn: %v", err)
+	}
+}

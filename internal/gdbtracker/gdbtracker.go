@@ -53,7 +53,21 @@ type bpInfo struct {
 
 // Tracker drives one compiled inferior through MiniGDB/MI.
 type Tracker struct {
-	client *mi.Client
+	// trans is the hardened command transport: the MI client, optionally
+	// behind a DeadlineTransport (core.WithCommandTimeout) and, in
+	// tests, behind a fault-injection wrapper (SetConnWrapper).
+	trans    mi.Transport
+	wrapConn func(mi.Conn) mi.Conn
+
+	// journal records every arming operation (breakpoints, tracked
+	// functions, watchpoints) so a recovered session can replay them.
+	journal []armRecord
+	// recovered marks the one-shot automatic recovery as spent;
+	// recovering suppresses nested recovery while the journal replays;
+	// dead retires the session after recovery failed.
+	recovered  bool
+	recovering bool
+	dead       bool
 
 	cfg      core.LoadConfig
 	prog     *isa.Program
@@ -87,9 +101,11 @@ type Tracker struct {
 	watches map[int]string // watchpoint id -> variable identifier
 
 	// subprocess mode (NewSubprocess)
-	subproc  string
-	child    *exec.Cmd
-	childDir string
+	subproc     string
+	subprocArgs []string
+	child       *exec.Cmd
+	childDir    string
+	mobjPath    string
 }
 
 // New returns an unloaded MiniGDB tracker using an in-process MI pipe.
@@ -105,7 +121,7 @@ func New() *Tracker {
 func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 	cfg := core.ApplyLoadOptions(opts)
 	if t.subproc != "" {
-		return t.loadSubprocess(path, cfg)
+		return t.werr("LoadProgram", t.loadSubprocess(path, cfg))
 	}
 	src := cfg.Source
 	if src == "" && !strings.HasSuffix(path, ".mobj") {
@@ -134,33 +150,57 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 		return err
 	}
 
-	srv := mi.NewServer(prog)
-	srv.SetStdin(cfg.Stdin)
-	cConn, sConn := mi.Pipe()
-	go func() { _ = srv.Serve(sConn) }()
-
-	t.client = mi.NewClient(cConn)
 	t.cfg = cfg
 	t.prog = prog
 	t.file = prog.SourceFile
 	t.source = prog.Source
+	if err := t.bootInProcess(); err != nil {
+		return t.werr("LoadProgram", err)
+	}
 	t.loaded = true
 	return nil
 }
 
 // send issues an MI command and pumps inferior output to the tool's stdout.
+// A transport-level failure (timeout, crash, corrupted stream) triggers the
+// session layer's one-shot recovery; the returned error is then a
+// *core.TrackerError describing the failure and the recovery outcome.
 func (t *Tracker) send(op string, args ...string) (*mi.Response, error) {
-	resp, err := t.client.Send(op, args...)
-	if out := t.client.TakeOutput(); out != "" && t.cfg.Stdout != nil {
+	resp, err := t.sendRaw(op, args...)
+	if err != nil && resp == nil && !t.recovering && !t.dead {
+		return nil, t.recoverSession(op, err)
+	}
+	return resp, err
+}
+
+// sendRaw is send without the recovery layer (used by teardown-adjacent
+// paths and by recovery itself).
+func (t *Tracker) sendRaw(op string, args ...string) (*mi.Response, error) {
+	resp, err := t.trans.RoundTrip(op, args...)
+	if out := t.trans.TakeOutput(); out != "" && t.cfg.Stdout != nil {
 		fmt.Fprint(t.cfg.Stdout, out)
 	}
 	return resp, err
 }
 
+// werr wraps err in the tracker's typed error, preserving already-typed
+// session errors. Session errors record the raw MI command that failed;
+// replace it with the public operation name the tool actually called.
+func (t *Tracker) werr(op string, err error) error {
+	var te *core.TrackerError
+	if errors.As(err, &te) && strings.HasPrefix(te.Op, "-") {
+		te.Op = op
+	}
+	return core.WrapErr(Kind, op, t.file, t.curLine, err)
+}
+
 // Start launches the inferior and pauses it at main's first line.
 func (t *Tracker) Start() error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("Start", core.ErrNoProgram)
+	}
+	if t.dead {
+		return t.sessionDead("Start")
 	}
 	if t.started {
 		if t.implicit {
@@ -169,19 +209,19 @@ func (t *Tracker) Start() error {
 			t.implicit = false
 			return nil
 		}
-		return errors.New("gdbtracker: already started")
+		return t.werr("Start", errors.New("gdbtracker: already started"))
 	}
 	if t.cfg.TrackHeap {
 		if _, err := t.send("-et-track-heap"); err != nil {
-			return err
+			return t.werr("Start", err)
 		}
 	}
 	resp, err := t.send("-exec-run")
 	if err != nil {
-		return err
+		return t.werr("Start", err)
 	}
 	t.started = true
-	return t.classifyStop(resp)
+	return t.werr("Start", t.classifyStop(resp))
 }
 
 // classifyStop turns the *stopped record into the pause reason taxonomy.
@@ -304,53 +344,72 @@ func (t *Tracker) registerList() (map[string]uint64, error) {
 	return out, nil
 }
 
-func (t *Tracker) control(op string) error {
+func (t *Tracker) control(name, op string) error {
+	if t.dead {
+		return t.sessionDead(name)
+	}
 	if !t.started {
-		return core.ErrNotStarted
+		return t.werr(name, core.ErrNotStarted)
 	}
 	if t.exited {
-		return core.ErrExited
+		return t.werr(name, core.ErrExited)
 	}
 	resp, err := t.send(op)
 	if err != nil {
-		return err
+		return t.werr(name, err)
 	}
-	return t.classifyStop(resp)
+	return t.werr(name, t.classifyStop(resp))
 }
 
 // Resume continues to the next pause condition.
-func (t *Tracker) Resume() error { return t.control("-exec-continue") }
+func (t *Tracker) Resume() error { return t.control("Resume", "-exec-continue") }
 
 // Step executes one source line, entering calls.
-func (t *Tracker) Step() error { return t.control("-exec-step") }
+func (t *Tracker) Step() error { return t.control("Step", "-exec-step") }
 
 // Next executes one source line, stepping over calls.
-func (t *Tracker) Next() error { return t.control("-exec-next") }
+func (t *Tracker) Next() error { return t.control("Next", "-exec-next") }
 
-// Terminate shuts the debugger down.
+// Terminate shuts the debugger down. It never triggers recovery: a dead
+// session is simply torn down.
 func (t *Tracker) Terminate() error {
-	if t.client == nil {
+	if t.trans == nil {
 		return nil
 	}
-	_, _ = t.send("-gdb-exit")
-	err := t.client.Close()
+	if !t.dead {
+		_, _ = t.sendRaw("-gdb-exit")
+	}
+	t.teardown()
 	t.closeSubprocess()
 	t.exited = true
-	return err
+	return nil
 }
 
 // BreakBeforeLine arms a line breakpoint.
 func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("BreakBeforeLine", core.ErrNoProgram)
+	}
+	if t.dead {
+		return t.sessionDead("BreakBeforeLine")
 	}
 	bc := core.ApplyBreakOptions(opts)
 	if err := t.ensureRunning(); err != nil {
-		return err
+		return t.werr("BreakBeforeLine", err)
 	}
+	if err := t.armBreakLine(line, bc.MaxDepth); err != nil {
+		return t.werr("BreakBeforeLine", err)
+	}
+	t.journal = append(t.journal, armRecord{kind: armBreakLine, file: file, line: line, maxDepth: bc.MaxDepth})
+	return nil
+}
+
+// armBreakLine performs the line-breakpoint insertion (also used by the
+// session journal replay).
+func (t *Tracker) armBreakLine(line, maxDepth int) error {
 	args := []string{}
-	if bc.MaxDepth > 0 {
-		args = append(args, "--maxdepth", strconv.Itoa(bc.MaxDepth))
+	if maxDepth > 0 {
+		args = append(args, "--maxdepth", strconv.Itoa(maxDepth))
 	}
 	args = append(args, strconv.Itoa(line))
 	resp, err := t.send("-break-insert", args...)
@@ -360,23 +419,35 @@ func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOptio
 		}
 		return err
 	}
-	id := bpNumber(resp)
-	t.bps[id] = bpInfo{kind: bkUser}
+	t.bps[bpNumber(resp)] = bpInfo{kind: bkUser}
 	return nil
 }
 
 // BreakBeforeFunc arms a function breakpoint (fires with arguments stored).
 func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("BreakBeforeFunc", core.ErrNoProgram)
+	}
+	if t.dead {
+		return t.sessionDead("BreakBeforeFunc")
 	}
 	bc := core.ApplyBreakOptions(opts)
 	if err := t.ensureRunning(); err != nil {
-		return err
+		return t.werr("BreakBeforeFunc", err)
 	}
+	if err := t.armBreakFunc(name, bc.MaxDepth); err != nil {
+		return t.werr("BreakBeforeFunc", err)
+	}
+	t.journal = append(t.journal, armRecord{kind: armBreakFunc, fn: name, maxDepth: bc.MaxDepth})
+	return nil
+}
+
+// armBreakFunc performs the function-breakpoint insertion (also used by the
+// session journal replay).
+func (t *Tracker) armBreakFunc(name string, maxDepth int) error {
 	args := []string{}
-	if bc.MaxDepth > 0 {
-		args = append(args, "--maxdepth", strconv.Itoa(bc.MaxDepth))
+	if maxDepth > 0 {
+		args = append(args, "--maxdepth", strconv.Itoa(maxDepth))
 	}
 	args = append(args, "--function", name)
 	resp, err := t.send("-break-insert", args...)
@@ -396,11 +467,24 @@ func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
 // and breakpoint its address.
 func (t *Tracker) TrackFunction(name string) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("TrackFunction", core.ErrNoProgram)
+	}
+	if t.dead {
+		return t.sessionDead("TrackFunction")
 	}
 	if err := t.ensureRunning(); err != nil {
-		return err
+		return t.werr("TrackFunction", err)
 	}
+	if err := t.armTrack(name); err != nil {
+		return t.werr("TrackFunction", err)
+	}
+	t.journal = append(t.journal, armRecord{kind: armTrack, fn: name})
+	return nil
+}
+
+// armTrack performs the entry/exit breakpoint insertion of TrackFunction
+// (also used by the session journal replay).
+func (t *Tracker) armTrack(name string) error {
 	resp, err := t.send("-break-insert", "--function", name)
 	if err != nil {
 		if strings.Contains(err.Error(), "no function") {
@@ -439,11 +523,24 @@ func (t *Tracker) TrackFunction(name string) error {
 // ("func:name") require a live activation of the function, as with GDB.
 func (t *Tracker) Watch(varID string) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("Watch", core.ErrNoProgram)
+	}
+	if t.dead {
+		return t.sessionDead("Watch")
 	}
 	if err := t.ensureRunning(); err != nil {
-		return err
+		return t.werr("Watch", err)
 	}
+	if err := t.armWatch(varID); err != nil {
+		return t.werr("Watch", err)
+	}
+	t.journal = append(t.journal, armRecord{kind: armWatch, varID: varID})
+	return nil
+}
+
+// armWatch performs the watchpoint insertion (also used by the session
+// journal replay).
+func (t *Tracker) armWatch(varID string) error {
 	fn, name := core.SplitVarID(varID)
 	expr := name
 	if fn != "" && fn != "::" {
@@ -495,6 +592,9 @@ func (t *Tracker) ExitCode() (int, bool) {
 
 // fetchState pulls the serialized snapshot across the pipe.
 func (t *Tracker) fetchState() (*core.State, error) {
+	if t.dead {
+		return nil, t.sessionDead("State")
+	}
 	if !t.started {
 		return nil, core.ErrNotStarted
 	}
@@ -558,15 +658,18 @@ func (t *Tracker) revalidateStale() *core.State {
 // stores so far overlapping each armed watchpoint's range), keyed by
 // watchpoint number, via one -data-watch-version round trip.
 func (t *Tracker) WatchVersions() (map[int]uint64, error) {
+	if t.dead {
+		return nil, t.sessionDead("WatchVersions")
+	}
 	if !t.started {
-		return nil, core.ErrNotStarted
+		return nil, t.werr("WatchVersions", core.ErrNotStarted)
 	}
 	if t.exited {
-		return nil, core.ErrExited
+		return nil, t.werr("WatchVersions", core.ErrExited)
 	}
 	resp, err := t.send("-data-watch-version")
 	if err != nil {
-		return nil, err
+		return nil, t.werr("WatchVersions", err)
 	}
 	out := map[int]uint64{}
 	lst, _ := resp.Result.Results.Get("watch-versions").(mi.List)
@@ -586,10 +689,10 @@ func (t *Tracker) WatchVersions() (map[int]uint64, error) {
 func (t *Tracker) CurrentFrame() (*core.Frame, error) {
 	st, err := t.fetchState()
 	if err != nil {
-		return nil, err
+		return nil, t.werr("CurrentFrame", err)
 	}
 	if st.Frame == nil {
-		return nil, core.ErrExited
+		return nil, t.werr("CurrentFrame", core.ErrExited)
 	}
 	return st.Frame, nil
 }
@@ -598,7 +701,7 @@ func (t *Tracker) CurrentFrame() (*core.Frame, error) {
 func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 	st, err := t.fetchState()
 	if err != nil {
-		return nil, err
+		return nil, t.werr("GlobalVariables", err)
 	}
 	return st.Globals, nil
 }
@@ -611,7 +714,7 @@ func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 func (t *Tracker) State() (*core.State, error) {
 	st, err := t.fetchState()
 	if err != nil {
-		return nil, err
+		return nil, t.werr("State", err)
 	}
 	cp := *st
 	return &cp, nil
@@ -634,7 +737,7 @@ func (t *Tracker) LastLine() int { return t.lastLine }
 // SourceLines returns the program text.
 func (t *Tracker) SourceLines() ([]string, error) {
 	if !t.loaded {
-		return nil, core.ErrNoProgram
+		return nil, t.werr("SourceLines", core.ErrNoProgram)
 	}
 	return strings.Split(strings.TrimRight(t.source, "\n"), "\n"), nil
 }
@@ -642,21 +745,28 @@ func (t *Tracker) SourceLines() ([]string, error) {
 // Registers implements core.RegisterInspector (the paper's
 // get_registers_gdb).
 func (t *Tracker) Registers() (map[string]uint64, error) {
-	if !t.started {
-		return nil, core.ErrNotStarted
+	if t.dead {
+		return nil, t.sessionDead("Registers")
 	}
-	return t.registerList()
+	if !t.started {
+		return nil, t.werr("Registers", core.ErrNotStarted)
+	}
+	regs, err := t.registerList()
+	return regs, t.werr("Registers", err)
 }
 
 // ValueAt implements core.MemoryInspector (the paper's get_value_at_gdb).
 func (t *Tracker) ValueAt(addr uint64, size int) ([]byte, error) {
+	if t.dead {
+		return nil, t.sessionDead("ValueAt")
+	}
 	if !t.started {
-		return nil, core.ErrNotStarted
+		return nil, t.werr("ValueAt", core.ErrNotStarted)
 	}
 	resp, err := t.send("-data-read-memory",
 		strconv.FormatUint(addr, 10), strconv.Itoa(size))
 	if err != nil {
-		return nil, err
+		return nil, t.werr("ValueAt", err)
 	}
 	hexStr := resp.Result.GetString("memory")
 	out := make([]byte, len(hexStr)/2)
@@ -693,12 +803,15 @@ func (t *Tracker) MemorySegments() []core.Segment {
 // HeapBlocks implements core.HeapInspector: the live allocation map
 // maintained from the interposition watchpoints.
 func (t *Tracker) HeapBlocks() (map[uint64]uint64, error) {
+	if t.dead {
+		return nil, t.sessionDead("HeapBlocks")
+	}
 	if !t.started {
-		return nil, core.ErrNotStarted
+		return nil, t.werr("HeapBlocks", core.ErrNotStarted)
 	}
 	resp, err := t.send("-et-heap-blocks")
 	if err != nil {
-		return nil, err
+		return nil, t.werr("HeapBlocks", err)
 	}
 	blocks, _ := resp.Result.Results.Get("blocks").(mi.List)
 	out := map[uint64]uint64{}

@@ -1,6 +1,7 @@
 package gdbtracker
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -162,13 +163,13 @@ func TestTrackFunctionViaRetScan(t *testing.T) {
 
 func TestTrackUnknownFunction(t *testing.T) {
 	tr := start(t, fibC)
-	if err := tr.TrackFunction("nope"); err != core.ErrUnknownFunction {
+	if err := tr.TrackFunction("nope"); !errors.Is(err, core.ErrUnknownFunction) {
 		t.Errorf("err = %v", err)
 	}
-	if err := tr.BreakBeforeFunc("nope"); err != core.ErrUnknownFunction {
+	if err := tr.BreakBeforeFunc("nope"); !errors.Is(err, core.ErrUnknownFunction) {
 		t.Errorf("err = %v", err)
 	}
-	if err := tr.BreakBeforeLine("", 9999); err != core.ErrBadLine {
+	if err := tr.BreakBeforeLine("", 9999); !errors.Is(err, core.ErrBadLine) {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -256,7 +257,7 @@ int main() {
 
 func TestWatchUnknown(t *testing.T) {
 	tr := start(t, fibC)
-	if err := tr.Watch("::nosuch"); err != core.ErrUnknownVariable {
+	if err := tr.Watch("::nosuch"); !errors.Is(err, core.ErrUnknownVariable) {
 		t.Errorf("err = %v", err)
 	}
 }
@@ -511,7 +512,7 @@ func TestRuntimeErrorExit(t *testing.T) {
 	if !done || code != 139 {
 		t.Errorf("exit = %d, %v (want 139 segfault)", code, done)
 	}
-	if err := tr.Resume(); err != core.ErrExited {
+	if err := tr.Resume(); !errors.Is(err, core.ErrExited) {
 		t.Errorf("Resume after crash = %v", err)
 	}
 }
@@ -535,13 +536,13 @@ func TestSourceLinesAndLastLine(t *testing.T) {
 
 func TestErrorsBeforeLoad(t *testing.T) {
 	tr := New()
-	if err := tr.Start(); err != core.ErrNoProgram {
+	if err := tr.Start(); !errors.Is(err, core.ErrNoProgram) {
 		t.Errorf("Start = %v", err)
 	}
-	if err := tr.Watch("x"); err != core.ErrNoProgram {
+	if err := tr.Watch("x"); !errors.Is(err, core.ErrNoProgram) {
 		t.Errorf("Watch = %v", err)
 	}
-	if _, err := tr.SourceLines(); err != core.ErrNoProgram {
+	if _, err := tr.SourceLines(); !errors.Is(err, core.ErrNoProgram) {
 		t.Errorf("SourceLines = %v", err)
 	}
 }

@@ -4,34 +4,36 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"os/exec"
 	"path/filepath"
 	"strings"
 
 	"easytracker/internal/asm"
 	"easytracker/internal/core"
 	"easytracker/internal/isa"
-	"easytracker/internal/mi"
 	"easytracker/internal/minic"
 )
 
 // NewSubprocess returns a tracker that runs MiniGDB as a real child process
 // (the paper's Fig. 4 exactly: tracker and debugger in separate processes,
 // connected by an OS pipe carrying MI records). minigdbPath is the compiled
-// cmd/minigdb binary. The in-process pipe used by New is byte-compatible;
-// subprocess mode exists for fidelity and for debugging the debugger.
+// cmd/minigdb binary; extra args (e.g. the fault-injection -die-after flag)
+// are passed to every spawn, including respawns by session recovery. The
+// in-process pipe used by New is byte-compatible; subprocess mode exists
+// for fidelity and for debugging the debugger.
 //
 // Limitation: the inferior's standard input cannot be forwarded over the
 // MI connection; programs using read_int/read_char need the in-process
 // tracker.
-func NewSubprocess(minigdbPath string) *Tracker {
+func NewSubprocess(minigdbPath string, args ...string) *Tracker {
 	t := New()
 	t.subproc = minigdbPath
+	t.subprocArgs = args
 	return t
 }
 
 // loadSubprocess compiles the program to a temporary image, spawns minigdb
-// on it, and attaches the MI client to the child's stdio.
+// on it, and attaches the MI client to the child's stdio. The image is kept
+// on disk until Terminate so session recovery can respawn the debugger.
 func (t *Tracker) loadSubprocess(path string, cfg core.LoadConfig) error {
 	src := cfg.Source
 	if src == "" {
@@ -62,44 +64,27 @@ func (t *Tracker) loadSubprocess(path string, cfg core.LoadConfig) error {
 	}
 	mobj := filepath.Join(dir, filepath.Base(path)+".mobj")
 	if err := os.WriteFile(mobj, img, 0o644); err != nil {
+		_ = os.RemoveAll(dir)
 		return err
 	}
-
-	cmd := exec.Command(t.subproc)
-	stdin, err := cmd.StdinPipe()
-	if err != nil {
-		return err
-	}
-	stdout, err := cmd.StdoutPipe()
-	if err != nil {
-		return err
-	}
-	if err := cmd.Start(); err != nil {
-		return fmt.Errorf("gdbtracker: spawning minigdb: %w", err)
-	}
-	t.child = cmd
 	t.childDir = dir
-
-	conn := mi.NewStdioConn(stdout, stdin, nil)
-	// Consume the greeting prompt.
-	if line, err := conn.Recv(); err != nil || line != "(gdb)" {
-		_ = cmd.Process.Kill()
-		return fmt.Errorf("gdbtracker: bad minigdb greeting %q (%v)", line, err)
-	}
-	t.client = mi.NewClient(conn)
-	if _, err := t.client.Send("-file-exec-and-symbols", mobj); err != nil {
-		_ = cmd.Process.Kill()
-		return err
-	}
+	t.mobjPath = mobj
 	t.cfg = cfg
 	t.prog = prog
 	t.file = prog.SourceFile
 	t.source = prog.Source
+
+	if err := t.bootSubprocess(); err != nil {
+		_ = os.RemoveAll(dir)
+		t.childDir, t.mobjPath = "", ""
+		return err
+	}
 	t.loaded = true
 	return nil
 }
 
-// closeSubprocess reaps the child after -gdb-exit.
+// closeSubprocess reaps the child (if teardown has not already) and removes
+// the serialized image.
 func (t *Tracker) closeSubprocess() {
 	if t.child != nil {
 		_ = t.child.Wait()
@@ -108,5 +93,6 @@ func (t *Tracker) closeSubprocess() {
 	if t.childDir != "" {
 		_ = os.RemoveAll(t.childDir)
 		t.childDir = ""
+		t.mobjPath = ""
 	}
 }

@@ -4,17 +4,22 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Client drives an MI server over a Conn: it sends token-prefixed commands
 // and collects the response records up to the "(gdb)" prompt. This is the
-// tracker-side endpoint of the paper's pipe (its pygdbmi analog).
+// tracker-side endpoint of the paper's pipe (its pygdbmi analog). It
+// implements Transport.
 type Client struct {
 	conn  Conn
 	token int
 	// Output accumulates inferior output carried in target stream
-	// records; callers drain it with TakeOutput.
-	output strings.Builder
+	// records; callers drain it with TakeOutput. Guarded by outputMu:
+	// after a deadline fires, an abandoned in-flight RoundTrip may still
+	// append output while the session layer drains.
+	outputMu sync.Mutex
+	output   strings.Builder
 }
 
 // NewClient wraps a connection.
@@ -87,13 +92,22 @@ func (c *Client) Send(op string, args ...string) (*Response, error) {
 		case StreamRecord:
 			resp.Console += rec.Stream
 		case TargetStreamRecord:
+			c.outputMu.Lock()
 			c.output.WriteString(rec.Stream)
+			c.outputMu.Unlock()
 		}
 	}
 }
 
+// RoundTrip implements Transport.
+func (c *Client) RoundTrip(op string, args ...string) (*Response, error) {
+	return c.Send(op, args...)
+}
+
 // TakeOutput drains the inferior output received so far.
 func (c *Client) TakeOutput() string {
+	c.outputMu.Lock()
+	defer c.outputMu.Unlock()
 	out := c.output.String()
 	c.output.Reset()
 	return out

@@ -1,0 +1,127 @@
+package mi
+
+import (
+	"sync"
+	"time"
+)
+
+// FaultConn wraps a Conn with programmable faults, for testing the session
+// layer above the pipe: dropped or corrupted response lines, per-operation
+// delays, and killing the connection after N commands. All knobs are safe
+// to adjust concurrently with use.
+//
+// The zero knobs inject nothing; a FaultConn with no faults armed behaves
+// exactly like the wrapped connection.
+type FaultConn struct {
+	inner Conn
+
+	mu        sync.Mutex
+	sendDelay time.Duration
+	recvDelay time.Duration
+	dropRecvs int
+	corrupt   int
+	killAfter int // kill before the (killAfter+1)-th Send; <0 disabled
+	sends     int
+}
+
+// NewFaultConn wraps inner with no faults armed.
+func NewFaultConn(inner Conn) *FaultConn {
+	return &FaultConn{inner: inner, killAfter: -1}
+}
+
+// DropResponses swallows the next n received lines. Dropping a full
+// response (records plus prompt) leaves the client blocked waiting for a
+// reply that never comes — the "hung debugger" scenario a command deadline
+// must catch.
+func (f *FaultConn) DropResponses(n int) {
+	f.mu.Lock()
+	f.dropRecvs = n
+	f.mu.Unlock()
+}
+
+// CorruptResponses replaces the next n received lines with bytes that do
+// not parse as an MI record.
+func (f *FaultConn) CorruptResponses(n int) {
+	f.mu.Lock()
+	f.corrupt = n
+	f.mu.Unlock()
+}
+
+// DelaySend sleeps d before each outgoing line.
+func (f *FaultConn) DelaySend(d time.Duration) {
+	f.mu.Lock()
+	f.sendDelay = d
+	f.mu.Unlock()
+}
+
+// DelayRecv sleeps d before each incoming line.
+func (f *FaultConn) DelayRecv(d time.Duration) {
+	f.mu.Lock()
+	f.recvDelay = d
+	f.mu.Unlock()
+}
+
+// KillAfterCommands closes the connection when command n+1 is sent: the
+// first n commands complete normally, the next one dies mid-flight with
+// ErrClosed — a debugger crash between two commands.
+func (f *FaultConn) KillAfterCommands(n int) {
+	f.mu.Lock()
+	f.killAfter = n
+	f.mu.Unlock()
+}
+
+// Sends reports how many command lines have been sent through.
+func (f *FaultConn) Sends() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sends
+}
+
+// Send implements Conn.
+func (f *FaultConn) Send(line string) error {
+	f.mu.Lock()
+	f.sends++
+	kill := f.killAfter >= 0 && f.sends > f.killAfter
+	delay := f.sendDelay
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if kill {
+		_ = f.inner.Close()
+		return ErrClosed
+	}
+	return f.inner.Send(line)
+}
+
+// Recv implements Conn.
+func (f *FaultConn) Recv() (string, error) {
+	for {
+		f.mu.Lock()
+		delay := f.recvDelay
+		f.mu.Unlock()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		line, err := f.inner.Recv()
+		if err != nil {
+			return line, err
+		}
+		f.mu.Lock()
+		switch {
+		case f.dropRecvs > 0:
+			f.dropRecvs--
+			f.mu.Unlock()
+			continue
+		case f.corrupt > 0:
+			f.corrupt--
+			f.mu.Unlock()
+			return "!!fault-injected corruption!!", nil
+		}
+		f.mu.Unlock()
+		return line, nil
+	}
+}
+
+// Close implements Conn.
+func (f *FaultConn) Close() error { return f.inner.Close() }

@@ -1,0 +1,105 @@
+package mi
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzParseRecord checks that the MI record parser never panics and that
+// parsing is stable under re-printing: for any line the parser accepts,
+// Print produces a line that parses back to the same record (and printing
+// that is a fixed point). Inputs with invalid UTF-8 only assert printability,
+// since quoteC normalizes bad bytes to U+FFFD inside c-strings.
+func FuzzParseRecord(f *testing.F) {
+	seeds := []string{
+		"(gdb)",
+		"(gdb) ",
+		"^done",
+		"7^done,value=\"42\"",
+		"^error,msg=\"no symbol \\\"x\\\"\"",
+		"*stopped,reason=\"breakpoint-hit\",frame={func=\"main\",line=\"3\"}",
+		"=breakpoint-created,bkpt={number=\"1\"}",
+		"~\"hello\\nworld\"",
+		"@\"inferior output\"",
+		"&\"log stream\"",
+		"^done,stack=[frame={level=\"0\"},frame={level=\"1\"}]",
+		"^done,empty={},list=[]",
+		"^done,a=\"1\",b=[\"x\",{c=\"2\"}]",
+		"123^running",
+		"^done,weird\ttab=\"v\"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return // rejecting is fine; not crashing is the property
+		}
+		p1 := rec.Print()
+		rec2, err := ParseRecord(p1)
+		if err != nil {
+			t.Fatalf("printed record does not re-parse: %q -> %q: %v", line, p1, err)
+		}
+		if p2 := rec2.Print(); p2 != p1 {
+			t.Fatalf("print not a fixed point: %q -> %q -> %q", line, p1, p2)
+		}
+		if utf8.ValidString(line) && !reflect.DeepEqual(rec, rec2) {
+			t.Fatalf("round trip changed record: %q: %#v != %#v", line, rec, rec2)
+		}
+	})
+}
+
+// FuzzSplitCommand checks the command tokenizer never panics, and that
+// accepted commands survive a quote-and-resplit round trip.
+func FuzzSplitCommand(f *testing.F) {
+	seeds := []string{
+		"-exec-run",
+		"7-break-insert 12",
+		"-file-exec-and-symbols \"a b.mobj\"",
+		"-data-evaluate-expression \"x + 1\"",
+		"  42-exec-next  ",
+		"-et-inspect",
+		"-break-insert -f \"fn\" 3",
+		"-x \"\" trailing",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		token, op, args, err := SplitCommand(line)
+		if err != nil {
+			return
+		}
+		if !strings.HasPrefix(op, "-") {
+			t.Fatalf("accepted op without '-': %q from %q", op, line)
+		}
+		for _, c := range token {
+			if c < '0' || c > '9' {
+				t.Fatalf("non-digit token %q from %q", token, line)
+			}
+		}
+		// Rebuild the line with canonical quoting and re-split. Only
+		// meaningful when the op itself needs no quoting (an op with
+		// spaces cannot be round-tripped through MI's grammar) and the
+		// input was valid UTF-8 (QuoteArg normalizes bad bytes).
+		if QuoteArg(op) != op || !utf8.ValidString(line) {
+			return
+		}
+		parts := []string{token + op}
+		for _, a := range args {
+			parts = append(parts, QuoteArg(a))
+		}
+		rebuilt := strings.Join(parts, " ")
+		token2, op2, args2, err := SplitCommand(rebuilt)
+		if err != nil {
+			t.Fatalf("rebuilt command rejected: %q -> %q: %v", line, rebuilt, err)
+		}
+		if token2 != token || op2 != op || !reflect.DeepEqual(args, args2) {
+			t.Fatalf("round trip changed command: %q -> %q: (%q,%q,%q) != (%q,%q,%q)",
+				line, rebuilt, token, op, args, token2, op2, args2)
+		}
+	})
+}

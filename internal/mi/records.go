@@ -431,6 +431,8 @@ func splitQuoted(s string) ([]string, error) {
 				cur.WriteByte('\n')
 			case 't':
 				cur.WriteByte('\t')
+			case 'r':
+				cur.WriteByte('\r')
 			case '"', '\\':
 				cur.WriteByte(s[i])
 			default:
@@ -461,7 +463,7 @@ func splitQuoted(s string) ([]string, error) {
 
 // QuoteArg quotes an argument for an MI command line if needed.
 func QuoteArg(s string) string {
-	if s != "" && !strings.ContainsAny(s, " \t\"\\\n") {
+	if s != "" && !strings.ContainsAny(s, " \t\"\\\n\r") {
 		return s
 	}
 	return quoteC(s)

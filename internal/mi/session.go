@@ -1,0 +1,72 @@
+package mi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrTimeout is returned by DeadlineTransport when one command round trip
+// exceeds its deadline. The underlying transport is poisoned (closed) when
+// this fires, because a response may still arrive later and desynchronize
+// the record stream; the session layer above is expected to rebuild the
+// connection.
+var ErrTimeout = errors.New("mi: command deadline exceeded")
+
+// Transport is one MI command round trip: send a command, collect the full
+// response up to the "(gdb)" prompt. It is the seam between the tracker and
+// the pipe/subprocess where deadlines, liveness checks and fault injection
+// are layered. *Client is the base implementation.
+type Transport interface {
+	// RoundTrip issues one MI command and reads its complete response.
+	// A nil *Response with a non-nil error means the transport itself
+	// failed (closed pipe, EOF, corruption, deadline) — as opposed to an
+	// MI-level ^error, which returns both the response and an error.
+	RoundTrip(op string, args ...string) (*Response, error)
+	// TakeOutput drains buffered inferior output.
+	TakeOutput() string
+	// Close tears the transport down.
+	Close() error
+}
+
+// DeadlineTransport bounds every round trip of the wrapped transport. On
+// timeout the wrapped transport is closed — the in-flight reader goroutine
+// unblocks with a connection error and the transport must not be reused —
+// and RoundTrip returns an error wrapping ErrTimeout.
+type DeadlineTransport struct {
+	T       Transport
+	Timeout time.Duration
+}
+
+type rtResult struct {
+	resp *Response
+	err  error
+}
+
+// RoundTrip implements Transport.
+func (d *DeadlineTransport) RoundTrip(op string, args ...string) (*Response, error) {
+	if d.Timeout <= 0 {
+		return d.T.RoundTrip(op, args...)
+	}
+	ch := make(chan rtResult, 1)
+	go func() {
+		resp, err := d.T.RoundTrip(op, args...)
+		ch <- rtResult{resp, err}
+	}()
+	timer := time.NewTimer(d.Timeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-timer.C:
+		// Poison the wedged transport so the reader goroutine exits.
+		_ = d.T.Close()
+		return nil, fmt.Errorf("mi: no response to %s within %v: %w", op, d.Timeout, ErrTimeout)
+	}
+}
+
+// TakeOutput implements Transport.
+func (d *DeadlineTransport) TakeOutput() string { return d.T.TakeOutput() }
+
+// Close implements Transport.
+func (d *DeadlineTransport) Close() error { return d.T.Close() }

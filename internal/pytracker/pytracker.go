@@ -157,17 +157,17 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 // first executable line of the module).
 func (t *Tracker) Start() error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("Start", core.ErrNoProgram)
 	}
 	if t.started {
-		return errors.New("pytracker: already started")
+		return t.werr("Start", errors.New("pytracker: already started"))
 	}
 	t.started = true
 	go func() {
 		code, err := t.interp.Run()
 		t.doneCh <- exitInfo{code, err}
 	}()
-	return t.waitPause()
+	return t.werr("Start", t.waitPause())
 }
 
 // traceFn runs in the inferior goroutine between every event.
@@ -388,13 +388,20 @@ func (t *Tracker) resumeWith(mode stepMode) error {
 }
 
 // Resume continues to the next pause condition or termination.
-func (t *Tracker) Resume() error { return t.resumeWith(modeRun) }
+func (t *Tracker) Resume() error { return t.werr("Resume", t.resumeWith(modeRun)) }
 
 // Step executes one line, entering calls.
-func (t *Tracker) Step() error { return t.resumeWith(modeStep) }
+func (t *Tracker) Step() error { return t.werr("Step", t.resumeWith(modeStep)) }
 
 // Next executes one line, stepping over calls.
-func (t *Tracker) Next() error { return t.resumeWith(modeNext) }
+func (t *Tracker) Next() error { return t.werr("Next", t.resumeWith(modeNext)) }
+
+// werr wraps err in the tracker's typed error (core.TrackerError), keeping
+// errors.Is/errors.As against the sentinels working.
+func (t *Tracker) werr(op string, err error) error {
+	file, line := t.Position()
+	return core.WrapErr(Kind, op, file, line, err)
+}
 
 // Terminate kills the inferior.
 func (t *Tracker) Terminate() error {
@@ -414,11 +421,11 @@ func (t *Tracker) Terminate() error {
 // BreakBeforeLine registers a line breakpoint.
 func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("BreakBeforeLine", core.ErrNoProgram)
 	}
 	bc := core.ApplyBreakOptions(opts)
 	if line < 1 || line > len(t.srcLines) {
-		return core.ErrBadLine
+		return t.werr("BreakBeforeLine", core.ErrBadLine)
 	}
 	t.lineBPs = append(t.lineBPs, lineBP{file: file, line: line, maxDepth: bc.MaxDepth})
 	return nil
@@ -427,10 +434,10 @@ func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOptio
 // BreakBeforeFunc registers a function-entry breakpoint.
 func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("BreakBeforeFunc", core.ErrNoProgram)
 	}
 	if !t.functionExists(name) {
-		return core.ErrUnknownFunction
+		return t.werr("BreakBeforeFunc", core.ErrUnknownFunction)
 	}
 	bc := core.ApplyBreakOptions(opts)
 	t.funcBPs = append(t.funcBPs, funcBP{name: name, maxDepth: bc.MaxDepth})
@@ -440,10 +447,10 @@ func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
 // TrackFunction pauses at every entry and exit of the named function.
 func (t *Tracker) TrackFunction(name string) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("TrackFunction", core.ErrNoProgram)
 	}
 	if !t.functionExists(name) {
-		return core.ErrUnknownFunction
+		return t.werr("TrackFunction", core.ErrUnknownFunction)
 	}
 	t.tracked[name] = true
 	return nil
@@ -480,7 +487,7 @@ func (t *Tracker) functionExists(name string) bool {
 // Watch pauses whenever the identified variable is modified.
 func (t *Tracker) Watch(varID string) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("Watch", core.ErrNoProgram)
 	}
 	t.watches = append(t.watches, &watch{id: varID})
 	return nil
@@ -502,14 +509,14 @@ func (t *Tracker) ExitCode() (int, bool) {
 // globals and full state in the same pause pays for one conversion.
 func (t *Tracker) CurrentFrame() (*core.Frame, error) {
 	if !t.started {
-		return nil, core.ErrNotStarted
+		return nil, t.werr("CurrentFrame", core.ErrNotStarted)
 	}
 	if t.exited || t.curFrame == nil {
-		return nil, core.ErrExited
+		return nil, t.werr("CurrentFrame", core.ErrExited)
 	}
 	st, err := t.State()
 	if err != nil {
-		return nil, err
+		return nil, t.werr("CurrentFrame", err)
 	}
 	return st.Frame, nil
 }
@@ -518,7 +525,7 @@ func (t *Tracker) CurrentFrame() (*core.Frame, error) {
 // State cache while the inferior is live.
 func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 	if !t.started {
-		return nil, core.ErrNotStarted
+		return nil, t.werr("GlobalVariables", core.ErrNotStarted)
 	}
 	if t.exited || t.curFrame == nil {
 		// After exit there is no frame to snapshot, but the module
@@ -528,7 +535,7 @@ func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 	}
 	st, err := t.State()
 	if err != nil {
-		return nil, err
+		return nil, t.werr("GlobalVariables", err)
 	}
 	return st.Globals, nil
 }
@@ -542,7 +549,7 @@ func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 // Globals graphs are shared and must be treated as read-only.
 func (t *Tracker) State() (*core.State, error) {
 	if !t.started {
-		return nil, core.ErrNotStarted
+		return nil, t.werr("State", core.ErrNotStarted)
 	}
 	if t.exited || t.curFrame == nil {
 		return &core.State{Reason: t.reason}, nil
@@ -574,7 +581,7 @@ func (t *Tracker) LastLine() int { return t.lastLine }
 // SourceLines returns the program's source text.
 func (t *Tracker) SourceLines() ([]string, error) {
 	if !t.loaded {
-		return nil, core.ErrNoProgram
+		return nil, t.werr("SourceLines", core.ErrNoProgram)
 	}
 	return append([]string(nil), t.srcLines...), nil
 }

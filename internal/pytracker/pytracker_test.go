@@ -1,6 +1,7 @@
 package pytracker
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -279,13 +280,13 @@ func TestBreakBeforeFunc(t *testing.T) {
 
 func TestBreakBeforeFuncUnknown(t *testing.T) {
 	tr := load(t, fibProg)
-	if err := tr.BreakBeforeFunc("nope"); err != core.ErrUnknownFunction {
+	if err := tr.BreakBeforeFunc("nope"); !errors.Is(err, core.ErrUnknownFunction) {
 		t.Errorf("err = %v, want ErrUnknownFunction", err)
 	}
-	if err := tr.TrackFunction("nope"); err != core.ErrUnknownFunction {
+	if err := tr.TrackFunction("nope"); !errors.Is(err, core.ErrUnknownFunction) {
 		t.Errorf("err = %v, want ErrUnknownFunction", err)
 	}
-	if err := tr.BreakBeforeLine("", 999); err != core.ErrBadLine {
+	if err := tr.BreakBeforeLine("", 999); !errors.Is(err, core.ErrBadLine) {
 		t.Errorf("err = %v, want ErrBadLine", err)
 	}
 }
@@ -515,13 +516,13 @@ func TestExitCodePropagation(t *testing.T) {
 	if code, ok := tr.ExitCode(); !ok || code != 7 {
 		t.Errorf("exit = %d, %v; want 7", code, ok)
 	}
-	if err := tr.Resume(); err != core.ErrExited {
+	if err := tr.Resume(); !errors.Is(err, core.ErrExited) {
 		t.Errorf("Resume after exit = %v, want ErrExited", err)
 	}
-	if err := tr.Step(); err != core.ErrExited {
+	if err := tr.Step(); !errors.Is(err, core.ErrExited) {
 		t.Errorf("Step after exit = %v, want ErrExited", err)
 	}
-	if _, err := tr.CurrentFrame(); err != core.ErrExited {
+	if _, err := tr.CurrentFrame(); !errors.Is(err, core.ErrExited) {
 		t.Errorf("CurrentFrame after exit = %v", err)
 	}
 }
@@ -583,20 +584,20 @@ func TestSourceLines(t *testing.T) {
 
 func TestErrorsBeforeLoadAndStart(t *testing.T) {
 	tr := New()
-	if err := tr.Start(); err != core.ErrNoProgram {
+	if err := tr.Start(); !errors.Is(err, core.ErrNoProgram) {
 		t.Errorf("Start = %v", err)
 	}
-	if err := tr.BreakBeforeLine("", 1); err != core.ErrNoProgram {
+	if err := tr.BreakBeforeLine("", 1); !errors.Is(err, core.ErrNoProgram) {
 		t.Errorf("BreakBeforeLine = %v", err)
 	}
-	if err := tr.Watch("x"); err != core.ErrNoProgram {
+	if err := tr.Watch("x"); !errors.Is(err, core.ErrNoProgram) {
 		t.Errorf("Watch = %v", err)
 	}
 	tr2 := load(t, "x = 1\n")
-	if err := tr2.Resume(); err != core.ErrNotStarted {
+	if err := tr2.Resume(); !errors.Is(err, core.ErrNotStarted) {
 		t.Errorf("Resume before start = %v", err)
 	}
-	if _, err := tr2.CurrentFrame(); err != core.ErrNotStarted {
+	if _, err := tr2.CurrentFrame(); !errors.Is(err, core.ErrNotStarted) {
 		t.Errorf("CurrentFrame before start = %v", err)
 	}
 }

@@ -259,18 +259,16 @@ func VerifyEasyTracker() []Probe {
 				return err
 			}
 			defer tr.Terminate()
-			ri, ok := tr.(core.RegisterInspector)
-			if !ok {
-				return fmt.Errorf("no RegisterInspector")
+			caps := core.CapabilitiesOf(tr)
+			if !caps.Registers || !caps.Memory {
+				return fmt.Errorf("missing capabilities: %+v", caps)
 			}
+			ri, _ := core.As[core.RegisterInspector](tr)
 			regs, err := ri.Registers()
 			if err != nil || regs["sp"] == 0 {
 				return fmt.Errorf("registers unavailable: %v", err)
 			}
-			mi, ok := tr.(core.MemoryInspector)
-			if !ok {
-				return fmt.Errorf("no MemoryInspector")
-			}
+			mi, _ := core.As[core.MemoryInspector](tr)
 			if _, err := mi.ValueAt(mi.MemorySegments()[0].Start, 8); err != nil {
 				return err
 			}

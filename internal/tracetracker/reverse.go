@@ -11,10 +11,10 @@ import "easytracker/internal/core"
 // the entry pause again.
 func (t *Tracker) StepBack() error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("StepBack", core.ErrNoProgram)
 	}
 	if !t.started {
-		return core.ErrNotStarted
+		return t.werr("StepBack", core.ErrNotStarted)
 	}
 	// Reverse execution resurrects a finished replay.
 	if t.exited {
@@ -47,10 +47,10 @@ func (t *Tracker) StepBack() error {
 // recording), or the entry point.
 func (t *Tracker) ResumeBack() error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("ResumeBack", core.ErrNoProgram)
 	}
 	if !t.started {
-		return core.ErrNotStarted
+		return t.werr("ResumeBack", core.ErrNotStarted)
 	}
 	for {
 		if err := t.StepBack(); err != nil {
@@ -79,10 +79,10 @@ func (t *Tracker) ResumeBack() error {
 // depth.
 func (t *Tracker) NextBack() error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("NextBack", core.ErrNoProgram)
 	}
 	if !t.started {
-		return core.ErrNotStarted
+		return t.werr("NextBack", core.ErrNotStarted)
 	}
 	startDepth := t.depthAt(t.pos)
 	for {
@@ -99,13 +99,13 @@ func (t *Tracker) NextBack() error {
 // time-travel, the capability RR recording enables).
 func (t *Tracker) Seek(step int) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("Seek", core.ErrNoProgram)
 	}
 	if !t.started {
-		return core.ErrNotStarted
+		return t.werr("Seek", core.ErrNotStarted)
 	}
 	if step < 0 || step >= len(t.trace.Steps) {
-		return core.ErrBadLine
+		return t.werr("Seek", core.ErrBadLine)
 	}
 	if t.trace.Steps[step].Event == "finished" {
 		step--

@@ -1,6 +1,7 @@
 package tracetracker
 
 import (
+	"errors"
 	"testing"
 
 	"easytracker/internal/core"
@@ -169,7 +170,7 @@ func TestSeek(t *testing.T) {
 	if tr.PauseReason().Type != core.PauseEntry {
 		t.Errorf("reason = %v", tr.PauseReason())
 	}
-	if err := tr.Seek(n + 5); err != core.ErrBadLine {
+	if err := tr.Seek(n + 5); !errors.Is(err, core.ErrBadLine) {
 		t.Errorf("out-of-range seek = %v", err)
 	}
 	// Seeking to the finished sentinel lands on the last real step.

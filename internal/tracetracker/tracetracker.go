@@ -101,10 +101,10 @@ func (t *Tracker) depthAt(i int) int {
 // Start positions the replay at the first recorded step.
 func (t *Tracker) Start() error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("Start", core.ErrNoProgram)
 	}
 	if t.started {
-		return errors.New("tracetracker: already started")
+		return t.werr("Start", errors.New("tracetracker: already started"))
 	}
 	t.started = true
 	t.pos = 0
@@ -232,10 +232,17 @@ func renderVal(v *core.Value) string {
 	return v.String()
 }
 
+// werr wraps err in the tracker's typed error (core.TrackerError), keeping
+// errors.Is/errors.As against the sentinels working.
+func (t *Tracker) werr(op string, err error) error {
+	file, line := t.Position()
+	return core.WrapErr(Kind, op, file, line, err)
+}
+
 // Resume advances to the next recorded step matching a pause condition.
 func (t *Tracker) Resume() error {
 	if err := t.controlOK(); err != nil {
-		return err
+		return t.werr("Resume", err)
 	}
 	for {
 		prev := t.pos
@@ -252,7 +259,7 @@ func (t *Tracker) Resume() error {
 // Step advances one recorded step.
 func (t *Tracker) Step() error {
 	if err := t.controlOK(); err != nil {
-		return err
+		return t.werr("Step", err)
 	}
 	if !t.advance() {
 		return nil
@@ -266,7 +273,7 @@ func (t *Tracker) Step() error {
 // Next advances to the next step at the same or shallower depth.
 func (t *Tracker) Next() error {
 	if err := t.controlOK(); err != nil {
-		return err
+		return t.werr("Next", err)
 	}
 	startDepth := t.depthAt(t.pos)
 	for {
@@ -304,7 +311,7 @@ func (t *Tracker) Terminate() error {
 // BreakBeforeLine arms a replay breakpoint on a source line.
 func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("BreakBeforeLine", core.ErrNoProgram)
 	}
 	bc := core.ApplyBreakOptions(opts)
 	t.lineBPs = append(t.lineBPs, lineBP{line: line, maxDepth: bc.MaxDepth})
@@ -315,7 +322,7 @@ func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOptio
 // functions whose calls were recorded can fire.
 func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("BreakBeforeFunc", core.ErrNoProgram)
 	}
 	bc := core.ApplyBreakOptions(opts)
 	t.funcBPs = append(t.funcBPs, funcBP{name: name, maxDepth: bc.MaxDepth})
@@ -325,7 +332,7 @@ func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
 // TrackFunction pauses at recorded entries/exits of the named function.
 func (t *Tracker) TrackFunction(name string) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("TrackFunction", core.ErrNoProgram)
 	}
 	t.tracked[name] = true
 	return nil
@@ -335,7 +342,7 @@ func (t *Tracker) TrackFunction(name string) error {
 // between consecutive steps.
 func (t *Tracker) Watch(varID string) error {
 	if !t.loaded {
-		return core.ErrNoProgram
+		return t.werr("Watch", core.ErrNoProgram)
 	}
 	t.watches = append(t.watches, varID)
 	return nil
@@ -355,7 +362,7 @@ func (t *Tracker) ExitCode() (int, bool) {
 // CurrentFrame returns the recorded frame at the current step.
 func (t *Tracker) CurrentFrame() (*core.Frame, error) {
 	if err := t.controlOK(); err != nil {
-		return nil, err
+		return nil, t.werr("CurrentFrame", err)
 	}
 	st := t.step().State
 	if st == nil || st.Frame == nil {
@@ -367,7 +374,7 @@ func (t *Tracker) CurrentFrame() (*core.Frame, error) {
 // GlobalVariables returns the recorded globals at the current step.
 func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 	if err := t.controlOK(); err != nil {
-		return nil, err
+		return nil, t.werr("GlobalVariables", err)
 	}
 	st := t.step().State
 	if st == nil {
@@ -379,7 +386,7 @@ func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 // State returns the recorded snapshot at the current step.
 func (t *Tracker) State() (*core.State, error) {
 	if err := t.controlOK(); err != nil {
-		return nil, err
+		return nil, t.werr("State", err)
 	}
 	return t.step().State, nil
 }
@@ -405,7 +412,7 @@ func (t *Tracker) LastLine() int { return t.lastLine }
 // SourceLines returns the recorded program text.
 func (t *Tracker) SourceLines() ([]string, error) {
 	if !t.loaded {
-		return nil, core.ErrNoProgram
+		return nil, t.werr("SourceLines", core.ErrNoProgram)
 	}
 	return strings.Split(strings.TrimRight(t.trace.Code, "\n"), "\n"), nil
 }

@@ -1,6 +1,7 @@
 package tracetracker
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -243,21 +244,21 @@ func TestReplayRoundTripThroughJSON(t *testing.T) {
 
 func TestReplayErrors(t *testing.T) {
 	tr := New()
-	if err := tr.Start(); err != core.ErrNoProgram {
+	if err := tr.Start(); !errors.Is(err, core.ErrNoProgram) {
 		t.Errorf("Start = %v", err)
 	}
 	if err := tr.LoadTrace(&pt.Trace{}); err == nil {
 		t.Error("empty trace accepted")
 	}
 	tr2 := loadReplay(t)
-	if err := tr2.Resume(); err != core.ErrNotStarted {
+	if err := tr2.Resume(); !errors.Is(err, core.ErrNotStarted) {
 		t.Errorf("Resume before start = %v", err)
 	}
 	if err := tr2.Start(); err != nil {
 		t.Fatal(err)
 	}
 	_ = tr2.Terminate()
-	if err := tr2.Step(); err != core.ErrExited {
+	if err := tr2.Step(); !errors.Is(err, core.ErrExited) {
 		t.Errorf("Step after terminate = %v", err)
 	}
 }
