@@ -553,6 +553,43 @@ func BenchmarkResumeWithWatchpointMiniPy(b *testing.B) {
 	}
 }
 
+// benchObsOverhead is BenchmarkResumeWithWatchpointMiniPy's workload with
+// caller-chosen load options, so the Off/On pair below isolates what the
+// instrumentation itself costs on the hottest path (per-line watch sweeps).
+func benchObsOverhead(b *testing.B, opts ...easytracker.LoadOption) {
+	b.ReportAllocs()
+	src := "total = 0\nk = 0\nwhile k < 200:\n    k = k + 1\ntotal = 1\n"
+	for i := 0; i < b.N; i++ {
+		tr := mustTracker(b, "minipy", "w.py", src, opts...)
+		if err := tr.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Watch("::total"); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, done := tr.ExitCode(); done {
+				break
+			}
+			if err := tr.Resume(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tr.Terminate()
+	}
+}
+
+// BenchmarkObsOverheadOff is the disabled-by-default cost: it must stay
+// within tolerance of BenchmarkResumeWithWatchpointMiniPy (et-benchdiff
+// gates it against the committed baseline).
+func BenchmarkObsOverheadOff(b *testing.B) { benchObsOverhead(b) }
+
+// BenchmarkObsOverheadOn prices full instrumentation: op timers, per-line
+// watch-check latencies, counters and the flight recorder.
+func BenchmarkObsOverheadOn(b *testing.B) {
+	benchObsOverhead(b, easytracker.WithObservability())
+}
+
 // BenchmarkNativeMiniC is the raw machine baseline.
 func BenchmarkNativeMiniC(b *testing.B) {
 	prog, err := minic.Compile("fib.c", fibC)

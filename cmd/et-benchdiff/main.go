@@ -1,18 +1,19 @@
-// Command et-benchdiff runs the watchpoint benchmarks, compares them
-// against the committed baseline, and writes a JSON report. It exits
-// non-zero when the gated benchmark's allocs/op or ns/op regresses beyond
-// its tolerance, so it can serve as a CI guard for the watchpoint fast
-// path.
+// Command et-benchdiff runs the watchpoint and observability benchmarks,
+// compares them against the committed baseline, and writes a JSON report.
+// It exits non-zero when any gated benchmark's allocs/op or ns/op regresses
+// beyond its tolerance, so it can serve as a CI guard for the watchpoint
+// fast path and for the obs-off overhead budget.
 //
 // Usage:
 //
 //	et-benchdiff [-bench REGEX] [-baseline FILE] [-o FILE]
-//	             [-count N] [-gate NAME] [-tolerance PCT]
+//	             [-count N] [-gate NAME[,NAME...]] [-tolerance PCT]
 //	             [-ns-tolerance PCT] [-dir DIR]
 //
 // The baseline (cmd/et-benchdiff/baseline.json) holds the numbers
-// measured before the dirty-tracking write barriers landed; the report
-// quotes both sides plus the improvement factors.
+// measured before the dirty-tracking write barriers landed, plus the
+// watchpoint-resume numbers BenchmarkObsOverheadOff must not regress
+// from; the report quotes both sides plus the improvement factors.
 package main
 
 import (
@@ -105,11 +106,11 @@ func loadBaseline(path string) (*Baseline, error) {
 }
 
 func main() {
-	bench := flag.String("bench", "BenchmarkResumeWithWatchpointMiniPy|BenchmarkAblationWatchCountMiniPy", "benchmark regex passed to go test -bench")
+	bench := flag.String("bench", "BenchmarkResumeWithWatchpointMiniPy|BenchmarkAblationWatchCountMiniPy|BenchmarkObsOverhead", "benchmark regex passed to go test -bench")
 	baselinePath := flag.String("baseline", filepath.Join("cmd", "et-benchdiff", "baseline.json"), "committed baseline JSON")
 	outPath := flag.String("o", "BENCH_1.json", "report output path")
 	count := flag.Int("count", 1, "benchmark repetitions (best of N is kept)")
-	gate := flag.String("gate", "BenchmarkResumeWithWatchpointMiniPy", "benchmark whose allocs/op and ns/op are gated against the baseline")
+	gate := flag.String("gate", "BenchmarkResumeWithWatchpointMiniPy,BenchmarkObsOverheadOff", "comma-separated benchmarks whose allocs/op and ns/op are gated against the baseline")
 	tolerance := flag.Float64("tolerance", 10, "allowed allocs/op regression in percent")
 	nsTolerance := flag.Float64("ns-tolerance", 15, "allowed ns/op regression in percent (ns/op is noisier than allocs/op)")
 	dir := flag.String("dir", ".", "module directory to benchmark")
@@ -165,26 +166,32 @@ func main() {
 	}
 
 	if base != nil {
-		ref, hasRef := base.Benchmarks[*gate]
-		cur, hasCur := current[*gate]
-		switch {
-		case !hasCur:
-			fmt.Fprintf(os.Stderr, "et-benchdiff: gate %s did not run\n", *gate)
-			report.Pass = false
-		case hasRef:
-			limit := ref.AllocsPerOp * (1 + *tolerance/100)
-			if cur.AllocsPerOp > limit {
-				fmt.Fprintf(os.Stderr,
-					"et-benchdiff: %s allocs/op %.0f exceeds baseline %.0f by more than %.0f%%\n",
-					*gate, cur.AllocsPerOp, ref.AllocsPerOp, *tolerance)
-				report.Pass = false
+		for _, g := range strings.Split(*gate, ",") {
+			g = strings.TrimSpace(g)
+			if g == "" {
+				continue
 			}
-			nsLimit := ref.NsPerOp * (1 + *nsTolerance/100)
-			if ref.NsPerOp > 0 && cur.NsPerOp > nsLimit {
-				fmt.Fprintf(os.Stderr,
-					"et-benchdiff: %s ns/op %.0f exceeds baseline %.0f by more than %.0f%%\n",
-					*gate, cur.NsPerOp, ref.NsPerOp, *nsTolerance)
+			ref, hasRef := base.Benchmarks[g]
+			cur, hasCur := current[g]
+			switch {
+			case !hasCur:
+				fmt.Fprintf(os.Stderr, "et-benchdiff: gate %s did not run\n", g)
 				report.Pass = false
+			case hasRef:
+				limit := ref.AllocsPerOp * (1 + *tolerance/100)
+				if cur.AllocsPerOp > limit {
+					fmt.Fprintf(os.Stderr,
+						"et-benchdiff: %s allocs/op %.0f exceeds baseline %.0f by more than %.0f%%\n",
+						g, cur.AllocsPerOp, ref.AllocsPerOp, *tolerance)
+					report.Pass = false
+				}
+				nsLimit := ref.NsPerOp * (1 + *nsTolerance/100)
+				if ref.NsPerOp > 0 && cur.NsPerOp > nsLimit {
+					fmt.Fprintf(os.Stderr,
+						"et-benchdiff: %s ns/op %.0f exceeds baseline %.0f by more than %.0f%%\n",
+						g, cur.NsPerOp, ref.NsPerOp, *nsTolerance)
+					report.Pass = false
+				}
 			}
 		}
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,7 @@ func record(args []string) {
 	track := fs.String("track", "", "track only this function (partial trace)")
 	watch := fs.String("watch", "", "also watch this variable")
 	out := fs.String("o", "out.trace", "output path")
+	showStats := fs.Bool("stats", false, "print the tracker's metrics snapshot (JSON) to stderr on exit")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -59,7 +61,11 @@ func record(args []string) {
 	tracker, err := easytracker.New(kind)
 	check(err)
 	var progOut strings.Builder
-	check(tracker.LoadProgram(prog, easytracker.WithStdout(&progOut)))
+	loadOpts := []easytracker.LoadOption{easytracker.WithStdout(&progOut)}
+	if *showStats {
+		loadOpts = append(loadOpts, easytracker.WithObservability())
+	}
+	check(tracker.LoadProgram(prog, loadOpts...))
 	opts := pt.Options{Mode: pt.ModeFullStep, Lang: kind}
 	if *track != "" {
 		opts.Mode = pt.ModeTracked
@@ -74,17 +80,26 @@ func record(args []string) {
 	check(err)
 	check(os.WriteFile(*out, data, 0o644))
 	fmt.Printf("recorded %d steps (%d bytes) to %s\n", len(trace.Steps), len(data), *out)
+	if *showStats {
+		printStats(tracker)
+	}
 }
 
 func replay(args []string) {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	at := fs.Int("at", -1, "jump to step N and print its state")
+	showStats := fs.Bool("stats", false, "print the tracker's metrics snapshot (JSON) to stderr on exit")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
 	tracker := tracetracker.New()
-	check(tracker.LoadProgram(fs.Arg(0)))
+	var loadOpts []easytracker.LoadOption
+	if *showStats {
+		loadOpts = append(loadOpts, easytracker.WithObservability())
+		defer printStats(tracker)
+	}
+	check(tracker.LoadProgram(fs.Arg(0), loadOpts...))
 	check(tracker.Start())
 	step := 0
 	for {
@@ -142,6 +157,15 @@ func toHTML(args []string) {
 	check(os.WriteFile(*out, []byte(page), 0o644))
 	fmt.Printf("wrote %s (%d steps); open it in a browser and use Forward\n",
 		*out, len(trace.Steps))
+}
+
+// printStats dumps the tracker's instrument snapshot to stderr, keeping
+// stdout clean for the subcommand's own output.
+func printStats(tr easytracker.Tracker) {
+	snap, _ := easytracker.Stats(tr)
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snap)
 }
 
 func check(err error) {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	minigdb [-die-after N] [PROG.c|PROG.s|PROG.mobj]
+//	minigdb [-die-after N] [-stats] [PROG.c|PROG.s|PROG.mobj]
 //
 // Commands are GDB/MI-style lines (-exec-run, -break-insert 12,
 // -exec-continue, -et-inspect, ...); responses end with "(gdb)".
@@ -12,6 +12,10 @@
 // -die-after N makes the process exit abruptly (status 3) when command
 // N+1 arrives, before any response is written — a deterministic debugger
 // crash used by the session-recovery fault tests.
+//
+// -stats prints the server-side instrument snapshot (commands served,
+// records written, the last commands seen) as JSON to stderr when the
+// session ends.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"easytracker/internal/isa"
 	"easytracker/internal/mi"
 	"easytracker/internal/minic"
+	"easytracker/internal/obs"
 )
 
 // dieConn wraps the stdio transport and kills the process after serving
@@ -45,8 +50,34 @@ func (d *dieConn) Recv() (string, error) {
 	return line, nil
 }
 
+// statsConn instruments the server side of the pipe: every command line
+// received and record line written lands in the panel, so -stats can report
+// what this debugger process actually served.
+type statsConn struct {
+	mi.Conn
+	m *obs.Metrics
+}
+
+func (s *statsConn) Recv() (string, error) {
+	line, err := s.Conn.Recv()
+	if err == nil {
+		s.m.Counter("server.commands").Inc()
+		s.m.Event("cmd", line)
+	}
+	return line, err
+}
+
+func (s *statsConn) Send(line string) error {
+	err := s.Conn.Send(line)
+	if err == nil && line != "(gdb)" {
+		s.m.Counter("server.records").Inc()
+	}
+	return err
+}
+
 func main() {
 	dieAfter := flag.Int("die-after", -1, "crash (exit 3) when command N+1 arrives; -1 disables")
+	showStats := flag.Bool("stats", false, "print the server's metrics snapshot (JSON) to stderr on exit")
 	flag.Parse()
 
 	var prog *isa.Program
@@ -74,11 +105,24 @@ func main() {
 	srv := mi.NewServer(prog)
 	srv.SetStdin(strings.NewReader("")) // inferior input not wired on stdio
 	var conn mi.Conn = mi.NewStdioConn(os.Stdin, os.Stdout, nil)
+	var metrics *obs.Metrics
+	if *showStats {
+		metrics = obs.New(obs.Config{Enabled: true, Events: obs.DefaultEvents})
+		conn = &statsConn{Conn: conn, m: metrics}
+	}
 	if *dieAfter >= 0 {
 		conn = &dieConn{Conn: conn, left: *dieAfter}
 	}
 	_ = conn.Send("(gdb)")
-	if err := srv.Serve(conn); err != nil {
+	err := srv.Serve(conn)
+	if metrics != nil {
+		snap := metrics.Snapshot()
+		snap.Tracker = "minigdb-server"
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

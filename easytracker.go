@@ -45,6 +45,7 @@ import (
 	"strings"
 
 	"easytracker/internal/core"
+	"easytracker/internal/obs"
 
 	// Register the built-in trackers.
 	_ "easytracker/internal/gdbtracker"
@@ -149,6 +150,13 @@ var (
 	// fails with ErrCommandTimeout and the session layer restarts the
 	// debugger instead of blocking the tool forever.
 	WithCommandTimeout = core.WithCommandTimeout
+	// WithObservability enables the tracker's instrumentation — op
+	// counters, latency histograms, gauges and the flight recorder — read
+	// back with Stats. Off by default and near-free when off.
+	WithObservability = core.WithObservability
+	// WithFlightRecorder sizes the flight recorder (an ObsOption for
+	// WithObservability) to retain the last n events.
+	WithFlightRecorder = core.WithFlightRecorder
 )
 
 // Extension interfaces implemented by the MiniGDB tracker only (the paper's
@@ -227,6 +235,34 @@ type (
 
 // NewAsync wraps a tracker for asynchronous control.
 func NewAsync(tr Tracker) *AsyncTracker { return core.NewAsync(tr) }
+
+// Observability: every built-in tracker carries an instrument panel —
+// counters, latency histograms per operation, gauges and a flight recorder
+// of the most recent tracker/debugger events. Instrumentation is off by
+// default (enable with WithObservability); the MiniGDB tracker's flight
+// recorder is always on, and its dump rides along in TrackerError.Trail
+// when a debugger session is recovered or retired.
+type (
+	// Snapshot is the JSON-serializable instrument snapshot Stats returns.
+	Snapshot = obs.Snapshot
+	// LatencyStats summarizes one operation's latency histogram.
+	LatencyStats = obs.LatencyStats
+	// GaugeStats is a gauge's current value and high watermark.
+	GaugeStats = obs.GaugeStats
+	// ObsEvent is one flight-recorder entry.
+	ObsEvent = obs.Event
+	// ObsOption customizes WithObservability.
+	ObsOption = core.ObsOption
+	// StatsProvider is the capability interface behind Stats.
+	StatsProvider = core.StatsProvider
+)
+
+// Stats returns tr's instrument snapshot (ok is false when tr has no
+// instrument panel; the snapshot is then empty but non-nil):
+//
+//	snap, _ := easytracker.Stats(tr)
+//	json.NewEncoder(os.Stderr).Encode(snap)
+func Stats(tr Tracker) (*Snapshot, bool) { return core.StatsOf(tr) }
 
 // New instantiates a tracker by kind ("minipy", "minigdb", "trace") — the
 // paper's init_tracker.

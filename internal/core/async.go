@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"easytracker/internal/obs"
+)
 
 // AsyncTracker wraps a synchronous Tracker with the asynchronous control
 // surface the paper lists as future work ("the control interface is
@@ -11,12 +15,23 @@ import "sync"
 //
 // All tracker access is serialized onto one owner goroutine, preserving the
 // single-driver contract of the Tracker interface.
+//
+// When the wrapped tracker has observability enabled (WithObservability),
+// the async layer reports into the same instrument panel: the
+// GaugeAsyncQueue gauge tracks the number of enqueued-but-unfinished
+// commands (its Max is the backlog high watermark) and each completed
+// command leaves an "async" flight-recorder event.
 type AsyncTracker struct {
 	tr     Tracker
 	cmds   chan func()
 	events chan AsyncEvent
 	wg     sync.WaitGroup
 	closed sync.Once
+
+	// obs is the wrapped tracker's panel (nil when off); queue is the
+	// async command queue-depth gauge (nil when metrics are off).
+	obs   *obs.Metrics
+	queue *obs.Gauge
 }
 
 // AsyncEvent reports the completion of one asynchronous control command.
@@ -37,6 +52,10 @@ func NewAsync(tr Tracker) *AsyncTracker {
 		cmds:   make(chan func(), 16),
 		events: make(chan AsyncEvent, 16),
 	}
+	if ms, ok := As[MetricsSource](tr); ok {
+		a.obs = ms.ObsMetrics()
+		a.queue = a.obs.Gauge(GaugeAsyncQueue)
+	}
 	a.wg.Add(1)
 	go func() {
 		defer a.wg.Done()
@@ -51,36 +70,47 @@ func NewAsync(tr Tracker) *AsyncTracker {
 func (a *AsyncTracker) Events() <-chan AsyncEvent { return a.events }
 
 // control enqueues a control command; its completion arrives on Events.
-func (a *AsyncTracker) control(f func() error) {
+func (a *AsyncTracker) control(name string, f func() error) {
+	a.queue.Add(1)
 	a.cmds <- func() {
+		defer a.queue.Add(-1)
 		err := f()
 		ev := AsyncEvent{Reason: a.tr.PauseReason(), Err: err}
 		if code, done := a.tr.ExitCode(); done {
 			ev.Exited = true
 			ev.ExitCode = code
 		}
+		if err != nil {
+			a.obs.Event("async", name+" failed: "+err.Error())
+		} else {
+			a.obs.Event("async", name+" done: "+ev.Reason.Type.String())
+		}
 		a.events <- ev
 	}
 }
 
 // Start begins execution asynchronously.
-func (a *AsyncTracker) Start() { a.control(a.tr.Start) }
+func (a *AsyncTracker) Start() { a.control("Start", a.tr.Start) }
 
 // Step executes one line asynchronously.
-func (a *AsyncTracker) Step() { a.control(a.tr.Step) }
+func (a *AsyncTracker) Step() { a.control("Step", a.tr.Step) }
 
 // Next executes one line (over calls) asynchronously.
-func (a *AsyncTracker) Next() { a.control(a.tr.Next) }
+func (a *AsyncTracker) Next() { a.control("Next", a.tr.Next) }
 
 // Resume continues asynchronously.
-func (a *AsyncTracker) Resume() { a.control(a.tr.Resume) }
+func (a *AsyncTracker) Resume() { a.control("Resume", a.tr.Resume) }
 
 // Do runs f on the owner goroutine and waits for it — the way to inspect
 // state or place breakpoints between events without racing the control
 // commands.
 func (a *AsyncTracker) Do(f func(Tracker) error) error {
 	done := make(chan error, 1)
-	a.cmds <- func() { done <- f(a.tr) }
+	a.queue.Add(1)
+	a.cmds <- func() {
+		defer a.queue.Add(-1)
+		done <- f(a.tr)
+	}
 	return <-done
 }
 

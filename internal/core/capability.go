@@ -29,6 +29,8 @@ type CapabilitySet struct {
 	Heap bool
 	// State: the tracker implements StateProvider.
 	State bool
+	// Stats: the tracker implements StatsProvider (instrument snapshots).
+	Stats bool
 }
 
 // CapabilitiesOf probes tr (and anything it wraps) for the extension
@@ -39,6 +41,7 @@ func CapabilitiesOf(tr Tracker) CapabilitySet {
 	_, c.Memory = As[MemoryInspector](tr)
 	_, c.Heap = As[HeapInspector](tr)
 	_, c.State = As[StateProvider](tr)
+	_, c.Stats = As[StatsProvider](tr)
 	return c
 }
 

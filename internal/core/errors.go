@@ -67,6 +67,11 @@ type TrackerError struct {
 	// Lost lists armed items that could not be re-armed after a restart
 	// (e.g. watchpoints on locals with no live activation).
 	Lost []string
+	// Trail is the flight-recorder dump at failure time, oldest event
+	// first — the last commands, MI exchanges and pauses that preceded a
+	// session failure. Filled by the session layer whenever it recovers or
+	// retires a session; empty for ordinary tracker errors.
+	Trail []string
 	// Err is the underlying cause.
 	Err error
 }
@@ -98,7 +103,19 @@ func (e *TrackerError) Error() string {
 	case RecoveryFailed:
 		b.WriteString(" [session recovery failed]")
 	}
+	if n := len(e.Trail); n > 0 {
+		fmt.Fprintf(&b, " (flight recorder: %d events)", n)
+	}
 	return b.String()
+}
+
+// FlightDump renders the recorded Trail as one block, the way a crash
+// report prints it; empty without a trail.
+func (e *TrackerError) FlightDump() string {
+	if len(e.Trail) == 0 {
+		return ""
+	}
+	return strings.Join(e.Trail, "\n")
 }
 
 // Unwrap exposes the cause to errors.Is / errors.As.

@@ -1,0 +1,99 @@
+package core
+
+import "easytracker/internal/obs"
+
+// This file is the observability seam of the tracker contract: the load
+// options that turn instrumentation on, the capability interfaces tools use
+// to read it back, and the canonical instrument names shared by every
+// tracker kind so snapshots from "minipy" and "minigdb" line up.
+
+// ObsConfig carries the observability options of LoadProgram.
+type ObsConfig struct {
+	// Enabled turns on op counters, latency histograms and gauges.
+	Enabled bool
+	// Events sizes the flight recorder (retained events); zero picks the
+	// tracker's default (obs.DefaultEvents for trackers that record).
+	Events int
+}
+
+// ObsOption customizes WithObservability.
+type ObsOption func(*ObsConfig)
+
+// WithFlightRecorder sizes the flight recorder to retain the last n events.
+func WithFlightRecorder(n int) ObsOption {
+	return func(c *ObsConfig) { c.Events = n }
+}
+
+// WithObservability enables the tracker's instrumentation: op counters and
+// latency histograms (Start/Resume/Step/Next, watch checks, MI round trips),
+// gauges, and the flight recorder of the most recent tracker/MI events.
+// Read the panel back with easytracker.Stats. Off by default; the disabled
+// instrumentation costs one pointer test per sample point.
+func WithObservability(opts ...ObsOption) LoadOption {
+	return func(c *LoadConfig) {
+		c.Obs.Enabled = true
+		for _, o := range opts {
+			o(&c.Obs)
+		}
+	}
+}
+
+// StatsProvider is implemented by trackers that expose their instrument
+// panel. All built-in trackers do; with observability off the snapshot is
+// mostly empty (the MiniGDB tracker still carries flight-recorder events,
+// which are always on — a flight recorder that is off when the session
+// crashes records nothing useful).
+type StatsProvider interface {
+	// Stats returns the JSON-serializable instrument snapshot.
+	Stats() *obs.Snapshot
+}
+
+// MetricsSource is implemented by trackers that let wrappers (AsyncTracker,
+// middleware) report into the same instrument panel.
+type MetricsSource interface {
+	// ObsMetrics returns the live metrics, or nil when observability is
+	// off.
+	ObsMetrics() *obs.Metrics
+}
+
+// Canonical instrument names. Trackers use these so tools can read one
+// snapshot schema across tracker kinds.
+const (
+	// Op latency histograms (per control/inspection operation).
+	OpStart      = "op.start"
+	OpResume     = "op.resume"
+	OpStep       = "op.step"
+	OpNext       = "op.next"
+	OpWatchCheck = "op.watch_check" // per-line watchpoint sweep (MiniPy)
+	OpMIRound    = "mi.round_trip"  // one MI command round trip (MiniGDB)
+	OpStateFetch = "op.state_fetch" // full snapshot fetch/convert
+
+	// Counters.
+	CtrPauses         = "pauses"
+	CtrWatchHits      = "watch_hits"
+	CtrLinesTraced    = "lines_traced"     // trace-hook line events (MiniPy)
+	CtrStepsReplayed  = "steps_replayed"   // trace replay advances
+	CtrMICommands     = "mi.commands"      // MI commands issued
+	CtrMIErrors       = "mi.errors"        // MI transport/record failures
+	CtrSnapshotHits   = "snapshot.hits"    // pause-scoped state cache hits
+	CtrSnapshotMisses = "snapshot.misses"  // full state conversions/transfers
+	CtrRecoveries     = "session.recoveries"
+	CtrLostItems      = "session.lost_items"
+
+	// Gauges.
+	GaugeAsyncQueue  = "async.queue_depth" // pending AsyncTracker commands
+	GaugeJournalSize = "session.journal"   // armed ops the journal replays
+	GaugeWatches     = "watches.armed"
+)
+
+// StatsOf returns tr's instrument snapshot through the capability chain
+// (wrappers implementing TrackerUnwrapper are seen through). ok is false
+// when tr does not expose an instrument panel; the returned snapshot is
+// then empty but non-nil, so tools can render it unconditionally.
+func StatsOf(tr Tracker) (*obs.Snapshot, bool) {
+	sp, ok := As[StatsProvider](tr)
+	if !ok {
+		return &obs.Snapshot{}, false
+	}
+	return sp.Stats(), true
+}

@@ -53,6 +53,8 @@ type LoadConfig struct {
 	// CommandTimeout bounds each debugger round trip for trackers that
 	// drive a debugger over a pipe; see WithCommandTimeout.
 	CommandTimeout time.Duration
+	// Obs configures the tracker's instrumentation; see WithObservability.
+	Obs ObsConfig
 }
 
 // LoadOption customizes LoadProgram.

@@ -271,6 +271,15 @@ func TestSubprocessCrashDetectedAndRecovered(t *testing.T) {
 	if !strings.Contains(err.Error(), "exit status 3") {
 		t.Fatalf("error does not carry the child's exit status: %v", err)
 	}
+	// The crash report carries the black box: the MI traffic that led up
+	// to the crash and the session layer's reaping of the child.
+	if len(te.Trail) == 0 {
+		t.Fatal("crash report carries no flight-recorder dump")
+	}
+	dump := te.FlightDump()
+	if !strings.Contains(dump, "mi>") || !strings.Contains(dump, "exit status 3") {
+		t.Fatalf("flight-recorder dump lacks MI traffic or reap status:\n%s", dump)
+	}
 	// The respawned debugger answers again.
 	if err := tr.Step(); err != nil {
 		t.Fatalf("step after respawn: %v", err)

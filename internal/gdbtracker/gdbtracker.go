@@ -22,12 +22,14 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"time"
 
 	"easytracker/internal/asm"
 	"easytracker/internal/core"
 	"easytracker/internal/isa"
 	"easytracker/internal/mi"
 	"easytracker/internal/minic"
+	"easytracker/internal/obs"
 )
 
 // Kind is the tracker registry name.
@@ -100,6 +102,14 @@ type Tracker struct {
 	bps     map[int]bpInfo // breakpoint id -> classification
 	watches map[int]string // watchpoint id -> variable identifier
 
+	// obs is the tracker's instrument panel. The flight recorder inside it
+	// is always on (sized by WithFlightRecorder, default 64 events): it is
+	// the black box quoted in session crash reports, and a recorder that
+	// only runs when observability was requested records nothing when an
+	// unobserved session dies. Counters/histograms/gauges activate with
+	// WithObservability.
+	obs *obs.Metrics
+
 	// subprocess mode (NewSubprocess)
 	subproc     string
 	subprocArgs []string
@@ -154,11 +164,61 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 	t.prog = prog
 	t.file = prog.SourceFile
 	t.source = prog.Source
+	t.initObs()
 	if err := t.bootInProcess(); err != nil {
 		return t.werr("LoadProgram", err)
 	}
 	t.loaded = true
 	return nil
+}
+
+// initObs builds the instrument panel for the loaded configuration: the
+// flight recorder always runs (the session layer's black box), the metric
+// instruments only with WithObservability.
+func (t *Tracker) initObs() {
+	events := t.cfg.Obs.Events
+	if events <= 0 {
+		events = obs.DefaultEvents
+	}
+	t.obs = obs.New(obs.Config{Enabled: t.cfg.Obs.Enabled, Events: events})
+}
+
+// Stats implements core.StatsProvider.
+func (t *Tracker) Stats() *obs.Snapshot {
+	s := t.obs.Snapshot()
+	s.Tracker = Kind
+	return s
+}
+
+// ObsMetrics implements core.MetricsSource, letting wrappers (AsyncTracker)
+// report into the same panel.
+func (t *Tracker) ObsMetrics() *obs.Metrics { return t.obs }
+
+// miTap is the wire-tap callback observing every MI round trip: the
+// command/record pair lands in the flight recorder, and with metrics on,
+// the round-trip latency lands in the OpMIRound histogram.
+func (t *Tracker) miTap(op string, args []string, resp *mi.Response, err error, d time.Duration) {
+	rec := t.obs.Recorder()
+	cmd := op
+	if len(args) > 0 {
+		cmd += " " + strings.Join(args, " ")
+	}
+	rec.Record("mi>", cmd)
+	switch {
+	case err != nil && resp == nil:
+		rec.Recordf("mi!", "%s: transport failed after %s: %v", op, d.Round(time.Microsecond), err)
+	case err != nil:
+		rec.Recordf("mi<", "%s (%s) %v", mi.SummarizeResponse(resp), d.Round(time.Microsecond), err)
+	default:
+		rec.Recordf("mi<", "%s (%s)", mi.SummarizeResponse(resp), d.Round(time.Microsecond))
+	}
+	if t.obs.Enabled() {
+		t.obs.Hist(core.OpMIRound).Observe(d)
+		t.obs.Counter(core.CtrMICommands).Inc()
+		if err != nil {
+			t.obs.Counter(core.CtrMIErrors).Inc()
+		}
+	}
 }
 
 // send issues an MI command and pumps inferior output to the tool's stdout.
@@ -216,12 +276,15 @@ func (t *Tracker) Start() error {
 			return t.werr("Start", err)
 		}
 	}
+	t0 := t.obs.Now()
 	resp, err := t.send("-exec-run")
 	if err != nil {
 		return t.werr("Start", err)
 	}
 	t.started = true
-	return t.werr("Start", t.classifyStop(resp))
+	err = t.classifyStop(resp)
+	t.obs.Observe(core.OpStart, t0)
+	return t.werr("Start", err)
 }
 
 // classifyStop turns the *stopped record into the pause reason taxonomy.
@@ -293,6 +356,13 @@ func (t *Tracker) classifyStop(resp *mi.Response) error {
 	default:
 		return fmt.Errorf("gdbtracker: unknown stop reason %q", reason)
 	}
+	t.obs.Event("pause", t.reason.String())
+	if t.obs.Enabled() {
+		t.obs.Counter(core.CtrPauses).Inc()
+		if t.reason.Type == core.PauseWatch {
+			t.obs.Counter(core.CtrWatchHits).Inc()
+		}
+	}
 	return nil
 }
 
@@ -354,11 +424,26 @@ func (t *Tracker) control(name, op string) error {
 	if t.exited {
 		return t.werr(name, core.ErrExited)
 	}
+	t0 := t.obs.Now()
 	resp, err := t.send(op)
-	if err != nil {
-		return t.werr(name, err)
+	if err == nil {
+		err = t.classifyStop(resp)
 	}
-	return t.werr(name, t.classifyStop(resp))
+	t.obs.Observe(opHistName(name), t0)
+	return t.werr(name, err)
+}
+
+// opHistName maps a public control-op name onto its canonical histogram.
+func opHistName(name string) string {
+	switch name {
+	case "Resume":
+		return core.OpResume
+	case "Step":
+		return core.OpStep
+	case "Next":
+		return core.OpNext
+	}
+	return "op." + strings.ToLower(name)
 }
 
 // Resume continues to the next pause condition.
@@ -401,6 +486,7 @@ func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOptio
 		return t.werr("BreakBeforeLine", err)
 	}
 	t.journal = append(t.journal, armRecord{kind: armBreakLine, file: file, line: line, maxDepth: bc.MaxDepth})
+	t.obs.Gauge(core.GaugeJournalSize).Set(int64(len(t.journal)))
 	return nil
 }
 
@@ -439,6 +525,7 @@ func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
 		return t.werr("BreakBeforeFunc", err)
 	}
 	t.journal = append(t.journal, armRecord{kind: armBreakFunc, fn: name, maxDepth: bc.MaxDepth})
+	t.obs.Gauge(core.GaugeJournalSize).Set(int64(len(t.journal)))
 	return nil
 }
 
@@ -479,6 +566,7 @@ func (t *Tracker) TrackFunction(name string) error {
 		return t.werr("TrackFunction", err)
 	}
 	t.journal = append(t.journal, armRecord{kind: armTrack, fn: name})
+	t.obs.Gauge(core.GaugeJournalSize).Set(int64(len(t.journal)))
 	return nil
 }
 
@@ -535,6 +623,7 @@ func (t *Tracker) Watch(varID string) error {
 		return t.werr("Watch", err)
 	}
 	t.journal = append(t.journal, armRecord{kind: armWatch, varID: varID})
+	t.obs.Gauge(core.GaugeJournalSize).Set(int64(len(t.journal)))
 	return nil
 }
 
@@ -556,6 +645,7 @@ func (t *Tracker) armWatch(varID string) error {
 	wpt, _ := resp.Result.Results.Get("wpt").(mi.Tuple)
 	no, _ := wpt.GetInt("number")
 	t.watches[int(no)] = varID
+	t.obs.Gauge(core.GaugeWatches).Set(int64(len(t.watches)))
 	return nil
 }
 
@@ -602,11 +692,14 @@ func (t *Tracker) fetchState() (*core.State, error) {
 		return nil, core.ErrExited
 	}
 	if t.state != nil {
+		t.obs.Counter(core.CtrSnapshotHits).Inc()
 		return t.state, nil
 	}
 	if st := t.revalidateStale(); st != nil {
+		t.obs.Counter(core.CtrSnapshotHits).Inc()
 		return st, nil
 	}
+	t0 := t.obs.Now()
 	resp, err := t.send("-et-inspect")
 	if err != nil {
 		return nil, err
@@ -617,6 +710,8 @@ func (t *Tracker) fetchState() (*core.State, error) {
 	}
 	t.state = &st
 	t.stateVersion, _ = strconv.ParseUint(resp.Result.GetString("version"), 10, 64)
+	t.obs.Observe(core.OpStateFetch, t0)
+	t.obs.Counter(core.CtrSnapshotMisses).Inc()
 	return &st, nil
 }
 

@@ -57,13 +57,19 @@ func (a armRecord) String() string {
 // In-process mode only; must be called before LoadProgram.
 func (t *Tracker) SetConnWrapper(wrap func(mi.Conn) mi.Conn) { t.wrapConn = wrap }
 
-// setTransport wires the client behind the configured command deadline.
+// setTransport wires the client behind the configured command deadline and
+// the observability wire tap. The tap is outermost, so it sees round trips
+// exactly as the tracker does — including deadline expiries and transport
+// deaths the DeadlineTransport below it produces.
 func (t *Tracker) setTransport(c *mi.Client) {
+	var trans mi.Transport = c
 	if t.cfg.CommandTimeout > 0 {
-		t.trans = &mi.DeadlineTransport{T: c, Timeout: t.cfg.CommandTimeout}
-	} else {
-		t.trans = c
+		trans = &mi.DeadlineTransport{T: trans, Timeout: t.cfg.CommandTimeout}
 	}
+	if t.obs != nil {
+		trans = &mi.TapTransport{T: trans, Tap: t.miTap}
+	}
+	t.trans = trans
 }
 
 // bootInProcess starts a fresh in-process MI server for the loaded program
@@ -167,24 +173,33 @@ func (t *Tracker) recoverSession(op string, cause error) error {
 	}
 	wasStarted := t.started
 	wasImplicit := t.implicit
+	t.obs.Event("session", fmt.Sprintf("%s failed at line %d: %v", op, t.curLine, cause))
 	status := t.teardown()
 	te.Err = classifySessionErr(cause, status)
+	if status != "" {
+		t.obs.Event("session", "minigdb reaped: "+status)
+	}
 
 	if t.recovered {
 		// The one-shot recovery budget is spent: declare the session
 		// dead instead of thrashing through restart loops.
+		t.obs.Event("session", "recovery budget spent; retiring session")
 		t.markDead()
 		te.Recovery = core.RecoveryFailed
+		te.Trail = t.obs.EventDump()
 		return te
 	}
 	t.recovered = true
 	t.recovering = true
 	defer func() { t.recovering = false }()
+	t.obs.Counter(core.CtrRecoveries).Inc()
 
 	if err := t.reboot(); err != nil {
+		t.obs.Event("session", "restart failed: "+err.Error())
 		t.markDead()
 		te.Recovery = core.RecoveryFailed
 		te.Err = fmt.Errorf("%w; restart failed: %v", te.Err, err)
+		te.Trail = t.obs.EventDump()
 		return te
 	}
 
@@ -199,9 +214,11 @@ func (t *Tracker) recoverSession(op string, cause error) error {
 
 	if wasStarted {
 		if err := t.Start(); err != nil {
+			t.obs.Event("session", "restart failed: "+err.Error())
 			t.markDead()
 			te.Recovery = core.RecoveryFailed
 			te.Err = fmt.Errorf("%w; restart failed: %v", te.Err, err)
+			te.Trail = t.obs.EventDump()
 			return te
 		}
 		// If the original session was started implicitly (a breakpoint
@@ -211,7 +228,10 @@ func (t *Tracker) recoverSession(op string, cause error) error {
 		te.Lost = t.replayJournal()
 	}
 	// Execution progress is always lost: the inferior is back at entry.
+	t.obs.Event("session", fmt.Sprintf(
+		"restarted; journal replayed (%d armed, %d lost)", len(t.journal), len(te.Lost)))
 	te.Recovery = core.RecoveryRestarted
+	te.Trail = t.obs.EventDump()
 	return te
 }
 
@@ -234,6 +254,10 @@ func (t *Tracker) replayJournal() (lost []string) {
 		}
 		if err != nil {
 			lost = append(lost, a.String())
+			// The flight recorder keeps the evidence of what the
+			// recovered session is missing — and why re-arming failed.
+			t.obs.Event("lost", a.String()+": "+err.Error())
+			t.obs.Counter(core.CtrLostItems).Inc()
 		}
 	}
 	return lost
@@ -243,16 +267,20 @@ func (t *Tracker) replayJournal() (lost []string) {
 // fail with ErrSessionLost, and ExitCode reports termination so Listing-1
 // style loops come to an end.
 func (t *Tracker) markDead() {
+	t.obs.Event("session", "session retired; ExitCode reports -1/done")
 	t.dead = true
 	t.exited = true
 	t.exitCode = -1
 }
 
-// sessionDead is the error every call on a dead session gets.
+// sessionDead is the error every call on a dead session gets. It carries
+// the flight-recorder dump: the recorder outlives the session, so the
+// postmortem trail stays available to every later caller.
 func (t *Tracker) sessionDead(op string) error {
 	return &core.TrackerError{
 		Op: op, Kind: Kind, File: t.file, Line: t.curLine,
 		Recovery: core.RecoveryFailed,
+		Trail:    t.obs.EventDump(),
 		Err:      fmt.Errorf("%w: session is down", core.ErrSessionLost),
 	}
 }

@@ -73,6 +73,7 @@ func (t *Tracker) loadSubprocess(path string, cfg core.LoadConfig) error {
 	t.prog = prog
 	t.file = prog.SourceFile
 	t.source = prog.Source
+	t.initObs()
 
 	if err := t.bootSubprocess(); err != nil {
 		_ = os.RemoveAll(dir)

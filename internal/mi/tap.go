@@ -1,0 +1,64 @@
+package mi
+
+import (
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TapFunc observes one completed MI round trip: the command as sent, the
+// response (nil when the transport itself failed), the error, and the wall
+// time the round trip took. It runs on the goroutine that issued the
+// command, after the response is complete — taps must not block.
+type TapFunc func(op string, args []string, resp *Response, err error, d time.Duration)
+
+// TapTransport is the MI wire tap: a Transport middleware that reports every
+// command/record pair to a TapFunc. The session layer stacks it outermost
+// (above DeadlineTransport), so timeouts and transport deaths are observed
+// exactly as the tracker sees them — which is what makes the flight
+// recorder a faithful black box for crash reports.
+type TapTransport struct {
+	T   Transport
+	Tap TapFunc
+}
+
+// RoundTrip implements Transport.
+func (t *TapTransport) RoundTrip(op string, args ...string) (*Response, error) {
+	t0 := time.Now()
+	resp, err := t.T.RoundTrip(op, args...)
+	if t.Tap != nil {
+		t.Tap(op, args, resp, err, time.Since(t0))
+	}
+	return resp, err
+}
+
+// TakeOutput implements Transport.
+func (t *TapTransport) TakeOutput() string { return t.T.TakeOutput() }
+
+// Close implements Transport.
+func (t *TapTransport) Close() error { return t.T.Close() }
+
+// SummarizeResponse renders a one-line summary of an MI response for event
+// logs: the result class plus the stop reason, if any ("^done *stopped
+// reason=breakpoint-hit line=12").
+func SummarizeResponse(resp *Response) string {
+	if resp == nil {
+		return "<no response>"
+	}
+	var b strings.Builder
+	b.WriteString("^")
+	if resp.Result.Class == "" {
+		b.WriteString("<none>")
+	} else {
+		b.WriteString(resp.Result.Class)
+	}
+	if stopped, ok := resp.Stopped(); ok {
+		b.WriteString(" *stopped reason=")
+		b.WriteString(stopped.GetString("reason"))
+		if line, ok := stopped.Results.GetInt("line"); ok && line > 0 {
+			b.WriteString(" line=")
+			b.WriteString(strconv.FormatInt(line, 10))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Event is one entry of the flight recorder.
+type Event struct {
+	// Seq numbers events from 1 in record order; gaps in a snapshot mean
+	// the ring wrapped past the missing entries.
+	Seq uint64 `json:"seq"`
+	// AtNs is the event time relative to the recorder's creation.
+	AtNs int64 `json:"at_ns"`
+	// Kind classifies the event ("cmd", "pause", "mi>", "mi<", "session",
+	// "lost", ...).
+	Kind string `json:"kind"`
+	// Detail is the human-readable payload.
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the event the way a crash dump shows it.
+func (e Event) String() string {
+	return fmt.Sprintf("%+.3fms %-7s %s", float64(e.AtNs)/1e6, e.Kind, e.Detail)
+}
+
+// FlightRecorder retains the last N events in a fixed ring buffer. Recording
+// is lock-free: a producer claims a slot with one atomic add and publishes
+// the event with one atomic pointer store, so concurrent producers (inferior
+// goroutine, tool goroutine, async owner goroutine) never contend on a lock
+// and never tear an entry. Snapshot orders whatever is published by sequence
+// number; an in-flight producer's entry may be missing, never corrupt.
+type FlightRecorder struct {
+	start time.Time
+	seq   atomic.Uint64
+	slots []atomic.Pointer[Event]
+}
+
+// NewFlightRecorder builds a recorder retaining the last n events (n >= 1).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		n = 1
+	}
+	return &FlightRecorder{
+		start: time.Now(),
+		slots: make([]atomic.Pointer[Event], n),
+	}
+}
+
+// Cap returns the number of retained events.
+func (r *FlightRecorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Total returns how many events were ever recorded (retained or wrapped
+// over). Safe on a nil receiver.
+func (r *FlightRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Record appends one event, overwriting the oldest once the ring is full.
+// Safe on a nil receiver.
+func (r *FlightRecorder) Record(kind, detail string) {
+	if r == nil {
+		return
+	}
+	ev := &Event{
+		Seq:    r.seq.Add(1),
+		AtNs:   time.Since(r.start).Nanoseconds(),
+		Kind:   kind,
+		Detail: detail,
+	}
+	r.slots[(ev.Seq-1)%uint64(len(r.slots))].Store(ev)
+}
+
+// Recordf is Record with formatting. Safe on a nil receiver.
+func (r *FlightRecorder) Recordf(kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(kind, fmt.Sprintf(format, args...))
+}
+
+// Snapshot returns the retained events ordered oldest first. Entries being
+// overwritten concurrently may be skipped; the result is always a valid
+// suffix-with-gaps of the event history.
+func (r *FlightRecorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(r.slots))
+	for i := range r.slots {
+		if ev := r.slots[i].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Dump renders the retained events oldest first, one line per event — the
+// flight-recorder dump attached to crash reports.
+func (r *FlightRecorder) Dump() []string {
+	evs := r.Snapshot()
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.String()
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Snapshot is the JSON-serializable export of one Metrics value — what
+// easytracker.Stats returns and what the -stats CLI flags print.
+type Snapshot struct {
+	// Tracker is the tracker kind that produced the snapshot ("minipy",
+	// "minigdb", "trace", or "" for non-tracker instrument panels).
+	Tracker string `json:"tracker,omitempty"`
+	// Enabled reports whether the metric instruments were on; a disabled
+	// snapshot may still carry flight-recorder events.
+	Enabled bool `json:"enabled"`
+	// UptimeNs is the time since the Metrics value was created.
+	UptimeNs int64 `json:"uptime_ns,omitempty"`
+	// Counters, Gauges and Ops hold the named instruments.
+	Counters map[string]uint64        `json:"counters,omitempty"`
+	Gauges   map[string]GaugeStats    `json:"gauges,omitempty"`
+	Ops      map[string]LatencyStats  `json:"ops,omitempty"`
+	// Events is the flight recorder's retained tail, oldest first;
+	// EventsDropped counts the older events the ring wrapped over.
+	Events        []Event `json:"events,omitempty"`
+	EventsDropped uint64  `json:"events_dropped,omitempty"`
+}
+
+// GaugeStats is the exported form of a Gauge.
+type GaugeStats struct {
+	Value int64 `json:"value"`
+	Max   int64 `json:"max"`
+}
+
+// LatencyStats is the exported form of a Histogram.
+type LatencyStats struct {
+	Count  uint64 `json:"count"`
+	SumNs  uint64 `json:"sum_ns"`
+	MinNs  uint64 `json:"min_ns"`
+	MaxNs  uint64 `json:"max_ns"`
+	MeanNs uint64 `json:"mean_ns"`
+	// Buckets lists the non-empty power-of-two latency buckets.
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Bucket is one non-empty histogram bucket: Count observations at or below
+// LeNs nanoseconds (and above the previous bucket's bound).
+type Bucket struct {
+	LeNs  uint64 `json:"le_ns"`
+	Count uint64 `json:"count"`
+}
+
+// Stats exports the histogram. Safe on a nil receiver.
+func (h *Histogram) Stats() LatencyStats {
+	if h == nil {
+		return LatencyStats{}
+	}
+	s := LatencyStats{
+		Count: h.count.Load(),
+		SumNs: h.sumNs.Load(),
+		MaxNs: h.maxNs.Load(),
+	}
+	if m := h.minNs.Load(); m > 0 {
+		s.MinNs = m - 1
+	}
+	if s.Count > 0 {
+		s.MeanNs = s.SumNs / s.Count
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{LeNs: 1<<uint(i) - 1, Count: n})
+		}
+	}
+	return s
+}
+
+// Snapshot exports the current instrument readings. Safe on a nil receiver,
+// which yields the canonical "observability off" snapshot.
+func (m *Metrics) Snapshot() *Snapshot {
+	if m == nil {
+		return &Snapshot{}
+	}
+	s := &Snapshot{
+		Enabled:  m.enabled,
+		UptimeNs: time.Since(m.start).Nanoseconds(),
+	}
+	m.mu.RLock()
+	if len(m.counters) > 0 {
+		s.Counters = make(map[string]uint64, len(m.counters))
+		for name, c := range m.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(m.gauges) > 0 {
+		s.Gauges = make(map[string]GaugeStats, len(m.gauges))
+		for name, g := range m.gauges {
+			s.Gauges[name] = GaugeStats{Value: g.Value(), Max: g.Max()}
+		}
+	}
+	if len(m.hists) > 0 {
+		s.Ops = make(map[string]LatencyStats, len(m.hists))
+		for name, h := range m.hists {
+			s.Ops[name] = h.Stats()
+		}
+	}
+	m.mu.RUnlock()
+	if m.rec != nil {
+		s.Events = m.rec.Snapshot()
+		if total := m.rec.Total(); total > uint64(len(s.Events)) {
+			s.EventsDropped = total - uint64(len(s.Events))
+		}
+	}
+	return s
+}
+
+// OpNames lists the snapshot's op histograms sorted by name (stable output
+// for tools rendering the panel).
+func (s *Snapshot) OpNames() []string {
+	names := make([]string, 0, len(s.Ops))
+	for name := range s.Ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -15,6 +15,7 @@ import (
 
 	"easytracker/internal/core"
 	"easytracker/internal/minipy"
+	"easytracker/internal/obs"
 )
 
 // Kind is the tracker registry name.
@@ -108,6 +109,19 @@ type Tracker struct {
 	snapSeq   uint64
 	snapEpoch uint64
 	snapState *core.State
+
+	// obs is the tracker's instrument panel, nil unless WithObservability
+	// was given: unlike gdbtracker there is no session layer needing a
+	// black box, and the trace hook runs on every executed line, so even
+	// the always-on flight recorder would tax the default path. All obs
+	// methods are nil-safe, so the off cost is one pointer test. The
+	// counters touched per line are cached to skip the registry lookup.
+	obs          *obs.Metrics
+	ctrLines     *obs.Counter
+	ctrPauses    *obs.Counter
+	ctrWatchHits *obs.Counter
+	ctrSnapHit   *obs.Counter
+	ctrSnapMiss  *obs.Counter
 }
 
 // New returns an unloaded MiniPy tracker.
@@ -149,9 +163,39 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 	t.module = mod
 	t.interp = in
 	t.cfg = cfg
+	t.initObs()
 	t.loaded = true
 	return nil
 }
+
+// initObs builds the instrument panel when observability was requested; the
+// tracker keeps a nil panel otherwise so the per-line hot path pays nothing.
+func (t *Tracker) initObs() {
+	if !t.cfg.Obs.Enabled {
+		return
+	}
+	events := t.cfg.Obs.Events
+	if events <= 0 {
+		events = obs.DefaultEvents
+	}
+	t.obs = obs.New(obs.Config{Enabled: true, Events: events})
+	t.ctrLines = t.obs.Counter(core.CtrLinesTraced)
+	t.ctrPauses = t.obs.Counter(core.CtrPauses)
+	t.ctrWatchHits = t.obs.Counter(core.CtrWatchHits)
+	t.ctrSnapHit = t.obs.Counter(core.CtrSnapshotHits)
+	t.ctrSnapMiss = t.obs.Counter(core.CtrSnapshotMisses)
+}
+
+// Stats implements core.StatsProvider.
+func (t *Tracker) Stats() *obs.Snapshot {
+	s := t.obs.Snapshot()
+	s.Tracker = Kind
+	return s
+}
+
+// ObsMetrics implements core.MetricsSource, letting wrappers (AsyncTracker)
+// report into the same panel; nil when observability is off.
+func (t *Tracker) ObsMetrics() *obs.Metrics { return t.obs }
 
 // Start launches the inferior goroutine and pauses at the entry point (the
 // first executable line of the module).
@@ -163,11 +207,14 @@ func (t *Tracker) Start() error {
 		return t.werr("Start", errors.New("pytracker: already started"))
 	}
 	t.started = true
+	t0 := t.obs.Now()
 	go func() {
 		code, err := t.interp.Run()
 		t.doneCh <- exitInfo{code, err}
 	}()
-	return t.werr("Start", t.waitPause())
+	err := t.waitPause()
+	t.obs.Observe(core.OpStart, t0)
+	return t.werr("Start", err)
 }
 
 // traceFn runs in the inferior goroutine between every event.
@@ -179,6 +226,7 @@ func (t *Tracker) traceFn(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Objec
 	if ev == minipy.EventLine {
 		t.lastLine = t.prevLine
 		t.prevLine = fr.Line
+		t.ctrLines.Inc()
 	}
 	if !pause {
 		return nil
@@ -281,6 +329,17 @@ func depthOK(maxDepth, depth int) bool {
 // anything. Only a rebinding or a dirty object graph falls back to the deep
 // structural compare (core.Value.Equivalent) on a fresh conversion.
 func (t *Tracker) checkWatches(fr *minipy.RTFrame) (core.PauseReason, bool) {
+	if len(t.watches) == 0 {
+		return core.PauseReason{}, false
+	}
+	t0 := t.obs.Now()
+	r, hit := t.compareWatches(fr)
+	t.obs.Observe(core.OpWatchCheck, t0)
+	return r, hit
+}
+
+// compareWatches is the comparison loop behind checkWatches.
+func (t *Tracker) compareWatches(fr *minipy.RTFrame) (core.PauseReason, bool) {
 	for _, w := range t.watches {
 		obj, ok := t.resolveVar(fr, w.id)
 		if !ok {
@@ -359,12 +418,14 @@ func (t *Tracker) waitPause() error {
 	t.pauseSeq++
 	select {
 	case <-t.pauseCh:
+		t.notePause()
 		return nil
 	case d := <-t.doneCh:
 		t.exited = true
 		t.exitCode = d.code
 		t.curFrame = nil
 		t.reason = core.PauseReason{Type: core.PauseExited, ExitCode: d.code}
+		t.notePause()
 		if d.err != nil && !errors.Is(d.err, errTerminated) {
 			return d.err
 		}
@@ -372,7 +433,19 @@ func (t *Tracker) waitPause() error {
 	}
 }
 
-func (t *Tracker) resumeWith(mode stepMode) error {
+// notePause reports a completed pause into the instrument panel.
+func (t *Tracker) notePause() {
+	if t.obs == nil {
+		return
+	}
+	t.ctrPauses.Inc()
+	if t.reason.Type == core.PauseWatch {
+		t.ctrWatchHits.Inc()
+	}
+	t.obs.Event("pause", t.reason.String())
+}
+
+func (t *Tracker) resumeWith(mode stepMode, opName string) error {
 	if !t.started {
 		return core.ErrNotStarted
 	}
@@ -383,18 +456,21 @@ func (t *Tracker) resumeWith(mode stepMode) error {
 	if mode == modeNext && t.curFrame != nil {
 		t.nextDepth = t.curFrame.Depth
 	}
+	t0 := t.obs.Now()
 	t.resumeCh <- struct{}{}
-	return t.waitPause()
+	err := t.waitPause()
+	t.obs.Observe(opName, t0)
+	return err
 }
 
 // Resume continues to the next pause condition or termination.
-func (t *Tracker) Resume() error { return t.werr("Resume", t.resumeWith(modeRun)) }
+func (t *Tracker) Resume() error { return t.werr("Resume", t.resumeWith(modeRun, core.OpResume)) }
 
 // Step executes one line, entering calls.
-func (t *Tracker) Step() error { return t.werr("Step", t.resumeWith(modeStep)) }
+func (t *Tracker) Step() error { return t.werr("Step", t.resumeWith(modeStep, core.OpStep)) }
 
 // Next executes one line, stepping over calls.
-func (t *Tracker) Next() error { return t.werr("Next", t.resumeWith(modeNext)) }
+func (t *Tracker) Next() error { return t.werr("Next", t.resumeWith(modeNext, core.OpNext)) }
 
 // werr wraps err in the tracker's typed error (core.TrackerError), keeping
 // errors.Is/errors.As against the sentinels working.
@@ -490,6 +566,7 @@ func (t *Tracker) Watch(varID string) error {
 		return t.werr("Watch", core.ErrNoProgram)
 	}
 	t.watches = append(t.watches, &watch{id: varID})
+	t.obs.Gauge(core.GaugeWatches).Set(int64(len(t.watches)))
 	return nil
 }
 
@@ -555,6 +632,7 @@ func (t *Tracker) State() (*core.State, error) {
 		return &core.State{Reason: t.reason}, nil
 	}
 	if t.snapState == nil || t.snapSeq != t.pauseSeq || t.snapEpoch != t.interp.Epoch() {
+		t0 := t.obs.Now()
 		conv := minipy.NewConverter()
 		t.snapState = &core.State{
 			Frame:   minipy.SnapshotFrame(conv, t.curFrame, t.file),
@@ -562,6 +640,10 @@ func (t *Tracker) State() (*core.State, error) {
 			Reason:  t.reason,
 		}
 		t.snapSeq, t.snapEpoch = t.pauseSeq, t.interp.Epoch()
+		t.obs.Observe(core.OpStateFetch, t0)
+		t.ctrSnapMiss.Inc()
+	} else {
+		t.ctrSnapHit.Inc()
 	}
 	cp := *t.snapState
 	return &cp, nil

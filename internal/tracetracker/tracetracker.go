@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"easytracker/internal/core"
+	"easytracker/internal/obs"
 	"easytracker/internal/pt"
 )
 
@@ -51,6 +52,14 @@ type Tracker struct {
 	funcBPs []funcBP
 	tracked map[string]bool
 	watches []string
+
+	// obs is the tracker's instrument panel, nil unless WithObservability
+	// was given on LoadProgram (LoadTrace installs a trace directly and
+	// carries no options, so it replays unobserved). The replay loop visits
+	// every recorded step, so the counter it touches is cached.
+	obs       *obs.Metrics
+	ctrSteps  *obs.Counter
+	ctrPauses *obs.Counter
 }
 
 // New returns an unloaded trace tracker.
@@ -83,8 +92,30 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 	if err != nil {
 		return err
 	}
-	return t.LoadTrace(tr)
+	if err := t.LoadTrace(tr); err != nil {
+		return err
+	}
+	if cfg.Obs.Enabled {
+		events := cfg.Obs.Events
+		if events <= 0 {
+			events = obs.DefaultEvents
+		}
+		t.obs = obs.New(obs.Config{Enabled: true, Events: events})
+		t.ctrSteps = t.obs.Counter(core.CtrStepsReplayed)
+		t.ctrPauses = t.obs.Counter(core.CtrPauses)
+	}
+	return nil
 }
+
+// Stats implements core.StatsProvider.
+func (t *Tracker) Stats() *obs.Snapshot {
+	s := t.obs.Snapshot()
+	s.Tracker = Kind
+	return s
+}
+
+// ObsMetrics implements core.MetricsSource; nil when observability is off.
+func (t *Tracker) ObsMetrics() *obs.Metrics { return t.obs }
 
 // step returns the current step.
 func (t *Tracker) step() *pt.Step { return &t.trace.Steps[t.pos] }
@@ -113,13 +144,27 @@ func (t *Tracker) Start() error {
 		File: t.trace.File,
 		Line: t.step().Line,
 	}
+	t.notePause()
 	return nil
+}
+
+// notePause reports a completed pause into the instrument panel.
+func (t *Tracker) notePause() {
+	if t.obs == nil {
+		return
+	}
+	t.ctrPauses.Inc()
+	if t.reason.Type == core.PauseWatch {
+		t.obs.Counter(core.CtrWatchHits).Inc()
+	}
+	t.obs.Event("pause", t.reason.String())
 }
 
 // advance moves to the next step, handling the end of the trace.
 func (t *Tracker) advance() bool {
 	t.lastLine = t.step().Line
 	t.pos++
+	t.ctrSteps.Inc()
 	if t.pos >= len(t.trace.Steps) || t.trace.Steps[t.pos].Event == pt.EventFinished {
 		t.exited = true
 		t.reason = core.PauseReason{Type: core.PauseExited, ExitCode: t.trace.ExitCode}
@@ -244,16 +289,20 @@ func (t *Tracker) Resume() error {
 	if err := t.controlOK(); err != nil {
 		return t.werr("Resume", err)
 	}
+	t0 := t.obs.Now()
 	for {
 		prev := t.pos
 		if !t.advance() {
-			return nil
+			break
 		}
 		if r, ok := t.pauseHere(prev); ok {
 			t.reason = r
-			return nil
+			break
 		}
 	}
+	t.obs.Observe(core.OpResume, t0)
+	t.notePause()
+	return nil
 }
 
 // Step advances one recorded step.
@@ -261,12 +310,14 @@ func (t *Tracker) Step() error {
 	if err := t.controlOK(); err != nil {
 		return t.werr("Step", err)
 	}
-	if !t.advance() {
-		return nil
+	t0 := t.obs.Now()
+	if t.advance() {
+		t.reason = core.PauseReason{
+			Type: core.PauseStep, File: t.trace.File, Line: t.step().Line,
+		}
 	}
-	t.reason = core.PauseReason{
-		Type: core.PauseStep, File: t.trace.File, Line: t.step().Line,
-	}
+	t.obs.Observe(core.OpStep, t0)
+	t.notePause()
 	return nil
 }
 
@@ -275,18 +326,22 @@ func (t *Tracker) Next() error {
 	if err := t.controlOK(); err != nil {
 		return t.werr("Next", err)
 	}
+	t0 := t.obs.Now()
 	startDepth := t.depthAt(t.pos)
 	for {
 		if !t.advance() {
-			return nil
+			break
 		}
 		if t.depthAt(t.pos) <= startDepth {
 			t.reason = core.PauseReason{
 				Type: core.PauseStep, File: t.trace.File, Line: t.step().Line,
 			}
-			return nil
+			break
 		}
 	}
+	t.obs.Observe(core.OpNext, t0)
+	t.notePause()
+	return nil
 }
 
 func (t *Tracker) controlOK() error {
@@ -345,6 +400,7 @@ func (t *Tracker) Watch(varID string) error {
 		return t.werr("Watch", core.ErrNoProgram)
 	}
 	t.watches = append(t.watches, varID)
+	t.obs.Gauge(core.GaugeWatches).Set(int64(len(t.watches)))
 	return nil
 }
 

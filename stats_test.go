@@ -1,0 +1,209 @@
+package easytracker_test
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"easytracker"
+)
+
+// TestStatsBothTrackers drives the same program through both live trackers
+// with observability on and checks that Stats returns one comparable
+// snapshot schema: op counters, per-op latency histograms and — for the
+// MiniGDB tracker — MI round-trip stats.
+func TestStatsBothTrackers(t *testing.T) {
+	cases := []struct {
+		kind, path, src string
+	}{
+		{"minipy", "agree.py", agreePy},
+		{"minigdb", "agree.c", agreeC},
+	}
+	for _, tc := range cases {
+		t.Run(tc.kind, func(t *testing.T) {
+			tr := newTracker(t, tc.kind)
+			err := tr.LoadProgram(tc.path,
+				easytracker.WithSource(tc.src),
+				easytracker.WithObservability(easytracker.WithFlightRecorder(32)))
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			defer tr.Terminate()
+			if err := tr.Start(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Watch("::total"); err != nil {
+				t.Fatal(err)
+			}
+			hits := 0
+			for {
+				if err := tr.Resume(); err != nil {
+					t.Fatal(err)
+				}
+				if _, done := tr.ExitCode(); done {
+					break
+				}
+				if tr.PauseReason().Type == easytracker.PauseWatch {
+					hits++
+				}
+				if _, err := tr.CurrentFrame(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			snap, ok := easytracker.Stats(tr)
+			if !ok {
+				t.Fatal("tracker exposes no instrument panel")
+			}
+			if snap.Tracker != tc.kind || !snap.Enabled {
+				t.Fatalf("snapshot header = %q/%v", snap.Tracker, snap.Enabled)
+			}
+			if !easytracker.Capabilities(tr).Stats {
+				t.Fatal("Capabilities does not report Stats")
+			}
+			res, ok := snap.Ops["op.resume"]
+			if !ok || res.Count == 0 {
+				t.Fatalf("no Resume latencies: %+v", snap.Ops)
+			}
+			if snap.Counters["pauses"] == 0 {
+				t.Fatalf("no pauses counted: %+v", snap.Counters)
+			}
+			if got := snap.Counters["watch_hits"]; got != uint64(hits) {
+				t.Fatalf("watch_hits = %d, observed %d watch pauses", got, hits)
+			}
+			if g := snap.Gauges["watches.armed"]; g.Value != 1 {
+				t.Fatalf("watches.armed = %+v, want 1", g)
+			}
+			if tc.kind == "minigdb" {
+				mir, ok := snap.Ops["mi.round_trip"]
+				if !ok || mir.Count == 0 {
+					t.Fatalf("no MI round-trip stats: %+v", snap.Ops)
+				}
+				if snap.Counters["mi.commands"] == 0 {
+					t.Fatal("no MI commands counted")
+				}
+			}
+			if len(snap.Events) == 0 {
+				t.Fatal("flight recorder is empty")
+			}
+
+			// The snapshot is the JSON document the -stats flags print.
+			data, err := json.Marshal(snap)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var back easytracker.Snapshot
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatalf("round trip: %v", err)
+			}
+			if back.Tracker != tc.kind || back.Counters["pauses"] != snap.Counters["pauses"] {
+				t.Fatalf("JSON round trip lost data: %+v", back)
+			}
+		})
+	}
+}
+
+// TestStatsDisabledByDefault: without WithObservability the snapshot is
+// empty for the MiniPy tracker (no metrics, no recorder) while Capabilities
+// still reports the panel so tools can render it unconditionally.
+func TestStatsDisabledByDefault(t *testing.T) {
+	tr := newTracker(t, "minipy")
+	if err := tr.LoadProgram("agree.py", easytracker.WithSource(agreePy)); err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Terminate()
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := easytracker.Stats(tr)
+	if !ok {
+		t.Fatal("Stats not available")
+	}
+	if snap.Enabled || len(snap.Counters) != 0 || len(snap.Ops) != 0 || len(snap.Events) != 0 {
+		t.Fatalf("disabled tracker collected data: %+v", snap)
+	}
+}
+
+// TestAsyncQueueDepthGauge floods an observed tracker's async wrapper from
+// concurrent producers and checks the queue-depth gauge: the high watermark
+// must have seen the backlog and the value must drain back to zero. Run
+// under -race this also exercises the instrument panel from three sides at
+// once (producers enqueueing, the owner goroutine completing commands, and
+// a reader polling the snapshot).
+func TestAsyncQueueDepthGauge(t *testing.T) {
+	tr := newTracker(t, "minipy")
+	err := tr.LoadProgram("agree.py",
+		easytracker.WithSource(agreePy), easytracker.WithObservability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	async := easytracker.NewAsync(tr)
+	defer async.Close()
+
+	async.Start()
+	const producers, perProducer = 4, 8
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				async.Step()
+			}
+		}()
+	}
+	// A concurrent reader polls the snapshot while commands flow.
+	stop := make(chan struct{})
+	var rd sync.WaitGroup
+	rd.Add(1)
+	go func() {
+		defer rd.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				easytracker.Stats(tr)
+			}
+		}
+	}()
+
+	got := 0
+	deadline := time.After(30 * time.Second)
+	for got < producers*perProducer+1 { // +1 for Start
+		select {
+		case <-async.Events():
+			got++
+		case <-deadline:
+			t.Fatalf("drained %d events, expected %d", got, producers*perProducer+1)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	rd.Wait()
+
+	snap, _ := easytracker.Stats(tr)
+	g, ok := snap.Gauges["async.queue_depth"]
+	if !ok {
+		t.Fatalf("no queue-depth gauge: %+v", snap.Gauges)
+	}
+	if g.Value != 0 {
+		t.Fatalf("queue depth after drain = %d, want 0", g.Value)
+	}
+	if g.Max < 1 {
+		t.Fatalf("queue high watermark = %d, want >= 1", g.Max)
+	}
+	// The async layer leaves completion events in the flight recorder.
+	found := false
+	for _, ev := range snap.Events {
+		if ev.Kind == "async" && strings.Contains(ev.Detail, "Step") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no async completion events in flight recorder: %v", snap.Events)
+	}
+}
