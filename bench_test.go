@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"easytracker"
 	"easytracker/internal/core"
@@ -535,6 +536,44 @@ func BenchmarkResumeWithWatchpointMiniPy(b *testing.B) {
 	src := "total = 0\nk = 0\nwhile k < 200:\n    k = k + 1\ntotal = 1\n"
 	for i := 0; i < b.N; i++ {
 		tr := mustTracker(b, "minipy", "w.py", src)
+		if err := tr.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Watch("::total"); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, done := tr.ExitCode(); done {
+				break
+			}
+			if err := tr.Resume(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tr.Terminate()
+	}
+}
+
+// BenchmarkBudgetCheckOverhead is BenchmarkResumeWithWatchpointMiniPy's
+// workload with every supervision budget armed (high enough never to trip)
+// plus a generous execution deadline. The per-line supervision check —
+// interrupt flag load + three budget comparisons — must be allocation-free:
+// allocs/op may exceed the unarmed benchmark only by the constant
+// setup cost (arming the deadline timer per resume), never by a term that
+// scales with the ~200 executed lines. et-benchdiff gates both benchmarks
+// against the committed baseline.
+func BenchmarkBudgetCheckOverhead(b *testing.B) {
+	b.ReportAllocs()
+	src := "total = 0\nk = 0\nwhile k < 200:\n    k = k + 1\ntotal = 1\n"
+	budgets := easytracker.Budgets{
+		MaxSteps:       1 << 40,
+		MaxDepth:       1 << 20,
+		MaxHeapObjects: 1 << 40,
+	}
+	for i := 0; i < b.N; i++ {
+		tr := mustTracker(b, "minipy", "w.py", src,
+			easytracker.WithBudgets(budgets),
+			easytracker.WithExecutionTimeout(time.Hour))
 		if err := tr.Start(); err != nil {
 			b.Fatal(err)
 		}

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"easytracker/internal/game"
@@ -52,7 +53,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	// Ctrl-C interrupts the level program (a buggy level can loop forever);
+	// Play returns a normal result reporting the interruption. A second
+	// Ctrl-C force-quits.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		engine.Interrupt()
+		<-sig
+		os.Exit(130)
+	}()
 	res, err := engine.Play(src)
+	signal.Stop(sig)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -9,14 +9,34 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"easytracker"
 	"easytracker/internal/viz"
 )
+
+// onSigint runs f on the first SIGINT — interrupting the tracker so the
+// stepping loop ends in a clean pause — and force-exits (status 130) on
+// the second. The returned func detaches the handler.
+func onSigint(f func()) func() {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		if _, ok := <-ch; !ok {
+			return
+		}
+		f()
+		if _, ok := <-ch; ok {
+			os.Exit(130)
+		}
+	}()
+	return func() { signal.Stop(ch); close(ch) }
+}
 
 func main() {
 	outDir := flag.String("out", ".", "output directory")
@@ -26,6 +46,7 @@ func main() {
 	sortedFrom := flag.Bool("sorted-from-i", false, "shade cells at >= i (selection-sort style)")
 	sortedTo := flag.Bool("sorted-to-i", true, "shade cells at < i (insertion-style prefix)")
 	maxImgs := flag.Int("max", 200, "maximum images")
+	showStats := flag.Bool("stats", false, "print the tracker's metrics snapshot (JSON) to stderr on exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: et-invariant [-out DIR] PROGRAM")
@@ -35,13 +56,25 @@ func main() {
 
 	tracker, err := easytracker.New(easytracker.KindFor(prog))
 	check(err)
-	check(tracker.LoadProgram(prog, easytracker.WithStdout(os.Stdout)))
+	loadOpts := []easytracker.LoadOption{easytracker.WithStdout(os.Stdout)}
+	if *showStats {
+		loadOpts = append(loadOpts, easytracker.WithObservability())
+		defer printStats(tracker)
+	}
+	check(tracker.LoadProgram(prog, loadOpts...))
 	check(tracker.Start())
 	defer tracker.Terminate()
+	// Ctrl-C interrupts the inferior: the next Step returns an INTERRUPTED
+	// pause and the loop below exits cleanly with the views written so far.
+	defer onSigint(func() { easytracker.Interrupt(tracker) })()
 
 	img := 0
 	for {
 		if _, done := tracker.ExitCode(); done {
+			break
+		}
+		if r := tracker.PauseReason(); r.Type == easytracker.PauseInterrupted {
+			fmt.Fprintf(os.Stderr, "stopped early: %s\n", r)
 			break
 		}
 		fr, err := tracker.CurrentFrame()
@@ -112,6 +145,15 @@ func lookupInt(fr *easytracker.Frame, name string) (int64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// printStats dumps the tracker's instrument snapshot to stderr, keeping
+// stdout clean for the tool's own output.
+func printStats(tr easytracker.Tracker) {
+	snap, _ := easytracker.Stats(tr)
+	enc := json.NewEncoder(os.Stderr)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(snap)
 }
 
 func check(err error) {

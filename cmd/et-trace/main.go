@@ -15,12 +15,33 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
 
 	"easytracker"
 	"easytracker/internal/pt"
 	"easytracker/internal/tracetracker"
 )
+
+// onSigint runs f on the first SIGINT — interrupting the active tracker so
+// a runaway inferior ends in a clean, inspectable pause — and force-exits
+// with the conventional 130 status on the second. The returned func
+// detaches the handler.
+func onSigint(f func()) func() {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		if _, ok := <-ch; !ok {
+			return
+		}
+		f()
+		if _, ok := <-ch; ok {
+			os.Exit(130)
+		}
+	}()
+	return func() { signal.Stop(ch); close(ch) }
+}
 
 func main() {
 	if len(os.Args) < 3 {
@@ -66,6 +87,9 @@ func record(args []string) {
 		loadOpts = append(loadOpts, easytracker.WithObservability())
 	}
 	check(tracker.LoadProgram(prog, loadOpts...))
+	// Ctrl-C interrupts the inferior; Record then returns the partial
+	// trace up to the INTERRUPTED pause instead of dying mid-run.
+	defer onSigint(func() { easytracker.Interrupt(tracker) })()
 	opts := pt.Options{Mode: pt.ModeFullStep, Lang: kind}
 	if *track != "" {
 		opts.Mode = pt.ModeTracked
@@ -80,6 +104,11 @@ func record(args []string) {
 	check(err)
 	check(os.WriteFile(*out, data, 0o644))
 	fmt.Printf("recorded %d steps (%d bytes) to %s\n", len(trace.Steps), len(data), *out)
+	if n := len(trace.Steps); n > 0 {
+		if st := trace.Steps[n-1].State; st != nil && st.Reason.Type == easytracker.PauseInterrupted {
+			fmt.Fprintf(os.Stderr, "recording stopped early: %s\n", st.Reason)
+		}
+	}
 	if *showStats {
 		printStats(tracker)
 	}
@@ -101,10 +130,23 @@ func replay(args []string) {
 	}
 	check(tracker.LoadProgram(fs.Arg(0), loadOpts...))
 	check(tracker.Start())
+	// The trace tracker has no inferior to interrupt, so Ctrl-C sets a
+	// flag the replay loop polls; a capable tracker would be interrupted
+	// directly.
+	var stop atomic.Bool
+	defer onSigint(func() {
+		if !easytracker.Interrupt(tracker) {
+			stop.Store(true)
+		}
+	})()
 	step := 0
 	for {
 		if _, done := tracker.ExitCode(); done {
 			break
+		}
+		if stop.Load() {
+			fmt.Printf("replay interrupted at step %d\n", step)
+			return
 		}
 		if *at < 0 || step == *at {
 			fr, err := tracker.CurrentFrame()
@@ -125,6 +167,9 @@ func replay(args []string) {
 }
 
 func stats(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
 	data, err := os.ReadFile(args[0])
 	check(err)
 	trace, err := pt.Decode(data)

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"easytracker/internal/asm"
@@ -113,15 +114,33 @@ func main() {
 	if *dieAfter >= 0 {
 		conn = &dieConn{Conn: conn, left: *dieAfter}
 	}
-	_ = conn.Send("(gdb)")
-	err := srv.Serve(conn)
-	if metrics != nil {
+	dumpStats := func() {
+		if metrics == nil {
+			return
+		}
 		snap := metrics.Snapshot()
 		snap.Tracker = "minigdb-server"
 		enc := json.NewEncoder(os.Stderr)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(snap)
 	}
+	// A SIGINT (e.g. a Ctrl-C shared with an interactive parent's process
+	// group) interrupts the running inferior — equivalent to receiving
+	// -exec-interrupt — so the exec command in flight returns an
+	// interrupted stop instead of the server wedging. A second SIGINT
+	// dumps stats and exits.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		srv.Interrupt()
+		<-sig
+		dumpStats()
+		os.Exit(130)
+	}()
+	_ = conn.Send("(gdb)")
+	err := srv.Serve(conn)
+	dumpStats()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

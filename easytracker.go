@@ -118,6 +118,10 @@ const (
 	PauseCall       = core.PauseCall
 	PauseReturn     = core.PauseReturn
 	PauseExited     = core.PauseExited
+	// PauseInterrupted is a supervision pause: Interrupt(), an expired
+	// WithExecutionTimeout deadline, or a tripped WithBudgets resource
+	// budget stopped the run; PauseReason.Detail names which.
+	PauseInterrupted = core.PauseInterrupted
 )
 
 // Options for LoadProgram and breakpoints.
@@ -157,7 +161,21 @@ var (
 	// WithFlightRecorder sizes the flight recorder (an ObsOption for
 	// WithObservability) to retain the last n events.
 	WithFlightRecorder = core.WithFlightRecorder
+	// WithExecutionTimeout bounds the inferior's run time per resuming
+	// call (Start/Resume/Step/Next): when the deadline expires the run is
+	// interrupted and pauses with PauseInterrupted (Detail "deadline"),
+	// fully inspectable — a runaway loop becomes a normal pause, not a
+	// hung tool or a torn-down session.
+	WithExecutionTimeout = core.WithExecutionTimeout
+	// WithBudgets caps the inferior's resource usage (steps, recursion
+	// depth, live heap objects, instructions); a tripped budget pauses
+	// with PauseInterrupted and a Detail naming the budget.
+	WithBudgets = core.WithBudgets
 )
+
+// Budgets is the resource-budget set for WithBudgets; zero fields are
+// unlimited.
+type Budgets = core.Budgets
 
 // Extension interfaces implemented by the MiniGDB tracker only (the paper's
 // get_registers_gdb / get_value_at_gdb), plus the full-snapshot interface
@@ -176,7 +194,24 @@ type (
 	Segment = core.Segment
 	// CapabilitySet reports which extension interfaces a tracker has.
 	CapabilitySet = core.CapabilitySet
+	// Interrupter is the supervision capability: Interrupt() asks a
+	// running inferior to pause. Both live trackers implement it; so does
+	// AsyncTracker.
+	Interrupter = core.Interrupter
 )
+
+// Interrupt asks tr's running inferior to pause at the next opportunity,
+// reporting whether tr supports interruption. Safe to call from any
+// goroutine — including a signal handler while another goroutine is blocked
+// inside Resume; that Resume then returns normally with the tracker paused
+// and PauseReason().Type == PauseInterrupted.
+func Interrupt(tr Tracker) bool {
+	in, ok := core.As[core.Interrupter](tr)
+	if ok {
+		in.Interrupt()
+	}
+	return ok
+}
 
 // Capabilities probes a tracker for its optional extension interfaces, so
 // tools can adapt or refuse early with a clear message:
@@ -204,6 +239,10 @@ var (
 	// failures (hung command, crashed or corrupted connection).
 	ErrCommandTimeout = core.ErrCommandTimeout
 	ErrSessionLost    = core.ErrSessionLost
+	// ErrInferiorCrash classifies an inferior that died of an internal
+	// fault (an interpreter panic) rather than exiting; the TrackerError
+	// wrapping it carries the inferior-language backtrace.
+	ErrInferiorCrash = core.ErrInferiorCrash
 )
 
 // Typed errors: every tracker method reports failures as a *TrackerError

@@ -36,6 +36,11 @@ type AsyncTracker struct {
 
 // AsyncEvent reports the completion of one asynchronous control command.
 type AsyncEvent struct {
+	// Op names the control command this event completes ("Start",
+	// "Step", "Next", "Resume") — with supervision in play, events may
+	// interleave with interrupts, and consumers need to know which
+	// queued command each pause belongs to.
+	Op string
 	// Reason is the pause reason after the command completed.
 	Reason PauseReason
 	// Err is the command's error, if any.
@@ -75,7 +80,7 @@ func (a *AsyncTracker) control(name string, f func() error) {
 	a.cmds <- func() {
 		defer a.queue.Add(-1)
 		err := f()
-		ev := AsyncEvent{Reason: a.tr.PauseReason(), Err: err}
+		ev := AsyncEvent{Op: name, Reason: a.tr.PauseReason(), Err: err}
 		if code, done := a.tr.ExitCode(); done {
 			ev.Exited = true
 			ev.ExitCode = code
@@ -100,6 +105,23 @@ func (a *AsyncTracker) Next() { a.control("Next", a.tr.Next) }
 
 // Resume continues asynchronously.
 func (a *AsyncTracker) Resume() { a.control("Resume", a.tr.Resume) }
+
+// Interrupt asks the wrapped tracker's running control command to pause.
+// It deliberately bypasses the command queue: the queue's owner goroutine
+// may be blocked inside the very Resume the interrupt is meant to end, so
+// an enqueued interrupt could never be delivered. The direct call is safe
+// because Interrupter implementations only raise a flag. The interrupted
+// command completes normally and its INTERRUPTED pause arrives on Events
+// like any other completion. Returns false when the wrapped tracker has no
+// Interrupter capability.
+func (a *AsyncTracker) Interrupt() bool {
+	i, ok := As[Interrupter](a.tr)
+	if !ok {
+		return false
+	}
+	i.Interrupt()
+	return true
+}
 
 // Do runs f on the owner goroutine and waits for it — the way to inspect
 // state or place breakpoints between events without racing the control

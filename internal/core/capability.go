@@ -31,6 +31,9 @@ type CapabilitySet struct {
 	State bool
 	// Stats: the tracker implements StatsProvider (instrument snapshots).
 	Stats bool
+	// Interrupt: the tracker implements Interrupter (runs can be paused
+	// from another goroutine).
+	Interrupt bool
 }
 
 // CapabilitiesOf probes tr (and anything it wraps) for the extension
@@ -42,6 +45,7 @@ func CapabilitiesOf(tr Tracker) CapabilitySet {
 	_, c.Heap = As[HeapInspector](tr)
 	_, c.State = As[StateProvider](tr)
 	_, c.Stats = As[StatsProvider](tr)
+	_, c.Interrupt = As[Interrupter](tr)
 	return c
 }
 

@@ -72,6 +72,9 @@ type TrackerError struct {
 	// session failure. Filled by the session layer whenever it recovers or
 	// retires a session; empty for ordinary tracker errors.
 	Trail []string
+	// Backtrace is the inferior-language backtrace for inferior-crash
+	// errors (ErrInferiorCrash), innermost frame first; empty otherwise.
+	Backtrace []string
 	// Err is the underlying cause.
 	Err error
 }
@@ -105,6 +108,9 @@ func (e *TrackerError) Error() string {
 	}
 	if n := len(e.Trail); n > 0 {
 		fmt.Fprintf(&b, " (flight recorder: %d events)", n)
+	}
+	if n := len(e.Backtrace); n > 0 {
+		fmt.Fprintf(&b, " (inferior backtrace: %d frames)", n)
 	}
 	return b.String()
 }

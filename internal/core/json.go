@@ -66,6 +66,7 @@ type jsonPause struct {
 	New      *jsonValue `json:"new,omitempty"`
 	RetVal   *jsonValue `json:"retval,omitempty"`
 	ExitCode int        `json:"exit_code,omitempty"`
+	Detail   string     `json:"detail,omitempty"`
 }
 
 // jsonState bundles a full inspection snapshot (innermost-first frames,
@@ -397,6 +398,7 @@ func encodePause(e *valueEncoder, r PauseReason) *jsonPause {
 		New:      e.encode(r.New),
 		RetVal:   e.encode(r.ReturnValue),
 		ExitCode: r.ExitCode,
+		Detail:   r.Detail,
 	}
 }
 
@@ -412,6 +414,7 @@ func decodePause(d *valueDecoder, jp *jsonPause) (PauseReason, error) {
 		Line:     jp.Line,
 		Variable: jp.Variable,
 		ExitCode: jp.ExitCode,
+		Detail:   jp.Detail,
 	}
 	if r.Old, err = d.decode(jp.Old); err != nil {
 		return PauseReason{}, err

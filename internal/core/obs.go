@@ -71,14 +71,16 @@ const (
 	// Counters.
 	CtrPauses         = "pauses"
 	CtrWatchHits      = "watch_hits"
-	CtrLinesTraced    = "lines_traced"     // trace-hook line events (MiniPy)
-	CtrStepsReplayed  = "steps_replayed"   // trace replay advances
-	CtrMICommands     = "mi.commands"      // MI commands issued
-	CtrMIErrors       = "mi.errors"        // MI transport/record failures
-	CtrSnapshotHits   = "snapshot.hits"    // pause-scoped state cache hits
-	CtrSnapshotMisses = "snapshot.misses"  // full state conversions/transfers
+	CtrLinesTraced    = "lines_traced"    // trace-hook line events (MiniPy)
+	CtrStepsReplayed  = "steps_replayed"  // trace replay advances
+	CtrMICommands     = "mi.commands"     // MI commands issued
+	CtrMIErrors       = "mi.errors"       // MI transport/record failures
+	CtrSnapshotHits   = "snapshot.hits"   // pause-scoped state cache hits
+	CtrSnapshotMisses = "snapshot.misses" // full state conversions/transfers
 	CtrRecoveries     = "session.recoveries"
 	CtrLostItems      = "session.lost_items"
+	CtrInterrupts     = "exec.interrupts"   // delivered interrupts (incl. deadlines)
+	CtrBudgetTrips    = "exec.budget_trips" // resource budgets tripped
 
 	// Gauges.
 	GaugeAsyncQueue  = "async.queue_depth" // pending AsyncTracker commands

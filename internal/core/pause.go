@@ -26,17 +26,24 @@ const (
 	PauseReturn
 	// PauseExited means the inferior terminated.
 	PauseExited
+	// PauseInterrupted means a running control command was converted into
+	// a pause by the supervision layer: an explicit Interrupt(), an
+	// execution deadline (WithExecutionTimeout), or a tripped resource
+	// budget (WithBudgets). The inferior is paused normally and fully
+	// inspectable; Detail names what stopped it.
+	PauseInterrupted
 )
 
 var pauseNames = [...]string{
-	PauseNone:       "NONE",
-	PauseEntry:      "ENTRY",
-	PauseStep:       "STEP",
-	PauseBreakpoint: "BREAKPOINT",
-	PauseWatch:      "WATCH",
-	PauseCall:       "CALL",
-	PauseReturn:     "RETURN",
-	PauseExited:     "EXITED",
+	PauseNone:        "NONE",
+	PauseEntry:       "ENTRY",
+	PauseStep:        "STEP",
+	PauseBreakpoint:  "BREAKPOINT",
+	PauseWatch:       "WATCH",
+	PauseCall:        "CALL",
+	PauseReturn:      "RETURN",
+	PauseExited:      "EXITED",
+	PauseInterrupted: "INTERRUPTED",
 }
 
 // String returns the wire name of the pause reason type.
@@ -77,6 +84,11 @@ type PauseReason struct {
 	ReturnValue *Value
 	// ExitCode is the inferior's exit status for EXITED pauses.
 	ExitCode int
+	// Detail names what converted the run into a pause for INTERRUPTED
+	// pauses: "interrupt" (explicit Interrupt call), "deadline"
+	// (WithExecutionTimeout expiry) or one of the budget names
+	// ("step-budget", "depth-budget", "heap-budget").
+	Detail string `json:",omitempty"`
 }
 
 // String renders a one-line description of the pause.
@@ -97,6 +109,11 @@ func (r PauseReason) String() string {
 		return fmt.Sprintf("BREAKPOINT at %s:%d", r.File, r.Line)
 	case PauseExited:
 		return fmt.Sprintf("EXITED %d", r.ExitCode)
+	case PauseInterrupted:
+		if r.Detail != "" {
+			return fmt.Sprintf("INTERRUPTED (%s) at %s:%d", r.Detail, r.File, r.Line)
+		}
+		return fmt.Sprintf("INTERRUPTED at %s:%d", r.File, r.Line)
 	case PauseStep, PauseEntry:
 		return fmt.Sprintf("%s at %s:%d", r.Type, r.File, r.Line)
 	default:

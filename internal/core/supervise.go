@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrInferiorCrash is returned when the inferior's runtime itself crashed —
+// for MiniPy, an interpreter panic caught by the tracker's containment
+// barrier. The wrapping *TrackerError carries the inferior-language
+// backtrace in its Backtrace field; the host process is unaffected.
+var ErrInferiorCrash = errors.New("easytracker: inferior crashed")
+
+// Budgets are hard resource limits the supervision layer enforces on the
+// inferior. A tripped budget does not kill the run: it converts the active
+// control command into a normal INTERRUPTED pause with full State()
+// available, and disarms itself (one-shot), so the tool can inspect the
+// stuck program and decide what to do next. Zero values disable a budget.
+type Budgets struct {
+	// MaxSteps bounds the number of executed source-line events (MiniPy).
+	MaxSteps int64
+	// MaxDepth bounds the call-frame depth (MiniPy; entry frame = depth 0).
+	MaxDepth int
+	// MaxHeapObjects bounds the number of heap objects the inferior has
+	// allocated (MiniPy; the interpreter never frees, so allocated ==
+	// live).
+	MaxHeapObjects int64
+	// MaxInstructions bounds the total number of machine instructions
+	// executed (MiniGDB).
+	MaxInstructions uint64
+}
+
+// Any reports whether at least one budget is armed.
+func (b Budgets) Any() bool {
+	return b.MaxSteps > 0 || b.MaxDepth > 0 || b.MaxHeapObjects > 0 || b.MaxInstructions > 0
+}
+
+// WithExecutionTimeout bounds the wall-clock time of every execution-
+// resuming call (Start, Resume, Step, Next): when the inferior is still
+// running after d, the supervision layer interrupts it and the call returns
+// a normal INTERRUPTED pause (Detail "deadline") with full State()
+// available. Unlike WithCommandTimeout this never tears the session down —
+// it is the first rung of the deadline escalation ladder. Zero or negative
+// d disables the deadline.
+func WithExecutionTimeout(d time.Duration) LoadOption {
+	return func(c *LoadConfig) { c.ExecTimeout = d }
+}
+
+// WithBudgets arms hard resource budgets on the inferior; see Budgets.
+func WithBudgets(b Budgets) LoadOption {
+	return func(c *LoadConfig) { c.Budgets = b }
+}
+
+// Interrupter is implemented by trackers whose execution-resuming calls can
+// be interrupted from another goroutine. Interrupt asks the running
+// inferior to pause cooperatively at the next supervision check (the MiniPy
+// line hook, the VM run loop); the in-flight control command then returns
+// normally with an INTERRUPTED pause. Interrupting a paused inferior is
+// not lost: the flag is sticky and the next resuming call pauses
+// immediately. Interrupt is safe to call from any goroutine, including
+// signal handlers' notification goroutines.
+type Interrupter interface {
+	Interrupt()
+}

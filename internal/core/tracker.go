@@ -53,6 +53,11 @@ type LoadConfig struct {
 	// CommandTimeout bounds each debugger round trip for trackers that
 	// drive a debugger over a pipe; see WithCommandTimeout.
 	CommandTimeout time.Duration
+	// ExecTimeout bounds the wall-clock time of each execution-resuming
+	// call; see WithExecutionTimeout.
+	ExecTimeout time.Duration
+	// Budgets are the inferior's resource budgets; see WithBudgets.
+	Budgets Budgets
 	// Obs configures the tracker's instrumentation; see WithObservability.
 	Obs ObsConfig
 }

@@ -15,7 +15,6 @@ import (
 	"errors"
 	"fmt"
 	"sort"
-	"strings"
 
 	"easytracker/internal/isa"
 	"easytracker/internal/vm"
@@ -39,6 +38,10 @@ const (
 	StopExited
 	// StopFault: the machine faulted (segfault, division by zero).
 	StopFault
+	// StopInterrupted: the supervision layer converted the running command
+	// into a pause — a cooperative interrupt (-exec-interrupt) or a
+	// tripped instruction budget. The inferior is alive and resumable.
+	StopInterrupted
 )
 
 // String names the stop reason.
@@ -58,6 +61,8 @@ func (r StopReason) String() string {
 		return "exited"
 	case StopFault:
 		return "signal-received"
+	case StopInterrupted:
+		return "interrupted"
 	}
 	return fmt.Sprintf("StopReason(%d)", int(r))
 }
@@ -73,6 +78,9 @@ type Stop struct {
 	ExitCode int
 	// Fault holds the fault message for StopFault.
 	Fault string
+	// Detail names what stopped the run for StopInterrupted ("interrupt"
+	// or "step-budget").
+	Detail string
 	// Line and Function locate the pause.
 	Line     int
 	Function string
@@ -253,6 +261,14 @@ func (d *Debugger) fault(stop vm.Stop) Stop {
 	d.exited = true
 	d.exitCode = 139
 	d.lastStop = d.locate(Stop{Reason: StopFault, Fault: stop.Err.Error(), ExitCode: 139})
+	return d.lastStop
+}
+
+// interrupted reports a supervision stop (cooperative interrupt or tripped
+// instruction budget) as a normal, located pause: the inferior stays alive
+// and resumable, with registers, memory and frames inspectable.
+func (d *Debugger) interrupted(detail string) Stop {
+	d.lastStop = d.locate(Stop{Reason: StopInterrupted, Detail: detail})
 	return d.lastStop
 }
 
@@ -466,10 +482,11 @@ func (d *Debugger) Continue(onInternal func(*Watchpoint, *vm.WatchHit)) (Stop, e
 		case vm.StopExit:
 			return d.finish(stop), nil
 		case vm.StopFault:
-			if strings.Contains(stop.Err.Error(), "budget") {
-				return Stop{}, stop.Err
-			}
 			return d.fault(stop), nil
+		case vm.StopInterrupt:
+			return d.interrupted("interrupt"), nil
+		case vm.StopBudget:
+			return d.interrupted("step-budget"), nil
 		case vm.StopBreak:
 			hit := d.reportableBP()
 			if hit == nil {
@@ -511,7 +528,10 @@ func (d *Debugger) Continue(onInternal func(*Watchpoint, *vm.WatchHit)) (Stop, e
 			return Stop{}, fmt.Errorf("dbg: unexpected machine stop %v", stop.Kind)
 		}
 	}
-	return Stop{}, fmt.Errorf("dbg: budget exhausted")
+	// The per-command safety budget ran dry (a runaway that armed no
+	// explicit limit): report it the same way as a tripped budget, so the
+	// tool gets an inspectable pause, not a dead session.
+	return d.interrupted("step-budget"), nil
 }
 
 func (d *Debugger) handleRaw(s vm.Stop, onInternal func(*Watchpoint, *vm.WatchHit)) (Stop, error) {
@@ -579,6 +599,12 @@ func (d *Debugger) stepCore(over bool, onInternal func(*Watchpoint, *vm.WatchHit
 	depth := 0
 
 	for i := uint64(0); i < d.StepBudget; i++ {
+		if d.m.TakeInterrupt() {
+			return d.interrupted("interrupt"), nil
+		}
+		if d.m.TripStepLimit() {
+			return d.interrupted("step-budget"), nil
+		}
 		var isCall, isRet bool
 		if idx, ok := isa.PCToIndex(d.m.PC()); ok && idx < len(d.prog.Instrs) {
 			ins := d.prog.Instrs[idx]
@@ -656,7 +682,7 @@ func (d *Debugger) stepCore(over bool, onInternal func(*Watchpoint, *vm.WatchHit
 			return d.lastStop, nil
 		}
 	}
-	return Stop{}, fmt.Errorf("dbg: step budget exhausted")
+	return d.interrupted("step-budget"), nil
 }
 
 // SetHeapMap installs the tracker-maintained live-heap map used by

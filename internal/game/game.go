@@ -12,6 +12,7 @@ package game
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"easytracker/internal/core"
 	"easytracker/internal/gdbtracker"
@@ -70,6 +71,18 @@ type Engine struct {
 	key   Pos
 	door  Pos
 	start Pos
+
+	// tr is the tracker of the run in progress, published for Interrupt.
+	tr atomic.Pointer[gdbtracker.Tracker]
+}
+
+// Interrupt stops the level program mid-run — e.g. from a SIGINT handler
+// while Play is blocked on a level whose bug made it loop forever. Safe to
+// call from any goroutine; a no-op when no run is in progress.
+func (e *Engine) Interrupt() {
+	if tr := e.tr.Load(); tr != nil {
+		tr.Interrupt()
+	}
 }
 
 // NewEngine prepares a level, locating the special tiles.
@@ -161,6 +174,8 @@ func (e *Engine) Play(src string) (*Result, error) {
 		return nil, err
 	}
 	defer tr.Terminate()
+	e.tr.Store(tr)
+	defer e.tr.Store(nil)
 	if err := tr.Start(); err != nil {
 		return nil, err
 	}
@@ -176,6 +191,7 @@ func (e *Engine) Play(src string) (*Result, error) {
 	doorOpen := false
 	hasKey := false
 	blocked := false
+	interrupted := ""
 	addHint := func(h string) {
 		for _, prev := range res.Hints {
 			if prev == h {
@@ -195,6 +211,13 @@ func (e *Engine) Play(src string) (*Result, error) {
 			break
 		}
 		r := tr.PauseReason()
+		if r.Type == core.PauseInterrupted {
+			interrupted = r.Detail
+			if interrupted == "" {
+				interrupted = "interrupt"
+			}
+			break
+		}
 		if r.Type != core.PauseWatch {
 			continue
 		}
@@ -256,7 +279,9 @@ func (e *Engine) Play(src string) (*Result, error) {
 		}
 	}
 
-	if pos == e.exit && !blocked {
+	if interrupted != "" {
+		res.Reason = fmt.Sprintf("the run was interrupted (%s)", interrupted)
+	} else if pos == e.exit && !blocked {
 		res.Won = true
 		res.Reason = "the character reached the exit"
 		res.Events = append(res.Events, Event{Kind: "exit", Pos: pos})

@@ -22,6 +22,7 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"easytracker/internal/asm"
@@ -101,6 +102,12 @@ type Tracker struct {
 
 	bps     map[int]bpInfo // breakpoint id -> classification
 	watches map[int]string // watchpoint id -> variable identifier
+
+	// deadlineHit marks that the WithExecutionTimeout timer fired; the
+	// next "interrupted" stop rewrites its detail from "interrupt" to
+	// "deadline" so tools can tell a Ctrl-C from an expired budget. Set
+	// from the timer goroutine, consumed on the tool goroutine.
+	deadlineHit atomic.Bool
 
 	// obs is the tracker's instrument panel. The flight recorder inside it
 	// is always on (sized by WithFlightRecorder, default 64 events): it is
@@ -276,6 +283,14 @@ func (t *Tracker) Start() error {
 			return t.werr("Start", err)
 		}
 	}
+	// Arm the instruction budget before -exec-run: the server applies it
+	// to the machine at run time, and because Start re-runs after session
+	// recovery, a rebooted inferior gets the same budget re-armed.
+	if n := t.cfg.Budgets.MaxInstructions; n > 0 {
+		if _, err := t.send("-et-budget", strconv.FormatUint(n, 10)); err != nil {
+			return t.werr("Start", err)
+		}
+	}
 	t0 := t.obs.Now()
 	resp, err := t.send("-exec-run")
 	if err != nil {
@@ -347,6 +362,26 @@ func (t *Tracker) classifyStop(resp *mi.Response) error {
 			Old:      parseWatchValue(val.GetString("old")),
 			New:      parseWatchValue(val.GetString("new")),
 			File:     t.file, Line: int(line),
+		}
+	case "interrupted":
+		detail := stopped.GetString("detail")
+		if detail == "interrupt" && t.deadlineHit.Swap(false) {
+			detail = "deadline"
+		}
+		t.reason = core.PauseReason{
+			Type: core.PauseInterrupted, Detail: detail,
+			Function: t.curFunc, File: t.file, Line: int(line),
+		}
+		if detail == "step-budget" {
+			t.obs.Event("budget", "instruction budget exhausted")
+			if t.obs.Enabled() {
+				t.obs.Counter(core.CtrBudgetTrips).Inc()
+			}
+		} else {
+			t.obs.Event("interrupt", detail)
+			if t.obs.Enabled() {
+				t.obs.Counter(core.CtrInterrupts).Inc()
+			}
 		}
 	case "exited", "signal-received":
 		code, _ := stopped.Results.GetInt("exit-code")
@@ -425,12 +460,49 @@ func (t *Tracker) control(name, op string) error {
 		return t.werr(name, core.ErrExited)
 	}
 	t0 := t.obs.Now()
+	disarm := t.armExecDeadline()
 	resp, err := t.send(op)
+	disarm()
 	if err == nil {
 		err = t.classifyStop(resp)
 	}
 	t.obs.Observe(opHistName(name), t0)
 	return t.werr(name, err)
+}
+
+// armExecDeadline starts the WithExecutionTimeout timer for one resuming
+// command: on expiry the inferior is interrupted — a recoverable pause with
+// all session state intact — rather than the transport torn down. The
+// returned disarm stops the timer. If the timer fired but the run stopped
+// for another reason first, the interrupt stays latched server-side and
+// surfaces as an immediate "interrupted" pause on the next resume; the
+// deadlineHit flag makes its detail read "deadline" either way.
+func (t *Tracker) armExecDeadline() func() {
+	d := t.cfg.ExecTimeout
+	if d <= 0 {
+		return func() {}
+	}
+	timer := time.AfterFunc(d, func() {
+		t.deadlineHit.Store(true)
+		t.Interrupt()
+	})
+	return func() { timer.Stop() }
+}
+
+// Interrupt implements core.Interrupter: it asks the running inferior to
+// pause before its next instruction. The request crosses the pipe out of
+// band (no response of its own), so it is safe to call from any goroutine —
+// including while the tool goroutine is blocked inside Resume — and the
+// in-flight command returns a normal "interrupted" pause. No-op when the
+// transport does not support interrupts (e.g. a fault-injection wrapper
+// that swallowed the capability) or the session is down.
+func (t *Tracker) Interrupt() {
+	if t.trans == nil || t.dead {
+		return
+	}
+	if in, ok := t.trans.(mi.Interrupter); ok {
+		_ = in.Interrupt()
+	}
 }
 
 // opHistName maps a public control-op name onto its canonical histogram.

@@ -104,6 +104,18 @@ func (c *Client) RoundTrip(op string, args ...string) (*Response, error) {
 	return c.Send(op, args...)
 }
 
+// Interrupt delivers "-exec-interrupt" outside the round-trip discipline:
+// the line is written immediately — typically while another goroutine is
+// blocked inside Send waiting for a -exec-continue response — and produces
+// no response records of its own, so the token stream stays aligned. The
+// server consumes it out of band and the running command returns a normal
+// *stopped reason="interrupted" response. Conn.Send implementations are
+// safe for concurrent single-line writes (StdioConn holds a mutex, chanConn
+// is a channel send), so no extra locking is needed here.
+func (c *Client) Interrupt() error {
+	return c.conn.Send("-exec-interrupt")
+}
+
 // TakeOutput drains the inferior output received so far.
 func (c *Client) TakeOutput() string {
 	c.outputMu.Lock()

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"easytracker/internal/core"
 	"easytracker/internal/dbg"
@@ -39,6 +40,16 @@ type Server struct {
 
 	running bool
 	closed  bool
+
+	// dbgP mirrors d for goroutines other than the dispatch loop:
+	// Interrupt (called from Serve's reader goroutine or a signal
+	// handler) reaches the running machine through it. pendIntr latches
+	// an interrupt that arrived before any machine existed; exec
+	// commands consume it. budget is the armed -et-budget instruction
+	// limit, applied to the machine at -exec-run.
+	dbgP     atomic.Pointer[dbg.Debugger]
+	pendIntr atomic.Bool
+	budget   uint64
 }
 
 // NewServer builds a server; prog may be nil when the client will load a
@@ -54,14 +65,58 @@ func NewServer(prog *isa.Program) *Server {
 // SetStdin provides the inferior's input stream.
 func (s *Server) SetStdin(r io.Reader) { s.stdin = r }
 
-// Serve reads commands from conn until -gdb-exit or EOF.
+// Interrupt asks the running inferior to pause: the machine stops with
+// "interrupted" before its next instruction and the in-flight exec command
+// returns a normal *stopped response. When no machine exists yet the
+// interrupt is latched and delivered by the next exec command. Safe to
+// call from any goroutine (Serve's reader, signal handlers).
+func (s *Server) Interrupt() {
+	if d := s.dbgP.Load(); d != nil {
+		d.Machine().Interrupt()
+		return
+	}
+	s.pendIntr.Store(true)
+}
+
+// deliverPending forwards a latched interrupt to the machine; called by the
+// dispatch loop at the start of every exec command, closing the race where
+// an interrupt arrives between machine creation and dbgP publication.
+func (s *Server) deliverPending() {
+	if s.d != nil && s.pendIntr.CompareAndSwap(true, false) {
+		s.d.Machine().Interrupt()
+	}
+}
+
+// Serve reads commands from conn until -gdb-exit or EOF. A dedicated
+// reader goroutine keeps draining the connection while a command executes —
+// that is what lets -exec-interrupt arrive DURING a blocking -exec-continue.
+// Interrupt lines are consumed out of band (they produce no response of
+// their own, keeping one-response-per-command alignment for the client);
+// every other line is queued to the dispatch loop in arrival order.
 func (s *Server) Serve(conn Conn) error {
 	defer conn.Close()
-	for {
-		line, err := conn.Recv()
-		if err != nil {
-			return nil // client went away
+	lines := make(chan string)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(lines)
+		for {
+			line, err := conn.Recv()
+			if err != nil {
+				return // client went away
+			}
+			if isInterruptLine(line) {
+				s.Interrupt()
+				continue
+			}
+			select {
+			case lines <- line:
+			case <-done:
+				return
+			}
 		}
+	}()
+	for line := range lines {
 		if strings.TrimSpace(line) == "" {
 			continue
 		}
@@ -78,6 +133,13 @@ func (s *Server) Serve(conn Conn) error {
 			return nil
 		}
 	}
+	return nil
+}
+
+// isInterruptLine recognizes a [token]-exec-interrupt command line.
+func isInterruptLine(line string) bool {
+	_, op, _, err := SplitCommand(line)
+	return err == nil && op == "-exec-interrupt"
 }
 
 // Execute runs one command line and returns the response records (without
@@ -156,6 +218,11 @@ func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
 		s.d = d
 		s.heapMap = map[uint64]uint64{}
 		d.SetHeapMap(s.heapMap)
+		if s.budget > 0 {
+			d.Machine().SetStepLimit(s.budget)
+		}
+		s.dbgP.Store(d)
+		s.deliverPending()
 		if s.trackHeap {
 			if err := s.armHeapInterposition(); err != nil {
 				return nil, err
@@ -167,10 +234,36 @@ func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
 		}
 		return s.stopRecords(token, stop), nil
 
+	case "-exec-interrupt":
+		// Normally intercepted out of band by Serve's reader goroutine;
+		// this path serves direct Execute callers and queued interrupts.
+		s.Interrupt()
+		return []Record{doneRec(token)}, nil
+
+	case "-et-budget":
+		// Arm an instruction budget for the inferior: the machine pauses
+		// with reason="interrupted" detail="step-budget" once it has
+		// retired N instructions. Applied at -exec-run (so a budget set
+		// before the run — or replayed by session recovery — sticks) and
+		// immediately when the inferior is already live.
+		if len(args) != 1 {
+			return nil, fmt.Errorf("-et-budget wants one argument")
+		}
+		n, err := strconv.ParseUint(args[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad budget %q", args[0])
+		}
+		s.budget = n
+		if s.d != nil {
+			s.d.Machine().SetStepLimit(n)
+		}
+		return []Record{doneRec(token)}, nil
+
 	case "-exec-continue":
 		if err := s.need(); err != nil {
 			return nil, err
 		}
+		s.deliverPending()
 		stop, err := s.d.Continue(s.onInternal)
 		if err != nil {
 			return nil, err
@@ -181,6 +274,7 @@ func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
 		if err := s.need(); err != nil {
 			return nil, err
 		}
+		s.deliverPending()
 		stop, err := s.d.StepLine(s.onInternal)
 		if err != nil {
 			return nil, err
@@ -191,6 +285,7 @@ func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
 		if err := s.need(); err != nil {
 			return nil, err
 		}
+		s.deliverPending()
 		stop, err := s.d.NextLine(s.onInternal)
 		if err != nil {
 			return nil, err
@@ -201,6 +296,7 @@ func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
 		if err := s.need(); err != nil {
 			return nil, err
 		}
+		s.deliverPending()
 		stop, err := s.d.Finish(s.onInternal)
 		if err != nil {
 			return nil, err
@@ -388,6 +484,7 @@ func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
 			StringVal("et-inspect"), StringVal("et-maxdepth"),
 			StringVal("et-heap-track"), StringVal("et-segments"),
 			StringVal("et-data-watch-version"),
+			StringVal("et-exec-interrupt"), StringVal("et-budget"),
 		}})}, nil
 	}
 	return nil, fmt.Errorf("undefined MI command: %s", op)
@@ -590,6 +687,10 @@ func (s *Server) stopRecords(token string, stop dbg.Stop) []Record {
 			Result{Var: "line", Val: StringVal(strconv.Itoa(stop.Line))},
 			Result{Var: "func", Val: StringVal(stop.Function)},
 			Result{Var: "depth", Val: StringVal(strconv.Itoa(s.d.Depth()))})
+		if stop.Detail != "" {
+			st.Results = append(st.Results,
+				Result{Var: "detail", Val: StringVal(stop.Detail)})
+		}
 		if stop.Reason == dbg.StopBreakpoint {
 			st.Results = append(st.Results,
 				Result{Var: "bkptno", Val: StringVal(strconv.Itoa(stop.Breakpoint))})
@@ -651,6 +752,10 @@ func (s *Server) reasonFromStop(stop dbg.Stop) core.PauseReason {
 		if stop.Watch != nil {
 			r.Variable = stop.Watch.Name
 		}
+	case dbg.StopInterrupted:
+		r.Type = core.PauseInterrupted
+		r.Detail = stop.Detail
+		r.Function = stop.Function
 	case dbg.StopExited, dbg.StopFault:
 		r.Type = core.PauseExited
 		r.ExitCode = stop.ExitCode

@@ -13,6 +13,10 @@ import (
 // connection.
 var ErrTimeout = errors.New("mi: command deadline exceeded")
 
+// errNoInterrupt reports an Interrupt call on a chain whose base transport
+// does not implement Interrupter.
+var errNoInterrupt = errors.New("mi: transport does not support interrupts")
+
 // Transport is one MI command round trip: send a command, collect the full
 // response up to the "(gdb)" prompt. It is the seam between the tracker and
 // the pipe/subprocess where deadlines, liveness checks and fault injection
@@ -29,13 +33,29 @@ type Transport interface {
 	Close() error
 }
 
+// Interrupter is implemented by transports that can deliver an out-of-band
+// interrupt to the debugger while a round trip is in flight. *Client
+// implements it by writing a raw -exec-interrupt line; wrapping transports
+// forward it down the chain.
+type Interrupter interface {
+	Interrupt() error
+}
+
 // DeadlineTransport bounds every round trip of the wrapped transport. On
-// timeout the wrapped transport is closed — the in-flight reader goroutine
-// unblocks with a connection error and the transport must not be reused —
-// and RoundTrip returns an error wrapping ErrTimeout.
+// timeout it first escalates gently: if the wrapped transport supports
+// out-of-band interrupts, the inferior is interrupted and the round trip is
+// given one grace period to finish with a normal *stopped
+// reason="interrupted" response — a recoverable pause with all session state
+// intact. Only if that also times out (server wedged, not just the inferior
+// looping) is the transport poisoned (closed) — the in-flight reader
+// goroutine unblocks with a connection error and the transport must not be
+// reused — and RoundTrip returns an error wrapping ErrTimeout.
 type DeadlineTransport struct {
 	T       Transport
 	Timeout time.Duration
+	// Grace bounds the wait after an escalation interrupt; zero means
+	// reuse Timeout.
+	Grace time.Duration
 }
 
 type rtResult struct {
@@ -59,10 +79,28 @@ func (d *DeadlineTransport) RoundTrip(op string, args ...string) (*Response, err
 	case r := <-ch:
 		return r.resp, r.err
 	case <-timer.C:
-		// Poison the wedged transport so the reader goroutine exits.
-		_ = d.T.Close()
-		return nil, fmt.Errorf("mi: no response to %s within %v: %w", op, d.Timeout, ErrTimeout)
 	}
+	// Deadline hit. Try interrupting the inferior before giving up on the
+	// whole connection: a looping inferior responds to this with a normal
+	// interrupted pause and nothing is lost.
+	if in, ok := d.T.(Interrupter); ok {
+		if err := in.Interrupt(); err == nil {
+			grace := d.Grace
+			if grace <= 0 {
+				grace = d.Timeout
+			}
+			gt := time.NewTimer(grace)
+			defer gt.Stop()
+			select {
+			case r := <-ch:
+				return r.resp, r.err
+			case <-gt.C:
+			}
+		}
+	}
+	// Poison the wedged transport so the reader goroutine exits.
+	_ = d.T.Close()
+	return nil, fmt.Errorf("mi: no response to %s within %v: %w", op, d.Timeout, ErrTimeout)
 }
 
 // TakeOutput implements Transport.
@@ -70,3 +108,11 @@ func (d *DeadlineTransport) TakeOutput() string { return d.T.TakeOutput() }
 
 // Close implements Transport.
 func (d *DeadlineTransport) Close() error { return d.T.Close() }
+
+// Interrupt implements Interrupter by forwarding down the chain.
+func (d *DeadlineTransport) Interrupt() error {
+	if in, ok := d.T.(Interrupter); ok {
+		return in.Interrupt()
+	}
+	return errNoInterrupt
+}

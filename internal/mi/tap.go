@@ -38,6 +38,14 @@ func (t *TapTransport) TakeOutput() string { return t.T.TakeOutput() }
 // Close implements Transport.
 func (t *TapTransport) Close() error { return t.T.Close() }
 
+// Interrupt implements Interrupter by forwarding down the chain.
+func (t *TapTransport) Interrupt() error {
+	if in, ok := t.T.(Interrupter); ok {
+		return in.Interrupt()
+	}
+	return errNoInterrupt
+}
+
 // SummarizeResponse renders a one-line summary of an MI response for event
 // logs: the result class plus the stop reason, if any ("^done *stopped
 // reason=breakpoint-hit line=12").

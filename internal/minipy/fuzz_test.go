@@ -1,0 +1,48 @@
+package minipy
+
+import (
+	"testing"
+)
+
+// FuzzMiniPyParse checks that the MiniPy front end (lexer + parser) never
+// panics: for arbitrary source text, Parse either returns a module or a
+// regular error. This is the supervision story's front door — a tool
+// feeding student programs to the tracker must get a typed load error, not
+// a tool crash, no matter how mangled the input.
+func FuzzMiniPyParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n",
+		"x = 1\n",
+		"def f(a, b):\n    return a + b\n\nprint(f(1, 2))\n",
+		"while True:\n    pass\n",
+		"for i in range(10):\n    if i % 2 == 0:\n        continue\n    break\n",
+		"a = [1, 2, 3]\nd = {\"k\": 1}\na[0], a[1] = a[1], a[0]\n",
+		"class",            // keyword MiniPy doesn't support
+		"def f(:",          // truncated parameter list
+		"if x\n",           // missing colon
+		"x = (1 +\n",       // unterminated expression
+		"    indented\n",   // unexpected indent at top level
+		"x = \"unclosed\n", // unterminated string
+		"x = 'mixed\"\n",
+		"\"\\",                  // string ending in a bare backslash (found by fuzzing)
+		"x = \"\\x4",            // truncated \x escape at EOF
+		"while True:\n\tpass\n", // tab indentation
+		"def f():\n  return\n y\n",
+		"x = 1 @ 2\n",  // unknown operator
+		"\x00\x01\x02", // binary garbage
+		"x = 9" + "9999999999999999999999999999\n", // overflowing literal
+		"not not not not x\n",
+		"f(" + "((((((((((" + "\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Not crashing is the property; rejecting is always fine.
+		mod, err := Parse("fuzz.py", src)
+		if err == nil && mod == nil {
+			t.Fatal("Parse returned nil module with nil error")
+		}
+	})
+}

@@ -229,6 +229,15 @@ func (in *Interp) SetArgs(args []string) {
 // CurrentFrame returns the interpreter's innermost live frame.
 func (in *Interp) CurrentFrame() *RTFrame { return in.cur }
 
+// Steps returns the number of line events fired so far — the supervision
+// layer's step-budget clock.
+func (in *Interp) Steps() int64 { return in.steps }
+
+// AllocCount returns the number of heap objects allocated so far. MiniPy
+// never frees, so this is also the live-object count the heap budget
+// bounds.
+func (in *Interp) AllocCount() int64 { return int64(in.nextID) }
+
 // alloc assigns the next object id and stamps the allocation epoch.
 func (in *Interp) alloc(o *Object) *Object {
 	in.nextID++

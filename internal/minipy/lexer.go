@@ -299,6 +299,11 @@ func (l *Lexer) scanString(line, col int) (Token, error) {
 			return Token{Kind: StrLit, Text: b.String(), Line: line, Col: col}, nil
 		case '\\':
 			l.advance()
+			// The source may end right after the backslash; advancing
+			// unchecked would index past the buffer.
+			if l.peekRune() == 0 {
+				return Token{}, l.errf(line, col, "unterminated string literal")
+			}
 			esc := l.advance()
 			switch esc {
 			case 'n':

@@ -1,0 +1,110 @@
+package pt
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"easytracker/internal/core"
+	"easytracker/internal/pytracker"
+)
+
+// encodeSmallTrace records and encodes a short trace to mutilate.
+func encodeSmallTrace(t *testing.T) []byte {
+	t.Helper()
+	trace := recordProg(t, Options{
+		Mode: ModeTracked, TrackFunctions: []string{"fib"}, Lang: "minipy",
+	})
+	data, err := trace.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestDecodeTruncatedTrace cuts an encoded trace mid-record, as a killed
+// recorder or a full disk would, and checks Decode reports a typed
+// *DecodeError with a byte offset instead of panicking or returning an
+// opaque unmarshal error.
+func TestDecodeTruncatedTrace(t *testing.T) {
+	data := encodeSmallTrace(t)
+	// Cut inside a step record: truncate just after a "line" key somewhere
+	// past the header so the damage is mid-record, not mid-header.
+	cut := bytes.Index(data[len(data)/2:], []byte(`"line"`))
+	if cut < 0 {
+		t.Fatal("no step record found to truncate")
+	}
+	cut += len(data) / 2
+	truncated := data[:cut]
+
+	_, err := Decode(truncated)
+	if err == nil {
+		t.Fatal("Decode accepted a truncated trace")
+	}
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %T is not a *DecodeError: %v", err, err)
+	}
+	if de.Offset <= 0 || de.Offset > int64(len(truncated)) {
+		t.Errorf("offset = %d, want in (0, %d]", de.Offset, len(truncated))
+	}
+	if !strings.Contains(err.Error(), "byte") {
+		t.Errorf("error %q does not mention the byte offset", err)
+	}
+	if de.Unwrap() == nil {
+		t.Error("DecodeError does not unwrap to the underlying cause")
+	}
+}
+
+// TestDecodeCorruptedTrace damages a byte in the middle of a trace and
+// checks the reported offset points near the corruption.
+func TestDecodeCorruptedTrace(t *testing.T) {
+	data := encodeSmallTrace(t)
+	pos := bytes.Index(data, []byte(`"line":`))
+	if pos < 0 {
+		t.Fatal("no line field found")
+	}
+	corrupted := append([]byte(nil), data...)
+	// Replace the numeric line value with garbage.
+	corrupted[pos+len(`"line":`)+1] = 'x'
+
+	_, err := Decode(corrupted)
+	if err == nil {
+		t.Fatal("Decode accepted a corrupted trace")
+	}
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("error %T is not a *DecodeError: %v", err, err)
+	}
+	if de.Offset < int64(pos) {
+		t.Errorf("offset = %d, want >= corruption at %d", de.Offset, pos)
+	}
+}
+
+// TestRecordStopsOnSupervisionPause checks that a budget trip ends the
+// recording with a usable partial trace whose final step carries the
+// INTERRUPTED pause, rather than Record spinning to its own step cap.
+func TestRecordStopsOnSupervisionPause(t *testing.T) {
+	tr := pytracker.New()
+	src := "n = 0\nwhile True:\n    n = n + 1\n"
+	err := tr.LoadProgram("runaway.py", core.WithSource(src),
+		core.WithBudgets(core.Budgets{MaxSteps: 500}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := Record(tr, nil, Options{Mode: ModeTracked, Lang: "minipy"})
+	if err != nil {
+		t.Fatalf("record over a tripping budget: %v", err)
+	}
+	if len(trace.Steps) == 0 {
+		t.Fatal("no steps recorded")
+	}
+	last := trace.Steps[len(trace.Steps)-1]
+	if last.State == nil || last.State.Reason.Type != core.PauseInterrupted {
+		t.Fatalf("last step = %+v, want an INTERRUPTED state", last)
+	}
+	if last.State.Reason.Detail != "step-budget" {
+		t.Errorf("detail = %q, want step-budget", last.State.Reason.Detail)
+	}
+}

@@ -7,7 +7,9 @@ package pt
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"strings"
 
 	"easytracker/internal/core"
@@ -55,11 +57,42 @@ func (t *Trace) Encode() ([]byte, error) {
 	return json.MarshalIndent(t, "", " ")
 }
 
-// Decode parses a serialized trace.
+// DecodeError reports a truncated or corrupted trace file. Offset is the
+// byte position where decoding failed (0 when the underlying decoder does
+// not report one), so tools can point at the damage instead of panicking
+// or emitting an opaque unmarshal error.
+type DecodeError struct {
+	// Offset is the byte offset into the trace data where decoding failed.
+	Offset int64
+	// Err is the underlying decoder error.
+	Err error
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("pt: bad trace at byte %d: %v", e.Offset, e.Err)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// Decode parses a serialized trace. Malformed input — including a file
+// truncated mid-record — yields a *DecodeError carrying the byte offset of
+// the damage.
 func Decode(data []byte) (*Trace, error) {
 	var t Trace
 	if err := json.Unmarshal(data, &t); err != nil {
-		return nil, fmt.Errorf("pt: bad trace: %w", err)
+		var off int64
+		var syn *json.SyntaxError
+		var typ *json.UnmarshalTypeError
+		switch {
+		case errors.As(err, &syn):
+			off = syn.Offset
+		case errors.As(err, &typ):
+			off = typ.Offset
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			// Truncation detected only at end of input.
+			off = int64(len(data))
+		}
+		return nil, &DecodeError{Offset: off, Err: err}
 	}
 	return &t, nil
 }
@@ -200,6 +233,12 @@ func Record(tr core.Tracker, out *strings.Builder, opts Options) (*Trace, error)
 		}
 		if err := record(); err != nil {
 			return nil, err
+		}
+		// A supervision stop (Interrupt(), deadline, or budget trip) ends
+		// the recording with a usable partial trace: the last recorded
+		// step carries the INTERRUPTED pause state.
+		if tr.PauseReason().Type == core.PauseInterrupted {
+			return trace, nil
 		}
 	}
 	return nil, fmt.Errorf("pt: trace exceeded %d steps", opts.MaxSteps)

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"easytracker/internal/core"
 	"easytracker/internal/minipy"
@@ -26,6 +28,41 @@ func init() {
 }
 
 var errTerminated = errors.New("pytracker: inferior terminated by tracker")
+
+// Interrupt-flag values: the supervision layer distinguishes an explicit
+// Interrupt call from an execution-deadline expiry so the pause Detail can
+// say which one ended the run.
+const (
+	intrNone int32 = iota
+	intrUser
+	intrDeadline
+)
+
+// crashError carries a contained interpreter panic from the inferior
+// goroutine to the tool goroutine, with the MiniPy backtrace captured at
+// the panic site. Unwrap exposes core.ErrInferiorCrash to errors.Is.
+type crashError struct {
+	val       any
+	backtrace []string
+}
+
+func (e *crashError) Error() string {
+	return fmt.Sprintf("pytracker: %v: panic: %v", core.ErrInferiorCrash, e.val)
+}
+
+func (e *crashError) Unwrap() error { return core.ErrInferiorCrash }
+
+// minipyBacktrace renders the frame chain rooted at fr, innermost first.
+// The caller passes the last frame the trace hook saw rather than the
+// interpreter's current frame: panic unwinding pops frames on its way out,
+// so by recover time the interpreter is already back at the module body.
+func minipyBacktrace(fr *minipy.RTFrame) []string {
+	var bt []string
+	for ; fr != nil; fr = fr.Parent {
+		bt = append(bt, fmt.Sprintf("%s at line %d (depth %d)", fr.Name, fr.Line, fr.Depth))
+	}
+	return bt
+}
 
 type stepMode int
 
@@ -92,12 +129,32 @@ type Tracker struct {
 	lastLine  int
 	entrySeen bool
 
+	// crashFr is the frame of the most recent trace event, recorded so
+	// the crash-containment barrier can render a backtrace rooted at the
+	// panic site (unwinding pops the interpreter's own frame chain before
+	// recover runs). Written and read only on the inferior goroutine.
+	crashFr *minipy.RTFrame
+
 	mode      stepMode
 	nextDepth int
 	lineBPs   []lineBP
 	funcBPs   []funcBP
 	tracked   map[string]bool
 	watches   []*watch
+
+	// intr is the cooperative interrupt flag (intrNone/intrUser/
+	// intrDeadline). It is the only tracker field touched from outside the
+	// tool goroutine: Interrupt() and the deadline timer raise it, the
+	// trace hook consumes it. budgets/supervised configure the per-event
+	// resource checks; the *Tripped latches make each budget one-shot, so
+	// an inspected-and-resumed inferior is not re-paused on every
+	// subsequent line by the budget it already tripped.
+	intr         atomic.Int32
+	budgets      core.Budgets
+	supervised   bool
+	stepsTripped bool
+	depthTripped bool
+	heapTripped  bool
 
 	// pauseSeq numbers pauses; together with the interpreter's mutation
 	// epoch it keys the memoized State snapshot below, so tools calling
@@ -163,6 +220,9 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 	t.module = mod
 	t.interp = in
 	t.cfg = cfg
+	t.budgets = cfg.Budgets
+	t.supervised = t.budgets.MaxSteps > 0 || t.budgets.MaxDepth > 0 ||
+		t.budgets.MaxHeapObjects > 0
 	t.initObs()
 	t.loaded = true
 	return nil
@@ -208,13 +268,58 @@ func (t *Tracker) Start() error {
 	}
 	t.started = true
 	t0 := t.obs.Now()
+	stop := t.armDeadline()
 	go func() {
+		// Containment barrier: an interpreter panic must surface to the
+		// tool as a typed inferior-crash error, not kill the host. The
+		// backtrace is captured here, on the inferior goroutine, while
+		// the frame chain is still rooted at the panic site.
+		defer func() {
+			if r := recover(); r != nil {
+				fr := t.crashFr
+				if fr == nil {
+					fr = t.interp.CurrentFrame()
+				}
+				t.doneCh <- exitInfo{code: 2, err: &crashError{
+					val:       r,
+					backtrace: minipyBacktrace(fr),
+				}}
+			}
+		}()
 		code, err := t.interp.Run()
 		t.doneCh <- exitInfo{code, err}
 	}()
 	err := t.waitPause()
+	stop()
 	t.obs.Observe(core.OpStart, t0)
 	return t.werr("Start", err)
+}
+
+// Interrupt implements core.Interrupter: it asks the running inferior to
+// pause at its next trace event, converting the in-flight control command
+// into a normal INTERRUPTED pause with full State() available. The flag is
+// sticky — interrupting a paused inferior makes the next resuming call
+// pause immediately — so an interrupt is never lost to a pause race. Safe
+// to call from any goroutine.
+func (t *Tracker) Interrupt() {
+	t.intr.Store(intrUser)
+}
+
+// armDeadline starts the WithExecutionTimeout clock for one resuming call
+// and returns the disarm func. Expiry raises a deadline interrupt unless an
+// interrupt is already pending; disarming clears a deadline that fired too
+// late to be delivered (the run paused for another reason first), so it
+// cannot leak into the next resume.
+func (t *Tracker) armDeadline() func() {
+	d := t.cfg.ExecTimeout
+	if d <= 0 {
+		return func() {}
+	}
+	timer := time.AfterFunc(d, func() { t.intr.CompareAndSwap(intrNone, intrDeadline) })
+	return func() {
+		timer.Stop()
+		t.intr.CompareAndSwap(intrDeadline, intrNone)
+	}
 }
 
 // traceFn runs in the inferior goroutine between every event.
@@ -222,7 +327,11 @@ func (t *Tracker) traceFn(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Objec
 	if t.terminated {
 		return errTerminated
 	}
-	reason, pause := t.checkPause(fr, ev, ret)
+	t.crashFr = fr
+	reason, pause := t.superviseCheck(fr)
+	if !pause {
+		reason, pause = t.checkPause(fr, ev, ret)
+	}
 	if ev == minipy.EventLine {
 		t.lastLine = t.prevLine
 		t.prevLine = fr.Line
@@ -240,6 +349,55 @@ func (t *Tracker) traceFn(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Objec
 		return errTerminated
 	}
 	return nil
+}
+
+// superviseCheck runs the supervision layer's per-event checks, ahead of
+// every other pause condition: the cooperative interrupt flag first, then
+// the armed resource budgets. This is the hot path of the supervision
+// layer and must stay allocation-free: one atomic load when idle, a few
+// integer compares when budgets are armed (BenchmarkBudgetCheckOverhead
+// gates this). A supervision pause does not run the watch comparison, so
+// watch snapshots stay coherent: a mutation landing on the interrupted
+// event is detected by the next regular check.
+func (t *Tracker) superviseCheck(fr *minipy.RTFrame) (core.PauseReason, bool) {
+	if t.intr.Load() != intrNone {
+		detail := "interrupt"
+		if t.intr.Swap(intrNone) == intrDeadline {
+			detail = "deadline"
+		}
+		t.obs.Counter(core.CtrInterrupts).Inc()
+		t.obs.Event("interrupt", "run interrupted ("+detail+")")
+		return t.interruptedAt(fr, detail), true
+	}
+	if !t.supervised {
+		return core.PauseReason{}, false
+	}
+	if b := t.budgets.MaxSteps; b > 0 && !t.stepsTripped && t.interp.Steps() >= b {
+		t.stepsTripped = true
+		return t.tripBudget(fr, "step-budget", b)
+	}
+	if b := t.budgets.MaxDepth; b > 0 && !t.depthTripped && fr.Depth >= b {
+		t.depthTripped = true
+		return t.tripBudget(fr, "depth-budget", int64(b))
+	}
+	if b := t.budgets.MaxHeapObjects; b > 0 && !t.heapTripped && t.interp.AllocCount() >= b {
+		t.heapTripped = true
+		return t.tripBudget(fr, "heap-budget", b)
+	}
+	return core.PauseReason{}, false
+}
+
+// tripBudget records one budget expiry (cold path) and builds its pause.
+func (t *Tracker) tripBudget(fr *minipy.RTFrame, name string, limit int64) (core.PauseReason, bool) {
+	t.obs.Counter(core.CtrBudgetTrips).Inc()
+	t.obs.Event("budget", fmt.Sprintf("%s tripped (limit %d) at line %d", name, limit, fr.Line))
+	return t.interruptedAt(fr, name), true
+}
+
+func (t *Tracker) interruptedAt(fr *minipy.RTFrame, detail string) core.PauseReason {
+	return core.PauseReason{
+		Type: core.PauseInterrupted, File: t.file, Line: fr.Line, Detail: detail,
+	}
 }
 
 // checkPause applies, in priority order, the paper's pause conditions:
@@ -427,6 +585,10 @@ func (t *Tracker) waitPause() error {
 		t.reason = core.PauseReason{Type: core.PauseExited, ExitCode: d.code}
 		t.notePause()
 		if d.err != nil && !errors.Is(d.err, errTerminated) {
+			var ce *crashError
+			if errors.As(d.err, &ce) {
+				t.obs.Event("crash", ce.Error())
+			}
 			return d.err
 		}
 		return nil
@@ -457,8 +619,10 @@ func (t *Tracker) resumeWith(mode stepMode, opName string) error {
 		t.nextDepth = t.curFrame.Depth
 	}
 	t0 := t.obs.Now()
+	stop := t.armDeadline()
 	t.resumeCh <- struct{}{}
 	err := t.waitPause()
+	stop()
 	t.obs.Observe(opName, t0)
 	return err
 }
@@ -476,6 +640,18 @@ func (t *Tracker) Next() error { return t.werr("Next", t.resumeWith(modeNext, co
 // errors.Is/errors.As against the sentinels working.
 func (t *Tracker) werr(op string, err error) error {
 	file, line := t.Position()
+	var ce *crashError
+	if errors.As(err, &ce) {
+		// An inferior crash gets the full structured treatment: the
+		// MiniPy backtrace captured at the panic site plus the flight
+		// recorder (when on), so the error alone explains the crash.
+		return &core.TrackerError{
+			Op: op, Kind: Kind, File: file, Line: line,
+			Backtrace: ce.backtrace,
+			Trail:     t.obs.EventDump(),
+			Err:       ce,
+		}
+	}
 	return core.WrapErr(Kind, op, file, line, err)
 }
 

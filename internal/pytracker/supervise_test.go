@@ -1,0 +1,63 @@
+package pytracker
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"easytracker/internal/core"
+	"easytracker/internal/minipy"
+)
+
+// TestCrashContainment sabotages the interpreter's trace hook to simulate
+// an interpreter bug: the panic must surface on the tool goroutine as a
+// typed *core.TrackerError matching ErrInferiorCrash and carrying a MiniPy
+// backtrace — never as a tool-killing panic.
+func TestCrashContainment(t *testing.T) {
+	src := `def inner(x):
+    return x + 1
+
+def outer():
+    return inner(41)
+
+outer()
+`
+	tr := start(t, src)
+	// Re-register a hook that delegates to the tracker's own and then
+	// panics deep inside the call tree, as a buggy interpreter would.
+	real := tr.traceFn
+	events := 0
+	tr.interp.SetTrace(func(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Object) error {
+		events++
+		if fr.Name == "inner" && ev == minipy.EventLine {
+			panic("interpreter bug: corrupted dispatch table")
+		}
+		return real(fr, ev, ret)
+	})
+	err := tr.Resume()
+	if err == nil {
+		t.Fatal("Resume over a panicking interpreter returned nil")
+	}
+	if !errors.Is(err, core.ErrInferiorCrash) {
+		t.Fatalf("error %v does not match ErrInferiorCrash", err)
+	}
+	var te *core.TrackerError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %T is not a *core.TrackerError", err)
+	}
+	if len(te.Backtrace) == 0 {
+		t.Fatal("crash error carries no inferior backtrace")
+	}
+	// The backtrace is innermost first: the crash happened inside inner,
+	// called from outer, called from the module body.
+	if got := te.Backtrace[0]; !strings.Contains(got, "inner") {
+		t.Errorf("innermost backtrace frame = %q, want inner", got)
+	}
+	if len(te.Backtrace) >= 2 && !strings.Contains(te.Backtrace[1], "outer") {
+		t.Errorf("second backtrace frame = %q, want outer", te.Backtrace[1])
+	}
+	// The session is over: further control fails cleanly, not via panic.
+	if err := tr.Resume(); err == nil {
+		t.Fatal("Resume after crash succeeded")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"sync/atomic"
 
 	"easytracker/internal/isa"
 )
@@ -41,6 +42,12 @@ const (
 	StopFault
 	// StopEBreak means an ebreak instruction executed.
 	StopEBreak
+	// StopInterrupt means the cooperative interrupt flag was raised
+	// (Interrupt); pc is at the next unexecuted instruction.
+	StopInterrupt
+	// StopBudget means the armed instruction budget (SetStepLimit) was
+	// exhausted; the budget disarms itself when it trips.
+	StopBudget
 )
 
 // String names the stop kind.
@@ -58,6 +65,10 @@ func (k StopKind) String() string {
 		return "fault"
 	case StopEBreak:
 		return "ebreak"
+	case StopInterrupt:
+		return "interrupt"
+	case StopBudget:
+		return "budget"
 	}
 	return fmt.Sprintf("StopKind(%d)", int(k))
 }
@@ -133,6 +144,15 @@ type Machine struct {
 	exited   bool
 	exitCode int
 	steps    uint64
+
+	// intr is the cooperative interrupt flag. It is the only machine
+	// field touched from outside the executing goroutine: the MI server's
+	// reader goroutine (-exec-interrupt) and signal handlers raise it, the
+	// run loops consume it.
+	intr atomic.Bool
+	// stepLimit is the armed total-instruction budget (0 = off); it
+	// disarms itself when it trips so the paused program stays resumable.
+	stepLimit uint64
 }
 
 // Config customizes machine construction.
@@ -653,15 +673,50 @@ func (m *Machine) ecall() (Stop, bool) {
 	return Stop{Kind: StopStep}, true
 }
 
-// Run executes until a breakpoint, watchpoint, exit, fault, or the step
-// budget is exhausted (budget 0 means 50 million instructions). The
-// breakpoint at the starting pc is skipped, so Run can resume from one.
+// Interrupt raises the cooperative interrupt flag: the executing run loop
+// stops with StopInterrupt before its next instruction. The flag is sticky
+// while the machine is idle, so an interrupt delivered between commands
+// stops the next run immediately. Safe to call from any goroutine.
+func (m *Machine) Interrupt() { m.intr.Store(true) }
+
+// TakeInterrupt consumes a pending interrupt, reporting whether one was
+// raised. The idle path is a single atomic load — it runs once per
+// instruction in the dispatch loop, so the consume CAS happens only when
+// the flag is actually up.
+func (m *Machine) TakeInterrupt() bool {
+	return m.intr.Load() && m.intr.CompareAndSwap(true, false)
+}
+
+// SetStepLimit arms (or with 0 disarms) the total-instruction budget: once
+// Steps() reaches n, run loops stop with StopBudget and the budget disarms
+// itself.
+func (m *Machine) SetStepLimit(n uint64) { m.stepLimit = n }
+
+// TripStepLimit reports whether the armed instruction budget is exhausted,
+// disarming it when so.
+func (m *Machine) TripStepLimit() bool {
+	if m.stepLimit > 0 && m.steps >= m.stepLimit {
+		m.stepLimit = 0
+		return true
+	}
+	return false
+}
+
+// Run executes until a breakpoint, watchpoint, exit, fault, interrupt, or
+// the step budget is exhausted (budget 0 means 50 million instructions).
+// The breakpoint at the starting pc is skipped, so Run can resume from one.
 func (m *Machine) Run(budget uint64) Stop {
 	if budget == 0 {
 		budget = 50_000_000
 	}
 	first := true
 	for i := uint64(0); i < budget; i++ {
+		if m.TakeInterrupt() {
+			return Stop{Kind: StopInterrupt}
+		}
+		if m.TripStepLimit() {
+			return Stop{Kind: StopBudget}
+		}
 		if !first && m.breakpoints[m.pc] {
 			return Stop{Kind: StopBreak}
 		}
@@ -671,5 +726,5 @@ func (m *Machine) Run(budget uint64) Stop {
 			return stop
 		}
 	}
-	return m.fault("vm: instruction budget exhausted (%d)", budget)
+	return Stop{Kind: StopBudget}
 }

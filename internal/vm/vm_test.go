@@ -423,8 +423,39 @@ func TestRunBudget(t *testing.T) {
 	p := prog(isa.Instr{Op: isa.JAL, Rd: isa.Zero, Imm: 0}) // tight loop
 	m := mustMachine(t, p, Config{})
 	s := m.Run(1000)
-	if s.Kind != StopFault || !strings.Contains(s.Err.Error(), "budget") {
+	if s.Kind != StopBudget {
 		t.Errorf("stop %v err %v", s.Kind, s.Err)
+	}
+}
+
+func TestRunInterrupt(t *testing.T) {
+	p := prog(isa.Instr{Op: isa.JAL, Rd: isa.Zero, Imm: 0}) // tight loop
+	m := mustMachine(t, p, Config{})
+	m.Interrupt()
+	s := m.Run(1000)
+	if s.Kind != StopInterrupt {
+		t.Fatalf("stop %v err %v", s.Kind, s.Err)
+	}
+	// The flag is consumed: the next run goes back to executing.
+	if s = m.Run(10); s.Kind != StopBudget {
+		t.Errorf("second stop %v err %v", s.Kind, s.Err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	p := prog(isa.Instr{Op: isa.JAL, Rd: isa.Zero, Imm: 0}) // tight loop
+	m := mustMachine(t, p, Config{})
+	m.SetStepLimit(100)
+	s := m.Run(0)
+	if s.Kind != StopBudget {
+		t.Fatalf("stop %v err %v", s.Kind, s.Err)
+	}
+	if m.Steps() != 100 {
+		t.Errorf("steps = %d, want 100", m.Steps())
+	}
+	// The budget is one-shot: it disarmed itself, so the machine resumes.
+	if s = m.Run(50); s.Kind != StopBudget || m.Steps() != 150 {
+		t.Errorf("after trip: stop %v steps %d", s.Kind, m.Steps())
 	}
 }
 
