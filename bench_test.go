@@ -11,6 +11,7 @@ package easytracker_test
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -589,6 +590,50 @@ func BenchmarkBudgetCheckOverhead(b *testing.B) {
 			}
 		}
 		tr.Terminate()
+	}
+}
+
+// BenchmarkRemoteRoundTrip is BenchmarkResumeWithWatchpointMiniPy's workload
+// driven through a loopback et-serve session: one full client lifecycle
+// (connect, load, watch, resume to exit, terminate) per iteration, so the
+// delta against the local benchmark is the price of the wire — framing,
+// JSON codecs and the per-request round trips.
+func BenchmarkRemoteRoundTrip(b *testing.B) {
+	b.ReportAllocs()
+	srv := easytracker.NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+	src := "total = 0\nk = 0\nwhile k < 200:\n    k = k + 1\ntotal = 1\n"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := easytracker.Connect(addr, "minipy")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.LoadProgram("w.py", easytracker.WithSource(src)); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Watch("::total"); err != nil {
+			b.Fatal(err)
+		}
+		for {
+			if _, done := tr.ExitCode(); done {
+				break
+			}
+			if err := tr.Resume(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tr.Terminate()
+		tr.Close()
 	}
 }
 

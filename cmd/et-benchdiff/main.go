@@ -106,7 +106,7 @@ func loadBaseline(path string) (*Baseline, error) {
 }
 
 func main() {
-	bench := flag.String("bench", "BenchmarkResumeWithWatchpointMiniPy|BenchmarkAblationWatchCountMiniPy|BenchmarkObsOverhead|BenchmarkBudgetCheckOverhead", "benchmark regex passed to go test -bench")
+	bench := flag.String("bench", "BenchmarkResumeWithWatchpointMiniPy|BenchmarkAblationWatchCountMiniPy|BenchmarkObsOverhead|BenchmarkBudgetCheckOverhead|BenchmarkRemoteRoundTrip", "benchmark regex passed to go test -bench")
 	baselinePath := flag.String("baseline", filepath.Join("cmd", "et-benchdiff", "baseline.json"), "committed baseline JSON")
 	outPath := flag.String("o", "BENCH_1.json", "report output path")
 	count := flag.Int("count", 1, "benchmark repetitions (best of N is kept)")

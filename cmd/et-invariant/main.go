@@ -46,6 +46,7 @@ func main() {
 	sortedFrom := flag.Bool("sorted-from-i", false, "shade cells at >= i (selection-sort style)")
 	sortedTo := flag.Bool("sorted-to-i", true, "shade cells at < i (insertion-style prefix)")
 	maxImgs := flag.Int("max", 200, "maximum images")
+	remoteAddr := flag.String("remote", "", "drive the program on a tracker server (et-serve) at host:port")
 	showStats := flag.Bool("stats", false, "print the tracker's metrics snapshot (JSON) to stderr on exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -54,7 +55,15 @@ func main() {
 	}
 	prog := flag.Arg(0)
 
-	tracker, err := easytracker.New(easytracker.KindFor(prog))
+	// A remote tracker satisfies the same contract, so the stepping loop —
+	// and the Ctrl-C interrupt below — work unchanged over the wire.
+	var tracker easytracker.Tracker
+	var err error
+	if *remoteAddr != "" {
+		tracker, err = easytracker.Connect(*remoteAddr, easytracker.KindFor(prog))
+	} else {
+		tracker, err = easytracker.New(easytracker.KindFor(prog))
+	}
 	check(err)
 	loadOpts := []easytracker.LoadOption{easytracker.WithStdout(os.Stdout)}
 	if *showStats {

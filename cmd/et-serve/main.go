@@ -1,0 +1,95 @@
+// Command et-serve hosts tracker sessions for remote clients: any tool run
+// with -remote host:port (et-trace record, et-invariant, et-stackheap) — or
+// any program using easytracker.Connect — drives its inferior inside this
+// process over the wire protocol, with the same pause reasons, state
+// snapshots and typed errors as a local tracker.
+//
+// Sessions are isolated tenants: an admission limit caps how many run
+// concurrently, idle sessions are evicted, and per-session resource budgets
+// and execution deadlines bound what any one client can burn. SIGTERM and
+// SIGINT drain gracefully — in-flight commands finish and flush their
+// responses before the process exits; a second signal forces exit.
+//
+// Usage:
+//
+//	et-serve [-addr :7070] [-max-sessions N] [-idle DUR] [-exec-timeout DUR]
+//	         [-max-steps N] [-max-depth N] [-max-heap N] [-max-instr N]
+//	         [-stats] [-v]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"easytracker"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	maxSessions := flag.Int("max-sessions", 64, "concurrent session limit")
+	idle := flag.Duration("idle", 10*time.Minute, "evict sessions idle this long (0 disables)")
+	execTimeout := flag.Duration("exec-timeout", 0, "cap every session's execution timeout per resuming call (0: no cap)")
+	maxSteps := flag.Int64("max-steps", 0, "cap every session's source-step budget (0: no cap)")
+	maxDepth := flag.Int("max-depth", 0, "cap every session's call-depth budget (0: no cap)")
+	maxHeap := flag.Int64("max-heap", 0, "cap every session's heap-object budget (0: no cap)")
+	maxInstr := flag.Uint64("max-instr", 0, "cap every session's instruction budget (0: no cap)")
+	drainWait := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
+	showStats := flag.Bool("stats", false, "print the server's metrics snapshot (JSON) to stderr on exit")
+	verbose := flag.Bool("v", false, "log admissions, evictions and teardowns")
+	flag.Parse()
+
+	opts := []easytracker.ServerOption{
+		easytracker.WithMaxSessions(*maxSessions),
+		easytracker.WithIdleTimeout(*idle),
+		easytracker.WithSessionExecTimeout(*execTimeout),
+		easytracker.WithSessionBudgets(easytracker.Budgets{
+			MaxSteps:        *maxSteps,
+			MaxDepth:        *maxDepth,
+			MaxHeapObjects:  *maxHeap,
+			MaxInstructions: *maxInstr,
+		}),
+	}
+	if *verbose {
+		opts = append(opts, easytracker.WithServerLog(log.Printf))
+	}
+	srv := easytracker.NewServer(opts...)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*addr) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	log.Printf("et-serve: listening on %s (max %d sessions)", *addr, *maxSessions)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("et-serve: %v", err)
+		}
+	case s := <-sig:
+		log.Printf("et-serve: %v: draining (%d live sessions, deadline %v)",
+			s, srv.SessionCount(), *drainWait)
+		go func() {
+			<-sig // second signal forces exit
+			os.Exit(130)
+		}()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("et-serve: drain deadline expired, sessions torn down hard")
+		}
+	}
+	if *showStats {
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(srv.Stats())
+	}
+	fmt.Println("et-serve: stopped")
+}

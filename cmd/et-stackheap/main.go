@@ -22,6 +22,7 @@ func main() {
 	mode := flag.String("mode", "heap", "diagram mode: stack (inline values) or heap (stack+heap)")
 	outDir := flag.String("out", ".", "output directory for the SVG files")
 	maxImgs := flag.Int("max", 200, "maximum number of images")
+	remoteAddr := flag.String("remote", "", "drive the program on a tracker server (et-serve) at host:port")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: et-stackheap [-mode stack|heap] [-out DIR] PROGRAM.{py,c}")
@@ -29,8 +30,16 @@ func main() {
 	}
 	inf := flag.Arg(0)
 
-	// Listing 1, line by line.
-	tracker, err := easytracker.New(easytracker.KindFor(inf))
+	// Listing 1, line by line. With -remote the same loop drives a session
+	// hosted by et-serve; the capability probe below still reflects the
+	// server-side backend through the handshake-advertised capability set.
+	var tracker easytracker.Tracker
+	var err error
+	if *remoteAddr != "" {
+		tracker, err = easytracker.Connect(*remoteAddr, easytracker.KindFor(inf))
+	} else {
+		tracker, err = easytracker.New(easytracker.KindFor(inf))
+	}
 	check(err)
 	check(tracker.LoadProgram(inf, easytracker.WithStdout(os.Stdout),
 		easytracker.WithHeapTracking()))

@@ -71,6 +71,7 @@ func record(args []string) {
 	track := fs.String("track", "", "track only this function (partial trace)")
 	watch := fs.String("watch", "", "also watch this variable")
 	out := fs.String("o", "out.trace", "output path")
+	remoteAddr := fs.String("remote", "", "record on a tracker server (et-serve) at host:port")
 	showStats := fs.Bool("stats", false, "print the tracker's metrics snapshot (JSON) to stderr on exit")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -79,7 +80,7 @@ func record(args []string) {
 	prog := fs.Arg(0)
 
 	kind := easytracker.KindFor(prog)
-	tracker, err := easytracker.New(kind)
+	tracker, err := newTracker(kind, *remoteAddr)
 	check(err)
 	var progOut strings.Builder
 	loadOpts := []easytracker.LoadOption{easytracker.WithStdout(&progOut)}
@@ -202,6 +203,17 @@ func toHTML(args []string) {
 	check(os.WriteFile(*out, []byte(page), 0o644))
 	fmt.Printf("wrote %s (%d steps); open it in a browser and use Forward\n",
 		*out, len(trace.Steps))
+}
+
+// newTracker builds a local tracker, or — with -remote — connects a session
+// on a tracker server. The remote tracker satisfies the same contract, so
+// the rest of the command is oblivious; Ctrl-C interrupts travel over the
+// wire through the same easytracker.Interrupt call.
+func newTracker(kind, remoteAddr string) (easytracker.Tracker, error) {
+	if remoteAddr == "" {
+		return easytracker.New(kind)
+	}
+	return easytracker.Connect(remoteAddr, kind)
 }
 
 // printStats dumps the tracker's instrument snapshot to stderr, keeping

@@ -46,6 +46,7 @@ import (
 
 	"easytracker/internal/core"
 	"easytracker/internal/obs"
+	"easytracker/internal/remote"
 
 	// Register the built-in trackers.
 	_ "easytracker/internal/gdbtracker"
@@ -319,3 +320,50 @@ func KindFor(path string) string {
 	}
 	return "minigdb"
 }
+
+// Remote sessions: a tracker server (et-serve) hosts many concurrent tracker
+// sessions behind the wire protocol of internal/remote, and Connect returns
+// a client Tracker that drives one of them. The remote tracker satisfies the
+// same contract as a local one — same pause reasons, same State JSON, same
+// typed errors under errors.Is — so tools, AsyncTracker and the capability
+// API work unchanged; a lost connection surfaces through the session-loss
+// model (ErrSessionLost, one reconnect-and-replay attempt, RecoveryRestarted
+// / RecoveryFailed).
+type (
+	// RemoteTracker is the client side of a remote tracker session. Beyond
+	// the Tracker contract it offers Close (release the connection; Terminate
+	// alone keeps it open so Stats stays readable) and Capabilities.
+	RemoteTracker = remote.Tracker
+	// Server hosts tracker sessions for remote clients.
+	Server = remote.Server
+	// ServerOption customizes NewServer.
+	ServerOption = remote.ServerOption
+)
+
+// Server options.
+var (
+	// WithMaxSessions caps the number of concurrently live sessions.
+	WithMaxSessions = remote.WithMaxSessions
+	// WithIdleTimeout evicts sessions idle longer than d.
+	WithIdleTimeout = remote.WithIdleTimeout
+	// WithSessionBudgets caps every session's resource budgets (tenant
+	// isolation: the effective budgets are the tighter of the client's and
+	// the server's).
+	WithSessionBudgets = remote.WithSessionBudgets
+	// WithSessionExecTimeout caps every session's execution timeout.
+	WithSessionExecTimeout = remote.WithSessionExecTimeout
+	// WithServerLog routes the server's diagnostic log lines.
+	WithServerLog = remote.WithLogf
+)
+
+// Connect dials a tracker server and opens one session of the given backend
+// kind ("minipy", "minigdb", "trace"):
+//
+//	tr, err := easytracker.Connect("localhost:7070", "minipy")
+//	...
+//	tr.LoadProgram("prog.py")
+func Connect(addr, kind string) (*RemoteTracker, error) { return remote.Connect(addr, kind) }
+
+// NewServer builds a tracker server; run it with Serve/ListenAndServe and
+// stop it with Shutdown (graceful drain) or Close.
+func NewServer(opts ...ServerOption) *Server { return remote.NewServer(opts...) }

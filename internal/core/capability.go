@@ -17,9 +17,24 @@ type TrackerUnwrapper interface {
 	UnwrapTracker() Tracker
 }
 
+// CapabilityGate is implemented by tracker proxies whose one concrete type
+// carries every extension method but whose backing tracker may not provide
+// them all — the remote client tracker is the canonical case: it forwards
+// Registers() over the wire, but a MiniPy backend has none to forward. As
+// consults the gate after a successful type assert, passing a nil pointer to
+// the requested interface type ((*RegisterInspector)(nil), ...); returning
+// false makes the proxy present exactly its backend's capability surface.
+type CapabilityGate interface {
+	// SupportsCapability reports whether the capability interface
+	// identified by ptr (a nil *T for the requested interface T) is truly
+	// provided. Unknown types should return true.
+	SupportsCapability(ptr any) bool
+}
+
 // CapabilitySet reports which optional extension interfaces a tracker
 // provides, so tools can adapt (or refuse early with a clear message)
-// instead of scattering raw type asserts.
+// instead of scattering raw type asserts. It is JSON-serializable: a remote
+// tracker session advertises its backend's set in the connection handshake.
 type CapabilitySet struct {
 	// Registers: the tracker implements RegisterInspector.
 	Registers bool
@@ -57,7 +72,11 @@ func CapabilitiesOf(tr Tracker) CapabilitySet {
 func As[T any](tr Tracker) (T, bool) {
 	for tr != nil {
 		if v, ok := tr.(T); ok {
-			return v, true
+			// A gated proxy can decline interfaces its backend lacks
+			// even though its concrete type has the methods.
+			if g, gated := tr.(CapabilityGate); !gated || g.SupportsCapability((*T)(nil)) {
+				return v, true
+			}
 		}
 		u, ok := tr.(TrackerUnwrapper)
 		if !ok {

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the wire codec for the typed error model: a *TrackerError —
+// including which package sentinel it matches — serialized to JSON and
+// reconstructed on the other side of a connection so that
+// errors.Is(err, ErrCommandTimeout) etc. hold identically for local and
+// remote trackers. The remote session subsystem (internal/remote) is the
+// first consumer; traces or logs that want durable, typed failures can use
+// the same codec.
+
+// errorCodes maps wire code names onto the package sentinels. Codes are
+// stable protocol vocabulary: renaming one is a wire-format change.
+var errorCodes = []struct {
+	code string
+	err  error
+}{
+	{"no_program", ErrNoProgram},
+	{"not_started", ErrNotStarted},
+	{"exited", ErrExited},
+	{"unknown_variable", ErrUnknownVariable},
+	{"unknown_function", ErrUnknownFunction},
+	{"bad_line", ErrBadLine},
+	{"unsupported", ErrUnsupported},
+	{"command_timeout", ErrCommandTimeout},
+	{"session_lost", ErrSessionLost},
+	{"inferior_crash", ErrInferiorCrash},
+}
+
+// ErrorCode names the first package sentinel err matches, or "" when it
+// matches none (an ordinary error whose type does not survive the wire).
+func ErrorCode(err error) string {
+	for _, ec := range errorCodes {
+		if errors.Is(err, ec.err) {
+			return ec.code
+		}
+	}
+	return ""
+}
+
+// SentinelFor returns the sentinel behind a wire code, or nil for an unknown
+// or empty code (forward compatibility: an unknown code decodes to an
+// ordinary error rather than failing).
+func SentinelFor(code string) error {
+	for _, ec := range errorCodes {
+		if ec.code == code {
+			return ec.err
+		}
+	}
+	return nil
+}
+
+// ErrorJSON is the serializable form of a tracker failure: the structured
+// *TrackerError fields plus the sentinel code and rendered message of the
+// underlying cause.
+type ErrorJSON struct {
+	Op        string   `json:"op,omitempty"`
+	Kind      string   `json:"kind,omitempty"`
+	File      string   `json:"file,omitempty"`
+	Line      int      `json:"line,omitempty"`
+	Recovery  string   `json:"recovery,omitempty"`
+	Lost      []string `json:"lost,omitempty"`
+	Trail     []string `json:"trail,omitempty"`
+	Backtrace []string `json:"backtrace,omitempty"`
+	// Code names the package sentinel the error matches ("session_lost",
+	// "exited", ...); empty when it matches none.
+	Code string `json:"code,omitempty"`
+	// Msg is the rendered message of the underlying cause.
+	Msg string `json:"msg,omitempty"`
+}
+
+// EncodeError converts err into its serializable form. A nil err encodes to
+// nil. Errors that are not *TrackerError still carry their sentinel code and
+// message, so plain errors survive with their errors.Is identity.
+func EncodeError(err error) *ErrorJSON {
+	if err == nil {
+		return nil
+	}
+	ej := &ErrorJSON{Code: ErrorCode(err), Msg: err.Error()}
+	var te *TrackerError
+	if errors.As(err, &te) {
+		ej.Op = te.Op
+		ej.Kind = te.Kind
+		ej.File = te.File
+		ej.Line = te.Line
+		ej.Lost = te.Lost
+		ej.Trail = te.Trail
+		ej.Backtrace = te.Backtrace
+		switch te.Recovery {
+		case RecoveryRestarted:
+			ej.Recovery = "restarted"
+		case RecoveryFailed:
+			ej.Recovery = "failed"
+		}
+		if te.Err != nil {
+			ej.Msg = te.Err.Error()
+		}
+	}
+	return ej
+}
+
+// codedError is the reconstructed underlying cause: it renders the original
+// message and unwraps to the sentinel named by the wire code, so errors.Is
+// works identically on both sides of the connection.
+type codedError struct {
+	sentinel error
+	msg      string
+}
+
+func (e *codedError) Error() string {
+	if e.msg != "" {
+		return e.msg
+	}
+	if e.sentinel != nil {
+		return e.sentinel.Error()
+	}
+	return "unknown error"
+}
+
+func (e *codedError) Unwrap() error { return e.sentinel }
+
+// DecodeError reconstructs the error. When the encoded form carried
+// *TrackerError structure (an Op or Kind), the result is a *TrackerError
+// with all structured fields restored; otherwise it is a plain error. In
+// both cases errors.Is against the sentinel named by Code holds.
+func (e *ErrorJSON) DecodeError() error {
+	if e == nil {
+		return nil
+	}
+	cause := &codedError{sentinel: SentinelFor(e.Code), msg: e.Msg}
+	if e.Op == "" && e.Kind == "" {
+		if cause.sentinel == nil && cause.msg == "" {
+			return errors.New("core: empty wire error")
+		}
+		return cause
+	}
+	te := &TrackerError{
+		Op: e.Op, Kind: e.Kind, File: e.File, Line: e.Line,
+		Lost: e.Lost, Trail: e.Trail, Backtrace: e.Backtrace,
+		Err: cause,
+	}
+	switch e.Recovery {
+	case "restarted":
+		te.Recovery = RecoveryRestarted
+	case "failed":
+		te.Recovery = RecoveryFailed
+	case "", "none":
+		te.Recovery = RecoveryNone
+	default:
+		// Unknown recovery statuses (a newer peer) degrade to "none"
+		// rather than failing the decode; the message still tells the
+		// story.
+		te.Recovery = RecoveryNone
+	}
+	return te
+}
+
+// RoundTripError is EncodeError followed by DecodeError — the identity a
+// remote tracker applies to every error it relays. Exposed for tests
+// asserting codec fidelity.
+func RoundTripError(err error) error {
+	if err == nil {
+		return nil
+	}
+	rt := EncodeError(err).DecodeError()
+	if rt == nil {
+		return fmt.Errorf("core: error round trip lost %v", err)
+	}
+	return rt
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// The error codec's contract: errors.Is identity and *TrackerError structure
+// survive EncodeError → JSON → DecodeError, so a remote tracker's failures
+// are indistinguishable from a local tracker's under the public API.
+
+func TestErrorCodecSentinelIdentity(t *testing.T) {
+	sentinels := []error{
+		ErrNoProgram, ErrNotStarted, ErrExited, ErrUnknownVariable,
+		ErrUnknownFunction, ErrBadLine, ErrUnsupported,
+		ErrCommandTimeout, ErrSessionLost, ErrInferiorCrash,
+	}
+	for _, want := range sentinels {
+		rt := RoundTripError(want)
+		if !errors.Is(rt, want) {
+			t.Errorf("round trip of %v lost its errors.Is identity (got %v)", want, rt)
+		}
+	}
+}
+
+func TestErrorCodecTrackerError(t *testing.T) {
+	orig := &TrackerError{
+		Op:        "Resume",
+		Kind:      "minigdb",
+		File:      "prog.c",
+		Line:      12,
+		Recovery:  RecoveryRestarted,
+		Lost:      []string{"watch ::g"},
+		Trail:     []string{"cmd exec-continue", "record ^error"},
+		Backtrace: []string{"main at prog.c:12"},
+		Err:       ErrSessionLost,
+	}
+	// Through actual JSON, as the wire would carry it.
+	data, err := json.Marshal(EncodeError(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ej ErrorJSON
+	if err := json.Unmarshal(data, &ej); err != nil {
+		t.Fatal(err)
+	}
+	rt := ej.DecodeError()
+
+	var te *TrackerError
+	if !errors.As(rt, &te) {
+		t.Fatalf("decoded error is %T, want *TrackerError", rt)
+	}
+	if te.Op != orig.Op || te.Kind != orig.Kind || te.File != orig.File || te.Line != orig.Line {
+		t.Errorf("decoded header = %q/%q/%q:%d, want %q/%q/%q:%d",
+			te.Op, te.Kind, te.File, te.Line, orig.Op, orig.Kind, orig.File, orig.Line)
+	}
+	if te.Recovery != RecoveryRestarted {
+		t.Errorf("decoded recovery = %v, want restarted", te.Recovery)
+	}
+	if len(te.Lost) != 1 || te.Lost[0] != "watch ::g" {
+		t.Errorf("decoded lost = %v, want [watch ::g]", te.Lost)
+	}
+	if len(te.Trail) != 2 || len(te.Backtrace) != 1 {
+		t.Errorf("decoded trail/backtrace = %d/%d entries, want 2/1", len(te.Trail), len(te.Backtrace))
+	}
+	if !errors.Is(rt, ErrSessionLost) {
+		t.Error("decoded error lost its ErrSessionLost identity")
+	}
+}
+
+func TestErrorCodecPlainError(t *testing.T) {
+	rt := RoundTripError(errors.New("remote: server at session limit"))
+	if rt == nil || rt.Error() != "remote: server at session limit" {
+		t.Errorf("plain error round trip = %v", rt)
+	}
+	if code := ErrorCode(rt); code != "" {
+		t.Errorf("plain error got sentinel code %q", code)
+	}
+}
+
+func TestErrorCodecNil(t *testing.T) {
+	if EncodeError(nil) != nil {
+		t.Error("EncodeError(nil) != nil")
+	}
+	var ej *ErrorJSON
+	if ej.DecodeError() != nil {
+		t.Error("nil ErrorJSON decoded to non-nil error")
+	}
+}
+
+func TestErrorCodecUnknownForwardCompat(t *testing.T) {
+	// A newer peer may send codes and recovery statuses this side does not
+	// know; the decode degrades to a plain message instead of failing.
+	ej := &ErrorJSON{Op: "Resume", Kind: "minipy", Code: "brand_new_code",
+		Recovery: "paused-for-replay", Msg: "something newer"}
+	rt := ej.DecodeError()
+	var te *TrackerError
+	if !errors.As(rt, &te) {
+		t.Fatalf("decoded error is %T, want *TrackerError", rt)
+	}
+	if te.Recovery != RecoveryNone {
+		t.Errorf("unknown recovery decoded to %v, want none", te.Recovery)
+	}
+	if rt.Error() == "" {
+		t.Error("decoded error lost its message")
+	}
+}

@@ -387,6 +387,26 @@ func (s *State) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// EncodePauseReasonJSON encodes a pause reason alone — the unit attached to
+// every control-command response on a remote-tracker connection. The value
+// graph of Old/New/ReturnValue keeps its sharing through the same backref
+// table the State codec uses.
+func EncodePauseReasonJSON(r PauseReason) ([]byte, error) {
+	e := &valueEncoder{ids: map[*Value]int{}}
+	return json.Marshal(encodePause(e, r))
+}
+
+// DecodePauseReasonJSON decodes a pause reason produced by
+// EncodePauseReasonJSON.
+func DecodePauseReasonJSON(data []byte) (PauseReason, error) {
+	var jp jsonPause
+	if err := json.Unmarshal(data, &jp); err != nil {
+		return PauseReason{}, err
+	}
+	d := &valueDecoder{byID: map[int]*Value{}}
+	return decodePause(d, &jp)
+}
+
 func encodePause(e *valueEncoder, r PauseReason) *jsonPause {
 	return &jsonPause{
 		Type:     r.Type.String(),

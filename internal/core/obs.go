@@ -86,6 +86,15 @@ const (
 	GaugeAsyncQueue  = "async.queue_depth" // pending AsyncTracker commands
 	GaugeJournalSize = "session.journal"   // armed ops the journal replays
 	GaugeWatches     = "watches.armed"
+
+	// Remote-session server instruments (internal/remote.Server).
+	OpRemoteRound       = "remote.round_trip"       // one request executed server-side
+	CtrRemoteFramesIn   = "remote.frames_in"        // wire frames received
+	CtrRemoteFramesOut  = "remote.frames_out"       // wire frames sent
+	CtrRemoteSessions   = "remote.sessions_opened"  // sessions ever admitted
+	CtrRemoteEvictions  = "remote.sessions_evicted" // idle sessions evicted
+	CtrRemoteRefusals   = "remote.sessions_refused" // hellos refused (full/draining)
+	GaugeRemoteSessions = "remote.sessions_active"  // live sessions
 )
 
 // StatsOf returns tr's instrument snapshot through the capability chain

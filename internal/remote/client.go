@@ -1,0 +1,741 @@
+package remote
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"easytracker/internal/core"
+	"easytracker/internal/obs"
+)
+
+// wireConn is one client connection with request/response demultiplexing:
+// frames are written under a mutex, a reader goroutine routes responses to
+// their waiting callers by ID. That lets Interrupt travel while a control
+// command's response is still outstanding.
+type wireConn struct {
+	nc     net.Conn
+	wmu    sync.Mutex
+	nextID atomic.Uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *Response
+	dead    error // set once the read loop exits; guarded by pmu
+	done    chan struct{}
+}
+
+func dialWire(addr string) (*wireConn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &wireConn{
+		nc:      nc,
+		pending: map[uint64]chan *Response{},
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *wireConn) readLoop() {
+	var err error
+	for {
+		var payload []byte
+		payload, err = ReadFrame(c.nc)
+		if err != nil {
+			break
+		}
+		var resp Response
+		if err = json.Unmarshal(payload, &resp); err != nil {
+			err = fmt.Errorf("remote: bad response frame: %w", err)
+			break
+		}
+		c.pmu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.pmu.Unlock()
+		if ch != nil {
+			ch <- &resp
+		}
+	}
+	c.pmu.Lock()
+	c.dead = fmt.Errorf("%w: %v", core.ErrSessionLost, err)
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.pmu.Unlock()
+	close(c.done)
+	c.nc.Close()
+}
+
+// send writes one request frame and registers its response slot.
+func (c *wireConn) send(req *Request) (chan *Response, error) {
+	req.ID = c.nextID.Add(1)
+	ch := make(chan *Response, 1)
+	c.pmu.Lock()
+	if c.dead != nil {
+		dead := c.dead
+		c.pmu.Unlock()
+		return nil, dead
+	}
+	c.pending[req.ID] = ch
+	c.pmu.Unlock()
+
+	c.wmu.Lock()
+	err := WriteFrame(c.nc, req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.pmu.Lock()
+		delete(c.pending, req.ID)
+		dead := c.dead
+		c.pmu.Unlock()
+		if dead == nil {
+			dead = fmt.Errorf("%w: %v", core.ErrSessionLost, err)
+		}
+		return nil, dead
+	}
+	return ch, nil
+}
+
+// call performs one synchronous round trip.
+func (c *wireConn) call(req *Request) (*Response, error) {
+	ch, err := c.send(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.pmu.Lock()
+		dead := c.dead
+		c.pmu.Unlock()
+		return nil, dead
+	}
+	return resp, nil
+}
+
+// post fires a request and consumes its response in the background —
+// Interrupt's shape: the frame must go out now, nobody waits for the ack.
+func (c *wireConn) post(req *Request) {
+	ch, err := c.send(req)
+	if err != nil {
+		return
+	}
+	go func() { <-ch }()
+}
+
+func (c *wireConn) close() {
+	c.nc.Close()
+	<-c.done
+}
+
+// Tracker drives a tracker session hosted by a remote Server over the wire
+// protocol. It implements the full core.Tracker contract plus every
+// capability surface, gated through core.CapabilityGate to present exactly
+// the backend's capability set. Like every tracker it is driven by one tool
+// goroutine; Interrupt alone is safe from any goroutine.
+type Tracker struct {
+	addr string
+	kind string
+
+	// connMu guards the conn pointer only, so Interrupt can reach the wire
+	// without taking the tracker mutex a blocked control command holds.
+	connMu sync.Mutex
+	conn   *wireConn
+
+	mu   sync.Mutex
+	caps core.CapabilitySet
+
+	// Replay journal, mirroring the MiniGDB session layer: everything
+	// needed to rebuild the session on the server after a connection loss.
+	path      string
+	spec      *LoadSpec
+	stdout    io.Writer
+	stderr    io.Writer
+	arms      []armRecord
+	loaded    bool
+	started   bool
+	recovered bool // one-shot recovery budget
+	deadErr   error
+
+	// Status cache, refreshed from every response; PauseReason, ExitCode,
+	// Position and LastLine cost no round trips.
+	reason   core.PauseReason
+	exited   bool
+	exitCode int
+	file     string
+	line     int
+	lastLine int
+
+	stateCache *core.State
+	srcCache   []string
+}
+
+// armRecord is one journaled arming operation.
+type armRecord struct {
+	op       string
+	file     string
+	line     int
+	fn       string
+	varID    string
+	maxDepth int
+}
+
+func (a armRecord) String() string {
+	switch a.op {
+	case OpBreakLine:
+		if a.file != "" {
+			return "breakpoint " + a.file + ":" + strconv.Itoa(a.line)
+		}
+		return "breakpoint line " + strconv.Itoa(a.line)
+	case OpBreakFunc:
+		return "breakpoint func " + a.fn
+	case OpTrack:
+		return "track " + a.fn
+	case OpWatch:
+		return "watch " + a.varID
+	}
+	return a.op
+}
+
+func (a armRecord) request() *Request {
+	return &Request{Op: a.op, File: a.file, Line: a.line, Func: a.fn, Var: a.varID, MaxDepth: a.maxDepth}
+}
+
+// Connect dials a remote tracker server and opens one session of the given
+// backend kind ("minipy", "minigdb", "trace"). The returned Tracker is used
+// exactly like a local one; Close releases the connection when the tool is
+// done (Terminate alone keeps it open so Stats stays readable).
+func Connect(addr, kind string) (*Tracker, error) {
+	t := &Tracker{addr: addr, kind: kind}
+	conn, caps, err := t.dial()
+	if err != nil {
+		return nil, err
+	}
+	t.conn = conn
+	t.caps = caps
+	return t, nil
+}
+
+// dial opens a connection and performs the hello handshake.
+func (t *Tracker) dial() (*wireConn, core.CapabilitySet, error) {
+	conn, err := dialWire(t.addr)
+	if err != nil {
+		return nil, core.CapabilitySet{}, fmt.Errorf("remote: connect %s: %w", t.addr, err)
+	}
+	resp, err := conn.call(&Request{Op: OpHello, Kind: t.kind})
+	if err != nil {
+		conn.close()
+		return nil, core.CapabilitySet{}, err
+	}
+	if resp.Err != nil {
+		conn.close()
+		return nil, core.CapabilitySet{}, resp.Err.DecodeError()
+	}
+	var caps core.CapabilitySet
+	if resp.Caps != nil {
+		caps = *resp.Caps
+	}
+	return conn, caps, nil
+}
+
+// Close releases the connection. The remote session (and its inferior, if
+// still alive) is torn down by the server.
+func (t *Tracker) Close() error {
+	t.connMu.Lock()
+	conn := t.conn
+	t.conn = nil
+	t.connMu.Unlock()
+	if conn != nil {
+		conn.close()
+	}
+	return nil
+}
+
+// Kind returns the backend tracker kind this session drives.
+func (t *Tracker) Kind() string { return t.kind }
+
+// Capabilities returns the backend's capability set as advertised in the
+// connection handshake.
+func (t *Tracker) Capabilities() core.CapabilitySet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.caps
+}
+
+// SupportsCapability implements core.CapabilityGate: the proxy's concrete
+// type has every extension method, but it only truly provides what its
+// backend advertised in the handshake.
+func (t *Tracker) SupportsCapability(ptr any) bool {
+	t.mu.Lock()
+	caps := t.caps
+	t.mu.Unlock()
+	switch ptr.(type) {
+	case *core.RegisterInspector:
+		return caps.Registers
+	case *core.MemoryInspector:
+		return caps.Memory
+	case *core.HeapInspector:
+		return caps.Heap
+	case *core.StateProvider:
+		return caps.State
+	case *core.StatsProvider:
+		return caps.Stats
+	case *core.Interrupter:
+		return caps.Interrupt
+	default:
+		return true
+	}
+}
+
+// do performs one round trip, refreshing the status cache from the
+// response. Transport loss funnels into recover (one reconnect-and-replay
+// attempt); server-side errors come back decoded with their errors.Is
+// identity intact. Callers hold t.mu.
+func (t *Tracker) do(op string, req *Request) (*Response, error) {
+	if t.deadErr != nil {
+		return nil, t.sessionDead(op)
+	}
+	t.connMu.Lock()
+	conn := t.conn
+	t.connMu.Unlock()
+	if conn == nil {
+		return nil, core.WrapErr("remote", op, t.file, t.line, errors.New("remote: tracker is closed"))
+	}
+	resp, err := conn.call(req)
+	if err != nil {
+		return nil, t.recover(op, err)
+	}
+	if resp.Status != nil {
+		t.applyStatus(resp.Status)
+	}
+	if resp.Err != nil {
+		return resp, resp.Err.DecodeError()
+	}
+	return resp, nil
+}
+
+func (t *Tracker) applyStatus(st *Status) {
+	if len(st.Reason) > 0 {
+		if r, err := core.DecodePauseReasonJSON(st.Reason); err == nil {
+			t.reason = r
+		}
+	}
+	t.exited, t.exitCode = st.Exited, st.ExitCode
+	t.file, t.line = st.File, st.Line
+	t.lastLine = st.LastLine
+	if st.Stdout != "" && t.stdout != nil {
+		io.WriteString(t.stdout, st.Stdout)
+	}
+	if st.Stderr != "" && t.stderr != nil {
+		io.WriteString(t.stderr, st.Stderr)
+	}
+}
+
+// recover is the connection-loss path: one reconnect-and-replay attempt,
+// mirroring the MiniGDB session layer. On success the session lives again —
+// paused at its entry point, journal replayed, execution progress lost —
+// and the failing call returns a RecoveryRestarted error. A second loss
+// (or a failed replay) retires the tracker.
+func (t *Tracker) recover(op string, cause error) error {
+	if t.recovered {
+		return t.markDead(op, cause, nil)
+	}
+	t.recovered = true
+
+	t.connMu.Lock()
+	old := t.conn
+	t.conn = nil
+	t.connMu.Unlock()
+	if old != nil {
+		old.close()
+	}
+
+	conn, caps, err := t.dial()
+	if err != nil {
+		return t.markDead(op, cause, nil)
+	}
+
+	// Replay the journal: load, start (if the old session had started) and
+	// every arming op. Arms that fail to re-establish are reported, not
+	// fatal — the paper's lost-item model.
+	var lost []string
+	if t.loaded {
+		resp, err := conn.call(&Request{Op: OpLoad, Path: t.path, Load: t.spec})
+		if err != nil || resp.Err != nil {
+			conn.close()
+			return t.markDead(op, cause, err)
+		}
+		if t.started {
+			resp, err := conn.call(&Request{Op: OpStart})
+			if err != nil || resp.Err != nil {
+				conn.close()
+				return t.markDead(op, cause, err)
+			}
+			if resp.Status != nil {
+				t.applyStatus(resp.Status)
+			}
+		}
+		for _, a := range t.arms {
+			resp, err := conn.call(a.request())
+			if err != nil {
+				conn.close()
+				return t.markDead(op, cause, err)
+			}
+			if resp.Err != nil {
+				lost = append(lost, a.String())
+			}
+		}
+	}
+
+	t.connMu.Lock()
+	t.conn = conn
+	t.connMu.Unlock()
+	t.caps = caps
+	t.stateCache = nil
+	return &core.TrackerError{
+		Op:       op,
+		Kind:     "remote[" + t.kind + "]",
+		File:     t.file,
+		Line:     t.line,
+		Recovery: core.RecoveryRestarted,
+		Lost:     lost,
+		Err:      cause,
+	}
+}
+
+// markDead retires the tracker after recovery failed or its one-shot budget
+// was spent. Every later call returns the session-lost error.
+func (t *Tracker) markDead(op string, cause error, replayErr error) error {
+	if replayErr != nil {
+		cause = fmt.Errorf("%w (replay failed: %v)", cause, replayErr)
+	}
+	t.deadErr = cause
+	t.exited, t.exitCode = true, -1
+	t.reason = core.PauseReason{Type: core.PauseExited, ExitCode: -1}
+	t.connMu.Lock()
+	conn := t.conn
+	t.conn = nil
+	t.connMu.Unlock()
+	if conn != nil {
+		conn.close()
+	}
+	return &core.TrackerError{
+		Op:       op,
+		Kind:     "remote[" + t.kind + "]",
+		File:     t.file,
+		Line:     t.line,
+		Recovery: core.RecoveryFailed,
+		Err:      cause,
+	}
+}
+
+func (t *Tracker) sessionDead(op string) error {
+	return &core.TrackerError{
+		Op:       op,
+		Kind:     "remote[" + t.kind + "]",
+		File:     t.file,
+		Line:     t.line,
+		Recovery: core.RecoveryFailed,
+		Err:      t.deadErr,
+	}
+}
+
+// LoadProgram implements core.Tracker. The client's filesystem is
+// authoritative: when the file is readable locally its text ships in the
+// load spec, so server and client need not share a disk. Stdin is read in
+// full and shipped; stdout/stderr writers stay local and receive the
+// server's output deltas.
+func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.loaded {
+		return core.WrapErr("remote", "LoadProgram", t.file, t.line,
+			errors.New("remote: program already loaded"))
+	}
+	cfg := core.ApplyLoadOptions(opts)
+	spec := specFromConfig(cfg)
+	if spec.Source == "" {
+		if data, err := os.ReadFile(path); err == nil {
+			spec.Source = string(data)
+		}
+	}
+	if cfg.Stdin != nil {
+		data, err := io.ReadAll(cfg.Stdin)
+		if err != nil {
+			return core.WrapErr("remote", "LoadProgram", "", 0, fmt.Errorf("reading stdin: %w", err))
+		}
+		spec.Stdin = string(data)
+	}
+	t.stdout, t.stderr = cfg.Stdout, cfg.Stderr
+
+	_, err := t.do("LoadProgram", &Request{Op: OpLoad, Path: path, Load: spec})
+	if err != nil {
+		return err
+	}
+	t.path, t.spec = path, spec
+	t.loaded = true
+	return nil
+}
+
+// control runs one execution-resuming (or terminate) op.
+func (t *Tracker) control(op, wireOp string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stateCache = nil
+	_, err := t.do(op, &Request{Op: wireOp})
+	return err
+}
+
+// Start implements core.Tracker.
+func (t *Tracker) Start() error {
+	err := t.control("Start", OpStart)
+	if err == nil {
+		t.mu.Lock()
+		t.started = true
+		t.mu.Unlock()
+	}
+	return err
+}
+
+// Resume implements core.Tracker.
+func (t *Tracker) Resume() error { return t.control("Resume", OpResume) }
+
+// Step implements core.Tracker.
+func (t *Tracker) Step() error { return t.control("Step", OpStep) }
+
+// Next implements core.Tracker.
+func (t *Tracker) Next() error { return t.control("Next", OpNext) }
+
+// Terminate implements core.Tracker. The connection stays open so Stats and
+// the status cache remain readable; Close releases it.
+func (t *Tracker) Terminate() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.deadErr != nil {
+		return nil // retired sessions terminate trivially
+	}
+	t.stateCache = nil
+	_, err := t.do("Terminate", &Request{Op: OpTerminate})
+	var te *core.TrackerError
+	if errors.As(err, &te) && te.Recovery != core.RecoveryNone {
+		// Reconnect-and-replay makes no sense for Terminate: the
+		// connection loss already killed the remote session.
+		return nil
+	}
+	return err
+}
+
+// arm runs one journaled arming op.
+func (t *Tracker) arm(op string, a armRecord) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := t.do(op, a.request())
+	if err == nil {
+		t.arms = append(t.arms, a)
+	}
+	return err
+}
+
+// BreakBeforeLine implements core.Tracker.
+func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
+	bc := core.ApplyBreakOptions(opts)
+	return t.arm("BreakBeforeLine", armRecord{op: OpBreakLine, file: file, line: line, maxDepth: bc.MaxDepth})
+}
+
+// BreakBeforeFunc implements core.Tracker.
+func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
+	bc := core.ApplyBreakOptions(opts)
+	return t.arm("BreakBeforeFunc", armRecord{op: OpBreakFunc, fn: name, maxDepth: bc.MaxDepth})
+}
+
+// TrackFunction implements core.Tracker.
+func (t *Tracker) TrackFunction(name string) error {
+	return t.arm("TrackFunction", armRecord{op: OpTrack, fn: name})
+}
+
+// Watch implements core.Tracker.
+func (t *Tracker) Watch(varID string) error {
+	return t.arm("Watch", armRecord{op: OpWatch, varID: varID})
+}
+
+// PauseReason implements core.Tracker from the status cache.
+func (t *Tracker) PauseReason() core.PauseReason {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reason
+}
+
+// ExitCode implements core.Tracker from the status cache.
+func (t *Tracker) ExitCode() (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.exitCode, t.exited
+}
+
+// Position implements core.Tracker from the status cache.
+func (t *Tracker) Position() (string, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.file, t.line
+}
+
+// LastLine implements core.Tracker from the status cache.
+func (t *Tracker) LastLine() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastLine
+}
+
+// state fetches (or reuses) the full snapshot for the current pause.
+// Callers hold t.mu.
+func (t *Tracker) state(op string) (*core.State, error) {
+	if t.stateCache != nil {
+		return t.stateCache, nil
+	}
+	resp, err := t.do(op, &Request{Op: OpState})
+	if err != nil {
+		return nil, err
+	}
+	var st core.State
+	if err := json.Unmarshal(resp.State, &st); err != nil {
+		return nil, core.WrapErr("remote", op, t.file, t.line, fmt.Errorf("decoding state: %w", err))
+	}
+	t.stateCache = &st
+	return &st, nil
+}
+
+// State implements core.StateProvider (gated on the backend's capability).
+func (t *Tracker) State() (*core.State, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state("State")
+}
+
+// CurrentFrame implements core.Tracker via the snapshot.
+func (t *Tracker) CurrentFrame() (*core.Frame, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, err := t.state("CurrentFrame")
+	if err != nil {
+		return nil, err
+	}
+	return st.Frame, nil
+}
+
+// GlobalVariables implements core.Tracker via the snapshot.
+func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, err := t.state("GlobalVariables")
+	if err != nil {
+		return nil, err
+	}
+	return st.Globals, nil
+}
+
+// SourceLines implements core.Tracker; the listing is immutable per load,
+// so one round trip serves every later call.
+func (t *Tracker) SourceLines() ([]string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.srcCache != nil {
+		return t.srcCache, nil
+	}
+	resp, err := t.do("SourceLines", &Request{Op: OpSource})
+	if err != nil {
+		return nil, err
+	}
+	t.srcCache = resp.Lines
+	return resp.Lines, nil
+}
+
+// Interrupt implements core.Interrupter (gated). It travels out of band:
+// the frame goes to the server even while a control command's response is
+// outstanding, and the server delivers it to the tracker's sticky interrupt
+// flag without waiting for the executor.
+func (t *Tracker) Interrupt() {
+	t.connMu.Lock()
+	conn := t.conn
+	t.connMu.Unlock()
+	if conn == nil {
+		return
+	}
+	conn.post(&Request{Op: OpInterrupt})
+}
+
+// Stats implements core.StatsProvider (gated): the snapshot is the
+// server-side backend's instrument panel, fetched over the wire.
+func (t *Tracker) Stats() *obs.Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	resp, err := t.do("Stats", &Request{Op: OpStats})
+	if err != nil {
+		return &obs.Snapshot{}
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(resp.Stats, &snap); err != nil {
+		return &obs.Snapshot{}
+	}
+	return &snap
+}
+
+// Registers implements core.RegisterInspector (gated).
+func (t *Tracker) Registers() (map[string]uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	resp, err := t.do("Registers", &Request{Op: OpRegs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Regs, nil
+}
+
+// ValueAt implements core.MemoryInspector (gated).
+func (t *Tracker) ValueAt(addr uint64, size int) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	resp, err := t.do("ValueAt", &Request{Op: OpReadMem, Addr: addr, Size: size})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Mem, nil
+}
+
+// MemorySegments implements core.MemoryInspector (gated).
+func (t *Tracker) MemorySegments() []core.Segment {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	resp, err := t.do("MemorySegments", &Request{Op: OpSegments})
+	if err != nil {
+		return nil
+	}
+	return resp.Segs
+}
+
+// HeapBlocks implements core.HeapInspector (gated).
+func (t *Tracker) HeapBlocks() (map[uint64]uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	resp, err := t.do("HeapBlocks", &Request{Op: OpHeap})
+	if err != nil {
+		return nil, err
+	}
+	blocks := make(map[uint64]uint64, len(resp.Heap))
+	for k, v := range resp.Heap {
+		a, err := strconv.ParseUint(k, 10, 64)
+		if err != nil {
+			return nil, core.WrapErr("remote", "HeapBlocks", t.file, t.line,
+				fmt.Errorf("bad heap address %q: %w", k, err))
+		}
+		blocks[a] = v
+	}
+	return blocks, nil
+}

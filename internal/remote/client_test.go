@@ -1,0 +1,194 @@
+package remote
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"easytracker/internal/core"
+)
+
+// TestClientReconnectReplay: an evicted session reconnects once, replaying
+// its journal — load, start, arming ops — so the armed surface survives
+// even though execution progress is lost, mirroring the MiniGDB session
+// layer's semantics.
+func TestClientReconnectReplay(t *testing.T) {
+	_, addr := startServer(t, WithIdleTimeout(80*time.Millisecond))
+	tr, err := Connect(addr, "minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.LoadProgram("count.py", core.WithSource(countPy)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Watch("::total"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	time.Sleep(300 * time.Millisecond) // let the server evict the session
+
+	err = tr.Resume()
+	var te *core.TrackerError
+	if !errors.As(err, &te) {
+		t.Fatalf("post-eviction Resume: %v, want *TrackerError", err)
+	}
+	if te.Recovery != core.RecoveryRestarted {
+		t.Fatalf("recovery = %v, want restarted", te.Recovery)
+	}
+	if !errors.Is(err, core.ErrSessionLost) {
+		t.Error("recovery error lost its ErrSessionLost identity")
+	}
+	if len(te.Lost) != 0 {
+		t.Errorf("lost items = %v, want none (the watch re-arms)", te.Lost)
+	}
+	if r := tr.PauseReason(); r.Type != core.PauseEntry {
+		t.Errorf("post-recovery pause = %v, want ENTRY", r.Type)
+	}
+
+	// The replayed journal is live: the watchpoint still fires.
+	if err := tr.Resume(); err != nil {
+		t.Fatalf("Resume after recovery: %v", err)
+	}
+	if r := tr.PauseReason(); r.Type != core.PauseWatch || r.Variable != "::total" {
+		t.Fatalf("pause = %v, want WATCH ::total", r)
+	}
+}
+
+// TestClientRecoveryOneShot: when the server is truly gone the reconnect
+// fails, the tracker retires (RecoveryFailed, ExitCode -1) and every later
+// call reports the loss without redialing.
+func TestClientRecoveryOneShot(t *testing.T) {
+	srv, addr := startServer(t)
+	tr, err := Connect(addr, "minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.LoadProgram("count.py", core.WithSource(countPy)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close() // server dies; no one listens anymore
+
+	err = tr.Resume()
+	var te *core.TrackerError
+	if !errors.As(err, &te) || te.Recovery != core.RecoveryFailed {
+		t.Fatalf("Resume after server death: %v, want RecoveryFailed", err)
+	}
+	if !errors.Is(err, core.ErrSessionLost) {
+		t.Error("retire error lost its ErrSessionLost identity")
+	}
+	code, done := tr.ExitCode()
+	if !done || code != -1 {
+		t.Errorf("retired ExitCode = %d/%v, want -1/true", code, done)
+	}
+	if r := tr.PauseReason(); r.Type != core.PauseExited {
+		t.Errorf("retired pause = %v, want EXITED", r.Type)
+	}
+	// Later calls stay failed without further dial attempts.
+	if err := tr.Step(); !errors.Is(err, core.ErrSessionLost) {
+		t.Errorf("Step on retired tracker: %v, want ErrSessionLost", err)
+	}
+	// Terminate on a retired tracker is clean.
+	if err := tr.Terminate(); err != nil {
+		t.Errorf("Terminate on retired tracker: %v", err)
+	}
+}
+
+// TestClientCapabilityGate: the proxy's concrete type has every extension
+// method, but As must present exactly the backend's capability surface — a
+// MiniPy session has no registers, a trace session no interrupter.
+func TestClientCapabilityGate(t *testing.T) {
+	_, addr := startServer(t)
+
+	py, err := Connect(addr, "minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer py.Close()
+	if _, ok := core.As[core.RegisterInspector](py); ok {
+		t.Error("minipy session claims RegisterInspector")
+	}
+	if _, ok := core.As[core.MemoryInspector](py); ok {
+		t.Error("minipy session claims MemoryInspector")
+	}
+	if _, ok := core.As[core.StateProvider](py); !ok {
+		t.Error("minipy session denies StateProvider")
+	}
+	if _, ok := core.As[core.StatsProvider](py); !ok {
+		t.Error("minipy session denies StatsProvider")
+	}
+	if _, ok := core.As[core.Interrupter](py); !ok {
+		t.Error("minipy session denies Interrupter")
+	}
+
+	// The capability set matches a local tracker of the same kind.
+	local, err := core.NewTracker("minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lc, rc := core.CapabilitiesOf(local), core.CapabilitiesOf(py); lc != rc {
+		t.Errorf("capability sets differ: local %+v, remote %+v", lc, rc)
+	}
+
+	tc, err := Connect(addr, "trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	if _, ok := core.As[core.Interrupter](tc); ok {
+		t.Error("trace session claims Interrupter")
+	}
+}
+
+// TestClientInterruptMidResume: Interrupt crosses the wire while Resume's
+// response is outstanding, converting a runaway inferior into a normal
+// INTERRUPTED pause — the tool-facing behavior of Ctrl-C over -remote.
+func TestClientInterruptMidResume(t *testing.T) {
+	_, addr := startServer(t)
+	tr, err := Connect(addr, "minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.LoadProgram("spin.py",
+		core.WithSource("n = 0\nwhile True:\n    n = n + 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		tr.Interrupt()
+	}()
+	if err := tr.Resume(); err != nil {
+		t.Fatalf("interrupted Resume: %v", err)
+	}
+	r := tr.PauseReason()
+	if r.Type != core.PauseInterrupted || r.Detail != "interrupt" {
+		t.Fatalf("pause = %v, want INTERRUPTED (interrupt)", r)
+	}
+}
+
+// TestClientDialFailure: connecting to a dead address fails fast with a
+// useful error, not a hang.
+func TestClientDialFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Connect(addr, "minipy"); err == nil {
+		t.Fatal("connect to closed port succeeded")
+	}
+}

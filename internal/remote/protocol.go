@@ -1,0 +1,256 @@
+package remote
+
+import (
+	"encoding/json"
+	"strings"
+	"time"
+
+	"easytracker/internal/core"
+)
+
+// Protocol vocabulary. One Request frame carries one operation; the server
+// answers every request with exactly one Response frame carrying the same
+// ID. Requests on one session execute in arrival order on the session's own
+// goroutine — except OpInterrupt, which is handled out of band so it can
+// land while a control command is still running.
+const (
+	// Session lifecycle.
+	OpHello     = "hello"
+	OpLoad      = "load"
+	OpTerminate = "terminate"
+
+	// Control (execution-resuming; responses carry a fresh Status).
+	OpStart  = "start"
+	OpResume = "resume"
+	OpStep   = "step"
+	OpNext   = "next"
+
+	// Arming.
+	OpBreakLine = "break-line"
+	OpBreakFunc = "break-func"
+	OpTrack     = "track"
+	OpWatch     = "watch"
+
+	// Inspection.
+	OpState    = "state"
+	OpSource   = "source"
+	OpStats    = "stats"
+	OpRegs     = "registers"
+	OpReadMem  = "read-mem"
+	OpSegments = "segments"
+	OpHeap     = "heap-blocks"
+
+	// Out-of-band supervision.
+	OpInterrupt = "interrupt"
+)
+
+// LoadSpec is the serializable subset of core.LoadConfig: everything a load
+// option can say except the I/O streams, which stay client-side (the server
+// buffers inferior output and ships deltas back in Status).
+type LoadSpec struct {
+	Args      []string     `json:"args,omitempty"`
+	Source    string       `json:"source,omitempty"`
+	Stdin     string       `json:"stdin,omitempty"`
+	TrackHeap bool         `json:"track_heap,omitempty"`
+	CmdNs     int64        `json:"cmd_timeout_ns,omitempty"`
+	ExecNs    int64        `json:"exec_timeout_ns,omitempty"`
+	Budgets   core.Budgets `json:"budgets,omitempty"`
+	Obs       bool         `json:"obs,omitempty"`
+	ObsEvents int          `json:"obs_events,omitempty"`
+	// WantStdout/WantStderr ask the server to capture the stream and ship
+	// deltas back; without them inferior output is discarded server-side.
+	WantStdout bool `json:"want_stdout,omitempty"`
+	WantStderr bool `json:"want_stderr,omitempty"`
+}
+
+// Request is one client frame.
+type Request struct {
+	ID uint64 `json:"id"`
+	Op string `json:"op"`
+
+	// OpHello.
+	Kind string `json:"kind,omitempty"`
+
+	// OpLoad.
+	Path string    `json:"path,omitempty"`
+	Load *LoadSpec `json:"load,omitempty"`
+
+	// Arming and inspection operands.
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line,omitempty"`
+	Func     string `json:"func,omitempty"`
+	Var      string `json:"var,omitempty"`
+	MaxDepth int    `json:"max_depth,omitempty"`
+	Addr     uint64 `json:"addr,omitempty"`
+	Size     int    `json:"size,omitempty"`
+}
+
+// Status is the tracker's observable condition after an operation: the
+// pause reason (core's pause codec), termination state, source position and
+// any inferior output produced since the previous response. Every response
+// on a loaded session carries one, so the client needs no extra round trips
+// for PauseReason/ExitCode/Position/LastLine.
+type Status struct {
+	Reason   json.RawMessage `json:"reason,omitempty"`
+	Exited   bool            `json:"exited,omitempty"`
+	ExitCode int             `json:"exit_code,omitempty"`
+	File     string          `json:"file,omitempty"`
+	Line     int             `json:"line,omitempty"`
+	LastLine int             `json:"last_line,omitempty"`
+	Stdout   string          `json:"stdout,omitempty"`
+	Stderr   string          `json:"stderr,omitempty"`
+}
+
+// Response is one server frame.
+type Response struct {
+	ID  uint64          `json:"id"`
+	Err *core.ErrorJSON `json:"err,omitempty"`
+
+	Status *Status `json:"status,omitempty"`
+
+	// OpHello.
+	Session  uint64              `json:"session,omitempty"`
+	Kind     string              `json:"kind,omitempty"`
+	Caps     *core.CapabilitySet `json:"caps,omitempty"`
+	MaxFrame int                 `json:"max_frame,omitempty"`
+
+	// Inspection payloads.
+	State json.RawMessage   `json:"state,omitempty"`
+	Lines []string          `json:"lines,omitempty"`
+	Stats json.RawMessage   `json:"stats,omitempty"`
+	Regs  map[string]uint64 `json:"regs,omitempty"`
+	Mem   []byte            `json:"mem,omitempty"`
+	Segs  []core.Segment    `json:"segs,omitempty"`
+	Heap  map[string]uint64 `json:"heap,omitempty"`
+}
+
+// specFromConfig projects a LoadConfig onto the wire, dropping the stream
+// fields (the caller records which streams were requested).
+func specFromConfig(c core.LoadConfig) *LoadSpec {
+	return &LoadSpec{
+		Args:       c.Args,
+		Source:     c.Source,
+		TrackHeap:  c.TrackHeap,
+		CmdNs:      int64(c.CommandTimeout),
+		ExecNs:     int64(c.ExecTimeout),
+		Budgets:    c.Budgets,
+		Obs:        c.Obs.Enabled,
+		ObsEvents:  c.Obs.Events,
+		WantStdout: c.Stdout != nil,
+		WantStderr: c.Stderr != nil,
+	}
+}
+
+// loadOptions converts a LoadSpec back into load options for the backend
+// tracker, with the server-imposed tenant caps folded in: the effective
+// execution timeout is the tighter of the client's and the server's, and
+// each resource budget is the tighter non-zero bound.
+func (s *LoadSpec) loadOptions(caps tenantCaps, stdout, stderr *deltaBuffer, stdin string) []core.LoadOption {
+	var opts []core.LoadOption
+	if len(s.Args) > 0 {
+		opts = append(opts, core.WithArgs(s.Args...))
+	}
+	if s.Source != "" {
+		opts = append(opts, core.WithSource(s.Source))
+	}
+	if s.TrackHeap {
+		opts = append(opts, core.WithHeapTracking())
+	}
+	if s.CmdNs > 0 {
+		opts = append(opts, core.WithCommandTimeout(time.Duration(s.CmdNs)))
+	}
+	if d := tighterDuration(time.Duration(s.ExecNs), caps.ExecTimeout); d > 0 {
+		opts = append(opts, core.WithExecutionTimeout(d))
+	}
+	if b := mergeBudgets(s.Budgets, caps.Budgets); b.Any() {
+		opts = append(opts, core.WithBudgets(b))
+	}
+	if s.Obs {
+		var oo []core.ObsOption
+		if s.ObsEvents > 0 {
+			oo = append(oo, core.WithFlightRecorder(s.ObsEvents))
+		}
+		opts = append(opts, core.WithObservability(oo...))
+	}
+	if stdout != nil {
+		opts = append(opts, core.WithStdout(stdout))
+	}
+	if stderr != nil {
+		opts = append(opts, core.WithStderr(stderr))
+	}
+	if stdin != "" {
+		opts = append(opts, core.WithStdin(strings.NewReader(stdin)))
+	}
+	return opts
+}
+
+// tenantCaps are the server-side per-session resource ceilings; zero fields
+// impose no bound.
+type tenantCaps struct {
+	ExecTimeout time.Duration
+	Budgets     core.Budgets
+}
+
+// tighterDuration picks the smaller non-zero duration.
+func tighterDuration(a, b time.Duration) time.Duration {
+	switch {
+	case a <= 0:
+		return b
+	case b <= 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+// mergeBudgets combines the client's requested budgets with the server's
+// tenant caps, taking the tighter non-zero bound per resource.
+func mergeBudgets(req, ceiling core.Budgets) core.Budgets {
+	return core.Budgets{
+		MaxSteps:        tighterI64(req.MaxSteps, ceiling.MaxSteps),
+		MaxDepth:        tighterInt(req.MaxDepth, ceiling.MaxDepth),
+		MaxHeapObjects:  tighterI64(req.MaxHeapObjects, ceiling.MaxHeapObjects),
+		MaxInstructions: tighterU64(req.MaxInstructions, ceiling.MaxInstructions),
+	}
+}
+
+func tighterI64(a, b int64) int64 {
+	switch {
+	case a <= 0:
+		return b
+	case b <= 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+func tighterInt(a, b int) int {
+	switch {
+	case a <= 0:
+		return b
+	case b <= 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}
+
+func tighterU64(a, b uint64) uint64 {
+	switch {
+	case a == 0:
+		return b
+	case b == 0:
+		return a
+	case a < b:
+		return a
+	default:
+		return b
+	}
+}

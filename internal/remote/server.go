@@ -1,0 +1,638 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"easytracker/internal/core"
+	"easytracker/internal/obs"
+
+	// A server is useful without importing the library root, so it pulls in
+	// the built-in backends itself.
+	_ "easytracker/internal/gdbtracker"
+	_ "easytracker/internal/pytracker"
+	_ "easytracker/internal/tracetracker"
+)
+
+// ErrServerFull is what a refused hello decodes to on the client when the
+// server is at its concurrent-session limit.
+var ErrServerFull = errors.New("remote: server at session limit")
+
+// ErrDraining is what a refused hello decodes to when the server is
+// shutting down.
+var ErrDraining = errors.New("remote: server is draining")
+
+// ServerOption customizes NewServer.
+type ServerOption func(*Server)
+
+// WithMaxSessions caps the number of concurrently live sessions; further
+// hellos are refused. Zero or negative means DefaultMaxSessions.
+func WithMaxSessions(n int) ServerOption {
+	return func(s *Server) { s.maxSessions = n }
+}
+
+// WithIdleTimeout evicts sessions whose connection carried no request for d.
+// Zero disables eviction.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// WithSessionBudgets imposes per-session resource ceilings: each session's
+// effective budgets are the tighter of what its client asked for and these
+// caps, so one tenant cannot run away with the server.
+func WithSessionBudgets(b core.Budgets) ServerOption {
+	return func(s *Server) { s.caps.Budgets = b }
+}
+
+// WithSessionExecTimeout caps every session's execution timeout: a resuming
+// call server-side never runs longer than d even when the client asked for
+// no deadline at all.
+func WithSessionExecTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.caps.ExecTimeout = d }
+}
+
+// WithLogf routes the server's diagnostic log lines (admissions, evictions,
+// teardown) to f. Discarded by default.
+func WithLogf(f func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = f }
+}
+
+// DefaultMaxSessions is the admission limit used when WithMaxSessions is
+// not given.
+const DefaultMaxSessions = 64
+
+// Server hosts tracker sessions for remote clients: one TCP connection is
+// one session, driven by its own executor goroutine so the single-driver
+// Tracker contract holds per session while many sessions run concurrently.
+type Server struct {
+	maxSessions int
+	idleTimeout time.Duration
+	caps        tenantCaps
+	logf        func(string, ...any)
+	met         *obs.Metrics
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*serverConn]struct{}
+	active    int
+	nextSess  uint64
+	draining  bool
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer builds a Server. Its instrument panel is always on (a server is
+// a long-lived shared process; operators read it with Stats).
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
+		maxSessions: DefaultMaxSessions,
+		logf:        func(string, ...any) {},
+		met:         obs.New(obs.Config{Enabled: true, Events: obs.DefaultEvents}),
+		listeners:   map[net.Listener]struct{}{},
+		conns:       map[*serverConn]struct{}{},
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.maxSessions <= 0 {
+		s.maxSessions = DefaultMaxSessions
+	}
+	return s
+}
+
+// Stats returns the server's instrument snapshot (session gauges, frame
+// counters, request round-trip latencies).
+func (s *Server) Stats() *obs.Snapshot {
+	snap := s.met.Snapshot()
+	snap.Tracker = "et-serve"
+	return snap
+}
+
+// SessionCount returns the number of live sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active
+}
+
+// Addr returns the bound address of one serving listener, or nil before
+// Serve/ListenAndServe.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for ln := range s.listeners {
+		return ln.Addr()
+	}
+	return nil
+}
+
+// ListenAndServe binds addr on TCP and serves until Shutdown or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections from ln until Shutdown or Close. It owns ln and
+// closes it on the way out.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrDraining
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopping := s.draining || s.closed
+			s.mu.Unlock()
+			if stopping {
+				return nil
+			}
+			return err
+		}
+		c := &serverConn{srv: s, nc: nc}
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go c.serve()
+	}
+}
+
+// Shutdown drains the server: listeners close, no new requests are read,
+// and every in-flight command finishes and flushes its response before the
+// session closes. When ctx expires first the remaining sessions are torn
+// down hard (Close).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	// Kick every reader out of its blocking ReadFrame; the drain flag makes
+	// the reader hand its session to the executor for an orderly finish.
+	for _, c := range conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.Close()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close tears the server down hard: listeners and connections close
+// immediately and any command still running is interrupted. In-flight
+// responses may be lost; use Shutdown for a graceful drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.draining = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	for _, c := range conns {
+		c.interrupt()
+		c.nc.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// admit reserves a session slot, or explains the refusal.
+func (s *Server) admit() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return 0, ErrDraining
+	}
+	if s.active >= s.maxSessions {
+		return 0, ErrServerFull
+	}
+	s.active++
+	s.nextSess++
+	s.met.Counter(core.CtrRemoteSessions).Inc()
+	s.met.Gauge(core.GaugeRemoteSessions).Add(1)
+	return s.nextSess, nil
+}
+
+func (s *Server) release(c *serverConn) {
+	s.mu.Lock()
+	s.active--
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.met.Gauge(core.GaugeRemoteSessions).Add(-1)
+}
+
+func (s *Server) dropConn(c *serverConn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// session is the per-connection tracker state. Only the executor goroutine
+// touches tr and the loaded flag; the reader goroutine uses intr (set once
+// before the executor starts) for out-of-band interrupts.
+type session struct {
+	id     uint64
+	kind   string
+	tr     core.Tracker
+	intr   core.Interrupter
+	loaded bool
+	stdout *deltaBuffer
+	stderr *deltaBuffer
+}
+
+// serverConn is one client connection: a reader goroutine feeding an
+// executor goroutine through cmds.
+type serverConn struct {
+	srv *Server
+	nc  net.Conn
+
+	wmu sync.Mutex // serializes response frames (reader + executor both write)
+
+	imu  sync.Mutex // guards intr across reader/teardown
+	intr core.Interrupter
+
+	// inflight counts requests handed to the executor whose responses have
+	// not been written yet; the idle-eviction deadline ignores busy sessions.
+	inflight atomic.Int64
+}
+
+func (c *serverConn) writeResp(r *Response) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.nc.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	err := WriteFrame(c.nc, r)
+	if err == nil {
+		c.srv.met.Counter(core.CtrRemoteFramesOut).Inc()
+	}
+	return err
+}
+
+// interrupt pokes the session's tracker so a command running in the
+// executor returns; used by Close and by the reader when the client is gone.
+func (c *serverConn) interrupt() {
+	c.imu.Lock()
+	intr := c.intr
+	c.imu.Unlock()
+	if intr != nil {
+		intr.Interrupt()
+	}
+}
+
+// serve is the reader goroutine: it performs the hello handshake, then
+// forwards requests to the executor, handling OpInterrupt out of band.
+func (c *serverConn) serve() {
+	defer c.srv.wg.Done()
+	sess, ok := c.handshake()
+	if !ok {
+		c.srv.dropConn(c)
+		c.nc.Close()
+		return
+	}
+
+	cmds := make(chan *Request, 16)
+	c.srv.wg.Add(1)
+	go c.execute(sess, cmds)
+
+	for {
+		if d := c.srv.idleTimeout; d > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(d))
+		}
+		payload, err := ReadFrame(c.nc)
+		if err != nil {
+			var ne net.Error
+			timeout := errors.As(err, &ne) && ne.Timeout()
+			if timeout && !c.srv.isDraining() {
+				// A session mid-command is busy, not idle — the deadline
+				// fires during a long Resume too. Re-arm and keep reading.
+				if c.inflight.Load() > 0 {
+					continue
+				}
+				c.srv.met.Counter(core.CtrRemoteEvictions).Inc()
+				c.srv.logf("session %d: evicted after %v idle", sess.id, c.srv.idleTimeout)
+			}
+			// Drain: let queued commands finish and flush. Client gone or
+			// eviction: interrupt anything running so the executor can
+			// terminate the inferior promptly.
+			if !(timeout && c.srv.isDraining()) {
+				c.interrupt()
+			}
+			close(cmds)
+			return
+		}
+		c.srv.met.Counter(core.CtrRemoteFramesIn).Inc()
+		var req Request
+		if err := json.Unmarshal(payload, &req); err != nil {
+			c.writeResp(&Response{Err: core.EncodeError(fmt.Errorf("remote: bad request frame: %w", err))})
+			c.interrupt()
+			close(cmds)
+			return
+		}
+		if req.Op == OpInterrupt {
+			// Out of band: Interrupter implementations only raise a sticky
+			// flag, so this is safe while the executor runs a command. No
+			// Status — only the executor may touch the tracker.
+			var ej *core.ErrorJSON
+			if sess.intr == nil {
+				ej = core.EncodeError(core.WrapErr(sess.kind, "Interrupt", "", 0, core.ErrUnsupported))
+			} else {
+				sess.intr.Interrupt()
+			}
+			c.writeResp(&Response{ID: req.ID, Err: ej})
+			continue
+		}
+		c.inflight.Add(1)
+		cmds <- &req
+	}
+}
+
+// handshake reads the hello frame, runs admission and builds the session.
+func (c *serverConn) handshake() (*session, bool) {
+	c.nc.SetReadDeadline(time.Now().Add(30 * time.Second))
+	payload, err := ReadFrame(c.nc)
+	if err != nil {
+		return nil, false
+	}
+	c.nc.SetReadDeadline(time.Time{})
+	c.srv.met.Counter(core.CtrRemoteFramesIn).Inc()
+	var req Request
+	if err := json.Unmarshal(payload, &req); err != nil || req.Op != OpHello {
+		c.writeResp(&Response{ID: req.ID, Err: core.EncodeError(errors.New("remote: expected hello"))})
+		return nil, false
+	}
+	id, err := c.srv.admit()
+	if err != nil {
+		c.srv.met.Counter(core.CtrRemoteRefusals).Inc()
+		c.writeResp(&Response{ID: req.ID, Err: core.EncodeError(err)})
+		return nil, false
+	}
+	tr, err := core.NewTracker(req.Kind)
+	if err != nil {
+		c.srv.release(c)
+		c.writeResp(&Response{ID: req.ID, Err: core.EncodeError(err)})
+		return nil, false
+	}
+	sess := &session{id: id, kind: req.Kind, tr: tr}
+	if intr, ok := core.As[core.Interrupter](tr); ok {
+		sess.intr = intr
+		c.imu.Lock()
+		c.intr = intr
+		c.imu.Unlock()
+	}
+	caps := core.CapabilitiesOf(tr)
+	c.srv.logf("session %d: admitted kind=%s", id, req.Kind)
+	if err := c.writeResp(&Response{ID: req.ID, Session: id, Kind: req.Kind, Caps: &caps, MaxFrame: MaxFrame}); err != nil {
+		c.srv.release(c)
+		return nil, false
+	}
+	return sess, true
+}
+
+// execute is the session's executor goroutine: the single driver of its
+// tracker. It runs queued commands in order and flushes every response —
+// including during a graceful drain — then terminates the inferior.
+func (c *serverConn) execute(sess *session, cmds <-chan *Request) {
+	defer c.srv.wg.Done()
+	for req := range cmds {
+		t0 := c.srv.met.Now()
+		resp := c.exec(sess, req)
+		c.srv.met.Observe(core.OpRemoteRound, t0)
+		if err := c.writeResp(resp); err != nil {
+			// Client is gone; keep draining so Terminate below runs.
+			c.srv.logf("session %d: dropping response: %v", sess.id, err)
+		}
+		c.inflight.Add(-1)
+	}
+	if sess.loaded {
+		sess.tr.Terminate()
+	}
+	c.srv.logf("session %d: closed", sess.id)
+	c.srv.release(c)
+	c.nc.Close()
+}
+
+// exec runs one request against the session tracker.
+func (c *serverConn) exec(sess *session, req *Request) *Response {
+	resp := &Response{ID: req.ID}
+	var err error
+	switch req.Op {
+	case OpLoad:
+		err = c.load(sess, req)
+	case OpStart:
+		err = sess.tr.Start()
+	case OpResume:
+		err = sess.tr.Resume()
+	case OpStep:
+		err = sess.tr.Step()
+	case OpNext:
+		err = sess.tr.Next()
+	case OpTerminate:
+		err = sess.tr.Terminate()
+	case OpBreakLine:
+		err = sess.tr.BreakBeforeLine(req.File, req.Line, breakOpts(req)...)
+	case OpBreakFunc:
+		err = sess.tr.BreakBeforeFunc(req.Func, breakOpts(req)...)
+	case OpTrack:
+		err = sess.tr.TrackFunction(req.Func)
+	case OpWatch:
+		err = sess.tr.Watch(req.Var)
+	case OpState:
+		var st *core.State
+		if sp, ok := core.As[core.StateProvider](sess.tr); ok {
+			st, err = sp.State()
+		} else {
+			err = core.WrapErr(sess.kind, "State", "", 0, core.ErrUnsupported)
+		}
+		if err == nil {
+			resp.State, err = json.Marshal(st)
+		}
+	case OpSource:
+		resp.Lines, err = sess.tr.SourceLines()
+	case OpStats:
+		if sp, ok := core.As[core.StatsProvider](sess.tr); ok {
+			resp.Stats, err = json.Marshal(sp.Stats())
+		} else {
+			err = core.WrapErr(sess.kind, "Stats", "", 0, core.ErrUnsupported)
+		}
+	case OpRegs:
+		if ri, ok := core.As[core.RegisterInspector](sess.tr); ok {
+			resp.Regs, err = ri.Registers()
+		} else {
+			err = core.WrapErr(sess.kind, "Registers", "", 0, core.ErrUnsupported)
+		}
+	case OpReadMem:
+		if mi, ok := core.As[core.MemoryInspector](sess.tr); ok {
+			resp.Mem, err = mi.ValueAt(req.Addr, req.Size)
+		} else {
+			err = core.WrapErr(sess.kind, "ValueAt", "", 0, core.ErrUnsupported)
+		}
+	case OpSegments:
+		if mi, ok := core.As[core.MemoryInspector](sess.tr); ok {
+			resp.Segs = mi.MemorySegments()
+		} else {
+			err = core.WrapErr(sess.kind, "MemorySegments", "", 0, core.ErrUnsupported)
+		}
+	case OpHeap:
+		if hi, ok := core.As[core.HeapInspector](sess.tr); ok {
+			var blocks map[uint64]uint64
+			blocks, err = hi.HeapBlocks()
+			if err == nil {
+				resp.Heap = make(map[string]uint64, len(blocks))
+				for a, sz := range blocks {
+					resp.Heap[strconv.FormatUint(a, 10)] = sz
+				}
+			}
+		} else {
+			err = core.WrapErr(sess.kind, "HeapBlocks", "", 0, core.ErrUnsupported)
+		}
+	default:
+		err = fmt.Errorf("remote: unknown op %q", req.Op)
+	}
+	resp.Err = core.EncodeError(err)
+	if sess.loaded {
+		resp.Status = c.status(sess)
+	}
+	return resp
+}
+
+// load runs OpLoad: it builds the effective load options with the server's
+// tenant caps folded in.
+func (c *serverConn) load(sess *session, req *Request) error {
+	if sess.loaded {
+		return fmt.Errorf("remote: session already has a program loaded")
+	}
+	spec := req.Load
+	if spec == nil {
+		spec = &LoadSpec{}
+	}
+	if spec.WantStdout {
+		sess.stdout = &deltaBuffer{}
+	}
+	if spec.WantStderr {
+		sess.stderr = &deltaBuffer{}
+	}
+	opts := spec.loadOptions(c.srv.caps, sess.stdout, sess.stderr, spec.Stdin)
+	if err := sess.tr.LoadProgram(req.Path, opts...); err != nil {
+		sess.stdout, sess.stderr = nil, nil
+		return err
+	}
+	sess.loaded = true
+	return nil
+}
+
+// status snapshots the tracker's observable condition for the response.
+// Executor goroutine only.
+func (c *serverConn) status(sess *session) *Status {
+	st := &Status{}
+	if raw, err := core.EncodePauseReasonJSON(sess.tr.PauseReason()); err == nil {
+		st.Reason = raw
+	}
+	st.ExitCode, st.Exited = sess.tr.ExitCode()
+	st.File, st.Line = sess.tr.Position()
+	st.LastLine = sess.tr.LastLine()
+	st.Stdout = sess.stdout.take()
+	st.Stderr = sess.stderr.take()
+	return st
+}
+
+func breakOpts(req *Request) []core.BreakOption {
+	if req.MaxDepth > 0 {
+		return []core.BreakOption{core.WithMaxDepth(req.MaxDepth)}
+	}
+	return nil
+}
+
+// deltaBuffer accumulates inferior output between responses; take drains
+// it. The inferior goroutine writes while the executor drains, so it locks.
+type deltaBuffer struct {
+	mu sync.Mutex
+	b  []byte
+}
+
+// Write implements io.Writer.
+func (d *deltaBuffer) Write(p []byte) (int, error) {
+	d.mu.Lock()
+	d.b = append(d.b, p...)
+	d.mu.Unlock()
+	return len(p), nil
+}
+
+// take returns and clears the accumulated output. Safe on a nil receiver.
+func (d *deltaBuffer) take() string {
+	if d == nil {
+		return ""
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.b) == 0 {
+		return ""
+	}
+	s := string(d.b)
+	d.b = d.b[:0]
+	return s
+}

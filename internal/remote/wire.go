@@ -1,0 +1,78 @@
+// Package remote is the network layer of the tracker library: a stdlib-only
+// wire protocol (length-prefixed JSON frames over any net.Conn) with two
+// halves. The Server (server.go, cmd/et-serve) hosts many concurrent tracker
+// sessions — MiniPy, MiniGDB and trace-replay backends — behind a session
+// manager with admission limits, per-session resource budgets, idle
+// eviction and graceful drain. The client Tracker (client.go) implements
+// the full core.Tracker interface plus the capability surfaces over that
+// protocol, so every tool written against the library drives a remote
+// inferior unchanged.
+//
+// The split follows Langevine & Ducassé's tracer-driver architecture: the
+// tracer (the tracker session, next to the inferior) and the analysis
+// program (the tool) are separate processes connected by a socket, with the
+// synchronous request/response discipline the Tracker contract already
+// imposes. Errors cross the wire through core's error codec, so
+// errors.Is(err, easytracker.ErrCommandTimeout) and friends hold
+// identically for local and remote trackers.
+package remote
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds one wire frame (the 4-byte length prefix counts only the
+// payload). Full State snapshots of heap-heavy inferiors are the largest
+// unit shipped; 64 MiB leaves room without letting a corrupt length prefix
+// allocate unbounded memory.
+const MaxFrame = 64 << 20
+
+// ErrFrameTooLarge reports a length prefix beyond MaxFrame — protocol
+// corruption or a hostile peer; the connection is unusable afterwards.
+var ErrFrameTooLarge = errors.New("remote: frame exceeds size limit")
+
+// WriteFrame marshals v and writes it as one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("remote: encoding frame: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame payload. The length is bounds-
+// checked before any payload allocation, so a corrupt prefix cannot balloon
+// memory. io.EOF is returned untouched on a clean end-of-stream boundary;
+// a stream cut mid-frame yields io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,63 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	reqs := []*Request{
+		{ID: 1, Op: OpHello, Kind: "minipy"},
+		{ID: 2, Op: OpLoad, Path: "prog.py", Load: &LoadSpec{Source: "x = 1\n", WantStdout: true}},
+		{ID: 3, Op: OpBreakLine, File: "prog.py", Line: 7, MaxDepth: 2},
+	}
+	for _, req := range reqs {
+		if err := WriteFrame(&buf, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range reqs {
+		payload, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Request
+		if err := json.Unmarshal(payload, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.ID != want.ID || got.Op != want.Op || got.Path != want.Path || got.Line != want.Line {
+			t.Errorf("frame round trip: got %+v, want %+v", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("exhausted stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("oversized prefix: err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameCutMidPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Request{ID: 1, Op: OpResume}); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(cut)); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("mid-frame cut: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	// Cut inside the header is also unexpected, not a clean EOF.
+	if _, err := ReadFrame(bytes.NewReader(cut[:2])); err == nil || err == io.EOF {
+		t.Errorf("mid-header cut: err = %v, want a real error", err)
+	}
+}

@@ -1,0 +1,181 @@
+package easytracker_test
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"easytracker"
+)
+
+// AsyncTracker over a remote session: the wrapper must work unchanged when
+// the tracker it owns drives an inferior on the other side of a socket —
+// queued commands drain in order, Interrupt crosses both layers, and a
+// server that dies mid-command produces an error event, never a hang.
+
+func startAsyncServer(t *testing.T) (*easytracker.Server, string) {
+	t.Helper()
+	srv := easytracker.NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func recvEvent(t *testing.T, a *easytracker.AsyncTracker) easytracker.AsyncEvent {
+	t.Helper()
+	select {
+	case ev := <-a.Events():
+		return ev
+	case <-time.After(10 * time.Second):
+		t.Fatal("timeout waiting for async event")
+		return easytracker.AsyncEvent{}
+	}
+}
+
+// TestAsyncOverRemoteQueueDrain queues several commands at once against a
+// remote session and checks they complete in order.
+func TestAsyncOverRemoteQueueDrain(t *testing.T) {
+	_, addr := startAsyncServer(t)
+	tr, err := easytracker.Connect(addr, "minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	var out strings.Builder
+	if err := tr.LoadProgram("p.py",
+		easytracker.WithSource("a = 1\nb = 2\nc = a + b\nprint(c)\n"),
+		easytracker.WithStdout(&out)); err != nil {
+		t.Fatal(err)
+	}
+	a := easytracker.NewAsync(tr)
+	defer a.Close()
+
+	a.Start()
+	if ev := recvEvent(t, a); ev.Err != nil || ev.Reason.Type != easytracker.PauseEntry {
+		t.Fatalf("start event %+v", ev)
+	}
+	a.Step()
+	a.Step()
+	a.Step()
+	lines := []int{}
+	for i := 0; i < 3; i++ {
+		ev := recvEvent(t, a)
+		if ev.Err != nil {
+			t.Fatal(ev.Err)
+		}
+		lines = append(lines, ev.Reason.Line)
+	}
+	if lines[0] != 2 || lines[1] != 3 || lines[2] != 4 {
+		t.Errorf("stepped lines = %v, want [2 3 4]", lines)
+	}
+	// Inspection through Do sees the remote state.
+	err = a.Do(func(tk easytracker.Tracker) error {
+		fr, err := tk.CurrentFrame()
+		if err != nil {
+			return err
+		}
+		if fr.Lookup("c") == nil {
+			t.Error("c not visible at line 4")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Resume()
+	ev := recvEvent(t, a)
+	if ev.Err != nil || ev.Reason.Type != easytracker.PauseExited {
+		t.Fatalf("final event %+v", ev)
+	}
+	if !strings.Contains(out.String(), "3") {
+		t.Errorf("program output = %q, want it to contain 3", out.String())
+	}
+}
+
+// TestAsyncOverRemoteServerDeath kills the server while a Resume is in
+// flight: the tool must receive an error event carrying the session-loss
+// error — not hang on a channel that never delivers.
+func TestAsyncOverRemoteServerDeath(t *testing.T) {
+	srv, addr := startAsyncServer(t)
+	tr, err := easytracker.Connect(addr, "minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.LoadProgram("spin.py",
+		easytracker.WithSource("n = 0\nwhile True:\n    n = n + 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	a := easytracker.NewAsync(tr)
+	defer a.Close()
+
+	a.Start()
+	if ev := recvEvent(t, a); ev.Err != nil {
+		t.Fatalf("start event %+v", ev)
+	}
+	a.Resume() // runs forever server-side
+	time.Sleep(50 * time.Millisecond)
+	srv.Close() // hard stop mid-command
+
+	ev := recvEvent(t, a)
+	if ev.Err == nil {
+		t.Fatalf("event after server death has no error: %+v", ev)
+	}
+	var te *easytracker.TrackerError
+	if !errors.As(ev.Err, &te) || te.Recovery != easytracker.RecoveryFailed {
+		t.Fatalf("event error = %v, want RecoveryFailed", ev.Err)
+	}
+	if !errors.Is(ev.Err, easytracker.ErrSessionLost) {
+		t.Error("event error lost its ErrSessionLost identity")
+	}
+}
+
+// TestRemoteStatsServerSide: easytracker.Stats on a remote tracker returns
+// the *server-side* backend's instrument panel through the capability chain
+// — counters the client process never incremented.
+func TestRemoteStatsServerSide(t *testing.T) {
+	_, addr := startAsyncServer(t)
+	tr, err := easytracker.Connect(addr, "minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.LoadProgram("count.py",
+		easytracker.WithSource("total = 0\nk = 0\nwhile k < 5:\n    k = k + 1\ntotal = 1\n"),
+		easytracker.WithObservability()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Watch("::total"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, ok := easytracker.Stats(tr)
+	if !ok {
+		t.Fatal("remote tracker has no Stats capability")
+	}
+	if snap.Tracker != "minipy" {
+		t.Errorf("snapshot tracker = %q, want minipy (the server-side backend)", snap.Tracker)
+	}
+	if snap.Counters["pauses"] == 0 {
+		t.Error("server-side pause counter is zero; snapshot did not cross the wire")
+	}
+	if snap.Counters["watch_hits"] == 0 {
+		t.Error("server-side watch_hits counter is zero")
+	}
+}

@@ -1,0 +1,321 @@
+package easytracker_test
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"easytracker"
+	"easytracker/internal/pt"
+)
+
+// The cross-backend conformance suite: the same scenario matrix — breakpoint,
+// watch, tracked function, stepping, interrupt, resource budget, crash and
+// the error surface — runs against each backend twice, once on a local
+// tracker and once through a loopback et-serve session, and the transcripts
+// must be identical: same pause reasons, same State JSON, same typed errors
+// under errors.Is. This is the contract that makes -remote invisible to
+// tools.
+
+const crashPy = `x = 10
+y = 0
+z = x / y
+`
+
+// startConformanceServer runs a loopback server shared by the suite.
+func startConformanceServer(t *testing.T) string {
+	t.Helper()
+	srv := easytracker.NewServer()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+// conformanceTracker builds the tracker under test: local, or a session on
+// the loopback server.
+func conformanceTracker(t *testing.T, kind, remoteAddr string) easytracker.Tracker {
+	t.Helper()
+	if remoteAddr == "" {
+		tr, err := easytracker.New(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	tr, err := easytracker.Connect(remoteAddr, kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// errClass renders an error's observable identity: which sentinels it
+// matches and, for typed errors, the full header. Local and remote failures
+// must classify identically.
+func errClass(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	sentinels := []struct {
+		name string
+		err  error
+	}{
+		{"no-program", easytracker.ErrNoProgram},
+		{"not-started", easytracker.ErrNotStarted},
+		{"exited", easytracker.ErrExited},
+		{"unknown-variable", easytracker.ErrUnknownVariable},
+		{"unknown-function", easytracker.ErrUnknownFunction},
+		{"bad-line", easytracker.ErrBadLine},
+		{"unsupported", easytracker.ErrUnsupported},
+		{"command-timeout", easytracker.ErrCommandTimeout},
+		{"session-lost", easytracker.ErrSessionLost},
+		{"inferior-crash", easytracker.ErrInferiorCrash},
+	}
+	var parts []string
+	for _, s := range sentinels {
+		if errors.Is(err, s.err) {
+			parts = append(parts, s.name)
+		}
+	}
+	var te *easytracker.TrackerError
+	if errors.As(err, &te) {
+		parts = append(parts, fmt.Sprintf("op=%s kind=%s at=%s:%d recovery=%s backtrace=%d",
+			te.Op, te.Kind, te.File, te.Line, te.Recovery, len(te.Backtrace)))
+	}
+	return "err[" + strings.Join(parts, " ") + "]"
+}
+
+// note records one observation line into the transcript.
+type transcript struct {
+	lines []string
+}
+
+func (tr *transcript) note(format string, args ...any) {
+	tr.lines = append(tr.lines, fmt.Sprintf(format, args...))
+}
+
+// observePause records the pause reason, position and — when the backend
+// provides snapshots — the full State JSON.
+func (tr *transcript) observePause(t *testing.T, tk easytracker.Tracker) {
+	t.Helper()
+	r := tk.PauseReason()
+	file, line := tk.Position()
+	tr.note("pause %s | pos %s:%d last %d", r, file, line, tk.LastLine())
+	if sp, ok := easytracker.As[easytracker.StateProvider](tk); ok {
+		if _, done := tk.ExitCode(); !done {
+			st, err := sp.State()
+			if err != nil {
+				tr.note("state err %s", errClass(err))
+				return
+			}
+			data, err := json.Marshal(st)
+			if err != nil {
+				t.Fatalf("marshal state: %v", err)
+			}
+			tr.note("state %s", data)
+		}
+	}
+}
+
+// resumeUntilExit resumes, observing every pause, with a runaway guard.
+func (tr *transcript) resumeUntilExit(t *testing.T, tk easytracker.Tracker) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		if _, done := tk.ExitCode(); done {
+			code, _ := tk.ExitCode()
+			tr.note("exit %d", code)
+			return
+		}
+		tr.note("resume %s", errClass(tk.Resume()))
+		tr.observePause(t, tk)
+	}
+	t.Fatal("runaway resume loop")
+}
+
+// conformanceScenario is one cell row of the matrix.
+type conformanceScenario struct {
+	name string
+	skip func(kind string) bool
+	run  func(t *testing.T, tr *transcript, tk easytracker.Tracker, kind, path, src string)
+}
+
+func loadStart(t *testing.T, tr *transcript, tk easytracker.Tracker, path, src string, opts ...easytracker.LoadOption) {
+	t.Helper()
+	opts = append([]easytracker.LoadOption{easytracker.WithSource(src)}, opts...)
+	tr.note("load %s", errClass(tk.LoadProgram(path, opts...)))
+	tr.note("start %s", errClass(tk.Start()))
+	tr.observePause(t, tk)
+}
+
+func conformanceScenarios() []conformanceScenario {
+	return []conformanceScenario{
+		{name: "breakpoint", run: func(t *testing.T, tr *transcript, tk easytracker.Tracker, kind, path, src string) {
+			loadStart(t, tr, tk, path, src)
+			// Line 11 is "total = total + square(i)" in both languages.
+			tr.note("break %s", errClass(tk.BreakBeforeLine("", 11, easytracker.WithMaxDepth(3))))
+			tr.resumeUntilExit(t, tk)
+		}},
+		{name: "watch", run: func(t *testing.T, tr *transcript, tk easytracker.Tracker, kind, path, src string) {
+			loadStart(t, tr, tk, path, src)
+			tr.note("watch %s", errClass(tk.Watch("::total")))
+			tr.resumeUntilExit(t, tk)
+		}},
+		{name: "track", run: func(t *testing.T, tr *transcript, tk easytracker.Tracker, kind, path, src string) {
+			loadStart(t, tr, tk, path, src)
+			tr.note("track %s", errClass(tk.TrackFunction("square")))
+			tr.note("break-func %s", errClass(tk.BreakBeforeFunc("run")))
+			tr.resumeUntilExit(t, tk)
+		}},
+		{name: "step-next", run: func(t *testing.T, tr *transcript, tk easytracker.Tracker, kind, path, src string) {
+			loadStart(t, tr, tk, path, src)
+			for i := 0; i < 4; i++ {
+				tr.note("step %s", errClass(tk.Step()))
+				tr.observePause(t, tk)
+			}
+			for i := 0; i < 3; i++ {
+				tr.note("next %s", errClass(tk.Next()))
+				tr.observePause(t, tk)
+			}
+		}},
+		{name: "interrupt",
+			skip: func(kind string) bool { return kind == "trace" },
+			run: func(t *testing.T, tr *transcript, tk easytracker.Tracker, kind, path, src string) {
+				loadStart(t, tr, tk, path, src)
+				// Interrupt while paused: the flag is sticky, so the next
+				// Resume pauses immediately and deterministically.
+				if !easytracker.Interrupt(tk) {
+					t.Fatal("tracker refused Interrupt")
+				}
+				tr.note("resume %s", errClass(tk.Resume()))
+				r := tk.PauseReason()
+				tr.note("pause-type %s detail %s", r.Type, r.Detail)
+			}},
+		{name: "budget", run: func(t *testing.T, tr *transcript, tk easytracker.Tracker, kind, path, src string) {
+			budget := easytracker.Budgets{MaxSteps: 10}
+			if kind == "minigdb" {
+				budget = easytracker.Budgets{MaxInstructions: 60}
+			}
+			loadStart(t, tr, tk, path, src, easytracker.WithBudgets(budget))
+			tr.note("resume %s", errClass(tk.Resume()))
+			r := tk.PauseReason()
+			tr.note("pause-type %s detail %s", r.Type, r.Detail)
+			// The budget is one-shot: the next resume runs free.
+			tr.resumeUntilExit(t, tk)
+		}},
+		{name: "crash",
+			skip: func(kind string) bool { return kind != "minipy" },
+			run: func(t *testing.T, tr *transcript, tk easytracker.Tracker, kind, path, src string) {
+				loadStart(t, tr, tk, "crash.py", crashPy)
+				tr.note("resume %s", errClass(tk.Resume()))
+				code, done := tk.ExitCode()
+				tr.note("exitcode %d %v", code, done)
+			}},
+		{name: "error-surface", run: func(t *testing.T, tr *transcript, tk easytracker.Tracker, kind, path, src string) {
+			loadStart(t, tr, tk, path, src)
+			tr.note("watch-bad %s", errClass(tk.Watch("no_such_var")))
+			tr.note("break-bad %s", errClass(tk.BreakBeforeLine("", 9999)))
+			tr.note("track-bad %s", errClass(tk.TrackFunction("no_such_func")))
+			tr.resumeUntilExit(t, tk)
+			tr.note("resume-after-exit %s", errClass(tk.Resume()))
+			tr.note("step-after-exit %s", errClass(tk.Step()))
+		}},
+	}
+}
+
+func TestRemoteConformance(t *testing.T) {
+	addr := startConformanceServer(t)
+	langs := []struct{ kind, path, src string }{
+		{"minipy", "agree.py", agreePy},
+		{"minigdb", "agree.c", agreeC},
+	}
+	for _, lang := range langs {
+		for _, sc := range conformanceScenarios() {
+			if sc.skip != nil && sc.skip(lang.kind) {
+				continue
+			}
+			t.Run(lang.kind+"/"+sc.name, func(t *testing.T) {
+				run := func(remoteAddr string) []string {
+					tk := conformanceTracker(t, lang.kind, remoteAddr)
+					defer tk.Terminate()
+					tr := &transcript{}
+					sc.run(t, tr, tk, lang.kind, lang.path, lang.src)
+					return tr.lines
+				}
+				local := run("")
+				remote := run(addr)
+				if len(local) != len(remote) {
+					t.Fatalf("transcript lengths differ: local %d, remote %d\nlocal:\n%s\nremote:\n%s",
+						len(local), len(remote), strings.Join(local, "\n"), strings.Join(remote, "\n"))
+				}
+				for i := range local {
+					if local[i] != remote[i] {
+						t.Errorf("transcript line %d differs:\nlocal:  %s\nremote: %s", i, local[i], remote[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRemoteConformanceTrace replays the same recorded trace locally and
+// through the server. The trace file exists only on the client side: the
+// client ships its bytes in the load spec, so the server needs no shared
+// filesystem.
+func TestRemoteConformanceTrace(t *testing.T) {
+	addr := startConformanceServer(t)
+
+	// Record a trace with a local tracker.
+	rec, err := easytracker.New("minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := rec.LoadProgram("agree.py", easytracker.WithSource(agreePy),
+		easytracker.WithStdout(&out)); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := pt.Record(rec, &out, pt.Options{Mode: pt.ModeFullStep, Lang: "minipy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := trace.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "agree.trace")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(remoteAddr string) []string {
+		tk := conformanceTracker(t, "trace", remoteAddr)
+		defer tk.Terminate()
+		tr := &transcript{}
+		tr.note("load %s", errClass(tk.LoadProgram(path)))
+		tr.note("start %s", errClass(tk.Start()))
+		tr.observePause(t, tk)
+		for i := 0; i < 10; i++ {
+			tr.note("step %s", errClass(tk.Step()))
+			tr.observePause(t, tk)
+		}
+		return tr.lines
+	}
+	local := run("")
+	remote := run(addr)
+	for i := range local {
+		if i >= len(remote) || local[i] != remote[i] {
+			t.Fatalf("trace transcript line %d differs:\nlocal:  %s\nremote: %v",
+				i, local[i], remote[min(i, len(remote)-1)])
+		}
+	}
+}
