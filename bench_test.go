@@ -505,6 +505,23 @@ func BenchmarkNativeMiniPy(b *testing.B) {
 	}
 }
 
+// BenchmarkCompileMiniPy prices the bytecode compiler alone: one AST -> Program
+// lowering per iteration (parse is hoisted out, matching how the interpreter
+// amortizes compilation across runs via the per-module memo).
+func BenchmarkCompileMiniPy(b *testing.B) {
+	mod, err := minipy.Parse("fib.py", fibPy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := minipy.Compile(mod); p == nil {
+			b.Fatal("nil program")
+		}
+	}
+}
+
 // BenchmarkSteppingOverheadMiniPy runs the same program stepped line by
 // line through the tracker (the paper: stepping "slows the execution down a
 // lot" but is acceptable in the pedagogical context).

@@ -1,41 +1,67 @@
 // Command minipy runs a MiniPy program directly (without tracking), like
-// invoking the Python interpreter on an inferior.
+// invoking the Python interpreter on an inferior. With -disasm it prints
+// the compiled bytecode listing instead of executing.
 //
-// Usage: minipy PROGRAM.py [args...]
+// Usage: minipy [-disasm] PROGRAM.py [args...]
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"easytracker/internal/minipy"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: minipy PROGRAM.py [args...]")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("minipy", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	disasm := fs.Bool("disasm", false, "print the compiled bytecode listing instead of executing")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: minipy [-disasm] PROGRAM.py [args...]")
+		fs.PrintDefaults()
 	}
-	path := os.Args[1]
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return 2
+	}
+	path := fs.Arg(0)
 	src, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	mod, err := minipy.Parse(path, string(src))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *disasm {
+		prog := minipy.Compile(mod)
+		if prog == nil {
+			fmt.Fprintln(stderr, "minipy: program did not compile")
+			return 2
+		}
+		fmt.Fprint(stdout, prog.Disasm())
+		return 0
 	}
 	in := minipy.NewInterp(mod)
-	in.SetStdout(os.Stdout)
-	in.SetStderr(os.Stderr)
-	in.SetStdin(os.Stdin)
-	in.SetArgs(os.Args[2:])
+	in.SetStdout(stdout)
+	in.SetStderr(stderr)
+	in.SetStdin(stdin)
+	in.SetArgs(fs.Args()[1:])
 	code, err := in.Run()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
-	os.Exit(code)
+	return code
 }

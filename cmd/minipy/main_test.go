@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, stdin string, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func writeProgram(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.py")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunProgram(t *testing.T) {
+	path := writeProgram(t, "x = 6 * 7\nprint(x)\n")
+	code, out, errOut := runCLI(t, "", path)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	if out != "42\n" {
+		t.Fatalf("stdout %q", out)
+	}
+}
+
+func TestRunRuntimeError(t *testing.T) {
+	path := writeProgram(t, "print(1 // 0)\n")
+	code, _, errOut := runCLI(t, "", path)
+	if code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut, "division") {
+		t.Fatalf("stderr %q", errOut)
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	code, _, errOut := runCLI(t, "")
+	if code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut, "usage: minipy") {
+		t.Fatalf("stderr %q", errOut)
+	}
+}
+
+// TestDisasmGolden pins the bytecode listing for a representative program.
+// The listing is part of the debugging surface (et users read it to see
+// what the VM executes), so format drift should be a conscious choice:
+// regenerate with
+//
+//	cd cmd/minipy && go run . -disasm testdata/disasm.py > testdata/disasm.golden
+func TestDisasmGolden(t *testing.T) {
+	code, out, errOut := runCLI(t, "", "-disasm", filepath.Join("testdata", "disasm.py"))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "disasm.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != string(want) {
+		t.Fatalf("disasm drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", out, want)
+	}
+	if !strings.Contains(out, "fib") || !strings.Contains(out, "CALL") {
+		t.Fatalf("listing missing expected content:\n%s", out)
+	}
+}
+
+func TestDisasmDoesNotExecute(t *testing.T) {
+	// -disasm must not run the program: executing this one would exit 7.
+	path := writeProgram(t, "exit(7)\n")
+	code, out, errOut := runCLI(t, "", "-disasm", path)
+	if code != 0 {
+		t.Fatalf("-disasm executed the program: exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "CALL") {
+		t.Fatalf("no listing produced:\n%s", out)
+	}
+}

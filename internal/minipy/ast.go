@@ -1,5 +1,7 @@
 package minipy
 
+import "sync"
+
 // Node is the common interface of all AST nodes.
 type Node interface {
 	// Pos returns the node's 1-based source line.
@@ -23,6 +25,12 @@ type Stmt interface {
 type Module struct {
 	File string
 	Body []Stmt
+
+	// once/prog memoize the compiled bytecode (compile.go): a Program is
+	// immutable and interpreter-free, so interpreters running the same
+	// Module share one compilation.
+	once sync.Once
+	prog *Program
 }
 
 // ExprStmt is an expression evaluated for effect (typically a call).

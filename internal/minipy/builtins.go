@@ -5,6 +5,7 @@ import (
 	"math"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 func mathPow(a, b float64) float64 { return math.Pow(a, b) }
@@ -13,9 +14,38 @@ func argErr(name string, want string) error {
 	return fmt.Errorf("%s() %s", name, want)
 }
 
+// builtinTable holds the shared builtin implementations, built once per
+// process: the closures are stateless (the interpreter arrives as a call
+// argument) and the Builtin structs are never written after construction, so
+// every interpreter can point at the same table. Each interpreter still
+// wraps them in its own Objects (one slab allocation in installBuiltins), so
+// object identity, id() and AllocCount stay per-interpreter.
+var (
+	builtinOnce  sync.Once
+	builtinTable []*Builtin
+)
+
+func builtins() []*Builtin {
+	builtinOnce.Do(buildBuiltinTable)
+	return builtinTable
+}
+
+// installBuiltins binds the shared builtin table into the interpreter's
+// module scope.
 func installBuiltins(in *Interp) {
+	table := builtins()
+	objs := make([]Object, len(table))
+	for i, b := range table {
+		o := &objs[i]
+		o.Kind = OBuiltin
+		o.Bi = b
+		in.Globals.Set(b.Name, in.alloc(o))
+	}
+}
+
+func buildBuiltinTable() {
 	reg := func(name string, fn func(*Interp, []*Object) (*Object, error)) {
-		in.Globals.Set(name, in.alloc(&Object{Kind: OBuiltin, Bi: &Builtin{Name: name, Fn: fn}}))
+		builtinTable = append(builtinTable, &Builtin{Name: name, Fn: fn})
 	}
 
 	reg("print", func(in *Interp, args []*Object) (*Object, error) {
@@ -79,6 +109,19 @@ func installBuiltins(in *Interp) {
 			}
 		default:
 			return nil, argErr("range", "expects 1 to 3 arguments")
+		}
+		if in.MaxSeqElems > 0 {
+			span := hi - lo
+			if step < 0 {
+				span = lo - hi
+			}
+			abs := step
+			if abs < 0 {
+				abs = -abs
+			}
+			if span > 0 && span/abs >= int64(in.MaxSeqElems) {
+				return nil, argErr("range", fmt.Sprintf("result too large (%d element cap)", in.MaxSeqElems))
+			}
 		}
 		var elems []*Object
 		if step > 0 {
@@ -357,7 +400,7 @@ func installBuiltins(in *Interp) {
 		if len(args) == 1 {
 			fmt.Fprint(in.stdout, args[0].Str())
 		}
-		line, err := in.stdin.ReadString('\n')
+		line, err := in.stdinReader().ReadString('\n')
 		line = strings.TrimRight(line, "\r\n")
 		if err != nil && line == "" {
 			return nil, fmt.Errorf("EOF when reading a line")

@@ -39,13 +39,19 @@ func (e Event) String() string {
 // non-nil error aborts the inferior (used by the tracker's Terminate).
 type TraceFunc func(fr *RTFrame, ev Event, retval *Object) error
 
-// Scope is an insertion-ordered name -> object binding set.
+// Scope is an insertion-ordered name -> object binding set. A scope may be
+// backed by a compile-time symtab (slot array, used by the bytecode engine)
+// in addition to the dynamic map; slot i holds the binding of syms.names[i],
+// nil meaning unbound. Names outside the symtab live in the map, so
+// dynamically injected bindings keep working.
 type Scope struct {
 	names []string
 	vals  map[string]*Object
 	// clock, when non-nil, points at the owning interpreter's mutation
 	// epoch; every binding write advances it (the scope write barrier).
 	clock *uint64
+	syms  *symtab
+	slots []*Object
 }
 
 // NewScope returns an empty scope.
@@ -55,14 +61,29 @@ func NewScope() *Scope {
 
 // Get looks a name up.
 func (s *Scope) Get(name string) (*Object, bool) {
+	if s.syms != nil {
+		if i, ok := s.syms.index[name]; ok {
+			v := s.slots[i]
+			return v, v != nil
+		}
+	}
 	v, ok := s.vals[name]
 	return v, ok
 }
 
 // Set binds a name, preserving first-assignment order.
 func (s *Scope) Set(name string, v *Object) {
+	if s.syms != nil {
+		if i, ok := s.syms.index[name]; ok {
+			s.setSlot(i, v)
+			return
+		}
+	}
 	if s.clock != nil {
 		*s.clock++
+	}
+	if s.vals == nil {
+		s.vals = map[string]*Object{}
 	}
 	if _, ok := s.vals[name]; !ok {
 		s.names = append(s.names, name)
@@ -70,8 +91,54 @@ func (s *Scope) Set(name string, v *Object) {
 	s.vals[name] = v
 }
 
+// setSlot writes slot i, advancing the mutation clock — the slot-path write
+// barrier, equivalent to Set for a symtab-resolved name.
+func (s *Scope) setSlot(i int, v *Object) {
+	if s.clock != nil {
+		*s.clock++
+	}
+	if s.slots[i] == nil {
+		s.names = append(s.names, s.syms.names[i])
+	}
+	s.slots[i] = v
+}
+
+// attachSlots backs the scope with a symtab, migrating existing map bindings
+// of symtab names into their slots. Binding order is preserved.
+func (s *Scope) attachSlots(st *symtab) {
+	if s.syms == st {
+		return
+	}
+	s.syms = st
+	s.slots = make([]*Object, len(st.names))
+	for i, n := range st.names {
+		if v, ok := s.vals[n]; ok {
+			s.slots[i] = v
+			delete(s.vals, n)
+		}
+	}
+}
+
 // Delete removes a binding.
 func (s *Scope) Delete(name string) {
+	if s.syms != nil {
+		if i, ok := s.syms.index[name]; ok {
+			if s.slots[i] == nil {
+				return
+			}
+			if s.clock != nil {
+				*s.clock++
+			}
+			s.slots[i] = nil
+			for j, n := range s.names {
+				if n == name {
+					s.names = append(s.names[:j], s.names[j+1:]...)
+					break
+				}
+			}
+			return
+		}
+	}
 	if _, ok := s.vals[name]; !ok {
 		return
 	}
@@ -140,6 +207,18 @@ const (
 	ctrlContinue
 )
 
+// Engine selects the execution engine behind Run.
+type Engine int
+
+const (
+	// EngineVM (the default) compiles the module to bytecode and runs the
+	// dispatch loop in vm.go.
+	EngineVM Engine = iota
+	// EngineAST walks the tree directly — the original interpreter, kept
+	// as the differential-testing reference and escape hatch.
+	EngineAST
+)
+
 // Interp executes a MiniPy module with optional trace hooks.
 type Interp struct {
 	module *Module
@@ -149,7 +228,11 @@ type Interp struct {
 	trace  TraceFunc
 	stdout io.Writer
 	stderr io.Writer
-	stdin  *bufio.Reader
+	// stdinRaw is the configured input source; stdin is the buffered
+	// reader over it, built lazily on the first input() call so programs
+	// that never read pay for no buffer.
+	stdinRaw io.Reader
+	stdin    *bufio.Reader
 
 	nextID uint64
 	noneO  *Object
@@ -158,6 +241,10 @@ type Interp struct {
 
 	cur    *RTFrame
 	retval *Object // value being returned, for EventReturn
+
+	engine Engine
+	prog   *Program
+	consts []*Object // prog.consts materialized for this interpreter
 
 	// epoch is the mutation clock: advanced by every scope binding write
 	// and every in-place heap mutation (the write barriers). An unchanged
@@ -170,17 +257,51 @@ type Interp struct {
 	// programs; zero means the default of 5 million.
 	MaxSteps int64
 	steps    int64
+	// stepLimit is MaxSteps with the default applied, resolved once per
+	// Run so the per-line budget check is a single compare.
+	stepLimit int64
+
+	// MaxSeqElems, when positive, bounds the element count of sequences
+	// built by repetition and range() — a memory guard for fuzzing, off
+	// by default.
+	MaxSeqElems int
+}
+
+const (
+	smallIntMin = -5
+	smallIntMax = 256
+)
+
+// sharedInts interns the CPython-style small-integer range [-5, 256] once per
+// process. The objects carry ID 0 and epoch 0 and are shared by every
+// interpreter, which is only sound because nothing ever writes to a scalar
+// object after creation: ints are immutable, the write barriers stamp only
+// containers, and ReachableEpoch treats scalars as leaves (no visit marks, no
+// memo fields) precisely so concurrent interpreters can touch these without a
+// data race. ID 0 also opts them out of the Converter's identity memo and
+// makes id() report 0, matching their "no per-interpreter identity" nature.
+var sharedInts [smallIntMax - smallIntMin + 1]Object
+
+func init() {
+	for i := range sharedInts {
+		sharedInts[i] = Object{Kind: OInt, I: int64(i) + smallIntMin}
+	}
 }
 
 // NewInterp builds an interpreter for the module.
 func NewInterp(m *Module) *Interp {
 	in := &Interp{
-		module:   m,
-		Globals:  NewScope(),
-		stdout:   io.Discard,
-		stderr:   io.Discard,
-		stdin:    bufio.NewReader(strings.NewReader("")),
-		MaxSteps: 5_000_000,
+		module: m,
+		// The module scope is born with room for the 25 builtins plus a
+		// handful of user globals, so installing them never rehashes.
+		Globals: &Scope{
+			vals:  make(map[string]*Object, 32),
+			names: make([]string, 0, 32),
+		},
+		stdout:    io.Discard,
+		stderr:    io.Discard,
+		MaxSteps:  5_000_000,
+		stepLimit: 5_000_000,
 	}
 	in.Globals.clock = &in.epoch
 	in.noneO = in.alloc(&Object{Kind: ONone})
@@ -192,6 +313,9 @@ func NewInterp(m *Module) *Interp {
 
 // SetTrace registers the trace hook (nil disables tracing).
 func (in *Interp) SetTrace(f TraceFunc) { in.trace = f }
+
+// SetEngine selects the execution engine; must be called before Run.
+func (in *Interp) SetEngine(e Engine) { in.engine = e }
 
 // SetStdout routes program output.
 func (in *Interp) SetStdout(w io.Writer) {
@@ -211,10 +335,20 @@ func (in *Interp) SetStderr(w io.Writer) {
 
 // SetStdin provides program input for the input() builtin.
 func (in *Interp) SetStdin(r io.Reader) {
-	if r == nil {
-		r = strings.NewReader("")
+	in.stdinRaw = r
+	in.stdin = nil
+}
+
+// stdinReader returns the buffered stdin, building it on first use.
+func (in *Interp) stdinReader() *bufio.Reader {
+	if in.stdin == nil {
+		r := in.stdinRaw
+		if r == nil {
+			r = strings.NewReader("")
+		}
+		in.stdin = bufio.NewReader(r)
 	}
-	in.stdin = bufio.NewReader(r)
+	return in.stdin
 }
 
 // SetArgs exposes argv to the program as the global list `argv`.
@@ -265,6 +399,26 @@ func (in *Interp) newScope() *Scope {
 // can use an unchanged epoch as proof that no program state moved.
 func (in *Interp) Epoch() uint64 { return in.epoch }
 
+// GlobalSlot returns the module-scope slot index of name, or -1 when the
+// globals scope has no attached symtab (the bytecode engine attaches it when
+// the module starts) or the name is outside it. A non-negative index is
+// stable for the interpreter's lifetime, so trackers may cache it and read
+// the binding with GlobalAt instead of a map lookup on every trace event.
+func (in *Interp) GlobalSlot(name string) int {
+	g := in.Globals
+	if g.syms == nil {
+		return -1
+	}
+	if i, ok := g.syms.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// GlobalAt returns the object bound in module-scope slot i (from GlobalSlot),
+// or nil while the name is unbound.
+func (in *Interp) GlobalAt(i int) *Object { return in.Globals.slots[i] }
+
 // ReachableEpoch returns the maximum mutation epoch of o and of every object
 // reachable from it through list/tuple elements, dict values, instance
 // attributes and bound receivers. Watch checking uses it as an allocation-free
@@ -275,6 +429,15 @@ func (in *Interp) Epoch() uint64 { return in.epoch }
 func (in *Interp) ReachableEpoch(o *Object) uint64 {
 	if o == nil {
 		return 0
+	}
+	switch o.Kind {
+	case OList, OTuple, ODict, OInstance, OMethod:
+	default:
+		// Scalar leaf: nothing is reachable from it and it is never
+		// mutated in place, so its own stamp is the answer. Taking this
+		// path without touching the memo fields is what keeps shared
+		// immutable objects (sharedInts) writable-by-nobody.
+		return o.Epoch
 	}
 	if o.reachAt == in.epoch+1 {
 		return o.reachMax
@@ -290,6 +453,11 @@ func (in *Interp) ReachableEpoch(o *Object) uint64 {
 }
 
 func (in *Interp) reachEpoch(o *Object, visit uint64) uint64 {
+	switch o.Kind {
+	case OList, OTuple, ODict, OInstance, OMethod:
+	default:
+		return o.Epoch // scalar leaf: no children, no memo, no visit mark
+	}
 	if o.visit == visit {
 		return 0 // cycle: the first visit accounts for this object
 	}
@@ -327,7 +495,12 @@ func (in *Interp) reachEpoch(o *Object, visit uint64) uint64 {
 	return max
 }
 
-func (in *Interp) newInt(v int64) *Object     { return in.alloc(&Object{Kind: OInt, I: v}) }
+func (in *Interp) newInt(v int64) *Object {
+	if v >= smallIntMin && v <= smallIntMax {
+		return &sharedInts[v-smallIntMin]
+	}
+	return in.alloc(&Object{Kind: OInt, I: v})
+}
 func (in *Interp) newFloat(v float64) *Object { return in.alloc(&Object{Kind: OFloat, F: v}) }
 func (in *Interp) newStr(v string) *Object    { return in.alloc(&Object{Kind: OStr, S: v}) }
 func (in *Interp) newBool(v bool) *Object {
@@ -356,7 +529,16 @@ func (in *Interp) rtErr(line int, format string, args ...any) error {
 func (in *Interp) Run() (int, error) {
 	mod := &RTFrame{Name: "<module>", Locals: in.Globals, Depth: 0, globalDecls: map[string]bool{}}
 	in.cur = mod
-	err := in.execBody(mod, in.module.Body)
+	in.stepLimit = in.MaxSteps
+	if in.stepLimit == 0 {
+		in.stepLimit = 5_000_000
+	}
+	var err error
+	if in.engine == EngineAST {
+		err = in.execBody(mod, in.module.Body)
+	} else {
+		err = in.runModuleVM(mod)
+	}
 	switch e := err.(type) {
 	case nil:
 		// CPython fires a final return event for the module frame;
@@ -382,12 +564,8 @@ func (in *Interp) Run() (int, error) {
 func (in *Interp) fireLine(fr *RTFrame, line int) error {
 	fr.Line = line
 	in.steps++
-	max := in.MaxSteps
-	if max == 0 {
-		max = 5_000_000
-	}
-	if in.steps > max {
-		return in.rtErr(line, "step budget exceeded (%d line events)", max)
+	if in.steps > in.stepLimit {
+		return in.rtErr(line, "step budget exceeded (%d line events)", in.stepLimit)
 	}
 	if in.trace != nil {
 		return in.trace(fr, EventLine, nil)
@@ -900,6 +1078,9 @@ func (in *Interp) CallFunction(line int, fn *Object, args []*Object) (*Object, e
 }
 
 func (in *Interp) callUser(line int, fn *Function, args []*Object) (*Object, error) {
+	if fn.code != nil {
+		return in.callUserVM(line, fn, args)
+	}
 	if len(args) != len(fn.Params) {
 		return nil, in.rtErr(line, "%s() takes %d arguments but %d were given",
 			fn.Name, len(fn.Params), len(args))
@@ -1258,7 +1439,7 @@ func (in *Interp) binOp(line int, op TokKind, l, r *Object) (*Object, error) {
 	}
 	if op == Star {
 		if seq, num, ok := seqAndInt(l, r); ok {
-			return in.repeatSeq(seq, num)
+			return in.repeatSeq(line, seq, num)
 		}
 	}
 	li, lInt := intVal(l)
@@ -1342,10 +1523,19 @@ func seqAndInt(l, r *Object) (seq, num *Object, ok bool) {
 	return nil, nil, false
 }
 
-func (in *Interp) repeatSeq(seq, num *Object) (*Object, error) {
+func (in *Interp) repeatSeq(line int, seq, num *Object) (*Object, error) {
 	n := int(num.I)
 	if n < 0 {
 		n = 0
+	}
+	if in.MaxSeqElems > 0 {
+		size := len(seq.L)
+		if seq.Kind == OStr {
+			size = len(seq.S)
+		}
+		if size > 0 && n > in.MaxSeqElems/size {
+			return nil, in.rtErr(line, "repeated sequence too large (%d element cap)", in.MaxSeqElems)
+		}
 	}
 	switch seq.Kind {
 	case OStr:

@@ -437,7 +437,7 @@ func (l *Lexer) scanOperator(line, col int) (Token, error) {
 // Tokenize lexes the whole source, returning all tokens through EOF.
 func Tokenize(file, src string) ([]Token, error) {
 	l := NewLexer(file, src)
-	var toks []Token
+	toks := make([]Token, 0, len(src)/3+8)
 	for {
 		t, err := l.Next()
 		if err != nil {

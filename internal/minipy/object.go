@@ -92,6 +92,9 @@ type Function struct {
 	EndLine int
 	// Globals names declared `global` inside the body, precomputed.
 	GlobalNames map[string]bool
+	// code is the compiled body when the function was created by the
+	// bytecode engine; nil means the tree-walker executes Body directly.
+	code *Code
 }
 
 // Builtin is a native function exposed to MiniPy programs.

@@ -1,0 +1,15 @@
+x = 7
+y = -3
+print(x + y, x - y, x * y)
+print(x // y, x % y)
+print(y // x, y % x)
+print(2 ** 10, (-2) ** 3)
+print(x / 2, 1 / 4)
+print(abs(-9), min(3, 1, 2), max(3, 1, 2))
+print(sum([1, 2, 3, 4]))
+big = 12345678901234
+print(big * 3 + 1)
+f = 2.5
+print(f * 2, f // 1.0, f + 0.25)
+print(1 < 2, 2 <= 2, 3 > 4, 3 >= 4, 1 == 1.0, 1 != 2)
+total = x * 100 + y

@@ -1,0 +1,34 @@
+class Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+    def dist2(self):
+        return self.x * self.x + self.y * self.y
+
+    def shift(self, dx, dy):
+        self.x = self.x + dx
+        self.y = self.y + dy
+
+class Counter:
+    def __init__(self):
+        self.n = 0
+
+    def tick(self):
+        self.n = self.n + 1
+        return self.n
+
+p = Point(3, 4)
+print(p.dist2())
+p.shift(1, -1)
+print(p.x, p.y)
+c = Counter()
+c.tick()
+c.tick()
+print(c.tick())
+print(isinstance(p, Point), isinstance(c, Point))
+points = [Point(1, 0), Point(0, 2)]
+total = 0
+for q in points:
+    total = total + q.dist2()
+print(total)

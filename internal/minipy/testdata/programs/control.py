@@ -1,0 +1,27 @@
+i = 0
+while i < 10:
+    i = i + 1
+    if i % 2 == 0:
+        continue
+    if i > 7:
+        break
+    print(i)
+print("after", i)
+for j in range(3):
+    for k in range(3):
+        if k > j:
+            break
+        print(j, k)
+n = 15
+if n % 15 == 0:
+    print("fizzbuzz")
+elif n % 3 == 0:
+    print("fizz")
+elif n % 5 == 0:
+    print("buzz")
+else:
+    print(n)
+for v in range(10, 0, -3):
+    print(v)
+while False:
+    print("never")

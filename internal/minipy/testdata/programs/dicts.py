@@ -1,0 +1,18 @@
+d = {"a": 1, "b": 2}
+d["c"] = 3
+print(d["a"], d.get("b"), d.get("zz", -1))
+print(len(d))
+print("a" in d, "zz" in d)
+ks = d.keys()
+print(sorted(ks))
+print(sorted(d.values()))
+print(d.pop("b"))
+print(len(d))
+counts = {}
+for ch in ["x", "y", "x", "x"]:
+    counts[ch] = counts.get(ch, 0) + 1
+print(counts["x"], counts["y"])
+d2 = dict()
+d2[1] = "one"
+d2[2] = "two"
+print(d2[1], d2[2])

@@ -1,0 +1,27 @@
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+def apply_twice(f, x):
+    return f(f(x))
+
+def inc(v):
+    return v + 1
+
+def classify(n):
+    if n < 0:
+        return "neg"
+    elif n == 0:
+        return "zero"
+    return "pos"
+
+print(fib(10))
+print(apply_twice(inc, 5))
+print(classify(-3), classify(0), classify(8))
+
+def noret():
+    pass
+
+print(noret())
+result = fib(12)

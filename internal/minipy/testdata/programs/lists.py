@@ -1,0 +1,21 @@
+xs = [5, 3, 1, 4, 2]
+xs.append(9)
+print(xs)
+print(xs.pop())
+print(xs.pop(0))
+xs.sort()
+print(xs)
+xs[1] = 42
+print(xs, len(xs))
+print(xs[1:3], xs[-2:])
+ys = xs + [7, 8]
+print(ys)
+print([0] * 4)
+print(3 in xs, 99 in xs)
+del xs[0]
+print(xs)
+print(sorted([3, 1, 2]))
+print(list("abc"))
+nested = [[1, 2], [3, 4]]
+nested[0].append(99)
+print(nested)

@@ -1,0 +1,20 @@
+log = []
+
+def note(tag, v):
+    log.append(tag)
+    return v
+
+r1 = note("a", False) and note("b", True)
+r2 = note("c", True) or note("d", False)
+r3 = note("e", True) and note("f", False)
+print(r1, r2, r3)
+print(log)
+print(not True, not 0, not [], not [1])
+print(bool(""), bool("x"), bool(0.0), bool({}))
+v = None
+print(v == None, v != None)
+print(1 and 2, 0 and 2, "" or "fallback", "first" or "second")
+if [] or {} or 0:
+    print("truthy")
+else:
+    print("all falsy")

@@ -1,0 +1,39 @@
+def make_grid(w, h):
+    grid = []
+    for y in range(h):
+        row = []
+        for x in range(w):
+            row.append(x + y * w)
+        grid.append(row)
+    return grid
+
+def transpose(grid):
+    out = []
+    for x in range(len(grid[0])):
+        row = []
+        for y in range(len(grid)):
+            row.append(grid[y][x])
+        out.append(row)
+    return out
+
+g = make_grid(3, 2)
+print(g)
+print(transpose(g))
+
+words = "the quick brown fox".split(" ")
+lengths = {}
+for w in words:
+    lengths[w] = len(w)
+print(sorted(lengths.keys()))
+total = 0
+for w in words:
+    total = total + lengths[w]
+print(total)
+
+stack = []
+for op in [1, 2, -1, 3, -1, -1]:
+    if op > 0:
+        stack.append(op * 10)
+    else:
+        print("pop", stack.pop())
+print(stack)

@@ -1,0 +1,29 @@
+def is_even(n):
+    if n == 0:
+        return True
+    return is_odd(n - 1)
+
+def is_odd(n):
+    if n == 0:
+        return False
+    return is_even(n - 1)
+
+def ack(m, n):
+    if m == 0:
+        return n + 1
+    if n == 0:
+        return ack(m - 1, 1)
+    return ack(m - 1, ack(m, n - 1))
+
+def depth_sum(xs):
+    total = 0
+    for x in xs:
+        if type(x) == "list":
+            total = total + depth_sum(x)
+        else:
+            total = total + x
+    return total
+
+print(is_even(10), is_odd(7))
+print(ack(2, 3))
+print(depth_sum([1, [2, [3, 4]], 5]))

@@ -1,0 +1,28 @@
+counter = 0
+
+def bump(by):
+    global counter
+    counter = counter + by
+    return counter
+
+def shadow():
+    counter = 100
+    return counter
+
+print(bump(2))
+print(bump(3))
+print(shadow())
+print(counter)
+
+x = "module"
+
+def reads_global():
+    return x
+
+def writes_local():
+    x = "local"
+    return x
+
+print(reads_global(), writes_local(), x)
+temp = 1
+del temp

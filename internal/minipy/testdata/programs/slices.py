@@ -1,0 +1,14 @@
+xs = [0, 1, 2, 3, 4, 5, 6, 7]
+print(xs[2:5], xs[:3], xs[5:], xs[:])
+print(xs[-3:], xs[:-5])
+print(xs[6:2])
+s = "slicing"
+print(s[1:4], s[:3], s[-3:])
+copy = xs[:]
+copy[0] = 99
+print(xs[0], copy[0])
+mid = len(xs) // 2
+left = xs[:mid]
+right = xs[mid:]
+print(left, right)
+print(len(xs[1:-1]))

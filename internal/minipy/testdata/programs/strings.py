@@ -1,0 +1,18 @@
+s = "Hello, MiniPy"
+print(len(s))
+print(s.upper())
+print(s.lower())
+print("  padded  ".strip())
+parts = s.split(", ")
+print(parts)
+print("-".join(parts))
+print(s[0], s[-1], s[7:])
+print(s[:5] + "!" * 3)
+print(chr(65), ord("a"))
+print(str(42) + str(3.5))
+msg = ""
+i = 0
+while i < 4:
+    msg = msg + chr(97 + i)
+    i = i + 1
+print(msg)

@@ -1,0 +1,15 @@
+t = (1, 2, 3)
+print(t, len(t), t[0], t[-1])
+a, b = 10, 20
+a, b = b, a
+print(a, b)
+x, y, z = t
+print(x + y + z)
+pairs = zip([1, 2, 3], ["a", "b", "c"])
+print(pairs)
+for i, v in enumerate(["p", "q"]):
+    print(i, v)
+print(tuple([4, 5]))
+print((1, 2) + (3,))
+u = t[1:]
+print(u)

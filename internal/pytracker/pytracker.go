@@ -85,6 +85,15 @@ type funcBP struct {
 
 type watch struct {
 	id string
+	// scope/name are the two halves of core.SplitVarID(id), split once at
+	// Watch registration so the per-line comparison never re-parses the
+	// identifier string.
+	scope string
+	name  string
+	// gslot caches the module-scope slot index of a global ("::") watch
+	// once the interpreter has attached its compile-time symtab; -1 means
+	// not (yet) resolvable and falls back to the map lookup.
+	gslot int
 	// snap is the last observed value snapshot; nil means "not yet
 	// observed/defined".
 	snap *core.Value
@@ -214,6 +223,9 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 	if cfg.Args != nil {
 		in.SetArgs(cfg.Args)
 	}
+	if cfg.ASTInterpreter {
+		in.SetEngine(minipy.EngineAST)
+	}
 	in.SetTrace(t.traceFn)
 	t.file = path
 	t.srcLines = strings.Split(strings.TrimRight(src, "\n"), "\n")
@@ -322,26 +334,35 @@ func (t *Tracker) armDeadline() func() {
 	}
 }
 
-// traceFn runs in the inferior goroutine between every event.
+// traceFn runs in the inferior goroutine between every event. It is the
+// hottest code in the tracker — every executed line funnels through it — so
+// the pause checks below return a bare bool and build the PauseReason (by
+// storing it into t.reason) only on the rare event that actually pauses.
 func (t *Tracker) traceFn(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Object) error {
 	if t.terminated {
 		return errTerminated
 	}
 	t.crashFr = fr
-	reason, pause := t.superviseCheck(fr)
+	// Supervision first: the interrupt-flag load is the only mandatory
+	// per-event cost; the budget comparisons run only when armed.
+	pause := false
+	if t.intr.Load() != intrNone || t.supervised {
+		pause = t.superviseCheck(fr)
+	}
 	if !pause {
-		reason, pause = t.checkPause(fr, ev, ret)
+		pause = t.checkPause(fr, ev, ret)
 	}
 	if ev == minipy.EventLine {
 		t.lastLine = t.prevLine
 		t.prevLine = fr.Line
-		t.ctrLines.Inc()
+		if t.ctrLines != nil {
+			t.ctrLines.Inc()
+		}
 	}
 	if !pause {
 		return nil
 	}
 	t.curFrame = fr
-	t.reason = reason
 	t.mode = modeRun
 	t.pauseCh <- struct{}{}
 	<-t.resumeCh
@@ -359,7 +380,7 @@ func (t *Tracker) traceFn(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Objec
 // gates this). A supervision pause does not run the watch comparison, so
 // watch snapshots stay coherent: a mutation landing on the interrupted
 // event is detected by the next regular check.
-func (t *Tracker) superviseCheck(fr *minipy.RTFrame) (core.PauseReason, bool) {
+func (t *Tracker) superviseCheck(fr *minipy.RTFrame) bool {
 	if t.intr.Load() != intrNone {
 		detail := "interrupt"
 		if t.intr.Swap(intrNone) == intrDeadline {
@@ -367,10 +388,11 @@ func (t *Tracker) superviseCheck(fr *minipy.RTFrame) (core.PauseReason, bool) {
 		}
 		t.obs.Counter(core.CtrInterrupts).Inc()
 		t.obs.Event("interrupt", "run interrupted ("+detail+")")
-		return t.interruptedAt(fr, detail), true
+		t.interruptedAt(fr, detail)
+		return true
 	}
 	if !t.supervised {
-		return core.PauseReason{}, false
+		return false
 	}
 	if b := t.budgets.MaxSteps; b > 0 && !t.stepsTripped && t.interp.Steps() >= b {
 		t.stepsTripped = true
@@ -384,93 +406,103 @@ func (t *Tracker) superviseCheck(fr *minipy.RTFrame) (core.PauseReason, bool) {
 		t.heapTripped = true
 		return t.tripBudget(fr, "heap-budget", b)
 	}
-	return core.PauseReason{}, false
+	return false
 }
 
 // tripBudget records one budget expiry (cold path) and builds its pause.
-func (t *Tracker) tripBudget(fr *minipy.RTFrame, name string, limit int64) (core.PauseReason, bool) {
+func (t *Tracker) tripBudget(fr *minipy.RTFrame, name string, limit int64) bool {
 	t.obs.Counter(core.CtrBudgetTrips).Inc()
 	t.obs.Event("budget", fmt.Sprintf("%s tripped (limit %d) at line %d", name, limit, fr.Line))
-	return t.interruptedAt(fr, name), true
+	t.interruptedAt(fr, name)
+	return true
 }
 
-func (t *Tracker) interruptedAt(fr *minipy.RTFrame, detail string) core.PauseReason {
-	return core.PauseReason{
+func (t *Tracker) interruptedAt(fr *minipy.RTFrame, detail string) {
+	t.reason = core.PauseReason{
 		Type: core.PauseInterrupted, File: t.file, Line: fr.Line, Detail: detail,
 	}
 }
 
 // checkPause applies, in priority order, the paper's pause conditions:
 // watchpoint, tracked-function boundary, breakpoint, then single-stepping.
-func (t *Tracker) checkPause(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Object) (core.PauseReason, bool) {
+// On a hit it stores the pause into t.reason and reports true.
+func (t *Tracker) checkPause(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Object) bool {
 	// 1. Watchpoints: compared before every line (and at call/return so
 	// parameter binding and final mutations are seen).
-	if r, hit := t.checkWatches(fr); hit {
-		return r, true
+	if t.checkWatches(fr) {
+		return true
 	}
 
 	switch ev {
 	case minipy.EventCall:
 		// 2. Tracked function entered.
 		if t.tracked[fr.Name] {
-			return core.PauseReason{
+			t.reason = core.PauseReason{
 				Type: core.PauseCall, Function: fr.Name,
 				File: t.file, Line: fr.Line,
-			}, true
+			}
+			return true
 		}
 		// 3. Function breakpoint (args are bound at EventCall, which
 		// is what guarantees the paper's "arguments are initialized").
 		for _, bp := range t.funcBPs {
 			if bp.name == fr.Name && depthOK(bp.maxDepth, fr.Depth) {
-				return core.PauseReason{
+				t.reason = core.PauseReason{
 					Type: core.PauseBreakpoint, Function: fr.Name,
 					File: t.file, Line: fr.Line,
-				}, true
+				}
+				return true
 			}
 		}
 
 	case minipy.EventReturn:
 		if t.tracked[fr.Name] {
 			conv := minipy.NewConverter()
-			return core.PauseReason{
+			t.reason = core.PauseReason{
 				Type: core.PauseReturn, Function: fr.Name,
 				File: t.file, Line: fr.Line,
 				ReturnValue: conv.Convert(ret),
-			}, true
+			}
+			return true
 		}
 
 	case minipy.EventLine:
 		// 4. Line breakpoints.
-		for _, bp := range t.lineBPs {
+		for i := range t.lineBPs {
+			bp := &t.lineBPs[i]
 			if bp.line == fr.Line && (bp.file == "" || bp.file == t.file) &&
 				depthOK(bp.maxDepth, fr.Depth) {
-				return core.PauseReason{
+				t.reason = core.PauseReason{
 					Type: core.PauseBreakpoint,
 					File: t.file, Line: fr.Line,
-				}, true
+				}
+				return true
 			}
 		}
 		// 5. Entry pause and stepping.
 		if !t.entrySeen {
 			t.entrySeen = true
-			return core.PauseReason{
+			t.reason = core.PauseReason{
 				Type: core.PauseEntry, File: t.file, Line: fr.Line,
-			}, true
+			}
+			return true
 		}
 		switch t.mode {
 		case modeStep:
-			return core.PauseReason{
+			t.reason = core.PauseReason{
 				Type: core.PauseStep, File: t.file, Line: fr.Line,
-			}, true
+			}
+			return true
 		case modeNext:
 			if fr.Depth <= t.nextDepth {
-				return core.PauseReason{
+				t.reason = core.PauseReason{
 					Type: core.PauseStep, File: t.file, Line: fr.Line,
-				}, true
+				}
+				return true
 			}
 		}
 	}
-	return core.PauseReason{}, false
+	return false
 }
 
 func depthOK(maxDepth, depth int) bool {
@@ -486,20 +518,24 @@ func depthOK(maxDepth, depth int) bool {
 // snapshot" proves the value is unchanged without converting or comparing
 // anything. Only a rebinding or a dirty object graph falls back to the deep
 // structural compare (core.Value.Equivalent) on a fresh conversion.
-func (t *Tracker) checkWatches(fr *minipy.RTFrame) (core.PauseReason, bool) {
+func (t *Tracker) checkWatches(fr *minipy.RTFrame) bool {
 	if len(t.watches) == 0 {
-		return core.PauseReason{}, false
+		return false
+	}
+	if t.obs == nil {
+		return t.compareWatches(fr)
 	}
 	t0 := t.obs.Now()
-	r, hit := t.compareWatches(fr)
+	hit := t.compareWatches(fr)
 	t.obs.Observe(core.OpWatchCheck, t0)
-	return r, hit
+	return hit
 }
 
-// compareWatches is the comparison loop behind checkWatches.
-func (t *Tracker) compareWatches(fr *minipy.RTFrame) (core.PauseReason, bool) {
+// compareWatches is the comparison loop behind checkWatches; a hit stores
+// the pause into t.reason.
+func (t *Tracker) compareWatches(fr *minipy.RTFrame) bool {
 	for _, w := range t.watches {
-		obj, ok := t.resolveVar(fr, w.id)
+		obj, ok := t.resolveWatch(fr, w)
 		if !ok {
 			// Still undefined, or frame holding it is gone.
 			if w.defined {
@@ -520,31 +556,53 @@ func (t *Tracker) compareWatches(fr *minipy.RTFrame) (core.PauseReason, bool) {
 			old := w.snap
 			w.snap, w.defined = now, true
 			w.lastObj, w.epoch = obj, epoch
-			return core.PauseReason{
+			t.reason = core.PauseReason{
 				Type: core.PauseWatch, Variable: w.id,
 				Old: old, New: now,
 				File: t.file, Line: fr.Line,
-			}, true
+			}
+			return true
 		}
 		changed := !w.snap.Equivalent(now)
 		old := w.snap
 		w.snap = now
 		w.lastObj, w.epoch = obj, epoch
 		if changed {
-			return core.PauseReason{
+			t.reason = core.PauseReason{
 				Type: core.PauseWatch, Variable: w.id,
 				Old: old, New: now,
 				File: t.file, Line: fr.Line,
-			}, true
+			}
+			return true
 		}
 	}
-	return core.PauseReason{}, false
+	return false
 }
 
-// resolveVar resolves a variable identifier against the paused state. fr is
-// the frame the inferior is currently in.
-func (t *Tracker) resolveVar(fr *minipy.RTFrame, id string) (*minipy.Object, bool) {
-	fn, name := core.SplitVarID(id)
+// resolveWatch resolves a registered watch against the paused state. This is
+// the hot half of resolveVar: the identifier is pre-split, and a global
+// watch upgrades itself to a direct slot read (one array load per event) the
+// first time the interpreter's module symtab is attached — the bytecode
+// engine attaches it before the first trace event, so in practice every
+// event after the first skips the map lookup.
+func (t *Tracker) resolveWatch(fr *minipy.RTFrame, w *watch) (*minipy.Object, bool) {
+	if w.scope == "::" {
+		if w.gslot < 0 {
+			w.gslot = t.interp.GlobalSlot(w.name)
+			if w.gslot < 0 {
+				o, ok := t.interp.Globals.Get(w.name)
+				return o, ok
+			}
+		}
+		o := t.interp.GlobalAt(w.gslot)
+		return o, o != nil
+	}
+	return t.resolveVar(fr, w.scope, w.name)
+}
+
+// resolveVar resolves a pre-split variable identifier against the paused
+// state. fr is the frame the inferior is currently in.
+func (t *Tracker) resolveVar(fr *minipy.RTFrame, fn, name string) (*minipy.Object, bool) {
 	switch fn {
 	case "::":
 		o, ok := t.interp.Globals.Get(name)
@@ -741,7 +799,8 @@ func (t *Tracker) Watch(varID string) error {
 	if !t.loaded {
 		return t.werr("Watch", core.ErrNoProgram)
 	}
-	t.watches = append(t.watches, &watch{id: varID})
+	fn, name := core.SplitVarID(varID)
+	t.watches = append(t.watches, &watch{id: varID, scope: fn, name: name, gslot: -1})
 	t.obs.Gauge(core.GaugeWatches).Set(int64(len(t.watches)))
 	return nil
 }
