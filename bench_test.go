@@ -572,6 +572,41 @@ func BenchmarkResumeWithWatchpointMiniPy(b *testing.B) {
 	}
 }
 
+// BenchmarkConditionalBreakMiniPy prices the conditional-probe fast path
+// (DESIGN.md §14's cost model): a breakpoint on the hot loop line whose
+// condition is false for 199 of the 200 hits, so the line hook compiles
+// nothing, pauses once, and must evaluate the condition allocation-free on
+// every miss. allocs/op is therefore the fixed lifecycle cost — any term
+// that scaled with the 200 evaluations would blow through et-benchdiff's
+// gate against the committed baseline.
+func BenchmarkConditionalBreakMiniPy(b *testing.B) {
+	b.ReportAllocs()
+	src := "total = 0\nk = 0\nwhile k < 200:\n    k = k + 1\ntotal = 1\n"
+	for i := 0; i < b.N; i++ {
+		tr := mustTracker(b, "minipy", "w.py", src)
+		if err := tr.Start(); err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.BreakBeforeLine("", 4, easytracker.When("k == 199")); err != nil {
+			b.Fatal(err)
+		}
+		pauses := 0
+		for {
+			if _, done := tr.ExitCode(); done {
+				break
+			}
+			if err := tr.Resume(); err != nil {
+				b.Fatal(err)
+			}
+			pauses++
+		}
+		if pauses != 2 { // the k == 199 hit, then the exit resume
+			b.Fatalf("pauses = %d, want 2", pauses)
+		}
+		tr.Terminate()
+	}
+}
+
 // BenchmarkBudgetCheckOverhead is BenchmarkResumeWithWatchpointMiniPy's
 // workload with every supervision budget armed (high enough never to trip)
 // plus a generous execution deadline. The per-line supervision check —

@@ -3,9 +3,14 @@
 // each pause the tool reads the array and the loop indices and renders the
 // array with index markers and the already-sorted region shaded.
 //
+// Pause filtering goes through the query engine: the implicit predicate
+// `exists(ARRAY)` selects pauses worth rendering, and -when ANDs a user
+// expression onto it (`-when 'i > 2 && function == "sort"'`), so the tool
+// has no bespoke predicate code of its own.
+//
 // Usage:
 //
-//	et-invariant [-out DIR] [-array a] [-i i] [-j j] [-sorted-from|-sorted-to] PROGRAM.{py,c}
+//	et-invariant [-out DIR] [-array a] [-i i] [-j j] [-when EXPR] [-sorted-from|-sorted-to] PROGRAM.{py,c}
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"path/filepath"
 
 	"easytracker"
+	"easytracker/internal/query"
 	"easytracker/internal/viz"
 )
 
@@ -43,6 +49,7 @@ func main() {
 	arrName := flag.String("array", "a", "array variable name")
 	iName := flag.String("i", "i", "first index variable")
 	jName := flag.String("j", "j", "second index variable")
+	when := flag.String("when", "", "render only pauses matching this query expression")
 	sortedFrom := flag.Bool("sorted-from-i", false, "shade cells at >= i (selection-sort style)")
 	sortedTo := flag.Bool("sorted-to-i", true, "shade cells at < i (insertion-style prefix)")
 	maxImgs := flag.Int("max", 200, "maximum images")
@@ -55,10 +62,18 @@ func main() {
 	}
 	prog := flag.Arg(0)
 
+	// The render predicate compiles once: a pause is rendered when the
+	// array exists there and the user's -when expression (if any) holds.
+	expr := "exists(" + *arrName + ")"
+	if *when != "" {
+		expr += " && (" + *when + ")"
+	}
+	filter, err := query.Compile(expr)
+	check(err)
+
 	// A remote tracker satisfies the same contract, so the stepping loop —
 	// and the Ctrl-C interrupt below — work unchanged over the wire.
 	var tracker easytracker.Tracker
-	var err error
 	if *remoteAddr != "" {
 		tracker, err = easytracker.Connect(*remoteAddr, easytracker.KindFor(prog))
 	} else {
@@ -71,6 +86,11 @@ func main() {
 		defer printStats(tracker)
 	}
 	check(tracker.LoadProgram(prog, loadOpts...))
+	sp, ok := easytracker.As[easytracker.StateProvider](tracker)
+	if !ok {
+		fmt.Fprintln(os.Stderr, "et-invariant: tracker provides no state snapshots")
+		os.Exit(1)
+	}
 	check(tracker.Start())
 	defer tracker.Terminate()
 	// Ctrl-C interrupts the inferior: the next Step returns an INTERRUPTED
@@ -86,35 +106,44 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stopped early: %s\n", r)
 			break
 		}
-		fr, err := tracker.CurrentFrame()
+		st, err := sp.State()
 		check(err)
-		if arr := lookupList(fr, *arrName); arr != nil {
+		file, line := tracker.Position()
+		view := query.StateView{
+			EventName: query.EventLine,
+			LineNo:    line,
+			FileName:  file,
+			FuncName:  funcName(st),
+			State:     st,
+		}
+		if filter.Match(&view) {
 			idx := map[string]int{}
-			if v, ok := lookupInt(fr, *iName); ok {
-				idx[*iName] = int(v)
+			if v := view.Var("", *iName); v.Kind == query.KInt {
+				idx[*iName] = int(v.I)
 			}
-			if v, ok := lookupInt(fr, *jName); ok {
-				idx[*jName] = int(v)
+			if v := view.Var("", *jName); v.Kind == query.KInt {
+				idx[*jName] = int(v.I)
 			}
-			sf, st := -1, -1
+			sf, st2 := -1, -1
 			if i, ok := idx[*iName]; ok {
 				if *sortedFrom {
 					sf = i
 				}
 				if *sortedTo {
-					st = i
+					st2 = i
 				}
 			}
-			_, line := tracker.Position()
-			doc := viz.ArraySVG(arr, viz.ArrayViewOptions{
-				Title:      fmt.Sprintf("%s — line %d", prog, line),
-				Indices:    idx,
-				SortedFrom: sf,
-				SortedTo:   st,
-			})
-			img++
-			check(os.WriteFile(filepath.Join(*outDir,
-				fmt.Sprintf("array-%03d.svg", img)), []byte(doc), 0o644))
+			if arr := findArray(st, *arrName); arr != nil {
+				doc := viz.ArraySVG(arr, viz.ArrayViewOptions{
+					Title:      fmt.Sprintf("%s — line %d", prog, line),
+					Indices:    idx,
+					SortedFrom: sf,
+					SortedTo:   st2,
+				})
+				img++
+				check(os.WriteFile(filepath.Join(*outDir,
+					fmt.Sprintf("array-%03d.svg", img)), []byte(doc), 0o644))
+			}
 		}
 		check(tracker.Step())
 		if img >= *maxImgs {
@@ -124,36 +153,43 @@ func main() {
 	fmt.Printf("wrote %d array views to %s\n", img, *outDir)
 }
 
-// lookupList finds a list-valued variable in the frame chain.
-func lookupList(fr *easytracker.Frame, name string) *easytracker.Value {
-	for f := fr; f != nil; f = f.Parent {
+// funcName reads the innermost frame's function for the query view.
+func funcName(st *easytracker.State) string {
+	if st != nil && st.Frame != nil {
+		return st.Frame.Name
+	}
+	return ""
+}
+
+// findArray extracts the list value to render. The query engine decides
+// *whether* to render (Scalars carry only a list's length); this walks the
+// same scopes — frame chain, then globals — for the full value.
+func findArray(st *easytracker.State, name string) *easytracker.Value {
+	deref := func(v *easytracker.Value) *easytracker.Value {
+		if v != nil && v.Kind == easytracker.Ref {
+			v = v.Deref()
+		}
+		if v != nil && v.Kind == easytracker.List {
+			return v
+		}
+		return nil
+	}
+	if st == nil {
+		return nil
+	}
+	for f := st.Frame; f != nil; f = f.Parent {
 		if v := f.Lookup(name); v != nil {
-			val := v.Value
-			if val.Kind == easytracker.Ref {
-				val = val.Deref()
-			}
-			if val != nil && val.Kind == easytracker.List {
+			if val := deref(v.Value); val != nil {
 				return val
 			}
 		}
 	}
-	return nil
-}
-
-func lookupInt(fr *easytracker.Frame, name string) (int64, bool) {
-	for f := fr; f != nil; f = f.Parent {
-		if v := f.Lookup(name); v != nil {
-			val := v.Value
-			if val.Kind == easytracker.Ref {
-				val = val.Deref()
-			}
-			if val == nil {
-				return 0, false
-			}
-			return val.Int()
+	for _, g := range st.Globals {
+		if g.Name == name {
+			return deref(g.Value)
 		}
 	}
-	return 0, false
+	return nil
 }
 
 // printStats dumps the tracker's instrument snapshot to stderr, keeping

@@ -7,6 +7,7 @@
 //
 //	et-trace record [-track FUNC] [-watch VAR] [-o OUT.trace] PROGRAM.{py,c}
 //	et-trace replay TRACE [-at N]
+//	et-trace query 'EXPR [| count [by FIELD]]' TRACE
 //	et-trace stats TRACE
 package main
 
@@ -21,6 +22,7 @@ import (
 
 	"easytracker"
 	"easytracker/internal/pt"
+	"easytracker/internal/query"
 	"easytracker/internal/tracetracker"
 )
 
@@ -52,6 +54,8 @@ func main() {
 		record(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "query":
+		runQuery(os.Args[2:])
 	case "stats":
 		stats(os.Args[2:])
 	case "html":
@@ -62,7 +66,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: et-trace record|replay|stats ...")
+	fmt.Fprintln(os.Stderr, "usage: et-trace record|replay|query|stats ...")
 	os.Exit(2)
 }
 
@@ -165,6 +169,91 @@ func replay(args []string) {
 	code, _ := tracker.ExitCode()
 	fmt.Printf("replay finished after %d steps, exit %d\nprogram output:\n%s",
 		step, code, tracker.Stdout())
+}
+
+// runQuery streams a recorded trace through the query engine: every step
+// becomes an event view, the expression compiles once, and matching steps
+// print (or aggregate, with `| count [by FIELD]`) without ever loading the
+// trace into a tracker.
+func runQuery(args []string) {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: et-trace query 'EXPR [| count [by FIELD]]' TRACE")
+		os.Exit(2)
+	}
+	q, err := query.ParseQuery(args[0])
+	check(err)
+	data, err := os.ReadFile(args[1])
+	check(err)
+	trace, err := pt.Decode(data)
+	check(err)
+
+	matched := 0
+	counts := map[string]int{}
+	var order []string
+	for i, s := range trace.Steps {
+		view := query.StateView{
+			EventName: queryEvent(s.Event),
+			LineNo:    s.Line,
+			FileName:  trace.File,
+			FuncName:  s.Func,
+			State:     s.State,
+		}
+		if q.Filter != nil && !q.Filter.Match(&view) {
+			continue
+		}
+		matched++
+		if q.Count {
+			if q.By != "" {
+				k := fieldValue(&view, q.By)
+				if _, seen := counts[k]; !seen {
+					order = append(order, k)
+				}
+				counts[k]++
+			}
+			continue
+		}
+		fmt.Printf("step %-5d line %-4d %-8s %s\n", i, s.Line, s.Event, s.Func)
+	}
+	switch {
+	case q.Count && q.By != "":
+		for _, k := range order {
+			fmt.Printf("%-20s %d\n", k, counts[k])
+		}
+	case q.Count:
+		fmt.Println(matched)
+	default:
+		fmt.Printf("%d of %d steps matched\n", matched, len(trace.Steps))
+	}
+}
+
+// queryEvent maps a trace event name onto the query event vocabulary
+// (step_line and the bookkeeping events evaluate as "line").
+func queryEvent(ev string) string {
+	switch ev {
+	case "call":
+		return query.EventCall
+	case "return":
+		return query.EventReturn
+	default:
+		return query.EventLine
+	}
+}
+
+// fieldValue renders one typed field for `count by FIELD` bucketing.
+func fieldValue(v *query.StateView, field string) string {
+	switch field {
+	case "line":
+		return fmt.Sprintf("%d", v.Line())
+	case "depth":
+		return fmt.Sprintf("%d", v.Depth())
+	case "event":
+		return v.Event()
+	case "function":
+		return v.Function()
+	case "file":
+		return v.File()
+	}
+	return ""
 }
 
 func stats(args []string) {

@@ -153,6 +153,16 @@ var (
 	WithASTInterpreter = core.WithASTInterpreter
 	// WithMaxDepth restricts a breakpoint to frame depths below d.
 	WithMaxDepth = core.WithMaxDepth
+	// When makes a probe conditional: it fires only when the query
+	// expression (see internal/query; e.g. `n > 10 && depth < 5`)
+	// evaluates true at the probe site. Alias of WithCondition.
+	When = core.WithCondition
+	// WithCondition makes a probe conditional on a query expression.
+	WithCondition = core.WithCondition
+	// WithIgnoreHits skips the first n matching hits of a probe.
+	WithIgnoreHits = core.WithIgnoreHits
+	// WithOneShot disarms a probe after its first report.
+	WithOneShot = core.WithOneShot
 	// WithCommandTimeout bounds every debugger round trip (MiniGDB
 	// tracker): a command with no complete response within the deadline
 	// fails with ErrCommandTimeout and the session layer restarts the
@@ -202,7 +212,56 @@ type (
 	// running inferior to pause. Both live trackers implement it; so does
 	// AsyncTracker.
 	Interrupter = core.Interrupter
+	// ConditionalBreaker is the capability interface of trackers that
+	// evaluate probe conditions at the probe site (Capabilities(tr)
+	// .ConditionalBreak).
+	ConditionalBreaker = core.ConditionalBreaker
 )
+
+// Probes: the unified arming surface. Every breakpoint, watchpoint and
+// tracked function is one Probe — a kind, a target and a shared option set
+// (condition, ignore count, one-shot, maxdepth) — armed with Tracker.Arm.
+// BreakBeforeLine/BreakBeforeFunc/TrackFunction/Watch remain as thin
+// wrappers over the corresponding probe constructors.
+type (
+	// Probe is one typed arming request.
+	Probe = core.Probe
+	// ProbeKind discriminates line/function/watch/track probes.
+	ProbeKind = core.ProbeKind
+)
+
+// Probe kinds.
+const (
+	ProbeLine  = core.ProbeLine
+	ProbeFunc  = core.ProbeFunc
+	ProbeWatch = core.ProbeWatch
+	ProbeTrack = core.ProbeTrack
+)
+
+// Probe constructors.
+var (
+	// LineProbe builds a line-breakpoint probe for Arm.
+	LineProbe = core.LineProbe
+	// FuncProbe builds a function-breakpoint probe for Arm.
+	FuncProbe = core.FuncProbe
+	// WatchProbe builds a watchpoint probe for Arm.
+	WatchProbe = core.WatchProbe
+	// TrackProbe builds a function-tracking probe for Arm.
+	TrackProbe = core.TrackProbe
+)
+
+// WatchWhen arms a conditional watchpoint: the watch reports a mutation of
+// varID only while expr holds at the mutation site.
+func WatchWhen(tr Tracker, varID, expr string) error {
+	return tr.Arm(core.WatchProbe(varID, core.WithCondition(expr)))
+}
+
+// TrackWhen arms conditional function tracking: entries and exits of name
+// report only while expr holds (`event == "call"` / `event == "return"`
+// distinguish the two sites).
+func TrackWhen(tr Tracker, name, expr string) error {
+	return tr.Arm(core.TrackProbe(name, core.WithCondition(expr)))
+}
 
 // Interrupt asks tr's running inferior to pause at the next opportunity,
 // reporting whether tr supports interruption. Safe to call from any
@@ -239,6 +298,9 @@ var (
 	ErrUnknownFunction = core.ErrUnknownFunction
 	ErrBadLine         = core.ErrBadLine
 	ErrUnsupported     = core.ErrUnsupported
+	// ErrBadQuery classifies a probe condition or trace query that failed
+	// to lex, parse or type-check; the wrapping error quotes the position.
+	ErrBadQuery = core.ErrBadQuery
 	// ErrCommandTimeout and ErrSessionLost classify debugger session
 	// failures (hung command, crashed or corrupted connection).
 	ErrCommandTimeout = core.ErrCommandTimeout

@@ -36,8 +36,9 @@ func (f *fakeTracker) BreakBeforeLine(string, int, ...BreakOption) error {
 	return nil
 }
 func (f *fakeTracker) BreakBeforeFunc(string, ...BreakOption) error { return nil }
-func (f *fakeTracker) TrackFunction(string) error                   { return nil }
-func (f *fakeTracker) Watch(string) error                           { return nil }
+func (f *fakeTracker) TrackFunction(string, ...BreakOption) error   { return nil }
+func (f *fakeTracker) Watch(string, ...BreakOption) error           { return nil }
+func (f *fakeTracker) Arm(Probe) error                              { return nil }
 func (f *fakeTracker) PauseReason() PauseReason {
 	if f.steps >= f.maxSteps {
 		return PauseReason{Type: PauseExited}

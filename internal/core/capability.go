@@ -49,6 +49,9 @@ type CapabilitySet struct {
 	// Interrupt: the tracker implements Interrupter (runs can be paused
 	// from another goroutine).
 	Interrupt bool
+	// ConditionalBreak: the tracker implements ConditionalBreaker (probe
+	// conditions are evaluated inferior-side before pausing).
+	ConditionalBreak bool
 }
 
 // CapabilitiesOf probes tr (and anything it wraps) for the extension
@@ -61,6 +64,7 @@ func CapabilitiesOf(tr Tracker) CapabilitySet {
 	_, c.State = As[StateProvider](tr)
 	_, c.Stats = As[StatsProvider](tr)
 	_, c.Interrupt = As[Interrupter](tr)
+	_, c.ConditionalBreak = As[ConditionalBreaker](tr)
 	return c
 }
 

@@ -13,8 +13,9 @@ func (stubTracker) Next() error                                       { return n
 func (stubTracker) Terminate() error                                  { return nil }
 func (stubTracker) BreakBeforeLine(string, int, ...BreakOption) error { return nil }
 func (stubTracker) BreakBeforeFunc(string, ...BreakOption) error      { return nil }
-func (stubTracker) TrackFunction(string) error                        { return nil }
-func (stubTracker) Watch(string) error                                { return nil }
+func (stubTracker) TrackFunction(string, ...BreakOption) error        { return nil }
+func (stubTracker) Watch(string, ...BreakOption) error                { return nil }
+func (stubTracker) Arm(Probe) error                                   { return nil }
 func (stubTracker) PauseReason() PauseReason                          { return PauseReason{} }
 func (stubTracker) ExitCode() (int, bool)                             { return 0, false }
 func (stubTracker) CurrentFrame() (*Frame, error)                     { return nil, nil }

@@ -26,6 +26,7 @@ var errorCodes = []struct {
 	{"unknown_function", ErrUnknownFunction},
 	{"bad_line", ErrBadLine},
 	{"unsupported", ErrUnsupported},
+	{"bad_query", ErrBadQuery},
 	{"command_timeout", ErrCommandTimeout},
 	{"session_lost", ErrSessionLost},
 	{"inferior_crash", ErrInferiorCrash},

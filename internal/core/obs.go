@@ -94,6 +94,7 @@ const (
 	CtrRemoteSessions   = "remote.sessions_opened"  // sessions ever admitted
 	CtrRemoteEvictions  = "remote.sessions_evicted" // idle sessions evicted
 	CtrRemoteRefusals   = "remote.sessions_refused" // hellos refused (full/draining)
+	CtrRemoteFiltered   = "remote.pauses_filtered"  // pauses swallowed by a subscription
 	GaugeRemoteSessions = "remote.sessions_active"  // live sessions
 )
 

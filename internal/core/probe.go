@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// This file defines the unified probe model: one typed arming surface for
+// the four pause-producing mechanisms (line breakpoint, function
+// breakpoint, watchpoint, tracked function). Historically each mechanism
+// had its own method with its own option set — BreakBeforeLine took
+// options, Watch took none. A Probe gives all four the same shape and the
+// same option set (BreakConfig: maxdepth, condition, ignore count,
+// one-shot), and Tracker.Arm installs any of them. The legacy methods
+// remain as thin wrappers over Arm.
+
+// ProbeKind discriminates the probe target.
+type ProbeKind int
+
+const (
+	// ProbeLine pauses just before a source line executes.
+	ProbeLine ProbeKind = iota
+	// ProbeFunc pauses just before a function body runs, with arguments
+	// bound and inspectable.
+	ProbeFunc
+	// ProbeWatch pauses when a watched variable is modified.
+	ProbeWatch
+	// ProbeTrack pauses at every entry and exit of a function.
+	ProbeTrack
+)
+
+// String names the probe kind.
+func (k ProbeKind) String() string {
+	switch k {
+	case ProbeLine:
+		return "line"
+	case ProbeFunc:
+		return "func"
+	case ProbeWatch:
+		return "watch"
+	case ProbeTrack:
+		return "track"
+	default:
+		return "ProbeKind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Probe is one typed arming request: a target (what to pause on) plus the
+// shared BreakConfig (when to actually pause).
+type Probe struct {
+	// Kind selects the target fields below.
+	Kind ProbeKind
+	// File and Line locate a ProbeLine target ("" file = main file).
+	File string
+	Line int
+	// Function names a ProbeFunc or ProbeTrack target.
+	Function string
+	// VarID identifies a ProbeWatch target ("name", "func:name" or
+	// "::name").
+	VarID string
+	// BreakConfig is the shared option set: maxdepth, condition, ignore
+	// count, one-shot.
+	BreakConfig
+}
+
+// LineProbe builds a line-breakpoint probe.
+func LineProbe(file string, line int, opts ...BreakOption) Probe {
+	return Probe{Kind: ProbeLine, File: file, Line: line, BreakConfig: ApplyBreakOptions(opts)}
+}
+
+// FuncProbe builds a function-breakpoint probe.
+func FuncProbe(name string, opts ...BreakOption) Probe {
+	return Probe{Kind: ProbeFunc, Function: name, BreakConfig: ApplyBreakOptions(opts)}
+}
+
+// WatchProbe builds a watchpoint probe.
+func WatchProbe(varID string, opts ...BreakOption) Probe {
+	return Probe{Kind: ProbeWatch, VarID: varID, BreakConfig: ApplyBreakOptions(opts)}
+}
+
+// TrackProbe builds a function-tracking probe.
+func TrackProbe(name string, opts ...BreakOption) Probe {
+	return Probe{Kind: ProbeTrack, Function: name, BreakConfig: ApplyBreakOptions(opts)}
+}
+
+// Op returns the legacy method name behind this probe kind, used as the Op
+// of TrackerErrors so error transcripts are identical whichever surface
+// armed the probe.
+func (p Probe) Op() string {
+	switch p.Kind {
+	case ProbeLine:
+		return "BreakBeforeLine"
+	case ProbeFunc:
+		return "BreakBeforeFunc"
+	case ProbeWatch:
+		return "Watch"
+	default:
+		return "TrackFunction"
+	}
+}
+
+// String renders the probe for journals and lost-item reports.
+func (p Probe) String() string {
+	var s string
+	switch p.Kind {
+	case ProbeLine:
+		if p.File != "" {
+			s = fmt.Sprintf("breakpoint %s:%d", p.File, p.Line)
+		} else {
+			s = fmt.Sprintf("breakpoint at line %d", p.Line)
+		}
+	case ProbeFunc:
+		s = "breakpoint on " + p.Function
+	case ProbeWatch:
+		s = "watchpoint on " + p.VarID
+	default:
+		s = "tracked function " + p.Function
+	}
+	if p.Condition != "" {
+		s += " when " + p.Condition
+	}
+	return s
+}
+
+// ConditionalBreaker is the capability interface of trackers that evaluate
+// probe conditions (WithCondition / easytracker.When) inferior-side: a
+// non-matching hit resumes transparently instead of pausing. All built-in
+// trackers implement it; the remote client gates it on the backend's
+// advertised capability set.
+type ConditionalBreaker interface {
+	// ConditionalProbes reports whether probe conditions are evaluated
+	// before pausing.
+	ConditionalProbes() bool
+}

@@ -31,6 +31,11 @@ var (
 	// ErrUnsupported is returned by tracker-specific extensions invoked
 	// on a tracker that does not provide them.
 	ErrUnsupported = errors.New("easytracker: operation not supported by this tracker")
+	// ErrBadQuery is returned by probe-arming calls whose WithCondition
+	// expression fails to compile or type-check, and by trace-query tools
+	// for a malformed query. The wrapped error carries the position and
+	// cause of the compile failure.
+	ErrBadQuery = errors.New("easytracker: invalid query expression")
 )
 
 // LoadConfig carries the options of LoadProgram.
@@ -117,20 +122,52 @@ func ApplyLoadOptions(opts []LoadOption) LoadConfig {
 	return c
 }
 
-// BreakConfig carries the options of the breakpoint-placing calls.
+// BreakConfig carries the options of the probe-arming calls. Every probe
+// kind — line and function breakpoints, watchpoints, tracked functions —
+// accepts the same option set (the unified Probe surface).
 type BreakConfig struct {
 	// MaxDepth, when positive, restricts the breakpoint to fire only when
 	// the current frame depth (entry frame = depth 0) is strictly below
 	// the given value — the paper's maxdepth semantic.
 	MaxDepth int
+	// Condition is a query-language expression (internal/query, e.g.
+	// `x > 10 && function == "fib"`) evaluated on every candidate hit;
+	// the probe pauses only when the condition matches. The empty string
+	// is the always-true condition. A condition that fails to compile
+	// surfaces as ErrBadQuery from the arming call.
+	Condition string
+	// IgnoreHits suppresses the first n hits that pass the condition
+	// (GDB's ignore count).
+	IgnoreHits int
+	// OneShot disarms the probe after its first reported hit (GDB's
+	// temporary breakpoint).
+	OneShot bool
 }
 
-// BreakOption customizes BreakBeforeLine and BreakBeforeFunc.
+// BreakOption customizes probe placement (BreakBeforeLine, BreakBeforeFunc,
+// TrackFunction, Watch, and Arm).
 type BreakOption func(*BreakConfig)
 
 // WithMaxDepth restricts a breakpoint to frame depths below d.
 func WithMaxDepth(d int) BreakOption {
 	return func(c *BreakConfig) { c.MaxDepth = d }
+}
+
+// WithCondition attaches a query-language condition to a probe: the probe
+// pauses the inferior only on hits where expr evaluates to true. The public
+// facade re-exports this as easytracker.When.
+func WithCondition(expr string) BreakOption {
+	return func(c *BreakConfig) { c.Condition = expr }
+}
+
+// WithIgnoreHits suppresses the first n condition-passing hits of a probe.
+func WithIgnoreHits(n int) BreakOption {
+	return func(c *BreakConfig) { c.IgnoreHits = n }
+}
+
+// WithOneShot disarms the probe after its first reported hit.
+func WithOneShot() BreakOption {
+	return func(c *BreakConfig) { c.OneShot = true }
 }
 
 // ApplyBreakOptions folds opts into a BreakConfig.
@@ -164,20 +201,30 @@ type Tracker interface {
 	// It is safe to call after the inferior exited on its own.
 	Terminate() error
 
+	// Arm installs one probe — the unified arming surface behind the
+	// four convenience methods below. Every probe kind accepts the same
+	// option set: maxdepth, a query-language condition, an ignore count
+	// and one-shot disarming.
+	Arm(p Probe) error
+
 	// BreakBeforeLine pauses the inferior just before the given source
 	// line executes. The empty file means the main program file.
+	// Equivalent to Arm(LineProbe(file, line, opts...)).
 	BreakBeforeLine(file string, line int, opts ...BreakOption) error
 	// BreakBeforeFunc pauses the inferior just before the named function
 	// begins executing, with arguments initialized and inspectable.
+	// Equivalent to Arm(FuncProbe(name, opts...)).
 	BreakBeforeFunc(name string, opts ...BreakOption) error
 	// TrackFunction pauses the inferior at the beginning (just after
 	// entering) and at the end (just before returning) of every
 	// execution of the named function.
-	TrackFunction(name string) error
+	// Equivalent to Arm(TrackProbe(name, opts...)).
+	TrackFunction(name string, opts ...BreakOption) error
 	// Watch pauses the inferior every time the variable identified by
 	// varID is modified. Identifiers are "name" (searched in the current
 	// scope chain), "func:name" (local of func) or "::name" (global).
-	Watch(varID string) error
+	// Equivalent to Arm(WatchProbe(varID, opts...)).
+	Watch(varID string, opts ...BreakOption) error
 
 	// PauseReason reports why the inferior is currently paused.
 	PauseReason() PauseReason

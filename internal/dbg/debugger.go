@@ -114,6 +114,15 @@ type Breakpoint struct {
 	Internal bool
 	// Temporary breakpoints are removed after the first hit.
 	Temporary bool
+	// Cond, when non-nil, gates reporting: a hit whose condition
+	// evaluates false resumes silently, through the same filter as
+	// maxdepth. The closure is installed by the session layer (which owns
+	// expression compilation and evaluation); the debugger stays
+	// expression-agnostic.
+	Cond func() bool
+	// IgnoreLeft suppresses that many condition-passing hits before the
+	// breakpoint reports.
+	IgnoreLeft int
 }
 
 // Watchpoint is an armed data watchpoint.
@@ -124,7 +133,12 @@ type Watchpoint struct {
 	Size uint64
 	// Internal watchpoints are consumed by trackers, not reported.
 	Internal bool
-	vmID     int
+	// Cond and IgnoreLeft gate reporting like their Breakpoint
+	// counterparts: a false condition or an unconsumed ignore credit
+	// resumes silently.
+	Cond       func() bool
+	IgnoreLeft int
+	vmID       int
 }
 
 // ErrNotStarted is returned by control calls before Start.
@@ -516,6 +530,9 @@ func (d *Debugger) Continue(onInternal func(*Watchpoint, *vm.WatchHit)) (Stop, e
 				}
 				continue
 			}
+			if !d.reportableWatch(w) {
+				continue
+			}
 			d.lastStop = d.locate(Stop{Reason: StopWatch, Watch: &WatchStop{
 				ID: w.ID, Name: w.Name, Addr: w.Addr, Size: w.Size,
 				Old: stop.Watch.Old, New: stop.Watch.New,
@@ -566,9 +583,29 @@ func (d *Debugger) reportableBP() *Breakpoint {
 				continue
 			}
 		}
+		if bp.Cond != nil && !bp.Cond() {
+			continue
+		}
+		if bp.IgnoreLeft > 0 {
+			bp.IgnoreLeft--
+			continue
+		}
 		return bp
 	}
 	return nil
+}
+
+// reportableWatch applies condition and ignore filtering to a non-internal
+// watchpoint hit; false means resume silently.
+func (d *Debugger) reportableWatch(w *Watchpoint) bool {
+	if w.Cond != nil && !w.Cond() {
+		return false
+	}
+	if w.IgnoreLeft > 0 {
+		w.IgnoreLeft--
+		return false
+	}
+	return true
 }
 
 // StepLine executes until a different source line is reached, entering
@@ -635,7 +672,7 @@ func (d *Debugger) stepCore(over bool, onInternal func(*Watchpoint, *vm.WatchHit
 				}
 				continue
 			}
-			if w == nil {
+			if w == nil || !d.reportableWatch(w) {
 				continue
 			}
 			d.lastStop = d.locate(Stop{Reason: StopWatch, Watch: &WatchStop{

@@ -1,0 +1,250 @@
+package gdbtracker
+
+import (
+	"errors"
+	"testing"
+
+	"easytracker/internal/core"
+)
+
+// Conditional-probe semantics on the GDB-style tracker: conditions are
+// pre-validated client-side, rendered as `-break-insert -c` flags over the
+// MI wire, and evaluated by the VM-side debugger against the paused frame.
+
+// derefInt unwraps a possibly-ref variable value to its integer payload.
+func derefInt(v *core.Value) (int64, bool) {
+	if v == nil {
+		return 0, false
+	}
+	if d := v.Deref(); d != nil {
+		v = d
+	}
+	return v.Int()
+}
+
+func TestConditionalLineBreak(t *testing.T) {
+	tr := start(t, fibC)
+	if err := tr.BreakBeforeLine("", 2, core.WithCondition("n == 2")); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if err := tr.Resume(); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		hits++
+		fr, err := tr.CurrentFrame()
+		if err != nil {
+			t.Fatalf("frame: %v", err)
+		}
+		v := fr.Lookup("n")
+		if v == nil {
+			t.Fatal("no n at conditional pause")
+		}
+		if n, ok := derefInt(v.Value); !ok || n != 2 {
+			t.Errorf("paused with n = %d (ok=%v), want 2", n, ok)
+		}
+	}
+	// fib(4) reaches fib(2) exactly twice.
+	if hits != 2 {
+		t.Errorf("hits = %d, want 2", hits)
+	}
+}
+
+func TestConditionalFuncBreak(t *testing.T) {
+	tr := start(t, fibC)
+	if err := tr.BreakBeforeFunc("fib", core.WithCondition("n == 1")); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if err := tr.Resume(); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		hits++
+		fr, _ := tr.CurrentFrame()
+		if v := fr.Lookup("n"); v != nil {
+			if n, ok := derefInt(v.Value); !ok || n != 1 {
+				t.Errorf("paused with n = %d (ok=%v), want 1", n, ok)
+			}
+		}
+	}
+	// fib(4) calls fib(1) exactly three times.
+	if hits != 3 {
+		t.Errorf("hits = %d, want 3", hits)
+	}
+}
+
+func TestConditionalBreakBadQuery(t *testing.T) {
+	tr := start(t, fibC)
+	err := tr.BreakBeforeLine("", 2, core.WithCondition("n =="))
+	if err == nil {
+		t.Fatal("expected error for bad condition")
+	}
+	if !errors.Is(err, core.ErrBadQuery) {
+		t.Errorf("error %v does not unwrap to ErrBadQuery", err)
+	}
+	var te *core.TrackerError
+	if !errors.As(err, &te) || te.Op != "BreakBeforeLine" {
+		t.Errorf("error %v is not a TrackerError for BreakBeforeLine", err)
+	}
+}
+
+func TestConditionalIgnoreHits(t *testing.T) {
+	tr := start(t, fibC)
+	if err := tr.BreakBeforeLine("", 2, core.WithIgnoreHits(3)); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if err := tr.Resume(); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		hits++
+	}
+	// fib is entered 9 times for fib(4); the first 3 line-2 hits are eaten.
+	if hits != 6 {
+		t.Errorf("hits = %d, want 6", hits)
+	}
+}
+
+func TestConditionalOneShot(t *testing.T) {
+	tr := start(t, fibC)
+	if err := tr.BreakBeforeLine("", 2, core.WithOneShot()); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if err := tr.Resume(); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		hits++
+	}
+	if hits != 1 {
+		t.Errorf("hits = %d, want 1 (one-shot)", hits)
+	}
+}
+
+func TestConditionalTrackEventFilter(t *testing.T) {
+	tr := start(t, fibC)
+	if err := tr.TrackFunction("fib", core.WithCondition(`event == "return"`)); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+	calls, rets := 0, 0
+	for i := 0; i < 1000; i++ {
+		if err := tr.Resume(); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		switch tr.PauseReason().Type {
+		case core.PauseCall:
+			calls++
+		case core.PauseReturn:
+			rets++
+		}
+	}
+	if calls != 0 {
+		t.Errorf("calls = %d, want 0 (condition selects returns only)", calls)
+	}
+	if rets != 9 {
+		t.Errorf("returns = %d, want 9", rets)
+	}
+}
+
+// TestConditionalWatch pins the write-trap semantics: the VM watchpoint
+// fires per write, so a gated write resumes silently and the next reported
+// hit carries that write's own old/new pair (unlike MiniPy's polling watch,
+// whose reference snapshot freezes while gated).
+func TestConditionalWatch(t *testing.T) {
+	src := `int count = 0;
+int main() {
+    for (int i = 0; i < 3; i++) {
+        count += 5;
+    }
+    return 0;
+}`
+	tr := start(t, src)
+	if err := tr.Watch("::count", core.WithCondition("count > 5")); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+	var transitions []string
+	for i := 0; i < 1000; i++ {
+		if err := tr.Resume(); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		r := tr.PauseReason()
+		if r.Type != core.PauseWatch || r.Variable != "::count" {
+			t.Fatalf("pause = %v", r)
+		}
+		transitions = append(transitions, r.Old.String()+"->"+r.New.String())
+	}
+	// Writes are 0->5, 5->10, 10->15; the first is outside the window.
+	want := []string{"5->10", "10->15"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Errorf("transition %d = %s, want %s", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestOneShotWatchUnsupported(t *testing.T) {
+	tr := start(t, fibC)
+	err := tr.Watch("::count", core.WithOneShot())
+	if err == nil {
+		t.Fatal("expected error: MI -break-watch has no one-shot form")
+	}
+	if !errors.Is(err, core.ErrUnsupported) {
+		t.Errorf("error %v does not unwrap to ErrUnsupported", err)
+	}
+}
+
+func TestArmUnifiedSurface(t *testing.T) {
+	tr := start(t, fibC)
+	if err := tr.Arm(core.LineProbe("", 2, core.WithCondition("n == 0"))); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		if err := tr.Resume(); err != nil {
+			t.Fatalf("resume: %v", err)
+		}
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		hits++
+	}
+	if hits != 2 {
+		t.Errorf("hits = %d, want 2 (fib(0) is reached twice)", hits)
+	}
+	if err := tr.Arm(core.Probe{Kind: core.ProbeKind(99)}); !errors.Is(err, core.ErrUnsupported) {
+		t.Errorf("unknown probe kind: err = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestConditionalCapability(t *testing.T) {
+	tr := New()
+	caps := core.CapabilitiesOf(tr)
+	if !caps.ConditionalBreak {
+		t.Error("GDB tracker should advertise ConditionalBreak")
+	}
+}

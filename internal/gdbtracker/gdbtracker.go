@@ -31,6 +31,7 @@ import (
 	"easytracker/internal/mi"
 	"easytracker/internal/minic"
 	"easytracker/internal/obs"
+	"easytracker/internal/query"
 )
 
 // Kind is the tracker registry name.
@@ -64,7 +65,7 @@ type Tracker struct {
 
 	// journal records every arming operation (breakpoints, tracked
 	// functions, watchpoints) so a recovered session can replay them.
-	journal []armRecord
+	journal []core.Probe
 	// recovered marks the one-shot automatic recovery as spent;
 	// recovering suppresses nested recovery while the journal replays;
 	// dead retires the session after recovery failed.
@@ -542,34 +543,85 @@ func (t *Tracker) Terminate() error {
 	return nil
 }
 
-// BreakBeforeLine arms a line breakpoint.
-func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
+// Arm registers any probe kind — the unified arming surface behind the
+// four convenience methods. Conditions are compiled client-side first so a
+// bad expression fails with a typed ErrBadQuery before anything crosses the
+// MI pipe; the server compiles its own copy at insert time and evaluates it
+// inside the debugger's stop filter, so non-matching hits never pay an MI
+// round trip.
+func (t *Tracker) Arm(p core.Probe) error {
+	op := p.Op()
 	if !t.loaded {
-		return t.werr("BreakBeforeLine", core.ErrNoProgram)
+		return t.werr(op, core.ErrNoProgram)
 	}
 	if t.dead {
-		return t.sessionDead("BreakBeforeLine")
+		return t.sessionDead(op)
 	}
-	bc := core.ApplyBreakOptions(opts)
+	if p.Condition != "" {
+		if _, err := query.Compile(p.Condition); err != nil {
+			return t.werr(op, err)
+		}
+	}
 	if err := t.ensureRunning(); err != nil {
-		return t.werr("BreakBeforeLine", err)
+		return t.werr(op, err)
 	}
-	if err := t.armBreakLine(line, bc.MaxDepth); err != nil {
-		return t.werr("BreakBeforeLine", err)
+	if err := t.armProbe(p); err != nil {
+		return t.werr(op, err)
 	}
-	t.journal = append(t.journal, armRecord{kind: armBreakLine, file: file, line: line, maxDepth: bc.MaxDepth})
+	t.journal = append(t.journal, p)
 	t.obs.Gauge(core.GaugeJournalSize).Set(int64(len(t.journal)))
 	return nil
 }
 
-// armBreakLine performs the line-breakpoint insertion (also used by the
+// ConditionalProbes advertises the ConditionalBreaker capability.
+func (t *Tracker) ConditionalProbes() bool { return true }
+
+// armProbe performs the MI insertion for one probe (also used by the
 // session journal replay).
-func (t *Tracker) armBreakLine(line, maxDepth int) error {
-	args := []string{}
-	if maxDepth > 0 {
-		args = append(args, "--maxdepth", strconv.Itoa(maxDepth))
+func (t *Tracker) armProbe(p core.Probe) error {
+	switch p.Kind {
+	case core.ProbeLine:
+		return t.armBreakLine(p.Line, p.BreakConfig)
+	case core.ProbeFunc:
+		return t.armBreakFunc(p.Function, p.BreakConfig)
+	case core.ProbeTrack:
+		return t.armTrack(p.Function, p.BreakConfig)
+	case core.ProbeWatch:
+		return t.armWatch(p.VarID, p.BreakConfig)
+	default:
+		return core.ErrUnsupported
 	}
-	args = append(args, strconv.Itoa(line))
+}
+
+// breakArgs renders the shared BreakConfig flags of -break-insert. The
+// condition crosses the pipe as one quoted argument (the MI client quotes
+// every argument containing spaces).
+func breakArgs(bc core.BreakConfig) []string {
+	var args []string
+	if bc.OneShot {
+		args = append(args, "-t")
+	}
+	if bc.Condition != "" {
+		args = append(args, "-c", bc.Condition)
+	}
+	if bc.IgnoreHits > 0 {
+		args = append(args, "-i", strconv.Itoa(bc.IgnoreHits))
+	}
+	if bc.MaxDepth > 0 {
+		args = append(args, "--maxdepth", strconv.Itoa(bc.MaxDepth))
+	}
+	return args
+}
+
+// BreakBeforeLine arms a line breakpoint. Equivalent to
+// Arm(core.LineProbe(file, line, opts...)).
+func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
+	return t.Arm(core.LineProbe(file, line, opts...))
+}
+
+// armBreakLine performs the line-breakpoint insertion.
+func (t *Tracker) armBreakLine(line int, bc core.BreakConfig) error {
+	args := append(breakArgs(bc), strconv.Itoa(line))
 	resp, err := t.send("-break-insert", args...)
 	if err != nil {
 		if strings.Contains(err.Error(), "no code at line") {
@@ -582,33 +634,14 @@ func (t *Tracker) armBreakLine(line, maxDepth int) error {
 }
 
 // BreakBeforeFunc arms a function breakpoint (fires with arguments stored).
+// Equivalent to Arm(core.FuncProbe(name, opts...)).
 func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
-	if !t.loaded {
-		return t.werr("BreakBeforeFunc", core.ErrNoProgram)
-	}
-	if t.dead {
-		return t.sessionDead("BreakBeforeFunc")
-	}
-	bc := core.ApplyBreakOptions(opts)
-	if err := t.ensureRunning(); err != nil {
-		return t.werr("BreakBeforeFunc", err)
-	}
-	if err := t.armBreakFunc(name, bc.MaxDepth); err != nil {
-		return t.werr("BreakBeforeFunc", err)
-	}
-	t.journal = append(t.journal, armRecord{kind: armBreakFunc, fn: name, maxDepth: bc.MaxDepth})
-	t.obs.Gauge(core.GaugeJournalSize).Set(int64(len(t.journal)))
-	return nil
+	return t.Arm(core.FuncProbe(name, opts...))
 }
 
-// armBreakFunc performs the function-breakpoint insertion (also used by the
-// session journal replay).
-func (t *Tracker) armBreakFunc(name string, maxDepth int) error {
-	args := []string{}
-	if maxDepth > 0 {
-		args = append(args, "--maxdepth", strconv.Itoa(maxDepth))
-	}
-	args = append(args, "--function", name)
+// armBreakFunc performs the function-breakpoint insertion.
+func (t *Tracker) armBreakFunc(name string, bc core.BreakConfig) error {
+	args := append(breakArgs(bc), "--function", name)
 	resp, err := t.send("-break-insert", args...)
 	if err != nil {
 		if strings.Contains(err.Error(), "no function") {
@@ -623,29 +656,18 @@ func (t *Tracker) armBreakFunc(name string, maxDepth int) error {
 // TrackFunction arms entry and exit pauses for every execution of the named
 // function. The exit breakpoints are found exactly as in the paper: ask the
 // debugger to disassemble the function, scan for the return instruction,
-// and breakpoint its address.
-func (t *Tracker) TrackFunction(name string) error {
-	if !t.loaded {
-		return t.werr("TrackFunction", core.ErrNoProgram)
-	}
-	if t.dead {
-		return t.sessionDead("TrackFunction")
-	}
-	if err := t.ensureRunning(); err != nil {
-		return t.werr("TrackFunction", err)
-	}
-	if err := t.armTrack(name); err != nil {
-		return t.werr("TrackFunction", err)
-	}
-	t.journal = append(t.journal, armRecord{kind: armTrack, fn: name})
-	t.obs.Gauge(core.GaugeJournalSize).Set(int64(len(t.journal)))
-	return nil
+// and breakpoint its address. Equivalent to
+// Arm(core.TrackProbe(name, opts...)).
+func (t *Tracker) TrackFunction(name string, opts ...core.BreakOption) error {
+	return t.Arm(core.TrackProbe(name, opts...))
 }
 
-// armTrack performs the entry/exit breakpoint insertion of TrackFunction
-// (also used by the session journal replay).
-func (t *Tracker) armTrack(name string) error {
-	resp, err := t.send("-break-insert", "--function", name)
+// armTrack performs the entry/exit breakpoint insertion of TrackFunction. A
+// condition gates entry and exit independently; the --event flag tells the
+// server which event vocabulary the condition sees at each site.
+func (t *Tracker) armTrack(name string, bc core.BreakConfig) error {
+	args := append(breakArgs(bc), "--event", "call", "--function", name)
+	resp, err := t.send("-break-insert", args...)
 	if err != nil {
 		if strings.Contains(err.Error(), "no function") {
 			return core.ErrUnknownFunction
@@ -666,7 +688,8 @@ func (t *Tracker) armTrack(name string) error {
 			continue
 		}
 		found = true
-		bresp, err := t.send("-break-insert", "*"+tp.GetString("address"))
+		bargs := append(breakArgs(bc), "--event", "return", "*"+tp.GetString("address"))
+		bresp, err := t.send("-break-insert", bargs...)
 		if err != nil {
 			return err
 		}
@@ -681,33 +704,32 @@ func (t *Tracker) armTrack(name string) error {
 // Watch pauses whenever the identified variable is modified. Global
 // variables ("name" or "::name") can be watched any time; locals
 // ("func:name") require a live activation of the function, as with GDB.
-func (t *Tracker) Watch(varID string) error {
-	if !t.loaded {
-		return t.werr("Watch", core.ErrNoProgram)
-	}
-	if t.dead {
-		return t.sessionDead("Watch")
-	}
-	if err := t.ensureRunning(); err != nil {
-		return t.werr("Watch", err)
-	}
-	if err := t.armWatch(varID); err != nil {
-		return t.werr("Watch", err)
-	}
-	t.journal = append(t.journal, armRecord{kind: armWatch, varID: varID})
-	t.obs.Gauge(core.GaugeJournalSize).Set(int64(len(t.journal)))
-	return nil
+// Equivalent to Arm(core.WatchProbe(varID, opts...)).
+func (t *Tracker) Watch(varID string, opts ...core.BreakOption) error {
+	return t.Arm(core.WatchProbe(varID, opts...))
 }
 
-// armWatch performs the watchpoint insertion (also used by the session
-// journal replay).
-func (t *Tracker) armWatch(varID string) error {
+// armWatch performs the watchpoint insertion. The MI -break-watch command
+// has no temporary (-t) form, so a one-shot watch is rejected up front
+// rather than silently armed as persistent.
+func (t *Tracker) armWatch(varID string, bc core.BreakConfig) error {
+	if bc.OneShot {
+		return fmt.Errorf("one-shot watchpoints: %w", core.ErrUnsupported)
+	}
 	fn, name := core.SplitVarID(varID)
 	expr := name
 	if fn != "" && fn != "::" {
 		expr = fn + ":" + name
 	}
-	resp, err := t.send("-break-watch", expr)
+	var args []string
+	if bc.Condition != "" {
+		args = append(args, "-c", bc.Condition)
+	}
+	if bc.IgnoreHits > 0 {
+		args = append(args, "-i", strconv.Itoa(bc.IgnoreHits))
+	}
+	args = append(args, expr)
+	resp, err := t.send("-break-watch", args...)
 	if err != nil {
 		if strings.Contains(err.Error(), "no global") || strings.Contains(err.Error(), "no live local") {
 			return core.ErrUnknownVariable

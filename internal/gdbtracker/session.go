@@ -16,41 +16,6 @@ import (
 // corruption the debugger is restarted, the journal is replayed, and the
 // caller gets a *core.TrackerError describing what was lost.
 
-// armKind classifies one journal entry.
-type armKind int
-
-const (
-	armBreakLine armKind = iota
-	armBreakFunc
-	armTrack
-	armWatch
-)
-
-// armRecord is one replayable arming operation (breakpoint, tracked
-// function or watchpoint) exactly as the tool requested it.
-type armRecord struct {
-	kind     armKind
-	file     string
-	line     int
-	fn       string
-	varID    string
-	maxDepth int
-}
-
-// String renders the entry for TrackerError.Lost.
-func (a armRecord) String() string {
-	switch a.kind {
-	case armBreakLine:
-		return fmt.Sprintf("breakpoint at line %d", a.line)
-	case armBreakFunc:
-		return fmt.Sprintf("breakpoint on %s", a.fn)
-	case armTrack:
-		return fmt.Sprintf("tracked function %s", a.fn)
-	default:
-		return fmt.Sprintf("watchpoint on %s", a.varID)
-	}
-}
-
 // SetConnWrapper installs a hook applied to every connection the tracker
 // opens — including the ones recovery opens. It exists for fault-injection
 // tests (wrap with mi.NewFaultConn) and diagnostics (logging transports).
@@ -240,23 +205,12 @@ func (t *Tracker) recoverSession(op string, cause error) error {
 // be re-established (e.g. a watchpoint on a local whose function has no
 // live activation at the entry point).
 func (t *Tracker) replayJournal() (lost []string) {
-	for _, a := range t.journal {
-		var err error
-		switch a.kind {
-		case armBreakLine:
-			err = t.armBreakLine(a.line, a.maxDepth)
-		case armBreakFunc:
-			err = t.armBreakFunc(a.fn, a.maxDepth)
-		case armTrack:
-			err = t.armTrack(a.fn)
-		case armWatch:
-			err = t.armWatch(a.varID)
-		}
-		if err != nil {
-			lost = append(lost, a.String())
+	for _, p := range t.journal {
+		if err := t.armProbe(p); err != nil {
+			lost = append(lost, p.String())
 			// The flight recorder keeps the evidence of what the
 			// recovered session is missing — and why re-arming failed.
-			t.obs.Event("lost", a.String()+": "+err.Error())
+			t.obs.Event("lost", p.String()+": "+err.Error())
 			t.obs.Counter(core.CtrLostItems).Inc()
 		}
 	}

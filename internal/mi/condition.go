@@ -1,0 +1,130 @@
+package mi
+
+import (
+	"easytracker/internal/dbg"
+	"easytracker/internal/query"
+)
+
+// This file implements server-side breakpoint conditions (`-break-insert
+// -c "<expr>"`): the expression compiles once at insert time to a
+// query.Program, and the resulting closure is installed on the
+// dbg.Breakpoint/Watchpoint, which evaluates it inside the debugger's
+// stop filter — a false condition resumes the machine without an MI round
+// trip, which is the whole point of server-side conditions.
+
+// condView adapts the paused machine into a query.EventView. The stack is
+// unwound lazily, once, and only if the expression names a variable or
+// depth; a condition like `line == 12` never touches frames.
+type condView struct {
+	s    *Server
+	ev   string
+	recs []dbg.FrameRec
+	have bool
+}
+
+func (v *condView) frames() []dbg.FrameRec {
+	if !v.have {
+		v.recs = v.s.d.Unwind()
+		v.have = true
+	}
+	return v.recs
+}
+
+// Line implements query.EventView.
+func (v *condView) Line() int {
+	return v.s.prog.LineAt(v.s.d.Machine().PC())
+}
+
+// Depth implements query.EventView: main's frame is depth 0.
+func (v *condView) Depth() int {
+	if n := len(v.frames()); n > 0 {
+		return n - 1
+	}
+	return 0
+}
+
+// Event implements query.EventView; the event kind is baked in at insert
+// time (a --function breakpoint evaluates as "call", --exit as "return").
+func (v *condView) Event() string { return v.ev }
+
+// Function implements query.EventView.
+func (v *condView) Function() string {
+	if fn := v.s.prog.FuncAt(v.s.d.Machine().PC()); fn != nil {
+		return fn.Name
+	}
+	return ""
+}
+
+// File implements query.EventView.
+func (v *condView) File() string { return v.s.prog.SourceFile }
+
+// Var implements query.EventView with MiniC scoping: "" reads the innermost
+// frame's live locals then globals, "::" globals only, and a named scope
+// the innermost activation of that function.
+func (v *condView) Var(scope, name string) query.Scalar {
+	switch scope {
+	case "::":
+		return v.global(name)
+	case "":
+		if recs := v.frames(); len(recs) > 0 {
+			if s, ok := v.local(recs[0], name); ok {
+				return s
+			}
+		}
+		return v.global(name)
+	default:
+		for _, fr := range v.frames() {
+			if fr.Fn.Name == scope {
+				s, _ := v.local(fr, name)
+				return s
+			}
+		}
+		return query.Missing
+	}
+}
+
+// FrameVar implements query.EventView; frame 0 is the innermost frame.
+func (v *condView) FrameVar(idx int, name string) query.Scalar {
+	recs := v.frames()
+	if idx < 0 || idx >= len(recs) {
+		return query.Missing
+	}
+	s, _ := v.local(recs[idx], name)
+	return s
+}
+
+// local reads one frame variable, honoring the debug info's scope ranges.
+func (v *condView) local(fr dbg.FrameRec, name string) (query.Scalar, bool) {
+	for _, lv := range fr.Fn.Locals {
+		if lv.Name != name {
+			continue
+		}
+		if lv.ScopeStart != 0 && (fr.PC < lv.ScopeStart || fr.PC >= lv.ScopeEnd) {
+			return query.Missing, false
+		}
+		in := v.s.d.NewInspector()
+		return query.ScalarFromValue(in.ValueAt(fr.FP+uint64(lv.Offset), lv.Type)), true
+	}
+	return query.Missing, false
+}
+
+func (v *condView) global(name string) query.Scalar {
+	g := v.s.prog.GlobalByName(name)
+	if g == nil {
+		return query.Missing
+	}
+	in := v.s.d.NewInspector()
+	return query.ScalarFromValue(in.ValueAt(uint64(g.Offset), g.Type))
+}
+
+// compileCond builds the stop-filter closure for one probe. ev is the event
+// kind the probe represents ("line", "call", "return").
+func (s *Server) compileCond(expr, ev string) (func() bool, error) {
+	prog, err := query.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	return func() bool {
+		return prog.Match(&condView{s: s, ev: ev})
+	}, nil
+}

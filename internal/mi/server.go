@@ -15,6 +15,7 @@ import (
 	"easytracker/internal/core"
 	"easytracker/internal/dbg"
 	"easytracker/internal/isa"
+	"easytracker/internal/query"
 	"easytracker/internal/vm"
 )
 
@@ -485,25 +486,45 @@ func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
 			StringVal("et-heap-track"), StringVal("et-segments"),
 			StringVal("et-data-watch-version"),
 			StringVal("et-exec-interrupt"), StringVal("et-budget"),
+			StringVal("et-break-condition"),
 		}})}, nil
 	}
 	return nil, fmt.Errorf("undefined MI command: %s", op)
 }
 
-// breakInsert handles -break-insert [-t] [--maxdepth N] (LINE | *ADDR |
-// --function NAME | --exit NAME).
+// breakInsert handles -break-insert [-t] [-c EXPR] [-i N] [--maxdepth N]
+// (LINE | *ADDR | --function NAME | --exit NAME).
 func (s *Server) breakInsert(token string, args []string) ([]Record, error) {
 	if err := s.need(); err != nil {
 		return nil, err
 	}
 	maxDepth := 0
+	ignore := 0
 	temporary := false
+	cond := ""
+	event := "" // overrides the mode-derived event kind (--event)
 	var target string
 	mode := "line"
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-t":
 			temporary = true
+		case "-c":
+			i++
+			if i >= len(args) {
+				return nil, fmt.Errorf("-c needs a condition")
+			}
+			cond = args[i]
+		case "-i":
+			i++
+			if i >= len(args) {
+				return nil, fmt.Errorf("-i needs a count")
+			}
+			v, err := strconv.Atoi(args[i])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("bad ignore count %q", args[i])
+			}
+			ignore = v
 		case "--maxdepth":
 			i++
 			if i >= len(args) {
@@ -518,9 +539,39 @@ func (s *Server) breakInsert(token string, args []string) ([]Record, error) {
 			mode = "func"
 		case "--exit":
 			mode = "exit"
+		case "--event":
+			i++
+			if i >= len(args) {
+				return nil, fmt.Errorf("--event needs a kind")
+			}
+			switch args[i] {
+			case query.EventLine, query.EventCall, query.EventReturn:
+				event = args[i]
+			default:
+				return nil, fmt.Errorf("bad event kind %q", args[i])
+			}
 		default:
 			target = args[i]
 		}
+	}
+	var condFn func() bool
+	if cond != "" {
+		ev := event
+		if ev == "" {
+			switch mode {
+			case "func":
+				ev = query.EventCall
+			case "exit":
+				ev = query.EventReturn
+			default:
+				ev = query.EventLine
+			}
+		}
+		fn, err := s.compileCond(cond, ev)
+		if err != nil {
+			return nil, err
+		}
+		condFn = fn
 	}
 	if target == "" {
 		return nil, fmt.Errorf("-break-insert needs a location")
@@ -555,6 +606,8 @@ func (s *Server) breakInsert(token string, args []string) ([]Record, error) {
 		return nil, err
 	}
 	bp.Temporary = temporary
+	bp.Cond = condFn
+	bp.IgnoreLeft = ignore
 	return []Record{doneRec(token, Result{Var: "bkpt", Val: Tuple{
 		{Var: "number", Val: StringVal(strconv.Itoa(bp.ID))},
 		{Var: "func", Val: StringVal(bp.Function)},
@@ -562,13 +615,41 @@ func (s *Server) breakInsert(token string, args []string) ([]Record, error) {
 	}})}, nil
 }
 
-// breakWatch handles -break-watch NAME | FUNC:NAME | *ADDR SIZE.
+// breakWatch handles -break-watch [-c EXPR] [-i N] (NAME | FUNC:NAME |
+// *ADDR SIZE).
 func (s *Server) breakWatch(token string, args []string) ([]Record, error) {
 	if err := s.need(); err != nil {
 		return nil, err
 	}
+	cond := ""
+	ignore := 0
+	for len(args) > 0 {
+		if args[0] == "-c" && len(args) > 1 {
+			cond = args[1]
+			args = args[2:]
+			continue
+		}
+		if args[0] == "-i" && len(args) > 1 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("bad ignore count %q", args[1])
+			}
+			ignore = v
+			args = args[2:]
+			continue
+		}
+		break
+	}
 	if len(args) == 0 {
 		return nil, fmt.Errorf("-break-watch needs an expression")
+	}
+	var condFn func() bool
+	if cond != "" {
+		fn, err := s.compileCond(cond, query.EventLine)
+		if err != nil {
+			return nil, err
+		}
+		condFn = fn
 	}
 	var w *dbg.Watchpoint
 	var ty *isa.TypeInfo
@@ -606,6 +687,8 @@ func (s *Server) breakWatch(token string, args []string) ([]Record, error) {
 	if ty == nil {
 		ty = isa.IntType()
 	}
+	w.Cond = condFn
+	w.IgnoreLeft = ignore
 	s.watchTypes[w.ID] = ty
 	return []Record{doneRec(token, Result{Var: "wpt", Val: Tuple{
 		{Var: "number", Val: StringVal(strconv.Itoa(w.ID))},

@@ -18,6 +18,7 @@ import (
 	"easytracker/internal/core"
 	"easytracker/internal/minipy"
 	"easytracker/internal/obs"
+	"easytracker/internal/query"
 )
 
 // Kind is the tracker registry name.
@@ -72,15 +73,46 @@ const (
 	modeNext
 )
 
+// probeCtl is the conditional-arming state shared by every probe kind: a
+// compiled condition (nil = always true), the remaining ignore count, and
+// the one-shot disarm latch. It is embedded, so checkPause mutates it in
+// place through the owning probe.
+type probeCtl struct {
+	cond       *query.Program
+	ignoreLeft int
+	oneShot    bool
+	disarmed   bool
+}
+
+// fire applies the post-condition hit bookkeeping: consume an ignore credit
+// (reporting nothing), or report the hit and disarm a one-shot probe.
+func (c *probeCtl) fire() bool {
+	if c.ignoreLeft > 0 {
+		c.ignoreLeft--
+		return false
+	}
+	if c.oneShot {
+		c.disarmed = true
+	}
+	return true
+}
+
 type lineBP struct {
 	file     string
 	line     int
 	maxDepth int
+	probeCtl
 }
 
 type funcBP struct {
 	name     string
 	maxDepth int
+	probeCtl
+}
+
+// trackInfo is the per-function state of TrackFunction.
+type trackInfo struct {
+	probeCtl
 }
 
 type watch struct {
@@ -106,6 +138,7 @@ type watch struct {
 	// compare (and its conversion allocations) is skipped.
 	lastObj *minipy.Object
 	epoch   uint64
+	probeCtl
 }
 
 type exitInfo struct {
@@ -148,8 +181,12 @@ type Tracker struct {
 	nextDepth int
 	lineBPs   []lineBP
 	funcBPs   []funcBP
-	tracked   map[string]bool
+	tracked   map[string]*trackInfo
 	watches   []*watch
+
+	// view is the reusable EventView handed to condition programs; holding
+	// it by value keeps conditional evaluation allocation-free.
+	view pyView
 
 	// intr is the cooperative interrupt flag (intrNone/intrUser/
 	// intrDeadline). It is the only tracker field touched from outside the
@@ -196,7 +233,7 @@ func New() *Tracker {
 		pauseCh:  make(chan struct{}),
 		resumeCh: make(chan struct{}),
 		doneCh:   make(chan exitInfo, 1),
-		tracked:  map[string]bool{},
+		tracked:  map[string]*trackInfo{},
 	}
 }
 
@@ -429,14 +466,14 @@ func (t *Tracker) interruptedAt(fr *minipy.RTFrame, detail string) {
 func (t *Tracker) checkPause(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Object) bool {
 	// 1. Watchpoints: compared before every line (and at call/return so
 	// parameter binding and final mutations are seen).
-	if t.checkWatches(fr) {
+	if t.checkWatches(fr, ev) {
 		return true
 	}
 
 	switch ev {
 	case minipy.EventCall:
 		// 2. Tracked function entered.
-		if t.tracked[fr.Name] {
+		if ti := t.tracked[fr.Name]; ti != nil && t.probeHit(&ti.probeCtl, fr, ev) {
 			t.reason = core.PauseReason{
 				Type: core.PauseCall, Function: fr.Name,
 				File: t.file, Line: fr.Line,
@@ -445,8 +482,10 @@ func (t *Tracker) checkPause(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Ob
 		}
 		// 3. Function breakpoint (args are bound at EventCall, which
 		// is what guarantees the paper's "arguments are initialized").
-		for _, bp := range t.funcBPs {
-			if bp.name == fr.Name && depthOK(bp.maxDepth, fr.Depth) {
+		for i := range t.funcBPs {
+			bp := &t.funcBPs[i]
+			if bp.name == fr.Name && depthOK(bp.maxDepth, fr.Depth) &&
+				t.probeHit(&bp.probeCtl, fr, ev) {
 				t.reason = core.PauseReason{
 					Type: core.PauseBreakpoint, Function: fr.Name,
 					File: t.file, Line: fr.Line,
@@ -456,7 +495,7 @@ func (t *Tracker) checkPause(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Ob
 		}
 
 	case minipy.EventReturn:
-		if t.tracked[fr.Name] {
+		if ti := t.tracked[fr.Name]; ti != nil && t.probeHit(&ti.probeCtl, fr, ev) {
 			conv := minipy.NewConverter()
 			t.reason = core.PauseReason{
 				Type: core.PauseReturn, Function: fr.Name,
@@ -471,7 +510,8 @@ func (t *Tracker) checkPause(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Ob
 		for i := range t.lineBPs {
 			bp := &t.lineBPs[i]
 			if bp.line == fr.Line && (bp.file == "" || bp.file == t.file) &&
-				depthOK(bp.maxDepth, fr.Depth) {
+				depthOK(bp.maxDepth, fr.Depth) &&
+				t.probeHit(&bp.probeCtl, fr, ev) {
 				t.reason = core.PauseReason{
 					Type: core.PauseBreakpoint,
 					File: t.file, Line: fr.Line,
@@ -509,6 +549,28 @@ func depthOK(maxDepth, depth int) bool {
 	return maxDepth <= 0 || depth < maxDepth
 }
 
+// probeHit is the conditional gate of a probe: the condition (if any) is
+// evaluated against the current event, then ignore-count and one-shot
+// bookkeeping apply. A disarmed (spent one-shot) probe never fires again.
+func (t *Tracker) probeHit(c *probeCtl, fr *minipy.RTFrame, ev minipy.Event) bool {
+	if c.disarmed {
+		return false
+	}
+	if c.cond != nil && !t.evalCond(c.cond, fr, ev) {
+		return false
+	}
+	return c.fire()
+}
+
+// evalCond evaluates a compiled condition against the current event through
+// the tracker's reusable view; zero allocations on the miss path.
+func (t *Tracker) evalCond(p *query.Program, fr *minipy.RTFrame, ev minipy.Event) bool {
+	t.view.t = t
+	t.view.fr = fr
+	t.view.ev = ev
+	return p.Match(&t.view)
+}
+
 // checkWatches compares every watched variable against its last snapshot.
 //
 // The hot path is O(1) per watch and allocation-free: a watch remembers the
@@ -518,23 +580,43 @@ func depthOK(maxDepth, depth int) bool {
 // snapshot" proves the value is unchanged without converting or comparing
 // anything. Only a rebinding or a dirty object graph falls back to the deep
 // structural compare (core.Value.Equivalent) on a fresh conversion.
-func (t *Tracker) checkWatches(fr *minipy.RTFrame) bool {
+func (t *Tracker) checkWatches(fr *minipy.RTFrame, ev minipy.Event) bool {
 	if len(t.watches) == 0 {
 		return false
 	}
 	if t.obs == nil {
-		return t.compareWatches(fr)
+		return t.compareWatches(fr, ev)
 	}
 	t0 := t.obs.Now()
-	hit := t.compareWatches(fr)
+	hit := t.compareWatches(fr, ev)
 	t.obs.Observe(core.OpWatchCheck, t0)
 	return hit
 }
 
 // compareWatches is the comparison loop behind checkWatches; a hit stores
 // the pause into t.reason.
-func (t *Tracker) compareWatches(fr *minipy.RTFrame) bool {
+func (t *Tracker) compareWatches(fr *minipy.RTFrame, ev minipy.Event) bool {
 	for _, w := range t.watches {
+		// A conditioned watch is gated before the snapshot compare: while
+		// the condition is false the watch neither fires nor advances its
+		// snapshot, so a change made outside the condition window is
+		// reported at the first event back inside it. The baseline is
+		// still established once while gated — without it the first
+		// in-window report would claim a first definition (nil Old)
+		// instead of a change relative to the pre-window value.
+		if w.disarmed {
+			continue
+		}
+		if w.cond != nil && !t.evalCond(w.cond, fr, ev) {
+			if !w.defined {
+				if obj, ok := t.resolveWatch(fr, w); ok {
+					conv := minipy.NewConverter()
+					w.snap, w.defined = conv.VarValue(obj), true
+					w.lastObj, w.epoch = obj, t.interp.Epoch()
+				}
+			}
+			continue
+		}
 		obj, ok := t.resolveWatch(fr, w)
 		if !ok {
 			// Still undefined, or frame holding it is gone.
@@ -556,6 +638,11 @@ func (t *Tracker) compareWatches(fr *minipy.RTFrame) bool {
 			old := w.snap
 			w.snap, w.defined = now, true
 			w.lastObj, w.epoch = obj, epoch
+			// An ignored hit still advances the snapshot above, so the
+			// next report is relative to the value it skipped.
+			if !w.fire() {
+				continue
+			}
 			t.reason = core.PauseReason{
 				Type: core.PauseWatch, Variable: w.id,
 				Old: old, New: now,
@@ -568,6 +655,9 @@ func (t *Tracker) compareWatches(fr *minipy.RTFrame) bool {
 		w.snap = now
 		w.lastObj, w.epoch = obj, epoch
 		if changed {
+			if !w.fire() {
+				continue
+			}
 			t.reason = core.PauseReason{
 				Type: core.PauseWatch, Variable: w.id,
 				Old: old, New: now,
@@ -728,42 +818,82 @@ func (t *Tracker) Terminate() error {
 	return nil
 }
 
-// BreakBeforeLine registers a line breakpoint.
-func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
+// Arm registers any probe kind — the unified arming surface behind the
+// four convenience methods. Conditions compile here, once, so a bad
+// expression is an ErrBadQuery arming error rather than a runtime surprise.
+func (t *Tracker) Arm(p core.Probe) error {
+	op := p.Op()
 	if !t.loaded {
-		return t.werr("BreakBeforeLine", core.ErrNoProgram)
+		return t.werr(op, core.ErrNoProgram)
 	}
-	bc := core.ApplyBreakOptions(opts)
-	if line < 1 || line > len(t.srcLines) {
-		return t.werr("BreakBeforeLine", core.ErrBadLine)
+	ctl, err := compileCtl(p.BreakConfig)
+	if err != nil {
+		return t.werr(op, err)
 	}
-	t.lineBPs = append(t.lineBPs, lineBP{file: file, line: line, maxDepth: bc.MaxDepth})
+	switch p.Kind {
+	case core.ProbeLine:
+		if p.Line < 1 || p.Line > len(t.srcLines) {
+			return t.werr(op, core.ErrBadLine)
+		}
+		t.lineBPs = append(t.lineBPs, lineBP{
+			file: p.File, line: p.Line, maxDepth: p.MaxDepth, probeCtl: ctl,
+		})
+	case core.ProbeFunc:
+		if !t.functionExists(p.Function) {
+			return t.werr(op, core.ErrUnknownFunction)
+		}
+		t.funcBPs = append(t.funcBPs, funcBP{
+			name: p.Function, maxDepth: p.MaxDepth, probeCtl: ctl,
+		})
+	case core.ProbeTrack:
+		if !t.functionExists(p.Function) {
+			return t.werr(op, core.ErrUnknownFunction)
+		}
+		t.tracked[p.Function] = &trackInfo{probeCtl: ctl}
+	case core.ProbeWatch:
+		fn, name := core.SplitVarID(p.VarID)
+		t.watches = append(t.watches, &watch{
+			id: p.VarID, scope: fn, name: name, gslot: -1, probeCtl: ctl,
+		})
+		t.obs.Gauge(core.GaugeWatches).Set(int64(len(t.watches)))
+	default:
+		return t.werr(op, core.ErrUnsupported)
+	}
 	return nil
 }
 
-// BreakBeforeFunc registers a function-entry breakpoint.
+// compileCtl compiles a BreakConfig's condition into the runtime gate.
+func compileCtl(bc core.BreakConfig) (probeCtl, error) {
+	ctl := probeCtl{ignoreLeft: bc.IgnoreHits, oneShot: bc.OneShot}
+	if bc.Condition != "" {
+		p, err := query.Compile(bc.Condition)
+		if err != nil {
+			return ctl, err
+		}
+		ctl.cond = p
+	}
+	return ctl, nil
+}
+
+// ConditionalProbes advertises the ConditionalBreaker capability.
+func (t *Tracker) ConditionalProbes() bool { return true }
+
+// BreakBeforeLine registers a line breakpoint. Equivalent to
+// Arm(core.LineProbe(file, line, opts...)).
+func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
+	return t.Arm(core.LineProbe(file, line, opts...))
+}
+
+// BreakBeforeFunc registers a function-entry breakpoint. Equivalent to
+// Arm(core.FuncProbe(name, opts...)).
 func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
-	if !t.loaded {
-		return t.werr("BreakBeforeFunc", core.ErrNoProgram)
-	}
-	if !t.functionExists(name) {
-		return t.werr("BreakBeforeFunc", core.ErrUnknownFunction)
-	}
-	bc := core.ApplyBreakOptions(opts)
-	t.funcBPs = append(t.funcBPs, funcBP{name: name, maxDepth: bc.MaxDepth})
-	return nil
+	return t.Arm(core.FuncProbe(name, opts...))
 }
 
 // TrackFunction pauses at every entry and exit of the named function.
-func (t *Tracker) TrackFunction(name string) error {
-	if !t.loaded {
-		return t.werr("TrackFunction", core.ErrNoProgram)
-	}
-	if !t.functionExists(name) {
-		return t.werr("TrackFunction", core.ErrUnknownFunction)
-	}
-	t.tracked[name] = true
-	return nil
+// Equivalent to Arm(core.TrackProbe(name, opts...)).
+func (t *Tracker) TrackFunction(name string, opts ...core.BreakOption) error {
+	return t.Arm(core.TrackProbe(name, opts...))
 }
 
 // functionExists scans the module for a def (or class method) of this name.
@@ -794,15 +924,10 @@ func (t *Tracker) functionExists(name string) bool {
 	return found
 }
 
-// Watch pauses whenever the identified variable is modified.
-func (t *Tracker) Watch(varID string) error {
-	if !t.loaded {
-		return t.werr("Watch", core.ErrNoProgram)
-	}
-	fn, name := core.SplitVarID(varID)
-	t.watches = append(t.watches, &watch{id: varID, scope: fn, name: name, gslot: -1})
-	t.obs.Gauge(core.GaugeWatches).Set(int64(len(t.watches)))
-	return nil
+// Watch pauses whenever the identified variable is modified. Equivalent to
+// Arm(core.WatchProbe(varID, opts...)).
+func (t *Tracker) Watch(varID string, opts ...core.BreakOption) error {
+	return t.Arm(core.WatchProbe(varID, opts...))
 }
 
 // PauseReason reports why the inferior is paused.

@@ -1,0 +1,469 @@
+package query
+
+// Compilation: the parsed AST is type-checked (typed event fields are
+// strict; inferior variables are dynamic) and lowered to a flat instruction
+// program with short-circuit jumps. The operand stack is sized and
+// preallocated here so evaluation never allocates.
+
+// valType is the static type lattice of the checker. Typed event fields and
+// literals get concrete types; inferior variables are tyDyn and defer all
+// checking to runtime (where a mismatch soft-fails to Missing/false rather
+// than erroring — the inferior's types are not knowable at compile time).
+type valType uint8
+
+const (
+	tyDyn valType = iota
+	tyInt
+	tyFloat
+	tyBool
+	tyStr
+	tyNone
+)
+
+func (t valType) String() string {
+	switch t {
+	case tyInt:
+		return "int"
+	case tyFloat:
+		return "float"
+	case tyBool:
+		return "bool"
+	case tyStr:
+		return "str"
+	case tyNone:
+		return "none"
+	default:
+		return "dynamic"
+	}
+}
+
+func (t valType) numeric() bool { return t == tyInt || t == tyFloat || t == tyDyn }
+
+// typeOf checks n and returns its static type.
+func typeOf(n node) (valType, error) {
+	switch n := n.(type) {
+	case *litNode:
+		switch n.val.Kind {
+		case KInt:
+			return tyInt, nil
+		case KFloat:
+			return tyFloat, nil
+		case KBool:
+			return tyBool, nil
+		case KStr:
+			return tyStr, nil
+		default:
+			return tyNone, nil
+		}
+	case *fieldNode:
+		return fieldNames[n.name], nil
+	case *varNode, *frameVarNode:
+		return tyDyn, nil
+	case *callNode:
+		if _, err := typeOf(n.arg); err != nil {
+			return tyDyn, err
+		}
+		if n.fn == "exists" {
+			return tyBool, nil
+		}
+		return tyInt, nil // len
+	case *unaryNode:
+		xt, err := typeOf(n.x)
+		if err != nil {
+			return tyDyn, err
+		}
+		if n.op == tNot {
+			return tyBool, nil
+		}
+		// unary minus
+		if !xt.numeric() {
+			return tyDyn, errf(n.at, "cannot negate %s", xt)
+		}
+		return xt, nil
+	case *binNode:
+		xt, err := typeOf(n.x)
+		if err != nil {
+			return tyDyn, err
+		}
+		yt, err := typeOf(n.y)
+		if err != nil {
+			return tyDyn, err
+		}
+		switch n.op {
+		case tAndAnd, tOrOr:
+			return tyBool, nil
+		case tEq, tNe:
+			if !equatable(xt, yt) {
+				return tyDyn, errf(n.at, "cannot compare %s and %s", xt, yt)
+			}
+			return tyBool, nil
+		case tLt, tLe, tGt, tGe:
+			if !orderable(xt, yt) {
+				return tyDyn, errf(n.at, "cannot order %s and %s", xt, yt)
+			}
+			return tyBool, nil
+		default: // arithmetic
+			if !xt.numeric() || !yt.numeric() {
+				return tyDyn, errf(n.at, "arithmetic needs numbers, found %s and %s", xt, yt)
+			}
+			if xt == tyDyn || yt == tyDyn {
+				return tyDyn, nil
+			}
+			if xt == tyFloat || yt == tyFloat {
+				return tyFloat, nil
+			}
+			return tyInt, nil
+		}
+	}
+	return tyDyn, errf(n.pos(), "internal: unknown node")
+}
+
+// equatable reports whether == / != between static types can ever be true.
+// Dynamic operands equate with anything; among concrete types, numbers
+// cross-compare and everything else must match exactly.
+func equatable(a, b valType) bool {
+	if a == tyDyn || b == tyDyn || a == b {
+		return true
+	}
+	return a.numeric() && b.numeric()
+}
+
+// orderable reports whether < <= > >= is defined: numbers with numbers,
+// strings with strings, dynamic with anything.
+func orderable(a, b valType) bool {
+	if a == tyDyn || b == tyDyn {
+		return true
+	}
+	if a.numeric() && b.numeric() {
+		return true
+	}
+	return a == tyStr && b == tyStr
+}
+
+// opcode is one evaluator instruction.
+type opcode uint8
+
+const (
+	opConst    opcode = iota // push consts[a]
+	opLine                   // push view.Line()
+	opDepth                  // push view.Depth()
+	opEvent                  // push view.Event()
+	opFunction               // push view.Function()
+	opFile                   // push view.File()
+	opVar                    // push view.Var(names[a], names[b])
+	opFrameVar               // push view.FrameVar(a, names[b])
+	opExists                 // pop v; push v.Kind != KMissing
+	opLen                    // pop v; push len(v) or Missing
+	opTruthy                 // pop v; push Bool(v.Truthy())
+	opNot                    // pop v; push Bool(!v.Truthy())
+	opNeg                    // pop v; push -v (numeric) or Missing
+	opAdd
+	opSub
+	opMul
+	opDiv
+	opMod
+	opEq
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opAndJump // pop v; if !v.Truthy() push false and jump to a
+	opOrJump  // pop v; if v.Truthy() push true and jump to a
+)
+
+type instr struct {
+	op   opcode
+	a, b int32
+}
+
+// Program is a compiled query expression. Evaluation reuses the
+// preallocated operand stack, so a Program must not be evaluated from two
+// goroutines at once; compile one Program per concurrent evaluator (every
+// tracker arms its own).
+type Program struct {
+	// Source is the expression text the program was compiled from; probes
+	// journal and replay it across session recovery and the remote wire.
+	Source string
+
+	insns  []instr
+	consts []Scalar
+	names  []string
+	stack  []Scalar
+}
+
+type compiler struct {
+	prog  *Program
+	depth int // current simulated stack depth
+	max   int
+}
+
+func (c *compiler) emit(op opcode, a, b int32) int {
+	c.prog.insns = append(c.prog.insns, instr{op: op, a: a, b: b})
+	return len(c.prog.insns) - 1
+}
+
+func (c *compiler) push() {
+	c.depth++
+	if c.depth > c.max {
+		c.max = c.depth
+	}
+}
+
+func (c *compiler) pop() { c.depth-- }
+
+func (c *compiler) constIdx(s Scalar) int32 {
+	for i, have := range c.prog.consts {
+		if have == s {
+			return int32(i)
+		}
+	}
+	c.prog.consts = append(c.prog.consts, s)
+	return int32(len(c.prog.consts) - 1)
+}
+
+func (c *compiler) nameIdx(s string) int32 {
+	for i, have := range c.prog.names {
+		if have == s {
+			return int32(i)
+		}
+	}
+	c.prog.names = append(c.prog.names, s)
+	return int32(len(c.prog.names) - 1)
+}
+
+func (c *compiler) gen(n node) {
+	switch n := n.(type) {
+	case *litNode:
+		c.emit(opConst, c.constIdx(n.val), 0)
+		c.push()
+	case *fieldNode:
+		switch n.name {
+		case "line":
+			c.emit(opLine, 0, 0)
+		case "depth":
+			c.emit(opDepth, 0, 0)
+		case "event":
+			c.emit(opEvent, 0, 0)
+		case "function":
+			c.emit(opFunction, 0, 0)
+		case "file":
+			c.emit(opFile, 0, 0)
+		}
+		c.push()
+	case *varNode:
+		c.emit(opVar, c.nameIdx(n.scope), c.nameIdx(n.name))
+		c.push()
+	case *frameVarNode:
+		c.emit(opFrameVar, int32(n.idx), c.nameIdx(n.name))
+		c.push()
+	case *callNode:
+		c.gen(n.arg)
+		if n.fn == "exists" {
+			c.emit(opExists, 0, 0)
+		} else {
+			c.emit(opLen, 0, 0)
+		}
+		// pop + push: depth unchanged
+	case *unaryNode:
+		c.gen(n.x)
+		if n.op == tNot {
+			c.emit(opNot, 0, 0)
+		} else {
+			c.emit(opNeg, 0, 0)
+		}
+	case *binNode:
+		switch n.op {
+		case tAndAnd:
+			c.gen(n.x)
+			j := c.emit(opAndJump, 0, 0)
+			c.pop() // jump consumes the left value either way
+			c.gen(n.y)
+			c.emit(opTruthy, 0, 0)
+			c.prog.insns[j].a = int32(len(c.prog.insns))
+		case tOrOr:
+			c.gen(n.x)
+			j := c.emit(opOrJump, 0, 0)
+			c.pop()
+			c.gen(n.y)
+			c.emit(opTruthy, 0, 0)
+			c.prog.insns[j].a = int32(len(c.prog.insns))
+		default:
+			c.gen(n.x)
+			c.gen(n.y)
+			var op opcode
+			switch n.op {
+			case tPlus:
+				op = opAdd
+			case tMinus:
+				op = opSub
+			case tStar:
+				op = opMul
+			case tSlash:
+				op = opDiv
+			case tPercent:
+				op = opMod
+			case tEq:
+				op = opEq
+			case tNe:
+				op = opNe
+			case tLt:
+				op = opLt
+			case tLe:
+				op = opLe
+			case tGt:
+				op = opGt
+			case tGe:
+				op = opGe
+			}
+			c.emit(op, 0, 0)
+			c.pop() // two operands become one result
+		}
+	}
+}
+
+// compileNode lowers a checked AST to a Program.
+func compileNode(src string, n node) *Program {
+	c := &compiler{prog: &Program{Source: src}}
+	c.gen(n)
+	c.prog.stack = make([]Scalar, c.max)
+	return c.prog
+}
+
+// Compile parses, type-checks and lowers a condition expression. Errors are
+// *Error values unwrapping to core.ErrBadQuery. The empty expression is
+// rejected; callers treat "" as "no condition" before reaching Compile.
+func Compile(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if toks[0].kind == tEOF {
+		return nil, errf(0, "empty expression")
+	}
+	p := &parser{toks: toks}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tEOF) {
+		return nil, errf(p.cur().pos, "unexpected %s after expression", p.cur())
+	}
+	if _, err := typeOf(n); err != nil {
+		return nil, err
+	}
+	return compileNode(src, n), nil
+}
+
+// MustCompile is Compile for expressions known valid at build time (tests,
+// tool defaults); it panics on error.
+func MustCompile(src string) *Program {
+	p, err := Compile(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Query is a parsed trace query: an optional filter expression plus an
+// optional count aggregation (`count` or `count by FIELD`).
+type Query struct {
+	// Filter matches the steps the query selects; nil selects every step.
+	Filter *Program
+	// Count reports the aggregation form: print matching steps when false,
+	// count them when true.
+	Count bool
+	// By is the grouping field for `count by FIELD`; one of line, function,
+	// event, file, depth. Empty for a plain count.
+	By string
+}
+
+// ParseQuery parses the trace-query form: `EXPR`, `count [by FIELD]`, or
+// `EXPR | count [by FIELD]`.
+func ParseQuery(src string) (*Query, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if toks[0].kind == tEOF {
+		return nil, errf(0, "empty query")
+	}
+	// The pipe cannot occur inside an expression (the language has no
+	// bitwise operators), so the first '|' token splits filter from
+	// aggregation.
+	pipe := -1
+	for i, t := range toks {
+		if t.kind == tPipe {
+			pipe = i
+			break
+		}
+	}
+	q := &Query{}
+	agg := toks
+	if pipe >= 0 {
+		if pipe == 0 {
+			return nil, errf(toks[0].pos, "missing filter before |")
+		}
+		left := append([]token{}, toks[:pipe]...)
+		left = append(left, token{kind: tEOF, pos: toks[pipe].pos})
+		q.Filter, err = compileTokens(src, left)
+		if err != nil {
+			return nil, err
+		}
+		agg = toks[pipe+1:]
+	}
+	// Aggregation tail: `count [by FIELD]`, or (only without a pipe) a bare
+	// filter expression.
+	if agg[0].kind == tIdent && agg[0].s == "count" {
+		if err := parseAgg(agg, q); err != nil {
+			return nil, err
+		}
+		return q, nil
+	}
+	if pipe >= 0 {
+		return nil, errf(agg[0].pos, "expected count after |, found %s", agg[0])
+	}
+	q.Filter, err = compileTokens(src, toks)
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// compileTokens is Compile starting from an already-lexed token slice.
+func compileTokens(src string, toks []token) (*Program, error) {
+	p := &parser{toks: toks}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tEOF) {
+		return nil, errf(p.cur().pos, "unexpected %s after expression", p.cur())
+	}
+	if _, err := typeOf(n); err != nil {
+		return nil, err
+	}
+	return compileNode(src, n), nil
+}
+
+// parseAgg parses `count [by FIELD]` into q.
+func parseAgg(toks []token, q *Query) error {
+	q.Count = true
+	i := 1 // past "count"
+	if toks[i].kind == tIdent && toks[i].s == "by" {
+		i++
+		f := toks[i]
+		if f.kind != tIdent {
+			return errf(f.pos, "expected field after by, found %s", f)
+		}
+		if _, ok := fieldNames[f.s]; !ok {
+			return errf(f.pos, "cannot group by %q (want line, depth, event, function or file)", f.s)
+		}
+		q.By = f.s
+		i++
+	}
+	if toks[i].kind != tEOF {
+		return errf(toks[i].pos, "unexpected %s after aggregation", toks[i])
+	}
+	return nil
+}

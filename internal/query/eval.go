@@ -1,0 +1,225 @@
+package query
+
+// Evaluation: a straight switch loop over the flat instruction program.
+// Runtime type mismatches never error — a comparison against an
+// incompatible or missing value is simply false, and arithmetic on
+// non-numbers yields Missing (which every comparison also rejects). This is
+// the right failure mode for a breakpoint condition: "the variable isn't an
+// int yet" means "don't fire", not "crash the tracker".
+
+// Eval runs the program against one event and returns the result Scalar.
+// The operand stack is owned by the Program; do not call Eval (or Match) on
+// one Program from two goroutines concurrently.
+func (p *Program) Eval(view EventView) Scalar {
+	stack := p.stack
+	sp := 0
+	for i := 0; i < len(p.insns); i++ {
+		in := p.insns[i]
+		switch in.op {
+		case opConst:
+			stack[sp] = p.consts[in.a]
+			sp++
+		case opLine:
+			stack[sp] = Scalar{Kind: KInt, I: int64(view.Line())}
+			sp++
+		case opDepth:
+			stack[sp] = Scalar{Kind: KInt, I: int64(view.Depth())}
+			sp++
+		case opEvent:
+			stack[sp] = Scalar{Kind: KStr, S: view.Event()}
+			sp++
+		case opFunction:
+			stack[sp] = Scalar{Kind: KStr, S: view.Function()}
+			sp++
+		case opFile:
+			stack[sp] = Scalar{Kind: KStr, S: view.File()}
+			sp++
+		case opVar:
+			stack[sp] = view.Var(p.names[in.a], p.names[in.b])
+			sp++
+		case opFrameVar:
+			stack[sp] = view.FrameVar(int(in.a), p.names[in.b])
+			sp++
+		case opExists:
+			stack[sp-1] = Scalar{Kind: KBool, B: stack[sp-1].Kind != KMissing}
+		case opLen:
+			if n, ok := stack[sp-1].Len(); ok {
+				stack[sp-1] = Scalar{Kind: KInt, I: n}
+			} else {
+				stack[sp-1] = Missing
+			}
+		case opTruthy:
+			stack[sp-1] = Scalar{Kind: KBool, B: stack[sp-1].Truthy()}
+		case opNot:
+			stack[sp-1] = Scalar{Kind: KBool, B: !stack[sp-1].Truthy()}
+		case opNeg:
+			switch v := stack[sp-1]; v.Kind {
+			case KInt:
+				stack[sp-1] = Scalar{Kind: KInt, I: -v.I}
+			case KFloat:
+				stack[sp-1] = Scalar{Kind: KFloat, F: -v.F}
+			default:
+				stack[sp-1] = Missing
+			}
+		case opAdd, opSub, opMul, opDiv, opMod:
+			sp--
+			stack[sp-1] = arith(in.op, stack[sp-1], stack[sp])
+		case opEq:
+			sp--
+			eq, ok := scalarEq(stack[sp-1], stack[sp])
+			stack[sp-1] = Scalar{Kind: KBool, B: ok && eq}
+		case opNe:
+			sp--
+			eq, ok := scalarEq(stack[sp-1], stack[sp])
+			stack[sp-1] = Scalar{Kind: KBool, B: ok && !eq}
+		case opLt:
+			sp--
+			c, ok := scalarOrd(stack[sp-1], stack[sp])
+			stack[sp-1] = Scalar{Kind: KBool, B: ok && c < 0}
+		case opLe:
+			sp--
+			c, ok := scalarOrd(stack[sp-1], stack[sp])
+			stack[sp-1] = Scalar{Kind: KBool, B: ok && c <= 0}
+		case opGt:
+			sp--
+			c, ok := scalarOrd(stack[sp-1], stack[sp])
+			stack[sp-1] = Scalar{Kind: KBool, B: ok && c > 0}
+		case opGe:
+			sp--
+			c, ok := scalarOrd(stack[sp-1], stack[sp])
+			stack[sp-1] = Scalar{Kind: KBool, B: ok && c >= 0}
+		case opAndJump:
+			sp--
+			if !stack[sp].Truthy() {
+				stack[sp] = Scalar{Kind: KBool, B: false}
+				sp++
+				i = int(in.a) - 1
+			}
+		case opOrJump:
+			sp--
+			if stack[sp].Truthy() {
+				stack[sp] = Scalar{Kind: KBool, B: true}
+				sp++
+				i = int(in.a) - 1
+			}
+		}
+	}
+	return stack[sp-1]
+}
+
+// Match reports whether the event satisfies the expression (its result is
+// truthy). Same single-goroutine contract as Eval.
+func (p *Program) Match(view EventView) bool {
+	return p.Eval(view).Truthy()
+}
+
+// arith applies a binary arithmetic op with numeric promotion: int with int
+// stays int (truncating division), any float operand promotes both to
+// float. Non-numbers, division by zero and float modulus yield Missing.
+func arith(op opcode, a, b Scalar) Scalar {
+	if a.Kind == KInt && b.Kind == KInt {
+		switch op {
+		case opAdd:
+			return Scalar{Kind: KInt, I: a.I + b.I}
+		case opSub:
+			return Scalar{Kind: KInt, I: a.I - b.I}
+		case opMul:
+			return Scalar{Kind: KInt, I: a.I * b.I}
+		case opDiv:
+			if b.I == 0 {
+				return Missing
+			}
+			return Scalar{Kind: KInt, I: a.I / b.I}
+		case opMod:
+			if b.I == 0 {
+				return Missing
+			}
+			return Scalar{Kind: KInt, I: a.I % b.I}
+		}
+	}
+	af, aok := a.asFloat()
+	bf, bok := b.asFloat()
+	if !aok || !bok || op == opMod {
+		return Missing
+	}
+	switch op {
+	case opAdd:
+		return Scalar{Kind: KFloat, F: af + bf}
+	case opSub:
+		return Scalar{Kind: KFloat, F: af - bf}
+	case opMul:
+		return Scalar{Kind: KFloat, F: af * bf}
+	case opDiv:
+		if bf == 0 {
+			return Missing
+		}
+		return Scalar{Kind: KFloat, F: af / bf}
+	}
+	return Missing
+}
+
+// asFloat widens a numeric scalar.
+func (s Scalar) asFloat() (float64, bool) {
+	switch s.Kind {
+	case KInt:
+		return float64(s.I), true
+	case KFloat:
+		return s.F, true
+	default:
+		return 0, false
+	}
+}
+
+// scalarEq implements == between runtime values. ok is false when either
+// side is Missing (both == and != are then false: an undefined variable
+// satisfies no comparison — use exists() to test definedness). Numbers
+// cross-compare; bools, strings and none compare within their kind;
+// containers and opaque values are never equal (so != between two present
+// incompatible values is true).
+func scalarEq(a, b Scalar) (eq, ok bool) {
+	if a.Kind == KMissing || b.Kind == KMissing {
+		return false, false
+	}
+	switch {
+	case a.Kind == KInt && b.Kind == KInt:
+		return a.I == b.I, true
+	case a.Kind == KBool && b.Kind == KBool:
+		return a.B == b.B, true
+	case a.Kind == KStr && b.Kind == KStr:
+		return a.S == b.S, true
+	case a.Kind == KNone && b.Kind == KNone:
+		return true, true
+	}
+	if af, aok := a.asFloat(); aok {
+		if bf, bok := b.asFloat(); bok {
+			return af == bf, true
+		}
+	}
+	return false, true
+}
+
+// scalarOrd implements ordering: -1/0/+1 with ok=true for number-number and
+// string-string pairs, ok=false (comparison is false) otherwise.
+func scalarOrd(a, b Scalar) (c int, ok bool) {
+	if a.Kind == KStr && b.Kind == KStr {
+		switch {
+		case a.S < b.S:
+			return -1, true
+		case a.S > b.S:
+			return 1, true
+		}
+		return 0, true
+	}
+	af, aok := a.asFloat()
+	bf, bok := b.asFloat()
+	if !aok || !bok {
+		return 0, false
+	}
+	switch {
+	case af < bf:
+		return -1, true
+	case af > bf:
+		return 1, true
+	}
+	return 0, true
+}

@@ -1,0 +1,62 @@
+package query
+
+import (
+	"errors"
+	"testing"
+
+	"easytracker/internal/core"
+)
+
+// FuzzQueryParse drives arbitrary inputs through the full front end —
+// lexer, parser, type checker, compiler — and, when compilation succeeds,
+// through the evaluator. The invariants: no panic anywhere, every failure
+// is a typed *Error unwrapping to core.ErrBadQuery, and every compiled
+// program evaluates to a Scalar without faulting on a view full of missing
+// variables.
+func FuzzQueryParse(f *testing.F) {
+	seeds := []string{
+		"line == 42",
+		`function == "fib" && depth < 5`,
+		"frames[0].locals.x > 10",
+		"exists(n) && n % 2 == 0",
+		"::g + fib:n * 2 >= 10.5",
+		"len(xs) != 0 || !flag",
+		"count by function",
+		`event == "return" | count`,
+		"-(a + b) / (c - 1)",
+		`"str" < "str2"`,
+		"true && false || none",
+		"((((x))))",
+		"1.5e3",
+		"a |",
+		"frames[",
+		"exists(",
+		"\"unterminated",
+		"\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	empty := &fakeView{}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Compile(src)
+		if err != nil {
+			if !errors.Is(err, core.ErrBadQuery) {
+				t.Fatalf("Compile(%q): error %v does not unwrap to ErrBadQuery", src, err)
+			}
+		} else {
+			prog.Eval(empty) // must not panic on an all-missing view
+			prog.Match(empty)
+		}
+		q, err := ParseQuery(src)
+		if err != nil {
+			if !errors.Is(err, core.ErrBadQuery) {
+				t.Fatalf("ParseQuery(%q): error %v does not unwrap to ErrBadQuery", src, err)
+			}
+			return
+		}
+		if q.Filter != nil {
+			q.Filter.Eval(empty)
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 
 	"easytracker/internal/core"
 	"easytracker/internal/obs"
+	"easytracker/internal/query"
 )
 
 // wireConn is one client connection with request/response demultiplexing:
@@ -180,33 +181,67 @@ type Tracker struct {
 
 // armRecord is one journaled arming operation.
 type armRecord struct {
-	op       string
-	file     string
-	line     int
-	fn       string
-	varID    string
+	op      string
+	file    string
+	line    int
+	fn      string
+	varID   string
+	cond    string
+	ignore  int
+	oneShot bool
+
 	maxDepth int
 }
 
 func (a armRecord) String() string {
+	s := a.op
 	switch a.op {
 	case OpBreakLine:
 		if a.file != "" {
-			return "breakpoint " + a.file + ":" + strconv.Itoa(a.line)
+			s = "breakpoint " + a.file + ":" + strconv.Itoa(a.line)
+		} else {
+			s = "breakpoint line " + strconv.Itoa(a.line)
 		}
-		return "breakpoint line " + strconv.Itoa(a.line)
 	case OpBreakFunc:
-		return "breakpoint func " + a.fn
+		s = "breakpoint func " + a.fn
 	case OpTrack:
-		return "track " + a.fn
+		s = "track " + a.fn
 	case OpWatch:
-		return "watch " + a.varID
+		s = "watch " + a.varID
+	case OpSubscribe:
+		return "subscription " + a.cond
 	}
-	return a.op
+	if a.cond != "" {
+		s += " when " + a.cond
+	}
+	return s
 }
 
 func (a armRecord) request() *Request {
-	return &Request{Op: a.op, File: a.file, Line: a.line, Func: a.fn, Var: a.varID, MaxDepth: a.maxDepth}
+	return &Request{Op: a.op, File: a.file, Line: a.line, Func: a.fn, Var: a.varID,
+		MaxDepth: a.maxDepth, Cond: a.cond, Ignore: a.ignore, OneShot: a.oneShot}
+}
+
+// probeRecord projects a core.Probe onto the wire journal.
+func probeRecord(p core.Probe) (armRecord, error) {
+	a := armRecord{
+		file: p.File, line: p.Line, varID: p.VarID,
+		cond: p.Condition, ignore: p.IgnoreHits, oneShot: p.OneShot,
+		maxDepth: p.MaxDepth,
+	}
+	switch p.Kind {
+	case core.ProbeLine:
+		a.op = OpBreakLine
+	case core.ProbeFunc:
+		a.op, a.fn = OpBreakFunc, p.Function
+	case core.ProbeTrack:
+		a.op, a.fn = OpTrack, p.Function
+	case core.ProbeWatch:
+		a.op = OpWatch
+	default:
+		return a, core.ErrUnsupported
+	}
+	return a, nil
 }
 
 // Connect dials a remote tracker server and opens one session of the given
@@ -290,6 +325,8 @@ func (t *Tracker) SupportsCapability(ptr any) bool {
 		return caps.Stats
 	case *core.Interrupter:
 		return caps.Interrupt
+	case *core.ConditionalBreaker:
+		return caps.ConditionalBreak
 	default:
 		return true
 	}
@@ -544,26 +581,81 @@ func (t *Tracker) arm(op string, a armRecord) error {
 	return err
 }
 
+// Arm implements core.Tracker: one journaled round trip per probe. A
+// condition is validated client-side first so a bad expression fails with a
+// typed ErrBadQuery before anything crosses the socket; the backend
+// compiles its own copy at arm time.
+func (t *Tracker) Arm(p core.Probe) error {
+	op := p.Op()
+	if p.Condition != "" {
+		if _, err := query.Compile(p.Condition); err != nil {
+			return core.WrapErr("remote["+t.kind+"]", op, "", 0, err)
+		}
+	}
+	a, err := probeRecord(p)
+	if err != nil {
+		return core.WrapErr("remote["+t.kind+"]", op, "", 0, err)
+	}
+	return t.arm(op, a)
+}
+
+// ConditionalProbes implements core.ConditionalBreaker, true exactly when
+// the backend advertised the capability in the handshake.
+func (t *Tracker) ConditionalProbes() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.caps.ConditionalBreak
+}
+
+// Subscribe installs a server-side pause filter: while the subscription is
+// active, Resume loops on the server until a pause matches expr (or the
+// inferior exits, or supervision interrupts), so non-matching pauses never
+// cross the socket. An empty expr clears the subscription. The subscription
+// is journaled and survives reconnect-and-replay.
+func (t *Tracker) Subscribe(expr string) error {
+	if expr != "" {
+		if _, err := query.Compile(expr); err != nil {
+			return core.WrapErr("remote["+t.kind+"]", "Subscribe", "", 0, err)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, err := t.do("Subscribe", &Request{Op: OpSubscribe, Cond: expr})
+	if err == nil {
+		// A new expression replaces any journaled predecessor; clearing
+		// drops it.
+		kept := t.arms[:0]
+		for _, a := range t.arms {
+			if a.op != OpSubscribe {
+				kept = append(kept, a)
+			}
+		}
+		t.arms = kept
+		if expr != "" {
+			t.arms = append(t.arms, armRecord{op: OpSubscribe, cond: expr})
+		}
+	}
+	return err
+}
+
 // BreakBeforeLine implements core.Tracker.
 func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
-	bc := core.ApplyBreakOptions(opts)
-	return t.arm("BreakBeforeLine", armRecord{op: OpBreakLine, file: file, line: line, maxDepth: bc.MaxDepth})
+	return t.Arm(core.LineProbe(file, line, opts...))
 }
 
 // BreakBeforeFunc implements core.Tracker.
 func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
-	bc := core.ApplyBreakOptions(opts)
-	return t.arm("BreakBeforeFunc", armRecord{op: OpBreakFunc, fn: name, maxDepth: bc.MaxDepth})
+	return t.Arm(core.FuncProbe(name, opts...))
 }
 
 // TrackFunction implements core.Tracker.
-func (t *Tracker) TrackFunction(name string) error {
-	return t.arm("TrackFunction", armRecord{op: OpTrack, fn: name})
+func (t *Tracker) TrackFunction(name string, opts ...core.BreakOption) error {
+	return t.Arm(core.TrackProbe(name, opts...))
 }
 
 // Watch implements core.Tracker.
-func (t *Tracker) Watch(varID string) error {
-	return t.arm("Watch", armRecord{op: OpWatch, varID: varID})
+func (t *Tracker) Watch(varID string, opts ...core.BreakOption) error {
+	return t.Arm(core.WatchProbe(varID, opts...))
 }
 
 // PauseReason implements core.Tracker from the status cache.

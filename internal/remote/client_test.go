@@ -192,3 +192,167 @@ func TestClientDialFailure(t *testing.T) {
 		t.Fatal("connect to closed port succeeded")
 	}
 }
+
+// stateInt reads an integer variable from a remote session's snapshot,
+// checking the innermost frame then globals and unwrapping the ref cell.
+func stateInt(t *testing.T, tr *Tracker, name string) int64 {
+	t.Helper()
+	st, err := tr.State()
+	if err != nil {
+		t.Fatalf("State: %v", err)
+	}
+	var val *core.Value
+	if st.Frame != nil {
+		if v := st.Frame.Lookup(name); v != nil {
+			val = v.Value
+		}
+	}
+	if val == nil {
+		for _, g := range st.Globals {
+			if g.Name == name {
+				val = g.Value
+			}
+		}
+	}
+	if val == nil {
+		t.Fatalf("no variable %q in snapshot", name)
+	}
+	if d := val.Deref(); d != nil {
+		val = d
+	}
+	n, ok := val.Int()
+	if !ok {
+		t.Fatalf("variable %q is not an int: %s", name, val)
+	}
+	return n
+}
+
+// TestClientSubscribeFilter: a subscription makes Resume skip non-matching
+// pauses server-side; clearing it restores every pause.
+func TestClientSubscribeFilter(t *testing.T) {
+	_, addr := startServer(t)
+	tr, err := Connect(addr, "minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.LoadProgram("count.py", core.WithSource(countPy)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BreakBeforeLine("", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Subscribe("k == 10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if got := stateInt(t, tr, "k"); got != 10 {
+		t.Fatalf("first subscribed pause has k = %d, want 10", got)
+	}
+	// Clearing the subscription surfaces the very next hit again.
+	if err := tr.Subscribe(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if got := stateInt(t, tr, "k"); got != 11 {
+		t.Fatalf("post-clear pause has k = %d, want 11", got)
+	}
+	// Bad expressions are rejected client-side with the typed query error.
+	err = tr.Subscribe("k ==")
+	if !errors.Is(err, core.ErrBadQuery) {
+		t.Errorf("Subscribe(bad) = %v, want ErrBadQuery", err)
+	}
+}
+
+// TestClientSubscribeReplay: the subscription is journaled, so an evicted
+// session comes back with both its conditional surface and its filter.
+func TestClientSubscribeReplay(t *testing.T) {
+	_, addr := startServer(t, WithIdleTimeout(80*time.Millisecond))
+	tr, err := Connect(addr, "minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.LoadProgram("count.py", core.WithSource(countPy)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BreakBeforeLine("", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Subscribe("k == 10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if got := stateInt(t, tr, "k"); got != 10 {
+		t.Fatalf("pre-eviction pause has k = %d, want 10", got)
+	}
+
+	time.Sleep(300 * time.Millisecond) // let the server evict the session
+
+	err = tr.Resume()
+	var te *core.TrackerError
+	if !errors.As(err, &te) || te.Recovery != core.RecoveryRestarted {
+		t.Fatalf("post-eviction Resume: %v, want RecoveryRestarted", err)
+	}
+	if len(te.Lost) != 0 {
+		t.Errorf("lost items = %v, want none (probe and subscription re-arm)", te.Lost)
+	}
+	// The fresh inferior restarts from entry; the replayed subscription
+	// still filters, so the first surfaced pause is k == 10 again.
+	if err := tr.Resume(); err != nil {
+		t.Fatalf("Resume after recovery: %v", err)
+	}
+	if r := tr.PauseReason(); r.Type != core.PauseBreakpoint {
+		t.Fatalf("post-recovery pause = %v, want BREAKPOINT", r)
+	}
+	if got := stateInt(t, tr, "k"); got != 10 {
+		t.Errorf("post-recovery pause has k = %d, want 10 (subscription replayed)", got)
+	}
+}
+
+// TestClientSubscribeInterrupt: supervision outranks the filter — an
+// interrupt surfaces even while the server is swallowing non-matching
+// pauses.
+func TestClientSubscribeInterrupt(t *testing.T) {
+	_, addr := startServer(t)
+	tr, err := Connect(addr, "minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := tr.LoadProgram("spin.py",
+		core.WithSource("n = 0\nwhile True:\n    n = n + 1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BreakBeforeLine("", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Subscribe("n < 0"); err != nil { // never matches
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		tr.Interrupt()
+	}()
+	if err := tr.Resume(); err != nil {
+		t.Fatalf("interrupted Resume: %v", err)
+	}
+	if r := tr.PauseReason(); r.Type != core.PauseInterrupted {
+		t.Fatalf("pause = %v, want INTERRUPTED", r)
+	}
+}

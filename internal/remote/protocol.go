@@ -31,6 +31,11 @@ const (
 	OpTrack     = "track"
 	OpWatch     = "watch"
 
+	// Server-side pause filtering: a subscription expression makes Resume
+	// loop on the server until a pause matches (or the inferior exits), so
+	// non-matching pauses never cross the socket.
+	OpSubscribe = "subscribe"
+
 	// Inspection.
 	OpState    = "state"
 	OpSource   = "source"
@@ -83,6 +88,12 @@ type Request struct {
 	MaxDepth int    `json:"max_depth,omitempty"`
 	Addr     uint64 `json:"addr,omitempty"`
 	Size     int    `json:"size,omitempty"`
+
+	// Probe condition operands (arming ops) and the subscription
+	// expression (OpSubscribe; empty clears the subscription).
+	Cond    string `json:"cond,omitempty"`
+	Ignore  int    `json:"ignore,omitempty"`
+	OneShot bool   `json:"one_shot,omitempty"`
 }
 
 // Status is the tracker's observable condition after an operation: the

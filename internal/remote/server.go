@@ -13,6 +13,7 @@ import (
 
 	"easytracker/internal/core"
 	"easytracker/internal/obs"
+	"easytracker/internal/query"
 
 	// A server is useful without importing the library root, so it pulls in
 	// the built-in backends itself.
@@ -304,6 +305,11 @@ type session struct {
 	loaded bool
 	stdout *deltaBuffer
 	stderr *deltaBuffer
+
+	// sub is the session's pause subscription (OpSubscribe): while set,
+	// Resume loops server-side until a pause matches, so non-matching
+	// pauses never cross the socket. Executor goroutine only.
+	sub *query.Program
 }
 
 // serverConn is one client connection: a reader goroutine feeding an
@@ -486,7 +492,11 @@ func (c *serverConn) exec(sess *session, req *Request) *Response {
 	case OpStart:
 		err = sess.tr.Start()
 	case OpResume:
-		err = sess.tr.Resume()
+		if sess.sub != nil {
+			err = c.resumeFiltered(sess)
+		} else {
+			err = sess.tr.Resume()
+		}
 	case OpStep:
 		err = sess.tr.Step()
 	case OpNext:
@@ -498,9 +508,11 @@ func (c *serverConn) exec(sess *session, req *Request) *Response {
 	case OpBreakFunc:
 		err = sess.tr.BreakBeforeFunc(req.Func, breakOpts(req)...)
 	case OpTrack:
-		err = sess.tr.TrackFunction(req.Func)
+		err = sess.tr.TrackFunction(req.Func, breakOpts(req)...)
 	case OpWatch:
-		err = sess.tr.Watch(req.Var)
+		err = sess.tr.Watch(req.Var, breakOpts(req)...)
+	case OpSubscribe:
+		err = c.subscribe(sess, req)
 	case OpState:
 		var st *core.State
 		if sp, ok := core.As[core.StateProvider](sess.tr); ok {
@@ -601,10 +613,103 @@ func (c *serverConn) status(sess *session) *Status {
 }
 
 func breakOpts(req *Request) []core.BreakOption {
+	var opts []core.BreakOption
 	if req.MaxDepth > 0 {
-		return []core.BreakOption{core.WithMaxDepth(req.MaxDepth)}
+		opts = append(opts, core.WithMaxDepth(req.MaxDepth))
 	}
+	if req.Cond != "" {
+		opts = append(opts, core.WithCondition(req.Cond))
+	}
+	if req.Ignore > 0 {
+		opts = append(opts, core.WithIgnoreHits(req.Ignore))
+	}
+	if req.OneShot {
+		opts = append(opts, core.WithOneShot())
+	}
+	return opts
+}
+
+// subscribe installs (or, with an empty expression, clears) the session's
+// pause subscription. The expression compiles once here; evaluation needs
+// the backend's state snapshots, so a backend without StateProvider cannot
+// host subscriptions.
+func (c *serverConn) subscribe(sess *session, req *Request) error {
+	if req.Cond == "" {
+		sess.sub = nil
+		return nil
+	}
+	if _, ok := core.As[core.StateProvider](sess.tr); !ok {
+		return core.WrapErr(sess.kind, "Subscribe", "", 0, core.ErrUnsupported)
+	}
+	prog, err := query.Compile(req.Cond)
+	if err != nil {
+		return err
+	}
+	sess.sub = prog
 	return nil
+}
+
+// resumeFiltered is Resume under an active subscription: keep resuming
+// until a pause matches the expression, the inferior exits, or the
+// supervision layer interrupts (interrupts, deadlines and budgets always
+// surface — swallowing them server-side would defeat supervision).
+// Filtered pauses are counted but never serialized to the client.
+func (c *serverConn) resumeFiltered(sess *session) error {
+	for {
+		if err := sess.tr.Resume(); err != nil {
+			return err
+		}
+		if _, exited := sess.tr.ExitCode(); exited {
+			return nil
+		}
+		r := sess.tr.PauseReason()
+		if r.Type == core.PauseInterrupted {
+			return nil
+		}
+		if c.subMatch(sess, r) {
+			return nil
+		}
+		c.srv.met.Counter(core.CtrRemoteFiltered).Inc()
+	}
+}
+
+// subMatch evaluates the subscription against the current pause. A pause
+// the server cannot evaluate (snapshot failure) surfaces rather than being
+// silently dropped.
+func (c *serverConn) subMatch(sess *session, r core.PauseReason) bool {
+	sp, ok := core.As[core.StateProvider](sess.tr)
+	if !ok {
+		return true
+	}
+	st, err := sp.State()
+	if err != nil || st == nil {
+		return true
+	}
+	file, line := sess.tr.Position()
+	fn := r.Function
+	if fn == "" && st.Frame != nil {
+		fn = st.Frame.Name
+	}
+	v := query.StateView{
+		EventName: pauseEvent(r.Type),
+		LineNo:    line,
+		FileName:  file,
+		FuncName:  fn,
+		State:     st,
+	}
+	return sess.sub.Match(&v)
+}
+
+// pauseEvent maps a pause reason onto the query event vocabulary.
+func pauseEvent(t core.PauseReasonType) string {
+	switch t {
+	case core.PauseCall:
+		return query.EventCall
+	case core.PauseReturn:
+		return query.EventReturn
+	default:
+		return query.EventLine
+	}
 }
 
 // deltaBuffer accumulates inferior output between responses; take drains

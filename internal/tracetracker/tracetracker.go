@@ -16,6 +16,7 @@ import (
 	"easytracker/internal/core"
 	"easytracker/internal/obs"
 	"easytracker/internal/pt"
+	"easytracker/internal/query"
 )
 
 // Kind is the tracker registry name.
@@ -25,14 +26,60 @@ func init() {
 	core.RegisterTracker(Kind, func() core.Tracker { return New() })
 }
 
+// probeCtl is the conditional-arming state of a replay probe: compiled
+// condition, remaining ignore count, one-shot latch.
+type probeCtl struct {
+	cond       *query.Program
+	ignoreLeft int
+	oneShot    bool
+	disarmed   bool
+}
+
+// hit gates one condition-passing event through ignore/one-shot
+// bookkeeping.
+func (c *probeCtl) hit() bool {
+	if c.ignoreLeft > 0 {
+		c.ignoreLeft--
+		return false
+	}
+	if c.oneShot {
+		c.disarmed = true
+	}
+	return true
+}
+
+// passes evaluates the full gate against the event view.
+func (c *probeCtl) passes(v *query.StateView) bool {
+	if c.disarmed {
+		return false
+	}
+	if c.cond != nil && !c.cond.Match(v) {
+		return false
+	}
+	return c.hit()
+}
+
 type lineBP struct {
 	line     int
 	maxDepth int
+	probeCtl
 }
 
 type funcBP struct {
 	name     string
 	maxDepth int
+	probeCtl
+}
+
+// trackInfo is the per-function state of TrackFunction.
+type trackInfo struct {
+	probeCtl
+}
+
+// traceWatch is one armed watch over the recorded variable stream.
+type traceWatch struct {
+	id string
+	probeCtl
 }
 
 // Tracker replays a recorded trace through the control/inspection API.
@@ -50,8 +97,11 @@ type Tracker struct {
 
 	lineBPs []lineBP
 	funcBPs []funcBP
-	tracked map[string]bool
-	watches []string
+	tracked map[string]*trackInfo
+	watches []*traceWatch
+
+	// view is the reusable condition view over the current step.
+	view query.StateView
 
 	// obs is the tracker's instrument panel, nil unless WithObservability
 	// was given on LoadProgram (LoadTrace installs a trace directly and
@@ -64,7 +114,7 @@ type Tracker struct {
 
 // New returns an unloaded trace tracker.
 func New() *Tracker {
-	return &Tracker{pos: -1, tracked: map[string]bool{}}
+	return &Tracker{pos: -1, tracked: map[string]*trackInfo{}}
 }
 
 // LoadTrace installs an in-memory trace.
@@ -178,41 +228,56 @@ func (t *Tracker) advance() bool {
 func (t *Tracker) pauseHere(prev int) (core.PauseReason, bool) {
 	s := t.step()
 	depth := t.depthAt(t.pos)
+	t.view = query.StateView{
+		EventName: queryEvent(s.Event), LineNo: s.Line,
+		FileName: t.trace.File, FuncName: s.Func, State: s.State,
+	}
 
 	// Watches: compare variable renderings between prev and now.
 	for _, w := range t.watches {
-		oldV := lookupVar(t.trace, prev, w)
-		newV := lookupVar(t.trace, t.pos, w)
-		if renderVal(oldV) != renderVal(newV) {
+		if w.disarmed {
+			continue
+		}
+		if w.cond != nil && !w.cond.Match(&t.view) {
+			continue
+		}
+		oldV := lookupVar(t.trace, prev, w.id)
+		newV := lookupVar(t.trace, t.pos, w.id)
+		if renderVal(oldV) != renderVal(newV) && w.hit() {
 			return core.PauseReason{
-				Type: core.PauseWatch, Variable: w,
+				Type: core.PauseWatch, Variable: w.id,
 				Old: oldV, New: newV,
 				File: t.trace.File, Line: s.Line,
 			}, true
 		}
 	}
 	// Tracked function boundaries recorded in the trace.
-	if s.Event == pt.EventCall && t.tracked[s.Func] {
-		return core.PauseReason{
-			Type: core.PauseCall, Function: s.Func,
-			File: t.trace.File, Line: s.Line,
-		}, true
-	}
-	if s.Event == pt.EventReturn && t.tracked[s.Func] {
-		var rv *core.Value
-		if s.State != nil {
-			rv = s.State.Reason.ReturnValue
+	if s.Event == pt.EventCall {
+		if ti := t.tracked[s.Func]; ti != nil && ti.passes(&t.view) {
+			return core.PauseReason{
+				Type: core.PauseCall, Function: s.Func,
+				File: t.trace.File, Line: s.Line,
+			}, true
 		}
-		return core.PauseReason{
-			Type: core.PauseReturn, Function: s.Func,
-			ReturnValue: rv,
-			File:        t.trace.File, Line: s.Line,
-		}, true
+	}
+	if s.Event == pt.EventReturn {
+		if ti := t.tracked[s.Func]; ti != nil && ti.passes(&t.view) {
+			var rv *core.Value
+			if s.State != nil {
+				rv = s.State.Reason.ReturnValue
+			}
+			return core.PauseReason{
+				Type: core.PauseReturn, Function: s.Func,
+				ReturnValue: rv,
+				File:        t.trace.File, Line: s.Line,
+			}, true
+		}
 	}
 	// Function breakpoints: a call event entering the function.
 	if s.Event == pt.EventCall {
-		for _, bp := range t.funcBPs {
-			if bp.name == s.Func && depthOK(bp.maxDepth, depth) {
+		for i := range t.funcBPs {
+			bp := &t.funcBPs[i]
+			if bp.name == s.Func && depthOK(bp.maxDepth, depth) && bp.passes(&t.view) {
 				return core.PauseReason{
 					Type: core.PauseBreakpoint, Function: s.Func,
 					File: t.trace.File, Line: s.Line,
@@ -221,8 +286,9 @@ func (t *Tracker) pauseHere(prev int) (core.PauseReason, bool) {
 		}
 	}
 	// Line breakpoints.
-	for _, bp := range t.lineBPs {
-		if bp.line == s.Line && depthOK(bp.maxDepth, depth) {
+	for i := range t.lineBPs {
+		bp := &t.lineBPs[i]
+		if bp.line == s.Line && depthOK(bp.maxDepth, depth) && bp.passes(&t.view) {
 			return core.PauseReason{
 				Type: core.PauseBreakpoint,
 				File: t.trace.File, Line: s.Line,
@@ -230,6 +296,19 @@ func (t *Tracker) pauseHere(prev int) (core.PauseReason, bool) {
 		}
 	}
 	return core.PauseReason{}, false
+}
+
+// queryEvent maps a recorded pt event onto the query language's event
+// vocabulary; step_line (and exception) read as "line".
+func queryEvent(ev string) string {
+	switch ev {
+	case pt.EventCall:
+		return query.EventCall
+	case pt.EventReturn:
+		return query.EventReturn
+	default:
+		return query.EventLine
+	}
 }
 
 func depthOK(maxDepth, depth int) bool {
@@ -363,45 +442,65 @@ func (t *Tracker) Terminate() error {
 	return nil
 }
 
-// BreakBeforeLine arms a replay breakpoint on a source line.
-func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
+// Arm registers any probe kind against the replay — the unified arming
+// surface behind the four convenience methods. Conditions compile here so a
+// bad expression fails the arming call with ErrBadQuery.
+func (t *Tracker) Arm(p core.Probe) error {
+	op := p.Op()
 	if !t.loaded {
-		return t.werr("BreakBeforeLine", core.ErrNoProgram)
+		return t.werr(op, core.ErrNoProgram)
 	}
-	bc := core.ApplyBreakOptions(opts)
-	t.lineBPs = append(t.lineBPs, lineBP{line: line, maxDepth: bc.MaxDepth})
+	ctl := probeCtl{ignoreLeft: p.IgnoreHits, oneShot: p.OneShot}
+	if p.Condition != "" {
+		prog, err := query.Compile(p.Condition)
+		if err != nil {
+			return t.werr(op, err)
+		}
+		ctl.cond = prog
+	}
+	switch p.Kind {
+	case core.ProbeLine:
+		t.lineBPs = append(t.lineBPs, lineBP{line: p.Line, maxDepth: p.MaxDepth, probeCtl: ctl})
+	case core.ProbeFunc:
+		t.funcBPs = append(t.funcBPs, funcBP{name: p.Function, maxDepth: p.MaxDepth, probeCtl: ctl})
+	case core.ProbeTrack:
+		t.tracked[p.Function] = &trackInfo{probeCtl: ctl}
+	case core.ProbeWatch:
+		t.watches = append(t.watches, &traceWatch{id: p.VarID, probeCtl: ctl})
+		t.obs.Gauge(core.GaugeWatches).Set(int64(len(t.watches)))
+	default:
+		return t.werr(op, core.ErrUnsupported)
+	}
 	return nil
+}
+
+// ConditionalProbes advertises the ConditionalBreaker capability.
+func (t *Tracker) ConditionalProbes() bool { return true }
+
+// BreakBeforeLine arms a replay breakpoint on a source line. Equivalent to
+// Arm(core.LineProbe(file, line, opts...)).
+func (t *Tracker) BreakBeforeLine(file string, line int, opts ...core.BreakOption) error {
+	return t.Arm(core.LineProbe(file, line, opts...))
 }
 
 // BreakBeforeFunc arms a replay breakpoint on function entry; only
-// functions whose calls were recorded can fire.
+// functions whose calls were recorded can fire. Equivalent to
+// Arm(core.FuncProbe(name, opts...)).
 func (t *Tracker) BreakBeforeFunc(name string, opts ...core.BreakOption) error {
-	if !t.loaded {
-		return t.werr("BreakBeforeFunc", core.ErrNoProgram)
-	}
-	bc := core.ApplyBreakOptions(opts)
-	t.funcBPs = append(t.funcBPs, funcBP{name: name, maxDepth: bc.MaxDepth})
-	return nil
+	return t.Arm(core.FuncProbe(name, opts...))
 }
 
 // TrackFunction pauses at recorded entries/exits of the named function.
-func (t *Tracker) TrackFunction(name string) error {
-	if !t.loaded {
-		return t.werr("TrackFunction", core.ErrNoProgram)
-	}
-	t.tracked[name] = true
-	return nil
+// Equivalent to Arm(core.TrackProbe(name, opts...)).
+func (t *Tracker) TrackFunction(name string, opts ...core.BreakOption) error {
+	return t.Arm(core.TrackProbe(name, opts...))
 }
 
 // Watch pauses when the identified variable's recorded value changes
-// between consecutive steps.
-func (t *Tracker) Watch(varID string) error {
-	if !t.loaded {
-		return t.werr("Watch", core.ErrNoProgram)
-	}
-	t.watches = append(t.watches, varID)
-	t.obs.Gauge(core.GaugeWatches).Set(int64(len(t.watches)))
-	return nil
+// between consecutive steps. Equivalent to
+// Arm(core.WatchProbe(varID, opts...)).
+func (t *Tracker) Watch(varID string, opts ...core.BreakOption) error {
+	return t.Arm(core.WatchProbe(varID, opts...))
 }
 
 // PauseReason reports why the replay is paused.

@@ -11,7 +11,9 @@ import (
 	"testing"
 
 	"easytracker"
+	"easytracker/internal/core"
 	"easytracker/internal/pt"
+	"easytracker/internal/query"
 )
 
 // The cross-backend conformance suite: the same scenario matrix — breakpoint,
@@ -264,6 +266,120 @@ func TestRemoteConformance(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestRemoteConformanceSubscribe proves the server-side subscription filter
+// is an exact optimization: the pauses a Subscribe session surfaces are
+// line-identical — reasons, positions and full State JSON — to what a client
+// filtering every pause locally would keep, while moving strictly fewer wire
+// frames in both directions.
+func TestRemoteConformanceSubscribe(t *testing.T) {
+	langs := []struct{ kind, path, src string }{
+		{"minipy", "agree.py", agreePy},
+		{"minigdb", "agree.c", agreeC},
+	}
+	// Line 11 is "total = total + square(i)" in both languages; the loop
+	// runs i = 1..4, so the filter keeps the last two of four hits.
+	const expr = "i >= 3"
+	for _, lang := range langs {
+		t.Run(lang.kind, func(t *testing.T) {
+			// Each run gets its own loopback server so its frame counters
+			// measure that run alone.
+			run := func(subscribe bool) (lines []string, in, out, filtered uint64) {
+				srv := easytracker.NewServer()
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				go srv.Serve(ln)
+				defer srv.Close()
+				tk, err := easytracker.Connect(ln.Addr().String(), lang.kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer tk.Close()
+				defer tk.Terminate()
+				tr := &transcript{}
+				if err := tk.LoadProgram(lang.path, easytracker.WithSource(lang.src)); err != nil {
+					t.Fatalf("load: %v", err)
+				}
+				if err := tk.Start(); err != nil {
+					t.Fatalf("start: %v", err)
+				}
+				if err := tk.BreakBeforeLine("", 11); err != nil {
+					t.Fatalf("break: %v", err)
+				}
+				var filter *query.Program
+				if subscribe {
+					if err := tk.Subscribe(expr); err != nil {
+						t.Fatalf("subscribe: %v", err)
+					}
+				} else {
+					filter = query.MustCompile(expr)
+				}
+				sp, ok := easytracker.As[easytracker.StateProvider](tk)
+				if !ok {
+					t.Fatal("remote session denies StateProvider")
+				}
+				for i := 0; i < 100; i++ {
+					if err := tk.Resume(); err != nil {
+						t.Fatalf("resume: %v", err)
+					}
+					if _, done := tk.ExitCode(); done {
+						code, _ := tk.ExitCode()
+						tr.note("exit %d", code)
+						snap := srv.Stats()
+						return tr.lines, snap.Counters[core.CtrRemoteFramesIn],
+							snap.Counters[core.CtrRemoteFramesOut],
+							snap.Counters[core.CtrRemoteFiltered]
+					}
+					if filter != nil {
+						// Client-side filtering: pull the snapshot for every
+						// pause and mirror the server's event view.
+						st, err := sp.State()
+						if err != nil {
+							t.Fatalf("state: %v", err)
+						}
+						r := tk.PauseReason()
+						file, line := tk.Position()
+						ev := query.EventLine
+						switch r.Type {
+						case easytracker.PauseCall:
+							ev = query.EventCall
+						case easytracker.PauseReturn:
+							ev = query.EventReturn
+						}
+						v := query.StateView{
+							EventName: ev, LineNo: line, FileName: file,
+							FuncName: r.Function, State: st,
+						}
+						if !filter.Match(&v) {
+							continue
+						}
+					}
+					tr.observePause(t, tk)
+				}
+				t.Fatal("runaway resume loop")
+				return nil, 0, 0, 0
+			}
+			client, cliIn, cliOut, cliFiltered := run(false)
+			server, subIn, subOut, subFiltered := run(true)
+			if len(client) == 0 || strings.Join(client, "\n") != strings.Join(server, "\n") {
+				t.Errorf("transcripts differ:\nclient-filtered:\n%s\nsubscribed:\n%s",
+					strings.Join(client, "\n"), strings.Join(server, "\n"))
+			}
+			if subIn >= cliIn || subOut >= cliOut {
+				t.Errorf("subscription moved no fewer frames: in %d vs %d, out %d vs %d",
+					subIn, cliIn, subOut, cliOut)
+			}
+			if cliFiltered != 0 {
+				t.Errorf("client-filtered run counted %d server-side filtered pauses, want 0", cliFiltered)
+			}
+			if subFiltered != 2 {
+				t.Errorf("subscribed run filtered %d pauses server-side, want 2 (i = 1, 2)", subFiltered)
+			}
+		})
 	}
 }
 
