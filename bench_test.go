@@ -726,6 +726,18 @@ func BenchmarkObsOverheadOn(b *testing.B) {
 	benchObsOverhead(b, easytracker.WithObservability())
 }
 
+// BenchmarkSpanOverheadOff is the span-tracing-disabled cost: the nil-tracer
+// path is one pointer test per operation, so allocs/op must stay identical
+// to BenchmarkObsOverheadOff (et-benchdiff gates it against the committed
+// baseline).
+func BenchmarkSpanOverheadOff(b *testing.B) { benchObsOverhead(b) }
+
+// BenchmarkSpanOverheadOn prices span tracing: one record allocation and a
+// lock-free ring publish per completed tracker operation.
+func BenchmarkSpanOverheadOn(b *testing.B) {
+	benchObsOverhead(b, easytracker.WithObservability(easytracker.WithSpanTracing(256)))
+}
+
 // BenchmarkNativeMiniC is the raw machine baseline.
 func BenchmarkNativeMiniC(b *testing.B) {
 	prog, err := minic.Compile("fib.c", fibC)

@@ -12,9 +12,16 @@
 //
 // Usage:
 //
-//	et-serve [-addr :7070] [-max-sessions N] [-idle DUR] [-exec-timeout DUR]
-//	         [-max-steps N] [-max-depth N] [-max-heap N] [-max-instr N]
-//	         [-stats] [-v]
+//	et-serve [-addr :7070] [-http addr] [-max-sessions N] [-idle DUR]
+//	         [-exec-timeout DUR] [-max-steps N] [-max-depth N] [-max-heap N]
+//	         [-max-instr N] [-stats] [-stats-interval DUR] [-v]
+//
+// With -http the server exposes its live telemetry over HTTP: /metrics
+// (Prometheus text), /healthz and /readyz (readiness flips to 503 the moment
+// a drain begins), /sessions (per-session JSON), /spans (span dump;
+// ?chrome=1 for the Chrome trace-event format) and /debug/pprof. The
+// telemetry listener stays up through the drain so operators can watch it
+// finish.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +41,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
+	httpAddr := flag.String("http", "", "telemetry HTTP listen address (/metrics, /healthz, /readyz, /sessions, /spans, /debug/pprof; empty disables)")
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session limit")
 	idle := flag.Duration("idle", 10*time.Minute, "evict sessions idle this long (0 disables)")
 	execTimeout := flag.Duration("exec-timeout", 0, "cap every session's execution timeout per resuming call (0: no cap)")
@@ -42,6 +51,7 @@ func main() {
 	maxInstr := flag.Uint64("max-instr", 0, "cap every session's instruction budget (0: no cap)")
 	drainWait := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
 	showStats := flag.Bool("stats", false, "print the server's metrics snapshot (JSON) to stderr on exit")
+	statsInterval := flag.Duration("stats-interval", 0, "also print the metrics snapshot to stderr every DUR while serving (0 disables)")
 	verbose := flag.Bool("v", false, "log admissions, evictions and teardowns")
 	flag.Parse()
 
@@ -63,6 +73,29 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()
+
+	var telemetry *http.Server
+	if *httpAddr != "" {
+		telemetry = &http.Server{Addr: *httpAddr, Handler: srv.TelemetryHandler()}
+		go func() {
+			log.Printf("et-serve: telemetry on http://%s/metrics", *httpAddr)
+			if err := telemetry.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("et-serve: telemetry listener: %v", err)
+			}
+		}()
+	}
+
+	if *statsInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*statsInterval)
+			defer tick.Stop()
+			for range tick.C {
+				snap := srv.Stats()
+				log.Printf("et-serve: stats: sessions=%d spans=%d %s",
+					srv.SessionCount(), len(srv.Spans()), compactJSON(snap))
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -86,10 +119,24 @@ func main() {
 			log.Printf("et-serve: drain deadline expired, sessions torn down hard")
 		}
 	}
+	if telemetry != nil {
+		// The telemetry listener outlives the drain (so /readyz answers 503
+		// and /metrics stays scrapable through it) and closes last.
+		telemetry.Close()
+	}
 	if *showStats {
 		enc := json.NewEncoder(os.Stderr)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(srv.Stats())
 	}
 	fmt.Println("et-serve: stopped")
+}
+
+// compactJSON renders v on one line for the periodic stats log.
+func compactJSON(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return "{}"
+	}
+	return string(data)
 }

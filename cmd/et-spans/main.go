@@ -1,0 +1,87 @@
+// Command et-spans merges span dumps from a tracker fleet into one Chrome
+// trace-event document loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Each argument is either a JSON dump file (written with
+// easytracker.ExportSpans or saved from et-serve's /spans endpoint) or an
+// http(s) URL, fetched live — so one command can splice a tool's client-side
+// spans against the server's half of the same traces:
+//
+//	et-spans client-spans.json http://localhost:8080/spans -o timeline.json
+//
+// Spans sharing a trace id line up on the same timeline row per process;
+// span and parent ids ride in the event args for cross-referencing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"easytracker/internal/spanexport"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: et-spans [-o out.json] dump.json|URL ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var dumps []*spanexport.Dump
+	for _, arg := range flag.Args() {
+		data, err := fetch(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "et-spans: %s: %v\n", arg, err)
+			os.Exit(1)
+		}
+		dump, err := spanexport.DecodeDump(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "et-spans: %s: %v\n", arg, err)
+			os.Exit(1)
+		}
+		dumps = append(dumps, dump)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "et-spans: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := spanexport.WriteChromeTrace(w, dumps...); err != nil {
+		fmt.Fprintf(os.Stderr, "et-spans: %v\n", err)
+		os.Exit(1)
+	}
+	n := 0
+	for _, d := range dumps {
+		n += len(d.Spans)
+	}
+	fmt.Fprintf(os.Stderr, "et-spans: merged %d spans from %d dumps\n", n, len(dumps))
+}
+
+// fetch reads one dump source: an http(s) URL or a file path.
+func fetch(arg string) ([]byte, error) {
+	if strings.HasPrefix(arg, "http://") || strings.HasPrefix(arg, "https://") {
+		resp, err := http.Get(arg)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("HTTP %s", resp.Status)
+		}
+		return io.ReadAll(resp.Body)
+	}
+	return os.ReadFile(arg)
+}

@@ -19,6 +19,7 @@ import (
 	"os/signal"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"easytracker"
 	"easytracker/internal/pt"
@@ -77,6 +78,7 @@ func record(args []string) {
 	out := fs.String("o", "out.trace", "output path")
 	remoteAddr := fs.String("remote", "", "record on a tracker server (et-serve) at host:port")
 	showStats := fs.Bool("stats", false, "print the tracker's metrics snapshot (JSON) to stderr on exit")
+	statsInterval := fs.Duration("stats-interval", 0, "also print the metrics snapshot to stderr every DUR while recording (0 disables)")
 	_ = fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
@@ -88,10 +90,13 @@ func record(args []string) {
 	check(err)
 	var progOut strings.Builder
 	loadOpts := []easytracker.LoadOption{easytracker.WithStdout(&progOut)}
-	if *showStats {
+	if *showStats || *statsInterval > 0 {
 		loadOpts = append(loadOpts, easytracker.WithObservability())
 	}
 	check(tracker.LoadProgram(prog, loadOpts...))
+	if *statsInterval > 0 {
+		defer statsTicker(tracker, *statsInterval)()
+	}
 	// Ctrl-C interrupts the inferior; Record then returns the partial
 	// trace up to the INTERRUPTED pause instead of dying mid-run.
 	defer onSigint(func() { easytracker.Interrupt(tracker) })()
@@ -312,6 +317,29 @@ func printStats(tr easytracker.Tracker) {
 	enc := json.NewEncoder(os.Stderr)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(snap)
+}
+
+// statsTicker prints a one-line metrics snapshot to stderr every interval
+// until the returned stop function runs. Stats is safe to call from a second
+// goroutine: it reads atomic instruments only.
+func statsTicker(tr easytracker.Tracker, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				snap, _ := easytracker.Stats(tr)
+				if data, err := json.Marshal(snap); err == nil {
+					fmt.Fprintf(os.Stderr, "stats: %s\n", data)
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
 }
 
 func check(err error) {

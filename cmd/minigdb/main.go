@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	minigdb [-die-after N] [-stats] [PROG.c|PROG.s|PROG.mobj]
+//	minigdb [-die-after N] [-stats] [-stats-interval DUR] [PROG.c|PROG.s|PROG.mobj]
 //
 // Commands are GDB/MI-style lines (-exec-run, -break-insert 12,
 // -exec-continue, -et-inspect, ...); responses end with "(gdb)".
@@ -15,7 +15,8 @@
 //
 // -stats prints the server-side instrument snapshot (commands served,
 // records written, the last commands seen) as JSON to stderr when the
-// session ends.
+// session ends; -stats-interval DUR prints a one-line snapshot periodically
+// while serving, so a long session can be watched live.
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"easytracker/internal/asm"
 	"easytracker/internal/isa"
@@ -79,6 +81,7 @@ func (s *statsConn) Send(line string) error {
 func main() {
 	dieAfter := flag.Int("die-after", -1, "crash (exit 3) when command N+1 arrives; -1 disables")
 	showStats := flag.Bool("stats", false, "print the server's metrics snapshot (JSON) to stderr on exit")
+	statsInterval := flag.Duration("stats-interval", 0, "also print the metrics snapshot to stderr every DUR while serving (0 disables)")
 	flag.Parse()
 
 	var prog *isa.Program
@@ -107,9 +110,22 @@ func main() {
 	srv.SetStdin(strings.NewReader("")) // inferior input not wired on stdio
 	var conn mi.Conn = mi.NewStdioConn(os.Stdin, os.Stdout, nil)
 	var metrics *obs.Metrics
-	if *showStats {
+	if *showStats || *statsInterval > 0 {
 		metrics = obs.New(obs.Config{Enabled: true, Events: obs.DefaultEvents})
 		conn = &statsConn{Conn: conn, m: metrics}
+	}
+	if *statsInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*statsInterval)
+			defer tick.Stop()
+			for range tick.C {
+				snap := metrics.Snapshot()
+				snap.Tracker = "minigdb-server"
+				if data, err := json.Marshal(snap); err == nil {
+					fmt.Fprintf(os.Stderr, "stats: %s\n", data)
+				}
+			}
+		}()
 	}
 	if *dieAfter >= 0 {
 		conn = &dieConn{Conn: conn, left: *dieAfter}

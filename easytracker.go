@@ -42,11 +42,14 @@
 package easytracker
 
 import (
+	"encoding/json"
+	"io"
 	"strings"
 
 	"easytracker/internal/core"
 	"easytracker/internal/obs"
 	"easytracker/internal/remote"
+	"easytracker/internal/spanexport"
 
 	// Register the built-in trackers.
 	_ "easytracker/internal/gdbtracker"
@@ -368,6 +371,47 @@ type (
 //	snap, _ := easytracker.Stats(tr)
 //	json.NewEncoder(os.Stderr).Encode(snap)
 func Stats(tr Tracker) (*Snapshot, bool) { return core.StatsOf(tr) }
+
+// Span tracing: where Stats answers "how often and how long on average",
+// spans answer "what exactly happened inside THIS slow Resume" — one record
+// per completed operation, linked into a tree by 64-bit trace/span/parent
+// ids. Enable with WithObservability(WithSpanTracing(n)); across a remote
+// session the trace context rides the wire, so the client's call span, the
+// server's executor span and the backend's op span share one trace id and
+// merge into one timeline (the et-spans tool renders the Chrome trace-event
+// format Perfetto and chrome://tracing load directly).
+type (
+	// SpanRecord is one completed span.
+	SpanRecord = obs.SpanRecord
+	// SpanContext identifies a span within a trace.
+	SpanContext = obs.SpanContext
+	// SpanProvider is the capability interface behind Spans.
+	SpanProvider = core.SpanProvider
+	// SpanDump is one process's span export (what et-serve's /spans
+	// endpoint serves).
+	SpanDump = spanexport.Dump
+)
+
+// WithSpanTracing (an ObsOption for WithObservability) turns on span
+// tracing, retaining the last n completed spans (n <= 0 picks the default
+// capacity).
+var WithSpanTracing = core.WithSpanTracing
+
+// Spans returns tr's retained spans, ordered by start time (ok is false
+// when tr records no spans).
+func Spans(tr Tracker) ([]SpanRecord, bool) { return core.SpansOf(tr) }
+
+// ExportSpans writes tr's spans as a JSON span dump, the unit et-spans
+// merges into a fleet-wide timeline.
+func ExportSpans(w io.Writer, proc string, tr Tracker) error {
+	spans, _ := Spans(tr)
+	return json.NewEncoder(w).Encode(&SpanDump{Proc: proc, Spans: spans})
+}
+
+// WriteChromeTrace merges span dumps into one Chrome trace-event document.
+func WriteChromeTrace(w io.Writer, dumps ...*SpanDump) error {
+	return spanexport.WriteChromeTrace(w, dumps...)
+}
 
 // New instantiates a tracker by kind ("minipy", "minigdb", "trace") — the
 // paper's init_tracker.

@@ -46,6 +46,8 @@ type CapabilitySet struct {
 	State bool
 	// Stats: the tracker implements StatsProvider (instrument snapshots).
 	Stats bool
+	// Spans: the tracker implements SpanProvider (completed-span dumps).
+	Spans bool
 	// Interrupt: the tracker implements Interrupter (runs can be paused
 	// from another goroutine).
 	Interrupt bool
@@ -63,6 +65,7 @@ func CapabilitiesOf(tr Tracker) CapabilitySet {
 	_, c.Heap = As[HeapInspector](tr)
 	_, c.State = As[StateProvider](tr)
 	_, c.Stats = As[StatsProvider](tr)
+	_, c.Spans = As[SpanProvider](tr)
 	_, c.Interrupt = As[Interrupter](tr)
 	_, c.ConditionalBreak = As[ConditionalBreaker](tr)
 	return c

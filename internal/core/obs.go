@@ -14,6 +14,16 @@ type ObsConfig struct {
 	// Events sizes the flight recorder (retained events); zero picks the
 	// tracker's default (obs.DefaultEvents for trackers that record).
 	Events int
+	// Spans sizes the span ring (retained completed spans); zero leaves span
+	// tracing off unless SpanSink is set. Span tracing is independent of
+	// Enabled — spans answer "what happened inside this op", metrics answer
+	// "how often and how long on average".
+	Spans int
+	// SpanSink, when non-nil, makes the tracker publish its spans into this
+	// shared ring instead of allocating its own — how the remote server
+	// funnels every session backend into one /spans dump. Takes precedence
+	// over Spans.
+	SpanSink *obs.SpanRing
 }
 
 // ObsOption customizes WithObservability.
@@ -22,6 +32,34 @@ type ObsOption func(*ObsConfig)
 // WithFlightRecorder sizes the flight recorder to retain the last n events.
 func WithFlightRecorder(n int) ObsOption {
 	return func(c *ObsConfig) { c.Events = n }
+}
+
+// WithSpanTracing turns on span tracing with a ring retaining the last n
+// completed spans (obs.DefaultSpanCapacity when n <= 0). Every tracker op
+// (Start/Resume/Step/Next/Arm/State) becomes a span; nested work (MI round
+// trips, remote wire calls) links to the op that caused it by trace id.
+// Read spans back with easytracker.Spans.
+func WithSpanTracing(n int) ObsOption {
+	return func(c *ObsConfig) {
+		if n <= 0 {
+			n = obs.DefaultSpanCapacity
+		}
+		c.Spans = n
+	}
+}
+
+// WithSpanSink routes the tracker's spans into an existing shared ring.
+// Used by embedders that aggregate several trackers into one timeline (the
+// remote server injects its own ring into every session backend); most
+// callers want WithObservability(WithSpanTracing(n)) instead. A nil ring is
+// ignored. Note this is a LoadOption, not an ObsOption: it does not flip
+// metrics on.
+func WithSpanSink(ring *obs.SpanRing) LoadOption {
+	return func(c *LoadConfig) {
+		if ring != nil {
+			c.Obs.SpanSink = ring
+		}
+	}
 }
 
 // WithObservability enables the tracker's instrumentation: op counters and
@@ -54,6 +92,22 @@ type MetricsSource interface {
 	// ObsMetrics returns the live metrics, or nil when observability is
 	// off.
 	ObsMetrics() *obs.Metrics
+}
+
+// SpanProvider is implemented by trackers that expose their completed-span
+// ring. All built-in trackers do; with span tracing off the dump is nil.
+type SpanProvider interface {
+	// Spans returns the retained completed spans, ordered by start time.
+	Spans() []obs.SpanRecord
+}
+
+// SpanTracerSource is implemented by trackers that let embedders reach the
+// live tracer — the remote server uses it to stamp the executor span as the
+// ambient parent before running a backend op, so the backend's spans nest
+// under the request that caused them.
+type SpanTracerSource interface {
+	// SpanTracer returns the live tracer, or nil when span tracing is off.
+	SpanTracer() *obs.Tracer
 }
 
 // Canonical instrument names. Trackers use these so tools can read one
@@ -98,6 +152,19 @@ const (
 	GaugeRemoteSessions = "remote.sessions_active"  // live sessions
 )
 
+// Canonical span names. Backend op spans reuse the histogram names above
+// (OpStart, OpResume, ...); these cover the layers without a histogram
+// counterpart.
+const (
+	// SpanArm times one Arm call; Detail carries the probe description.
+	SpanArm = "op.arm"
+	// SpanRPCPrefix + op names a server-side executor span ("rpc.resume").
+	SpanRPCPrefix = "rpc."
+	// SpanCallPrefix + op names a client-side wire round trip
+	// ("remote.call.resume").
+	SpanCallPrefix = "remote.call."
+)
+
 // StatsOf returns tr's instrument snapshot through the capability chain
 // (wrappers implementing TrackerUnwrapper are seen through). ok is false
 // when tr does not expose an instrument panel; the returned snapshot is
@@ -108,4 +175,15 @@ func StatsOf(tr Tracker) (*obs.Snapshot, bool) {
 		return &obs.Snapshot{}, false
 	}
 	return sp.Stats(), true
+}
+
+// SpansOf returns tr's completed spans through the capability chain. ok is
+// false when tr exposes no span ring; with span tracing off the slice is
+// nil either way.
+func SpansOf(tr Tracker) ([]obs.SpanRecord, bool) {
+	sp, ok := As[SpanProvider](tr)
+	if !ok {
+		return nil, false
+	}
+	return sp.Spans(), true
 }

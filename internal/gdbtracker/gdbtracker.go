@@ -118,6 +118,11 @@ type Tracker struct {
 	// WithObservability.
 	obs *obs.Metrics
 
+	// tracer records one span per tracker op (and one per MI round trip,
+	// nested under the op via the ambient parent) when span tracing is on;
+	// nil otherwise, costing one pointer test per op.
+	tracer *obs.Tracer
+
 	// subprocess mode (NewSubprocess)
 	subproc     string
 	subprocArgs []string
@@ -189,6 +194,11 @@ func (t *Tracker) initObs() {
 		events = obs.DefaultEvents
 	}
 	t.obs = obs.New(obs.Config{Enabled: t.cfg.Obs.Enabled, Events: events})
+	if sink := t.cfg.Obs.SpanSink; sink != nil {
+		t.tracer = obs.NewTracerOn(Kind, sink)
+	} else if t.cfg.Obs.Spans > 0 {
+		t.tracer = obs.NewTracer(Kind, t.cfg.Obs.Spans)
+	}
 }
 
 // Stats implements core.StatsProvider.
@@ -201,6 +211,12 @@ func (t *Tracker) Stats() *obs.Snapshot {
 // ObsMetrics implements core.MetricsSource, letting wrappers (AsyncTracker)
 // report into the same panel.
 func (t *Tracker) ObsMetrics() *obs.Metrics { return t.obs }
+
+// Spans implements core.SpanProvider; nil when span tracing is off.
+func (t *Tracker) Spans() []obs.SpanRecord { return t.tracer.Spans() }
+
+// SpanTracer implements core.SpanTracerSource; nil when span tracing is off.
+func (t *Tracker) SpanTracer() *obs.Tracer { return t.tracer }
 
 // miTap is the wire-tap callback observing every MI round trip: the
 // command/record pair lands in the flight recorder, and with metrics on,
@@ -292,14 +308,17 @@ func (t *Tracker) Start() error {
 			return t.werr("Start", err)
 		}
 	}
+	sp := t.tracer.StartOp(core.OpStart)
 	t0 := t.obs.Now()
 	resp, err := t.send("-exec-run")
 	if err != nil {
+		sp.EndErr(err)
 		return t.werr("Start", err)
 	}
 	t.started = true
 	err = t.classifyStop(resp)
 	t.obs.Observe(core.OpStart, t0)
+	sp.EndErr(err)
 	return t.werr("Start", err)
 }
 
@@ -460,6 +479,7 @@ func (t *Tracker) control(name, op string) error {
 	if t.exited {
 		return t.werr(name, core.ErrExited)
 	}
+	sp := t.tracer.StartOp(opHistName(name))
 	t0 := t.obs.Now()
 	disarm := t.armExecDeadline()
 	resp, err := t.send(op)
@@ -468,6 +488,7 @@ func (t *Tracker) control(name, op string) error {
 		err = t.classifyStop(resp)
 	}
 	t.obs.Observe(opHistName(name), t0)
+	sp.EndErr(err)
 	return t.werr(name, err)
 }
 
@@ -550,6 +571,14 @@ func (t *Tracker) Terminate() error {
 // inside the debugger's stop filter, so non-matching hits never pay an MI
 // round trip.
 func (t *Tracker) Arm(p core.Probe) error {
+	sp := t.tracer.StartOp(core.SpanArm)
+	sp.Detail = p.Op()
+	err := t.armChecked(p)
+	sp.EndErr(err)
+	return err
+}
+
+func (t *Tracker) armChecked(p core.Probe) error {
 	op := p.Op()
 	if !t.loaded {
 		return t.werr(op, core.ErrNoProgram)
@@ -793,18 +822,22 @@ func (t *Tracker) fetchState() (*core.State, error) {
 		t.obs.Counter(core.CtrSnapshotHits).Inc()
 		return st, nil
 	}
+	sp := t.tracer.StartOp(core.OpStateFetch)
 	t0 := t.obs.Now()
 	resp, err := t.send("-et-inspect")
 	if err != nil {
+		sp.EndErr(err)
 		return nil, err
 	}
 	var st core.State
 	if err := json.Unmarshal([]byte(resp.Result.GetString("state")), &st); err != nil {
+		sp.EndErr(err)
 		return nil, fmt.Errorf("gdbtracker: bad state payload: %w", err)
 	}
 	t.state = &st
 	t.stateVersion, _ = strconv.ParseUint(resp.Result.GetString("version"), 10, 64)
 	t.obs.Observe(core.OpStateFetch, t0)
+	sp.End()
 	t.obs.Counter(core.CtrSnapshotMisses).Inc()
 	return &st, nil
 }

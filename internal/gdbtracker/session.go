@@ -32,7 +32,7 @@ func (t *Tracker) setTransport(c *mi.Client) {
 		trans = &mi.DeadlineTransport{T: trans, Timeout: t.cfg.CommandTimeout}
 	}
 	if t.obs != nil {
-		trans = &mi.TapTransport{T: trans, Tap: t.miTap}
+		trans = &mi.TapTransport{T: trans, Tap: t.miTap, Tracer: t.tracer}
 	}
 	t.trans = trans
 }

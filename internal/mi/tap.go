@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"easytracker/internal/obs"
 )
 
 // TapFunc observes one completed MI round trip: the command as sent, the
@@ -20,12 +22,20 @@ type TapFunc func(op string, args []string, resp *Response, err error, d time.Du
 type TapTransport struct {
 	T   Transport
 	Tap TapFunc
+	// Tracer, when non-nil, records one span per round trip (named
+	// "mi.round_trip", Detail = the MI command) nested under the tracker op
+	// in flight via the tracer's ambient parent. Like the tap itself it runs
+	// on the issuing goroutine.
+	Tracer *obs.Tracer
 }
 
 // RoundTrip implements Transport.
 func (t *TapTransport) RoundTrip(op string, args ...string) (*Response, error) {
+	sp := t.Tracer.Start("mi.round_trip")
+	sp.Detail = op
 	t0 := time.Now()
 	resp, err := t.T.RoundTrip(op, args...)
+	sp.EndErr(err)
 	if t.Tap != nil {
 		t.Tap(op, args, resp, err, time.Since(t0))
 	}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders a Snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters as `et_<name>_total`, gauges as
+// `et_<name>` plus `et_<name>_max`, and op histograms as summary-style
+// series with quantile labels fed by the interpolated P50/P90/P99
+// estimates. Output is sorted so scrapes are deterministic and diffable.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	if s == nil {
+		s = &Snapshot{}
+	}
+	var b strings.Builder
+
+	enabled := 0
+	if s.Enabled {
+		enabled = 1
+	}
+	b.WriteString("# HELP et_obs_enabled Whether the metric instruments are on.\n")
+	b.WriteString("# TYPE et_obs_enabled gauge\n")
+	fmt.Fprintf(&b, "et_obs_enabled %d\n", enabled)
+	if s.UptimeNs > 0 {
+		b.WriteString("# HELP et_uptime_seconds Time since the instrument panel was created.\n")
+		b.WriteString("# TYPE et_uptime_seconds gauge\n")
+		fmt.Fprintf(&b, "et_uptime_seconds %.6f\n", float64(s.UptimeNs)/1e9)
+	}
+
+	for _, name := range sortedKeys(s.Counters) {
+		m := promName(name) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		g := s.Gauges[name]
+		m := promName(name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", m, m, g.Value)
+		fmt.Fprintf(&b, "# TYPE %s_max gauge\n%s_max %d\n", m, m, g.Max)
+	}
+	for _, name := range s.OpNames() {
+		op := s.Ops[name]
+		m := promName(name) + "_ns"
+		fmt.Fprintf(&b, "# TYPE %s summary\n", m)
+		fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %d\n", m, op.P50Ns)
+		fmt.Fprintf(&b, "%s{quantile=\"0.9\"} %d\n", m, op.P90Ns)
+		fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %d\n", m, op.P99Ns)
+		fmt.Fprintf(&b, "%s_sum %d\n", m, op.SumNs)
+		fmt.Fprintf(&b, "%s_count %d\n", m, op.Count)
+	}
+	if s.EventsDropped > 0 {
+		b.WriteString("# TYPE et_events_dropped_total counter\n")
+		fmt.Fprintf(&b, "et_events_dropped_total %d\n", s.EventsDropped)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// promName maps an instrument name ("remote.round_trip") to a legal
+// Prometheus metric name ("et_remote_round_trip").
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("et_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -39,8 +39,56 @@ type LatencyStats struct {
 	MinNs  uint64 `json:"min_ns"`
 	MaxNs  uint64 `json:"max_ns"`
 	MeanNs uint64 `json:"mean_ns"`
+	// P50Ns, P90Ns and P99Ns are quantile estimates interpolated within the
+	// power-of-two buckets and clamped to [MinNs, MaxNs]; exact only up to
+	// the bucket resolution (a bucket spans a factor of two).
+	P50Ns uint64 `json:"p50_ns,omitempty"`
+	P90Ns uint64 `json:"p90_ns,omitempty"`
+	P99Ns uint64 `json:"p99_ns,omitempty"`
 	// Buckets lists the non-empty power-of-two latency buckets.
 	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket counts
+// by linear interpolation within the bucket holding the target rank, clamped
+// to the observed [MinNs, MaxNs] range. Returns 0 when the histogram is
+// empty.
+func (s *LatencyStats) Quantile(q float64) uint64 {
+	if s.Count == 0 || len(s.Buckets) == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Target rank, 1-based: the smallest rank whose cumulative count covers
+	// the q fraction of observations.
+	rank := uint64(q * float64(s.Count))
+	if float64(rank) < q*float64(s.Count) || rank == 0 {
+		rank++
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		if cum+b.Count < rank {
+			cum += b.Count
+			continue
+		}
+		// Bucket i covers [ (LeNs+1)/2, LeNs ] (bucket 0 is exactly 0ns).
+		lo := (b.LeNs + 1) / 2
+		hi := b.LeNs
+		est := lo
+		if b.Count > 0 && hi > lo {
+			frac := float64(rank-cum) / float64(b.Count)
+			est = lo + uint64(frac*float64(hi-lo))
+		}
+		if est < s.MinNs {
+			est = s.MinNs
+		}
+		if est > s.MaxNs {
+			est = s.MaxNs
+		}
+		return est
+	}
+	return s.MaxNs
 }
 
 // Bucket is one non-empty histogram bucket: Count observations at or below
@@ -71,6 +119,9 @@ func (h *Histogram) Stats() LatencyStats {
 			s.Buckets = append(s.Buckets, Bucket{LeNs: 1<<uint(i) - 1, Count: n})
 		}
 	}
+	s.P50Ns = s.Quantile(0.50)
+	s.P90Ns = s.Quantile(0.90)
+	s.P99Ns = s.Quantile(0.99)
 	return s
 }
 

@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuantileSingleValue(t *testing.T) {
+	// Every observation identical: clamping to [MinNs, MaxNs] makes the
+	// estimate exact regardless of bucket width.
+	m := New(Config{Enabled: true})
+	h := m.Hist("op")
+	for i := 0; i < 100; i++ {
+		h.Observe(1000 * time.Nanosecond)
+	}
+	s := h.Stats()
+	for q, got := range map[string]uint64{"p50": s.P50Ns, "p90": s.P90Ns, "p99": s.P99Ns} {
+		if got != 1000 {
+			t.Errorf("%s = %d, want exactly 1000", q, got)
+		}
+	}
+}
+
+func TestQuantileBimodal(t *testing.T) {
+	// 90 fast observations at 10ns, 10 slow at 10000ns: P50/P90 must land in
+	// the fast mode, P99 in the slow mode.
+	m := New(Config{Enabled: true})
+	h := m.Hist("op")
+	for i := 0; i < 90; i++ {
+		h.Observe(10 * time.Nanosecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(10000 * time.Nanosecond)
+	}
+	s := h.Stats()
+	// 10ns lands in bucket [8,15]; clamped below by MinNs=10.
+	if s.P50Ns < 10 || s.P50Ns > 15 {
+		t.Errorf("p50 = %d, want within fast bucket [10,15]", s.P50Ns)
+	}
+	if s.P90Ns < 10 || s.P90Ns > 15 {
+		t.Errorf("p90 = %d, want within fast bucket [10,15]", s.P90Ns)
+	}
+	// 10000ns lands in bucket [8192,16383]; clamped above by MaxNs=10000.
+	if s.P99Ns < 8192 || s.P99Ns > 10000 {
+		t.Errorf("p99 = %d, want within slow bucket [8192,10000]", s.P99Ns)
+	}
+}
+
+func TestQuantileMonotonic(t *testing.T) {
+	m := New(Config{Enabled: true})
+	h := m.Hist("op")
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Nanosecond)
+	}
+	s := h.Stats()
+	if !(s.P50Ns <= s.P90Ns && s.P90Ns <= s.P99Ns) {
+		t.Fatalf("quantiles not monotonic: p50=%d p90=%d p99=%d", s.P50Ns, s.P90Ns, s.P99Ns)
+	}
+	// Uniform 1..1000: estimates must be within one power-of-two bucket of
+	// the true quantile.
+	checks := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{{"p50", s.P50Ns, 500}, {"p90", s.P90Ns, 900}, {"p99", s.P99Ns, 990}}
+	for _, c := range checks {
+		if c.got < c.want/2 || c.got > c.want*2 {
+			t.Errorf("%s = %d, want within [%d,%d]", c.name, c.got, c.want/2, c.want*2)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty LatencyStats
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty stats should estimate 0")
+	}
+	s := LatencyStats{
+		Count: 100, MinNs: 10, MaxNs: 10000,
+		Buckets: []Bucket{{LeNs: 15, Count: 50}, {LeNs: 16383, Count: 50}},
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("q=0 -> %d", got)
+	}
+	if got := s.Quantile(0.5); got < 10 || got > 15 {
+		t.Fatalf("q=0.5 -> %d, want in first bucket", got)
+	}
+	if got := s.Quantile(0.51); got < 8192 || got > 10000 {
+		t.Fatalf("q=0.51 -> %d, want in second bucket", got)
+	}
+	if got := s.Quantile(1); got != 10000 {
+		t.Fatalf("q=1 -> %d, want MaxNs", got)
+	}
+	if got := s.Quantile(2); got != 10000 {
+		t.Fatalf("q>1 -> %d, want MaxNs", got)
+	}
+	// Zero-duration observations live in bucket 0 (LeNs=0, lo==hi==0).
+	z := LatencyStats{Count: 10, Buckets: []Bucket{{LeNs: 0, Count: 10}}}
+	if got := z.Quantile(0.99); got != 0 {
+		t.Fatalf("all-zero distribution q=0.99 -> %d", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	m := New(Config{Enabled: true})
+	m.Counter("remote.frames_in").Add(42)
+	g := m.Gauge("remote.sessions")
+	g.Set(3)
+	g.Set(7)
+	g.Set(5)
+	h := m.Hist("op.resume")
+	for i := 0; i < 100; i++ {
+		h.Observe(1000 * time.Nanosecond)
+	}
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"et_obs_enabled 1\n",
+		"et_remote_frames_in_total 42\n",
+		"et_remote_sessions 5\n",
+		"et_remote_sessions_max 7\n",
+		"et_op_resume_ns{quantile=\"0.5\"} 1000\n",
+		"et_op_resume_ns{quantile=\"0.99\"} 1000\n",
+		"et_op_resume_ns_count 100\n",
+		"# TYPE et_op_resume_ns summary\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// Every sample line must be "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if len(strings.Fields(line)) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+
+	// Rendering is deterministic.
+	var b2 strings.Builder
+	if err := WritePrometheus(&b2, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	strip := func(s string) string { // uptime moves between snapshots
+		var keep []string
+		for _, l := range strings.Split(s, "\n") {
+			if !strings.Contains(l, "uptime") {
+				keep = append(keep, l)
+			}
+		}
+		return strings.Join(keep, "\n")
+	}
+	if strip(b.String()) != strip(b2.String()) {
+		t.Fatal("two renders of the same metrics differ")
+	}
+
+	// Nil snapshot renders a minimal, valid exposition.
+	var b3 strings.Builder
+	if err := WritePrometheus(&b3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b3.String(), "et_obs_enabled 0\n") {
+		t.Fatalf("nil snapshot exposition = %q", b3.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"op.resume":        "et_op_resume",
+		"remote.frames_in": "et_remote_frames_in",
+		"weird-name:x":     "et_weird_name_x",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTripExact(t *testing.T) {
+	m := New(Config{Enabled: true, Events: 8})
+	m.Counter("c").Add(5)
+	m.Gauge("g").Set(-3)
+	m.Hist("op.a").Observe(100 * time.Nanosecond)
+	m.Hist("op.b").Observe(2 * time.Millisecond)
+	m.Event("pause", "line 3")
+
+	s := m.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*s, back) {
+		t.Fatalf("snapshot round trip drifted:\n in=%+v\nout=%+v", *s, back)
+	}
+	if got := back.OpNames(); !reflect.DeepEqual(got, []string{"op.a", "op.b"}) {
+		t.Fatalf("OpNames = %v", got)
+	}
+}
+
+func TestOpNamesStableOrder(t *testing.T) {
+	m := New(Config{Enabled: true})
+	for _, n := range []string{"z.op", "a.op", "m.op"} {
+		m.Hist(n).Observe(time.Microsecond)
+	}
+	want := []string{"a.op", "m.op", "z.op"}
+	for i := 0; i < 10; i++ {
+		if got := m.Snapshot().OpNames(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("iteration %d: OpNames = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSnapshotUnderConcurrency(t *testing.T) {
+	// Writers hammer every instrument kind while one reader snapshots and
+	// JSON-encodes and another renders the Prometheus exposition — the
+	// /metrics scrape path. Run under -race this proves Snapshot needs no
+	// external locking.
+	m := New(Config{Enabled: true, Events: 16})
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < 300; i++ {
+				m.Counter("c").Inc()
+				m.Gauge("g").Add(1)
+				m.Hist("op.x").Observe(time.Duration(i) * time.Nanosecond)
+				m.Event("k", "d")
+			}
+		}(g)
+	}
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := m.Snapshot()
+				if _, err := json.Marshal(s); err != nil {
+					t.Error(err)
+					return
+				}
+				var b strings.Builder
+				if err := WritePrometheus(&b, s); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+
+	s := m.Snapshot()
+	if s.Counters["c"] != 1200 {
+		t.Fatalf("counter = %d, want 1200", s.Counters["c"])
+	}
+	if s.Ops["op.x"].Count != 1200 {
+		t.Fatalf("hist count = %d, want 1200", s.Ops["op.x"].Count)
+	}
+}

@@ -1,0 +1,265 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestSpanNilSafety(t *testing.T) {
+	var tr *Tracer
+	if tr.Ring() != nil || tr.Spans() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	tr.SetParent(SpanContext{TraceID: 1, SpanID: 2})
+	if tr.Parent() != (SpanContext{}) {
+		t.Fatal("nil tracer kept a parent")
+	}
+	for _, sp := range []Span{tr.Start("x"), tr.StartOp("x"), tr.StartChild("x", SpanContext{TraceID: 1, SpanID: 2})} {
+		if sp.Context().Valid() {
+			t.Fatal("nil tracer minted a live span")
+		}
+		sp.End()
+		sp.EndErr(errors.New("boom"))
+	}
+
+	var ring *SpanRing
+	if ring.Cap() != 0 || ring.Total() != 0 || ring.Snapshot() != nil {
+		t.Fatal("nil ring not inert")
+	}
+	ring.publish(&SpanRecord{})
+	if NewTracerOn("x", nil) != nil {
+		t.Fatal("NewTracerOn(nil ring) should be the off tracer")
+	}
+}
+
+func TestSpanIDsUniqueAndNonZero(t *testing.T) {
+	seen := make(map[uint64]bool, 10000)
+	for i := 0; i < 10000; i++ {
+		id := newSpanID()
+		if id == 0 {
+			t.Fatal("zero span id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate span id %#x", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanTreeLinks(t *testing.T) {
+	tr := NewTracer("test", 16)
+
+	// A root op span, with a leaf nested inside it via the ambient parent.
+	op := tr.StartOp("op.resume")
+	if !op.Context().Valid() {
+		t.Fatal("op span has no context")
+	}
+	if tr.Parent() != op.Context() {
+		t.Fatal("StartOp did not install the ambient parent")
+	}
+	leaf := tr.Start("mi.round_trip")
+	leaf.Detail = "-exec-continue"
+	leaf.End()
+	op.End()
+	if tr.Parent() != (SpanContext{}) {
+		t.Fatal("End did not restore the ambient parent")
+	}
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	opRec, leafRec := byName["op.resume"], byName["mi.round_trip"]
+	if opRec.Parent != 0 {
+		t.Fatalf("root span has parent %#x", opRec.Parent)
+	}
+	if leafRec.TraceID != opRec.TraceID {
+		t.Fatalf("leaf trace %#x != op trace %#x", leafRec.TraceID, opRec.TraceID)
+	}
+	if leafRec.Parent != opRec.SpanID {
+		t.Fatalf("leaf parent %#x != op span %#x", leafRec.Parent, opRec.SpanID)
+	}
+	if leafRec.Detail != "-exec-continue" || leafRec.Proc != "test" {
+		t.Fatalf("leaf record = %+v", leafRec)
+	}
+	if leafRec.DurNs < 0 || leafRec.StartUnixNs == 0 {
+		t.Fatalf("leaf timing = %+v", leafRec)
+	}
+}
+
+func TestSpanStartOpNesting(t *testing.T) {
+	tr := NewTracer("test", 16)
+	outer := tr.StartOp("outer")
+	inner := tr.StartOp("inner")
+	if tr.Parent() != inner.Context() {
+		t.Fatal("inner op not ambient")
+	}
+	inner.End()
+	if tr.Parent() != outer.Context() {
+		t.Fatal("inner End did not restore outer as ambient")
+	}
+	outer.End()
+
+	byName := map[string]SpanRecord{}
+	for _, s := range tr.Spans() {
+		byName[s.Name] = s
+	}
+	if byName["inner"].Parent != byName["outer"].SpanID {
+		t.Fatal("inner not parented on outer")
+	}
+	if byName["inner"].TraceID != byName["outer"].TraceID {
+		t.Fatal("nested ops split the trace")
+	}
+}
+
+func TestSpanStartChildCrossProcess(t *testing.T) {
+	// Simulates the wire: the client's span context crosses the frame header
+	// and becomes the parent of the server-side executor span.
+	client := NewTracer("client", 16)
+	server := NewTracer("server", 16)
+
+	call := client.Start("remote.call.Resume")
+	rpc := server.StartChild("rpc.resume", call.Context())
+	rpc.End()
+	call.End()
+
+	cs, ss := client.Spans(), server.Spans()
+	if len(cs) != 1 || len(ss) != 1 {
+		t.Fatalf("spans = %d client, %d server", len(cs), len(ss))
+	}
+	if ss[0].TraceID != cs[0].TraceID {
+		t.Fatal("server span did not join the client trace")
+	}
+	if ss[0].Parent != cs[0].SpanID {
+		t.Fatal("server span not parented on client span")
+	}
+
+	// A zero parent context starts a fresh root trace.
+	root := server.StartChild("rpc.state", SpanContext{})
+	root.End()
+	for _, s := range server.Spans() {
+		if s.Name == "rpc.state" && (s.Parent != 0 || s.TraceID == ss[0].TraceID) {
+			t.Fatalf("zero-parent child not a fresh root: %+v", s)
+		}
+	}
+}
+
+func TestSpanErr(t *testing.T) {
+	tr := NewTracer("test", 4)
+	sp := tr.Start("op.step")
+	sp.EndErr(errors.New("budget exceeded"))
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Err != "budget exceeded" {
+		t.Fatalf("spans = %+v", spans)
+	}
+}
+
+func TestSpanRingWrap(t *testing.T) {
+	tr := NewTracer("test", 4)
+	for i := 0; i < 10; i++ {
+		sp := tr.Start("op")
+		sp.End()
+	}
+	if got := tr.Ring().Total(); got != 10 {
+		t.Fatalf("total = %d, want 10", got)
+	}
+	if got := len(tr.Spans()); got != 4 {
+		t.Fatalf("retained = %d, want 4", got)
+	}
+	if tr.Ring().Cap() != 4 {
+		t.Fatalf("cap = %d", tr.Ring().Cap())
+	}
+}
+
+func TestSpanSharedRing(t *testing.T) {
+	// The remote server hands its ring to each session backend so one dump
+	// covers the whole process.
+	srv := NewTracer("et-serve", 32)
+	backend := NewTracerOn("minipy", srv.Ring())
+
+	rpc := srv.Start("rpc.resume")
+	op := backend.StartChild("op.resume", rpc.Context())
+	op.End()
+	rpc.End()
+
+	spans := srv.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("shared ring holds %d spans, want 2", len(spans))
+	}
+	procs := map[string]bool{}
+	for _, s := range spans {
+		procs[s.Proc] = true
+	}
+	if !procs["et-serve"] || !procs["minipy"] {
+		t.Fatalf("procs = %v", procs)
+	}
+}
+
+func TestSpanRecordJSONRoundTrip(t *testing.T) {
+	in := SpanRecord{
+		TraceID: 0xdeadbeef, SpanID: 0x1234, Parent: 0x99,
+		Proc: "minipy", Name: "op.resume", Detail: "mode=continue",
+		Err: "x", StartUnixNs: 1700000000000000000, DurNs: 12345,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SpanRecord
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip changed the record:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestSpanConcurrentPublishAndSnapshot(t *testing.T) {
+	// StartChild never touches the ambient parent, so many goroutines may
+	// publish into one shared ring while readers snapshot — the server's
+	// exact access pattern (per-session executors + /spans scrapes).
+	tr := NewTracer("srv", 64)
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				sp := tr.StartChild("rpc.op", SpanContext{})
+				sp.End()
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, s := range tr.Spans() {
+					if s.SpanID == 0 {
+						t.Error("torn span record")
+						return
+					}
+				}
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	<-readerDone
+
+	if got := tr.Ring().Total(); got != 2000 {
+		t.Fatalf("total = %d, want 2000", got)
+	}
+}

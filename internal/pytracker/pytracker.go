@@ -225,6 +225,11 @@ type Tracker struct {
 	ctrWatchHits *obs.Counter
 	ctrSnapHit   *obs.Counter
 	ctrSnapMiss  *obs.Counter
+
+	// tracer records one span per tracker op when span tracing is on
+	// (WithSpanTracing or an embedder's span sink); nil otherwise, costing
+	// one pointer test per op — the per-line hot path never touches it.
+	tracer *obs.Tracer
 }
 
 // New returns an unloaded MiniPy tracker.
@@ -279,7 +284,14 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 
 // initObs builds the instrument panel when observability was requested; the
 // tracker keeps a nil panel otherwise so the per-line hot path pays nothing.
+// The span tracer is independent of the metric panel: spans answer "what
+// happened inside this op", metrics "how often and how long on average".
 func (t *Tracker) initObs() {
+	if sink := t.cfg.Obs.SpanSink; sink != nil {
+		t.tracer = obs.NewTracerOn(Kind, sink)
+	} else if t.cfg.Obs.Spans > 0 {
+		t.tracer = obs.NewTracer(Kind, t.cfg.Obs.Spans)
+	}
 	if !t.cfg.Obs.Enabled {
 		return
 	}
@@ -306,6 +318,12 @@ func (t *Tracker) Stats() *obs.Snapshot {
 // report into the same panel; nil when observability is off.
 func (t *Tracker) ObsMetrics() *obs.Metrics { return t.obs }
 
+// Spans implements core.SpanProvider; nil when span tracing is off.
+func (t *Tracker) Spans() []obs.SpanRecord { return t.tracer.Spans() }
+
+// SpanTracer implements core.SpanTracerSource; nil when span tracing is off.
+func (t *Tracker) SpanTracer() *obs.Tracer { return t.tracer }
+
 // Start launches the inferior goroutine and pauses at the entry point (the
 // first executable line of the module).
 func (t *Tracker) Start() error {
@@ -316,6 +334,7 @@ func (t *Tracker) Start() error {
 		return t.werr("Start", errors.New("pytracker: already started"))
 	}
 	t.started = true
+	sp := t.tracer.StartOp(core.OpStart)
 	t0 := t.obs.Now()
 	stop := t.armDeadline()
 	go func() {
@@ -341,6 +360,7 @@ func (t *Tracker) Start() error {
 	err := t.waitPause()
 	stop()
 	t.obs.Observe(core.OpStart, t0)
+	sp.EndErr(err)
 	return t.werr("Start", err)
 }
 
@@ -766,12 +786,14 @@ func (t *Tracker) resumeWith(mode stepMode, opName string) error {
 	if mode == modeNext && t.curFrame != nil {
 		t.nextDepth = t.curFrame.Depth
 	}
+	sp := t.tracer.StartOp(opName)
 	t0 := t.obs.Now()
 	stop := t.armDeadline()
 	t.resumeCh <- struct{}{}
 	err := t.waitPause()
 	stop()
 	t.obs.Observe(opName, t0)
+	sp.EndErr(err)
 	return err
 }
 
@@ -822,6 +844,14 @@ func (t *Tracker) Terminate() error {
 // four convenience methods. Conditions compile here, once, so a bad
 // expression is an ErrBadQuery arming error rather than a runtime surprise.
 func (t *Tracker) Arm(p core.Probe) error {
+	sp := t.tracer.Start(core.SpanArm)
+	sp.Detail = p.Op()
+	err := t.arm(p)
+	sp.EndErr(err)
+	return err
+}
+
+func (t *Tracker) arm(p core.Probe) error {
 	op := p.Op()
 	if !t.loaded {
 		return t.werr(op, core.ErrNoProgram)
@@ -992,6 +1022,7 @@ func (t *Tracker) State() (*core.State, error) {
 		return &core.State{Reason: t.reason}, nil
 	}
 	if t.snapState == nil || t.snapSeq != t.pauseSeq || t.snapEpoch != t.interp.Epoch() {
+		sp := t.tracer.Start(core.OpStateFetch)
 		t0 := t.obs.Now()
 		conv := minipy.NewConverter()
 		t.snapState = &core.State{
@@ -1001,6 +1032,7 @@ func (t *Tracker) State() (*core.State, error) {
 		}
 		t.snapSeq, t.snapEpoch = t.pauseSeq, t.interp.Epoch()
 		t.obs.Observe(core.OpStateFetch, t0)
+		sp.End()
 		t.ctrSnapMiss.Inc()
 	} else {
 		t.ctrSnapHit.Inc()

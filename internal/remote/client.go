@@ -25,6 +25,11 @@ type wireConn struct {
 	wmu    sync.Mutex
 	nextID atomic.Uint64
 
+	// tracev is the negotiated trace-context framing version; atomic because
+	// dial stores it after the hello exchange while the read loop is already
+	// parsing frames.
+	tracev atomic.Int32
+
 	pmu     sync.Mutex
 	pending map[uint64]chan *Response
 	dead    error // set once the read loop exits; guarded by pmu
@@ -53,8 +58,16 @@ func (c *wireConn) readLoop() {
 		if err != nil {
 			break
 		}
+		// The response's trace context (the server's executor span) is not
+		// needed client-side — the client's own call span already brackets
+		// the round trip — but the framing must still be consumed.
+		_, body, perr := ParsePayload(payload, int(c.tracev.Load()))
+		if perr != nil {
+			err = perr
+			break
+		}
 		var resp Response
-		if err = json.Unmarshal(payload, &resp); err != nil {
+		if err = json.Unmarshal(body, &resp); err != nil {
 			err = fmt.Errorf("remote: bad response frame: %w", err)
 			break
 		}
@@ -77,8 +90,10 @@ func (c *wireConn) readLoop() {
 	c.nc.Close()
 }
 
-// send writes one request frame and registers its response slot.
-func (c *wireConn) send(req *Request) (chan *Response, error) {
+// send writes one request frame and registers its response slot. tc is the
+// caller's in-flight span, stamped into the frame header when the
+// connection negotiated trace-context framing.
+func (c *wireConn) send(req *Request, tc *TraceContext) (chan *Response, error) {
 	req.ID = c.nextID.Add(1)
 	ch := make(chan *Response, 1)
 	c.pmu.Lock()
@@ -91,7 +106,7 @@ func (c *wireConn) send(req *Request) (chan *Response, error) {
 	c.pmu.Unlock()
 
 	c.wmu.Lock()
-	err := WriteFrame(c.nc, req)
+	err := WriteFrameV(c.nc, req, int(c.tracev.Load()), tc)
 	c.wmu.Unlock()
 	if err != nil {
 		c.pmu.Lock()
@@ -108,7 +123,12 @@ func (c *wireConn) send(req *Request) (chan *Response, error) {
 
 // call performs one synchronous round trip.
 func (c *wireConn) call(req *Request) (*Response, error) {
-	ch, err := c.send(req)
+	return c.callCtx(req, nil)
+}
+
+// callCtx is call with the caller's span stamped into the frame header.
+func (c *wireConn) callCtx(req *Request, tc *TraceContext) (*Response, error) {
+	ch, err := c.send(req, tc)
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +145,7 @@ func (c *wireConn) call(req *Request) (*Response, error) {
 // post fires a request and consumes its response in the background —
 // Interrupt's shape: the frame must go out now, nobody waits for the ack.
 func (c *wireConn) post(req *Request) {
-	ch, err := c.send(req)
+	ch, err := c.send(req, nil)
 	if err != nil {
 		return
 	}
@@ -153,6 +173,10 @@ type Tracker struct {
 
 	mu   sync.Mutex
 	caps core.CapabilitySet
+
+	// tracer records client-side call spans when span tracing was requested
+	// at load time; nil means tracing off (spans become no-ops).
+	tracer *obs.Tracer
 
 	// Replay journal, mirroring the MiniGDB session layer: everything
 	// needed to rebuild the session on the server after a connection loss.
@@ -265,7 +289,7 @@ func (t *Tracker) dial() (*wireConn, core.CapabilitySet, error) {
 	if err != nil {
 		return nil, core.CapabilitySet{}, fmt.Errorf("remote: connect %s: %w", t.addr, err)
 	}
-	resp, err := conn.call(&Request{Op: OpHello, Kind: t.kind})
+	resp, err := conn.call(&Request{Op: OpHello, Kind: t.kind, TraceV: TraceVersion})
 	if err != nil {
 		conn.close()
 		return nil, core.CapabilitySet{}, err
@@ -274,6 +298,14 @@ func (t *Tracker) dial() (*wireConn, core.CapabilitySet, error) {
 		conn.close()
 		return nil, core.CapabilitySet{}, resp.Err.DecodeError()
 	}
+	// Adopt the negotiated trace framing version, clamped to what this build
+	// speaks in case the server mis-advertises. Stored after the hello round
+	// trip completed, so no earlier frame used it.
+	tracev := resp.TraceV
+	if tracev > TraceVersion {
+		tracev = TraceVersion
+	}
+	conn.tracev.Store(int32(tracev))
 	var caps core.CapabilitySet
 	if resp.Caps != nil {
 		caps = *resp.Caps
@@ -327,6 +359,8 @@ func (t *Tracker) SupportsCapability(ptr any) bool {
 		return caps.Interrupt
 	case *core.ConditionalBreaker:
 		return caps.ConditionalBreak
+	case *core.SpanProvider:
+		return caps.Spans
 	default:
 		return true
 	}
@@ -346,7 +380,13 @@ func (t *Tracker) do(op string, req *Request) (*Response, error) {
 	if conn == nil {
 		return nil, core.WrapErr("remote", op, t.file, t.line, errors.New("remote: tracker is closed"))
 	}
-	resp, err := conn.call(req)
+	sp := t.tracer.Start(core.SpanCallPrefix + req.Op)
+	var tc *TraceContext
+	if ctx := sp.Context(); ctx.Valid() {
+		tc = &TraceContext{TraceID: ctx.TraceID, SpanID: ctx.SpanID}
+	}
+	resp, err := conn.callCtx(req, tc)
+	sp.EndErr(err)
 	if err != nil {
 		return nil, t.recover(op, err)
 	}
@@ -498,6 +538,11 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 			errors.New("remote: program already loaded"))
 	}
 	cfg := core.ApplyLoadOptions(opts)
+	if sink := cfg.Obs.SpanSink; sink != nil {
+		t.tracer = obs.NewTracerOn("remote["+t.kind+"]", sink)
+	} else if cfg.Obs.Spans > 0 {
+		t.tracer = obs.NewTracer("remote["+t.kind+"]", cfg.Obs.Spans)
+	}
 	spec := specFromConfig(cfg)
 	if spec.Source == "" {
 		if data, err := os.ReadFile(path); err == nil {
@@ -778,6 +823,18 @@ func (t *Tracker) Stats() *obs.Snapshot {
 	}
 	return &snap
 }
+
+// Spans implements core.SpanProvider (gated): the client-side call spans
+// recorded by this proxy. The server's half of each trace (rpc.* and
+// backend op spans) lives in the server process; et-spans merges the two
+// dumps by trace id.
+func (t *Tracker) Spans() []obs.SpanRecord {
+	return t.tracer.Spans()
+}
+
+// SpanTracer exposes the proxy's tracer so embedding tools can hang their
+// own spans off the same ring.
+func (t *Tracker) SpanTracer() *obs.Tracer { return t.tracer }
 
 // Registers implements core.RegisterInspector (gated).
 func (t *Tracker) Registers() (map[string]uint64, error) {

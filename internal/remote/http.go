@@ -1,0 +1,112 @@
+package remote
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"easytracker/internal/obs"
+	"easytracker/internal/spanexport"
+)
+
+// Draining reports whether the server has begun shutting down (Shutdown or
+// Close was called). The /readyz endpoint flips on this, so a load balancer
+// stops routing new sessions while in-flight ones finish.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
+}
+
+// TelemetryHandler returns the server's live telemetry surface on a fresh
+// mux, ready to mount on an operator-facing HTTP listener (et-serve -http):
+//
+//	/metrics      Prometheus text exposition of the server's instrument panel
+//	/healthz      liveness: 200 while the process serves requests at all
+//	/readyz       readiness: 200 while accepting sessions, 503 once draining
+//	/sessions     JSON array of live sessions (id, kind, tenant, pause state,
+//	              frame counters, in-flight commands)
+//	/spans        span dump (spanexport JSON; ?chrome=1 renders the Chrome
+//	              trace-event document directly)
+//	/debug/pprof  the runtime profiler
+//
+// The handler holds no state of its own — every request reads the server's
+// live structures — so it is safe to serve concurrently with session
+// traffic and during drain.
+func (s *Server) TelemetryHandler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap := s.Stats()
+		fillServerGauges(snap, s)
+		obs.WritePrometheus(w, snap)
+	})
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.Draining() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("draining\n"))
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, s.SessionsInfo())
+	})
+
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		dump := &spanexport.Dump{Proc: "et-serve", Spans: s.Spans()}
+		if r.URL.Query().Get("chrome") != "" {
+			w.Header().Set("Content-Type", "application/json")
+			spanexport.WriteChromeTrace(w, dump)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, dump)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// fillServerGauges stamps point-in-time server state that lives outside the
+// instrument panel into the snapshot before rendering.
+func fillServerGauges(snap *obs.Snapshot, s *Server) {
+	if snap.Gauges == nil {
+		snap.Gauges = map[string]obs.GaugeStats{}
+	}
+	n := int64(s.SessionCount())
+	g := snap.Gauges["sessions_live"]
+	g.Value = n
+	if n > g.Max {
+		g.Max = n
+	}
+	snap.Gauges["sessions_live"] = g
+	var d int64
+	if s.Draining() {
+		d = 1
+	}
+	snap.Gauges["draining"] = obs.GaugeStats{Value: d, Max: 1}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

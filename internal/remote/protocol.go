@@ -68,6 +68,13 @@ type LoadSpec struct {
 	WantStderr bool `json:"want_stderr,omitempty"`
 }
 
+// TraceVersion is the highest trace-context framing version this build
+// speaks (see wire.go). Hellos advertise it; both sides then use
+// min(client, server), so an old peer that never sends the field (JSON
+// drops zero values and ignores unknown ones) pins the connection to the
+// bare-JSON v0 framing.
+const TraceVersion = 1
+
 // Request is one client frame.
 type Request struct {
 	ID uint64 `json:"id"`
@@ -75,6 +82,8 @@ type Request struct {
 
 	// OpHello.
 	Kind string `json:"kind,omitempty"`
+	// TraceV advertises the client's trace-context framing version.
+	TraceV int `json:"tracev,omitempty"`
 
 	// OpLoad.
 	Path string    `json:"path,omitempty"`
@@ -124,6 +133,10 @@ type Response struct {
 	Kind     string              `json:"kind,omitempty"`
 	Caps     *core.CapabilitySet `json:"caps,omitempty"`
 	MaxFrame int                 `json:"max_frame,omitempty"`
+	// TraceV is the negotiated trace-context framing version — the min of
+	// what both peers advertised. All frames after the hello exchange use
+	// it.
+	TraceV int `json:"tracev,omitempty"`
 
 	// Inspection payloads.
 	State json.RawMessage   `json:"state,omitempty"`

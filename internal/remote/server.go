@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -65,6 +66,12 @@ func WithLogf(f func(format string, args ...any)) ServerOption {
 	return func(s *Server) { s.logf = f }
 }
 
+// WithSpanCapacity sizes the server's span ring (retained completed spans
+// across all sessions). Zero or negative picks obs.DefaultSpanCapacity.
+func WithSpanCapacity(n int) ServerOption {
+	return func(s *Server) { s.spanCap = n }
+}
+
 // DefaultMaxSessions is the admission limit used when WithMaxSessions is
 // not given.
 const DefaultMaxSessions = 64
@@ -75,9 +82,11 @@ const DefaultMaxSessions = 64
 type Server struct {
 	maxSessions int
 	idleTimeout time.Duration
+	spanCap     int
 	caps        tenantCaps
 	logf        func(string, ...any)
 	met         *obs.Metrics
+	tracer      *obs.Tracer
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -90,8 +99,9 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
-// NewServer builds a Server. Its instrument panel is always on (a server is
-// a long-lived shared process; operators read it with Stats).
+// NewServer builds a Server. Its instrument panel and span tracer are
+// always on (a server is a long-lived shared process; operators read them
+// with Stats/Spans and the -http endpoint).
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
 		maxSessions: DefaultMaxSessions,
@@ -106,6 +116,10 @@ func NewServer(opts ...ServerOption) *Server {
 	if s.maxSessions <= 0 {
 		s.maxSessions = DefaultMaxSessions
 	}
+	// One ring for the whole process: executor spans and every session
+	// backend's op spans land together, so one /spans dump is the full
+	// server-side timeline.
+	s.tracer = obs.NewTracer("et-serve", s.spanCap)
 	return s
 }
 
@@ -115,6 +129,13 @@ func (s *Server) Stats() *obs.Snapshot {
 	snap := s.met.Snapshot()
 	snap.Tracker = "et-serve"
 	return snap
+}
+
+// Spans returns the server's completed spans — executor spans plus the op
+// and MI spans of every session backend, all publishing into one shared
+// ring.
+func (s *Server) Spans() []obs.SpanRecord {
+	return s.tracer.Spans()
 }
 
 // SessionCount returns the number of live sessions.
@@ -318,6 +339,11 @@ type serverConn struct {
 	srv *Server
 	nc  net.Conn
 
+	// tracev is the negotiated trace-context framing version: written once
+	// during the handshake (before the executor goroutine exists), read-only
+	// afterwards.
+	tracev int
+
 	wmu sync.Mutex // serializes response frames (reader + executor both write)
 
 	imu  sync.Mutex // guards intr across reader/teardown
@@ -326,15 +352,78 @@ type serverConn struct {
 	// inflight counts requests handed to the executor whose responses have
 	// not been written yet; the idle-eviction deadline ignores busy sessions.
 	inflight atomic.Int64
+
+	// framesIn/framesOut count this connection's wire frames (/sessions).
+	framesIn  atomic.Uint64
+	framesOut atomic.Uint64
+
+	// infoMu guards the mutable half of the session's /sessions row,
+	// written by the executor and read by the HTTP handler.
+	infoMu sync.Mutex
+	info   SessionInfo
+}
+
+// command is one queued request plus the trace context its frame carried.
+type command struct {
+	req *Request
+	tc  *TraceContext
+}
+
+// SessionInfo is one live session's operational snapshot, served by the
+// -http /sessions endpoint.
+type SessionInfo struct {
+	ID     uint64 `json:"id"`
+	Kind   string `json:"kind"`
+	Tenant string `json:"tenant"` // client remote address
+	Loaded bool   `json:"loaded"`
+	Exited bool   `json:"exited,omitempty"`
+	// Pause is the last reported pause reason ("breakpoint file.py:12").
+	Pause     string `json:"pause,omitempty"`
+	FramesIn  uint64 `json:"frames_in"`
+	FramesOut uint64 `json:"frames_out"`
+	Inflight  int64  `json:"inflight,omitempty"`
+}
+
+// SessionsInfo snapshots every live session for the operational endpoint,
+// ordered by session id.
+func (s *Server) SessionsInfo() []SessionInfo {
+	s.mu.Lock()
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	out := make([]SessionInfo, 0, len(conns))
+	for _, c := range conns {
+		c.infoMu.Lock()
+		info := c.info
+		c.infoMu.Unlock()
+		if info.ID == 0 {
+			continue // handshake not finished
+		}
+		info.FramesIn = c.framesIn.Load()
+		info.FramesOut = c.framesOut.Load()
+		info.Inflight = c.inflight.Load()
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 func (c *serverConn) writeResp(r *Response) error {
+	return c.writeRespCtx(r, nil)
+}
+
+// writeRespCtx writes one response frame under the negotiated framing,
+// stamping tc (the responding executor span) when the connection speaks v1.
+func (c *serverConn) writeRespCtx(r *Response, tc *TraceContext) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.nc.SetWriteDeadline(time.Now().Add(30 * time.Second))
-	err := WriteFrame(c.nc, r)
+	err := WriteFrameV(c.nc, r, c.tracev, tc)
 	if err == nil {
 		c.srv.met.Counter(core.CtrRemoteFramesOut).Inc()
+		c.framesOut.Add(1)
 	}
 	return err
 }
@@ -361,7 +450,7 @@ func (c *serverConn) serve() {
 		return
 	}
 
-	cmds := make(chan *Request, 16)
+	cmds := make(chan command, 16)
 	c.srv.wg.Add(1)
 	go c.execute(sess, cmds)
 
@@ -392,8 +481,16 @@ func (c *serverConn) serve() {
 			return
 		}
 		c.srv.met.Counter(core.CtrRemoteFramesIn).Inc()
+		c.framesIn.Add(1)
+		tc, body, err := ParsePayload(payload, c.tracev)
+		if err != nil {
+			c.writeResp(&Response{Err: core.EncodeError(err)})
+			c.interrupt()
+			close(cmds)
+			return
+		}
 		var req Request
-		if err := json.Unmarshal(payload, &req); err != nil {
+		if err := json.Unmarshal(body, &req); err != nil {
 			c.writeResp(&Response{Err: core.EncodeError(fmt.Errorf("remote: bad request frame: %w", err))})
 			c.interrupt()
 			close(cmds)
@@ -413,7 +510,7 @@ func (c *serverConn) serve() {
 			continue
 		}
 		c.inflight.Add(1)
-		cmds <- &req
+		cmds <- command{req: &req, tc: tc}
 	}
 }
 
@@ -451,24 +548,54 @@ func (c *serverConn) handshake() (*session, bool) {
 		c.imu.Unlock()
 	}
 	caps := core.CapabilitiesOf(tr)
-	c.srv.logf("session %d: admitted kind=%s", id, req.Kind)
-	if err := c.writeResp(&Response{ID: req.ID, Session: id, Kind: req.Kind, Caps: &caps, MaxFrame: MaxFrame}); err != nil {
+	tracev := req.TraceV
+	if tracev > TraceVersion {
+		tracev = TraceVersion
+	}
+	c.srv.logf("session %d: admitted kind=%s tracev=%d", id, req.Kind, tracev)
+	// The hello reply itself still crosses as v0 (c.tracev is set only
+	// after it's written); everything after the hello exchange uses the
+	// negotiated framing.
+	if err := c.writeResp(&Response{ID: req.ID, Session: id, Kind: req.Kind, Caps: &caps, MaxFrame: MaxFrame, TraceV: tracev}); err != nil {
 		c.srv.release(c)
 		return nil, false
 	}
+	c.tracev = tracev
+	c.infoMu.Lock()
+	c.info = SessionInfo{ID: id, Kind: req.Kind, Tenant: c.nc.RemoteAddr().String()}
+	c.infoMu.Unlock()
 	return sess, true
 }
 
 // execute is the session's executor goroutine: the single driver of its
 // tracker. It runs queued commands in order and flushes every response —
-// including during a graceful drain — then terminates the inferior.
-func (c *serverConn) execute(sess *session, cmds <-chan *Request) {
+// including during a graceful drain — then terminates the inferior. Each
+// command gets an executor span parented on the client span its frame
+// carried, and that span is stamped as the backend tracer's ambient parent
+// for the duration, so backend op spans (and their MI round trips) nest
+// under the request that caused them.
+func (c *serverConn) execute(sess *session, cmds <-chan command) {
 	defer c.srv.wg.Done()
-	for req := range cmds {
+	for cmd := range cmds {
+		req := cmd.req
+		var parent obs.SpanContext
+		if cmd.tc != nil {
+			parent = obs.SpanContext{TraceID: cmd.tc.TraceID, SpanID: cmd.tc.SpanID}
+		}
+		sp := c.srv.tracer.StartChild(core.SpanRPCPrefix+req.Op, parent)
+		var bt *obs.Tracer
+		if src, ok := core.As[core.SpanTracerSource](sess.tr); ok {
+			bt = src.SpanTracer()
+		}
+		bt.SetParent(sp.Context())
 		t0 := c.srv.met.Now()
 		resp := c.exec(sess, req)
 		c.srv.met.Observe(core.OpRemoteRound, t0)
-		if err := c.writeResp(resp); err != nil {
+		bt.SetParent(obs.SpanContext{})
+		sp.End()
+		c.noteStatus(sess, resp.Status)
+		spCtx := sp.Context()
+		if err := c.writeRespCtx(resp, &TraceContext{TraceID: spCtx.TraceID, SpanID: spCtx.SpanID}); err != nil {
 			// Client is gone; keep draining so Terminate below runs.
 			c.srv.logf("session %d: dropping response: %v", sess.id, err)
 		}
@@ -480,6 +607,20 @@ func (c *serverConn) execute(sess *session, cmds <-chan *Request) {
 	c.srv.logf("session %d: closed", sess.id)
 	c.srv.release(c)
 	c.nc.Close()
+}
+
+// noteStatus refreshes the connection's /sessions row from the response
+// just produced. Executor goroutine only (plus the HTTP reader via infoMu).
+func (c *serverConn) noteStatus(sess *session, st *Status) {
+	c.infoMu.Lock()
+	c.info.Loaded = sess.loaded
+	if st != nil {
+		c.info.Exited = st.Exited
+		if r, err := core.DecodePauseReasonJSON(st.Reason); err == nil {
+			c.info.Pause = r.String()
+		}
+	}
+	c.infoMu.Unlock()
 }
 
 // exec runs one request against the session tracker.
@@ -589,6 +730,9 @@ func (c *serverConn) load(sess *session, req *Request) error {
 		sess.stderr = &deltaBuffer{}
 	}
 	opts := spec.loadOptions(c.srv.caps, sess.stdout, sess.stderr, spec.Stdin)
+	// Every backend publishes its spans into the server's shared ring, so
+	// the /spans dump covers all sessions without per-session plumbing.
+	opts = append(opts, core.WithSpanSink(c.srv.tracer.Ring()))
 	if err := sess.tr.LoadProgram(req.Path, opts...); err != nil {
 		sess.stdout, sess.stderr = nil, nil
 		return err

@@ -76,3 +76,102 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	}
 	return payload, nil
 }
+
+// Trace-context framing (wire tracing version 1).
+//
+// The v0 frame payload is bare JSON. When both peers negotiated tracing
+// version >= 1 in the hello exchange (the TraceV field — hello frames
+// themselves are always v0, which is what makes the negotiation backward
+// compatible: old peers omit the field, JSON ignores it, negotiated version
+// stays 0 and nothing changes on the wire), every subsequent payload is
+//
+//	[1 flags byte][16-byte trace context when flags&flagTraceContext][JSON]
+//
+// so a request can carry the client span that caused it without touching
+// the JSON schema, and a peer that has nothing to propagate pays one byte.
+
+const (
+	// flagTraceContext marks a payload carrying a 16-byte trace context
+	// (big-endian trace id, then span id) between the flags byte and the
+	// JSON body.
+	flagTraceContext = 0x01
+	// knownFlags is the set of assigned flag bits; the rest must be zero —
+	// rejecting them now is what lets a future version assign meaning to
+	// them without silently misparsing against old peers.
+	knownFlags = flagTraceContext
+
+	// traceCtxSize is the encoded size of one TraceContext.
+	traceCtxSize = 16
+)
+
+// TraceContext is the span identity a frame can carry across the wire: the
+// sender's in-flight span, which the receiver adopts as the parent of the
+// work the frame causes.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// WriteFrameV writes one frame under the negotiated tracing version: v0 is
+// WriteFrame; v1 prefixes the flags byte and the optional trace context (tc
+// nil or zero means "none").
+func WriteFrameV(w io.Writer, v any, tracev int, tc *TraceContext) error {
+	if tracev < 1 {
+		return WriteFrame(w, v)
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("remote: encoding frame: %w", err)
+	}
+	withCtx := tc != nil && (tc.TraceID != 0 || tc.SpanID != 0)
+	n := 1 + len(body)
+	if withCtx {
+		n += traceCtxSize
+	}
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+n)
+	binary.BigEndian.PutUint32(buf, uint32(n))
+	p := buf[4:]
+	if withCtx {
+		p[0] = flagTraceContext
+		binary.BigEndian.PutUint64(p[1:], tc.TraceID)
+		binary.BigEndian.PutUint64(p[9:], tc.SpanID)
+		p = p[1+traceCtxSize:]
+	} else {
+		p[0] = 0
+		p = p[1:]
+	}
+	copy(p, body)
+	_, err = w.Write(buf)
+	return err
+}
+
+// ParsePayload splits one frame payload read by ReadFrame into its optional
+// trace context and the JSON body, under the negotiated tracing version: v0
+// payloads are bare JSON (nil context). The returned body aliases payload.
+func ParsePayload(payload []byte, tracev int) (*TraceContext, []byte, error) {
+	if tracev < 1 {
+		return nil, payload, nil
+	}
+	if len(payload) < 1 {
+		return nil, nil, fmt.Errorf("remote: empty v1 frame payload")
+	}
+	flags := payload[0]
+	if flags&^byte(knownFlags) != 0 {
+		return nil, nil, fmt.Errorf("remote: unknown frame flags %#x", flags)
+	}
+	body := payload[1:]
+	if flags&flagTraceContext == 0 {
+		return nil, body, nil
+	}
+	if len(body) < traceCtxSize {
+		return nil, nil, fmt.Errorf("remote: truncated trace context (%d bytes)", len(body))
+	}
+	tc := &TraceContext{
+		TraceID: binary.BigEndian.Uint64(body[:8]),
+		SpanID:  binary.BigEndian.Uint64(body[8:16]),
+	}
+	return tc, body[traceCtxSize:], nil
+}

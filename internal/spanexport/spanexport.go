@@ -1,0 +1,132 @@
+// Package spanexport converts span dumps into the Chrome trace-event JSON
+// format, so a tracker fleet's execution — tool, wire, server, backend — can
+// be inspected on one timeline in chrome://tracing or Perfetto. A Dump is
+// what one process exports (the client's Spans(), et-serve's /spans
+// endpoint); the writer merges any number of them, giving each process its
+// own pid lane and each trace its own tid row, with span ids preserved in
+// the event args for cross-referencing.
+package spanexport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"easytracker/internal/obs"
+)
+
+// Dump is one process's span export: the process label plus its retained
+// spans. The JSON shape is what et-serve's /spans endpoint serves and what
+// easytracker.ExportSpans writes.
+type Dump struct {
+	Proc  string           `json:"proc"`
+	Spans []obs.SpanRecord `json:"spans"`
+}
+
+// DecodeDump parses one JSON dump.
+func DecodeDump(data []byte) (*Dump, error) {
+	var d Dump
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("spanexport: decoding dump: %w", err)
+	}
+	return &d, nil
+}
+
+// chromeEvent is one trace-event entry. Timestamps and durations are in
+// microseconds per the format; ph "X" is a complete event, ph "M" metadata.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace merges the dumps into one Chrome trace-event JSON
+// document. Each dump's spans keep their own process lane (pid, named via
+// "M" metadata events); within a process, each trace id gets its own thread
+// row so concurrent traces do not overlap visually. Records inside each dump
+// are ordered by start time already (ring snapshot order); the merged event
+// list is re-sorted globally so the output is deterministic for a given
+// input set.
+func WriteChromeTrace(w io.Writer, dumps ...*Dump) error {
+	var events []chromeEvent
+	for pid, d := range dumps {
+		if d == nil {
+			continue
+		}
+		name := d.Proc
+		if name == "" {
+			name = fmt.Sprintf("process-%d", pid)
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+		lanes := make(map[uint64]int)
+		// Assign trace lanes in first-seen start order so reruns of the
+		// same dump produce identical output.
+		spans := append([]obs.SpanRecord(nil), d.Spans...)
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].StartUnixNs != spans[j].StartUnixNs {
+				return spans[i].StartUnixNs < spans[j].StartUnixNs
+			}
+			return spans[i].SpanID < spans[j].SpanID
+		})
+		for _, sp := range spans {
+			lane, ok := lanes[sp.TraceID]
+			if !ok {
+				lane = len(lanes)
+				lanes[sp.TraceID] = lane
+				events = append(events, chromeEvent{
+					Name: "thread_name", Ph: "M", Pid: pid, Tid: lane,
+					Args: map[string]any{"name": fmt.Sprintf("trace %016x", sp.TraceID)},
+				})
+			}
+			args := map[string]any{
+				"trace": fmt.Sprintf("%016x", sp.TraceID),
+				"span":  fmt.Sprintf("%016x", sp.SpanID),
+			}
+			if sp.Parent != 0 {
+				args["parent"] = fmt.Sprintf("%016x", sp.Parent)
+			}
+			if sp.Detail != "" {
+				args["detail"] = sp.Detail
+			}
+			if sp.Err != "" {
+				args["err"] = sp.Err
+			}
+			dur := float64(sp.DurNs) / 1e3
+			if dur <= 0 {
+				dur = 0.001 // zero-width events vanish in the viewer
+			}
+			events = append(events, chromeEvent{
+				Name: sp.Name, Ph: "X",
+				Ts:  float64(sp.StartUnixNs) / 1e3,
+				Dur: dur,
+				Pid: pid, Tid: lane,
+				Args: args,
+			})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Ph != events[j].Ph { // metadata first
+			return events[i].Ph == "M"
+		}
+		if events[i].Ts != events[j].Ts {
+			return events[i].Ts < events[j].Ts
+		}
+		if events[i].Pid != events[j].Pid {
+			return events[i].Pid < events[j].Pid
+		}
+		return events[i].Tid < events[j].Tid
+	})
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: events}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

@@ -1,0 +1,121 @@
+package spanexport
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"easytracker/internal/obs"
+)
+
+func sampleDumps() []*Dump {
+	client := &Dump{Proc: "remote[minipy]", Spans: []obs.SpanRecord{
+		{TraceID: 0xa1, SpanID: 0x10, Proc: "remote[minipy]", Name: "remote.call.resume",
+			StartUnixNs: 1_000_000, DurNs: 9_000},
+	}}
+	server := &Dump{Proc: "et-serve", Spans: []obs.SpanRecord{
+		{TraceID: 0xa1, SpanID: 0x20, Parent: 0x10, Proc: "et-serve", Name: "rpc.resume",
+			StartUnixNs: 1_002_000, DurNs: 6_000},
+		{TraceID: 0xa1, SpanID: 0x30, Parent: 0x20, Proc: "minipy", Name: "op.resume",
+			StartUnixNs: 1_003_000, DurNs: 4_000, Detail: "resume", Err: "boom"},
+		{TraceID: 0xb2, SpanID: 0x40, Proc: "et-serve", Name: "rpc.state",
+			StartUnixNs: 2_000_000, DurNs: 1_000},
+	}}
+	return []*Dump{client, server}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	d := sampleDumps()[1]
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeDump(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Proc != d.Proc || len(got.Spans) != len(d.Spans) {
+		t.Fatalf("round trip drifted: %+v", got)
+	}
+	if got.Spans[1] != d.Spans[1] {
+		t.Fatalf("span drifted: %+v != %+v", got.Spans[1], d.Spans[1])
+	}
+	if _, err := DecodeDump([]byte("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleDumps()...); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+
+	var meta, complete int
+	byName := map[string]map[string]any{}
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			byName[ev["name"].(string)] = ev
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+	}
+	// 2 process_name + 3 thread lanes (trace a1 in both processes, b2 in one).
+	if meta != 5 {
+		t.Fatalf("metadata events = %d, want 5", meta)
+	}
+	if complete != 4 {
+		t.Fatalf("complete events = %d, want 4", complete)
+	}
+
+	call, rpc := byName["remote.call.resume"], byName["rpc.resume"]
+	if call["pid"] == rpc["pid"] {
+		t.Fatal("client and server spans merged into one process lane")
+	}
+	op := byName["op.resume"]
+	args := op["args"].(map[string]any)
+	if args["trace"] != "00000000000000a1" || args["parent"] != "0000000000000020" {
+		t.Fatalf("op args drifted: %v", args)
+	}
+	if args["detail"] != "resume" || args["err"] != "boom" {
+		t.Fatalf("op args missing detail/err: %v", args)
+	}
+	// Same-process spans of different traces get different tid rows.
+	if rpc["tid"] == byName["rpc.state"]["tid"] {
+		t.Fatal("distinct traces share a thread lane")
+	}
+	// Durations are microseconds.
+	if op["dur"].(float64) != 4.0 {
+		t.Fatalf("op dur = %v us, want 4", op["dur"])
+	}
+
+	// Deterministic: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WriteChromeTrace(&buf2, sampleDumps()...); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("renders differ between runs")
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil, &Dump{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"traceEvents"`) {
+		t.Fatalf("empty render drifted: %s", buf.String())
+	}
+}

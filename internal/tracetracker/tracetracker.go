@@ -110,6 +110,10 @@ type Tracker struct {
 	obs       *obs.Metrics
 	ctrSteps  *obs.Counter
 	ctrPauses *obs.Counter
+
+	// tracer records one span per replay op when span tracing is on; nil
+	// otherwise.
+	tracer *obs.Tracer
 }
 
 // New returns an unloaded trace tracker.
@@ -154,6 +158,11 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 		t.ctrSteps = t.obs.Counter(core.CtrStepsReplayed)
 		t.ctrPauses = t.obs.Counter(core.CtrPauses)
 	}
+	if sink := cfg.Obs.SpanSink; sink != nil {
+		t.tracer = obs.NewTracerOn(Kind, sink)
+	} else if cfg.Obs.Spans > 0 {
+		t.tracer = obs.NewTracer(Kind, cfg.Obs.Spans)
+	}
 	return nil
 }
 
@@ -166,6 +175,12 @@ func (t *Tracker) Stats() *obs.Snapshot {
 
 // ObsMetrics implements core.MetricsSource; nil when observability is off.
 func (t *Tracker) ObsMetrics() *obs.Metrics { return t.obs }
+
+// Spans implements core.SpanProvider; nil when span tracing is off.
+func (t *Tracker) Spans() []obs.SpanRecord { return t.tracer.Spans() }
+
+// SpanTracer implements core.SpanTracerSource; nil when span tracing is off.
+func (t *Tracker) SpanTracer() *obs.Tracer { return t.tracer }
 
 // step returns the current step.
 func (t *Tracker) step() *pt.Step { return &t.trace.Steps[t.pos] }
@@ -187,6 +202,7 @@ func (t *Tracker) Start() error {
 	if t.started {
 		return t.werr("Start", errors.New("tracetracker: already started"))
 	}
+	sp := t.tracer.StartOp(core.OpStart)
 	t.started = true
 	t.pos = 0
 	t.reason = core.PauseReason{
@@ -195,6 +211,7 @@ func (t *Tracker) Start() error {
 		Line: t.step().Line,
 	}
 	t.notePause()
+	sp.End()
 	return nil
 }
 
@@ -368,6 +385,7 @@ func (t *Tracker) Resume() error {
 	if err := t.controlOK(); err != nil {
 		return t.werr("Resume", err)
 	}
+	sp := t.tracer.StartOp(core.OpResume)
 	t0 := t.obs.Now()
 	for {
 		prev := t.pos
@@ -381,6 +399,7 @@ func (t *Tracker) Resume() error {
 	}
 	t.obs.Observe(core.OpResume, t0)
 	t.notePause()
+	sp.End()
 	return nil
 }
 
@@ -389,6 +408,7 @@ func (t *Tracker) Step() error {
 	if err := t.controlOK(); err != nil {
 		return t.werr("Step", err)
 	}
+	sp := t.tracer.StartOp(core.OpStep)
 	t0 := t.obs.Now()
 	if t.advance() {
 		t.reason = core.PauseReason{
@@ -397,6 +417,7 @@ func (t *Tracker) Step() error {
 	}
 	t.obs.Observe(core.OpStep, t0)
 	t.notePause()
+	sp.End()
 	return nil
 }
 
@@ -405,6 +426,7 @@ func (t *Tracker) Next() error {
 	if err := t.controlOK(); err != nil {
 		return t.werr("Next", err)
 	}
+	sp := t.tracer.StartOp(core.OpNext)
 	t0 := t.obs.Now()
 	startDepth := t.depthAt(t.pos)
 	for {
@@ -420,6 +442,7 @@ func (t *Tracker) Next() error {
 	}
 	t.obs.Observe(core.OpNext, t0)
 	t.notePause()
+	sp.End()
 	return nil
 }
 
@@ -446,6 +469,14 @@ func (t *Tracker) Terminate() error {
 // surface behind the four convenience methods. Conditions compile here so a
 // bad expression fails the arming call with ErrBadQuery.
 func (t *Tracker) Arm(p core.Probe) error {
+	sp := t.tracer.Start(core.SpanArm)
+	sp.Detail = p.Op()
+	err := t.arm(p)
+	sp.EndErr(err)
+	return err
+}
+
+func (t *Tracker) arm(p core.Probe) error {
 	op := p.Op()
 	if !t.loaded {
 		return t.werr(op, core.ErrNoProgram)

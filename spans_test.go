@@ -1,0 +1,78 @@
+package easytracker_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"easytracker"
+)
+
+// TestSpansPublicAPI drives a local tracker with span tracing on and checks
+// the whole public surface: Spans, ExportSpans and the Chrome renderer.
+func TestSpansPublicAPI(t *testing.T) {
+	tr := newTracker(t, "minipy")
+	err := tr.LoadProgram("agree.py",
+		easytracker.WithSource(agreePy),
+		easytracker.WithObservability(easytracker.WithSpanTracing(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Resume(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, ok := easytracker.Spans(tr)
+	if !ok {
+		t.Fatal("minipy tracker should expose spans")
+	}
+	var names []string
+	for _, sp := range spans {
+		names = append(names, sp.Name)
+	}
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "op.start") || !strings.Contains(joined, "op.resume") {
+		t.Fatalf("op spans missing: %v", names)
+	}
+
+	var dumpBuf bytes.Buffer
+	if err := easytracker.ExportSpans(&dumpBuf, "tool", tr); err != nil {
+		t.Fatal(err)
+	}
+	var dump easytracker.SpanDump
+	if err := json.Unmarshal(dumpBuf.Bytes(), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Proc != "tool" || len(dump.Spans) != len(spans) {
+		t.Fatalf("dump drifted: proc=%q n=%d want %d", dump.Proc, len(dump.Spans), len(spans))
+	}
+
+	var chrome bytes.Buffer
+	if err := easytracker.WriteChromeTrace(&chrome, &dump); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chrome.String(), `"traceEvents"`) ||
+		!strings.Contains(chrome.String(), "op.resume") {
+		t.Fatal("chrome render missing events")
+	}
+}
+
+// TestSpansOffByDefault: without WithSpanTracing a tracker records no spans
+// and Spans reports ok=false — the disabled path is the default.
+func TestSpansOffByDefault(t *testing.T) {
+	tr := newTracker(t, "minipy")
+	if err := tr.LoadProgram("agree.py", easytracker.WithSource(agreePy)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	spans, _ := easytracker.Spans(tr)
+	if len(spans) != 0 {
+		t.Fatalf("spans recorded with tracing off: %d", len(spans))
+	}
+}
