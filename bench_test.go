@@ -651,6 +651,20 @@ func BenchmarkBudgetCheckOverhead(b *testing.B) {
 // delta against the local benchmark is the price of the wire — framing,
 // JSON codecs and the per-request round trips.
 func BenchmarkRemoteRoundTrip(b *testing.B) {
+	benchRemoteSession(b)
+}
+
+// BenchmarkRedialOverheadOff is BenchmarkRemoteRoundTrip with the redial
+// policy armed but the network healthy: the fault-tolerance machinery's
+// price on the fast path. The allocs/op gate holds it to the fault-free
+// number — resilience must cost nothing until a fault actually happens.
+func BenchmarkRedialOverheadOff(b *testing.B) {
+	benchRemoteSession(b, easytracker.WithRedialPolicy(easytracker.DefaultRedialPolicy()))
+}
+
+// benchRemoteSession runs one full client lifecycle (connect, load, watch,
+// resume to exit, terminate) per iteration with caller-chosen load options.
+func benchRemoteSession(b *testing.B, opts ...easytracker.LoadOption) {
 	b.ReportAllocs()
 	srv := easytracker.NewServer()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -661,13 +675,14 @@ func BenchmarkRemoteRoundTrip(b *testing.B) {
 	defer srv.Close()
 	addr := ln.Addr().String()
 	src := "total = 0\nk = 0\nwhile k < 200:\n    k = k + 1\ntotal = 1\n"
+	loadOpts := append([]easytracker.LoadOption{easytracker.WithSource(src)}, opts...)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr, err := easytracker.Connect(addr, "minipy")
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := tr.LoadProgram("w.py", easytracker.WithSource(src)); err != nil {
+		if err := tr.LoadProgram("w.py", loadOpts...); err != nil {
 			b.Fatal(err)
 		}
 		if err := tr.Start(); err != nil {

@@ -14,7 +14,15 @@
 //
 //	et-serve [-addr :7070] [-http addr] [-max-sessions N] [-idle DUR]
 //	         [-exec-timeout DUR] [-max-steps N] [-max-depth N] [-max-heap N]
-//	         [-max-instr N] [-stats] [-stats-interval DUR] [-v]
+//	         [-max-instr N] [-heartbeat DUR] [-hb-misses N] [-retry-after DUR]
+//	         [-stats] [-stats-interval DUR] [-v]
+//
+// With -heartbeat the server negotiates liveness pings with every client
+// that speaks the heartbeat protocol: peers silent past -hb-misses
+// consecutive intervals are evicted even mid-command, and clients detect a
+// dead server instead of blocking on a dropped response. -retry-after
+// stamps admission refusals (session limit, draining) with a hint that
+// redialing clients honor as their backoff.
 //
 // With -http the server exposes its live telemetry over HTTP: /metrics
 // (Prometheus text), /healthz and /readyz (readiness flips to 503 the moment
@@ -49,11 +57,32 @@ func main() {
 	maxDepth := flag.Int("max-depth", 0, "cap every session's call-depth budget (0: no cap)")
 	maxHeap := flag.Int64("max-heap", 0, "cap every session's heap-object budget (0: no cap)")
 	maxInstr := flag.Uint64("max-instr", 0, "cap every session's instruction budget (0: no cap)")
+	heartbeat := flag.Duration("heartbeat", 0, "heartbeat interval negotiated with clients; silent peers are evicted (0 disables)")
+	hbMisses := flag.Int("hb-misses", 0, "missed heartbeats before a silent peer is evicted (0: protocol default)")
+	retryAfter := flag.Duration("retry-after", 0, "retry-after hint attached to busy/draining refusals (0: server default)")
 	drainWait := flag.Duration("drain", 30*time.Second, "graceful-drain deadline on SIGTERM/SIGINT")
 	showStats := flag.Bool("stats", false, "print the server's metrics snapshot (JSON) to stderr on exit")
 	statsInterval := flag.Duration("stats-interval", 0, "also print the metrics snapshot to stderr every DUR while serving (0 disables)")
 	verbose := flag.Bool("v", false, "log admissions, evictions and teardowns")
 	flag.Parse()
+
+	cfg := serveConfig{
+		MaxSessions:   *maxSessions,
+		Idle:          *idle,
+		ExecTimeout:   *execTimeout,
+		MaxSteps:      *maxSteps,
+		MaxDepth:      *maxDepth,
+		MaxHeap:       *maxHeap,
+		Heartbeat:     *heartbeat,
+		HBMisses:      *hbMisses,
+		RetryAfter:    *retryAfter,
+		Drain:         *drainWait,
+		StatsInterval: *statsInterval,
+	}
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "et-serve: %v\n", err)
+		os.Exit(2)
+	}
 
 	opts := []easytracker.ServerOption{
 		easytracker.WithMaxSessions(*maxSessions),
@@ -65,6 +94,12 @@ func main() {
 			MaxHeapObjects:  *maxHeap,
 			MaxInstructions: *maxInstr,
 		}),
+	}
+	if *heartbeat > 0 {
+		opts = append(opts, easytracker.WithHeartbeat(*heartbeat, *hbMisses))
+	}
+	if *retryAfter > 0 {
+		opts = append(opts, easytracker.WithRetryAfterHint(*retryAfter))
 	}
 	if *verbose {
 		opts = append(opts, easytracker.WithServerLog(log.Printf))
@@ -130,6 +165,53 @@ func main() {
 		_ = enc.Encode(srv.Stats())
 	}
 	fmt.Println("et-serve: stopped")
+}
+
+// serveConfig is the checkable subset of the flag values. Validation
+// catches the configurations that would start and then misbehave — a
+// server that admits nobody, a negative timeout the clamping layers would
+// silently turn into "no limit" — before the listener binds.
+type serveConfig struct {
+	MaxSessions   int
+	Idle          time.Duration
+	ExecTimeout   time.Duration
+	MaxSteps      int64
+	MaxDepth      int
+	MaxHeap       int64
+	Heartbeat     time.Duration
+	HBMisses      int
+	RetryAfter    time.Duration
+	Drain         time.Duration
+	StatsInterval time.Duration
+}
+
+// validate reports the first nonsensical flag value.
+func (c serveConfig) validate() error {
+	switch {
+	case c.MaxSessions <= 0:
+		return fmt.Errorf("-max-sessions must be positive, got %d (a server that admits no sessions serves nobody)", c.MaxSessions)
+	case c.Idle < 0:
+		return fmt.Errorf("-idle must not be negative, got %v (use 0 to disable idle eviction)", c.Idle)
+	case c.ExecTimeout < 0:
+		return fmt.Errorf("-exec-timeout must not be negative, got %v (use 0 for no cap)", c.ExecTimeout)
+	case c.MaxSteps < 0:
+		return fmt.Errorf("-max-steps must not be negative, got %d (use 0 for no cap)", c.MaxSteps)
+	case c.MaxDepth < 0:
+		return fmt.Errorf("-max-depth must not be negative, got %d (use 0 for no cap)", c.MaxDepth)
+	case c.MaxHeap < 0:
+		return fmt.Errorf("-max-heap must not be negative, got %d (use 0 for no cap)", c.MaxHeap)
+	case c.Heartbeat < 0:
+		return fmt.Errorf("-heartbeat must not be negative, got %v (use 0 to disable heartbeats)", c.Heartbeat)
+	case c.HBMisses < 0:
+		return fmt.Errorf("-hb-misses must not be negative, got %d (use 0 for the protocol default)", c.HBMisses)
+	case c.RetryAfter < 0:
+		return fmt.Errorf("-retry-after must not be negative, got %v (use 0 for the server default)", c.RetryAfter)
+	case c.Drain < 0:
+		return fmt.Errorf("-drain must not be negative, got %v", c.Drain)
+	case c.StatsInterval < 0:
+		return fmt.Errorf("-stats-interval must not be negative, got %v (use 0 to disable periodic stats)", c.StatsInterval)
+	}
+	return nil
 }
 
 // compactJSON renders v on one line for the periodic stats log.

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// okConfig is a baseline that validates; each case perturbs one field.
+func okConfig() serveConfig {
+	return serveConfig{
+		MaxSessions: 64,
+		Idle:        10 * time.Minute,
+		Drain:       30 * time.Second,
+	}
+}
+
+func TestServeConfigValidate(t *testing.T) {
+	if err := okConfig().validate(); err != nil {
+		t.Fatalf("baseline config rejected: %v", err)
+	}
+	full := serveConfig{
+		MaxSessions:   1,
+		Idle:          time.Minute,
+		ExecTimeout:   time.Second,
+		MaxSteps:      1000,
+		MaxDepth:      8,
+		MaxHeap:       100,
+		Heartbeat:     5 * time.Second,
+		HBMisses:      3,
+		RetryAfter:    500 * time.Millisecond,
+		Drain:         time.Second,
+		StatsInterval: time.Minute,
+	}
+	if err := full.validate(); err != nil {
+		t.Fatalf("fully specified config rejected: %v", err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(*serveConfig)
+		wantSub string
+	}{
+		{"zero max-sessions", func(c *serveConfig) { c.MaxSessions = 0 }, "-max-sessions"},
+		{"negative max-sessions", func(c *serveConfig) { c.MaxSessions = -3 }, "-max-sessions"},
+		{"negative idle", func(c *serveConfig) { c.Idle = -time.Second }, "-idle"},
+		{"negative exec-timeout", func(c *serveConfig) { c.ExecTimeout = -time.Millisecond }, "-exec-timeout"},
+		{"negative max-steps", func(c *serveConfig) { c.MaxSteps = -1 }, "-max-steps"},
+		{"negative max-depth", func(c *serveConfig) { c.MaxDepth = -1 }, "-max-depth"},
+		{"negative max-heap", func(c *serveConfig) { c.MaxHeap = -1 }, "-max-heap"},
+		{"negative heartbeat", func(c *serveConfig) { c.Heartbeat = -time.Second }, "-heartbeat"},
+		{"negative hb-misses", func(c *serveConfig) { c.HBMisses = -1 }, "-hb-misses"},
+		{"negative retry-after", func(c *serveConfig) { c.RetryAfter = -time.Second }, "-retry-after"},
+		{"negative drain", func(c *serveConfig) { c.Drain = -time.Second }, "-drain"},
+		{"negative stats-interval", func(c *serveConfig) { c.StatsInterval = -time.Minute }, "-stats-interval"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := okConfig()
+			tc.mutate(&cfg)
+			err := cfg.validate()
+			if err == nil {
+				t.Fatalf("config %+v accepted, want an error naming %s", cfg, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not name the offending flag %s", err, tc.wantSub)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("flag error must be one line, got %q", err)
+			}
+		})
+	}
+
+	// Zero durations mean "disabled", not "invalid".
+	cfg := okConfig()
+	cfg.Idle, cfg.Heartbeat, cfg.StatsInterval = 0, 0, 0
+	if err := cfg.validate(); err != nil {
+		t.Fatalf("zero (disabled) durations rejected: %v", err)
+	}
+}

@@ -171,6 +171,12 @@ var (
 	// fails with ErrCommandTimeout and the session layer restarts the
 	// debugger instead of blocking the tool forever.
 	WithCommandTimeout = core.WithCommandTimeout
+	// WithRedialPolicy sets the remote client's reconnect policy for the
+	// session being loaded (ignored by local trackers): how many dial
+	// attempts per outage, the backoff curve between them, the total
+	// wall-clock budget, and how many separate outages one session may
+	// survive. See RedialPolicy and DefaultRedialPolicy.
+	WithRedialPolicy = core.WithRedialPolicy
 	// WithObservability enables the tracker's instrumentation — op
 	// counters, latency histograms, gauges and the flight recorder — read
 	// back with Stats. Off by default and near-free when off.
@@ -312,6 +318,12 @@ var (
 	// fault (an interpreter panic) rather than exiting; the TrackerError
 	// wrapping it carries the inferior-language backtrace.
 	ErrInferiorCrash = core.ErrInferiorCrash
+	// ErrServerBusy and ErrServerDraining classify a remote server's
+	// admission refusals (session limit reached; graceful shutdown in
+	// progress). Both may carry a retry-after hint (RetryAfterError) that
+	// the client's redial policy honors.
+	ErrServerBusy     = core.ErrServerBusy
+	ErrServerDraining = core.ErrServerDraining
 )
 
 // Typed errors: every tracker method reports failures as a *TrackerError
@@ -323,7 +335,18 @@ type (
 	TrackerError = core.TrackerError
 	// RecoveryStatus reports what the session layer did about a failure.
 	RecoveryStatus = core.RecoveryStatus
+	// RetryAfterError decorates a retryable server refusal with the
+	// server's suggested wait before the next attempt.
+	RetryAfterError = core.RetryAfterError
+	// RedialPolicy governs the remote client's reconnect loop: capped
+	// exponential backoff with jitter, per-outage attempt and wall-clock
+	// budgets, and a per-session outage cap. See WithRedialPolicy.
+	RedialPolicy = core.RedialPolicy
 )
+
+// DefaultRedialPolicy is the reconnect policy used when LoadProgram got no
+// WithRedialPolicy option.
+func DefaultRedialPolicy() RedialPolicy { return core.DefaultRedialPolicy() }
 
 // Recovery statuses.
 const (
@@ -447,6 +470,8 @@ type (
 	Server = remote.Server
 	// ServerOption customizes NewServer.
 	ServerOption = remote.ServerOption
+	// ConnectOption customizes Connect (transport dialer, dial timeout).
+	ConnectOption = remote.ConnectOption
 )
 
 // Server options.
@@ -463,6 +488,23 @@ var (
 	WithSessionExecTimeout = remote.WithSessionExecTimeout
 	// WithServerLog routes the server's diagnostic log lines.
 	WithServerLog = remote.WithLogf
+	// WithHeartbeat arms liveness heartbeats: clients ping every interval,
+	// and a connection totally silent for misses intervals is evicted even
+	// mid-command (silence from a beating client means the wire is dead).
+	WithHeartbeat = remote.WithHeartbeat
+	// WithRetryAfterHint attaches a retry-after hint to admission refusals
+	// so policy-driven clients back off by the operator's chosen amount.
+	WithRetryAfterHint = remote.WithRetryAfterHint
+)
+
+// Client connect options.
+var (
+	// WithDialer replaces the remote client's transport dialer — the seam
+	// tests and chaos harnesses plug a virtual network into.
+	WithDialer = remote.WithDialer
+	// WithDialTimeout bounds each dial plus hello handshake, for Connect
+	// and for every redial attempt.
+	WithDialTimeout = remote.WithDialTimeout
 )
 
 // Connect dials a tracker server and opens one session of the given backend
@@ -471,7 +513,9 @@ var (
 //	tr, err := easytracker.Connect("localhost:7070", "minipy")
 //	...
 //	tr.LoadProgram("prog.py")
-func Connect(addr, kind string) (*RemoteTracker, error) { return remote.Connect(addr, kind) }
+func Connect(addr, kind string, opts ...ConnectOption) (*RemoteTracker, error) {
+	return remote.Connect(addr, kind, opts...)
+}
 
 // NewServer builds a tracker server; run it with Serve/ListenAndServe and
 // stop it with Shutdown (graceful drain) or Close.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 )
 
 // This file is the wire codec for the typed error model: a *TrackerError —
@@ -30,6 +31,8 @@ var errorCodes = []struct {
 	{"command_timeout", ErrCommandTimeout},
 	{"session_lost", ErrSessionLost},
 	{"inferior_crash", ErrInferiorCrash},
+	{"server_busy", ErrServerBusy},
+	{"server_draining", ErrServerDraining},
 }
 
 // ErrorCode names the first package sentinel err matches, or "" when it
@@ -72,6 +75,9 @@ type ErrorJSON struct {
 	Code string `json:"code,omitempty"`
 	// Msg is the rendered message of the underlying cause.
 	Msg string `json:"msg,omitempty"`
+	// RetryAfter is the server's retry-after hint in nanoseconds for
+	// retryable refusals (server_busy, server_draining); zero means none.
+	RetryAfter int64 `json:"retry_after,omitempty"`
 }
 
 // EncodeError converts err into its serializable form. A nil err encodes to
@@ -81,7 +87,7 @@ func EncodeError(err error) *ErrorJSON {
 	if err == nil {
 		return nil
 	}
-	ej := &ErrorJSON{Code: ErrorCode(err), Msg: err.Error()}
+	ej := &ErrorJSON{Code: ErrorCode(err), Msg: err.Error(), RetryAfter: int64(RetryAfterHint(err))}
 	var te *TrackerError
 	if errors.As(err, &te) {
 		ej.Op = te.Op
@@ -132,9 +138,16 @@ func (e *ErrorJSON) DecodeError() error {
 	if e == nil {
 		return nil
 	}
-	cause := &codedError{sentinel: SentinelFor(e.Code), msg: e.Msg}
+	inner := &codedError{sentinel: SentinelFor(e.Code), msg: e.Msg}
+	var cause error = inner
+	if e.RetryAfter > 0 {
+		// Re-wrap the hint so the receiving side's redial policy can
+		// honor it. The encoded message already rendered the hint, so
+		// the wrapper reuses it verbatim instead of re-rendering.
+		cause = &RetryAfterError{After: time.Duration(e.RetryAfter), Err: inner, msg: e.Msg}
+	}
 	if e.Op == "" && e.Kind == "" {
-		if cause.sentinel == nil && cause.msg == "" {
+		if inner.sentinel == nil && inner.msg == "" {
 			return errors.New("core: empty wire error")
 		}
 		return cause

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"testing"
+	"time"
 )
 
 // The error codec's contract: errors.Is identity and *TrackerError structure
@@ -104,5 +105,55 @@ func TestErrorCodecUnknownForwardCompat(t *testing.T) {
 	}
 	if rt.Error() == "" {
 		t.Error("decoded error lost its message")
+	}
+}
+
+func TestErrorCodecRetryAfter(t *testing.T) {
+	// A busy refusal decorated with a retry-after hint survives the wire
+	// with its sentinel identity, its hint, and its exact message.
+	src := &RetryAfterError{After: 500 * time.Millisecond, Err: ErrServerBusy}
+	rt := RoundTripError(src)
+	if !errors.Is(rt, ErrServerBusy) {
+		t.Fatalf("round trip lost sentinel: %v", rt)
+	}
+	if got := RetryAfterHint(rt); got != 500*time.Millisecond {
+		t.Fatalf("round trip hint = %v, want 500ms", got)
+	}
+	if rt.Error() != src.Error() {
+		t.Fatalf("round trip message %q != %q", rt.Error(), src.Error())
+	}
+	// A second trip is stable (no re-appended hint text).
+	rt2 := RoundTripError(rt)
+	if rt2.Error() != rt.Error() || RetryAfterHint(rt2) != 500*time.Millisecond {
+		t.Fatalf("second round trip drifted: %q", rt2.Error())
+	}
+}
+
+func TestErrorCodecRefusalSentinels(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		code string
+	}{
+		{ErrServerBusy, "server_busy"},
+		{ErrServerDraining, "server_draining"},
+	} {
+		if got := ErrorCode(tc.err); got != tc.code {
+			t.Errorf("ErrorCode(%v) = %q, want %q", tc.err, got, tc.code)
+		}
+		if !errors.Is(RoundTripError(tc.err), tc.err) {
+			t.Errorf("%v lost identity over the wire", tc.err)
+		}
+	}
+}
+
+func TestErrorCodecRetryAfterInsideTrackerError(t *testing.T) {
+	src := WrapErr("remote", "LoadProgram", "", 0,
+		&RetryAfterError{After: 250 * time.Millisecond, Err: ErrServerDraining})
+	rt := RoundTripError(src)
+	if !errors.Is(rt, ErrServerDraining) {
+		t.Fatalf("sentinel lost: %v", rt)
+	}
+	if got := RetryAfterHint(rt); got != 250*time.Millisecond {
+		t.Fatalf("hint lost inside TrackerError: %v", got)
 	}
 }

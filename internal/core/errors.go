@@ -17,6 +17,14 @@ var (
 	// ErrSessionLost is returned when the debugger connection died
 	// (subprocess crash, closed pipe, protocol corruption).
 	ErrSessionLost = errors.New("easytracker: debugger session lost")
+	// ErrServerBusy is a remote server's admission refusal at its session
+	// limit. Retryable: the redial policy backs off and tries again,
+	// honoring any retry-after hint carried by a RetryAfterError wrapper.
+	ErrServerBusy = errors.New("easytracker: server at session limit")
+	// ErrServerDraining is a remote server's admission refusal while it
+	// shuts down gracefully. Retryable against a replacement backend, not
+	// against the draining one.
+	ErrServerDraining = errors.New("easytracker: server draining")
 )
 
 // RecoveryStatus reports what the session layer did about a failure.
@@ -140,6 +148,147 @@ func WrapErr(kind, op, file string, line int, err error) error {
 		return err
 	}
 	return &TrackerError{Op: op, Kind: kind, File: file, Line: line, Err: err}
+}
+
+// RetryAfterError decorates a retryable refusal (ErrServerBusy,
+// ErrServerDraining) with the server's hint for when to try again. The
+// redial policy uses the hint as the next backoff delay, clamped to the
+// policy's cap; errors.Is against the wrapped sentinel keeps working.
+type RetryAfterError struct {
+	// After is the server's suggested wait before the next attempt.
+	After time.Duration
+	// Err is the refusal being decorated.
+	Err error
+	// msg, when set, is a pre-rendered message (the wire-decode path uses
+	// it so a round trip does not re-append the hint).
+	msg string
+}
+
+// Error implements error.
+func (e *RetryAfterError) Error() string {
+	if e.msg != "" {
+		return e.msg
+	}
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.After)
+}
+
+// Unwrap exposes the refusal sentinel to errors.Is / errors.As.
+func (e *RetryAfterError) Unwrap() error { return e.Err }
+
+// RetryAfterHint extracts the server's retry-after hint from an error
+// chain; zero when the chain carries none.
+func RetryAfterHint(err error) time.Duration {
+	var ra *RetryAfterError
+	if errors.As(err, &ra) && ra.After > 0 {
+		return ra.After
+	}
+	return 0
+}
+
+// RedialPolicy governs how the remote client re-establishes a lost
+// session: capped exponential backoff with deterministic-per-client
+// jitter, bounded both by an attempt count per outage and by a total
+// wall-clock budget. The zero value is invalid; use DefaultRedialPolicy
+// as a base.
+type RedialPolicy struct {
+	// MaxAttempts bounds dial attempts per outage (per recovery event).
+	MaxAttempts int
+	// BaseDelay is the wait before the second attempt (the first redial
+	// happens immediately).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth.
+	MaxDelay time.Duration
+	// Multiplier scales the delay between attempts (≥ 1).
+	Multiplier float64
+	// Jitter perturbs each delay by a uniform factor in [1-J, 1+J],
+	// 0 ≤ J ≤ 1, decorrelating a fleet of clients redialing at once.
+	Jitter float64
+	// Budget bounds the total wall-clock time of one outage's redial
+	// loop, backoff waits included; zero means attempts-only bounding.
+	Budget time.Duration
+	// MaxRecoveries bounds how many separate outages one session may
+	// survive (each successful recovery restarts the inferior and replays
+	// the journal). Zero means the package default of 1 — the pre-policy
+	// one-shot behavior.
+	MaxRecoveries int
+	// DialTimeout bounds each individual dial + hello handshake, so one
+	// attempt into a black-holing network cannot eat the whole budget.
+	DialTimeout time.Duration
+}
+
+// DefaultRedialPolicy is the policy used when LoadProgram got no
+// WithRedialPolicy option: three quick attempts, ~3s budget, one recovery
+// per session.
+func DefaultRedialPolicy() RedialPolicy {
+	return RedialPolicy{
+		MaxAttempts:   3,
+		BaseDelay:     25 * time.Millisecond,
+		MaxDelay:      time.Second,
+		Multiplier:    2,
+		Jitter:        0.2,
+		Budget:        3 * time.Second,
+		MaxRecoveries: 1,
+		DialTimeout:   2 * time.Second,
+	}
+}
+
+// Normalize fills non-sensical fields with their defaults so a partially
+// specified policy behaves predictably.
+func (p RedialPolicy) Normalize() RedialPolicy {
+	d := DefaultRedialPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay < p.BaseDelay {
+		p.MaxDelay = p.BaseDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = d.Multiplier
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		p.Jitter = d.Jitter
+	}
+	if p.MaxRecoveries <= 0 {
+		p.MaxRecoveries = d.MaxRecoveries
+	}
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = d.DialTimeout
+	}
+	return p
+}
+
+// Delay returns the backoff before attempt number attempt (0-based; 0 is
+// the immediate first redial). rand is a uniform sample in [0, 1) used
+// for jitter — callers supply their own deterministic source.
+func (p RedialPolicy) Delay(attempt int, rand float64) time.Duration {
+	if attempt <= 0 {
+		return 0
+	}
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		d *= 1 - p.Jitter + 2*p.Jitter*rand
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d)
+}
+
+// WithRedialPolicy sets the remote client's reconnect policy for the
+// session being loaded; see RedialPolicy. Local trackers ignore it.
+func WithRedialPolicy(p RedialPolicy) LoadOption {
+	norm := p.Normalize()
+	return func(c *LoadConfig) { c.Redial = &norm }
 }
 
 // WithCommandTimeout bounds every debugger round trip (trackers that drive

@@ -150,6 +150,11 @@ const (
 	CtrRemoteRefusals   = "remote.sessions_refused" // hellos refused (full/draining)
 	CtrRemoteFiltered   = "remote.pauses_filtered"  // pauses swallowed by a subscription
 	GaugeRemoteSessions = "remote.sessions_active"  // live sessions
+	CtrRemoteHBEvicts   = "remote.heartbeat_evictions" // silent peers evicted by missed beats
+
+	// Remote-session client instruments (internal/remote.Tracker).
+	CtrRemoteRedials       = "remote.redials"        // redial attempts (per attempt, not per outage)
+	CtrRemoteRedialGiveups = "remote.redial_giveups" // outages the policy gave up on
 )
 
 // Canonical span names. Backend op spans reuse the histogram names above

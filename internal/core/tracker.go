@@ -68,6 +68,9 @@ type LoadConfig struct {
 	// ASTInterpreter selects the tree-walking reference engine for
 	// interpreter-based trackers; see WithASTInterpreter.
 	ASTInterpreter bool
+	// Redial configures the remote client's reconnect loop; nil means the
+	// default policy. See WithRedialPolicy. Local trackers ignore it.
+	Redial *RedialPolicy
 }
 
 // LoadOption customizes LoadProgram.

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"easytracker/internal/core"
 	"easytracker/internal/obs"
@@ -18,8 +19,8 @@ import (
 
 // wireConn is one client connection with request/response demultiplexing:
 // frames are written under a mutex, a reader goroutine routes responses to
-// their waiting callers by ID. That lets Interrupt travel while a control
-// command's response is still outstanding.
+// their waiting callers by ID. That lets Interrupt (and heartbeats) travel
+// while a control command's response is still outstanding.
 type wireConn struct {
 	nc     net.Conn
 	wmu    sync.Mutex
@@ -30,14 +31,20 @@ type wireConn struct {
 	// parsing frames.
 	tracev atomic.Int32
 
-	pmu     sync.Mutex
-	pending map[uint64]chan *Response
-	dead    error // set once the read loop exits; guarded by pmu
-	done    chan struct{}
+	// lastRecv is the unix-nano time of the last frame received — any frame,
+	// including ping acks. The heartbeat watchdog reads it to notice a server
+	// that went silent while a Resume response is outstanding.
+	lastRecv atomic.Int64
+
+	pmu       sync.Mutex
+	pending   map[uint64]chan *Response
+	dead      error // set once the read loop exits; guarded by pmu
+	failCause error // local diagnosis injected before closing; guarded by pmu
+	done      chan struct{}
 }
 
-func dialWire(addr string) (*wireConn, error) {
-	nc, err := net.Dial("tcp", addr)
+func dialWire(dial func(addr string) (net.Conn, error), addr string) (*wireConn, error) {
+	nc, err := dial(addr)
 	if err != nil {
 		return nil, err
 	}
@@ -46,6 +53,7 @@ func dialWire(addr string) (*wireConn, error) {
 		pending: map[uint64]chan *Response{},
 		done:    make(chan struct{}),
 	}
+	c.lastRecv.Store(time.Now().UnixNano())
 	go c.readLoop()
 	return c, nil
 }
@@ -58,6 +66,7 @@ func (c *wireConn) readLoop() {
 		if err != nil {
 			break
 		}
+		c.lastRecv.Store(time.Now().UnixNano())
 		// The response's trace context (the server's executor span) is not
 		// needed client-side — the client's own call span already brackets
 		// the round trip — but the framing must still be consumed.
@@ -75,12 +84,27 @@ func (c *wireConn) readLoop() {
 		ch := c.pending[resp.ID]
 		delete(c.pending, resp.ID)
 		c.pmu.Unlock()
-		if ch != nil {
-			ch <- &resp
+		if ch == nil {
+			// The server answers each request exactly once, so an ID nobody
+			// is waiting for means the stream is corrupted (a flipped ID bit
+			// leaves the real caller waiting forever while heartbeat acks
+			// keep the watchdog quiet). Kill the connection and let the
+			// redial policy rebuild it.
+			err = fmt.Errorf("remote: unsolicited response id %d (corrupted stream?)", resp.ID)
+			break
 		}
+		ch <- &resp
 	}
 	c.pmu.Lock()
-	c.dead = fmt.Errorf("%w: %v", core.ErrSessionLost, err)
+	if c.failCause != nil {
+		// A local watchdog closed the socket; its diagnosis beats the
+		// secondary "use of closed connection" the read reported.
+		err = c.failCause
+	}
+	// Double-%w: the dead error satisfies errors.Is(ErrSessionLost) AND
+	// keeps the transport cause's type — errors.As still digs out a
+	// *DecodeError after the loss crosses markDead and TrackerError.
+	c.dead = fmt.Errorf("%w: %w", core.ErrSessionLost, err)
 	for id, ch := range c.pending {
 		delete(c.pending, id)
 		close(ch)
@@ -88,6 +112,48 @@ func (c *wireConn) readLoop() {
 	c.pmu.Unlock()
 	close(c.done)
 	c.nc.Close()
+}
+
+// fail injects a local failure diagnosis and closes the socket, unblocking
+// the read loop and every pending caller. First diagnosis wins.
+func (c *wireConn) fail(cause error) {
+	c.pmu.Lock()
+	if c.failCause == nil {
+		c.failCause = cause
+	}
+	c.pmu.Unlock()
+	c.nc.Close()
+}
+
+// startHeartbeat runs the negotiated client half of the heartbeat contract:
+// ping every interval, and declare the server dead — closing the connection
+// so a blocked Resume unblocks with a session-lost error — after misses
+// consecutive intervals with no frame of any kind from the server.
+func (c *wireConn) startHeartbeat(interval time.Duration, misses int) {
+	if interval <= 0 {
+		return
+	}
+	if misses < 1 {
+		misses = DefaultHeartbeatMisses
+	}
+	window := interval * time.Duration(misses)
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.done:
+				return
+			case <-tick.C:
+				silent := time.Since(time.Unix(0, c.lastRecv.Load()))
+				if silent >= window {
+					c.fail(fmt.Errorf("remote: server silent for %v (%d missed heartbeats)", silent.Round(time.Millisecond), misses))
+					return
+				}
+				c.post(&Request{Op: OpPing})
+			}
+		}
+	}()
 }
 
 // send writes one request frame and registers its response slot. tc is the
@@ -142,6 +208,37 @@ func (c *wireConn) callCtx(req *Request, tc *TraceContext) (*Response, error) {
 	return resp, nil
 }
 
+// callTimeout is call with a deadline: a peer that accepted the socket but
+// never answers (a black-holing network, a wedged server) fails the round
+// trip instead of blocking forever. On expiry the connection is killed —
+// a half-done exchange is not resumable.
+func (c *wireConn) callTimeout(req *Request, d time.Duration) (*Response, error) {
+	ch, err := c.send(req, nil)
+	if err != nil {
+		return nil, err
+	}
+	var expiry <-chan time.Time
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		expiry = timer.C
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.pmu.Lock()
+			dead := c.dead
+			c.pmu.Unlock()
+			return nil, dead
+		}
+		return resp, nil
+	case <-expiry:
+		err := fmt.Errorf("remote: no response to %s within %v", req.Op, d)
+		c.fail(err)
+		return nil, err
+	}
+}
+
 // post fires a request and consumes its response in the background —
 // Interrupt's shape: the frame must go out now, nobody waits for the ack.
 func (c *wireConn) post(req *Request) {
@@ -166,6 +263,11 @@ type Tracker struct {
 	addr string
 	kind string
 
+	// dialer opens the transport; the default dials TCP with the effective
+	// dial timeout. Tests and chaos harnesses inject virtual networks here.
+	dialer      func(addr string) (net.Conn, error)
+	dialTimeout time.Duration
+
 	// connMu guards the conn pointer only, so Interrupt can reach the wire
 	// without taking the tracker mutex a blocked control command holds.
 	connMu sync.Mutex
@@ -177,18 +279,23 @@ type Tracker struct {
 	// tracer records client-side call spans when span tracing was requested
 	// at load time; nil means tracing off (spans become no-ops).
 	tracer *obs.Tracer
+	// met is the client-side instrument panel (redial counters); nil-safe
+	// off until load-time observability enables it.
+	met *obs.Metrics
 
 	// Replay journal, mirroring the MiniGDB session layer: everything
 	// needed to rebuild the session on the server after a connection loss.
-	path      string
-	spec      *LoadSpec
-	stdout    io.Writer
-	stderr    io.Writer
-	arms      []armRecord
-	loaded    bool
-	started   bool
-	recovered bool // one-shot recovery budget
-	deadErr   error
+	path       string
+	spec       *LoadSpec
+	stdout     io.Writer
+	stderr     io.Writer
+	arms       []armRecord
+	loaded     bool
+	started    bool
+	recoveries int                // outages survived so far
+	redial     *core.RedialPolicy // nil means DefaultRedialPolicy
+	rng        uint64             // splitmix64 state for backoff jitter
+	deadErr    error
 
 	// Status cache, refreshed from every response; PauseReason, ExitCode,
 	// Position and LastLine cost no round trips.
@@ -268,12 +375,37 @@ func probeRecord(p core.Probe) (armRecord, error) {
 	return a, nil
 }
 
+// ConnectOption customizes Connect.
+type ConnectOption func(*Tracker)
+
+// WithDialer replaces the transport dialer — the seam a chaos harness or a
+// virtual network plugs into. The function receives the address given to
+// Connect and must return a connected net.Conn.
+func WithDialer(dial func(addr string) (net.Conn, error)) ConnectOption {
+	return func(t *Tracker) { t.dialer = dial }
+}
+
+// WithDialTimeout bounds each dial plus its hello handshake. It applies to
+// the initial Connect and to every redial attempt, overriding the redial
+// policy's DialTimeout.
+func WithDialTimeout(d time.Duration) ConnectOption {
+	return func(t *Tracker) { t.dialTimeout = d }
+}
+
 // Connect dials a remote tracker server and opens one session of the given
 // backend kind ("minipy", "minigdb", "trace"). The returned Tracker is used
 // exactly like a local one; Close releases the connection when the tool is
 // done (Terminate alone keeps it open so Stats stays readable).
-func Connect(addr, kind string) (*Tracker, error) {
-	t := &Tracker{addr: addr, kind: kind}
+func Connect(addr, kind string, opts ...ConnectOption) (*Tracker, error) {
+	t := &Tracker{addr: addr, kind: kind, rng: uint64(time.Now().UnixNano()) | 1}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.dialer == nil {
+		t.dialer = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, t.effDialTimeout())
+		}
+	}
 	conn, caps, err := t.dial()
 	if err != nil {
 		return nil, err
@@ -283,13 +415,42 @@ func Connect(addr, kind string) (*Tracker, error) {
 	return t, nil
 }
 
-// dial opens a connection and performs the hello handshake.
+// policy resolves the effective redial policy. Callers hold t.mu (or run
+// before the tracker is shared).
+func (t *Tracker) policy() core.RedialPolicy {
+	if t.redial != nil {
+		return *t.redial
+	}
+	return core.DefaultRedialPolicy()
+}
+
+// effDialTimeout is the per-attempt dial + hello deadline: the Connect
+// option wins, then the redial policy's DialTimeout.
+func (t *Tracker) effDialTimeout() time.Duration {
+	if t.dialTimeout > 0 {
+		return t.dialTimeout
+	}
+	return t.policy().DialTimeout
+}
+
+// randFloat advances the jitter generator (splitmix64). Callers hold t.mu.
+func (t *Tracker) randFloat() float64 {
+	t.rng += 0x9e3779b97f4a7c15
+	z := t.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return float64((z^(z>>31))>>11) / (1 << 53)
+}
+
+// dial opens a connection and performs the hello handshake, bounded by the
+// effective dial timeout so an attempt into a black-holing network fails
+// instead of eating the whole redial budget.
 func (t *Tracker) dial() (*wireConn, core.CapabilitySet, error) {
-	conn, err := dialWire(t.addr)
+	conn, err := dialWire(t.dialer, t.addr)
 	if err != nil {
 		return nil, core.CapabilitySet{}, fmt.Errorf("remote: connect %s: %w", t.addr, err)
 	}
-	resp, err := conn.call(&Request{Op: OpHello, Kind: t.kind, TraceV: TraceVersion})
+	resp, err := conn.callTimeout(&Request{Op: OpHello, Kind: t.kind, TraceV: TraceVersion, HB: true}, t.effDialTimeout())
 	if err != nil {
 		conn.close()
 		return nil, core.CapabilitySet{}, err
@@ -306,6 +467,8 @@ func (t *Tracker) dial() (*wireConn, core.CapabilitySet, error) {
 		tracev = TraceVersion
 	}
 	conn.tracev.Store(int32(tracev))
+	// A server configured for heartbeats told us to beat; hold up our half.
+	conn.startHeartbeat(time.Duration(resp.HBNs), resp.HBMiss)
 	var caps core.CapabilitySet
 	if resp.Caps != nil {
 		caps = *resp.Caps
@@ -416,16 +579,22 @@ func (t *Tracker) applyStatus(st *Status) {
 	}
 }
 
-// recover is the connection-loss path: one reconnect-and-replay attempt,
-// mirroring the MiniGDB session layer. On success the session lives again —
-// paused at its entry point, journal replayed, execution progress lost —
-// and the failing call returns a RecoveryRestarted error. A second loss
-// (or a failed replay) retires the tracker.
+// recover is the connection-loss path: the policy-driven redial loop that
+// replaced the old one-shot reconnect. Each outage gets up to
+// MaxAttempts dials under capped exponential backoff with jitter, bounded
+// by the policy's wall-clock budget; a retry-after hint from the server
+// (busy/draining refusals) overrides the computed backoff. On success the
+// session lives again — paused at its entry point, journal replayed,
+// execution progress lost — and the failing call returns a
+// RecoveryRestarted error. Exhausting the policy (attempts, budget, or the
+// per-session MaxRecoveries outage cap) retires the tracker. Callers hold
+// t.mu.
 func (t *Tracker) recover(op string, cause error) error {
-	if t.recovered {
+	pol := t.policy()
+	if t.recoveries >= pol.MaxRecoveries {
 		return t.markDead(op, cause, nil)
 	}
-	t.recovered = true
+	t.recoveries++
 
 	t.connMu.Lock()
 	old := t.conn
@@ -435,64 +604,118 @@ func (t *Tracker) recover(op string, cause error) error {
 		old.close()
 	}
 
-	conn, caps, err := t.dial()
-	if err != nil {
-		return t.markDead(op, cause, nil)
+	var deadline time.Time
+	if pol.Budget > 0 {
+		deadline = time.Now().Add(pol.Budget)
 	}
-
-	// Replay the journal: load, start (if the old session had started) and
-	// every arming op. Arms that fail to re-establish are reported, not
-	// fatal — the paper's lost-item model.
-	var lost []string
-	if t.loaded {
-		resp, err := conn.call(&Request{Op: OpLoad, Path: t.path, Load: t.spec})
-		if err != nil || resp.Err != nil {
+	lastErr := cause
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		delay := pol.Delay(attempt, t.randFloat())
+		if hint := core.RetryAfterHint(lastErr); hint > 0 {
+			// The server said when to come back; believe it, within the cap.
+			if hint > pol.MaxDelay {
+				hint = pol.MaxDelay
+			}
+			delay = hint
+		}
+		if delay > 0 {
+			if !deadline.IsZero() && time.Now().Add(delay).After(deadline) {
+				break // the wait alone would blow the budget
+			}
+			time.Sleep(delay)
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		t.met.Counter(core.CtrRemoteRedials).Inc()
+		sp := t.tracer.Start("remote.redial")
+		conn, caps, err := t.dial()
+		if err != nil {
+			sp.EndErr(err)
+			lastErr = err
+			continue
+		}
+		lost, rerr, permanent := t.replay(conn)
+		sp.EndErr(rerr)
+		if rerr != nil {
 			conn.close()
-			return t.markDead(op, cause, err)
+			if permanent {
+				// The server answered and rejected the journal — more
+				// dialing cannot fix that.
+				return t.markDead(op, cause, rerr)
+			}
+			lastErr = rerr
+			continue
 		}
-		if t.started {
-			resp, err := conn.call(&Request{Op: OpStart})
-			if err != nil || resp.Err != nil {
-				conn.close()
-				return t.markDead(op, cause, err)
-			}
-			if resp.Status != nil {
-				t.applyStatus(resp.Status)
-			}
-		}
-		for _, a := range t.arms {
-			resp, err := conn.call(a.request())
-			if err != nil {
-				conn.close()
-				return t.markDead(op, cause, err)
-			}
-			if resp.Err != nil {
-				lost = append(lost, a.String())
-			}
+		t.connMu.Lock()
+		t.conn = conn
+		t.connMu.Unlock()
+		t.caps = caps
+		t.stateCache = nil
+		return &core.TrackerError{
+			Op:       op,
+			Kind:     "remote[" + t.kind + "]",
+			File:     t.file,
+			Line:     t.line,
+			Recovery: core.RecoveryRestarted,
+			Lost:     lost,
+			Err:      cause,
 		}
 	}
-
-	t.connMu.Lock()
-	t.conn = conn
-	t.connMu.Unlock()
-	t.caps = caps
-	t.stateCache = nil
-	return &core.TrackerError{
-		Op:       op,
-		Kind:     "remote[" + t.kind + "]",
-		File:     t.file,
-		Line:     t.line,
-		Recovery: core.RecoveryRestarted,
-		Lost:     lost,
-		Err:      cause,
-	}
+	t.met.Counter(core.CtrRemoteRedialGiveups).Inc()
+	return t.markDead(op, cause, lastErr)
 }
 
-// markDead retires the tracker after recovery failed or its one-shot budget
-// was spent. Every later call returns the session-lost error.
-func (t *Tracker) markDead(op string, cause error, replayErr error) error {
-	if replayErr != nil {
-		cause = fmt.Errorf("%w (replay failed: %v)", cause, replayErr)
+// replay rebuilds the session on a fresh connection from the journal:
+// load, start (if the old session had started) and every arming op. Arms
+// the server rejects are reported as lost, not fatal — the paper's
+// lost-item model. permanent distinguishes a server that answered and
+// rejected the journal (no point redialing) from a transport failure
+// mid-replay (the next attempt may succeed).
+func (t *Tracker) replay(conn *wireConn) (lost []string, err error, permanent bool) {
+	if !t.loaded {
+		return nil, nil, false
+	}
+	resp, err := conn.call(&Request{Op: OpLoad, Path: t.path, Load: t.spec})
+	if err != nil {
+		return nil, err, false
+	}
+	if resp.Err != nil {
+		return nil, resp.Err.DecodeError(), true
+	}
+	if t.started {
+		resp, err := conn.call(&Request{Op: OpStart})
+		if err != nil {
+			return nil, err, false
+		}
+		if resp.Err != nil {
+			return nil, resp.Err.DecodeError(), true
+		}
+		if resp.Status != nil {
+			t.applyStatus(resp.Status)
+		}
+	}
+	for _, a := range t.arms {
+		resp, err := conn.call(a.request())
+		if err != nil {
+			return nil, err, false
+		}
+		if resp.Err != nil {
+			lost = append(lost, a.String())
+		}
+	}
+	return lost, nil, false
+}
+
+// markDead retires the tracker after the redial policy was exhausted (or
+// its recovery budget was already spent). Every later call returns the
+// session-lost error; errors.Is(err, core.ErrSessionLost) always holds.
+func (t *Tracker) markDead(op string, cause error, detail error) error {
+	if detail != nil && !errors.Is(cause, detail) {
+		cause = fmt.Errorf("%w (last redial: %v)", cause, detail)
+	}
+	if !errors.Is(cause, core.ErrSessionLost) {
+		cause = fmt.Errorf("%w: %w", core.ErrSessionLost, cause)
 	}
 	t.deadErr = cause
 	t.exited, t.exitCode = true, -1
@@ -542,6 +765,14 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 		t.tracer = obs.NewTracerOn("remote["+t.kind+"]", sink)
 	} else if cfg.Obs.Spans > 0 {
 		t.tracer = obs.NewTracer("remote["+t.kind+"]", cfg.Obs.Spans)
+	}
+	if cfg.Obs.Enabled {
+		// Client-side panel: redial counters live here (the server cannot
+		// count attempts that never reach it).
+		t.met = obs.New(obs.Config{Enabled: true, Events: cfg.Obs.Events})
+	}
+	if cfg.Redial != nil {
+		t.redial = cfg.Redial
 	}
 	spec := specFromConfig(cfg)
 	if spec.Source == "" {
@@ -822,6 +1053,22 @@ func (t *Tracker) Stats() *obs.Snapshot {
 		return &obs.Snapshot{}
 	}
 	return &snap
+}
+
+// ClientStats returns the client-side instrument snapshot — redial
+// attempts and giveups (core.CtrRemoteRedials / CtrRemoteRedialGiveups).
+// Distinct from Stats, which fetches the server-side backend's panel; a
+// partition is visible only from this side of the wire. Empty unless the
+// program was loaded with observability enabled.
+func (t *Tracker) ClientStats() *obs.Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.met == nil {
+		return &obs.Snapshot{}
+	}
+	snap := t.met.Snapshot()
+	snap.Tracker = "remote[" + t.kind + "]"
+	return snap
 }
 
 // Spans implements core.SpanProvider (gated): the client-side call spans

@@ -3,6 +3,7 @@ package remote
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"testing"
 )
@@ -68,6 +69,66 @@ func FuzzWireDecode(f *testing.F) {
 			if _, err := ReadFrame(bytes.NewReader(rest)); err == nil {
 				// fine — subsequent frames remain readable
 				_ = rest
+			}
+		}
+	})
+}
+
+// FuzzWireDecodeTorn cuts well-formed frames at an arbitrary byte boundary —
+// the stream a connection severed mid-transfer leaves behind. Properties:
+// every non-clean truncation is reported as a typed *DecodeError that still
+// matches the generic sentinels via errors.Is, the error's Offset/Len
+// describe the cut honestly, and a cut never decodes as success.
+func FuzzWireDecodeTorn(f *testing.F) {
+	frame := func(v any) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, v); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	whole := frame(&Request{ID: 9, Op: OpLoad, Path: "prog.py",
+		Load: &LoadSpec{Source: "x = 1\nwhile x < 100:\n    x = x + 1\n"}})
+	for _, cut := range []int{1, 2, 3, 4, 5, len(whole) / 2, len(whole) - 1} {
+		f.Add(whole, cut)
+	}
+	f.Add(frame(&Request{ID: 1, Op: OpState}), 0)
+
+	f.Fuzz(func(t *testing.T, data []byte, cut int) {
+		if cut < 0 || cut > len(data) {
+			return
+		}
+		torn := data[:cut]
+		payload, err := ReadFrame(bytes.NewReader(torn))
+		if err == nil {
+			// A successful read must have had a complete frame available.
+			if cut < 4 || 4+len(payload) > cut {
+				t.Fatalf("cut at %d produced a %d-byte payload out of thin air", cut, len(payload))
+			}
+			return
+		}
+		if err == io.EOF {
+			if cut != 0 {
+				t.Fatalf("cut at %d misreported as clean EOF", cut)
+			}
+			return
+		}
+		var de *DecodeError
+		if !errors.As(err, &de) {
+			// Only torn streams must be typed; other rejects (none reachable
+			// from a bytes.Reader) would land here.
+			t.Fatalf("torn stream error %v (%T) is not a *DecodeError", err, err)
+		}
+		if de.Len == -1 {
+			if !errors.Is(err, io.ErrUnexpectedEOF) || de.Offset >= 4 {
+				t.Fatalf("mid-prefix error lies: %+v", de)
+			}
+		} else if !errors.Is(err, ErrFrameTooLarge) {
+			if !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("mid-payload error lost its sentinel: %v", err)
+			}
+			if de.Offset > cut || de.Len < 0 {
+				t.Fatalf("mid-payload error lies about the cut: %+v (cut %d)", de, cut)
 			}
 		}
 	})

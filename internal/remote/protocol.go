@@ -47,6 +47,13 @@ const (
 
 	// Out-of-band supervision.
 	OpInterrupt = "interrupt"
+
+	// Liveness. OpPing is answered inline by the connection reader — like
+	// OpInterrupt it never queues behind the executor, so a beat proves the
+	// peer and the wire are alive even while a long Resume runs. Pings do
+	// not count as activity for idle eviction: a client that only pings is
+	// keeping the socket warm, not using the session.
+	OpPing = "ping"
 )
 
 // LoadSpec is the serializable subset of core.LoadConfig: everything a load
@@ -84,6 +91,11 @@ type Request struct {
 	Kind string `json:"kind,omitempty"`
 	// TraceV advertises the client's trace-context framing version.
 	TraceV int `json:"tracev,omitempty"`
+	// HB advertises that the client can answer and emit heartbeats
+	// (OpPing). The server only arms heartbeat eviction — and only tells
+	// the client to beat — when both sides opted in, so old peers in
+	// either direction keep the pre-heartbeat behavior.
+	HB bool `json:"hb,omitempty"`
 
 	// OpLoad.
 	Path string    `json:"path,omitempty"`
@@ -137,6 +149,12 @@ type Response struct {
 	// what both peers advertised. All frames after the hello exchange use
 	// it.
 	TraceV int `json:"tracev,omitempty"`
+	// HBNs/HBMiss are the negotiated heartbeat contract (hello responses
+	// only): the client must send OpPing every HBNs nanoseconds, and each
+	// side may declare the other dead after HBMiss consecutive silent
+	// intervals. Zero HBNs means heartbeats are off for this session.
+	HBNs   int64 `json:"hb_ns,omitempty"`
+	HBMiss int   `json:"hb_miss,omitempty"`
 
 	// Inspection payloads.
 	State json.RawMessage   `json:"state,omitempty"`

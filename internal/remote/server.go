@@ -24,12 +24,14 @@ import (
 )
 
 // ErrServerFull is what a refused hello decodes to on the client when the
-// server is at its concurrent-session limit.
-var ErrServerFull = errors.New("remote: server at session limit")
+// server is at its concurrent-session limit. It is core.ErrServerBusy, so
+// the sentinel survives the error codec and the client's redial policy can
+// classify the refusal as retryable.
+var ErrServerFull = core.ErrServerBusy
 
 // ErrDraining is what a refused hello decodes to when the server is
-// shutting down.
-var ErrDraining = errors.New("remote: server is draining")
+// shutting down; alias of core.ErrServerDraining for the same reason.
+var ErrDraining = core.ErrServerDraining
 
 // ServerOption customizes NewServer.
 type ServerOption func(*Server)
@@ -72,6 +74,37 @@ func WithSpanCapacity(n int) ServerOption {
 	return func(s *Server) { s.spanCap = n }
 }
 
+// WithHeartbeat arms liveness heartbeats: clients that advertise support
+// are told to ping every interval, and a connection that goes completely
+// silent for misses consecutive intervals is evicted — even mid-command,
+// because total silence from a beating client means the wire is dead, not
+// that the session is busy (the idle-eviction inflight guard deliberately
+// does not apply). Zero interval disables heartbeats; misses < 1 defaults
+// to DefaultHeartbeatMisses.
+func WithHeartbeat(interval time.Duration, misses int) ServerOption {
+	return func(s *Server) {
+		s.hbInterval = interval
+		s.hbMisses = misses
+	}
+}
+
+// WithRetryAfterHint attaches a retry-after hint to admission refusals
+// (session limit, draining): the refusal crosses the wire as a
+// core.RetryAfterError and the client's redial policy waits that long
+// before the next attempt. Zero disables the hint; unset defaults to
+// DefaultRetryAfter.
+func WithRetryAfterHint(d time.Duration) ServerOption {
+	return func(s *Server) { s.retryAfter = d }
+}
+
+// DefaultHeartbeatMisses is the silent-interval budget used when
+// WithHeartbeat is given a non-positive miss count.
+const DefaultHeartbeatMisses = 3
+
+// DefaultRetryAfter is the admission-refusal hint used when
+// WithRetryAfterHint is not given.
+const DefaultRetryAfter = 500 * time.Millisecond
+
 // DefaultMaxSessions is the admission limit used when WithMaxSessions is
 // not given.
 const DefaultMaxSessions = 64
@@ -82,6 +115,9 @@ const DefaultMaxSessions = 64
 type Server struct {
 	maxSessions int
 	idleTimeout time.Duration
+	hbInterval  time.Duration
+	hbMisses    int
+	retryAfter  time.Duration
 	spanCap     int
 	caps        tenantCaps
 	logf        func(string, ...any)
@@ -105,6 +141,7 @@ type Server struct {
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
 		maxSessions: DefaultMaxSessions,
+		retryAfter:  DefaultRetryAfter,
 		logf:        func(string, ...any) {},
 		met:         obs.New(obs.Config{Enabled: true, Events: obs.DefaultEvents}),
 		listeners:   map[net.Listener]struct{}{},
@@ -115,6 +152,12 @@ func NewServer(opts ...ServerOption) *Server {
 	}
 	if s.maxSessions <= 0 {
 		s.maxSessions = DefaultMaxSessions
+	}
+	if s.retryAfter < 0 {
+		s.retryAfter = 0
+	}
+	if s.hbInterval > 0 && s.hbMisses < 1 {
+		s.hbMisses = DefaultHeartbeatMisses
 	}
 	// One ring for the whole process: executor spans and every session
 	// backend's op spans land together, so one /spans dump is the full
@@ -284,21 +327,31 @@ func (s *Server) isDraining() bool {
 	return s.draining
 }
 
-// admit reserves a session slot, or explains the refusal.
+// admit reserves a session slot, or explains the refusal. Refusals carry
+// the server's retry-after hint so a policy-driven client backs off by the
+// amount the operator chose instead of guessing.
 func (s *Server) admit() (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining || s.closed {
-		return 0, ErrDraining
+		return 0, s.hinted(ErrDraining)
 	}
 	if s.active >= s.maxSessions {
-		return 0, ErrServerFull
+		return 0, s.hinted(ErrServerFull)
 	}
 	s.active++
 	s.nextSess++
 	s.met.Counter(core.CtrRemoteSessions).Inc()
 	s.met.Gauge(core.GaugeRemoteSessions).Add(1)
 	return s.nextSess, nil
+}
+
+// hinted decorates a retryable refusal with the retry-after hint.
+func (s *Server) hinted(err error) error {
+	if s.retryAfter <= 0 {
+		return err
+	}
+	return &core.RetryAfterError{After: s.retryAfter, Err: err}
 }
 
 func (s *Server) release(c *serverConn) {
@@ -343,6 +396,10 @@ type serverConn struct {
 	// during the handshake (before the executor goroutine exists), read-only
 	// afterwards.
 	tracev int
+
+	// hb records that heartbeats were negotiated for this connection: set
+	// once during the handshake, read-only afterwards.
+	hb bool
 
 	wmu sync.Mutex // serializes response frames (reader + executor both write)
 
@@ -454,22 +511,57 @@ func (c *serverConn) serve() {
 	c.srv.wg.Add(1)
 	go c.execute(sess, cmds)
 
+	// Two separate liveness clocks: lastFrame anchors the heartbeat window
+	// (any frame proves the wire), lastReq anchors idle eviction (only real
+	// requests prove the session is used — a client that merely pings is
+	// keeping the socket warm, not working).
+	var hbWindow time.Duration
+	if c.hb {
+		hbWindow = c.srv.hbInterval * time.Duration(c.srv.hbMisses)
+	}
+	lastFrame := time.Now()
+	lastReq := lastFrame
+
 	for {
+		var dl time.Time
+		if hbWindow > 0 {
+			dl = lastFrame.Add(hbWindow)
+		}
 		if d := c.srv.idleTimeout; d > 0 {
-			c.nc.SetReadDeadline(time.Now().Add(d))
+			if t := lastReq.Add(d); dl.IsZero() || t.Before(dl) {
+				dl = t
+			}
+		}
+		if !dl.IsZero() {
+			c.nc.SetReadDeadline(dl)
 		}
 		payload, err := ReadFrame(c.nc)
 		if err != nil {
 			var ne net.Error
 			timeout := errors.As(err, &ne) && ne.Timeout()
 			if timeout && !c.srv.isDraining() {
-				// A session mid-command is busy, not idle — the deadline
-				// fires during a long Resume too. Re-arm and keep reading.
-				if c.inflight.Load() > 0 {
+				now := time.Now()
+				if hbWindow > 0 && now.Sub(lastFrame) >= hbWindow {
+					// Total silence from a peer that promised to beat: the
+					// wire is dead. This fires even mid-command — the
+					// inflight guard below protects busy-but-connected
+					// sessions, not vanished ones.
+					c.srv.met.Counter(core.CtrRemoteHBEvicts).Inc()
+					c.srv.logf("session %d: evicted after %d missed heartbeats (%v silent)",
+						sess.id, c.srv.hbMisses, hbWindow)
+				} else if c.srv.idleTimeout > 0 && now.Sub(lastReq) >= c.srv.idleTimeout {
+					// A session mid-command is busy, not idle — the deadline
+					// fires during a long Resume too. Re-arm and keep reading.
+					if c.inflight.Load() > 0 {
+						lastReq = now
+						continue
+					}
+					c.srv.met.Counter(core.CtrRemoteEvictions).Inc()
+					c.srv.logf("session %d: evicted after %v idle", sess.id, c.srv.idleTimeout)
+				} else {
+					// The other clock's deadline fired early; re-arm.
 					continue
 				}
-				c.srv.met.Counter(core.CtrRemoteEvictions).Inc()
-				c.srv.logf("session %d: evicted after %v idle", sess.id, c.srv.idleTimeout)
 			}
 			// Drain: let queued commands finish and flush. Client gone or
 			// eviction: interrupt anything running so the executor can
@@ -480,6 +572,7 @@ func (c *serverConn) serve() {
 			close(cmds)
 			return
 		}
+		lastFrame = time.Now()
 		c.srv.met.Counter(core.CtrRemoteFramesIn).Inc()
 		c.framesIn.Add(1)
 		tc, body, err := ParsePayload(payload, c.tracev)
@@ -496,7 +589,14 @@ func (c *serverConn) serve() {
 			close(cmds)
 			return
 		}
-		if req.Op == OpInterrupt {
+		switch req.Op {
+		case OpPing:
+			// Answered inline like OpInterrupt: a beat must not queue
+			// behind a long-running command, and must not count as session
+			// activity for idle eviction.
+			c.writeResp(&Response{ID: req.ID})
+			continue
+		case OpInterrupt:
 			// Out of band: Interrupter implementations only raise a sticky
 			// flag, so this is safe while the executor runs a command. No
 			// Status — only the executor may touch the tracker.
@@ -507,8 +607,10 @@ func (c *serverConn) serve() {
 				sess.intr.Interrupt()
 			}
 			c.writeResp(&Response{ID: req.ID, Err: ej})
+			lastReq = lastFrame
 			continue
 		}
+		lastReq = lastFrame
 		c.inflight.Add(1)
 		cmds <- command{req: &req, tc: tc}
 	}
@@ -552,15 +654,25 @@ func (c *serverConn) handshake() (*session, bool) {
 	if tracev > TraceVersion {
 		tracev = TraceVersion
 	}
-	c.srv.logf("session %d: admitted kind=%s tracev=%d", id, req.Kind, tracev)
+	// Heartbeats arm only when both sides opted in: the server was
+	// configured with WithHeartbeat and the client advertised HB. Old
+	// peers on either end leave hb off and keep pre-heartbeat behavior.
+	hb := req.HB && c.srv.hbInterval > 0
+	resp := &Response{ID: req.ID, Session: id, Kind: req.Kind, Caps: &caps, MaxFrame: MaxFrame, TraceV: tracev}
+	if hb {
+		resp.HBNs = int64(c.srv.hbInterval)
+		resp.HBMiss = c.srv.hbMisses
+	}
+	c.srv.logf("session %d: admitted kind=%s tracev=%d hb=%v", id, req.Kind, tracev, hb)
 	// The hello reply itself still crosses as v0 (c.tracev is set only
 	// after it's written); everything after the hello exchange uses the
 	// negotiated framing.
-	if err := c.writeResp(&Response{ID: req.ID, Session: id, Kind: req.Kind, Caps: &caps, MaxFrame: MaxFrame, TraceV: tracev}); err != nil {
+	if err := c.writeResp(resp); err != nil {
 		c.srv.release(c)
 		return nil, false
 	}
 	c.tracev = tracev
+	c.hb = hb
 	c.infoMu.Lock()
 	c.info = SessionInfo{ID: id, Kind: req.Kind, Tenant: c.nc.RemoteAddr().String()}
 	c.infoMu.Unlock()

@@ -35,6 +35,35 @@ const MaxFrame = 64 << 20
 // corruption or a hostile peer; the connection is unusable afterwards.
 var ErrFrameTooLarge = errors.New("remote: frame exceeds size limit")
 
+// DecodeError is the typed failure of a frame decode: where in the frame
+// the stream went bad and what the length prefix promised. It wraps the
+// underlying cause (ErrFrameTooLarge for a hostile prefix,
+// io.ErrUnexpectedEOF for a stream cut mid-frame — the torn-frame
+// signature), so errors.Is keeps working; the client surfaces it inside
+// TrackerError.Err, where errors.As(&DecodeError{}) tells a corrupt frame
+// apart from an ordinary hangup.
+type DecodeError struct {
+	// Offset is how many bytes of the frame (prefix included) arrived
+	// before the failure.
+	Offset int
+	// Len is the payload length the prefix promised; -1 when the stream
+	// died inside the prefix itself.
+	Len int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *DecodeError) Error() string {
+	if e.Len < 0 {
+		return fmt.Sprintf("remote: frame torn in length prefix after %d bytes: %v", e.Offset, e.Err)
+	}
+	return fmt.Sprintf("remote: frame decode failed at offset %d (payload length %d): %v", e.Offset, e.Len, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is / errors.As.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
 // WriteFrame marshals v and writes it as one length-prefixed frame.
 func WriteFrame(w io.Writer, v any) error {
 	payload, err := json.Marshal(v)
@@ -57,20 +86,25 @@ func WriteFrame(w io.Writer, v any) error {
 // a stream cut mid-frame yields io.ErrUnexpectedEOF.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if m, err := io.ReadFull(r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			// Torn mid-length-prefix: 1–3 bytes of header arrived.
+			return nil, &DecodeError{Offset: m, Len: -1, Err: io.ErrUnexpectedEOF}
 		}
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return nil, ErrFrameTooLarge
+		return nil, &DecodeError{Offset: 4, Len: int(n), Err: ErrFrameTooLarge}
 	}
 	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		if errors.Is(err, io.EOF) {
-			return nil, io.ErrUnexpectedEOF
+	if m, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// Torn mid-payload: the prefix promised n bytes, fewer came.
+			return nil, &DecodeError{Offset: 4 + m, Len: int(n), Err: io.ErrUnexpectedEOF}
 		}
 		return nil, err
 	}

@@ -42,8 +42,17 @@ func TestFrameRoundTrip(t *testing.T) {
 func TestFrameTooLarge(t *testing.T) {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
-	if _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+	_, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrFrameTooLarge) {
 		t.Errorf("oversized prefix: err = %v, want ErrFrameTooLarge", err)
+	}
+	// The typed decode error reports what the prefix promised.
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("oversized prefix: err = %T, want *DecodeError", err)
+	}
+	if de.Offset != 4 || de.Len != MaxFrame+1 {
+		t.Errorf("DecodeError = {Offset: %d, Len: %d}, want {4, %d}", de.Offset, de.Len, MaxFrame+1)
 	}
 }
 
@@ -52,12 +61,33 @@ func TestFrameCutMidPayload(t *testing.T) {
 	if err := WriteFrame(&buf, &Request{ID: 1, Op: OpResume}); err != nil {
 		t.Fatal(err)
 	}
+	want := buf.Len() - 4 // payload the prefix promises
 	cut := buf.Bytes()[:buf.Len()-3]
-	if _, err := ReadFrame(bytes.NewReader(cut)); !errors.Is(err, io.ErrUnexpectedEOF) {
+	_, err := ReadFrame(bytes.NewReader(cut))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Errorf("mid-frame cut: err = %v, want io.ErrUnexpectedEOF", err)
 	}
-	// Cut inside the header is also unexpected, not a clean EOF.
-	if _, err := ReadFrame(bytes.NewReader(cut[:2])); err == nil || err == io.EOF {
-		t.Errorf("mid-header cut: err = %v, want a real error", err)
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("mid-frame cut: err = %T, want *DecodeError", err)
+	}
+	if de.Len != want || de.Offset != len(cut) {
+		t.Errorf("mid-payload DecodeError = {Offset: %d, Len: %d}, want {%d, %d}",
+			de.Offset, de.Len, len(cut), want)
+	}
+	// Cut inside the header is also typed, and distinguishable: Len == -1.
+	_, err = ReadFrame(bytes.NewReader(cut[:2]))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("mid-header cut: err = %v, want io.ErrUnexpectedEOF", err)
+	}
+	de = nil
+	if !errors.As(err, &de) {
+		t.Fatalf("mid-header cut: err = %T, want *DecodeError", err)
+	}
+	if de.Offset != 2 || de.Len != -1 {
+		t.Errorf("mid-prefix DecodeError = {Offset: %d, Len: %d}, want {2, -1}", de.Offset, de.Len)
+	}
+	if de.Error() == "" {
+		t.Error("DecodeError renders empty")
 	}
 }
