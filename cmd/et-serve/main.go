@@ -14,8 +14,8 @@
 //
 //	et-serve [-addr :7070] [-http addr] [-max-sessions N] [-idle DUR]
 //	         [-exec-timeout DUR] [-max-steps N] [-max-depth N] [-max-heap N]
-//	         [-max-instr N] [-heartbeat DUR] [-hb-misses N] [-retry-after DUR]
-//	         [-stats] [-stats-interval DUR] [-v]
+//	         [-max-instr N] [-no-recording] [-heartbeat DUR] [-hb-misses N]
+//	         [-retry-after DUR] [-stats] [-stats-interval DUR] [-v]
 //
 // With -heartbeat the server negotiates liveness pings with every client
 // that speaks the heartbeat protocol: peers silent past -hb-misses
@@ -57,6 +57,7 @@ func main() {
 	maxDepth := flag.Int("max-depth", 0, "cap every session's call-depth budget (0: no cap)")
 	maxHeap := flag.Int64("max-heap", 0, "cap every session's heap-object budget (0: no cap)")
 	maxInstr := flag.Uint64("max-instr", 0, "cap every session's instruction budget (0: no cap)")
+	noRecording := flag.Bool("no-recording", false, "refuse clients' time-travel recording requests (recordings grow server memory per step)")
 	heartbeat := flag.Duration("heartbeat", 0, "heartbeat interval negotiated with clients; silent peers are evicted (0 disables)")
 	hbMisses := flag.Int("hb-misses", 0, "missed heartbeats before a silent peer is evicted (0: protocol default)")
 	retryAfter := flag.Duration("retry-after", 0, "retry-after hint attached to busy/draining refusals (0: server default)")
@@ -94,6 +95,9 @@ func main() {
 			MaxHeapObjects:  *maxHeap,
 			MaxInstructions: *maxInstr,
 		}),
+	}
+	if *noRecording {
+		opts = append(opts, easytracker.WithRecordingDisabled())
 	}
 	if *heartbeat > 0 {
 		opts = append(opts, easytracker.WithHeartbeat(*heartbeat, *hbMisses))

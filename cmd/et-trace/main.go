@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	et-trace record [-track FUNC] [-watch VAR] [-o OUT.trace] PROGRAM.{py,c}
+//	et-trace record [-track FUNC] [-watch VAR] [-format v1|v2] [-interval N] [-o OUT.trace] PROGRAM.{py,c}
 //	et-trace replay TRACE [-at N]
+//	et-trace seek -at N TRACE
+//	et-trace last-change [-at N] VAR TRACE
 //	et-trace query 'EXPR [| count [by FIELD]]' TRACE
 //	et-trace stats TRACE
+//
+// Traces come in two formats: v1 stores a full state per step; v2 stores
+// per-step deltas anchored by periodic checkpoints, so seeking to any step
+// is O(interval) instead of O(n). Every verb accepts either format.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"easytracker/internal/pt"
 	"easytracker/internal/query"
 	"easytracker/internal/tracetracker"
+	"easytracker/internal/ttd"
 )
 
 // onSigint runs f on the first SIGINT — interrupting the active tracker so
@@ -55,6 +62,10 @@ func main() {
 		record(os.Args[2:])
 	case "replay":
 		replay(os.Args[2:])
+	case "seek":
+		seek(os.Args[2:])
+	case "last-change":
+		lastChange(os.Args[2:])
 	case "query":
 		runQuery(os.Args[2:])
 	case "stats":
@@ -67,7 +78,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: et-trace record|replay|query|stats ...")
+	fmt.Fprintln(os.Stderr, "usage: et-trace record|replay|seek|last-change|query|stats ...")
 	os.Exit(2)
 }
 
@@ -76,6 +87,8 @@ func record(args []string) {
 	track := fs.String("track", "", "track only this function (partial trace)")
 	watch := fs.String("watch", "", "also watch this variable")
 	out := fs.String("o", "out.trace", "output path")
+	format := fs.String("format", "v1", "trace format: v1 (full states) or v2 (deltas + checkpoints)")
+	interval := fs.Int("interval", 0, "v2 checkpoint interval in steps (0 = adaptive sqrt policy)")
 	remoteAddr := fs.String("remote", "", "record on a tracker server (et-serve) at host:port")
 	showStats := fs.Bool("stats", false, "print the tracker's metrics snapshot (JSON) to stderr on exit")
 	statsInterval := fs.Duration("stats-interval", 0, "also print the metrics snapshot to stderr every DUR while recording (0 disables)")
@@ -110,10 +123,25 @@ func record(args []string) {
 	}
 	trace, err := pt.Record(tracker, &progOut, opts)
 	check(err)
-	data, err := trace.Encode()
-	check(err)
-	check(os.WriteFile(*out, data, 0o644))
-	fmt.Printf("recorded %d steps (%d bytes) to %s\n", len(trace.Steps), len(data), *out)
+	var data []byte
+	switch *format {
+	case "v1":
+		data, err = trace.Encode()
+		check(err)
+		check(os.WriteFile(*out, data, 0o644))
+		fmt.Printf("recorded %d steps (%d bytes) to %s\n", len(trace.Steps), len(data), *out)
+	case "v2":
+		store, err := ttd.FromTrace(trace, *interval)
+		check(err)
+		v2 := store.Trace()
+		data, err = v2.Encode()
+		check(err)
+		check(os.WriteFile(*out, data, 0o644))
+		fmt.Printf("recorded %d steps, %d checkpoints (%d bytes) to %s\n",
+			len(v2.Steps), len(v2.Checkpoints), len(data), *out)
+	default:
+		check(fmt.Errorf("unknown trace format %q (want v1 or v2)", *format))
+	}
 	if n := len(trace.Steps); n > 0 {
 		if st := trace.Steps[n-1].State; st != nil && st.Reason.Type == easytracker.PauseInterrupted {
 			fmt.Fprintf(os.Stderr, "recording stopped early: %s\n", st.Reason)
@@ -176,6 +204,63 @@ func replay(args []string) {
 		step, code, tracker.Stdout())
 }
 
+// seek jumps straight to one step of a recorded trace and prints its state
+// — no forward replay. On a v2 trace the jump applies at most one
+// checkpoint interval of deltas; on v1 it is a direct index.
+func seek(args []string) {
+	fs := flag.NewFlagSet("seek", flag.ExitOnError)
+	at := fs.Int("at", -1, "step to seek to (required)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 || *at < 0 {
+		fmt.Fprintln(os.Stderr, "usage: et-trace seek -at N TRACE")
+		os.Exit(2)
+	}
+	tracker := tracetracker.New()
+	check(tracker.LoadProgram(fs.Arg(0)))
+	check(tracker.Start())
+	check(tracker.SeekTo(*at))
+	_, line := tracker.Position()
+	fmt.Printf("step %d/%d (line %d):\n", tracker.Pos(), tracker.Len(), line)
+	if fr, err := tracker.CurrentFrame(); err == nil {
+		fmt.Print(fr.Backtrace())
+	}
+	if out := tracker.Stdout(); out != "" {
+		fmt.Printf("output so far:\n%s", out)
+	}
+}
+
+// lastChange answers a reverse watchpoint from the recording: the most
+// recent write (or deletion) of a variable at or before a step, found in
+// the delta index without replaying any states.
+func lastChange(args []string) {
+	fs := flag.NewFlagSet("last-change", flag.ExitOnError)
+	at := fs.Int("at", -1, "answer relative to step N (default: the last step)")
+	_ = fs.Parse(args)
+	if fs.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: et-trace last-change [-at N] VAR TRACE")
+		os.Exit(2)
+	}
+	tracker := tracetracker.New()
+	check(tracker.LoadProgram(fs.Arg(1)))
+	check(tracker.Start())
+	pos := *at
+	if pos < 0 {
+		pos = tracker.Len() - 1
+	}
+	check(tracker.SeekTo(pos))
+	ch, err := tracker.LastChange(fs.Arg(0))
+	check(err)
+	where := ch.Var
+	if ch.Func != "" && !strings.Contains(where, ":") {
+		where = ch.Func + ":" + where
+	}
+	if ch.Deleted {
+		fmt.Printf("%s went out of scope at step %d\n", where, ch.Step)
+		return
+	}
+	fmt.Printf("%s last changed at step %d: %s\n", where, ch.Step, ch.Val)
+}
+
 // runQuery streams a recorded trace through the query engine: every step
 // becomes an event view, the expression compiles once, and matching steps
 // print (or aggregate, with `| count [by FIELD]`) without ever loading the
@@ -189,7 +274,7 @@ func runQuery(args []string) {
 	check(err)
 	data, err := os.ReadFile(args[1])
 	check(err)
-	trace, err := pt.Decode(data)
+	trace, err := decodeAny(data)
 	check(err)
 
 	matched := 0
@@ -231,6 +316,38 @@ func runQuery(args []string) {
 	}
 }
 
+// decodeAny parses a trace file in either format. A v2 trace is
+// materialized back into the full-state form: the streaming verbs walk
+// every step anyway, so each StateAt hits the one-delta forward memo.
+func decodeAny(data []byte) (*pt.Trace, error) {
+	if pt.SniffVersion(data) == 0 {
+		return pt.Decode(data)
+	}
+	v2, err := pt.DecodeV2(data)
+	if err != nil {
+		return nil, err
+	}
+	store, err := ttd.FromV2(v2)
+	if err != nil {
+		return nil, err
+	}
+	tr := &pt.Trace{Code: v2.Code, File: v2.File, Lang: v2.Lang, ExitCode: v2.ExitCode}
+	for i := 0; i < store.Len(); i++ {
+		st, err := store.StateAt(i)
+		if err != nil {
+			return nil, err
+		}
+		tr.Steps = append(tr.Steps, pt.Step{
+			Event:  store.EventAt(i),
+			Line:   store.LineAt(i),
+			Func:   store.FuncAt(i),
+			Stdout: store.StdoutAt(i),
+			State:  st,
+		})
+	}
+	return tr, nil
+}
+
 // queryEvent maps a trace event name onto the query event vocabulary
 // (step_line and the bookkeeping events evaluate as "line").
 func queryEvent(ev string) string {
@@ -267,7 +384,7 @@ func stats(args []string) {
 	}
 	data, err := os.ReadFile(args[0])
 	check(err)
-	trace, err := pt.Decode(data)
+	trace, err := decodeAny(data)
 	check(err)
 	events := map[string]int{}
 	for _, s := range trace.Steps {
@@ -290,7 +407,7 @@ func toHTML(args []string) {
 	}
 	data, err := os.ReadFile(fs.Arg(0))
 	check(err)
-	trace, err := pt.Decode(data)
+	trace, err := decodeAny(data)
 	check(err)
 	page, err := pt.HTML(trace)
 	check(err)

@@ -194,6 +194,13 @@ var (
 	// depth, live heap objects, instructions); a tripped budget pauses
 	// with PauseInterrupted and a Detail naming the budget.
 	WithBudgets = core.WithBudgets
+	// WithRecording records the inferior's execution as it runs (per-step
+	// state deltas plus periodic checkpoints), enabling the TimeTraveler
+	// and ReverseWatcher capabilities on live trackers. The argument is
+	// the checkpoint interval in steps; 0 picks an adaptive policy with
+	// O(sqrt n) seek cost. Trace replays are recordings already and need
+	// no option.
+	WithRecording = core.WithRecording
 )
 
 // Budgets is the resource-budget set for WithBudgets; zero fields are
@@ -225,6 +232,19 @@ type (
 	// evaluate probe conditions at the probe site (Capabilities(tr)
 	// .ConditionalBreak).
 	ConditionalBreaker = core.ConditionalBreaker
+	// TimeTraveler is the time-travel capability: sessions that record
+	// execution (trace replays always; live trackers loaded with
+	// WithRecording) can step backwards, run backwards to the previous
+	// probe hit, and seek to any recorded step. Reverse navigation rewinds
+	// inspection only — a live inferior never re-executes.
+	TimeTraveler = core.TimeTraveler
+	// ReverseWatcher is the reverse-watchpoint capability: LastChange
+	// answers "when did this variable last change?" from the recording's
+	// write index, without scanning states backwards.
+	ReverseWatcher = core.ReverseWatcher
+	// VarChange is one recorded variable mutation, as reported by
+	// ReverseWatcher.LastChange.
+	VarChange = core.VarChange
 )
 
 // Probes: the unified arming surface. Every breakpoint, watchpoint and
@@ -283,6 +303,69 @@ func Interrupt(tr Tracker) bool {
 		in.Interrupt()
 	}
 	return ok
+}
+
+// Time travel helpers: typed accessors over the TimeTraveler and
+// ReverseWatcher capabilities, so the common "rewind if you can" flows read
+// as one call. Each returns ErrUnsupported (wrapped) when tr has no
+// recording to navigate.
+
+// errNoTimeTravel builds the failure for a tracker without the capability.
+func errNoTimeTravel(op string) error {
+	return core.WrapErr("easytracker", op, "", 0, core.ErrUnsupported)
+}
+
+// StepBack rewinds tr's inspection one recorded step.
+func StepBack(tr Tracker) error {
+	if tt, ok := core.As[core.TimeTraveler](tr); ok {
+		return tt.StepBack()
+	}
+	return errNoTimeTravel("StepBack")
+}
+
+// ResumeBack runs tr's inspection backwards to the previous probe hit
+// (breakpoint, watchpoint, tracked function), or to the recording's start.
+func ResumeBack(tr Tracker) error {
+	if tt, ok := core.As[core.TimeTraveler](tr); ok {
+		return tt.ResumeBack()
+	}
+	return errNoTimeTravel("ResumeBack")
+}
+
+// NextBack rewinds one step at the current frame depth or above, skipping
+// the inside of calls — Next, mirrored.
+func NextBack(tr Tracker) error {
+	if tt, ok := core.As[core.TimeTraveler](tr); ok {
+		return tt.NextBack()
+	}
+	return errNoTimeTravel("NextBack")
+}
+
+// SeekTo jumps tr's inspection to recorded step n (0 is the entry pause).
+func SeekTo(tr Tracker, n int) error {
+	if tt, ok := core.As[core.TimeTraveler](tr); ok {
+		return tt.SeekTo(n)
+	}
+	return errNoTimeTravel("SeekTo")
+}
+
+// ReplayPos reports tr's position in its recording — the current step index
+// and the number of recorded steps. ok is false when tr records nothing.
+func ReplayPos(tr Tracker) (pos, length int, ok bool) {
+	tt, ok := core.As[core.TimeTraveler](tr)
+	if !ok {
+		return 0, 0, false
+	}
+	return tt.Pos(), tt.Len(), true
+}
+
+// LastChange answers the reverse watchpoint "when did varID last change
+// before now?" from tr's recording.
+func LastChange(tr Tracker, varID string) (*VarChange, error) {
+	if rw, ok := core.As[core.ReverseWatcher](tr); ok {
+		return rw.LastChange(varID)
+	}
+	return nil, errNoTimeTravel("LastChange")
 }
 
 // Capabilities probes a tracker for its optional extension interfaces, so
@@ -486,6 +569,10 @@ var (
 	WithSessionBudgets = remote.WithSessionBudgets
 	// WithSessionExecTimeout caps every session's execution timeout.
 	WithSessionExecTimeout = remote.WithSessionExecTimeout
+	// WithRecordingDisabled drops clients' time-travel recording requests
+	// (tenant policy: recordings grow server memory per step); affected
+	// sessions advertise TimeTravel off and clients degrade gracefully.
+	WithRecordingDisabled = remote.WithRecordingDisabled
 	// WithServerLog routes the server's diagnostic log lines.
 	WithServerLog = remote.WithLogf
 	// WithHeartbeat arms liveness heartbeats: clients ping every interval,

@@ -54,6 +54,12 @@ type CapabilitySet struct {
 	// ConditionalBreak: the tracker implements ConditionalBreaker (probe
 	// conditions are evaluated inferior-side before pausing).
 	ConditionalBreak bool
+	// TimeTravel: the tracker implements TimeTraveler (execution history is
+	// recorded and the session can step backwards or seek to any step).
+	TimeTravel bool
+	// ReverseWatch: the tracker implements ReverseWatcher (reverse
+	// watchpoints answered from the recording's delta index).
+	ReverseWatch bool
 }
 
 // CapabilitiesOf probes tr (and anything it wraps) for the extension
@@ -68,6 +74,8 @@ func CapabilitiesOf(tr Tracker) CapabilitySet {
 	_, c.Spans = As[SpanProvider](tr)
 	_, c.Interrupt = As[Interrupter](tr)
 	_, c.ConditionalBreak = As[ConditionalBreaker](tr)
+	_, c.TimeTravel = As[TimeTraveler](tr)
+	_, c.ReverseWatch = As[ReverseWatcher](tr)
 	return c
 }
 

@@ -387,6 +387,42 @@ func (s *State) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// ValueList is a group of values serialized with one shared backref table,
+// so aliasing and cycles between the members survive the round trip. It is
+// the payload unit of delta-encoded traces (pt format v2): all values written
+// by one step are encoded together, preserving any sharing among them.
+type ValueList []*Value
+
+// MarshalJSON encodes the list with one shared value table.
+func (l ValueList) MarshalJSON() ([]byte, error) {
+	e := &valueEncoder{ids: map[*Value]int{}}
+	arr := make([]*jsonValue, len(l))
+	for i, v := range l {
+		arr[i] = e.encode(v)
+	}
+	return json.Marshal(arr)
+}
+
+// UnmarshalJSON decodes a list produced by MarshalJSON. The decoded values
+// share one backref table, so aliasing among them is restored.
+func (l *ValueList) UnmarshalJSON(data []byte) error {
+	var arr []*jsonValue
+	if err := json.Unmarshal(data, &arr); err != nil {
+		return err
+	}
+	d := &valueDecoder{byID: map[int]*Value{}}
+	out := make(ValueList, len(arr))
+	for i, jv := range arr {
+		v, err := d.decode(jv)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+	}
+	*l = out
+	return nil
+}
+
 // EncodePauseReasonJSON encodes a pause reason alone — the unit attached to
 // every control-command response on a remote-tracker connection. The value
 // graph of Old/New/ReturnValue keeps its sharing through the same backref

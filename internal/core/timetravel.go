@@ -1,0 +1,59 @@
+package core
+
+// Time travel — the capability surface of trackers that keep (or replay) a
+// recording of the execution and can navigate it backwards. The trace
+// replayer provides it unconditionally; the live trackers provide it when
+// the session was loaded with WithRecording.
+
+// TimeTraveler is implemented by trackers whose execution history can be
+// navigated backwards: the trace replayer always, the live trackers when
+// recording was enabled with WithRecording. Positions are step indexes into
+// the recording, 0-based; Len counts the recorded steps. Access it through
+// As[TimeTraveler] / Capabilities(tr).TimeTravel rather than a type assert —
+// a tracker type may carry the methods while the session has no recording.
+type TimeTraveler interface {
+	// StepBack moves one recorded step backwards. At the first step it
+	// reports the entry pause again; on a finished session it resurrects
+	// the replay at the last recorded step.
+	StepBack() error
+	// ResumeBack runs backwards to the previous step matching a pause
+	// condition (breakpoints and watches evaluated against the recording),
+	// or the entry point.
+	ResumeBack() error
+	// NextBack steps backwards to the previous step at the same or
+	// shallower frame depth.
+	NextBack() error
+	// SeekTo jumps to an absolute step index in [0, Len()).
+	SeekTo(step int) error
+	// Pos reports the current step index (-1 before Start).
+	Pos() int
+	// Len reports the number of recorded steps so far.
+	Len() int
+}
+
+// VarChange is the answer to a reverse watchpoint: the most recent recorded
+// write (or deletion) of a variable at or before some step.
+type VarChange struct {
+	// Step is the step index at which the variable assumed Val.
+	Step int `json:"step"`
+	// Var is the variable identifier the query resolved to.
+	Var string `json:"var"`
+	// Func names the frame holding the variable; "" for a global.
+	Func string `json:"func,omitempty"`
+	// Deleted reports that the change was the variable going out of scope.
+	Deleted bool `json:"deleted,omitempty"`
+	// Val is the value written; nil when Deleted.
+	Val *Value `json:"val,omitempty"`
+}
+
+// ReverseWatcher is implemented by time-traveling trackers that can answer
+// "when did this variable last change?" from the recording — without
+// replaying it — relative to the current position. The expression accepts
+// the query language's variable references: "x" (scope chain), "::g"
+// (global), "fib:n" (local of fib) and "globals.g".
+type ReverseWatcher interface {
+	// LastChange reports the most recent change of expr at or before the
+	// current position; ErrUnknownVariable when the recording holds no
+	// write of it.
+	LastChange(expr string) (*VarChange, error)
+}

@@ -71,6 +71,15 @@ type LoadConfig struct {
 	// Redial configures the remote client's reconnect loop; nil means the
 	// default policy. See WithRedialPolicy. Local trackers ignore it.
 	Redial *RedialPolicy
+	// Recording enables live omniscient recording: every trace event is
+	// captured as a state delta (plus periodic checkpoints), so the session
+	// becomes navigable backwards through the TimeTraveler capability. See
+	// WithRecording. Ignored by trackers that cannot record.
+	Recording bool
+	// RecordInterval is the checkpoint interval of the recording in steps;
+	// 0 picks the adaptive policy (checkpoint spacing grows with the trace,
+	// keeping seek cost O(sqrt n)).
+	RecordInterval int
 }
 
 // LoadOption customizes LoadProgram.
@@ -114,6 +123,18 @@ func WithSource(src string) LoadOption {
 // escape hatch. Ignored by trackers that drive external debuggers.
 func WithASTInterpreter() LoadOption {
 	return func(c *LoadConfig) { c.ASTInterpreter = true }
+}
+
+// WithRecording enables live omniscient recording on trackers that support
+// it: the session records every executed step as a delta-encoded trace with
+// a full-state checkpoint every interval steps (interval <= 0 picks the
+// adaptive O(sqrt n) policy), and the TimeTraveler capability — StepBack,
+// SeekTo, reverse watches — becomes available post-hoc on the live session.
+func WithRecording(interval int) LoadOption {
+	return func(c *LoadConfig) {
+		c.Recording = true
+		c.RecordInterval = interval
+	}
 }
 
 // ApplyLoadOptions folds opts into a LoadConfig.

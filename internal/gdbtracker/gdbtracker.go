@@ -104,6 +104,12 @@ type Tracker struct {
 	bps     map[int]bpInfo // breakpoint id -> classification
 	watches map[int]string // watchpoint id -> variable identifier
 
+	// replay is the time-travel cursor into the server-side recording
+	// (timetravel.go): -1 while inspecting the live present, a step index
+	// after -exec-step-back/-exec-seek landed there. Maintained by
+	// classifyStop from the stop record's reason.
+	replay int
+
 	// deadlineHit marks that the WithExecutionTimeout timer fired; the
 	// next "interrupted" stop rewrites its detail from "interrupt" to
 	// "deadline" so tools can tell a Ctrl-C from an expired budget. Set
@@ -136,6 +142,7 @@ func New() *Tracker {
 	return &Tracker{
 		bps:     map[int]bpInfo{},
 		watches: map[int]string{},
+		replay:  -1,
 	}
 }
 
@@ -308,6 +315,18 @@ func (t *Tracker) Start() error {
 			return t.werr("Start", err)
 		}
 	}
+	// Arm server-side recording before -exec-run; like the budget, a
+	// recovery-rebooted server gets it re-armed (the recording itself
+	// restarts with the re-run — the old timeline died with the server).
+	if t.cfg.Recording {
+		var args []string
+		if t.cfg.RecordInterval > 0 {
+			args = append(args, strconv.Itoa(t.cfg.RecordInterval))
+		}
+		if _, err := t.send("-et-record", args...); err != nil {
+			return t.werr("Start", err)
+		}
+	}
 	sp := t.tracer.StartOp(core.OpStart)
 	t0 := t.obs.Now()
 	resp, err := t.send("-exec-run")
@@ -342,6 +361,23 @@ func (t *Tracker) classifyStop(resp *mi.Response) error {
 	depth, _ := stopped.Results.GetInt("depth")
 	t.curDepth = int(depth)
 	reason := stopped.GetString("reason")
+	if reason == "step-back" || reason == "seek" {
+		pos, _ := stopped.Results.GetInt("pos")
+		t.replay = int(pos)
+		// The stale snapshot belongs to the live timeline; replayed
+		// -et-inspect responses carry synthetic versions that must never
+		// revalidate it.
+		t.stale = nil
+		typ := core.PauseStep
+		if pos == 0 {
+			typ = core.PauseEntry
+		}
+		t.reason = core.PauseReason{Type: typ, File: t.file, Line: int(line)}
+		t.obs.Event("pause", t.reason.String())
+		return nil
+	}
+	// Any live stop means the present moved on: inspection is live again.
+	t.replay = -1
 	switch reason {
 	case "entry":
 		t.reason = core.PauseReason{Type: core.PauseEntry, File: t.file, Line: int(line)}
@@ -811,7 +847,7 @@ func (t *Tracker) fetchState() (*core.State, error) {
 	if !t.started {
 		return nil, core.ErrNotStarted
 	}
-	if t.exited {
+	if t.exited && !t.replaying() {
 		return nil, core.ErrExited
 	}
 	if t.state != nil {

@@ -1,0 +1,117 @@
+package gdbtracker
+
+import (
+	"fmt"
+	"strconv"
+
+	"easytracker/internal/core"
+)
+
+// Time travel over MI: with core.WithRecording the tracker arms server-side
+// stop-granularity recording (-et-record, re-armed automatically when
+// session recovery reboots the server) and drives the replay cursor with
+// -exec-step-back / -exec-seek. Landings come back as ordinary *stopped
+// records (reason "step-back"/"seek") and flow through classifyStop, so
+// position, pause reason and the state cache behave exactly as for live
+// stops; while rewound, -et-inspect serves the reconstructed snapshot.
+//
+// MiniGDB records at stop granularity — one step per pause, not per executed
+// line — so StepBack rewinds pause-by-pause. ResumeBack and NextBack have no
+// MI vocabulary and report ErrUnsupported.
+
+// replaying reports whether inspection is rewound into the recording.
+func (t *Tracker) replaying() bool { return t.replay >= 0 }
+
+func (t *Tracker) ttOK(op string) error {
+	if t.dead {
+		return t.sessionDead(op)
+	}
+	if !t.cfg.Recording {
+		return t.werr(op, fmt.Errorf("%w: recording not enabled (load with WithRecording)", core.ErrUnsupported))
+	}
+	if !t.started {
+		return t.werr(op, core.ErrNotStarted)
+	}
+	return nil
+}
+
+// StepBack implements core.TimeTraveler: rewind inspection one recorded stop.
+func (t *Tracker) StepBack() error {
+	if err := t.ttOK("StepBack"); err != nil {
+		return err
+	}
+	resp, err := t.send("-exec-step-back")
+	if err == nil {
+		err = t.classifyStop(resp)
+	}
+	return t.werr("StepBack", err)
+}
+
+// SeekTo implements core.TimeTraveler: jump inspection to an absolute
+// recorded step.
+func (t *Tracker) SeekTo(step int) error {
+	if err := t.ttOK("SeekTo"); err != nil {
+		return err
+	}
+	resp, err := t.send("-exec-seek", strconv.Itoa(step))
+	if err == nil {
+		err = t.classifyStop(resp)
+	}
+	return t.werr("SeekTo", err)
+}
+
+// ResumeBack implements core.TimeTraveler. MiniGDB records at stop
+// granularity and MI has no reverse-continue, so it is not offered.
+func (t *Tracker) ResumeBack() error {
+	return t.werr("ResumeBack", fmt.Errorf("reverse continue over MI: %w", core.ErrUnsupported))
+}
+
+// NextBack implements core.TimeTraveler; see ResumeBack.
+func (t *Tracker) NextBack() error {
+	return t.werr("NextBack", fmt.Errorf("reverse next over MI: %w", core.ErrUnsupported))
+}
+
+// replayPos asks the server for the replay cursor and recording length.
+func (t *Tracker) replayPos() (pos, length int, err error) {
+	resp, err := t.send("-et-replay-pos")
+	if err != nil {
+		return 0, 0, err
+	}
+	p, _ := resp.Result.Results.GetInt("pos")
+	l, _ := resp.Result.Results.GetInt("len")
+	return int(p), int(l), nil
+}
+
+// Pos implements core.TimeTraveler: the current step index in the recording.
+func (t *Tracker) Pos() int {
+	if t.ttOK("Pos") != nil {
+		return 0
+	}
+	p, _, err := t.replayPos()
+	if err != nil {
+		return 0
+	}
+	return p
+}
+
+// Len implements core.TimeTraveler: the number of recorded steps.
+func (t *Tracker) Len() int {
+	if t.ttOK("Len") != nil {
+		return 0
+	}
+	_, l, err := t.replayPos()
+	if err != nil {
+		return 0
+	}
+	return l
+}
+
+// SupportsCapability implements core.CapabilityGate: the TimeTraveler
+// methods exist unconditionally but only work with a server-side recording,
+// so the capability follows WithRecording.
+func (t *Tracker) SupportsCapability(ptr any) bool {
+	if _, ok := ptr.(*core.TimeTraveler); ok {
+		return t.cfg.Recording
+	}
+	return true
+}

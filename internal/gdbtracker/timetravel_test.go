@@ -1,0 +1,147 @@
+package gdbtracker
+
+import (
+	"errors"
+	"testing"
+
+	"easytracker/internal/core"
+)
+
+const loopC = `int main() {
+    int s = 0;
+    int i = 0;
+    while (i < 5) {
+        s = s + i;
+        i = i + 1;
+    }
+    printf("%d\n", s);
+    return 0;
+}`
+
+// TestTimeTravelStepBackSeek drives the MI record/step-back/seek round trip:
+// states inspected at live stops must be reproduced when seeking back to the
+// same recorded steps.
+func TestTimeTravelStepBackSeek(t *testing.T) {
+	tr := start(t, loopC, core.WithRecording(0))
+
+	type stopShot struct {
+		pos  int
+		line int
+		s    string
+		i    string
+	}
+	lookup := func(name string) string {
+		fr, err := tr.CurrentFrame()
+		if err != nil {
+			return "<err>"
+		}
+		if v := fr.Lookup(name); v != nil {
+			return v.Value.String()
+		}
+		return "<undef>"
+	}
+	var shots []stopShot
+	for n := 0; n < 8; n++ {
+		_, line := tr.Position()
+		shots = append(shots, stopShot{pos: tr.Pos(), line: line, s: lookup("s"), i: lookup("i")})
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() < 8 {
+		t.Fatalf("recording has %d steps, want >= 8", tr.Len())
+	}
+
+	// Seek back to every captured stop and compare inspection.
+	for _, sh := range shots {
+		if err := tr.SeekTo(sh.pos); err != nil {
+			t.Fatalf("SeekTo(%d): %v", sh.pos, err)
+		}
+		if got := tr.Pos(); got != sh.pos {
+			t.Fatalf("Pos after SeekTo(%d) = %d", sh.pos, got)
+		}
+		if _, line := tr.Position(); line != sh.line {
+			t.Fatalf("line at step %d = %d, want %d", sh.pos, line, sh.line)
+		}
+		if got := lookup("s"); got != sh.s {
+			t.Fatalf("s at step %d = %s, want %s", sh.pos, got, sh.s)
+		}
+		if got := lookup("i"); got != sh.i {
+			t.Fatalf("i at step %d = %s, want %s", sh.pos, got, sh.i)
+		}
+	}
+
+	// StepBack walks the cursor down one recorded stop at a time.
+	if err := tr.SeekTo(3); err != nil {
+		t.Fatal(err)
+	}
+	for want := 2; want >= 0; want-- {
+		if err := tr.StepBack(); err != nil {
+			t.Fatal(err)
+		}
+		if got := tr.Pos(); got != want {
+			t.Fatalf("Pos after StepBack = %d, want %d", got, want)
+		}
+	}
+	if tr.PauseReason().Type != core.PauseEntry {
+		t.Fatalf("reason at step 0 = %v", tr.PauseReason())
+	}
+
+	// Forward execution returns to the live present and keeps recording.
+	before := tr.Len()
+	if err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.replaying() {
+		t.Fatal("still rewound after a forward step")
+	}
+	if tr.Len() <= before {
+		t.Fatalf("recording did not grow: %d -> %d", before, tr.Len())
+	}
+
+	// Run to exit; reverse navigation still inspects the recording.
+	for {
+		if _, done := tr.ExitCode(); done {
+			break
+		}
+		if err := tr.Resume(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.StepBack(); err != nil {
+		t.Fatalf("StepBack after exit: %v", err)
+	}
+	st, err := tr.State()
+	if err != nil || st.Frame == nil {
+		t.Fatalf("state after post-exit StepBack: %+v, %v", st, err)
+	}
+	if code, ok := tr.ExitCode(); !ok || code != 0 {
+		t.Fatalf("exit code lost while rewound: %d, %v", code, ok)
+	}
+}
+
+// TestTimeTravelGate checks the capability surface is tied to WithRecording.
+func TestTimeTravelGate(t *testing.T) {
+	plain := start(t, loopC)
+	if _, ok := core.As[core.TimeTraveler](plain); ok {
+		t.Fatal("TimeTraveler advertised without recording")
+	}
+	if err := plain.StepBack(); !errors.Is(err, core.ErrUnsupported) {
+		t.Fatalf("StepBack without recording = %v", err)
+	}
+
+	rec := start(t, loopC, core.WithRecording(4))
+	tt, ok := core.As[core.TimeTraveler](rec)
+	if !ok {
+		t.Fatal("TimeTraveler not advertised with recording")
+	}
+	if err := rec.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tt.StepBack(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.ResumeBack(); !errors.Is(err, core.ErrUnsupported) {
+		t.Fatalf("ResumeBack over MI = %v", err)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"easytracker/internal/dbg"
 	"easytracker/internal/isa"
 	"easytracker/internal/query"
+	"easytracker/internal/ttd"
 	"easytracker/internal/vm"
 )
 
@@ -51,6 +52,16 @@ type Server struct {
 	dbgP     atomic.Pointer[dbg.Debugger]
 	pendIntr atomic.Bool
 	budget   uint64
+
+	// Time-travel state (record.go): recArmed/recInterval hold the
+	// -et-record arming until -exec-run starts the recorder; rec records
+	// one delta step per stop; replay is the rewind cursor (-1 = live);
+	// recErr latches the first recording failure.
+	recArmed    bool
+	recInterval int
+	rec         *ttd.Recorder
+	recErr      error
+	replay      int
 }
 
 // NewServer builds a server; prog may be nil when the client will load a
@@ -219,6 +230,9 @@ func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
 		s.d = d
 		s.heapMap = map[uint64]uint64{}
 		d.SetHeapMap(s.heapMap)
+		if s.recArmed {
+			s.startRecording()
+		}
 		if s.budget > 0 {
 			d.Machine().SetStepLimit(s.budget)
 		}
@@ -340,9 +354,24 @@ func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
 		}
 		return []Record{doneRec(token, Result{Var: "stack", Val: frames})}, nil
 
+	case "-et-record":
+		return s.etRecord(token, args)
+
+	case "-exec-step-back":
+		return s.execStepBack(token)
+
+	case "-exec-seek":
+		return s.execSeek(token, args)
+
+	case "-et-replay-pos":
+		return s.etReplayPos(token)
+
 	case "-et-inspect":
 		if err := s.need(); err != nil {
 			return nil, err
+		}
+		if s.rec != nil && s.replay >= 0 {
+			return s.replayInspect(token)
 		}
 		reason := s.reasonFromStop(s.d.LastStop())
 		st := s.d.State(reason)
@@ -487,6 +516,8 @@ func (s *Server) dispatch(token, op string, args []string) ([]Record, error) {
 			StringVal("et-data-watch-version"),
 			StringVal("et-exec-interrupt"), StringVal("et-budget"),
 			StringVal("et-break-condition"),
+			StringVal("et-record"), StringVal("exec-step-back"),
+			StringVal("exec-seek"),
 		}})}, nil
 	}
 	return nil, fmt.Errorf("undefined MI command: %s", op)
@@ -753,6 +784,11 @@ func leBytes(b []byte) uint64 {
 // output first, then ^running + *stopped (the synchronous condensation of
 // GDB's async protocol).
 func (s *Server) stopRecords(token string, stop dbg.Stop) []Record {
+	// A live stop moves the present: record it (before the output drain, so
+	// the buffered output is this step's delta) and snap any rewound replay
+	// cursor back to live.
+	s.recordStop(stop)
+	s.replay = -1
 	recs := s.drainOutput()
 	recs = append(recs, Record{Kind: ResultRecord, Token: token, Class: "running"})
 	st := Record{Kind: AsyncRecord, Class: "stopped"}

@@ -1,4 +1,4 @@
-package pt
+package pt_test
 
 import (
 	"bytes"
@@ -7,14 +7,15 @@ import (
 	"testing"
 
 	"easytracker/internal/core"
+	"easytracker/internal/pt"
 	"easytracker/internal/pytracker"
 )
 
 // encodeSmallTrace records and encodes a short trace to mutilate.
 func encodeSmallTrace(t *testing.T) []byte {
 	t.Helper()
-	trace := recordProg(t, Options{
-		Mode: ModeTracked, TrackFunctions: []string{"fib"}, Lang: "minipy",
+	trace := recordProg(t, pt.Options{
+		Mode: pt.ModeTracked, TrackFunctions: []string{"fib"}, Lang: "minipy",
 	})
 	data, err := trace.Encode()
 	if err != nil {
@@ -24,8 +25,8 @@ func encodeSmallTrace(t *testing.T) []byte {
 }
 
 // TestDecodeTruncatedTrace cuts an encoded trace mid-record, as a killed
-// recorder or a full disk would, and checks Decode reports a typed
-// *DecodeError with a byte offset instead of panicking or returning an
+// recorder or a full disk would, and checks pt.Decode reports a typed
+// *pt.DecodeError with a byte offset instead of panicking or returning an
 // opaque unmarshal error.
 func TestDecodeTruncatedTrace(t *testing.T) {
 	data := encodeSmallTrace(t)
@@ -38,13 +39,13 @@ func TestDecodeTruncatedTrace(t *testing.T) {
 	cut += len(data) / 2
 	truncated := data[:cut]
 
-	_, err := Decode(truncated)
+	_, err := pt.Decode(truncated)
 	if err == nil {
-		t.Fatal("Decode accepted a truncated trace")
+		t.Fatal("pt.Decode accepted a truncated trace")
 	}
-	var de *DecodeError
+	var de *pt.DecodeError
 	if !errors.As(err, &de) {
-		t.Fatalf("error %T is not a *DecodeError: %v", err, err)
+		t.Fatalf("error %T is not a *pt.DecodeError: %v", err, err)
 	}
 	if de.Offset <= 0 || de.Offset > int64(len(truncated)) {
 		t.Errorf("offset = %d, want in (0, %d]", de.Offset, len(truncated))
@@ -53,7 +54,7 @@ func TestDecodeTruncatedTrace(t *testing.T) {
 		t.Errorf("error %q does not mention the byte offset", err)
 	}
 	if de.Unwrap() == nil {
-		t.Error("DecodeError does not unwrap to the underlying cause")
+		t.Error("pt.DecodeError does not unwrap to the underlying cause")
 	}
 }
 
@@ -69,13 +70,13 @@ func TestDecodeCorruptedTrace(t *testing.T) {
 	// Replace the numeric line value with garbage.
 	corrupted[pos+len(`"line":`)+1] = 'x'
 
-	_, err := Decode(corrupted)
+	_, err := pt.Decode(corrupted)
 	if err == nil {
-		t.Fatal("Decode accepted a corrupted trace")
+		t.Fatal("pt.Decode accepted a corrupted trace")
 	}
-	var de *DecodeError
+	var de *pt.DecodeError
 	if !errors.As(err, &de) {
-		t.Fatalf("error %T is not a *DecodeError: %v", err, err)
+		t.Fatalf("error %T is not a *pt.DecodeError: %v", err, err)
 	}
 	if de.Offset < int64(pos) {
 		t.Errorf("offset = %d, want >= corruption at %d", de.Offset, pos)
@@ -84,7 +85,7 @@ func TestDecodeCorruptedTrace(t *testing.T) {
 
 // TestRecordStopsOnSupervisionPause checks that a budget trip ends the
 // recording with a usable partial trace whose final step carries the
-// INTERRUPTED pause, rather than Record spinning to its own step cap.
+// INTERRUPTED pause, rather than pt.Record spinning to its own step cap.
 func TestRecordStopsOnSupervisionPause(t *testing.T) {
 	tr := pytracker.New()
 	src := "n = 0\nwhile True:\n    n = n + 1\n"
@@ -93,7 +94,7 @@ func TestRecordStopsOnSupervisionPause(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trace, err := Record(tr, nil, Options{Mode: ModeTracked, Lang: "minipy"})
+	trace, err := pt.Record(tr, nil, pt.Options{Mode: pt.ModeTracked, Lang: "minipy"})
 	if err != nil {
 		t.Fatalf("record over a tripping budget: %v", err)
 	}

@@ -1,15 +1,17 @@
-package pt
+package pt_test
 
 import (
 	"strings"
 	"testing"
+
+	"easytracker/internal/pt"
 )
 
 func TestHTMLExport(t *testing.T) {
-	trace := recordProg(t, Options{
-		Mode: ModeTracked, TrackFunctions: []string{"fib"}, Lang: "minipy",
+	trace := recordProg(t, pt.Options{
+		Mode: pt.ModeTracked, TrackFunctions: []string{"fib"}, Lang: "minipy",
 	})
-	page, err := HTML(trace)
+	page, err := pt.HTML(trace)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -23,7 +25,7 @@ func TestHTMLExport(t *testing.T) {
 		"lt;module",          // rendered module frame (JSON-escaped in the payload)
 	} {
 		if !strings.Contains(page, want) {
-			t.Errorf("HTML missing %q", want)
+			t.Errorf("pt.HTML missing %q", want)
 		}
 	}
 	// No unescaped program text that could break the page.
@@ -33,12 +35,12 @@ func TestHTMLExport(t *testing.T) {
 }
 
 func TestHTMLEscapesSource(t *testing.T) {
-	trace := &Trace{
+	trace := &pt.Trace{
 		Code:  "x = \"<script>alert('x')</script>\"\n",
 		File:  "evil.py",
-		Steps: []Step{{Event: EventFinished, Stdout: ""}},
+		Steps: []pt.Step{{Event: pt.EventFinished, Stdout: ""}},
 	}
-	page, err := HTML(trace)
+	page, err := pt.HTML(trace)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,11 @@
-package pt
+package pt_test
 
 import (
 	"strings"
 	"testing"
 
 	"easytracker/internal/core"
+	"easytracker/internal/pt"
 	"easytracker/internal/pytracker"
 )
 
@@ -24,14 +25,14 @@ x = fib(5)
 print(x)
 `
 
-func recordProg(t *testing.T, opts Options) *Trace {
+func recordProg(t testing.TB, opts pt.Options) *pt.Trace {
 	t.Helper()
 	tr := pytracker.New()
 	var out strings.Builder
 	if err := tr.LoadProgram("rec.py", core.WithSource(recProg), core.WithStdout(&out)); err != nil {
 		t.Fatal(err)
 	}
-	trace, err := Record(tr, &out, opts)
+	trace, err := pt.Record(tr, &out, opts)
 	if err != nil {
 		t.Fatalf("record: %v", err)
 	}
@@ -39,7 +40,7 @@ func recordProg(t *testing.T, opts Options) *Trace {
 }
 
 func TestFullStepTrace(t *testing.T) {
-	trace := recordProg(t, Options{Mode: ModeFullStep, Lang: "minipy"})
+	trace := recordProg(t, pt.Options{Mode: pt.ModeFullStep, Lang: "minipy"})
 	if trace.ExitCode != 0 {
 		t.Errorf("exit = %d", trace.ExitCode)
 	}
@@ -47,7 +48,7 @@ func TestFullStepTrace(t *testing.T) {
 		t.Errorf("full trace of fib(5) has only %d steps", len(trace.Steps))
 	}
 	last := trace.Steps[len(trace.Steps)-1]
-	if last.Event != EventFinished || last.Stdout != "5\n" {
+	if last.Event != pt.EventFinished || last.Stdout != "5\n" {
 		t.Errorf("last step = %+v", last)
 	}
 	// Every non-final step carries a state.
@@ -62,9 +63,9 @@ func TestFullStepTrace(t *testing.T) {
 }
 
 func TestTrackedTraceReduction(t *testing.T) {
-	full := recordProg(t, Options{Mode: ModeFullStep, Lang: "minipy"})
-	partial := recordProg(t, Options{
-		Mode:           ModeTracked,
+	full := recordProg(t, pt.Options{Mode: pt.ModeFullStep, Lang: "minipy"})
+	partial := recordProg(t, pt.Options{
+		Mode:           pt.ModeTracked,
 		TrackFunctions: []string{"fib"},
 		Lang:           "minipy",
 	})
@@ -90,7 +91,7 @@ func TestTrackedTraceReduction(t *testing.T) {
 	// Partial trace records call/return events for fib.
 	calls := 0
 	for _, s := range partial.Steps {
-		if s.Event == EventCall && s.Func == "fib" {
+		if s.Event == pt.EventCall && s.Func == "fib" {
 			calls++
 		}
 	}
@@ -100,14 +101,14 @@ func TestTrackedTraceReduction(t *testing.T) {
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
-	trace := recordProg(t, Options{
-		Mode: ModeTracked, TrackFunctions: []string{"fib"}, Lang: "minipy",
+	trace := recordProg(t, pt.Options{
+		Mode: pt.ModeTracked, TrackFunctions: []string{"fib"}, Lang: "minipy",
 	})
 	data, err := trace.Encode()
 	if err != nil {
 		t.Fatal(err)
 	}
-	back, err := Decode(data)
+	back, err := pt.Decode(data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			t.Fatalf("step %d state frame differs", i)
 		}
 	}
-	if _, err := Decode([]byte("{nope")); err == nil {
+	if _, err := pt.Decode([]byte("{nope")); err == nil {
 		t.Error("bad JSON accepted")
 	}
 }
@@ -138,8 +139,8 @@ func TestRecordWatch(t *testing.T) {
 	if err := tr.LoadProgram("w.py", core.WithSource(src), core.WithStdout(&out)); err != nil {
 		t.Fatal(err)
 	}
-	trace, err := Record(tr, &out, Options{
-		Mode: ModeTracked, Watches: []string{"::total"}, Lang: "minipy",
+	trace, err := pt.Record(tr, &out, pt.Options{
+		Mode: pt.ModeTracked, Watches: []string{"::total"}, Lang: "minipy",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -161,7 +162,7 @@ func TestStepBudget(t *testing.T) {
 	if err := tr.LoadProgram("b.py", core.WithSource("i = 0\nwhile i < 1000:\n    i = i + 1\n")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Record(tr, nil, Options{Mode: ModeFullStep, MaxSteps: 10}); err == nil {
+	if _, err := pt.Record(tr, nil, pt.Options{Mode: pt.ModeFullStep, MaxSteps: 10}); err == nil {
 		t.Error("budget overrun not reported")
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"easytracker/internal/minipy"
 	"easytracker/internal/obs"
 	"easytracker/internal/query"
+	"easytracker/internal/ttd"
 )
 
 // Kind is the tracker registry name.
@@ -230,6 +231,23 @@ type Tracker struct {
 	// (WithSpanTracing or an embedder's span sink); nil otherwise, costing
 	// one pointer test per op — the per-line hot path never touches it.
 	tracer *obs.Tracer
+
+	// rec is the live omniscient recorder, nil unless WithRecording was
+	// given: the off cost in the trace hook is one pointer test
+	// (BenchmarkRecordingOverheadOff gates it). recFr/recEpoch key the
+	// snapshot-free fast path; recOut tees the inferior's stdout so steps
+	// carry output deltas; recErr latches the first recording failure.
+	// replay is the time-travel cursor into the recording (-1 = live);
+	// liveReason/liveLast stash the present-moment pause bookkeeping while
+	// inspection is rewound. See recording.go.
+	rec        *ttd.Recorder
+	recErr     error
+	recOut     *recordTee
+	recFr      *minipy.RTFrame
+	recEpoch   uint64
+	replay     int
+	liveReason core.PauseReason
+	liveLast   int
 }
 
 // New returns an unloaded MiniPy tracker.
@@ -270,6 +288,9 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 	}
 	in.SetTrace(t.traceFn)
 	t.file = path
+	if cfg.Recording {
+		t.initRecording(in, cfg, path, src)
+	}
 	t.srcLines = strings.Split(strings.TrimRight(src, "\n"), "\n")
 	t.module = mod
 	t.interp = in
@@ -400,7 +421,13 @@ func (t *Tracker) traceFn(fr *minipy.RTFrame, ev minipy.Event, ret *minipy.Objec
 		return errTerminated
 	}
 	t.crashFr = fr
-	// Supervision first: the interrupt-flag load is the only mandatory
+	// Recording first, so every event lands in the recording exactly once
+	// regardless of what the pause logic below decides. Off costs one
+	// pointer test.
+	if t.rec != nil {
+		t.recordEvent(fr, ev, ret)
+	}
+	// Supervision next: the interrupt-flag load is the only mandatory
 	// per-event cost; the budget comparisons run only when armed.
 	pause := false
 	if t.intr.Load() != intrNone || t.supervised {
@@ -750,6 +777,7 @@ func (t *Tracker) waitPause() error {
 		t.exited = true
 		t.exitCode = d.code
 		t.curFrame = nil
+		t.finishRecording(d.code)
 		t.reason = core.PauseReason{Type: core.PauseExited, ExitCode: d.code}
 		t.notePause()
 		if d.err != nil && !errors.Is(d.err, errTerminated) {
@@ -782,6 +810,10 @@ func (t *Tracker) resumeWith(mode stepMode, opName string) error {
 	if t.exited {
 		return core.ErrExited
 	}
+	// Forward execution always runs from the inferior's present moment: a
+	// rewound replay cursor snaps back to live first (the inferior itself
+	// never moved).
+	t.returnToLive()
 	t.mode = mode
 	if mode == modeNext && t.curFrame != nil {
 		t.nextDepth = t.curFrame.Depth
@@ -836,6 +868,7 @@ func (t *Tracker) Terminate() error {
 	d := <-t.doneCh
 	t.exited = true
 	t.exitCode = d.code
+	t.finishRecording(d.code)
 	t.reason = core.PauseReason{Type: core.PauseExited, ExitCode: d.code}
 	return nil
 }
@@ -978,7 +1011,7 @@ func (t *Tracker) CurrentFrame() (*core.Frame, error) {
 	if !t.started {
 		return nil, t.werr("CurrentFrame", core.ErrNotStarted)
 	}
-	if t.exited || t.curFrame == nil {
+	if !t.replaying() && (t.exited || t.curFrame == nil) {
 		return nil, t.werr("CurrentFrame", core.ErrExited)
 	}
 	st, err := t.State()
@@ -993,6 +1026,13 @@ func (t *Tracker) CurrentFrame() (*core.Frame, error) {
 func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 	if !t.started {
 		return nil, t.werr("GlobalVariables", core.ErrNotStarted)
+	}
+	if t.replaying() {
+		st, err := t.State()
+		if err != nil {
+			return nil, t.werr("GlobalVariables", err)
+		}
+		return st.Globals, nil
 	}
 	if t.exited || t.curFrame == nil {
 		// After exit there is no frame to snapshot, but the module
@@ -1018,6 +1058,13 @@ func (t *Tracker) State() (*core.State, error) {
 	if !t.started {
 		return nil, t.werr("State", core.ErrNotStarted)
 	}
+	if t.replaying() {
+		st, err := t.replayState()
+		if err != nil {
+			return nil, t.werr("State", err)
+		}
+		return st, nil
+	}
 	if t.exited || t.curFrame == nil {
 		return &core.State{Reason: t.reason}, nil
 	}
@@ -1041,8 +1088,12 @@ func (t *Tracker) State() (*core.State, error) {
 	return &cp, nil
 }
 
-// Position returns the next line to execute.
+// Position returns the next line to execute; while rewound into the
+// recording it reports the replay cursor's line.
 func (t *Tracker) Position() (string, int) {
+	if t.replaying() {
+		return t.file, t.rec.Store().LineAt(t.replay)
+	}
 	if t.curFrame == nil {
 		return t.file, 0
 	}

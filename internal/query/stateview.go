@@ -17,6 +17,23 @@ type StateView struct {
 	FuncName string
 	// State is the paused snapshot; may be nil (all variables Missing).
 	State *core.State
+	// LazyState, when set and State is nil, materializes the snapshot on
+	// first use. Delta-encoded trace replays hand a reconstruction closure
+	// here so conditions that never touch variables never pay for a state
+	// reconstruction.
+	LazyState func() *core.State
+	// DepthNo, when LazyState is set, answers Depth without materializing
+	// the state (replay metadata records depths per step).
+	DepthNo int
+}
+
+// state returns the snapshot, materializing it through LazyState on demand.
+func (v *StateView) state() *core.State {
+	if v.State == nil && v.LazyState != nil {
+		v.State = v.LazyState()
+		v.LazyState = nil
+	}
+	return v.State
 }
 
 // Line implements EventView.
@@ -24,6 +41,9 @@ func (v *StateView) Line() int { return v.LineNo }
 
 // Depth implements EventView: the innermost frame's depth (entry = 0).
 func (v *StateView) Depth() int {
+	if v.State == nil && v.LazyState != nil {
+		return v.DepthNo
+	}
 	if v.State == nil || v.State.Frame == nil {
 		return 0
 	}
@@ -38,8 +58,8 @@ func (v *StateView) Function() string {
 	if v.FuncName != "" {
 		return v.FuncName
 	}
-	if v.State != nil && v.State.Frame != nil {
-		return v.State.Frame.Name
+	if st := v.state(); st != nil && st.Frame != nil {
+		return st.Frame.Name
 	}
 	return ""
 }
@@ -51,7 +71,7 @@ func (v *StateView) File() string { return v.FileName }
 // frame's variables then globals, "::" reads globals only, any other scope
 // finds the innermost activation of that function.
 func (v *StateView) Var(scope, name string) Scalar {
-	if v.State == nil {
+	if v.state() == nil {
 		return Missing
 	}
 	switch scope {
@@ -89,7 +109,7 @@ func (v *StateView) global(name string) Scalar {
 // FrameVar implements EventView: frame idx counted from the innermost
 // frame outward.
 func (v *StateView) FrameVar(idx int, name string) Scalar {
-	if v.State == nil {
+	if v.state() == nil {
 		return Missing
 	}
 	fr := v.State.Frame

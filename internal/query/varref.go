@@ -1,0 +1,70 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"easytracker/internal/core"
+)
+
+// ParseVarRef parses a standalone variable reference in the query language's
+// varref grammar and returns its (scope, name) pair in the convention of
+// core.SplitVarID: "" for the scope chain, "::" for a global, a function
+// name for that function's innermost activation.
+//
+//	x            -> ("", "x")
+//	::g          -> ("::", "g")
+//	fib:n        -> ("fib", "n")
+//	globals.g    -> ("::", "g")
+//
+// The frames[i].locals.x form is positional — it names a stack slot, not a
+// variable — and is rejected here: reverse-watch queries need a stable
+// identity across steps. Malformed references report ErrBadQuery.
+func ParseVarRef(expr string) (scope, name string, err error) {
+	s := strings.TrimSpace(expr)
+	bad := func(why string) (string, string, error) {
+		return "", "", fmt.Errorf("%w: bad variable reference %q: %s", core.ErrBadQuery, expr, why)
+	}
+	if s == "" {
+		return bad("empty")
+	}
+	if strings.HasPrefix(s, "frames[") || strings.HasPrefix(s, "frames") && strings.Contains(s, "[") {
+		return bad("frames[i] slots are positional; use name, ::name or func:name")
+	}
+	if rest, ok := strings.CutPrefix(s, "globals."); ok {
+		if !isIdent(rest) {
+			return bad("globals. must be followed by an identifier")
+		}
+		return "::", rest, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "::"); ok {
+		if !isIdent(rest) {
+			return bad(":: must be followed by an identifier")
+		}
+		return "::", rest, nil
+	}
+	if fn, local, found := strings.Cut(s, ":"); found {
+		if !isIdent(fn) || !isIdent(local) {
+			return bad("func:name needs two identifiers")
+		}
+		return fn, local, nil
+	}
+	if !isIdent(s) {
+		return bad("not an identifier")
+	}
+	return "", s, nil
+}
+
+// isIdent reports whether s is a query-language identifier.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -306,6 +306,14 @@ type Tracker struct {
 	line     int
 	lastLine int
 
+	// ttPos/ttLen mirror the backend's time-travel cursor from the last
+	// Status (-1 until a recording is observed). ttPos is part of the
+	// journal: after a reconnect, replay re-seeks it so the session comes
+	// back inspecting the same recorded step. Cached reads are sound —
+	// the cursor only moves under this tracker's own single driver.
+	ttPos int
+	ttLen int
+
 	stateCache *core.State
 	srcCache   []string
 }
@@ -397,7 +405,7 @@ func WithDialTimeout(d time.Duration) ConnectOption {
 // exactly like a local one; Close releases the connection when the tool is
 // done (Terminate alone keeps it open so Stats stays readable).
 func Connect(addr, kind string, opts ...ConnectOption) (*Tracker, error) {
-	t := &Tracker{addr: addr, kind: kind, rng: uint64(time.Now().UnixNano()) | 1}
+	t := &Tracker{addr: addr, kind: kind, rng: uint64(time.Now().UnixNano()) | 1, ttPos: -1}
 	for _, o := range opts {
 		o(t)
 	}
@@ -524,6 +532,10 @@ func (t *Tracker) SupportsCapability(ptr any) bool {
 		return caps.ConditionalBreak
 	case *core.SpanProvider:
 		return caps.Spans
+	case *core.TimeTraveler:
+		return caps.TimeTravel
+	case *core.ReverseWatcher:
+		return caps.ReverseWatch
 	default:
 		return true
 	}
@@ -556,6 +568,12 @@ func (t *Tracker) do(op string, req *Request) (*Response, error) {
 	if resp.Status != nil {
 		t.applyStatus(resp.Status)
 	}
+	if resp.Caps != nil {
+		// Load responses carry a re-probed capability set: some
+		// capabilities are load-dependent (TimeTravel follows
+		// WithRecording), so the hello-time set gets refined here.
+		t.caps = *resp.Caps
+	}
 	if resp.Err != nil {
 		return resp, resp.Err.DecodeError()
 	}
@@ -571,6 +589,9 @@ func (t *Tracker) applyStatus(st *Status) {
 	t.exited, t.exitCode = st.Exited, st.ExitCode
 	t.file, t.line = st.File, st.Line
 	t.lastLine = st.LastLine
+	if st.TTPos > 0 {
+		t.ttPos, t.ttLen = st.TTPos-1, st.TTLen
+	}
 	if st.Stdout != "" && t.stdout != nil {
 		io.WriteString(t.stdout, st.Stdout)
 	}
@@ -635,6 +656,9 @@ func (t *Tracker) recover(op string, cause error) error {
 			lastErr = err
 			continue
 		}
+		// Hello caps first; replay's load response refines them (load-
+		// dependent capabilities like TimeTravel).
+		t.caps = caps
 		lost, rerr, permanent := t.replay(conn)
 		sp.EndErr(rerr)
 		if rerr != nil {
@@ -650,7 +674,6 @@ func (t *Tracker) recover(op string, cause error) error {
 		t.connMu.Lock()
 		t.conn = conn
 		t.connMu.Unlock()
-		t.caps = caps
 		t.stateCache = nil
 		return &core.TrackerError{
 			Op:       op,
@@ -676,12 +699,18 @@ func (t *Tracker) replay(conn *wireConn) (lost []string, err error, permanent bo
 	if !t.loaded {
 		return nil, nil, false
 	}
+	// Capture the journaled replay position now: the OpStart status below
+	// reports the fresh session at entry and would overwrite it.
+	seekPos := t.ttPos
 	resp, err := conn.call(&Request{Op: OpLoad, Path: t.path, Load: t.spec})
 	if err != nil {
 		return nil, err, false
 	}
 	if resp.Err != nil {
 		return nil, resp.Err.DecodeError(), true
+	}
+	if resp.Caps != nil {
+		t.caps = *resp.Caps
 	}
 	if t.started {
 		resp, err := conn.call(&Request{Op: OpStart})
@@ -702,6 +731,21 @@ func (t *Tracker) replay(conn *wireConn) (lost []string, err error, permanent bo
 		}
 		if resp.Err != nil {
 			lost = append(lost, a.String())
+		}
+	}
+	// The session was inspecting a recorded step: seek the rebuilt session
+	// back to it. A rejection (a live inferior restarted from entry has a
+	// near-empty recording) is a lost item, not a replay failure — only a
+	// deterministic trace-backed session can guarantee the position exists.
+	if seekPos >= 0 {
+		resp, err := conn.call(&Request{Op: OpSeek, Step: seekPos})
+		if err != nil {
+			return lost, err, false
+		}
+		if resp.Err != nil {
+			lost = append(lost, "seek position "+strconv.Itoa(seekPos))
+		} else if resp.Status != nil {
+			t.applyStatus(resp.Status)
 		}
 	}
 	return lost, nil, false
@@ -932,6 +976,60 @@ func (t *Tracker) TrackFunction(name string, opts ...core.BreakOption) error {
 // Watch implements core.Tracker.
 func (t *Tracker) Watch(varID string, opts ...core.BreakOption) error {
 	return t.Arm(core.WatchProbe(varID, opts...))
+}
+
+// ttControl runs one reverse-navigation op. Like forward control ops it
+// invalidates the state cache — the replay cursor moved, so the next
+// inspection must refetch; the landing position rides back in the Status.
+func (t *Tracker) ttControl(op, wireOp string, step int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stateCache = nil
+	_, err := t.do(op, &Request{Op: wireOp, Step: step})
+	return err
+}
+
+// StepBack implements core.TimeTraveler (gated on the backend's capability).
+func (t *Tracker) StepBack() error { return t.ttControl("StepBack", OpStepBack, 0) }
+
+// ResumeBack implements core.TimeTraveler (gated).
+func (t *Tracker) ResumeBack() error { return t.ttControl("ResumeBack", OpResumeBack, 0) }
+
+// NextBack implements core.TimeTraveler (gated).
+func (t *Tracker) NextBack() error { return t.ttControl("NextBack", OpNextBack, 0) }
+
+// SeekTo implements core.TimeTraveler (gated).
+func (t *Tracker) SeekTo(step int) error { return t.ttControl("SeekTo", OpSeek, step) }
+
+// Pos implements core.TimeTraveler from the status cache: every response on
+// a recording session reports the cursor, and it cannot move between
+// responses (single driver), so no round trip is needed.
+func (t *Tracker) Pos() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ttPos < 0 {
+		return 0
+	}
+	return t.ttPos
+}
+
+// Len implements core.TimeTraveler from the status cache.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ttLen
+}
+
+// LastChange implements core.ReverseWatcher (gated): the reverse watchpoint
+// query is answered server-side from the recording's delta index.
+func (t *Tracker) LastChange(expr string) (*core.VarChange, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	resp, err := t.do("LastChange", &Request{Op: OpLastChange, Var: expr})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Change, nil
 }
 
 // PauseReason implements core.Tracker from the status cache.

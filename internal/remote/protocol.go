@@ -45,6 +45,16 @@ const (
 	OpSegments = "segments"
 	OpHeap     = "heap-blocks"
 
+	// Time travel (backends advertising TimeTraveler/ReverseWatch). The
+	// reverse ops move the session's replay cursor; like forward control
+	// ops their responses carry a fresh Status, whose TTPos/TTLen fields
+	// keep the client's cursor cache (and its reconnect journal) current.
+	OpStepBack   = "step-back"
+	OpResumeBack = "resume-back"
+	OpNextBack   = "next-back"
+	OpSeek       = "seek"
+	OpLastChange = "last-change"
+
 	// Out-of-band supervision.
 	OpInterrupt = "interrupt"
 
@@ -73,6 +83,11 @@ type LoadSpec struct {
 	// deltas back; without them inferior output is discarded server-side.
 	WantStdout bool `json:"want_stdout,omitempty"`
 	WantStderr bool `json:"want_stderr,omitempty"`
+	// Recording asks the backend to record execution for time travel
+	// (core.WithRecording); RecordInterval is the checkpoint interval hint
+	// (0 = adaptive).
+	Recording      bool `json:"recording,omitempty"`
+	RecordInterval int  `json:"record_interval,omitempty"`
 }
 
 // TraceVersion is the highest trace-context framing version this build
@@ -115,6 +130,9 @@ type Request struct {
 	Cond    string `json:"cond,omitempty"`
 	Ignore  int    `json:"ignore,omitempty"`
 	OneShot bool   `json:"one_shot,omitempty"`
+
+	// OpSeek operand: the absolute recorded step to seek to.
+	Step int `json:"step,omitempty"`
 }
 
 // Status is the tracker's observable condition after an operation: the
@@ -131,6 +149,13 @@ type Status struct {
 	LastLine int             `json:"last_line,omitempty"`
 	Stdout   string          `json:"stdout,omitempty"`
 	Stderr   string          `json:"stderr,omitempty"`
+	// TTPos/TTLen mirror the backend's time-travel cursor when it
+	// advertises TimeTraveler. TTPos carries Pos()+1 so JSON's zero-drop
+	// leaves position 0 distinguishable from "no recording"; TTLen is
+	// Len() verbatim. The client journals TTPos for seek replay after a
+	// reconnect.
+	TTPos int `json:"tt_pos,omitempty"`
+	TTLen int `json:"tt_len,omitempty"`
 }
 
 // Response is one server frame.
@@ -157,29 +182,32 @@ type Response struct {
 	HBMiss int   `json:"hb_miss,omitempty"`
 
 	// Inspection payloads.
-	State json.RawMessage   `json:"state,omitempty"`
-	Lines []string          `json:"lines,omitempty"`
-	Stats json.RawMessage   `json:"stats,omitempty"`
-	Regs  map[string]uint64 `json:"regs,omitempty"`
-	Mem   []byte            `json:"mem,omitempty"`
-	Segs  []core.Segment    `json:"segs,omitempty"`
-	Heap  map[string]uint64 `json:"heap,omitempty"`
+	Change *core.VarChange   `json:"change,omitempty"`
+	State  json.RawMessage   `json:"state,omitempty"`
+	Lines  []string          `json:"lines,omitempty"`
+	Stats  json.RawMessage   `json:"stats,omitempty"`
+	Regs   map[string]uint64 `json:"regs,omitempty"`
+	Mem    []byte            `json:"mem,omitempty"`
+	Segs   []core.Segment    `json:"segs,omitempty"`
+	Heap   map[string]uint64 `json:"heap,omitempty"`
 }
 
 // specFromConfig projects a LoadConfig onto the wire, dropping the stream
 // fields (the caller records which streams were requested).
 func specFromConfig(c core.LoadConfig) *LoadSpec {
 	return &LoadSpec{
-		Args:       c.Args,
-		Source:     c.Source,
-		TrackHeap:  c.TrackHeap,
-		CmdNs:      int64(c.CommandTimeout),
-		ExecNs:     int64(c.ExecTimeout),
-		Budgets:    c.Budgets,
-		Obs:        c.Obs.Enabled,
-		ObsEvents:  c.Obs.Events,
-		WantStdout: c.Stdout != nil,
-		WantStderr: c.Stderr != nil,
+		Args:           c.Args,
+		Source:         c.Source,
+		TrackHeap:      c.TrackHeap,
+		CmdNs:          int64(c.CommandTimeout),
+		ExecNs:         int64(c.ExecTimeout),
+		Budgets:        c.Budgets,
+		Obs:            c.Obs.Enabled,
+		ObsEvents:      c.Obs.Events,
+		WantStdout:     c.Stdout != nil,
+		WantStderr:     c.Stderr != nil,
+		Recording:      c.Recording,
+		RecordInterval: c.RecordInterval,
 	}
 }
 
@@ -197,6 +225,9 @@ func (s *LoadSpec) loadOptions(caps tenantCaps, stdout, stderr *deltaBuffer, std
 	}
 	if s.TrackHeap {
 		opts = append(opts, core.WithHeapTracking())
+	}
+	if s.Recording && !caps.NoRecording {
+		opts = append(opts, core.WithRecording(s.RecordInterval))
 	}
 	if s.CmdNs > 0 {
 		opts = append(opts, core.WithCommandTimeout(time.Duration(s.CmdNs)))
@@ -231,6 +262,10 @@ func (s *LoadSpec) loadOptions(caps tenantCaps, stdout, stderr *deltaBuffer, std
 type tenantCaps struct {
 	ExecTimeout time.Duration
 	Budgets     core.Budgets
+	// NoRecording drops clients' time-travel recording requests: the
+	// session loads without a recorder and its load response advertises
+	// TimeTravel off, so clients degrade instead of erroring.
+	NoRecording bool
 }
 
 // tighterDuration picks the smaller non-zero duration.

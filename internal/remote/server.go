@@ -62,6 +62,16 @@ func WithSessionExecTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.caps.ExecTimeout = d }
 }
 
+// WithRecordingDisabled makes the server ignore clients' time-travel
+// recording requests (tenant policy: a recording grows server memory with
+// every step of the inferior). Affected sessions load without a recorder
+// and their load responses advertise TimeTravel off, so capability-checking
+// clients degrade gracefully. Trace-backed sessions are unaffected — their
+// replay cursor needs no recorder.
+func WithRecordingDisabled() ServerOption {
+	return func(s *Server) { s.caps.NoRecording = true }
+}
+
 // WithLogf routes the server's diagnostic log lines (admissions, evictions,
 // teardown) to f. Discarded by default.
 func WithLogf(f func(format string, args ...any)) ServerOption {
@@ -742,6 +752,13 @@ func (c *serverConn) exec(sess *session, req *Request) *Response {
 	switch req.Op {
 	case OpLoad:
 		err = c.load(sess, req)
+		if err == nil {
+			// Some capabilities are load-dependent (TimeTravel follows
+			// WithRecording), so the hello-time set is re-probed now and the
+			// refreshed set rides back on the load response.
+			caps := core.CapabilitiesOf(sess.tr)
+			resp.Caps = &caps
+		}
 	case OpStart:
 		err = sess.tr.Start()
 	case OpResume:
@@ -766,6 +783,36 @@ func (c *serverConn) exec(sess *session, req *Request) *Response {
 		err = sess.tr.Watch(req.Var, breakOpts(req)...)
 	case OpSubscribe:
 		err = c.subscribe(sess, req)
+	case OpStepBack:
+		if tt, ok := core.As[core.TimeTraveler](sess.tr); ok {
+			err = tt.StepBack()
+		} else {
+			err = core.WrapErr(sess.kind, "StepBack", "", 0, core.ErrUnsupported)
+		}
+	case OpResumeBack:
+		if tt, ok := core.As[core.TimeTraveler](sess.tr); ok {
+			err = tt.ResumeBack()
+		} else {
+			err = core.WrapErr(sess.kind, "ResumeBack", "", 0, core.ErrUnsupported)
+		}
+	case OpNextBack:
+		if tt, ok := core.As[core.TimeTraveler](sess.tr); ok {
+			err = tt.NextBack()
+		} else {
+			err = core.WrapErr(sess.kind, "NextBack", "", 0, core.ErrUnsupported)
+		}
+	case OpSeek:
+		if tt, ok := core.As[core.TimeTraveler](sess.tr); ok {
+			err = tt.SeekTo(req.Step)
+		} else {
+			err = core.WrapErr(sess.kind, "SeekTo", "", 0, core.ErrUnsupported)
+		}
+	case OpLastChange:
+		if rw, ok := core.As[core.ReverseWatcher](sess.tr); ok {
+			resp.Change, err = rw.LastChange(req.Var)
+		} else {
+			err = core.WrapErr(sess.kind, "LastChange", "", 0, core.ErrUnsupported)
+		}
 	case OpState:
 		var st *core.State
 		if sp, ok := core.As[core.StateProvider](sess.tr); ok {
@@ -865,6 +912,12 @@ func (c *serverConn) status(sess *session) *Status {
 	st.LastLine = sess.tr.LastLine()
 	st.Stdout = sess.stdout.take()
 	st.Stderr = sess.stderr.take()
+	if tt, ok := core.As[core.TimeTraveler](sess.tr); ok {
+		if l := tt.Len(); l > 0 {
+			st.TTPos = tt.Pos() + 1 // +1: keep position 0 visible through omitempty
+			st.TTLen = l
+		}
+	}
 	return st
 }
 

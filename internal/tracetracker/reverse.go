@@ -1,11 +1,26 @@
 package tracetracker
 
-import "easytracker/internal/core"
+import (
+	"easytracker/internal/core"
+	"easytracker/internal/pt"
+)
 
 // Reverse execution over the recorded trace — the paper's future-work item
 // backed by its preliminary RR-based tracker ("allowing reverse execution
 // or deterministic visualization"). Because the trace tracker navigates an
-// immutable recording, stepping backwards is exact and deterministic.
+// immutable recording, stepping backwards is exact and deterministic; on
+// the delta-encoded format every landing reconstructs its state from the
+// nearest checkpoint, so a backward state is byte-identical to the forward
+// replay's.
+
+// seekLastLine recomputes lastLine for an absolute landing: the previously
+// replayed line is the one of the step before the landing, or 0 at entry.
+func (t *Tracker) seekLastLine() {
+	t.lastLine = 0
+	if t.pos > 0 {
+		t.lastLine = t.src.line(t.pos - 1)
+	}
+}
 
 // StepBack moves one recorded step backwards. At the first step it reports
 // the entry pause again.
@@ -19,25 +34,22 @@ func (t *Tracker) StepBack() error {
 	// Reverse execution resurrects a finished replay.
 	if t.exited {
 		t.exited = false
-		t.pos = len(t.trace.Steps) - 1
-		if t.trace.Steps[t.pos].Event == "finished" && t.pos > 0 {
+		t.pos = t.src.numSteps() - 1
+		if t.src.event(t.pos) == pt.EventFinished && t.pos > 0 {
 			t.pos--
 		}
 	} else if t.pos > 0 {
 		t.pos--
 	}
-	t.lastLine = 0
-	if t.pos > 0 {
-		t.lastLine = t.trace.Steps[t.pos-1].Line
-	}
+	t.seekLastLine()
 	if t.pos == 0 {
 		t.reason = core.PauseReason{
-			Type: core.PauseEntry, File: t.trace.File, Line: t.step().Line,
+			Type: core.PauseEntry, File: t.src.file(), Line: t.src.line(t.pos),
 		}
 		return nil
 	}
 	t.reason = core.PauseReason{
-		Type: core.PauseStep, File: t.trace.File, Line: t.step().Line,
+		Type: core.PauseStep, File: t.src.file(), Line: t.src.line(t.pos),
 	}
 	return nil
 }
@@ -65,7 +77,7 @@ func (t *Tracker) ResumeBack() error {
 		// The synthetic "finished" step carries no state and must not
 		// count as a transition.
 		prev := t.pos + 1
-		if prev >= len(t.trace.Steps) || t.trace.Steps[prev].State == nil {
+		if prev >= t.src.numSteps() || !t.src.hasState(prev) {
 			prev = t.pos
 		}
 		if r, ok := t.pauseHere(prev); ok {
@@ -84,12 +96,12 @@ func (t *Tracker) NextBack() error {
 	if !t.started {
 		return t.werr("NextBack", core.ErrNotStarted)
 	}
-	startDepth := t.depthAt(t.pos)
+	startDepth := t.src.depth(t.pos)
 	for {
 		if err := t.StepBack(); err != nil {
 			return err
 		}
-		if t.pos == 0 || t.depthAt(t.pos) <= startDepth {
+		if t.pos == 0 || t.src.depth(t.pos) <= startDepth {
 			return nil
 		}
 	}
@@ -104,16 +116,20 @@ func (t *Tracker) Seek(step int) error {
 	if !t.started {
 		return t.werr("Seek", core.ErrNotStarted)
 	}
-	if step < 0 || step >= len(t.trace.Steps) {
+	if step < 0 || step >= t.src.numSteps() {
 		return t.werr("Seek", core.ErrBadLine)
 	}
-	if t.trace.Steps[step].Event == "finished" {
+	if t.src.event(step) == pt.EventFinished {
 		step--
 	}
 	t.exited = false
 	t.pos = step
+	// An absolute jump must rebase lastLine like StepBack does; leaving the
+	// pre-seek value would report a "previously executed line" from a
+	// different region of the timeline.
+	t.seekLastLine()
 	t.reason = core.PauseReason{
-		Type: core.PauseStep, File: t.trace.File, Line: t.step().Line,
+		Type: core.PauseStep, File: t.src.file(), Line: t.src.line(t.pos),
 	}
 	if step == 0 {
 		t.reason.Type = core.PauseEntry
@@ -121,13 +137,39 @@ func (t *Tracker) Seek(step int) error {
 	return nil
 }
 
+// SeekTo implements core.TimeTraveler; it is Seek under the capability
+// surface's name.
+func (t *Tracker) SeekTo(step int) error { return t.Seek(step) }
+
 // Pos returns the current step index (navigation UIs).
 func (t *Tracker) Pos() int { return t.pos }
 
 // Len returns the number of recorded steps.
 func (t *Tracker) Len() int {
-	if t.trace == nil {
+	if t.src == nil {
 		return 0
 	}
-	return len(t.trace.Steps)
+	return t.src.numSteps()
+}
+
+// LastChange implements core.ReverseWatcher: the most recent recorded
+// write of expr at or before the current position. On the delta format it
+// is answered from the write log by binary search; on v0/v1 traces it
+// falls back to a backward scan of the recorded states.
+func (t *Tracker) LastChange(expr string) (*core.VarChange, error) {
+	if !t.loaded {
+		return nil, t.werr("LastChange", core.ErrNoProgram)
+	}
+	if !t.started {
+		return nil, t.werr("LastChange", core.ErrNotStarted)
+	}
+	before := t.pos
+	if t.exited || before >= t.src.numSteps() {
+		before = t.src.numSteps() - 1
+	}
+	ch, err := t.src.lastChange(expr, before)
+	if err != nil {
+		return nil, t.werr("LastChange", err)
+	}
+	return ch, nil
 }

@@ -1,10 +1,15 @@
 package tracetracker
 
 import (
+	"encoding/json"
 	"errors"
+	"strings"
 	"testing"
 
 	"easytracker/internal/core"
+	"easytracker/internal/gdbtracker"
+	"easytracker/internal/pt"
+	"easytracker/internal/ttd"
 )
 
 func startedReplay(t *testing.T) *Tracker {
@@ -179,6 +184,153 @@ func TestSeek(t *testing.T) {
 	}
 	if _, err := tr.CurrentFrame(); err != nil {
 		t.Fatalf("frame after seek-to-end: %v", err)
+	}
+}
+
+// TestSeekRebasesLastLine is the regression test for the stale-lastLine
+// bug: an absolute Seek used to leave LastLine at whatever the previous
+// cursor position had, so the first post-seek observation reported a line
+// transition that never happened. Every landing must report exactly the
+// LastLine a forward walk to the same step observes.
+func TestSeekRebasesLastLine(t *testing.T) {
+	tr := startedReplay(t)
+	type obs struct{ line, lastLine int }
+	var forward []obs
+	for i := 0; i < 12; i++ {
+		_, line := tr.Position()
+		forward = append(forward, obs{line: line, lastLine: tr.LastLine()})
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Scrambled landings, including jumps in both directions and a repeat.
+	for _, pos := range []int{7, 2, 9, 0, 11, 5, 5} {
+		if err := tr.Seek(pos); err != nil {
+			t.Fatalf("Seek(%d): %v", pos, err)
+		}
+		_, line := tr.Position()
+		if line != forward[pos].line {
+			t.Errorf("line at step %d = %d, want %d", pos, line, forward[pos].line)
+		}
+		if got := tr.LastLine(); got != forward[pos].lastLine {
+			t.Errorf("LastLine at step %d = %d, want %d (stale from previous position?)",
+				pos, got, forward[pos].lastLine)
+		}
+	}
+}
+
+// stateJSON snapshots the replay's full state as canonical bytes.
+func stateJSON(t *testing.T, tr *Tracker) string {
+	t.Helper()
+	st, err := tr.State()
+	if err != nil {
+		t.Fatalf("state: %v", err)
+	}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// roundTripStates drives the omniscience property on one loaded replay:
+// walk forward capturing State() at every step, walk backward comparing
+// byte-identically, then seek to every step in a scrambled order and
+// compare again. Nothing about history may depend on how the cursor got
+// there.
+func roundTripStates(t *testing.T, tr *Tracker) {
+	t.Helper()
+	if err := tr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	last := tr.Len() - 2 // stop short of the finished sentinel
+	if last < 2 {
+		t.Fatalf("trace too short: %d", tr.Len())
+	}
+	forward := []string{stateJSON(t, tr)}
+	for i := 0; i < last; i++ {
+		if err := tr.Step(); err != nil {
+			t.Fatal(err)
+		}
+		forward = append(forward, stateJSON(t, tr))
+	}
+	for pos := last - 1; pos >= 0; pos-- {
+		if err := tr.StepBack(); err != nil {
+			t.Fatal(err)
+		}
+		if got := stateJSON(t, tr); got != forward[pos] {
+			t.Fatalf("state at step %d differs after StepBack:\nforward: %s\nreverse: %s",
+				pos, forward[pos], got)
+		}
+	}
+	for _, pos := range []int{last, 1, last / 2, 0, last - 1, last / 3} {
+		if err := tr.SeekTo(pos); err != nil {
+			t.Fatalf("SeekTo(%d): %v", pos, err)
+		}
+		if got := stateJSON(t, tr); got != forward[pos] {
+			t.Fatalf("state at step %d differs after SeekTo:\nforward: %s\nseek:    %s",
+				pos, forward[pos], got)
+		}
+	}
+}
+
+// TestStepBackStateIdentity is the omniscience property test: on recorded
+// minipy and minigdb executions, in both trace backings (v1 full states
+// and v2 deltas + checkpoints), State() is byte-identical at every step no
+// matter whether the cursor arrived by Step, StepBack or SeekTo.
+func TestStepBackStateIdentity(t *testing.T) {
+	recordC := func(t *testing.T) *pt.Trace {
+		t.Helper()
+		src := `int square(int n) {
+    int s = n * n;
+    return s;
+}
+int main() {
+    int total = 0;
+    for (int i = 1; i <= 3; i++) {
+        total = total + square(i);
+    }
+    printf("%d\n", total);
+    return 0;
+}`
+		gtr := gdbtracker.New()
+		var out strings.Builder
+		if err := gtr.LoadProgram("sq.c", core.WithSource(src), core.WithStdout(&out)); err != nil {
+			t.Fatal(err)
+		}
+		trace, err := pt.Record(gtr, &out, pt.Options{Mode: pt.ModeFullStep, Lang: "minigdb"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	langs := []struct {
+		name   string
+		record func(t *testing.T) *pt.Trace
+	}{
+		{"minipy", record},
+		{"minigdb", recordC},
+	}
+	for _, lang := range langs {
+		trace := lang.record(t)
+		t.Run(lang.name+"/v1", func(t *testing.T) {
+			tr := New()
+			if err := tr.LoadTrace(trace); err != nil {
+				t.Fatal(err)
+			}
+			roundTripStates(t, tr)
+		})
+		t.Run(lang.name+"/v2", func(t *testing.T) {
+			store, err := ttd.FromTrace(trace, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := New()
+			if err := tr.LoadStore(store); err != nil {
+				t.Fatal(err)
+			}
+			roundTripStates(t, tr)
+		})
 	}
 }
 

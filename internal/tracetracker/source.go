@@ -1,0 +1,200 @@
+package tracetracker
+
+import (
+	"fmt"
+
+	"easytracker/internal/core"
+	"easytracker/internal/pt"
+	"easytracker/internal/query"
+	"easytracker/internal/ttd"
+)
+
+// source is the replay engine's view of a recording. Two implementations
+// exist: v1source reads the full-state-per-step v0/v1 trace directly, and
+// v2source reconstructs states on demand from a delta-encoded ttd.Store.
+// The replay loop goes through this interface only, so breakpoints,
+// watches, tracked functions and reverse navigation behave identically on
+// both formats.
+type source interface {
+	numSteps() int
+	event(i int) string
+	line(i int) int
+	fn(i int) string
+	depth(i int) int
+	// stateAt returns the full state at step i; (nil, nil) for bookkeeping
+	// steps that carry none (v1's trailing "finished" step).
+	stateAt(i int) (*core.State, error)
+	// hasState reports whether step i carries inspectable state.
+	hasState(i int) bool
+	// varAt resolves a variable identifier (core.SplitVarID conventions)
+	// at step i; nil when absent.
+	varAt(i int, id string) *core.Value
+	// returnValue is the recorded return value at a return-event step.
+	returnValue(i int) *core.Value
+	// stdoutAt is the cumulative program output through step i.
+	stdoutAt(i int) string
+	file() string
+	code() string
+	exitCode() int
+	// lastChange is the reverse-watchpoint query at or before step
+	// `before`; core.ErrUnknownVariable when nothing matches.
+	lastChange(expr string, before int) (*core.VarChange, error)
+}
+
+// v1source replays a v0/v1 full-state trace.
+type v1source struct {
+	tr *pt.Trace
+}
+
+func (s *v1source) numSteps() int      { return len(s.tr.Steps) }
+func (s *v1source) event(i int) string { return s.tr.Steps[i].Event }
+func (s *v1source) line(i int) int     { return s.tr.Steps[i].Line }
+func (s *v1source) fn(i int) string    { return s.tr.Steps[i].Func }
+
+func (s *v1source) depth(i int) int {
+	st := s.tr.Steps[i].State
+	if st == nil || st.Frame == nil {
+		return 0
+	}
+	return st.Frame.Depth
+}
+
+func (s *v1source) stateAt(i int) (*core.State, error) { return s.tr.Steps[i].State, nil }
+func (s *v1source) hasState(i int) bool                { return s.tr.Steps[i].State != nil }
+
+func (s *v1source) varAt(i int, id string) *core.Value {
+	if i < 0 || i >= len(s.tr.Steps) {
+		return nil
+	}
+	st := s.tr.Steps[i].State
+	if st == nil {
+		return nil
+	}
+	scope, name := core.SplitVarID(id)
+	v, _, _ := lookupVarOwner(st, scope, name)
+	return v
+}
+
+func (s *v1source) returnValue(i int) *core.Value {
+	if st := s.tr.Steps[i].State; st != nil {
+		return st.Reason.ReturnValue
+	}
+	return nil
+}
+
+func (s *v1source) stdoutAt(i int) string { return s.tr.Steps[i].Stdout }
+func (s *v1source) file() string          { return s.tr.File }
+func (s *v1source) code() string          { return s.tr.Code }
+func (s *v1source) exitCode() int         { return s.tr.ExitCode }
+
+// lastChange on a v1 trace has no write log to consult; it scans the
+// recorded full states backwards, comparing the variable's resolution
+// between consecutive steps. Correct, but O(steps): the delta format
+// exists so this query does not have to do this.
+func (s *v1source) lastChange(expr string, before int) (*core.VarChange, error) {
+	scope, name, err := query.ParseVarRef(expr)
+	if err != nil {
+		return nil, err
+	}
+	if before >= len(s.tr.Steps) {
+		before = len(s.tr.Steps) - 1
+	}
+	valAt := func(i int) (*core.Value, string, bool) {
+		if i < 0 {
+			return nil, "", false
+		}
+		st := s.tr.Steps[i].State
+		if st == nil {
+			return nil, "", false
+		}
+		return lookupVarOwner(st, scope, name)
+	}
+	for k := before; k >= 0; k-- {
+		vk, fnk, okk := valAt(k)
+		vp, _, okp := valAt(k - 1)
+		if okk == okp && (!okk || valueEq(vk, vp)) {
+			continue
+		}
+		ch := &core.VarChange{Step: k, Deleted: !okk, Val: vk, Func: fnk}
+		switch {
+		case okk && fnk != "":
+			ch.Var = fnk + ":" + name
+		case okk:
+			ch.Var = "::" + name
+		default:
+			ch.Var = expr
+		}
+		return ch, nil
+	}
+	return nil, fmt.Errorf("%w: no recorded change of %q", core.ErrUnknownVariable, expr)
+}
+
+// lookupVarOwner resolves (scope, name) in a recorded state and reports the
+// owning function name ("" for a global) alongside the value.
+func lookupVarOwner(st *core.State, scope, name string) (*core.Value, string, bool) {
+	if scope != "" && scope != "::" {
+		for fr := st.Frame; fr != nil; fr = fr.Parent {
+			if fr.Name == scope {
+				if v := fr.Lookup(name); v != nil {
+					return v.Value, fr.Name, true
+				}
+				return nil, "", false
+			}
+		}
+		return nil, "", false
+	}
+	if scope == "" && st.Frame != nil {
+		if v := st.Frame.Lookup(name); v != nil {
+			return v.Value, st.Frame.Name, true
+		}
+	}
+	for _, g := range st.Globals {
+		if g.Name == name {
+			return g.Value, "", true
+		}
+	}
+	return nil, "", false
+}
+
+func valueEq(a, b *core.Value) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return a.Equal(b)
+}
+
+// v2source replays a delta-encoded recording through its ttd store.
+type v2source struct {
+	s *ttd.Store
+}
+
+func (s *v2source) numSteps() int      { return s.s.Len() }
+func (s *v2source) event(i int) string { return s.s.EventAt(i) }
+func (s *v2source) line(i int) int     { return s.s.LineAt(i) }
+func (s *v2source) fn(i int) string    { return s.s.FuncAt(i) }
+func (s *v2source) depth(i int) int    { return s.s.DepthAt(i) }
+
+func (s *v2source) stateAt(i int) (*core.State, error) { return s.s.StateAt(i) }
+func (s *v2source) hasState(i int) bool                { return s.s.EventAt(i) != pt.EventFinished }
+
+func (s *v2source) varAt(i int, id string) *core.Value { return s.s.VarAt(i, id) }
+
+func (s *v2source) returnValue(i int) *core.Value {
+	r, err := s.s.ReasonAt(i)
+	if err != nil {
+		return nil
+	}
+	return r.ReturnValue
+}
+
+func (s *v2source) stdoutAt(i int) string { return s.s.StdoutAt(i) }
+func (s *v2source) file() string          { return s.s.Trace().File }
+func (s *v2source) code() string          { return s.s.Trace().Code }
+func (s *v2source) exitCode() int         { return s.s.Trace().ExitCode }
+
+func (s *v2source) lastChange(expr string, before int) (*core.VarChange, error) {
+	return s.s.LastChange(expr, before)
+}

@@ -17,6 +17,7 @@ import (
 	"easytracker/internal/obs"
 	"easytracker/internal/pt"
 	"easytracker/internal/query"
+	"easytracker/internal/ttd"
 )
 
 // Kind is the tracker registry name.
@@ -84,7 +85,9 @@ type traceWatch struct {
 
 // Tracker replays a recorded trace through the control/inspection API.
 type Tracker struct {
-	trace  *pt.Trace
+	// src abstracts the recording's format: a v0/v1 full-state trace or a
+	// v2 delta store.
+	src    source
 	loaded bool
 
 	// pos indexes the current step; -1 before Start.
@@ -121,17 +124,28 @@ func New() *Tracker {
 	return &Tracker{pos: -1, tracked: map[string]*trackInfo{}}
 }
 
-// LoadTrace installs an in-memory trace.
+// LoadTrace installs an in-memory v0/v1 trace.
 func (t *Tracker) LoadTrace(tr *pt.Trace) error {
 	if len(tr.Steps) == 0 {
 		return errors.New("tracetracker: empty trace")
 	}
-	t.trace = tr
+	t.src = &v1source{tr: tr}
 	t.loaded = true
 	return nil
 }
 
-// LoadProgram loads a serialized trace from path (or core.WithSource).
+// LoadStore installs an in-memory delta-encoded recording.
+func (t *Tracker) LoadStore(s *ttd.Store) error {
+	if s.Len() == 0 {
+		return errors.New("tracetracker: empty trace")
+	}
+	t.src = &v2source{s: s}
+	t.loaded = true
+	return nil
+}
+
+// LoadProgram loads a serialized trace from path (or core.WithSource),
+// routing each format version to its decoder.
 func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 	cfg := core.ApplyLoadOptions(opts)
 	data := []byte(cfg.Source)
@@ -142,12 +156,26 @@ func (t *Tracker) LoadProgram(path string, opts ...core.LoadOption) error {
 		}
 		data = b
 	}
-	tr, err := pt.Decode(data)
-	if err != nil {
-		return err
-	}
-	if err := t.LoadTrace(tr); err != nil {
-		return err
+	if pt.SniffVersion(data) == pt.V2Version {
+		t2, err := pt.DecodeV2(data)
+		if err != nil {
+			return err
+		}
+		store, err := ttd.FromV2(t2)
+		if err != nil {
+			return err
+		}
+		if err := t.LoadStore(store); err != nil {
+			return err
+		}
+	} else {
+		tr, err := pt.Decode(data)
+		if err != nil {
+			return err
+		}
+		if err := t.LoadTrace(tr); err != nil {
+			return err
+		}
 	}
 	if cfg.Obs.Enabled {
 		events := cfg.Obs.Events
@@ -182,18 +210,6 @@ func (t *Tracker) Spans() []obs.SpanRecord { return t.tracer.Spans() }
 // SpanTracer implements core.SpanTracerSource; nil when span tracing is off.
 func (t *Tracker) SpanTracer() *obs.Tracer { return t.tracer }
 
-// step returns the current step.
-func (t *Tracker) step() *pt.Step { return &t.trace.Steps[t.pos] }
-
-// depthAt computes the frame depth recorded at step i.
-func (t *Tracker) depthAt(i int) int {
-	st := t.trace.Steps[i].State
-	if st == nil || st.Frame == nil {
-		return 0
-	}
-	return st.Frame.Depth
-}
-
 // Start positions the replay at the first recorded step.
 func (t *Tracker) Start() error {
 	if !t.loaded {
@@ -207,8 +223,8 @@ func (t *Tracker) Start() error {
 	t.pos = 0
 	t.reason = core.PauseReason{
 		Type: core.PauseEntry,
-		File: t.trace.File,
-		Line: t.step().Line,
+		File: t.src.file(),
+		Line: t.src.line(0),
 	}
 	t.notePause()
 	sp.End()
@@ -229,12 +245,12 @@ func (t *Tracker) notePause() {
 
 // advance moves to the next step, handling the end of the trace.
 func (t *Tracker) advance() bool {
-	t.lastLine = t.step().Line
+	t.lastLine = t.src.line(t.pos)
 	t.pos++
 	t.ctrSteps.Inc()
-	if t.pos >= len(t.trace.Steps) || t.trace.Steps[t.pos].Event == pt.EventFinished {
+	if t.pos >= t.src.numSteps() || t.src.event(t.pos) == pt.EventFinished {
 		t.exited = true
-		t.reason = core.PauseReason{Type: core.PauseExited, ExitCode: t.trace.ExitCode}
+		t.reason = core.PauseReason{Type: core.PauseExited, ExitCode: t.src.exitCode()}
 		return false
 	}
 	return true
@@ -242,12 +258,22 @@ func (t *Tracker) advance() bool {
 
 // pauseHere classifies the current step against the registered pause
 // conditions; ok=false means the replay should keep advancing on Resume.
+// The condition view materializes the step's full state lazily, so on the
+// delta-encoded format a Resume that sweeps thousands of steps with no
+// variable-touching conditions never reconstructs a state.
 func (t *Tracker) pauseHere(prev int) (core.PauseReason, bool) {
-	s := t.step()
-	depth := t.depthAt(t.pos)
+	pos := t.pos
+	ev, line, fn := t.src.event(pos), t.src.line(pos), t.src.fn(pos)
+	file := t.src.file()
+	depth := t.src.depth(pos)
 	t.view = query.StateView{
-		EventName: queryEvent(s.Event), LineNo: s.Line,
-		FileName: t.trace.File, FuncName: s.Func, State: s.State,
+		EventName: queryEvent(ev), LineNo: line,
+		FileName: file, FuncName: fn,
+		LazyState: func() *core.State {
+			st, _ := t.src.stateAt(pos)
+			return st
+		},
+		DepthNo: depth,
 	}
 
 	// Watches: compare variable renderings between prev and now.
@@ -258,46 +284,42 @@ func (t *Tracker) pauseHere(prev int) (core.PauseReason, bool) {
 		if w.cond != nil && !w.cond.Match(&t.view) {
 			continue
 		}
-		oldV := lookupVar(t.trace, prev, w.id)
-		newV := lookupVar(t.trace, t.pos, w.id)
+		oldV := t.src.varAt(prev, w.id)
+		newV := t.src.varAt(pos, w.id)
 		if renderVal(oldV) != renderVal(newV) && w.hit() {
 			return core.PauseReason{
 				Type: core.PauseWatch, Variable: w.id,
 				Old: oldV, New: newV,
-				File: t.trace.File, Line: s.Line,
+				File: file, Line: line,
 			}, true
 		}
 	}
 	// Tracked function boundaries recorded in the trace.
-	if s.Event == pt.EventCall {
-		if ti := t.tracked[s.Func]; ti != nil && ti.passes(&t.view) {
+	if ev == pt.EventCall {
+		if ti := t.tracked[fn]; ti != nil && ti.passes(&t.view) {
 			return core.PauseReason{
-				Type: core.PauseCall, Function: s.Func,
-				File: t.trace.File, Line: s.Line,
+				Type: core.PauseCall, Function: fn,
+				File: file, Line: line,
 			}, true
 		}
 	}
-	if s.Event == pt.EventReturn {
-		if ti := t.tracked[s.Func]; ti != nil && ti.passes(&t.view) {
-			var rv *core.Value
-			if s.State != nil {
-				rv = s.State.Reason.ReturnValue
-			}
+	if ev == pt.EventReturn {
+		if ti := t.tracked[fn]; ti != nil && ti.passes(&t.view) {
 			return core.PauseReason{
-				Type: core.PauseReturn, Function: s.Func,
-				ReturnValue: rv,
-				File:        t.trace.File, Line: s.Line,
+				Type: core.PauseReturn, Function: fn,
+				ReturnValue: t.src.returnValue(pos),
+				File:        file, Line: line,
 			}, true
 		}
 	}
 	// Function breakpoints: a call event entering the function.
-	if s.Event == pt.EventCall {
+	if ev == pt.EventCall {
 		for i := range t.funcBPs {
 			bp := &t.funcBPs[i]
-			if bp.name == s.Func && depthOK(bp.maxDepth, depth) && bp.passes(&t.view) {
+			if bp.name == fn && depthOK(bp.maxDepth, depth) && bp.passes(&t.view) {
 				return core.PauseReason{
-					Type: core.PauseBreakpoint, Function: s.Func,
-					File: t.trace.File, Line: s.Line,
+					Type: core.PauseBreakpoint, Function: fn,
+					File: file, Line: line,
 				}, true
 			}
 		}
@@ -305,10 +327,10 @@ func (t *Tracker) pauseHere(prev int) (core.PauseReason, bool) {
 	// Line breakpoints.
 	for i := range t.lineBPs {
 		bp := &t.lineBPs[i]
-		if bp.line == s.Line && depthOK(bp.maxDepth, depth) && bp.passes(&t.view) {
+		if bp.line == line && depthOK(bp.maxDepth, depth) && bp.passes(&t.view) {
 			return core.PauseReason{
 				Type: core.PauseBreakpoint,
-				File: t.trace.File, Line: s.Line,
+				File: file, Line: line,
 			}, true
 		}
 	}
@@ -330,40 +352,6 @@ func queryEvent(ev string) string {
 
 func depthOK(maxDepth, depth int) bool {
 	return maxDepth <= 0 || depth < maxDepth
-}
-
-// lookupVar resolves a variable identifier in the state recorded at step i.
-func lookupVar(trace *pt.Trace, i int, id string) *core.Value {
-	if i < 0 || i >= len(trace.Steps) {
-		return nil
-	}
-	st := trace.Steps[i].State
-	if st == nil {
-		return nil
-	}
-	fn, name := core.SplitVarID(id)
-	if fn != "" && fn != "::" {
-		for fr := st.Frame; fr != nil; fr = fr.Parent {
-			if fr.Name == fn {
-				if v := fr.Lookup(name); v != nil {
-					return v.Value
-				}
-				return nil
-			}
-		}
-		return nil
-	}
-	if fn == "" && st.Frame != nil {
-		if v := st.Frame.Lookup(name); v != nil {
-			return v.Value
-		}
-	}
-	for _, g := range st.Globals {
-		if g.Name == name {
-			return g.Value
-		}
-	}
-	return nil
 }
 
 func renderVal(v *core.Value) string {
@@ -412,7 +400,7 @@ func (t *Tracker) Step() error {
 	t0 := t.obs.Now()
 	if t.advance() {
 		t.reason = core.PauseReason{
-			Type: core.PauseStep, File: t.trace.File, Line: t.step().Line,
+			Type: core.PauseStep, File: t.src.file(), Line: t.src.line(t.pos),
 		}
 	}
 	t.obs.Observe(core.OpStep, t0)
@@ -428,14 +416,14 @@ func (t *Tracker) Next() error {
 	}
 	sp := t.tracer.StartOp(core.OpNext)
 	t0 := t.obs.Now()
-	startDepth := t.depthAt(t.pos)
+	startDepth := t.src.depth(t.pos)
 	for {
 		if !t.advance() {
 			break
 		}
-		if t.depthAt(t.pos) <= startDepth {
+		if t.src.depth(t.pos) <= startDepth {
 			t.reason = core.PauseReason{
-				Type: core.PauseStep, File: t.trace.File, Line: t.step().Line,
+				Type: core.PauseStep, File: t.src.file(), Line: t.src.line(t.pos),
 			}
 			break
 		}
@@ -542,7 +530,19 @@ func (t *Tracker) ExitCode() (int, bool) {
 	if !t.exited {
 		return 0, false
 	}
-	return t.trace.ExitCode, true
+	return t.src.exitCode(), true
+}
+
+// state reconstructs (or fetches) the current step's snapshot.
+func (t *Tracker) state() (*core.State, error) {
+	st, err := t.src.stateAt(t.pos)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		return nil, fmt.Errorf("tracetracker: step %d has no recorded state", t.pos)
+	}
+	return st, nil
 }
 
 // CurrentFrame returns the recorded frame at the current step.
@@ -550,8 +550,11 @@ func (t *Tracker) CurrentFrame() (*core.Frame, error) {
 	if err := t.controlOK(); err != nil {
 		return nil, t.werr("CurrentFrame", err)
 	}
-	st := t.step().State
-	if st == nil || st.Frame == nil {
+	st, err := t.state()
+	if err != nil {
+		return nil, err
+	}
+	if st.Frame == nil {
 		return nil, fmt.Errorf("tracetracker: step %d has no recorded state", t.pos)
 	}
 	return st.Frame, nil
@@ -562,9 +565,9 @@ func (t *Tracker) GlobalVariables() ([]*core.Variable, error) {
 	if err := t.controlOK(); err != nil {
 		return nil, t.werr("GlobalVariables", err)
 	}
-	st := t.step().State
-	if st == nil {
-		return nil, fmt.Errorf("tracetracker: step %d has no recorded state", t.pos)
+	st, err := t.state()
+	if err != nil {
+		return nil, err
 	}
 	return st.Globals, nil
 }
@@ -574,7 +577,7 @@ func (t *Tracker) State() (*core.State, error) {
 	if err := t.controlOK(); err != nil {
 		return nil, t.werr("State", err)
 	}
-	return t.step().State, nil
+	return t.src.stateAt(t.pos)
 }
 
 // Position returns the replay's current source position.
@@ -582,14 +585,14 @@ func (t *Tracker) Position() (string, int) {
 	if !t.started || t.exited || t.pos < 0 {
 		return t.fileName(), 0
 	}
-	return t.fileName(), t.step().Line
+	return t.fileName(), t.src.line(t.pos)
 }
 
 func (t *Tracker) fileName() string {
-	if t.trace == nil {
+	if t.src == nil {
 		return ""
 	}
-	return t.trace.File
+	return t.src.file()
 }
 
 // LastLine returns the most recently replayed line.
@@ -600,7 +603,7 @@ func (t *Tracker) SourceLines() ([]string, error) {
 	if !t.loaded {
 		return nil, t.werr("SourceLines", core.ErrNoProgram)
 	}
-	return strings.Split(strings.TrimRight(t.trace.Code, "\n"), "\n"), nil
+	return strings.Split(strings.TrimRight(t.src.code(), "\n"), "\n"), nil
 }
 
 // Stdout returns the cumulative program output recorded at the current
@@ -610,7 +613,7 @@ func (t *Tracker) Stdout() string {
 		return ""
 	}
 	if t.exited {
-		return t.trace.Steps[len(t.trace.Steps)-1].Stdout
+		return t.src.stdoutAt(t.src.numSteps() - 1)
 	}
-	return t.step().Stdout
+	return t.src.stdoutAt(t.pos)
 }

@@ -1,0 +1,137 @@
+package ttd
+
+import (
+	"easytracker/internal/core"
+	"easytracker/internal/pt"
+)
+
+// rstate is a state under reconstruction: a mutable frame list (entry frame
+// first) plus globals. Cold reconstructions own every Frame and Variable
+// struct (they come from a fresh checkpoint decode); the memo's incremental
+// path clones them before applying, so applying a delta may always mutate
+// in place.
+type rstate struct {
+	frames  []*core.Frame
+	globals []*core.Variable
+}
+
+// fromState adapts a freshly decoded checkpoint state. The frames and
+// variables are adopted, not copied — the caller must not reuse st.
+func fromState(st *core.State) *rstate {
+	r := &rstate{globals: st.Globals}
+	stack := st.Frame.Stack()
+	for i := len(stack) - 1; i >= 0; i-- {
+		r.frames = append(r.frames, stack[i])
+	}
+	return r
+}
+
+// clone copies the frame and variable structure; the Values stay shared
+// (deltas replace variable bindings, they never mutate a Value in place).
+func (r *rstate) clone() *rstate {
+	c := &rstate{frames: make([]*core.Frame, len(r.frames)), globals: cloneVars(r.globals)}
+	for i, fr := range r.frames {
+		c.frames[i] = &core.Frame{
+			Name: fr.Name, Depth: fr.Depth, File: fr.File, Line: fr.Line, PC: fr.PC,
+			Vars: cloneVars(fr.Vars),
+		}
+	}
+	return c
+}
+
+func cloneVars(vs []*core.Variable) []*core.Variable {
+	out := make([]*core.Variable, len(vs))
+	for i, v := range vs {
+		out[i] = &core.Variable{Name: v.Name, Value: v.Value}
+	}
+	return out
+}
+
+// apply replays one delta: pop, push, advance lines, write variables,
+// delete variables — the order the format defines. References already
+// validated by the load walk are honored; anything out of range is skipped
+// rather than trusted.
+func (r *rstate) apply(d *pt.Delta) {
+	if d == nil {
+		return
+	}
+	if n := d.Pop; n > 0 {
+		if n > len(r.frames) {
+			n = len(r.frames)
+		}
+		r.frames = r.frames[:len(r.frames)-n]
+	}
+	for _, p := range d.Push {
+		r.frames = append(r.frames, &core.Frame{
+			Name: p.Name, Depth: p.Depth, File: p.File, Line: p.Line, PC: p.PC,
+		})
+	}
+	for _, ln := range d.Lines {
+		if ln.Depth >= 0 && ln.Depth < len(r.frames) {
+			fr := r.frames[ln.Depth]
+			fr.Line = ln.Line
+			fr.PC = ln.PC
+		}
+	}
+	for _, set := range d.Sets {
+		if set.V < 0 || set.V >= len(d.Vals) {
+			continue
+		}
+		val := d.Vals[set.V]
+		if set.F == -1 {
+			r.globals = setVar(r.globals, set.Name, val)
+		} else if set.F >= 0 && set.F < len(r.frames) {
+			fr := r.frames[set.F]
+			fr.Vars = setVar(fr.Vars, set.Name, val)
+		}
+	}
+	for _, del := range d.Dels {
+		if del.F == -1 {
+			r.globals = delVar(r.globals, del.Name)
+		} else if del.F >= 0 && del.F < len(r.frames) {
+			fr := r.frames[del.F]
+			fr.Vars = delVar(fr.Vars, del.Name)
+		}
+	}
+}
+
+// setVar rebinds name in vars, appending a new slot when absent. Slot order
+// is therefore deterministic: checkpoint order for inherited variables,
+// first-write order for ones introduced by deltas.
+func setVar(vars []*core.Variable, name string, val *core.Value) []*core.Variable {
+	for _, v := range vars {
+		if v.Name == name {
+			v.Value = val
+			return vars
+		}
+	}
+	return append(vars, &core.Variable{Name: name, Value: val})
+}
+
+// delVar removes name from vars preserving order. A fresh slice is built so
+// no previously materialized state can observe the shrink.
+func delVar(vars []*core.Variable, name string) []*core.Variable {
+	for i, v := range vars {
+		if v.Name == name {
+			out := make([]*core.Variable, 0, len(vars)-1)
+			out = append(out, vars[:i]...)
+			return append(out, vars[i+1:]...)
+		}
+	}
+	return vars
+}
+
+// materialize links the frame list into a Parent chain and wraps it as a
+// core.State carrying the step's recorded pause reason.
+func (r *rstate) materialize(reason core.PauseReason) *core.State {
+	var top *core.Frame
+	for i, fr := range r.frames {
+		if i == 0 {
+			fr.Parent = nil
+		} else {
+			fr.Parent = r.frames[i-1]
+		}
+		top = fr
+	}
+	return &core.State{Frame: top, Globals: r.globals, Reason: reason}
+}

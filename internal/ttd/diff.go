@@ -1,0 +1,133 @@
+package ttd
+
+import (
+	"easytracker/internal/core"
+	"easytracker/internal/pt"
+)
+
+// diffState computes the delta transforming prev into cur; nil prev is the
+// empty pre-execution state, a nil result means the states are identical.
+//
+// Frames are matched positionally from the entry frame: the common prefix
+// (same name and depth) is kept, everything above it on the prev side pops
+// and everything above it on the cur side pushes. Variables compare with
+// the cycle-safe deep core.Value.Equal, so an in-place container mutation
+// re-records every variable reaching the mutated object — all of them in
+// this step's one shared value table, which preserves their aliasing in
+// reconstructions.
+func diffState(prev, cur *core.State) *pt.Delta {
+	d := &pt.Delta{}
+	pf, cf := entryFirst(prev), entryFirst(cur)
+	common := 0
+	for common < len(pf) && common < len(cf) &&
+		pf[common].Name == cf[common].Name && pf[common].Depth == cf[common].Depth {
+		common++
+	}
+	d.Pop = len(pf) - common
+	for _, fr := range cf[common:] {
+		d.Push = append(d.Push, pt.FramePush{
+			Name: fr.Name, Depth: fr.Depth, File: fr.File, Line: fr.Line, PC: fr.PC,
+		})
+	}
+	for i := 0; i < common; i++ {
+		if pf[i].Line != cf[i].Line || pf[i].PC != cf[i].PC {
+			d.Lines = append(d.Lines, pt.FrameLine{Depth: i, Line: cf[i].Line, PC: cf[i].PC})
+		}
+	}
+	for i := 0; i < common; i++ {
+		diffVars(d, i, pf[i].Vars, cf[i].Vars)
+	}
+	for i := common; i < len(cf); i++ {
+		diffVars(d, i, nil, cf[i].Vars)
+	}
+	var pg, cg []*core.Variable
+	if prev != nil {
+		pg = prev.Globals
+	}
+	if cur != nil {
+		cg = cur.Globals
+	}
+	diffVars(d, -1, pg, cg)
+	if d.Pop == 0 && d.Push == nil && d.Lines == nil && d.Sets == nil && d.Dels == nil {
+		return nil
+	}
+	return d
+}
+
+// diffVars appends the Sets and Dels turning the variable list pv into cv
+// for the frame at stack position f (-1: globals).
+func diffVars(d *pt.Delta, f int, pv, cv []*core.Variable) {
+	for _, v := range cv {
+		old := lookupVar(pv, v.Name)
+		if old == nil || !valEq(old.Value, v.Value) {
+			d.Vals = append(d.Vals, v.Value)
+			d.Sets = append(d.Sets, pt.VarSet{F: f, Name: v.Name, V: len(d.Vals) - 1})
+		}
+	}
+	for _, v := range pv {
+		if lookupVar(cv, v.Name) == nil {
+			d.Dels = append(d.Dels, pt.VarDel{F: f, Name: v.Name})
+		}
+	}
+}
+
+func lookupVar(vars []*core.Variable, name string) *core.Variable {
+	for _, v := range vars {
+		if v.Name == name {
+			return v
+		}
+	}
+	return nil
+}
+
+func valEq(a, b *core.Value) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	return a.Equal(b)
+}
+
+// entryFirst returns the state's frames entry frame first (the reverse of
+// Frame.Stack), or nil for a nil/frameless state.
+func entryFirst(st *core.State) []*core.Frame {
+	if st == nil || st.Frame == nil {
+		return nil
+	}
+	s := st.Frame.Stack()
+	out := make([]*core.Frame, len(s))
+	for i, fr := range s {
+		out[len(s)-1-i] = fr
+	}
+	return out
+}
+
+// FromTrace converts a v0/v1 full-state trace into a Store by diffing each
+// step against its predecessor, checkpointing with the given interval (<= 0
+// selects the adaptive O(sqrt n) policy). The per-step cumulative Stdout of
+// v1 becomes v2's per-step output delta.
+func FromTrace(tr *pt.Trace, interval int) (*Store, error) {
+	rec := NewRecorder(tr.File, tr.Code, tr.Lang, interval)
+	prevOut := ""
+	for i := range tr.Steps {
+		st := &tr.Steps[i]
+		out := st.Stdout
+		if len(prevOut) <= len(out) && out[:len(prevOut)] == prevOut {
+			out = out[len(prevOut):]
+		}
+		prevOut = st.Stdout
+		if st.State == nil {
+			if err := rec.addStep(st.Event, st.Line, st.Func, out, nil, nil, nil); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := rec.Add(st.Event, st.Line, st.Func, out, st.State); err != nil {
+			return nil, err
+		}
+	}
+	rec.s.t.ExitCode = tr.ExitCode
+	return rec.Store(), nil
+}

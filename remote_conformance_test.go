@@ -9,11 +9,14 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"easytracker"
 	"easytracker/internal/core"
 	"easytracker/internal/pt"
 	"easytracker/internal/query"
+	"easytracker/internal/ttd"
+	"easytracker/internal/vnet"
 )
 
 // The cross-backend conformance suite: the same scenario matrix — breakpoint,
@@ -433,5 +436,230 @@ func TestRemoteConformanceTrace(t *testing.T) {
 			t.Fatalf("trace transcript line %d differs:\nlocal:  %s\nremote: %v",
 				i, local[i], remote[min(i, len(remote)-1)])
 		}
+	}
+}
+
+// recordAgreeTraces records agreePy once and writes it out in both trace
+// formats: v1 (full-step states) and v2 (deltas + checkpoints). The two
+// files describe the same execution, so every observation made through
+// either must agree.
+func recordAgreeTraces(t *testing.T) (v1Path, v2Path string) {
+	t.Helper()
+	rec, err := easytracker.New("minipy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := rec.LoadProgram("agree.py", easytracker.WithSource(agreePy),
+		easytracker.WithStdout(&out)); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := pt.Record(rec, &out, pt.Options{Mode: pt.ModeFullStep, Lang: "minipy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	v1, err := trace.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1Path = filepath.Join(dir, "agree.v1.trace")
+	if err := os.WriteFile(v1Path, v1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store, err := ttd.FromTrace(trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := store.Trace().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Path = filepath.Join(dir, "agree.v2.trace")
+	if err := os.WriteFile(v2Path, v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return v1Path, v2Path
+}
+
+// noteChange renders a reverse-watch answer into the transcript.
+func (tr *transcript) noteChange(tag string, ch *easytracker.VarChange, err error) {
+	if err != nil || ch == nil {
+		tr.note("%s %s", tag, errClass(err))
+		return
+	}
+	data, _ := json.Marshal(ch)
+	tr.note("%s %s", tag, data)
+}
+
+// TestRemoteConformanceTimeTravel drives the reverse operations — StepBack,
+// SeekTo, ResumeBack, NextBack, LastChange — on a trace-backed session,
+// locally and through the loopback server, in both trace formats. All four
+// transcripts (v1/v2 × local/remote) must be line-identical: the wire and
+// the delta encoding are both invisible to a tool replaying history.
+func TestRemoteConformanceTimeTravel(t *testing.T) {
+	addr := startConformanceServer(t)
+	v1Path, v2Path := recordAgreeTraces(t)
+
+	run := func(remoteAddr, path string) []string {
+		tk := conformanceTracker(t, "trace", remoteAddr)
+		defer tk.Terminate()
+		tr := &transcript{}
+		tr.note("load %s", errClass(tk.LoadProgram(path)))
+		_, tt := easytracker.As[easytracker.TimeTraveler](tk)
+		_, rw := easytracker.As[easytracker.ReverseWatcher](tk)
+		tr.note("caps tt=%v rw=%v", tt, rw)
+		tr.note("start %s", errClass(tk.Start()))
+		tr.observePause(t, tk)
+		tr.note("watch %s", errClass(tk.Watch("::total")))
+		for i := 0; i < 6; i++ {
+			tr.note("step %s", errClass(tk.Step()))
+			tr.observePause(t, tk)
+		}
+		pos, length, ok := easytracker.ReplayPos(tk)
+		tr.note("replay-pos %d/%d %v", pos, length, ok)
+		for i := 0; i < 3; i++ {
+			tr.note("step-back %s", errClass(easytracker.StepBack(tk)))
+			tr.observePause(t, tk)
+		}
+		mid := length / 2
+		tr.note("seek %d %s", mid, errClass(easytracker.SeekTo(tk, mid)))
+		tr.observePause(t, tk)
+		ch, err := easytracker.LastChange(tk, "::total")
+		tr.noteChange("last-change", ch, err)
+		tr.note("resume-back %s", errClass(easytracker.ResumeBack(tk)))
+		tr.observePause(t, tk)
+		tr.note("next-back %s", errClass(easytracker.NextBack(tk)))
+		tr.observePause(t, tk)
+		tr.note("seek-oob %s", errClass(easytracker.SeekTo(tk, length+100)))
+		tr.note("seek-zero %s", errClass(easytracker.SeekTo(tk, 0)))
+		tr.observePause(t, tk)
+		pos, length, ok = easytracker.ReplayPos(tk)
+		tr.note("replay-pos %d/%d %v", pos, length, ok)
+		return tr.lines
+	}
+
+	transcripts := map[string][]string{
+		"v1-local":  run("", v1Path),
+		"v1-remote": run(addr, v1Path),
+		"v2-local":  run("", v2Path),
+		"v2-remote": run(addr, v2Path),
+	}
+	ref := transcripts["v1-local"]
+	for name, lines := range transcripts {
+		if len(lines) != len(ref) {
+			t.Fatalf("%s transcript has %d lines, v1-local has %d\n%s\nvs\n%s",
+				name, len(lines), len(ref), strings.Join(lines, "\n"), strings.Join(ref, "\n"))
+		}
+		for i := range ref {
+			if lines[i] != ref[i] {
+				t.Errorf("%s line %d differs:\nv1-local: %s\n%s: %s", name, i, ref[i], name, lines[i])
+			}
+		}
+	}
+}
+
+// TestRemoteTimeTravelSeekReplayAfterDisconnect severs the wire while the
+// client is inspecting a recorded step. The redial journal must rebuild the
+// session *and* re-seek the replay cursor: after the recovery error, the
+// position and the full State JSON are exactly what they were before the
+// outage, with nothing reported lost.
+func TestRemoteTimeTravelSeekReplayAfterDisconnect(t *testing.T) {
+	_, v2Path := recordAgreeTraces(t)
+
+	n := vnet.New(11)
+	ln, err := n.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := easytracker.NewServer()
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	tk, err := easytracker.Connect("srv", "trace",
+		easytracker.WithDialer(n.Dialer("tt-cli")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tk.Close()
+	pol := easytracker.RedialPolicy{
+		MaxAttempts: 50, BaseDelay: 2 * time.Millisecond, MaxDelay: 25 * time.Millisecond,
+		Multiplier: 2, Jitter: 0.3, Budget: 20 * time.Second, MaxRecoveries: 4,
+	}
+	if err := tk.LoadProgram(v2Path, easytracker.WithRedialPolicy(pol)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tk.Watch("::total"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := tk.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const target = 5
+	if err := easytracker.SeekTo(tk, target); err != nil {
+		t.Fatal(err)
+	}
+	pos, length, ok := easytracker.ReplayPos(tk)
+	if !ok || pos != target {
+		t.Fatalf("replay pos before outage = %d/%d %v, want %d", pos, length, ok, target)
+	}
+	sp, ok := easytracker.As[easytracker.StateProvider](tk)
+	if !ok {
+		t.Fatal("remote trace session denies StateProvider")
+	}
+	st, err := sp.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n.Sever("tt-cli", "srv")
+
+	// The op that discovers the outage fails with a recovery report; the
+	// journal replay behind it must have restored the seek position.
+	rerr := easytracker.StepBack(tk)
+	var te *easytracker.TrackerError
+	if !errors.As(rerr, &te) || te.Recovery != easytracker.RecoveryRestarted {
+		t.Fatalf("StepBack across outage: err = %v, want RecoveryRestarted", rerr)
+	}
+	if len(te.Lost) != 0 {
+		t.Fatalf("recovery lost items: %v", te.Lost)
+	}
+	pos, length2, ok := easytracker.ReplayPos(tk)
+	if !ok || pos != target || length2 != length {
+		t.Fatalf("replay pos after recovery = %d/%d %v, want %d/%d", pos, length2, ok, target, length)
+	}
+	st, err = sp.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("state diverged across recovery:\nbefore: %s\nafter:  %s", before, after)
+	}
+
+	// The rebuilt session keeps working in both directions.
+	if err := easytracker.StepBack(tk); err != nil {
+		t.Fatal(err)
+	}
+	if p, _, _ := easytracker.ReplayPos(tk); p != target-1 {
+		t.Fatalf("pos after StepBack = %d, want %d", p, target-1)
+	}
+	if err := tk.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if p, _, _ := easytracker.ReplayPos(tk); p != target {
+		t.Fatalf("pos after forward Step = %d, want %d", p, target)
 	}
 }
